@@ -1,0 +1,75 @@
+"""Ablation — dimension-scoring policies for model pruning.
+
+DESIGN.md §5: the paper prunes "close-to-zero" dimensions but does not
+specify how per-class magnitudes are aggregated.  This bench sweeps the
+four scoring policies of :mod:`repro.hd.prune` at several pruning
+fractions and reports post-retraining accuracy, plus a random-mask
+control (which any magnitude-aware policy should beat at aggressive
+pruning).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.common import prepare
+from repro.hd import SCORE_METHODS, dimension_scores, prune_mask, retrain
+from repro.utils import spawn
+from repro.utils.tables import ResultTable
+
+_FRACTIONS = (0.5, 0.75, 0.9)
+
+
+def _run():
+    prep = prepare("isolet", d_hv=4000, n_train=2000, n_test=500, seed=2)
+    ds = prep.dataset
+    rows = []
+    for fraction in _FRACTIONS:
+        row = {"fraction": fraction}
+        for method in SCORE_METHODS:
+            scores = dimension_scores(prep.model.class_hvs, method=method)
+            keep = prune_mask(scores, fraction)
+            model, _ = retrain(
+                prep.model.masked(keep),
+                prep.H_train,
+                ds.y_train,
+                epochs=2,
+                keep_mask=keep,
+                rng=3,
+            )
+            row[method] = model.accuracy(prep.H_test * keep, ds.y_test)
+        rng = spawn(4, "random-mask")
+        keep = np.ones(4000, dtype=bool)
+        keep[rng.permutation(4000)[: int(fraction * 4000)]] = False
+        model, _ = retrain(
+            prep.model.masked(keep),
+            prep.H_train,
+            ds.y_train,
+            epochs=2,
+            keep_mask=keep,
+            rng=3,
+        )
+        row["random"] = model.accuracy(prep.H_test * keep, ds.y_test)
+        rows.append(row)
+    return rows
+
+
+def bench_ablation_pruning(benchmark, emit):
+    rows = run_once(benchmark, _run)
+    table = ResultTable(
+        "ablation: pruning score policies (accuracy after 2-epoch retrain)",
+        ["fraction"] + list(SCORE_METHODS) + ["random"],
+    )
+    for row in rows:
+        table.add_row(
+            [row["fraction"]]
+            + [row[m] for m in SCORE_METHODS]
+            + [row["random"]]
+        )
+    emit("ablation_pruning", table)
+
+    # At the most aggressive fraction, the default (l2) policy should be
+    # competitive with the best policy and not collapse.
+    last = rows[-1]
+    best = max(last[m] for m in SCORE_METHODS)
+    assert last["l2"] >= best - 0.05
+    assert last["l2"] > 0.5

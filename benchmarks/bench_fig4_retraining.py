@@ -1,0 +1,31 @@
+"""Fig. 4 — retraining recovers pruned-model accuracy in 1-2 epochs.
+
+Paper legend: (10K, L100), (1K, L50), (1K, L100), (0.5K, L50),
+(0.5K, L100); the curves saturate after one or two Eq. (5) iterations
+and fewer feature levels win slightly at low dimensionality.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig4_retraining
+
+
+def bench_fig4_retraining(benchmark, emit):
+    result = run_once(benchmark, lambda: fig4_retraining.run(epochs=8))
+    sat = {
+        label: result.epochs_to_saturation(label)
+        for label in result.curves
+    }
+    emit(
+        "fig4_retraining",
+        result.to_table(),
+        notes="epochs to saturation (paper: 1-2): "
+        + ", ".join(f"{k}={v}" for k, v in sat.items()),
+    )
+
+    # Paper shape: every configuration saturates within two epochs.
+    assert all(v <= 2 for v in sat.values())
+    # Pruned configurations recover (non-negative recovery).
+    for label in result.curves:
+        if not label.startswith("4K"):
+            assert result.recovery(label) >= 0.0

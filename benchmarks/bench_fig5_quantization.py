@@ -1,0 +1,41 @@
+"""Fig. 5 — encoding quantization: accuracy (a) and sensitivity (b).
+
+Paper: bipolar at full dimensionality lands within a fraction of a
+percent of the full-precision baseline (93.1% vs prior work's 88.1%);
+sensitivity ordering 2bit > bipolar > ternary > biased ternary, with
+biased ternary at Dhv=1000 hitting the Δf = 22.3 headline.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import fig5_quantization
+
+
+def bench_fig5_quantization(benchmark, emit):
+    result = run_once(benchmark, lambda: fig5_quantization.run())
+    t_acc, t_sens = result.to_tables()
+    emit(
+        "fig5_quantization",
+        t_acc,
+        t_sens,
+        notes=(
+            f"full-precision baseline accuracy: "
+            f"{result.full_precision_accuracy:.3f}\n"
+            f"biased-ternary sensitivity at 1000 dims: "
+            f"{result.sensitivity['ternary-biased'][0]:.1f} (paper: 22.3)"
+        ),
+    )
+
+    # Paper shapes.
+    assert result.sensitivity["ternary-biased"][0] == pytest.approx(
+        22.36, abs=0.01
+    )
+    for i in range(len(result.dims_list)):
+        s = {q: result.sensitivity[q][i] for q in result.sensitivity}
+        assert s["2bit"] > s["bipolar"] > s["ternary"] > s["ternary-biased"]
+    # Quantized training within a few % of full precision at max dims.
+    assert (
+        result.accuracy["bipolar"][-1]
+        >= result.full_precision_accuracy - 0.05
+    )

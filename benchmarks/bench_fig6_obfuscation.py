@@ -1,0 +1,33 @@
+"""Fig. 6 — inference quantization + masking: accuracy and PSNR.
+
+Paper: quantized queries at full dimensionality cost ~0.5% accuracy;
+masking half the dimensions keeps accuracy above 91% of baseline while
+image reconstruction PSNR collapses from 23.6 dB to 13.1 dB at 9k masked.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig6_obfuscation
+from repro.experiments.common import ascii_image
+
+
+def bench_fig6_obfuscation(benchmark, emit):
+    result = run_once(benchmark, lambda: fig6_obfuscation.run())
+    art = (
+        "original digit:\n"
+        + ascii_image(result.originals[0])
+        + "\n\ndecoded from quantized+masked offload:\n"
+        + ascii_image(result.rec_masked[0])
+    )
+    emit(
+        "fig6_obfuscation",
+        result.to_table(),
+        result.psnr_table(),
+        notes=art,
+    )
+
+    # Paper shapes: monotone-ish accuracy in unmasked dims; PSNR ordering
+    # plain > quantized > masked with a large masked-side collapse.
+    assert result.accuracy[-1] >= result.baseline_accuracy - 0.03
+    assert result.psnr_plain > result.psnr_quantized > result.psnr_masked
+    assert result.psnr_plain - result.psnr_masked > 5.0

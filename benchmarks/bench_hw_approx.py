@@ -1,0 +1,35 @@
+"""§III-D ablation — approximate datapaths (the Eq. 15 claims).
+
+Paper: majority LUTs only in the first stage ("we can repeat this till
+log div stages but that would degrade accuracy") at <1% accuracy loss;
+LUT savings of 70.8% (bipolar) / 33.3% (ternary).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import hw_approx
+
+
+def bench_hw_approx_stages(benchmark, emit):
+    result = run_once(benchmark, lambda: hw_approx.run())
+    emit(
+        "hw_approx_stages",
+        result.to_table(),
+        notes=(
+            f"Eq. (15) LUT saving (bipolar): {result.lut_saving_bipolar:.1%} "
+            "(paper 70.8%)\n"
+            f"saturated ternary tree LUT saving: "
+            f"{result.lut_saving_ternary:.1%} (paper 33.3%)\n"
+            f"ternary tree correlation with exact accumulation: "
+            f"{result.ternary_tree_correlation:.3f}"
+        ),
+    )
+
+    assert result.lut_saving_bipolar == pytest.approx(0.708, abs=0.001)
+    assert result.lut_saving_ternary == pytest.approx(1 / 3, abs=1e-9)
+    # Stage-1 approximation is cheap; deeper stages degrade, as the
+    # paper warns.
+    assert result.accuracy_exact - result.accuracy[1] < 0.03
+    assert result.accuracy[-1] <= result.accuracy[1] + 0.02
+    assert result.ternary_tree_correlation > 0.8

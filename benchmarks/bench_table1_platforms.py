@@ -1,0 +1,33 @@
+"""Table I — Prive-HD (FPGA) vs Raspberry Pi 3 vs GTX 1080 Ti.
+
+Paper headline factors: FPGA over RPi 105,067x (throughput) / 52,896x
+(energy); FPGA over GPU 15.8x / 288x.  The platform models are analytic
+(DESIGN.md §2); the reproduction target is the ordering and the factors.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table1_platforms
+
+
+def bench_table1_platforms(benchmark, emit):
+    result = run_once(benchmark, table1_platforms.run)
+    emit(
+        "table1_platforms",
+        result.to_table(),
+        result.factors_table(),
+    )
+
+    fpga, gpu, rpi = (
+        "Prive-HD (Kintex-7)",
+        "GTX 1080 Ti",
+        "Raspberry Pi 3",
+    )
+    # Orderings hold on every benchmark.
+    for wl in table1_platforms.WORKLOADS:
+        t = result.throughput[wl.name]
+        assert t[fpga] > t[gpu] > t[rpi]
+    # Headline factors within 3x of the paper.
+    assert 105067 / 3 < result.mean_factor(fpga, rpi) < 105067 * 3
+    assert 15.8 / 3 < result.mean_factor(fpga, gpu) < 15.8 * 3
+    assert 288 / 3 < result.mean_factor(gpu, fpga, "energy") < 288 * 3

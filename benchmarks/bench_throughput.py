@@ -1,0 +1,52 @@
+"""Library micro-benchmarks: encode / train / predict throughput.
+
+Not a paper artifact — these time the core software kernels with real
+pytest-benchmark statistics (multiple rounds), so regressions in the
+NumPy implementations show up.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hd import (
+    BipolarQuantizer,
+    HDModel,
+    LevelBaseEncoder,
+    ScalarBaseEncoder,
+)
+from repro.utils import spawn
+
+_D_IN, _D_HV, _N = 617, 4096, 256
+
+
+@pytest.fixture(scope="module")
+def features():
+    return spawn(0, "bench-x").uniform(-1, 1, (_N, _D_IN))
+
+
+def bench_scalar_encode(benchmark, features):
+    enc = ScalarBaseEncoder(_D_IN, _D_HV, lo=-1, hi=1, seed=0)
+    H = benchmark(enc.encode, features)
+    assert H.shape == (_N, _D_HV)
+
+
+def bench_level_encode(benchmark, features):
+    enc = LevelBaseEncoder(_D_IN, _D_HV, n_levels=16, lo=-1, hi=1, seed=0)
+    H = benchmark(enc.encode, features)
+    assert H.shape == (_N, _D_HV)
+
+
+def bench_bipolar_quantize(benchmark, features):
+    enc = ScalarBaseEncoder(_D_IN, _D_HV, lo=-1, hi=1, seed=0)
+    H = enc.encode(features)
+    Hq = benchmark(BipolarQuantizer(), H)
+    assert Hq.shape == H.shape
+
+
+def bench_predict(benchmark, features):
+    enc = ScalarBaseEncoder(_D_IN, _D_HV, lo=-1, hi=1, seed=0)
+    H = enc.encode(features)
+    y = spawn(1, "bench-y").integers(0, 26, _N)
+    model = HDModel.from_encodings(H, y, 26)
+    preds = benchmark(model.predict, H)
+    assert preds.shape == (_N,)

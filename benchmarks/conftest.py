@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table/figure of the paper:
+it times the experiment run via pytest-benchmark, prints the paper-style
+rows (visible with ``pytest benchmarks/ --benchmark-only -s``) and saves
+them under ``benchmarks/results/`` so the numbers survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.utils.tables import ResultTable
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Callable that prints result tables and archives them to disk."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, *tables: ResultTable, notes: str = "") -> None:
+        chunks = [t.render() for t in tables]
+        if notes:
+            chunks.append(notes.strip())
+        text = "\n\n".join(chunks)
+        print("\n" + text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once (experiments are minutes-scale, not µs)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

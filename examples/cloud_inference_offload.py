@@ -1,0 +1,61 @@
+"""Scenario: IoT speech recognition with an untrusted cloud host.
+
+The paper's second motivation: an edge device too weak to run inference
+locally encodes its input and offloads the similarity search to a cloud
+host over a hostile channel.  The host (or any eavesdropper) can invert
+plain encodings back to the input (§III-A) — so the client quantizes to
+1 bit and masks a block of dimensions before transmitting (§III-C).
+
+This script sweeps the masking level and prints the trade-off the client
+cares about: hosted-model accuracy vs attacker reconstruction quality —
+plus the transmission savings (1-bit dims instead of 32-bit floats).
+
+Run:  python examples/cloud_inference_offload.py
+"""
+
+from repro.core import PriveHD
+from repro.data import load_dataset
+from repro.utils.tables import ResultTable
+
+
+def main() -> None:
+    ds = load_dataset("isolet", n_train=2000, n_test=600, seed=4)
+    print(f"dataset: {ds.summary()}  (voice commands on an IoT device)")
+
+    d_hv = 4000
+    system = PriveHD(
+        d_in=ds.d_in, n_classes=ds.n_classes, d_hv=d_hv,
+        lo=ds.lo, hi=ds.hi, seed=9,
+    )
+    # The cloud hosts the full-precision model; it is never modified.
+    hosted_model = system.fit(ds.X_train, ds.y_train)
+    plain_acc = hosted_model.accuracy(system.encode(ds.X_test), ds.y_test)
+
+    raw_bits = ds.d_in * 32  # shipping the raw feature vector
+    plain_bits = d_hv * 32   # shipping the float encoding
+
+    table = ResultTable(
+        f"offload trade-off (plain accuracy {plain_acc:.3f})",
+        ["masked dims", "accuracy", "recon MSE factor", "PSNR dB", "kbits/query"],
+    )
+    for n_masked in (0, 1000, 2000, 3000, 3600):
+        obf = system.obfuscator(quantizer="bipolar", n_masked=n_masked)
+        acc = obf.evaluate_accuracy(hosted_model, ds.X_test, ds.y_test)
+        leak = obf.leakage_report(ds.X_test[:60])
+        kbits = obf.n_unmasked / 1000.0  # 1 bit per unmasked dim
+        table.add_row(
+            [n_masked, acc, leak.normalized_mse, leak.psnr_obfuscated, kbits]
+        )
+    table.print()
+
+    print(
+        f"\nshipping raw features would cost {raw_bits/1000:.1f} kbits; the"
+        f"\nplain float encoding {plain_bits/1000:.0f} kbits; the obfuscated"
+        "\nquery is 1 bit per unmasked dimension -- simultaneously the most"
+        "\nprivate and the cheapest to transmit (the paper's 'multifaceted"
+        "\npower efficiency')."
+    )
+
+
+if __name__ == "__main__":
+    main()

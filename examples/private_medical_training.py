@@ -1,0 +1,78 @@
+"""Scenario: releasing a model trained on sensitive (medical-style) records.
+
+The paper's introduction motivates DP training with proprietary and
+crowdsourced data such as medical images: a hospital wants to publish a
+face/no-face screening model but must guarantee that no single patient's
+record can be recovered from the released weights.
+
+This script sweeps the privacy budget ε and reports, for each released
+model:
+
+* test accuracy (utility),
+* the model-difference membership score an attacker achieves against the
+  known target record (privacy), and
+* the noise/sensitivity bookkeeping that certifies the (ε, δ) guarantee.
+
+Run:  python examples/private_medical_training.py
+"""
+
+import numpy as np
+
+from repro.attacks import ModelDifferenceAttack
+from repro.core import PriveHD
+from repro.data import load_dataset
+from repro.utils.tables import ResultTable
+
+
+def main() -> None:
+    ds = load_dataset("face", n_train=3000, n_test=700, seed=2)
+    print(f"dataset: {ds.summary()}  (stand-in for a sensitive registry)")
+
+    system = PriveHD(
+        d_in=ds.d_in, n_classes=ds.n_classes, d_hv=4000,
+        lo=ds.lo, hi=ds.hi, seed=5,
+    )
+    attack = ModelDifferenceAttack(system.encoder)
+    target_x = ds.X_train[0]
+
+    # Non-private reference: the attack nails the record.
+    with_rec = system.fit(ds.X_train, ds.y_train)
+    without_rec = system.fit(ds.X_train[1:], ds.y_train[1:])
+    plain_acc = with_rec.accuracy(system.encode(ds.X_test), ds.y_test)
+    plain_score = attack.membership_score(target_x, with_rec, without_rec)
+
+    table = ResultTable(
+        "privacy budget sweep (delta = 1e-5, 2000 live dims, biased ternary)",
+        ["epsilon", "accuracy", "membership score", "noise std"],
+    )
+    table.add_row(["no privacy", plain_acc, plain_score, 0.0])
+
+    for eps in (8.0, 2.0, 1.0, 0.5):
+        res = system.fit_private(
+            ds.X_train, ds.y_train, epsilon=eps, effective_dims=2000,
+            noise_seed=int(eps * 100),
+        )
+        res_wo = system.fit_private(
+            ds.X_train[1:], ds.y_train[1:], epsilon=eps,
+            effective_dims=2000, noise_seed=int(eps * 100) + 1,
+        )
+        score = attack.membership_score(
+            target_x, res.private.model, res_wo.private.model
+        )
+        table.add_row(
+            [eps, res.accuracy(ds.X_test, ds.y_test), score,
+             res.private.noise_std]
+        )
+
+    table.print()
+    print(
+        "\nReading the table: accuracy degrades gracefully down to eps=1"
+        "\nwhile the attacker's membership evidence collapses from ~1.0"
+        "\n(certain) toward 0 (chance) -- the paper's single-digit-epsilon"
+        "\nresult. The (eps, delta) certificate follows from the recorded"
+        "\nsensitivity and noise std via Eq. (8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

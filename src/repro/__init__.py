@@ -1,0 +1,40 @@
+"""Prive-HD reproduction: privacy-preserved hyperdimensional computing.
+
+Reproduction of B. Khaleghi, M. Imani, T. Rosing, *"Prive-HD:
+Privacy-Preserved Hyperdimensional Computing"*, DAC 2020.
+
+The package is organized as::
+
+    repro.hd          the HD learning substrate (encoders, model, train)
+    repro.data        synthetic ISOLET / MNIST / FACE dataset substrate
+    repro.attacks     reconstruction + membership attacks, quality metrics
+    repro.core        the paper's contribution: DP training & private inference
+    repro.hardware    bit-accurate FPGA datapath model + cost/perf models
+    repro.experiments one runner per paper figure/table
+
+The most common entry points are re-exported here; see ``README.md`` for a
+quickstart.
+"""
+
+__version__ = "1.0.0"
+
+from repro.hd import (
+    HDModel,
+    LevelBaseEncoder,
+    ScalarBaseEncoder,
+    fit_hd,
+    get_quantizer,
+    prune_model,
+    retrain,
+)
+
+__all__ = [
+    "__version__",
+    "HDModel",
+    "ScalarBaseEncoder",
+    "LevelBaseEncoder",
+    "fit_hd",
+    "retrain",
+    "prune_model",
+    "get_quantizer",
+]

@@ -1,0 +1,33 @@
+"""Privacy attacks against plain HD computing, and leakage metrics.
+
+These implement Section III-A of the paper: the closed-form
+reconstruction of inputs from encoded hypervectors (Eq. 9–10, Fig. 2) and
+the model-difference attack that extracts a training record from two
+adjacent models.  The metrics module provides the PSNR / normalized-MSE
+measures the paper uses to score leakage (Fig. 6, Fig. 9b).
+"""
+
+from repro.attacks.decoder import (
+    HDDecoder,
+    decode_level_base,
+    decode_scalar_base,
+)
+from repro.attacks.membership import ExtractionResult, ModelDifferenceAttack
+from repro.attacks.metrics import (
+    mean_absolute_error,
+    mse,
+    normalized_mse,
+    psnr,
+)
+
+__all__ = [
+    "HDDecoder",
+    "decode_scalar_base",
+    "decode_level_base",
+    "ModelDifferenceAttack",
+    "ExtractionResult",
+    "mse",
+    "mean_absolute_error",
+    "normalized_mse",
+    "psnr",
+]

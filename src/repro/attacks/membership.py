@@ -1,0 +1,110 @@
+"""The model-difference attack on non-private HD training (Section III-A).
+
+Class hypervectors are plain sums of encodings (Eq. 3), so for two models
+trained on *adjacent* datasets (differing in one record), the class-store
+difference is exactly the encoding of the missing record:
+
+    C(D₂) − C(D₁) = encode(x_missing)   (in the record's class row).
+
+The attacker then (1) identifies the affected class by the largest row
+norm of the difference, (2) reads off the encoding, and (3) inverts it
+with :class:`repro.attacks.decoder.HDDecoder`.  This is the privacy breach
+that motivates differentially private training; with Prive-HD's Gaussian
+noise the recovered row is encoding + noise and the reconstruction
+degrades with the privacy budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.decoder import HDDecoder
+from repro.hd.encoder import Encoder
+from repro.hd.model import HDModel
+from repro.hd.similarity import cosine
+
+__all__ = ["ModelDifferenceAttack", "ExtractionResult"]
+
+
+@dataclass(frozen=True)
+class ExtractionResult:
+    """Output of one model-difference extraction.
+
+    Attributes
+    ----------
+    class_index:
+        The class the attacker believes the missing record belongs to.
+    encoding:
+        The recovered ``(d_hv,)`` encoded hypervector (possibly noisy).
+    features:
+        The ``(d_in,)`` reconstructed feature vector.
+    row_norms:
+        Norm of each class row of the model difference — the attacker's
+        evidence; a clean (non-private) difference has exactly one
+        non-zero row.
+    """
+
+    class_index: int
+    encoding: np.ndarray
+    features: np.ndarray
+    row_norms: np.ndarray
+
+
+class ModelDifferenceAttack:
+    """Extract the missing record from two adjacently-trained HD models.
+
+    Parameters
+    ----------
+    encoder:
+        The (public) encoder used for training; the attack inherits its
+        decoder.
+    """
+
+    def __init__(self, encoder: Encoder):
+        self.encoder = encoder
+        self.decoder = HDDecoder(encoder)
+
+    # ------------------------------------------------------------------
+    def difference(self, with_record: HDModel, without_record: HDModel) -> np.ndarray:
+        """Class-store difference ``C(D₂) − C(D₁)``, shape (n_classes, d_hv)."""
+        if (
+            with_record.n_classes != without_record.n_classes
+            or with_record.d_hv != without_record.d_hv
+        ):
+            raise ValueError("models must have identical shapes")
+        return with_record.class_hvs - without_record.class_hvs
+
+    def extract(
+        self, with_record: HDModel, without_record: HDModel
+    ) -> ExtractionResult:
+        """Recover (class, encoding, features) of the missing record."""
+        diff = self.difference(with_record, without_record)
+        row_norms = np.linalg.norm(diff, axis=1)
+        class_index = int(np.argmax(row_norms))
+        encoding = diff[class_index]
+        features = self.decoder.decode_one(encoding)
+        return ExtractionResult(
+            class_index=class_index,
+            encoding=encoding,
+            features=features,
+            row_norms=row_norms,
+        )
+
+    # ------------------------------------------------------------------
+    def membership_score(
+        self,
+        candidate: np.ndarray,
+        with_record: HDModel,
+        without_record: HDModel,
+    ) -> float:
+        """Cosine evidence that ``candidate`` is the missing record.
+
+        Encodes the candidate and correlates it with the extracted row;
+        ≈1 for the true record, ≈0 for an unrelated one (noise from DP
+        training pushes the true record's score toward 0).
+        """
+        result = self.extract(with_record, without_record)
+        cand_enc = self.encoder.encode_one(np.asarray(candidate, dtype=np.float64))
+        return cosine(result.encoding, cand_enc)

@@ -1,0 +1,75 @@
+"""Reconstruction-quality metrics (PSNR, MSE) — Sections III-A/C.
+
+The paper quantifies inference leakage by reconstructing the input from
+the offloaded query hypervector and reporting:
+
+* **PSNR** of reconstructed images (Fig. 2, Fig. 6): 23.6 dB for plain
+  encodings, dropping to ~13 dB under quantization + masking;
+* **normalized MSE** for non-visualizable feature datasets (Fig. 9b):
+  the MSE of the obfuscated reconstruction relative to the MSE of the
+  plain-encoding reconstruction (so 1.0 = no protection gained).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse", "normalized_mse", "psnr", "mean_absolute_error"]
+
+
+def mse(reference: np.ndarray, estimate: np.ndarray) -> float:
+    """Mean squared error between two arrays of identical shape."""
+    a = np.asarray(reference, dtype=np.float64)
+    b = np.asarray(estimate, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("cannot compute MSE of empty arrays")
+    return float(np.mean((a - b) ** 2))
+
+
+def mean_absolute_error(reference: np.ndarray, estimate: np.ndarray) -> float:
+    """Mean absolute error between two arrays of identical shape."""
+    a = np.asarray(reference, dtype=np.float64)
+    b = np.asarray(estimate, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("cannot compute MAE of empty arrays")
+    return float(np.mean(np.abs(a - b)))
+
+
+def normalized_mse(
+    reference: np.ndarray,
+    estimate: np.ndarray,
+    baseline_estimate: np.ndarray,
+) -> float:
+    """MSE of ``estimate`` relative to MSE of ``baseline_estimate``.
+
+    This is the y-axis of Fig. 9(b): how much *worse* (higher) the
+    obfuscated reconstruction is than the plain-encoding reconstruction.
+    Values > 1 mean the obfuscation destroyed information.
+    """
+    base = mse(reference, baseline_estimate)
+    if base == 0.0:
+        raise ValueError(
+            "baseline reconstruction is exact; normalized MSE undefined"
+        )
+    return mse(reference, estimate) / base
+
+
+def psnr(
+    reference: np.ndarray, estimate: np.ndarray, data_range: float = 1.0
+) -> float:
+    """Peak signal-to-noise ratio in dB.
+
+    ``PSNR = 10 log10(data_range² / MSE)``; infinite for an exact
+    reconstruction.  The paper quotes 23.6 dB for images decoded from
+    plain encodings and ~13 dB after quantization + 9k-dimension masking.
+    """
+    if data_range <= 0:
+        raise ValueError(f"data_range must be positive, got {data_range}")
+    err = mse(reference, estimate)
+    if err == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(data_range**2 / err))

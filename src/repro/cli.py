@@ -1,0 +1,175 @@
+"""``prive-hd`` command-line interface.
+
+Runs any of the paper's experiments from a shell and prints the
+paper-style tables:
+
+    prive-hd list                 # what can I run?
+    prive-hd fig5                 # regenerate Fig. 5 (reduced scale)
+    prive-hd table1               # Table I platform comparison
+    prive-hd all                  # everything (minutes)
+
+Every experiment accepts ``--seed``; the heavier ones accept ``--dhv``
+to trade fidelity for speed (paper scale is ``--dhv 10000``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.experiments import (
+    fig2_reconstruction,
+    fig3_information,
+    fig4_retraining,
+    fig5_quantization,
+    fig6_obfuscation,
+    fig8_dp_training,
+    fig9_inference_privacy,
+    hw_approx,
+    table1_platforms,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _run_fig2(args) -> None:
+    result = fig2_reconstruction.run(d_hv=args.dhv, seed=args.seed)
+    result.to_table().print()
+
+
+def _run_fig3(args) -> None:
+    result = fig3_information.run(d_hv=args.dhv, seed=args.seed)
+    for table in result.to_tables():
+        table.print()
+    print(f"\nrank of classes A/B retained: {result.rank_retained}")
+
+
+def _run_fig4(args) -> None:
+    result = fig4_retraining.run(
+        d_hv_base=args.dhv,
+        configs=(
+            fig4_retraining.Fig4Config(args.dhv, 100),
+            fig4_retraining.Fig4Config(1000, 50),
+            fig4_retraining.Fig4Config(1000, 100),
+            fig4_retraining.Fig4Config(500, 50),
+            fig4_retraining.Fig4Config(500, 100),
+        ),
+        seed=args.seed,
+    )
+    result.to_table().print()
+
+
+def _run_fig5(args) -> None:
+    dims = tuple(
+        sorted({max(256, args.dhv // 4), args.dhv // 2, args.dhv})
+    )
+    result = fig5_quantization.run(
+        dims_list=dims, d_hv=args.dhv, seed=args.seed
+    )
+    for table in result.to_tables():
+        table.print()
+    print(f"\nfull-precision baseline: {result.full_precision_accuracy:.3f}")
+
+
+def _run_fig6(args) -> None:
+    result = fig6_obfuscation.run(d_hv=args.dhv, seed=args.seed)
+    result.to_table().print()
+    result.psnr_table().print()
+
+
+def _run_fig8(args) -> None:
+    for name in ("isolet", "face", "mnist"):
+        dims = tuple(
+            sorted({max(256, args.dhv // 8), args.dhv // 4, args.dhv // 2, args.dhv})
+        )
+        result = fig8_dp_training.run_dims_sweep(
+            dataset=name, dims_list=dims, d_hv=args.dhv, seed=args.seed
+        )
+        result.to_table().print()
+    fig8_dp_training.run_datasize_sweep(
+        d_hv=args.dhv, seed=args.seed
+    ).to_table().print()
+
+
+def _run_fig9(args) -> None:
+    masked = tuple(
+        sorted({0, args.dhv // 4, args.dhv // 2, 3 * args.dhv // 4})
+    )
+    result = fig9_inference_privacy.run(
+        masked_list=masked, d_hv=args.dhv, seed=args.seed
+    )
+    for table in result.to_tables():
+        table.print()
+
+
+def _run_table1(args) -> None:
+    result = table1_platforms.run()
+    result.to_table().print()
+    result.factors_table().print()
+
+
+def _run_hw(args) -> None:
+    result = hw_approx.run(seed=args.seed)
+    result.to_table().print()
+    print(
+        f"\nLUT savings: bipolar {result.lut_saving_bipolar:.1%}, "
+        f"ternary {result.lut_saving_ternary:.1%}"
+    )
+
+
+#: experiment name -> (description, runner)
+EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+    "fig2": ("reconstruct digits from encodings (Fig. 2)", _run_fig2),
+    "fig3": ("information across dimensions (Fig. 3)", _run_fig3),
+    "fig4": ("retraining recovers pruning loss (Fig. 4)", _run_fig4),
+    "fig5": ("encoding quantization trade-off (Fig. 5)", _run_fig5),
+    "fig6": ("inference quantization + masking (Fig. 6)", _run_fig6),
+    "fig8": ("differentially private training (Fig. 8)", _run_fig8),
+    "fig9": ("inference privacy, all datasets (Fig. 9)", _run_fig9),
+    "table1": ("FPGA/GPU/RPi platform comparison (Table I)", _run_table1),
+    "hw": ("approximate-datapath ablation (§III-D)", _run_hw),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="prive-hd",
+        description="Reproduce the Prive-HD (DAC 2020) experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    for name, (desc, _) in EXPERIMENTS.items():
+        p = sub.add_parser(name, help=desc)
+        p.add_argument(
+            "--dhv",
+            type=int,
+            default=4000,
+            help="hypervector dimensionality (paper: 10000)",
+        )
+        p.add_argument("--seed", type=int, default=0, help="root seed")
+    p_all = sub.add_parser("all", help="run every experiment")
+    p_all.add_argument("--dhv", type=int, default=4000)
+    p_all.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(n) for n in EXPERIMENTS)
+        for name, (desc, _) in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {desc}")
+        return 0
+    if args.command == "all":
+        for name, (desc, runner) in EXPERIMENTS.items():
+            print(f"\n##### {name}: {desc} #####")
+            runner(args)
+        return 0
+    EXPERIMENTS[args.command][1](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

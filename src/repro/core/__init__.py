@@ -1,0 +1,85 @@
+"""Prive-HD's primary contribution: DP training and private inference.
+
+* :mod:`repro.core.privacy` — (ε, δ) ↔ σ calculus (Eq. 6–8);
+* :mod:`repro.core.sensitivity` — Eq. (11), (12), (14) plus empirical
+  verification;
+* :mod:`repro.core.mechanism` — Gaussian / Laplace mechanisms over HD
+  class stores;
+* :mod:`repro.core.dp_trainer` — the full quantize→prune→retrain→noise
+  training pipeline (§III-B);
+* :mod:`repro.core.inference_privacy` — query quantization + masking for
+  untrusted-host inference (§III-C);
+* :mod:`repro.core.pipeline` — the :class:`PriveHD` facade.
+"""
+
+from repro.core.audit import (
+    InferenceAudit,
+    TrainingAudit,
+    audit_inference_privacy,
+    audit_training_privacy,
+)
+from repro.core.dp_trainer import (
+    DPTrainer,
+    DPTrainingConfig,
+    DPTrainingResult,
+    quantize_masked,
+)
+from repro.core.inference_privacy import (
+    InferenceObfuscator,
+    LeakageReport,
+    ObfuscationConfig,
+)
+from repro.core.mechanism import (
+    GaussianMechanism,
+    LaplaceMechanism,
+    PrivatizedModel,
+)
+from repro.core.pipeline import PriveHD
+from repro.core.privacy import (
+    PrivacyBudget,
+    delta_for_sigma,
+    epsilon_for_sigma,
+    gaussian_noise_std,
+    laplace_noise_scale,
+    sigma_for_budget,
+)
+from repro.core.sensitivity import (
+    SensitivityReport,
+    empirical_l1_sensitivity,
+    empirical_l2_sensitivity,
+    l1_sensitivity_full,
+    l2_sensitivity_full,
+    l2_sensitivity_quantized,
+    sensitivity_report,
+)
+
+__all__ = [
+    "PriveHD",
+    "TrainingAudit",
+    "InferenceAudit",
+    "audit_training_privacy",
+    "audit_inference_privacy",
+    "DPTrainer",
+    "DPTrainingConfig",
+    "DPTrainingResult",
+    "quantize_masked",
+    "InferenceObfuscator",
+    "ObfuscationConfig",
+    "LeakageReport",
+    "GaussianMechanism",
+    "LaplaceMechanism",
+    "PrivatizedModel",
+    "PrivacyBudget",
+    "sigma_for_budget",
+    "delta_for_sigma",
+    "epsilon_for_sigma",
+    "gaussian_noise_std",
+    "laplace_noise_scale",
+    "SensitivityReport",
+    "sensitivity_report",
+    "l1_sensitivity_full",
+    "l2_sensitivity_full",
+    "l2_sensitivity_quantized",
+    "empirical_l1_sensitivity",
+    "empirical_l2_sensitivity",
+]

@@ -1,0 +1,153 @@
+"""High-level facade tying the Prive-HD pieces together.
+
+:class:`PriveHD` is the entry point a downstream user reaches for first:
+one object that owns the encoder and exposes plain training, the
+differentially private training pipeline, the inference obfuscator, and
+the attacker's decoder (for auditing one's own leakage).
+
+    >>> from repro.core import PriveHD
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> X, y = rng.uniform(0, 1, (300, 40)), rng.integers(0, 3, 300)
+    >>> ph = PriveHD(d_in=40, n_classes=3, d_hv=2000, seed=1)
+    >>> model = ph.fit(X, y)                      # plain (leaky) HD
+    >>> result = ph.fit_private(X, y, epsilon=2)  # Prive-HD
+    >>> queries = ph.obfuscator(n_masked=500).prepare(X[:5])  # for offload
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.decoder import HDDecoder
+from repro.core.dp_trainer import DPTrainer, DPTrainingConfig, DPTrainingResult
+from repro.core.inference_privacy import InferenceObfuscator, ObfuscationConfig
+from repro.hd.encoder import ScalarBaseEncoder
+from repro.hd.model import HDModel
+from repro.hd.quantize import get_quantizer
+from repro.hd.train import retrain
+from repro.utils.rng import spawn
+from repro.utils.validation import check_2d, check_labels, check_positive_int
+
+__all__ = ["PriveHD"]
+
+
+class PriveHD:
+    """One-stop Prive-HD system over a fixed encoder.
+
+    Parameters
+    ----------
+    d_in:
+        Input feature count.
+    n_classes:
+        Number of classes.
+    d_hv:
+        Hypervector dimensionality (paper default 10,000).
+    n_feature_levels:
+        Optional feature quantization levels for the encoder.
+    lo, hi:
+        Feature range.
+    seed:
+        Root seed for codebooks, retraining and DP noise.
+    """
+
+    def __init__(
+        self,
+        d_in: int,
+        n_classes: int,
+        *,
+        d_hv: int = 10000,
+        n_feature_levels: int | None = None,
+        lo: float = 0.0,
+        hi: float = 1.0,
+        seed: int = 0,
+    ):
+        check_positive_int(d_in, "d_in")
+        check_positive_int(n_classes, "n_classes")
+        check_positive_int(d_hv, "d_hv")
+        self.n_classes = n_classes
+        self.seed = int(seed)
+        self.encoder = ScalarBaseEncoder(
+            d_in, d_hv, n_levels=n_feature_levels, lo=lo, hi=hi, seed=seed
+        )
+
+    # ------------------------------------------------------------------
+    def encode(self, X: np.ndarray) -> np.ndarray:
+        """Encode features with the system's (public) codebooks."""
+        return self.encoder.encode(X)
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        quantizer: str | None = None,
+        retrain_epochs: int = 0,
+    ) -> HDModel:
+        """Plain, non-private HD training (Eq. 3, optional Eq. 5).
+
+        This is the baseline whose privacy Section III-A demolishes;
+        provided so users can measure the accuracy cost of going private.
+        """
+        X = check_2d(X, "X", n_cols=self.encoder.d_in)
+        y = check_labels(y, "y", n_classes=self.n_classes)
+        q = get_quantizer(quantizer)
+        H = q(self.encoder.encode(X))
+        model = HDModel.from_encodings(H, y, self.n_classes)
+        if retrain_epochs > 0:
+            model, _ = retrain(
+                model,
+                H,
+                y,
+                epochs=retrain_epochs,
+                rng=spawn(self.seed, "facade-retrain"),
+            )
+        return model
+
+    def fit_private(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        epsilon: float,
+        delta: float = 1e-5,
+        quantizer: str = "ternary-biased",
+        effective_dims: int | None = None,
+        retrain_epochs: int = 2,
+        noise_seed: int | None = None,
+    ) -> DPTrainingResult:
+        """Differentially private training (the full §III-B pipeline)."""
+        config = DPTrainingConfig(
+            epsilon=epsilon,
+            delta=delta,
+            d_hv=self.encoder.d_hv,
+            effective_dims=effective_dims,
+            quantizer=quantizer,
+            n_feature_levels=self.encoder.n_levels,
+            retrain_epochs=retrain_epochs,
+            seed=self.seed,
+            noise_seed=noise_seed,
+        )
+        return DPTrainer(config).fit(
+            X, y, self.n_classes, encoder=self.encoder
+        )
+
+    # ------------------------------------------------------------------
+    def obfuscator(
+        self,
+        *,
+        quantizer: str = "bipolar",
+        n_masked: int = 0,
+        mask_seed: int | None = None,
+    ) -> InferenceObfuscator:
+        """Client-side obfuscator for cloud-hosted inference (§III-C)."""
+        config = ObfuscationConfig(
+            quantizer=quantizer,
+            n_masked=n_masked,
+            mask_seed=self.seed if mask_seed is None else mask_seed,
+        )
+        return InferenceObfuscator(self.encoder, config)
+
+    def decoder(self) -> HDDecoder:
+        """The Eq. (10) attacker's decoder — audit your own leakage."""
+        return HDDecoder(self.encoder)

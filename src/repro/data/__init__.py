@@ -1,0 +1,43 @@
+"""Synthetic dataset substrate standing in for ISOLET / MNIST / FACE.
+
+The run environment has no network access, so the paper's three public
+datasets are substituted with deterministic generators that match each
+dataset's dimensionality, range, class structure and baseline HD accuracy
+(DESIGN.md §2 documents the substitutions and why they preserve the
+behaviour Prive-HD's experiments measure).
+"""
+
+from repro.data.dataset import Dataset
+from repro.data.face import FACE_D_IN, FACE_N_CLASSES, make_face
+from repro.data.isolet import ISOLET_D_IN, ISOLET_N_CLASSES, make_isolet
+from repro.data.mnist import DIGIT_SKELETONS, IMAGE_SIDE, make_mnist, render_digit
+from repro.data.registry import DATASET_NAMES, load_dataset
+from repro.data.synthetic import logistic_squash, make_cluster_features
+from repro.data.transforms import (
+    RangeNormalizer,
+    Standardizer,
+    gaussian_noise_augment,
+    train_test_split,
+)
+
+__all__ = [
+    "Dataset",
+    "load_dataset",
+    "DATASET_NAMES",
+    "make_isolet",
+    "make_mnist",
+    "make_face",
+    "render_digit",
+    "DIGIT_SKELETONS",
+    "IMAGE_SIDE",
+    "ISOLET_D_IN",
+    "ISOLET_N_CLASSES",
+    "FACE_D_IN",
+    "FACE_N_CLASSES",
+    "make_cluster_features",
+    "logistic_squash",
+    "RangeNormalizer",
+    "Standardizer",
+    "train_test_split",
+    "gaussian_noise_augment",
+]

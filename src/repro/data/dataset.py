@@ -1,0 +1,147 @@
+"""The dataset container shared by all experiment code.
+
+A :class:`Dataset` is an immutable bundle of train/test splits plus the
+metadata the encoders need (feature count, feature range) and the metadata
+the attacks need (image shape, when the features are pixels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_generator
+from repro.utils.validation import check_2d, check_labels
+
+__all__ = ["Dataset"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Train/test splits plus encoder- and attack-relevant metadata.
+
+    Attributes
+    ----------
+    name:
+        Registry name, e.g. ``"isolet"``.
+    X_train, y_train, X_test, y_test:
+        Features are float64 in ``feature_range``; labels are int64 in
+        ``[0, n_classes)``.
+    n_classes:
+        Number of classes.
+    feature_range:
+        ``(lo, hi)`` range the features are normalized to; encoders use it
+        for level quantization, the decoder for clipping reconstructions.
+    image_shape:
+        ``(h, w)`` when the features are pixels of an image (MNIST-like),
+        else ``None``; reconstruction metrics such as PSNR only make sense
+        when this is set.
+    description:
+        One line describing what the synthetic generator mimics.
+    """
+
+    name: str
+    X_train: np.ndarray
+    y_train: np.ndarray
+    X_test: np.ndarray
+    y_test: np.ndarray
+    n_classes: int
+    feature_range: tuple[float, float] = (0.0, 1.0)
+    image_shape: tuple[int, int] | None = None
+    description: str = ""
+
+    def __post_init__(self):
+        X_train = check_2d(self.X_train, "X_train").astype(np.float64)
+        X_test = check_2d(self.X_test, "X_test", n_cols=X_train.shape[1]).astype(
+            np.float64
+        )
+        y_train = check_labels(self.y_train, "y_train", n_classes=self.n_classes)
+        y_test = check_labels(self.y_test, "y_test", n_classes=self.n_classes)
+        if X_train.shape[0] != y_train.shape[0]:
+            raise ValueError("X_train / y_train length mismatch")
+        if X_test.shape[0] != y_test.shape[0]:
+            raise ValueError("X_test / y_test length mismatch")
+        lo, hi = self.feature_range
+        if not hi > lo:
+            raise ValueError(f"feature_range must increase, got {self.feature_range}")
+        if self.image_shape is not None:
+            h, w = self.image_shape
+            if h * w != X_train.shape[1]:
+                raise ValueError(
+                    f"image_shape {self.image_shape} incompatible with "
+                    f"{X_train.shape[1]} features"
+                )
+        # dataclass is frozen; route around it for the validated arrays
+        object.__setattr__(self, "X_train", X_train)
+        object.__setattr__(self, "X_test", X_test)
+        object.__setattr__(self, "y_train", y_train)
+        object.__setattr__(self, "y_test", y_test)
+
+    # ------------------------------------------------------------------
+    @property
+    def d_in(self) -> int:
+        """Feature count ``Div``."""
+        return self.X_train.shape[1]
+
+    @property
+    def n_train(self) -> int:
+        return self.X_train.shape[0]
+
+    @property
+    def n_test(self) -> int:
+        return self.X_test.shape[0]
+
+    @property
+    def lo(self) -> float:
+        return float(self.feature_range[0])
+
+    @property
+    def hi(self) -> float:
+        return float(self.feature_range[1])
+
+    # ------------------------------------------------------------------
+    def subsample_train(self, fraction: float, *, rng: RngLike = None) -> "Dataset":
+        """A copy with a class-stratified fraction of the training split.
+
+        Used by the Fig. 8(d) data-size sweep.  Stratification keeps every
+        class populated even at small fractions.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if fraction == 1.0:
+            return self
+        gen = ensure_generator(rng)
+        picked: list[np.ndarray] = []
+        for c in range(self.n_classes):
+            idx = np.flatnonzero(self.y_train == c)
+            if idx.size == 0:
+                continue
+            n_keep = max(1, int(round(fraction * idx.size)))
+            picked.append(gen.choice(idx, size=n_keep, replace=False))
+        sel = np.sort(np.concatenate(picked))
+        return replace(self, X_train=self.X_train[sel], y_train=self.y_train[sel])
+
+    def head(self, n_train: int, n_test: int) -> "Dataset":
+        """A copy with at most the first ``n_train``/``n_test`` samples."""
+        if n_train <= 0 or n_test <= 0:
+            raise ValueError("n_train and n_test must be positive")
+        return replace(
+            self,
+            X_train=self.X_train[:n_train],
+            y_train=self.y_train[:n_train],
+            X_test=self.X_test[:n_test],
+            y_test=self.y_test[:n_test],
+        )
+
+    def summary(self) -> str:
+        """One-line human description used in benchmark headers."""
+        img = (
+            f", image {self.image_shape[0]}x{self.image_shape[1]}"
+            if self.image_shape
+            else ""
+        )
+        return (
+            f"{self.name}: {self.n_train} train / {self.n_test} test, "
+            f"{self.d_in} features, {self.n_classes} classes{img}"
+        )

@@ -1,0 +1,41 @@
+"""Dataset registry: load any of the paper's three benchmarks by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.data.dataset import Dataset
+from repro.data.face import make_face
+from repro.data.isolet import make_isolet
+from repro.data.mnist import make_mnist
+
+__all__ = ["load_dataset", "DATASET_NAMES"]
+
+_FACTORIES: dict[str, Callable[..., Dataset]] = {
+    "isolet": make_isolet,
+    "mnist": make_mnist,
+    "face": make_face,
+}
+
+#: the paper's three benchmark datasets
+DATASET_NAMES = tuple(sorted(_FACTORIES))
+
+
+def load_dataset(name: str, **kwargs) -> Dataset:
+    """Build a benchmark dataset by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DATASET_NAMES` (case-insensitive).
+    kwargs:
+        Forwarded to the dataset factory (``n_train``, ``n_test``,
+        ``seed``, ...).
+
+    >>> load_dataset("isolet", n_train=50, n_test=20).d_in
+    617
+    """
+    key = str(name).lower()
+    if key not in _FACTORIES:
+        raise KeyError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    return _FACTORIES[key](**kwargs)

@@ -1,0 +1,124 @@
+"""Feature transforms shared by examples and experiment runners.
+
+The generated datasets already live in [0, 1], but a downstream user
+bringing their own data needs the standard plumbing: range normalization
+fit on the training split, standardization, a split helper, and the noise
+augmentation used by robustness ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_generator
+from repro.utils.validation import check_2d, check_probability
+
+__all__ = [
+    "RangeNormalizer",
+    "Standardizer",
+    "train_test_split",
+    "gaussian_noise_augment",
+]
+
+
+class RangeNormalizer:
+    """Min-max normalization into ``[lo, hi]``, fit on training data.
+
+    Per-feature affine map; constant features map to the range midpoint.
+    """
+
+    def __init__(self, lo: float = 0.0, hi: float = 1.0):
+        if not hi > lo:
+            raise ValueError(f"need hi > lo, got [{lo}, {hi}]")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self._min: np.ndarray | None = None
+        self._span: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "RangeNormalizer":
+        X = check_2d(X, "X").astype(np.float64)
+        self._min = X.min(axis=0)
+        span = X.max(axis=0) - self._min
+        self._span = np.where(span == 0.0, 1.0, span)
+        self._constant = span == 0.0
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self._min is None:
+            raise RuntimeError("RangeNormalizer used before fit()")
+        X = check_2d(X, "X", n_cols=self._min.shape[0]).astype(np.float64)
+        unit = (X - self._min) / self._span
+        unit[:, self._constant] = 0.5
+        out = self.lo + np.clip(unit, 0.0, 1.0) * (self.hi - self.lo)
+        return out
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class Standardizer:
+    """Zero-mean unit-variance standardization, fit on training data."""
+
+    def __init__(self):
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "Standardizer":
+        X = check_2d(X, "X").astype(np.float64)
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        self._std = np.where(std == 0.0, 1.0, std)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self._mean is None:
+            raise RuntimeError("Standardizer used before fit()")
+        X = check_2d(X, "X", n_cols=self._mean.shape[0]).astype(np.float64)
+        return (X - self._mean) / self._std
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.2,
+    *,
+    rng: RngLike = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split ``(X, y)`` into train/test.
+
+    Returns ``(X_train, y_train, X_test, y_test)``.
+    """
+    X = check_2d(X, "X")
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y length mismatch")
+    check_probability(test_fraction, "test_fraction")
+    n_test = int(round(test_fraction * X.shape[0]))
+    if n_test in (0, X.shape[0]):
+        raise ValueError(
+            f"test_fraction={test_fraction} leaves an empty split for "
+            f"{X.shape[0]} samples"
+        )
+    gen = ensure_generator(rng)
+    order = gen.permutation(X.shape[0])
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return X[train_idx], y[train_idx], X[test_idx], y[test_idx]
+
+
+def gaussian_noise_augment(
+    X: np.ndarray,
+    std: float,
+    *,
+    lo: float = 0.0,
+    hi: float = 1.0,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Additive Gaussian feature noise, clipped to ``[lo, hi]`` (copy)."""
+    if std < 0:
+        raise ValueError(f"std must be >= 0, got {std}")
+    X = check_2d(X, "X").astype(np.float64)
+    gen = ensure_generator(rng)
+    return np.clip(X + gen.normal(0.0, std, size=X.shape), lo, hi)

@@ -1,0 +1,48 @@
+"""Experiment runners: one module per paper figure/table.
+
+Each module exposes ``run(...)`` returning a result dataclass with
+``to_table()`` / ``to_tables()`` renderers; the benchmark suite under
+``benchmarks/`` times the runs and prints the tables.  All runners accept
+size parameters with reduced, minutes-scale defaults — pass the
+paper-scale values documented in each docstring to reproduce the exact
+setup.
+
+* :mod:`repro.experiments.fig2_reconstruction` — Fig. 2
+* :mod:`repro.experiments.fig3_information` — Fig. 3(a,b)
+* :mod:`repro.experiments.fig4_retraining` — Fig. 4
+* :mod:`repro.experiments.fig5_quantization` — Fig. 5(a,b)
+* :mod:`repro.experiments.fig6_obfuscation` — Fig. 6
+* :mod:`repro.experiments.fig8_dp_training` — Fig. 8(a-d)
+* :mod:`repro.experiments.fig9_inference_privacy` — Fig. 9(a,b)
+* :mod:`repro.experiments.table1_platforms` — Table I
+* :mod:`repro.experiments.hw_approx` — §III-D ablation (Eq. 15 claims)
+"""
+
+from repro.experiments import (
+    fig2_reconstruction,
+    fig3_information,
+    fig4_retraining,
+    fig5_quantization,
+    fig6_obfuscation,
+    fig8_dp_training,
+    fig9_inference_privacy,
+    hw_approx,
+    table1_platforms,
+)
+from repro.experiments.common import PreparedDataset, ascii_image, clear_cache, prepare
+
+__all__ = [
+    "prepare",
+    "clear_cache",
+    "PreparedDataset",
+    "ascii_image",
+    "fig2_reconstruction",
+    "fig3_information",
+    "fig4_retraining",
+    "fig5_quantization",
+    "fig6_obfuscation",
+    "fig8_dp_training",
+    "fig9_inference_privacy",
+    "table1_platforms",
+    "hw_approx",
+]

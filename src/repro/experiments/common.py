@@ -1,0 +1,128 @@
+"""Shared plumbing for the per-figure experiment runners.
+
+Every runner works from a :class:`PreparedDataset`: the dataset, a
+codebook-seeded encoder matched to its feature range, the train/test
+encodings, and the plain (non-private) HD model.  Preparation is cached
+per parameter tuple because several figures reuse the same trained
+baseline.
+
+All runners accept explicit size parameters with *reduced* defaults so
+the benchmark suite completes in minutes; passing the paper-scale values
+(``d_hv=10000``, full split sizes) reproduces the exact experimental
+setup on a workstation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data import Dataset, load_dataset
+from repro.hd import HDModel, ScalarBaseEncoder
+
+__all__ = ["PreparedDataset", "prepare", "clear_cache", "ascii_image"]
+
+
+@dataclass
+class PreparedDataset:
+    """A dataset plus everything the experiments derive from it once.
+
+    Attributes
+    ----------
+    dataset:
+        The generated dataset.
+    encoder:
+        Scalar×base encoder over the dataset's feature range.
+    H_train, H_test:
+        Full-precision encodings of the two splits (float32).
+    model:
+        Plain single-pass HD model (Eq. 3), the non-private baseline.
+    """
+
+    dataset: Dataset
+    encoder: ScalarBaseEncoder
+    H_train: np.ndarray
+    H_test: np.ndarray
+    model: HDModel
+
+    @property
+    def baseline_accuracy(self) -> float:
+        """Test accuracy of the plain full-precision model."""
+        return self.model.accuracy(self.H_test, self.dataset.y_test)
+
+
+_CACHE: dict[tuple, PreparedDataset] = {}
+
+
+def prepare(
+    name: str,
+    *,
+    d_hv: int = 4000,
+    n_train: int = 2000,
+    n_test: int = 500,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> PreparedDataset:
+    """Load a dataset and train the plain baseline once (cached).
+
+    Parameters
+    ----------
+    name:
+        ``"isolet"``, ``"mnist"`` or ``"face"``.
+    d_hv:
+        Hypervector dimensionality (paper: 10,000; default reduced).
+    n_train, n_test:
+        Split sizes (paper: dataset-dependent; defaults reduced).
+    seed:
+        Root seed shared by the dataset generator and the codebooks.
+    use_cache:
+        Reuse a previous preparation with identical parameters.
+    """
+    key = (name, d_hv, n_train, n_test, seed)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    ds = load_dataset(name, n_train=n_train, n_test=n_test, seed=seed)
+    encoder = ScalarBaseEncoder(
+        ds.d_in, d_hv, lo=ds.lo, hi=ds.hi, seed=seed + 1
+    )
+    H_train = encoder.encode(ds.X_train)
+    H_test = encoder.encode(ds.X_test)
+    model = HDModel.from_encodings(H_train, ds.y_train, ds.n_classes)
+    out = PreparedDataset(
+        dataset=ds,
+        encoder=encoder,
+        H_train=H_train,
+        H_test=H_test,
+        model=model,
+    )
+    if use_cache:
+        _CACHE[key] = out
+    return out
+
+
+def clear_cache() -> None:
+    """Drop all cached preparations (tests use this for isolation)."""
+    _CACHE.clear()
+
+
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def ascii_image(image: np.ndarray, *, width: int | None = None) -> str:
+    """Render a grayscale image in [0, 1] as ASCII art (Fig. 2 display).
+
+    Rows are subsampled 2:1 vertically to compensate for terminal cell
+    aspect ratio.
+    """
+    img = np.clip(np.asarray(image, dtype=np.float64), 0.0, 1.0)
+    if img.ndim != 2:
+        raise ValueError(f"image must be 2-D, got shape {img.shape}")
+    if width is not None and width < img.shape[1]:
+        step = int(np.ceil(img.shape[1] / width))
+        img = img[:, ::step]
+    rows = []
+    for r in img[::2]:
+        idx = np.minimum((r * len(_ASCII_RAMP)).astype(int), len(_ASCII_RAMP) - 1)
+        rows.append("".join(_ASCII_RAMP[i] for i in idx))
+    return "\n".join(rows)

@@ -1,0 +1,116 @@
+"""Fig. 5 — accuracy/sensitivity trade-off of encoding quantization.
+
+Panel (a): test accuracy of models trained with bipolar / ternary /
+biased-ternary / 2-bit *encoding* quantization (class hypervectors stay
+full precision), swept over dimensionality via pruning + retraining.
+
+Panel (b): the corresponding Eq. (14) ℓ2 sensitivities — the quantity the
+DP noise is calibrated to.  The ordering the paper reports (2-bit >
+bipolar > ternary > biased ternary) holds at every dimensionality, and
+pruning scales everything by √Dhv.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dp_trainer import quantize_masked
+from repro.core.sensitivity import l2_sensitivity_quantized
+from repro.experiments.common import prepare
+from repro.hd import HDModel, get_quantizer, prune_model, retrain
+from repro.utils.tables import ResultTable
+
+__all__ = ["Fig5Result", "run", "QUANTIZERS"]
+
+#: the four schemes of Fig. 5
+QUANTIZERS = ("bipolar", "ternary", "ternary-biased", "2bit")
+
+
+@dataclass
+class Fig5Result:
+    """Accuracy and sensitivity series per quantizer.
+
+    ``accuracy[q][i]`` / ``sensitivity[q][i]`` correspond to
+    ``dims_list[i]`` live dimensions.
+    """
+
+    dims_list: tuple[int, ...]
+    accuracy: dict[str, list[float]]
+    sensitivity: dict[str, list[float]]
+    full_precision_accuracy: float
+
+    def to_tables(self) -> tuple[ResultTable, ResultTable]:
+        t_acc = ResultTable(
+            "Fig.5a accuracy vs dimensions (encoding quantization)",
+            ["dims"] + list(self.accuracy),
+        )
+        t_sens = ResultTable(
+            "Fig.5b L2 sensitivity vs dimensions (Eq. 14)",
+            ["dims"] + list(self.sensitivity),
+        )
+        for i, d in enumerate(self.dims_list):
+            t_acc.add_row([d] + [self.accuracy[q][i] for q in self.accuracy])
+            t_sens.add_row(
+                [d] + [self.sensitivity[q][i] for q in self.sensitivity]
+            )
+        return t_acc, t_sens
+
+
+def run(
+    *,
+    dataset: str = "isolet",
+    dims_list: tuple[int, ...] = (1000, 2000, 3000, 4000),
+    quantizers: tuple[str, ...] = QUANTIZERS,
+    d_hv: int = 4000,
+    n_train: int = 2000,
+    n_test: int = 500,
+    retrain_epochs: int = 2,
+    seed: int = 0,
+) -> Fig5Result:
+    """Run the Fig. 5 sweep.
+
+    Paper scale: ``dims_list=(1000, ..., 10000)``, ``d_hv=10000``.
+    """
+    if max(dims_list) > d_hv:
+        raise ValueError(f"dims_list exceeds codebook size {d_hv}")
+    prep = prepare(
+        dataset, d_hv=d_hv, n_train=n_train, n_test=n_test, seed=seed
+    )
+    ds = prep.dataset
+    accuracy: dict[str, list[float]] = {q: [] for q in quantizers}
+    sensitivity: dict[str, list[float]] = {q: [] for q in quantizers}
+
+    for name in quantizers:
+        quantizer = get_quantizer(name)
+        Hq_full = quantizer(prep.H_train)
+        base_model = HDModel.from_encodings(Hq_full, ds.y_train, ds.n_classes)
+        for dims in dims_list:
+            if dims < d_hv:
+                pruned, keep = prune_model(base_model, 1.0 - dims / d_hv)
+            else:
+                pruned, keep = base_model, np.ones(d_hv, dtype=bool)
+            Hq_train = quantize_masked(prep.H_train, keep, quantizer)
+            Hq_test = quantize_masked(prep.H_test, keep, quantizer)
+            model = HDModel.from_encodings(
+                Hq_train, ds.y_train, ds.n_classes
+            ).masked(keep)
+            if retrain_epochs > 0:
+                model, _ = retrain(
+                    model,
+                    Hq_train,
+                    ds.y_train,
+                    epochs=retrain_epochs,
+                    keep_mask=keep,
+                    rng=seed + 3,
+                )
+            accuracy[name].append(model.accuracy(Hq_test, ds.y_test))
+            sensitivity[name].append(l2_sensitivity_quantized(name, dims))
+
+    return Fig5Result(
+        dims_list=tuple(dims_list),
+        accuracy=accuracy,
+        sensitivity=sensitivity,
+        full_precision_accuracy=prep.baseline_accuracy,
+    )

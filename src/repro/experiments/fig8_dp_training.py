@@ -1,0 +1,182 @@
+"""Fig. 8 — differentially private training across ε, dimensions, data size.
+
+Panels (a)–(c): for each dataset and its paper ε pair (ISOLET: 8/9,
+FACE: 0.5/1, MNIST: 1/2; δ = 1e-5 throughout), sweep the pruned model
+dimensionality and measure private-model accuracy.  The trade-off the
+paper highlights appears as an interior optimum: more dimensions raise
+the noiseless accuracy but also the √Dhv sensitivity (hence the noise).
+
+Panel (d): fix the best configuration for FACE and sweep the training-set
+size — class values grow with the number of bundled encodings while the
+DP noise stays fixed, so more data "buries" the noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dp_trainer import DPTrainer, DPTrainingConfig
+from repro.experiments.common import prepare
+from repro.utils.tables import ResultTable
+
+__all__ = [
+    "Fig8SweepResult",
+    "Fig8DataSizeResult",
+    "run_dims_sweep",
+    "run_datasize_sweep",
+    "PAPER_EPSILONS",
+]
+
+#: the per-dataset ε pairs of Fig. 8(a)-(c)
+PAPER_EPSILONS: dict[str, tuple[float, float]] = {
+    "isolet": (8.0, 9.0),
+    "face": (0.5, 1.0),
+    "mnist": (1.0, 2.0),
+}
+
+
+@dataclass
+class Fig8SweepResult:
+    """Private accuracy over (ε, dims), plus the non-private reference."""
+
+    dataset: str
+    dims_list: tuple[int, ...]
+    epsilons: tuple[float, ...]
+    accuracy: dict[float, list[float]]
+    baseline_accuracy: float
+
+    def best(self, epsilon: float) -> tuple[int, float]:
+        """(dims, accuracy) of the best point for this ε — the paper's
+        'optimal number of dimensions'."""
+        accs = self.accuracy[epsilon]
+        i = int(np.argmax(accs))
+        return self.dims_list[i], accs[i]
+
+    def to_table(self) -> ResultTable:
+        headers = ["dims"] + [f"eps {e:g}" for e in self.epsilons]
+        table = ResultTable(
+            f"Fig.8 DP accuracy vs dims ({self.dataset}, "
+            f"non-private={self.baseline_accuracy:.3f})",
+            headers,
+        )
+        for i, d in enumerate(self.dims_list):
+            table.add_row([d] + [self.accuracy[e][i] for e in self.epsilons])
+        return table
+
+
+@dataclass
+class Fig8DataSizeResult:
+    """Panel (d): private accuracy vs normalized training-set size."""
+
+    dataset: str
+    fractions: tuple[float, ...]
+    accuracy: list[float]
+    epsilon: float
+
+    def to_table(self) -> ResultTable:
+        table = ResultTable(
+            f"Fig.8d DP accuracy vs data size ({self.dataset}, "
+            f"eps={self.epsilon:g})",
+            ["train_fraction", "accuracy"],
+        )
+        for f, a in zip(self.fractions, self.accuracy):
+            table.add_row([f, a])
+        return table
+
+
+def run_dims_sweep(
+    *,
+    dataset: str = "face",
+    epsilons: tuple[float, ...] | None = None,
+    dims_list: tuple[int, ...] = (500, 1000, 2000, 4000),
+    d_hv: int = 4000,
+    n_train: int = 3000,
+    n_test: int = 600,
+    quantizer: str = "ternary-biased",
+    retrain_epochs: int = 2,
+    seed: int = 0,
+) -> Fig8SweepResult:
+    """Panels (a)–(c) for one dataset.
+
+    Paper scale: ``d_hv=10000``, ``dims_list=(1000, ..., 10000)``, full
+    training splits (the DP signal-to-noise grows with data volume, so
+    small ``n_train`` shifts all curves down — see panel d).
+    """
+    if epsilons is None:
+        epsilons = PAPER_EPSILONS[dataset]
+    if max(dims_list) > d_hv:
+        raise ValueError(f"dims_list exceeds codebook size {d_hv}")
+    prep = prepare(
+        dataset, d_hv=d_hv, n_train=n_train, n_test=n_test, seed=seed
+    )
+    ds = prep.dataset
+    accuracy: dict[float, list[float]] = {e: [] for e in epsilons}
+    for eps in epsilons:
+        for dims in dims_list:
+            config = DPTrainingConfig(
+                epsilon=eps,
+                d_hv=d_hv,
+                effective_dims=dims if dims < d_hv else None,
+                quantizer=quantizer,
+                retrain_epochs=retrain_epochs,
+                seed=seed,
+                noise_seed=seed + int(eps * 1000) + dims,
+            )
+            result = DPTrainer(config).fit(
+                ds.X_train,
+                ds.y_train,
+                ds.n_classes,
+                encoder=prep.encoder,
+                encodings=prep.H_train,
+            )
+            accuracy[eps].append(result.accuracy(ds.X_test, ds.y_test))
+    return Fig8SweepResult(
+        dataset=dataset,
+        dims_list=tuple(dims_list),
+        epsilons=tuple(epsilons),
+        accuracy=accuracy,
+        baseline_accuracy=prep.baseline_accuracy,
+    )
+
+
+def run_datasize_sweep(
+    *,
+    dataset: str = "face",
+    epsilon: float = 1.0,
+    fractions: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0),
+    dims: int = 2000,
+    d_hv: int = 4000,
+    n_train: int = 3000,
+    n_test: int = 600,
+    quantizer: str = "ternary-biased",
+    seed: int = 0,
+) -> Fig8DataSizeResult:
+    """Panel (d): fix ε and dims, subsample the training set."""
+    prep = prepare(
+        dataset, d_hv=d_hv, n_train=n_train, n_test=n_test, seed=seed
+    )
+    ds = prep.dataset
+    accuracy = []
+    for frac in fractions:
+        sub = ds.subsample_train(frac, rng=seed + int(frac * 1000))
+        config = DPTrainingConfig(
+            epsilon=epsilon,
+            d_hv=d_hv,
+            effective_dims=dims if dims < d_hv else None,
+            quantizer=quantizer,
+            retrain_epochs=2,
+            seed=seed,
+            noise_seed=seed + int(frac * 997),
+        )
+        result = DPTrainer(config).fit(
+            sub.X_train, sub.y_train, ds.n_classes, encoder=prep.encoder
+        )
+        accuracy.append(result.accuracy(ds.X_test, ds.y_test))
+    return Fig8DataSizeResult(
+        dataset=dataset,
+        fractions=tuple(fractions),
+        accuracy=accuracy,
+        epsilon=epsilon,
+    )

@@ -1,0 +1,124 @@
+"""Table I — Prive-HD on FPGA vs Raspberry Pi vs GPU.
+
+Prints model-predicted throughput (inputs/s) and energy (J/input) for the
+three benchmarks on the three platforms, side by side with the paper's
+measured numbers, plus the cross-platform factors the paper headlines
+(FPGA ≈ 10⁵× Raspberry Pi and ≈ 15.8× GPU in throughput; ≈ 5×10⁴× and
+≈ 288× in energy).  The platform models and their calibration are
+described in :mod:`repro.hardware.platforms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.platforms import (
+    GTX_1080_TI,
+    KINTEX_7_PRIVE_HD,
+    PAPER_TABLE_I,
+    RASPBERRY_PI_3,
+    FPGAPlatform,
+    SoftwarePlatform,
+    Workload,
+)
+from repro.utils.tables import ResultTable
+
+__all__ = ["Table1Result", "run", "WORKLOADS"]
+
+#: the paper's three benchmarks at Dhv = 10,000
+WORKLOADS = (
+    Workload("isolet", 617, 10000, 26),
+    Workload("face", 608, 10000, 2),
+    Workload("mnist", 784, 10000, 10),
+)
+
+_PLATFORMS: tuple[SoftwarePlatform | FPGAPlatform, ...] = (
+    RASPBERRY_PI_3,
+    GTX_1080_TI,
+    KINTEX_7_PRIVE_HD,
+)
+
+
+@dataclass
+class Table1Result:
+    """Model vs paper numbers for every (benchmark, platform) cell."""
+
+    throughput: dict[str, dict[str, float]]
+    energy: dict[str, dict[str, float]]
+
+    def mean_factor(
+        self, platform_a: str, platform_b: str, metric: str = "throughput"
+    ) -> float:
+        """Geometric-mean cross-platform factor over the benchmarks."""
+        table = self.throughput if metric == "throughput" else self.energy
+        ratios = [
+            table[wl.name][platform_a] / table[wl.name][platform_b]
+            for wl in WORKLOADS
+        ]
+        return float(np.exp(np.mean(np.log(ratios))))
+
+    def to_table(self) -> ResultTable:
+        table = ResultTable(
+            "Table I: throughput (inputs/s) and energy (J/input)",
+            [
+                "benchmark",
+                "platform",
+                "thr (model)",
+                "thr (paper)",
+                "J (model)",
+                "J (paper)",
+            ],
+        )
+        for wl in WORKLOADS:
+            for plat in _PLATFORMS:
+                paper_thr, paper_j = PAPER_TABLE_I[wl.name][plat.name]
+                table.add_row(
+                    [
+                        wl.name,
+                        plat.name,
+                        self.throughput[wl.name][plat.name],
+                        paper_thr,
+                        self.energy[wl.name][plat.name],
+                        paper_j,
+                    ]
+                )
+        return table
+
+    def factors_table(self) -> ResultTable:
+        fpga, gpu, rpi = (
+            KINTEX_7_PRIVE_HD.name,
+            GTX_1080_TI.name,
+            RASPBERRY_PI_3.name,
+        )
+        table = ResultTable(
+            "Table I headline factors (geometric mean over benchmarks)",
+            ["factor", "model", "paper"],
+        )
+        table.add_row(
+            ["FPGA/RPi throughput", self.mean_factor(fpga, rpi), 105067.0]
+        )
+        table.add_row(
+            ["FPGA/GPU throughput", self.mean_factor(fpga, gpu), 15.8]
+        )
+        table.add_row(
+            ["RPi/FPGA energy", self.mean_factor(rpi, fpga, "energy"), 52896.0]
+        )
+        table.add_row(
+            ["GPU/FPGA energy", self.mean_factor(gpu, fpga, "energy"), 288.0]
+        )
+        return table
+
+
+def run() -> Table1Result:
+    """Evaluate every platform model on every benchmark workload."""
+    throughput: dict[str, dict[str, float]] = {}
+    energy: dict[str, dict[str, float]] = {}
+    for wl in WORKLOADS:
+        throughput[wl.name] = {}
+        energy[wl.name] = {}
+        for plat in _PLATFORMS:
+            throughput[wl.name][plat.name] = plat.throughput(wl)
+            energy[wl.name][plat.name] = plat.energy_per_input(wl)
+    return Table1Result(throughput=throughput, energy=energy)

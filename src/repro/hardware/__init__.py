@@ -1,0 +1,98 @@
+"""FPGA datapath and platform models (Section III-D / IV-C of the paper).
+
+* :mod:`repro.hardware.lut` — LUT-6 majority primitive with predetermined
+  tie-breaks;
+* :mod:`repro.hardware.majority` — the Fig. 7(a) approximate-majority
+  bipolar datapath (bit-accurate);
+* :mod:`repro.hardware.adder_tree` — the Fig. 7(b) saturated ternary
+  accumulation tree (bit-accurate);
+* :mod:`repro.hardware.cost_model` — Eq. (15) LUT counts and savings;
+* :mod:`repro.hardware.accelerator` — end-to-end encoder datapath sim;
+* :mod:`repro.hardware.platforms` — Table I throughput/energy models.
+"""
+
+from repro.hardware.accelerator import AcceleratorReport, EncoderAccelerator
+from repro.hardware.adder_tree import (
+    TERNARY_STAGE1_GROUP,
+    exact_ternary_sum,
+    saturated_ternary_tree,
+)
+from repro.hardware.cost_model import (
+    bipolar_lut_saving,
+    lut_exact_adder_tree,
+    lut_majority_first_stage,
+    lut_majority_series,
+    lut_ternary_exact,
+    lut_ternary_saturated,
+    ternary_lut_saving,
+)
+from repro.hardware.lut import (
+    LUT_INPUTS,
+    group_into_luts,
+    majority_lut,
+    tie_break_pattern,
+)
+from repro.hardware.majority import approximate_majority, exact_majority
+from repro.hardware.platforms import (
+    GTX_1080_TI,
+    KINTEX_7_PRIVE_HD,
+    PAPER_TABLE_I,
+    RASPBERRY_PI_3,
+    FPGAPlatform,
+    SoftwarePlatform,
+    Workload,
+)
+from repro.hardware.report import (
+    KINTEX_7_XC7K325T,
+    FPGADevice,
+    ResourceReport,
+    estimate_resources,
+)
+from repro.hardware.rtl import (
+    RTLBundle,
+    generate_majority_module,
+    generate_rtl_bundle,
+    generate_ternary_module,
+    generate_ternary_testbench,
+    generate_testbench,
+    majority_lut_init,
+)
+
+__all__ = [
+    "EncoderAccelerator",
+    "AcceleratorReport",
+    "approximate_majority",
+    "exact_majority",
+    "exact_ternary_sum",
+    "saturated_ternary_tree",
+    "TERNARY_STAGE1_GROUP",
+    "LUT_INPUTS",
+    "majority_lut",
+    "group_into_luts",
+    "tie_break_pattern",
+    "lut_exact_adder_tree",
+    "lut_majority_first_stage",
+    "lut_majority_series",
+    "lut_ternary_exact",
+    "lut_ternary_saturated",
+    "bipolar_lut_saving",
+    "ternary_lut_saving",
+    "Workload",
+    "SoftwarePlatform",
+    "FPGAPlatform",
+    "RASPBERRY_PI_3",
+    "GTX_1080_TI",
+    "KINTEX_7_PRIVE_HD",
+    "PAPER_TABLE_I",
+    "RTLBundle",
+    "generate_majority_module",
+    "generate_testbench",
+    "generate_ternary_module",
+    "generate_ternary_testbench",
+    "generate_rtl_bundle",
+    "majority_lut_init",
+    "FPGADevice",
+    "KINTEX_7_XC7K325T",
+    "ResourceReport",
+    "estimate_resources",
+]

@@ -1,0 +1,103 @@
+"""Ternary accumulation trees — Fig. 7(b) of the paper.
+
+Ternary-quantized hypervector streams have dimensions in {−1, 0, +1}
+(two bits).  Accumulating ``div`` such values exactly needs a growing
+bit-width (≈ 3·div LUT-6); the paper's saturated tree instead:
+
+* first stage: three ternary inputs per LUT-6 triple → exact 3-bit sum
+  in [−3, +3] (three dimensions of 2 bits each fit the 6 inputs);
+* later stages: pairwise adders that keep a *fixed 3-bit width* by
+  truncating the least-significant bit of each output (i.e. the partial
+  sums are re-scaled by ½ per stage) and saturating to the 3-bit range.
+
+The functional simulation tracks the implicit power-of-two scale so the
+final value can be compared against the exact accumulation; the
+approximation error is graceful (truncation) rather than catastrophic
+(overflow wrap-around), which is exactly the design's point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "exact_ternary_sum",
+    "saturated_ternary_tree",
+    "TERNARY_STAGE1_GROUP",
+]
+
+#: ternary inputs packed into one first-stage LUT-6 group (2 bits each)
+TERNARY_STAGE1_GROUP = 3
+
+_SAT_MIN, _SAT_MAX = -4, 3  # 3-bit two's complement range
+
+
+def _check_ternary(values: np.ndarray) -> np.ndarray:
+    v = np.asarray(values)
+    if v.ndim != 2:
+        raise ValueError(
+            f"values must be 2-D (n_inputs, d_hv), got shape {v.shape}"
+        )
+    if not np.all(np.isin(v, (-1, 0, 1))):
+        raise ValueError("values must be ternary (-1/0/+1)")
+    return v.astype(np.int32, copy=False)
+
+
+def exact_ternary_sum(values: np.ndarray) -> np.ndarray:
+    """Reference full-precision column sums of a ternary matrix."""
+    return _check_ternary(values).sum(axis=0, dtype=np.int64)
+
+
+def saturated_ternary_tree(values: np.ndarray) -> np.ndarray:
+    """Fig. 7(b) saturated accumulation, rescaled to the exact-sum scale.
+
+    Parameters
+    ----------
+    values:
+        ``(n_inputs, d_hv)`` ternary matrix; columns are accumulated
+        independently (one tree per output dimension).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(d_hv,)`` float estimates of the column sums: the 3-bit tree
+        outputs multiplied back by the accumulated truncation scale, so
+        they are directly comparable with :func:`exact_ternary_sum`.
+    """
+    v = _check_ternary(values)
+    n = v.shape[0]
+
+    # Stage 1: exact 3-way sums (one LUT-6 triple per group, paper Fig 7b).
+    n_groups = n // TERNARY_STAGE1_GROUP
+    split = n_groups * TERNARY_STAGE1_GROUP
+    partial = v[:split].reshape(n_groups, TERNARY_STAGE1_GROUP, -1).sum(axis=1)
+    if split < n:
+        # Leftover (<3) inputs form one shallower group.
+        partial = np.vstack([partial, v[split:].sum(axis=0, keepdims=True)])
+
+    # Later stages: pairwise 3-bit saturated adders, truncating the LSB.
+    # Plain floor truncation loses −0.25 per adder and the error is
+    # re-amplified by the ×2 rescale of every later stage, which would
+    # bury small sums under a large negative bias.  The standard hardware
+    # fix (free on an FPGA carry chain) is to feed a carry-in that
+    # alternates per stage, cancelling the truncation bias on average.
+    scale = 1.0
+    stage = 0
+    while partial.shape[0] > 1:
+        carry = stage & 1
+        m = partial.shape[0]
+        half = m // 2
+        a = partial[0 : 2 * half : 2]
+        b = partial[1 : 2 * half : 2]
+        reduced = np.clip((a + b + carry) >> 1, _SAT_MIN, _SAT_MAX)
+        if m % 2:
+            # Odd element passes through a width-matching >>1 as well, so
+            # every stage output shares one scale.
+            carried = np.clip((partial[-1:] + carry) >> 1, _SAT_MIN, _SAT_MAX)
+            partial = np.vstack([reduced, carried])
+        else:
+            partial = reduced
+        scale *= 2.0
+        stage += 1
+
+    return partial[0].astype(np.float64) * scale

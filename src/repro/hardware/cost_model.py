@@ -1,0 +1,81 @@
+"""LUT-count cost models — Eq. (15) and the §III-D savings claims.
+
+Per encoded output dimension, summing ``div`` one-bit addends costs:
+
+* exact adder tree: ``≈ 4/3 · div`` LUT-6 (the paper's baseline, from the
+  SparseHD implementation [18]);
+* majority-first-stage approximation (Eq. 15):
+
+      n_LUT6 = div/6 + (1/6) Σ_{i=1}^{log div} (div/3) · i / 2^{i−1}
+             ≈ 7/18 · div
+
+  — a 70.8% reduction.
+
+For ternary streams (2-bit dimensions):
+
+* exact tree: ``≈ 3 · div`` LUT-6;
+* saturated 3-bit tree: ``≈ 2 · div`` LUT-6 — a 33.3% reduction.
+
+Both the closed forms and the exact series are provided so tests can pin
+the asymptotic constants the paper quotes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "lut_exact_adder_tree",
+    "lut_majority_first_stage",
+    "lut_majority_series",
+    "lut_ternary_exact",
+    "lut_ternary_saturated",
+    "bipolar_lut_saving",
+    "ternary_lut_saving",
+]
+
+
+def lut_exact_adder_tree(div: int) -> float:
+    """LUT-6 count of the exact 1-bit adder tree: 4/3·div (per [18])."""
+    check_positive_int(div, "div")
+    return 4.0 * div / 3.0
+
+
+def lut_majority_series(div: int) -> float:
+    """The exact Eq. (15) series (before the 7/18·div simplification)."""
+    check_positive_int(div, "div")
+    n_stages = max(1, int(np.ceil(np.log2(div))))
+    series = sum(
+        (div / 3.0) * i / 2.0 ** (i - 1) for i in range(1, n_stages + 1)
+    )
+    return div / 6.0 + series / 6.0
+
+
+def lut_majority_first_stage(div: int) -> float:
+    """Closed-form Eq. (15): ``≈ 7/18 · div`` LUT-6."""
+    check_positive_int(div, "div")
+    return 7.0 * div / 18.0
+
+
+def lut_ternary_exact(div: int) -> float:
+    """LUT-6 count of the exact ternary accumulation tree: ≈ 3·div."""
+    check_positive_int(div, "div")
+    return 3.0 * div
+
+
+def lut_ternary_saturated(div: int) -> float:
+    """LUT-6 count of the Fig. 7(b) saturated ternary tree: ≈ 2·div."""
+    check_positive_int(div, "div")
+    return 2.0 * div
+
+
+def bipolar_lut_saving(div: int = 617) -> float:
+    """Fractional LUT saving of Eq. (15) vs the exact tree (paper: 70.8%)."""
+    return 1.0 - lut_majority_first_stage(div) / lut_exact_adder_tree(div)
+
+
+def ternary_lut_saving(div: int = 617) -> float:
+    """Fractional LUT saving of the saturated ternary tree (paper: 33.3%)."""
+    return 1.0 - lut_ternary_saturated(div) / lut_ternary_exact(div)

@@ -1,0 +1,99 @@
+"""LUT-6 primitive models — the building block of Section III-D.
+
+Xilinx 7-series FPGAs implement logic in 6-input look-up tables (LUT-6).
+The paper's key hardware idea is that a LUT-6 can compute the *majority*
+of six bits in one primitive, so the first stage of the div-input
+popcount that dominates HD encoding can be collapsed from a 6-input
+adder (several LUTs) into a single LUT per 6-bit group.
+
+Bits are represented in the bipolar domain (−1/+1) at the API boundary —
+the paper notes "we can represent −1 by 0, and +1 by 1 in hardware, as it
+does not change the logic" — so the majority of a group is just the sign
+of its sum, with ties broken by a *predetermined* per-LUT pattern (each
+LUT's truth table is fixed at synthesis; there is no runtime randomness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "LUT_INPUTS",
+    "majority_lut",
+    "tie_break_pattern",
+    "group_into_luts",
+]
+
+#: fan-in of a Xilinx 7-series LUT
+LUT_INPUTS = 6
+
+
+def tie_break_pattern(n_luts: int, *, seed: int = 0) -> np.ndarray:
+    """The fixed ±1 tie-break value of each majority LUT.
+
+    "In the case an LUT has equal number of 0 and 1 inputs, it breaks the
+    tie randomly (predetermined)" — i.e. each LUT's truth table encodes a
+    fixed tie outcome chosen at synthesis time.  A deterministic pattern
+    derived from ``seed`` models exactly that.
+    """
+    check_positive_int(n_luts, "n_luts")
+    rng = np.random.default_rng(seed)
+    return (rng.integers(0, 2, size=n_luts, dtype=np.int8) * 2 - 1).astype(np.int8)
+
+
+def group_into_luts(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split a ``(n_inputs, ...)`` array into LUT groups of six.
+
+    Returns ``(groups, remainder)`` where ``groups`` has shape
+    ``(n_groups, 6, ...)`` and ``remainder`` holds the ≤5 leftover rows
+    (fed directly into the next stage, as a synthesizer would pack them
+    into a smaller LUT).
+    """
+    values = np.asarray(values)
+    n = values.shape[0]
+    n_groups = n // LUT_INPUTS
+    split = n_groups * LUT_INPUTS
+    groups = values[:split].reshape(n_groups, LUT_INPUTS, *values.shape[1:])
+    remainder = values[split:]
+    return groups, remainder
+
+
+def majority_lut(
+    groups: np.ndarray, ties: np.ndarray | None = None, *, seed: int = 0
+) -> np.ndarray:
+    """Majority vote of each 6-input LUT group, in the bipolar domain.
+
+    Parameters
+    ----------
+    groups:
+        ``(n_groups, 6, ...)`` bipolar array (as produced by
+        :func:`group_into_luts`).
+    ties:
+        Optional ``(n_groups,)`` fixed tie-break values; generated from
+        ``seed`` when omitted.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_groups, ...)`` bipolar majority outputs.
+    """
+    groups = np.asarray(groups)
+    if groups.ndim < 2 or groups.shape[1] != LUT_INPUTS:
+        raise ValueError(
+            f"groups must have shape (n, {LUT_INPUTS}, ...), got {groups.shape}"
+        )
+    n_groups = groups.shape[0]
+    if ties is None:
+        ties = tie_break_pattern(n_groups, seed=seed)
+    else:
+        ties = np.asarray(ties, dtype=np.int8)
+        if ties.shape[0] != n_groups:
+            raise ValueError(
+                f"ties must have length {n_groups}, got {ties.shape[0]}"
+            )
+    sums = groups.sum(axis=1, dtype=np.int32)
+    out = np.sign(sums).astype(np.int8)
+    tie_shape = (n_groups,) + (1,) * (out.ndim - 1)
+    return np.where(out == 0, ties.reshape(tie_shape), out).astype(np.int8)

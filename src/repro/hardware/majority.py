@@ -1,0 +1,110 @@
+"""The approximate majority datapath of Fig. 7(a).
+
+Bipolar-quantized encoding computes, per output dimension,
+
+    sign( Σ_{k<div} A_k )        with A_k = L_{q_k} ⊙ B_k ∈ {−1, +1}
+
+i.e. a div-input majority.  The exact implementation is an adder tree
+(≈ 4/3·div LUT-6 per dimension).  The paper's approximation replaces the
+*first stage* with 6-input majority LUTs — each group of six addends
+collapses to one bit — and sums the resulting div/6 bits exactly:
+
+    sign( Σ_groups majority6(group) )
+
+This discards the within-group magnitudes (a 6-0 group counts the same as
+a 4-2 group), which is why it is approximate; using majority LUTs in
+*more* stages compounds the approximation and, as the paper notes,
+degrades accuracy — :func:`approximate_majority` exposes ``stages`` so the
+ablation benchmark can show exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.lut import group_into_luts, majority_lut, tie_break_pattern
+from repro.utils.validation import check_positive_int
+
+__all__ = ["exact_majority", "approximate_majority"]
+
+
+def _as_addends(addends: np.ndarray) -> np.ndarray:
+    a = np.asarray(addends)
+    if a.ndim != 2:
+        raise ValueError(
+            f"addends must be 2-D (n_inputs, d_hv), got shape {a.shape}"
+        )
+    if not np.all(np.abs(a) == 1):
+        raise ValueError("addends must be bipolar (-1/+1)")
+    return a.astype(np.int8, copy=False)
+
+
+def exact_majority(addends: np.ndarray, *, tie: int = 1) -> np.ndarray:
+    """Reference div-input majority: sign of the exact column sums.
+
+    Parameters
+    ----------
+    addends:
+        ``(div, d_hv)`` bipolar addend matrix (one column per output
+        dimension, e.g. from ``LevelBaseEncoder.encode_addends``).
+    tie:
+        Sign assigned to exact-zero sums (+1 by default, matching
+        :func:`repro.hd.hypervector.to_bipolar`).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(d_hv,)`` bipolar outputs.
+    """
+    a = _as_addends(addends)
+    if tie not in (-1, 1):
+        raise ValueError(f"tie must be -1 or +1, got {tie}")
+    sums = a.sum(axis=0, dtype=np.int32)
+    out = np.sign(sums).astype(np.int8)
+    return np.where(out == 0, np.int8(tie), out).astype(np.int8)
+
+
+def approximate_majority(
+    addends: np.ndarray,
+    *,
+    stages: int = 1,
+    tie_seed: int = 0,
+) -> np.ndarray:
+    """Fig. 7(a): majority LUTs for ``stages`` stages, then exact summing.
+
+    Parameters
+    ----------
+    addends:
+        ``(div, d_hv)`` bipolar addend matrix.
+    stages:
+        Number of leading majority-LUT stages.  The paper uses one ("we
+        use majority LUTs only in the first stage"); values > 1 model the
+        aggressive variant whose accuracy loss the paper warns about, and
+        0 reduces to :func:`exact_majority`.
+    tie_seed:
+        Seed of the predetermined per-LUT tie-break patterns.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(d_hv,)`` bipolar outputs.
+    """
+    a = _as_addends(addends)
+    check_positive_int(stages + 1, "stages + 1")  # allow stages == 0
+
+    current = a
+    for stage in range(stages):
+        if current.shape[0] < 2 * 6:
+            break  # nothing left worth collapsing
+        groups, remainder = group_into_luts(current)
+        ties = tie_break_pattern(groups.shape[0], seed=tie_seed + stage)
+        votes = majority_lut(groups, ties)
+        current = np.concatenate([votes, remainder], axis=0)
+
+    # Remaining stage(s): exact adder tree + final sign/threshold.  The
+    # final threshold uses the same 0 → +1 convention as exact_majority
+    # (and repro.hd.hypervector.to_bipolar) so that stages=0 is
+    # bit-identical to the exact datapath.
+    sums = current.sum(axis=0, dtype=np.int32)
+    out = np.sign(sums).astype(np.int8)
+    return np.where(out == 0, np.int8(1), out).astype(np.int8)

@@ -1,0 +1,207 @@
+"""Platform throughput/energy models for Table I (§IV-C).
+
+The paper measures inference on three physical platforms:
+
+* Raspberry Pi 3 (3 W, measured with a Hioki 3334 power meter),
+* NVIDIA GTX 1080 Ti (120 W via nvidia-smi),
+* Xilinx Kintex-7 KC705 running Prive-HD (≈7 W via Xilinx Power
+  Estimator).
+
+None of that hardware is available here, so this module provides
+*analytical* models (DESIGN.md §2 documents the substitution):
+
+* the **software platforms** are effective-throughput machines: a
+  platform sustains a measured rate of encode/associative-search
+  operations per second, so ``throughput = rate / ops_per_input``; the
+  rates are calibrated once against Table I (they are the only fitted
+  constants, and their fitted values are printed by the benchmark);
+* the **FPGA** is modelled structurally: Eq. (15) LUT counts set how many
+  output dimensions fit the device per cycle, the pipeline initiation
+  interval follows, and ``throughput = f_clk · dims_per_cycle / Dhv``
+  with a routing/packing efficiency factor.
+
+Energy is power / throughput in every case, exactly as in Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cost_model import (
+    lut_exact_adder_tree,
+    lut_majority_first_stage,
+)
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "Workload",
+    "SoftwarePlatform",
+    "FPGAPlatform",
+    "RASPBERRY_PI_3",
+    "GTX_1080_TI",
+    "KINTEX_7_PRIVE_HD",
+    "PAPER_TABLE_I",
+]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One inference benchmark: its encoder and classifier shape."""
+
+    name: str
+    d_in: int
+    d_hv: int
+    n_classes: int
+
+    def __post_init__(self):
+        check_positive_int(self.d_in, "d_in")
+        check_positive_int(self.d_hv, "d_hv")
+        check_positive_int(self.n_classes, "n_classes")
+
+    @property
+    def ops_per_input(self) -> float:
+        """MAC-equivalent operations per inference on a software platform.
+
+        Encoding is a (d_in × d_hv) product-accumulate; the associative
+        search adds n_classes × d_hv.  Encoding dominates for all three
+        benchmarks.
+        """
+        return float(self.d_in * self.d_hv + self.n_classes * self.d_hv)
+
+
+@dataclass(frozen=True)
+class SoftwarePlatform:
+    """Effective-rate model of a CPU/GPU inference implementation.
+
+    Attributes
+    ----------
+    name:
+        Display name.
+    power_w:
+        Board/package power draw in watts (paper's measured values).
+    effective_ops_per_s:
+        Sustained MAC-equivalent rate, calibrated to Table I.
+    """
+
+    name: str
+    power_w: float
+    effective_ops_per_s: float
+
+    def throughput(self, workload: Workload) -> float:
+        """Inputs processed per second."""
+        return self.effective_ops_per_s / workload.ops_per_input
+
+    def energy_per_input(self, workload: Workload) -> float:
+        """Joules per input = power / throughput (Table I's energy)."""
+        return self.power_w / self.throughput(workload)
+
+
+@dataclass(frozen=True)
+class FPGAPlatform:
+    """Structural throughput model of the Prive-HD pipeline.
+
+    Attributes
+    ----------
+    name:
+        Display name.
+    power_w:
+        Estimated power (paper: ~7 W from Xilinx Power Estimator).
+    lut_budget:
+        Usable LUT-6 count of the device (Kintex-7 XC7K325T: 203,800).
+    f_clk_hz:
+        Pipeline clock.
+    efficiency:
+        Fraction of the LUT budget available to dimension datapaths after
+        control, memory interfacing and routing overheads — the one
+        fitted constant, calibrated per benchmark family against Table I.
+    approximate:
+        Use Eq. (15) majority-LUT datapaths (True, Prive-HD) or exact
+        adder trees (False, the [18]-style baseline).
+    """
+
+    name: str
+    power_w: float = 7.0
+    lut_budget: int = 203_800
+    f_clk_hz: float = 200e6
+    efficiency: float = 1.0
+    approximate: bool = True
+
+    def luts_per_dimension(self, workload: Workload) -> float:
+        """LUT-6 cost of one output dimension's datapath."""
+        if self.approximate:
+            return lut_majority_first_stage(workload.d_in)
+        return lut_exact_adder_tree(workload.d_in)
+
+    def dims_per_cycle(self, workload: Workload) -> float:
+        """Output dimensions computed each cycle within the LUT budget."""
+        usable = self.efficiency * self.lut_budget
+        return max(1.0, usable / self.luts_per_dimension(workload))
+
+    def throughput(self, workload: Workload) -> float:
+        """Inputs per second: f_clk / cycles-per-input, fully pipelined.
+
+        Off-chip DRAM latency is excluded, as in the paper ("latency will
+        be affected but throughput remains intact" — the fetch is
+        overlapped with the computation pipeline).
+        """
+        cycles_per_input = workload.d_hv / self.dims_per_cycle(workload)
+        return self.f_clk_hz / cycles_per_input
+
+    def energy_per_input(self, workload: Workload) -> float:
+        """Joules per input = power / throughput."""
+        return self.power_w / self.throughput(workload)
+
+
+# ---------------------------------------------------------------------------
+# Calibrated instances (fit once against Table I; see bench_table1).
+# ---------------------------------------------------------------------------
+
+#: Raspberry Pi 3 software implementation (paper: 3 W measured).
+RASPBERRY_PI_3 = SoftwarePlatform(
+    name="Raspberry Pi 3",
+    power_w=3.0,
+    # Table I implies 72-187 MMAC/s across the three benchmarks
+    # (NEON-less float path); geometric mean ≈ 120 MMAC/s.
+    effective_ops_per_s=1.20e8,
+)
+
+#: GTX 1080 Ti software implementation (paper: 120 W).
+GTX_1080_TI = SoftwarePlatform(
+    name="GTX 1080 Ti",
+    power_w=120.0,
+    # Table I implies 0.63-1.10 TMAC/s (memory-bound fp32); geometric
+    # mean ≈ 0.85 TMAC/s.
+    effective_ops_per_s=8.5e11,
+)
+
+#: Kintex-7 KC705 running the Prive-HD approximate-majority pipeline.
+KINTEX_7_PRIVE_HD = FPGAPlatform(
+    name="Prive-HD (Kintex-7)",
+    power_w=7.0,
+    lut_budget=203_800,
+    f_clk_hz=200e6,
+    # Table I's throughputs imply ~10-19% of the LUT array feeding
+    # dimension datapaths once BRAM ports, the similarity stage and
+    # routing are paid; 15% reproduces the paper's ordering and scale.
+    efficiency=0.15,
+    approximate=True,
+)
+
+#: Table I as printed in the paper: benchmark -> platform -> (thr, J).
+PAPER_TABLE_I: dict[str, dict[str, tuple[float, float]]] = {
+    "isolet": {
+        "Raspberry Pi 3": (19.8, 0.155),
+        "GTX 1080 Ti": (135_300.0, 8.9e-4),
+        "Prive-HD (Kintex-7)": (2_500_000.0, 2.7e-6),
+    },
+    "face": {
+        "Raspberry Pi 3": (11.9, 0.266),
+        "GTX 1080 Ti": (104_079.0, 1.2e-3),
+        "Prive-HD (Kintex-7)": (694_444.0, 4.7e-6),
+    },
+    "mnist": {
+        "Raspberry Pi 3": (23.9, 0.129),
+        "GTX 1080 Ti": (140_550.0, 8.5e-4),
+        "Prive-HD (Kintex-7)": (3_125_000.0, 3.0e-6),
+    },
+}

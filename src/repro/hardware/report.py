@@ -1,0 +1,224 @@
+"""FPGA resource and latency estimation for a Prive-HD deployment.
+
+Table I reports throughput and energy; a hardware engineer sizing the
+design also needs the *budget*: how many LUTs, block RAMs and registers
+the pipeline occupies on a concrete device, and what the batch latency
+looks like once the off-chip DRAM stream is accounted for (the paper:
+"we assumed that all data resides in the off-chip DRAM, otherwise the
+latency will be affected but throughput remains intact").
+
+The estimates are first-order and deliberately transparent:
+
+* encoding LUTs — Eq. (15) per dimension × dimensions-per-cycle;
+* block RAM — base/level codebooks plus the class store, at 36 kb per
+  BRAM36;
+* flip-flops — pipeline registers at ~1.2 per LUT (balanced pipelines);
+* similarity — bipolar queries need adders only (folded into the LUT
+  count); one DSP slice per class is budgeted for the final normalized
+  compare;
+* latency — pipeline fill (adder-tree depth) + streaming time, plus a
+  DRAM burst setup charge per batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.cost_model import (
+    lut_exact_adder_tree,
+    lut_majority_first_stage,
+)
+from repro.hardware.platforms import FPGAPlatform, Workload
+from repro.utils.tables import ResultTable
+from repro.utils.validation import check_positive_int
+
+__all__ = ["FPGADevice", "KINTEX_7_XC7K325T", "ResourceReport", "estimate_resources"]
+
+#: bits per Xilinx BRAM36 block
+_BRAM36_BITS = 36 * 1024
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Capacity of a concrete FPGA part."""
+
+    name: str
+    luts: int
+    flip_flops: int
+    bram36: int
+    dsp_slices: int
+
+
+#: the paper's evaluation part (KC705 kit)
+KINTEX_7_XC7K325T = FPGADevice(
+    name="Kintex-7 XC7K325T",
+    luts=203_800,
+    flip_flops=407_600,
+    bram36=445,
+    dsp_slices=840,
+)
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Estimated occupation of one workload on one device.
+
+    All ``*_used`` fields are absolute counts; the ``*_utilization``
+    properties are fractions of the device capacity.
+    """
+
+    workload: Workload
+    device: FPGADevice
+    dims_per_cycle: int
+    luts_used: int
+    flip_flops_used: int
+    bram36_used: int
+    dsp_used: int
+    pipeline_fill_cycles: int
+    f_clk_hz: float
+    dram_setup_cycles: int
+
+    # ------------------------------------------------------------------
+    @property
+    def lut_utilization(self) -> float:
+        return self.luts_used / self.device.luts
+
+    @property
+    def ff_utilization(self) -> float:
+        return self.flip_flops_used / self.device.flip_flops
+
+    @property
+    def bram_utilization(self) -> float:
+        return self.bram36_used / self.device.bram36
+
+    @property
+    def dsp_utilization(self) -> float:
+        return self.dsp_used / self.device.dsp_slices
+
+    @property
+    def fits(self) -> bool:
+        """Whether every resource class fits the device."""
+        return all(
+            u <= 1.0
+            for u in (
+                self.lut_utilization,
+                self.ff_utilization,
+                self.bram_utilization,
+                self.dsp_utilization,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def cycles_per_input(self) -> float:
+        """Steady-state initiation interval per input."""
+        return self.workload.d_hv / self.dims_per_cycle
+
+    def batch_latency_cycles(self, n_inputs: int) -> float:
+        """Fill + DRAM setup + streaming cycles for ``n_inputs``."""
+        check_positive_int(n_inputs, "n_inputs")
+        return (
+            self.pipeline_fill_cycles
+            + self.dram_setup_cycles
+            + n_inputs * self.cycles_per_input()
+        )
+
+    def batch_latency_s(self, n_inputs: int) -> float:
+        """Batch latency in seconds at the configured clock."""
+        return self.batch_latency_cycles(n_inputs) / self.f_clk_hz
+
+    def throughput(self) -> float:
+        """Steady-state inputs/s (matches FPGAPlatform.throughput)."""
+        return self.f_clk_hz / self.cycles_per_input()
+
+    # ------------------------------------------------------------------
+    def to_table(self) -> ResultTable:
+        table = ResultTable(
+            f"FPGA resource report: {self.workload.name} on {self.device.name}",
+            ["resource", "used", "capacity", "utilization"],
+        )
+        table.add_row(
+            ["LUT6", self.luts_used, self.device.luts, self.lut_utilization]
+        )
+        table.add_row(
+            [
+                "flip-flops",
+                self.flip_flops_used,
+                self.device.flip_flops,
+                self.ff_utilization,
+            ]
+        )
+        table.add_row(
+            ["BRAM36", self.bram36_used, self.device.bram36, self.bram_utilization]
+        )
+        table.add_row(
+            ["DSP48", self.dsp_used, self.device.dsp_slices, self.dsp_utilization]
+        )
+        return table
+
+
+def estimate_resources(
+    workload: Workload,
+    *,
+    device: FPGADevice = KINTEX_7_XC7K325T,
+    platform: FPGAPlatform | None = None,
+    approximate: bool = True,
+    class_value_bits: int = 16,
+    dram_setup_cycles: int = 64,
+) -> ResourceReport:
+    """Estimate the resource budget of a Prive-HD pipeline.
+
+    Parameters
+    ----------
+    workload:
+        Benchmark shape (d_in, d_hv, n_classes).
+    device:
+        Target part (default: the paper's XC7K325T).
+    platform:
+        Optional :class:`FPGAPlatform` providing clock and the calibrated
+        LUT-efficiency (defaults to a fresh instance matching
+        ``approximate``).
+    approximate:
+        Eq. (15) majority datapath (True) or exact adder trees (False).
+    class_value_bits:
+        Storage width of each class-hypervector value.
+    dram_setup_cycles:
+        One-off burst setup charge per batch (latency only).
+    """
+    if platform is None:
+        platform = FPGAPlatform(
+            name="estimate", approximate=approximate, efficiency=0.15
+        )
+    dims_per_cycle = max(1, int(platform.dims_per_cycle(workload)))
+    per_dim = (
+        lut_majority_first_stage(workload.d_in)
+        if approximate
+        else lut_exact_adder_tree(workload.d_in)
+    )
+    luts_used = int(np.ceil(per_dim * dims_per_cycle))
+
+    # Codebooks: base HVs (d_in × d_hv bits) + class store.
+    base_bits = workload.d_in * workload.d_hv
+    class_bits = workload.n_classes * workload.d_hv * class_value_bits
+    bram36_used = int(np.ceil((base_bits + class_bits) / _BRAM36_BITS))
+
+    # One DSP per class for the final normalized compare; the bipolar
+    # similarity accumulation itself is adder logic (inside luts_used).
+    dsp_used = workload.n_classes
+
+    flip_flops_used = int(np.ceil(1.2 * luts_used))
+    pipeline_fill = int(np.ceil(np.log2(max(workload.d_in, 2)))) + 2
+
+    return ResourceReport(
+        workload=workload,
+        device=device,
+        dims_per_cycle=dims_per_cycle,
+        luts_used=luts_used,
+        flip_flops_used=flip_flops_used,
+        bram36_used=bram36_used,
+        dsp_used=dsp_used,
+        pipeline_fill_cycles=pipeline_fill,
+        f_clk_hz=platform.f_clk_hz,
+        dram_setup_cycles=dram_setup_cycles,
+    )

@@ -1,0 +1,215 @@
+"""HD encoders — Eq. (2a) and (2b) of the paper.
+
+Both encoders map an input feature vector ``V ∈ R^{Div}`` to an encoded
+hypervector ``H ∈ R^{Dhv}``:
+
+* :class:`ScalarBaseEncoder` (Eq. 2a): ``H = Σ_k v_k · B_k`` — the scalar
+  feature value (optionally snapped to one of ``ℓiv`` levels) directly
+  scales its base hypervector.  This is the encoding the paper analyzes
+  for reversibility (Eq. 9–10) and differential privacy (Eq. 11–12).
+* :class:`LevelBaseEncoder` (Eq. 2b): ``H = Σ_k L_{v_k} ⊙ B_k`` — the
+  feature value selects a *level hypervector* which is bound (XNOR) with
+  the base hypervector.  Every addend is bipolar, which is what the
+  FPGA datapath of Section III-D exploits; the paper adopts this encoding
+  for the hardware implementation.
+
+Both are deterministic functions of ``(d_in, d_hv, seed)`` so that the
+trainer, the attacker, and the hardware simulator all reconstruct the
+identical codebooks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.hd.item_memory import BaseMemory, LevelMemory
+from repro.utils.rng import spawn
+from repro.utils.validation import check_2d, check_positive_int
+
+__all__ = ["Encoder", "ScalarBaseEncoder", "LevelBaseEncoder"]
+
+
+class Encoder(ABC):
+    """Common interface of the two paper encoders.
+
+    Attributes
+    ----------
+    d_in:
+        Input feature count ``Div``.
+    d_hv:
+        Hypervector dimensionality ``Dhv``.
+    seed:
+        Root seed of the codebooks.
+    kind:
+        ``"scalar-base"`` or ``"level-base"``; the reconstruction attack
+        dispatches its decoding rule on this.
+    """
+
+    kind: str = "abstract"
+
+    def __init__(self, d_in: int, d_hv: int, seed: int = 0):
+        self.d_in = check_positive_int(d_in, "d_in")
+        self.d_hv = check_positive_int(d_hv, "d_hv")
+        self.seed = int(seed)
+        self.base = BaseMemory(d_in, d_hv, rng=spawn(seed, "base-hv"))
+
+    @abstractmethod
+    def encode(self, X: np.ndarray) -> np.ndarray:
+        """Encode ``(n, d_in)`` features into ``(n, d_hv)`` hypervectors."""
+
+    def encode_one(self, x: np.ndarray) -> np.ndarray:
+        """Encode a single ``(d_in,)`` input to a ``(d_hv,)`` hypervector."""
+        return self.encode(np.asarray(x)[None, :])[0]
+
+    @abstractmethod
+    def truncated(self, d_hv: int) -> "Encoder":
+        """The same encoder restricted to the first ``d_hv`` dimensions."""
+
+
+class ScalarBaseEncoder(Encoder):
+    """Scalar × base encoding, Eq. (2a).
+
+    Parameters
+    ----------
+    d_in, d_hv:
+        Feature count and hypervector dimensionality.
+    n_levels:
+        If given, feature values are first snapped to ``n_levels`` uniform
+        levels in ``[lo, hi]`` (the finite feature set ``F`` of Eq. 1);
+        if ``None``, raw feature values are used directly.
+    lo, hi:
+        Feature range used both for level snapping and by the decoder to
+        clip reconstructions.
+    seed:
+        Codebook seed.
+    """
+
+    kind = "scalar-base"
+
+    def __init__(
+        self,
+        d_in: int,
+        d_hv: int,
+        *,
+        n_levels: int | None = None,
+        lo: float = 0.0,
+        hi: float = 1.0,
+        seed: int = 0,
+    ):
+        super().__init__(d_in, d_hv, seed)
+        if n_levels is not None:
+            check_positive_int(n_levels, "n_levels")
+        if not hi > lo:
+            raise ValueError(f"need hi > lo, got [{lo}, {hi}]")
+        self.n_levels = n_levels
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    def quantize_features(self, X: np.ndarray) -> np.ndarray:
+        """Snap features to the level grid (identity when ``n_levels=None``)."""
+        X = check_2d(X, "X", n_cols=self.d_in).astype(np.float64, copy=False)
+        X = np.clip(X, self.lo, self.hi)
+        if self.n_levels is None or self.n_levels == 1:
+            return X
+        step = (self.hi - self.lo) / (self.n_levels - 1)
+        return self.lo + np.rint((X - self.lo) / step) * step
+
+    def encode(self, X: np.ndarray) -> np.ndarray:
+        Xq = self.quantize_features(X).astype(np.float32)
+        return Xq @ self.base.as_float()
+
+    def truncated(self, d_hv: int) -> "ScalarBaseEncoder":
+        out = object.__new__(ScalarBaseEncoder)
+        out.d_in = self.d_in
+        out.d_hv = check_positive_int(d_hv, "d_hv")
+        out.seed = self.seed
+        out.base = self.base.truncated(d_hv)
+        out.n_levels = self.n_levels
+        out.lo = self.lo
+        out.hi = self.hi
+        return out
+
+
+class LevelBaseEncoder(Encoder):
+    """Level ⊙ base encoding, Eq. (2b).
+
+    Parameters
+    ----------
+    d_in, d_hv:
+        Feature count and hypervector dimensionality.
+    n_levels:
+        Number of level hypervectors (``ℓiv``, "L" in Fig. 4's legend).
+    lo, hi:
+        Feature range for level quantization.
+    seed:
+        Codebook seed; base and level memories use independent sub-streams.
+    """
+
+    kind = "level-base"
+
+    def __init__(
+        self,
+        d_in: int,
+        d_hv: int,
+        *,
+        n_levels: int = 32,
+        lo: float = 0.0,
+        hi: float = 1.0,
+        seed: int = 0,
+    ):
+        super().__init__(d_in, d_hv, seed)
+        self.n_levels = check_positive_int(n_levels, "n_levels")
+        self.levels = LevelMemory(
+            n_levels, d_hv, lo=lo, hi=hi, rng=spawn(seed, "level-hv")
+        )
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    def encode(self, X: np.ndarray) -> np.ndarray:
+        X = check_2d(X, "X", n_cols=self.d_in)
+        idx = self.levels.indices(X)  # (n, d_in) level index per feature
+        base = self.base.as_float()  # (d_in, d_hv)
+        lvl = self.levels.vectors.astype(np.float32)  # (n_levels, d_hv)
+        out = np.zeros((X.shape[0], self.d_hv), dtype=np.float32)
+        if self.n_levels <= max(2, self.d_in // 4):
+            # Binding distributes over bundling:
+            #   Σ_k L[q_k] ⊙ B_k = Σ_l L_l ⊙ (Σ_{k : q_k = l} B_k)
+            # so one (n, d_in) @ (d_in, d_hv) matmul per *level* replaces a
+            # gather per *feature* — a large win for the usual ℓiv « Div.
+            for level in range(self.n_levels):
+                mask = idx == level
+                if not mask.any():
+                    continue
+                out += (mask.astype(np.float32) @ base) * lvl[level]
+        else:
+            for k in range(self.d_in):
+                out += lvl[idx[:, k]] * base[k]
+        return out
+
+    def encode_addends(self, x: np.ndarray) -> np.ndarray:
+        """The ``d_in`` bipolar addends of one input, before summation.
+
+        Returns the ``(d_in, d_hv)`` int8 matrix ``A[k] = L_{q_k} ⊙ B_k``
+        whose column-wise sum is the encoding.  The FPGA datapath model
+        consumes exactly this matrix: each output dimension is a
+        majority/adder tree over one column (Fig. 7).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.d_in,):
+            raise ValueError(f"x must have shape ({self.d_in},), got {x.shape}")
+        idx = self.levels.indices(x[None, :])[0]
+        return (self.levels.vectors[idx] * self.base.vectors).astype(np.int8)
+
+    def truncated(self, d_hv: int) -> "LevelBaseEncoder":
+        out = object.__new__(LevelBaseEncoder)
+        out.d_in = self.d_in
+        out.d_hv = check_positive_int(d_hv, "d_hv")
+        out.seed = self.seed
+        out.base = self.base.truncated(d_hv)
+        out.n_levels = self.n_levels
+        out.levels = self.levels.truncated(d_hv)
+        out.lo = self.lo
+        out.hi = self.hi
+        return out

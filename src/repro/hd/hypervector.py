@@ -1,0 +1,164 @@
+"""Bipolar hypervector primitives.
+
+Hyperdimensional (HD) computing represents symbols and values as very long
+(Dhv ≈ 10,000) random vectors.  Prive-HD uses *bipolar* hypervectors, i.e.
+elements drawn from {−1, +1}; two independently drawn hypervectors are
+quasi-orthogonal (cosine similarity ≈ 0, concentrated as 1/√Dhv).
+
+This module provides the generation primitives used by the item memories
+(:mod:`repro.hd.item_memory`) plus the three classic HD operators:
+
+* :func:`bind` — element-wise multiplication, creates a vector dissimilar
+  to both operands (used by the level-base encoding, Eq. 2b of the paper);
+* :func:`bundle` — element-wise addition, creates a vector similar to all
+  operands (used to build class hypervectors, Eq. 3);
+* :func:`permute` — cyclic shift, an order-encoding operator kept for API
+  completeness with the broader HD literature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_generator, RngLike
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = [
+    "random_bipolar",
+    "flip",
+    "flip_chain",
+    "bind",
+    "bundle",
+    "permute",
+    "to_bipolar",
+]
+
+
+def random_bipolar(
+    d_hv: int,
+    n: int | None = None,
+    *,
+    rng: RngLike = None,
+    dtype: np.dtype = np.int8,
+) -> np.ndarray:
+    """Draw uniform random bipolar hypervector(s) in {−1, +1}.
+
+    Parameters
+    ----------
+    d_hv:
+        Hypervector dimensionality (``Dhv`` in the paper).
+    n:
+        If given, return ``n`` stacked hypervectors of shape ``(n, d_hv)``;
+        otherwise a single ``(d_hv,)`` vector.
+    rng:
+        Seed or generator; see :func:`repro.utils.rng.ensure_generator`.
+    dtype:
+        Output dtype; ``int8`` keeps the large item memories compact.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array with entries in {−1, +1}.
+    """
+    check_positive_int(d_hv, "d_hv")
+    gen = ensure_generator(rng)
+    shape = (d_hv,) if n is None else (check_positive_int(n, "n"), d_hv)
+    return (gen.integers(0, 2, size=shape, dtype=np.int8) * 2 - 1).astype(dtype, copy=False)
+
+
+def flip(hv: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Return a copy of ``hv`` with the given positions sign-flipped."""
+    out = np.array(hv, copy=True)
+    out[indices] = -out[indices]
+    return out
+
+
+def flip_chain(
+    n_levels: int,
+    d_hv: int,
+    *,
+    rng: RngLike = None,
+    span: float = 0.5,
+    dtype: np.dtype = np.int8,
+) -> np.ndarray:
+    """Build the correlated *level* hypervectors of the paper (Eq. 1–2).
+
+    ``L0`` is random; each subsequent level flips a fresh block of
+    ``span * d_hv / (n_levels - 1)`` positions, sampled **without
+    replacement across the whole chain** so that similarity decays
+    monotonically and the first and last levels end up with
+    ``2 * span * d_hv`` differing positions.  With the default
+    ``span = 0.5`` (the paper's ``Dhv / (2 ℓiv)`` flips per step), ``L0``
+    and ``L(ℓ−1)`` are exactly orthogonal in expectation.
+
+    Parameters
+    ----------
+    n_levels:
+        Number of quantization levels ``ℓiv`` (≥ 1).
+    d_hv:
+        Hypervector dimensionality.
+    rng:
+        Seed or generator.
+    span:
+        Fraction of dimensions flipped across the full chain; 0.5 yields
+        orthogonal endpoints.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n_levels, d_hv)`` bipolar array.
+    """
+    check_positive_int(n_levels, "n_levels")
+    check_positive_int(d_hv, "d_hv")
+    check_probability(span, "span")
+    gen = ensure_generator(rng)
+
+    levels = np.empty((n_levels, d_hv), dtype=dtype)
+    levels[0] = random_bipolar(d_hv, rng=gen, dtype=dtype)
+    if n_levels == 1:
+        return levels
+
+    total_flips = int(round(span * d_hv))
+    order = gen.permutation(d_hv)[:total_flips]
+    # Split the flip budget into n_levels-1 nearly equal contiguous blocks.
+    boundaries = np.linspace(0, total_flips, n_levels, dtype=np.int64)
+    for lvl in range(1, n_levels):
+        block = order[boundaries[lvl - 1]: boundaries[lvl]]
+        levels[lvl] = flip(levels[lvl - 1], block)
+    return levels
+
+
+def bind(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise binding (XNOR in the bipolar domain).
+
+    For bipolar operands this is exactly the dimension-wise XNOR the paper
+    uses to combine level and base hypervectors in Eq. (2b).
+    """
+    return np.multiply(a, b)
+
+
+def bundle(hvs: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Bundle (superpose) hypervectors by summation along ``axis``.
+
+    The result is *not* re-quantized: Prive-HD's class hypervectors keep
+    full precision (Eq. 3) — quantization, when requested, is applied to
+    the encodings *before* bundling (Eq. 13).
+    """
+    hvs = np.asarray(hvs)
+    return hvs.sum(axis=axis, dtype=np.int64 if np.issubdtype(hvs.dtype, np.integer) else None)
+
+
+def permute(hv: np.ndarray, shift: int = 1) -> np.ndarray:
+    """Cyclic permutation ρ of a hypervector (rightward ``shift``)."""
+    return np.roll(hv, shift, axis=-1)
+
+
+def to_bipolar(array: np.ndarray) -> np.ndarray:
+    """Map an arbitrary real array to {−1, +1} by sign, with 0 → +1.
+
+    The deterministic tie-break keeps repeated calls idempotent, which the
+    hardware model relies on (ties in the LUT-6 majority are broken by a
+    *predetermined* pattern per the paper, not fresh randomness).
+    """
+    out = np.where(np.asarray(array) >= 0, 1, -1).astype(np.int8)
+    return out

@@ -1,0 +1,179 @@
+"""The HD classification model: class hypervectors + cosine inference.
+
+Training (Eq. 3) bundles the encoded hypervectors of each class into one
+*class hypervector*; inference (Eq. 4) returns the class whose hypervector
+has the highest cosine similarity with the encoded query.  The model is a
+plain ``(n_classes, d_hv)`` float array — which is precisely why it leaks:
+subtracting two models trained on adjacent datasets yields the encoding of
+the missing record (Section III-A).  The differential-privacy machinery in
+:mod:`repro.core` operates directly on instances of this class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hd.similarity import class_scores, cosine_matrix, norm_rows
+from repro.utils.rng import RngLike, ensure_generator
+from repro.utils.validation import check_2d, check_labels, check_positive_int
+
+__all__ = ["HDModel"]
+
+
+class HDModel:
+    """An HD classifier: one prototype hypervector per class.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of classes ``|C|``.
+    d_hv:
+        Hypervector dimensionality ``Dhv``.
+    class_hvs:
+        Optional initial ``(n_classes, d_hv)`` array (copied); zeros when
+        omitted.
+
+    Notes
+    -----
+    The class store is float64: class values grow like the number of
+    bundled inputs, and the DP mechanism later adds real-valued Gaussian
+    noise, so integer storage would buy nothing.
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        d_hv: int,
+        class_hvs: np.ndarray | None = None,
+    ):
+        self.n_classes = check_positive_int(n_classes, "n_classes")
+        self.d_hv = check_positive_int(d_hv, "d_hv")
+        if class_hvs is None:
+            self.class_hvs = np.zeros((n_classes, d_hv), dtype=np.float64)
+        else:
+            class_hvs = np.asarray(class_hvs, dtype=np.float64)
+            if class_hvs.shape != (n_classes, d_hv):
+                raise ValueError(
+                    f"class_hvs must have shape {(n_classes, d_hv)}, "
+                    f"got {class_hvs.shape}"
+                )
+            self.class_hvs = class_hvs.copy()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_encodings(
+        cls, encodings: np.ndarray, labels: np.ndarray, n_classes: int
+    ) -> "HDModel":
+        """Single-pass HD training, Eq. (3): bundle encodings per class."""
+        H = check_2d(encodings, "encodings")
+        y = check_labels(labels, "labels", n_classes=n_classes)
+        if H.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"{H.shape[0]} encodings but {y.shape[0]} labels"
+            )
+        model = cls(n_classes, H.shape[1])
+        model.bundle(H, y)
+        return model
+
+    def copy(self) -> "HDModel":
+        """Deep copy (class store included)."""
+        return HDModel(self.n_classes, self.d_hv, self.class_hvs)
+
+    # ------------------------------------------------------------------
+    # training-time mutation
+    # ------------------------------------------------------------------
+    def bundle(self, encodings: np.ndarray, labels: np.ndarray) -> None:
+        """Add encodings into their class hypervectors (Eq. 3 / Eq. 5 '+')."""
+        H = check_2d(encodings, "encodings", n_cols=self.d_hv)
+        y = check_labels(labels, "labels", n_classes=self.n_classes)
+        np.add.at(self.class_hvs, y, H.astype(np.float64, copy=False))
+        self._invalidate()
+
+    def unbundle(self, encodings: np.ndarray, labels: np.ndarray) -> None:
+        """Subtract encodings from class hypervectors (Eq. 5 '−')."""
+        H = check_2d(encodings, "encodings", n_cols=self.d_hv)
+        y = check_labels(labels, "labels", n_classes=self.n_classes)
+        np.subtract.at(self.class_hvs, y, H.astype(np.float64, copy=False))
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._norm_cache = None
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    @property
+    def class_norms(self) -> np.ndarray:
+        """Cached ℓ2 norms of the class hypervectors (Eq. 4 denominator)."""
+        cache = getattr(self, "_norm_cache", None)
+        if cache is None:
+            cache = norm_rows(self.class_hvs)
+            self._norm_cache = cache
+        return cache
+
+    def scores(self, queries: np.ndarray) -> np.ndarray:
+        """Class-normalized dot products, shape ``(n, n_classes)``.
+
+        Equivalent to cosine similarity up to the per-query norm, which is
+        constant across classes and therefore dropped (paper, Eq. 4).
+        """
+        return class_scores(queries, self.class_hvs)
+
+    def similarities(self, queries: np.ndarray) -> np.ndarray:
+        """Fully normalized cosine similarities (used for Fig. 3)."""
+        return cosine_matrix(queries, self.class_hvs)
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        """Predicted labels, shape ``(n,)``."""
+        return np.argmax(self.scores(queries), axis=1)
+
+    def accuracy(self, queries: np.ndarray, labels: np.ndarray) -> float:
+        """Fraction of queries whose argmax class matches ``labels``."""
+        y = check_labels(labels, "labels", n_classes=self.n_classes)
+        preds = self.predict(queries)
+        if preds.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"{preds.shape[0]} queries but {y.shape[0]} labels"
+            )
+        if y.size == 0:
+            raise ValueError("cannot score an empty batch")
+        return float(np.mean(preds == y))
+
+    # ------------------------------------------------------------------
+    # privacy-related transforms (return new models)
+    # ------------------------------------------------------------------
+    def with_noise(self, noise_std: float, *, rng: RngLike = None) -> "HDModel":
+        """A copy with i.i.d. Gaussian noise added to every class value.
+
+        This is the Gaussian mechanism of Eq. (8); ``noise_std`` should be
+        ``Δf · σ`` as produced by :mod:`repro.core.mechanism`.
+        """
+        if noise_std < 0:
+            raise ValueError(f"noise_std must be >= 0, got {noise_std}")
+        gen = ensure_generator(rng)
+        noisy = self.class_hvs + gen.normal(
+            0.0, noise_std, size=self.class_hvs.shape
+        )
+        return HDModel(self.n_classes, self.d_hv, noisy)
+
+    def masked(self, keep_mask: np.ndarray) -> "HDModel":
+        """A copy with pruned dimensions zeroed (keep_mask True = keep)."""
+        keep = np.asarray(keep_mask, dtype=bool)
+        if keep.shape != (self.d_hv,):
+            raise ValueError(
+                f"keep_mask must have shape ({self.d_hv},), got {keep.shape}"
+            )
+        return HDModel(self.n_classes, self.d_hv, self.class_hvs * keep)
+
+    def truncated(self, d_hv: int) -> "HDModel":
+        """A copy restricted to the first ``d_hv`` dimensions."""
+        check_positive_int(d_hv, "d_hv")
+        if d_hv > self.d_hv:
+            raise ValueError(f"cannot truncate {self.d_hv} dims to {d_hv}")
+        return HDModel(self.n_classes, d_hv, self.class_hvs[:, :d_hv])
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HDModel(n_classes={self.n_classes}, d_hv={self.d_hv})"

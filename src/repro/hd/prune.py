@@ -1,0 +1,125 @@
+"""Model pruning — Section III-B.1 of the paper.
+
+Prediction is a normalized dot product (Eq. 4), so class-hypervector
+dimensions whose values are close to zero contribute little ("less
+effectual" dimensions).  Because information is spread uniformly across
+an encoded query, dropping those dimensions loses only the query
+information that was multiplying near-zeros anyway — unlike DNN weights,
+whose small values can be amplified by large activations (the paper's
+contrast).
+
+Pruning serves two purposes in Prive-HD:
+
+* it reduces ``Dhv`` in the sensitivity Δf ∝ √Dhv (Eq. 12/14), shrinking
+  the DP noise required for a given (ε, δ); and
+* masked query dimensions never leave the edge device, reducing the
+  information available to reconstruction (Section III-C).
+
+The pruned dimensions "perpetually remain zero": retraining
+(:func:`repro.hd.train.retrain` with ``keep_mask``) only updates live
+dimensions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hd.model import HDModel
+from repro.utils.validation import check_2d, check_probability
+
+__all__ = [
+    "dimension_scores",
+    "prune_mask",
+    "prune_model",
+    "apply_mask",
+    "SCORE_METHODS",
+]
+
+#: supported per-dimension effectuality scores
+SCORE_METHODS = ("l2", "sum_abs", "min_abs", "max_abs")
+
+
+def dimension_scores(class_hvs: np.ndarray, method: str = "l2") -> np.ndarray:
+    """Effectuality score of each hypervector dimension.
+
+    Parameters
+    ----------
+    class_hvs:
+        ``(n_classes, d_hv)`` class store (a single class row also works
+        for the per-class analysis of Fig. 3).
+    method:
+        How to aggregate magnitude across classes:
+
+        * ``"l2"``      — √Σ_c C[c,d]² (default; favours dimensions that
+          are strong for at least one class),
+        * ``"sum_abs"`` — Σ_c |C[c,d]|,
+        * ``"min_abs"`` — min_c |C[c,d]| (a dimension is only as useful
+          as its weakest class),
+        * ``"max_abs"`` — max_c |C[c,d]|.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(d_hv,)`` non-negative scores; low score ⇒ prune first.
+    """
+    C = check_2d(class_hvs, "class_hvs").astype(np.float64, copy=False)
+    if method == "l2":
+        return np.sqrt(np.sum(C**2, axis=0))
+    if method == "sum_abs":
+        return np.sum(np.abs(C), axis=0)
+    if method == "min_abs":
+        return np.min(np.abs(C), axis=0)
+    if method == "max_abs":
+        return np.max(np.abs(C), axis=0)
+    raise ValueError(f"method must be one of {SCORE_METHODS}, got {method!r}")
+
+
+def prune_mask(scores: np.ndarray, fraction: float) -> np.ndarray:
+    """Boolean keep-mask that prunes the lowest-scoring ``fraction``.
+
+    Ties at the threshold are broken by index so that exactly
+    ``round(fraction * d_hv)`` dimensions are pruned, making sweeps
+    monotone in ``fraction``.
+
+    >>> prune_mask(np.array([3.0, 1.0, 2.0, 4.0]), 0.5).tolist()
+    [True, False, False, True]
+    """
+    s = np.asarray(scores, dtype=np.float64)
+    if s.ndim != 1:
+        raise ValueError(f"scores must be 1-D, got shape {s.shape}")
+    check_probability(fraction, "fraction")
+    n_prune = int(round(fraction * s.size))
+    keep = np.ones(s.size, dtype=bool)
+    if n_prune == 0:
+        return keep
+    order = np.argsort(s, kind="stable")
+    keep[order[:n_prune]] = False
+    return keep
+
+
+def apply_mask(encodings: np.ndarray, keep_mask: np.ndarray) -> np.ndarray:
+    """Zero the pruned dimensions of a batch of encodings (copy)."""
+    H = np.asarray(encodings, dtype=np.float64)
+    keep = np.asarray(keep_mask, dtype=bool)
+    if H.shape[-1] != keep.shape[0]:
+        raise ValueError(
+            f"mask length {keep.shape[0]} != encoding dim {H.shape[-1]}"
+        )
+    return H * keep
+
+
+def prune_model(
+    model: HDModel, fraction: float, *, method: str = "l2"
+) -> tuple[HDModel, np.ndarray]:
+    """Prune the ``fraction`` least-effectual dimensions of a model.
+
+    Returns
+    -------
+    (HDModel, numpy.ndarray)
+        The pruned model (new object) and the boolean keep-mask, which
+        callers pass to :func:`repro.hd.train.retrain` and to the query
+        pipeline so pruned dimensions are never computed/transmitted.
+    """
+    scores = dimension_scores(model.class_hvs, method=method)
+    keep = prune_mask(scores, fraction)
+    return model.masked(keep), keep

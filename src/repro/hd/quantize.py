@@ -1,0 +1,237 @@
+"""Encoding quantizers — Eq. (13)–(14) of the paper.
+
+Prive-HD quantizes only the *encoding* hypervectors (the class
+hypervectors stay full precision), because the ℓ2 sensitivity of training
+is exactly the ℓ2 norm of a single encoding.  Replacing the
+approximately-Gaussian encoding values with a handful of small integers
+makes that norm both small and *data-independent*:
+
+    Δf = ‖H‖₂ = ( Σ_{k ∈ levels} p_k · Dhv · k² )^{1/2}        (Eq. 14)
+
+where ``p_k`` is the fraction of dimensions quantized to level ``k``.
+
+Because encoded dimensions are i.i.d., a per-row quantile rule realizes
+any target level distribution exactly, independent of the input scale:
+
+* ``bipolar``          → {−1, +1},          p = (1/2, 1/2)
+* ``ternary``          → {−1, 0, +1},       p = (1/3, 1/3, 1/3)
+* ``ternary-biased``   → {−1, 0, +1},       p = (1/4, 1/2, 1/4) — the
+  paper's biased scheme, shrinking sensitivity by √(3/4) ≈ 0.87×
+* ``2bit``             → {−2, −1, 0, +1},   p = (1/4, 1/4, 1/4, 1/4)
+* ``identity``         → passthrough (full precision)
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.validation import check_2d, check_positive_int
+
+__all__ = [
+    "EncodingQuantizer",
+    "IdentityQuantizer",
+    "BipolarQuantizer",
+    "TernaryQuantizer",
+    "BiasedTernaryQuantizer",
+    "TwoBitQuantizer",
+    "get_quantizer",
+    "QUANTIZER_NAMES",
+    "empirical_level_probabilities",
+]
+
+
+class EncodingQuantizer(ABC):
+    """Maps real-valued encodings to a small discrete level set."""
+
+    #: short registry name, e.g. ``"ternary-biased"``
+    name: str = "abstract"
+
+    @property
+    @abstractmethod
+    def levels(self) -> np.ndarray:
+        """The sorted quantization level values (empty for identity)."""
+
+    @property
+    @abstractmethod
+    def design_probabilities(self) -> np.ndarray:
+        """Intended probability of each level (empty for identity)."""
+
+    @abstractmethod
+    def __call__(self, encodings: np.ndarray) -> np.ndarray:
+        """Quantize ``(n, d_hv)`` (or ``(d_hv,)``) encodings."""
+
+    def expected_l2_sensitivity(self, d_hv: int, d_in: int | None = None) -> float:
+        """Analytic ℓ2 sensitivity of a quantized encoding, Eq. (14).
+
+        ``d_in`` is accepted (and ignored) so that the identity quantizer
+        — whose sensitivity is the full-precision Eq. (12) value
+        √(Dhv·Div) — exposes the same signature.
+        """
+        check_positive_int(d_hv, "d_hv")
+        p = self.design_probabilities
+        k = self.levels.astype(np.float64)
+        return float(np.sqrt(np.sum(p * d_hv * k**2)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class IdentityQuantizer(EncodingQuantizer):
+    """Full-precision passthrough; sensitivity follows Eq. (12)."""
+
+    name = "identity"
+
+    @property
+    def levels(self) -> np.ndarray:
+        return np.array([])
+
+    @property
+    def design_probabilities(self) -> np.ndarray:
+        return np.array([])
+
+    def __call__(self, encodings: np.ndarray) -> np.ndarray:
+        return np.asarray(encodings, dtype=np.float32)
+
+    def expected_l2_sensitivity(self, d_hv: int, d_in: int | None = None) -> float:
+        check_positive_int(d_hv, "d_hv")
+        if d_in is None:
+            raise ValueError(
+                "identity (full-precision) sensitivity needs d_in: "
+                "Δf = sqrt(d_hv * d_in) per Eq. (12)"
+            )
+        check_positive_int(d_in, "d_in")
+        return float(np.sqrt(d_hv * d_in))
+
+
+class _QuantileQuantizer(EncodingQuantizer):
+    """Shared machinery: cut each row at fixed quantiles.
+
+    Sub-classes define the level values and the cumulative cut
+    probabilities; dimension ``d`` of a row gets level ``j`` when its
+    value falls between the row's ``cut_probs[j-1]`` and ``cut_probs[j]``
+    quantiles.  Per-row cuts make the quantizer scale-free, matching the
+    paper's i.i.d.-dimensions argument for Eq. (14).
+    """
+
+    _levels: tuple[float, ...] = ()
+    _cut_probs: tuple[float, ...] = ()
+    _design_probs: tuple[float, ...] = ()
+
+    @property
+    def levels(self) -> np.ndarray:
+        return np.asarray(self._levels, dtype=np.float64)
+
+    @property
+    def design_probabilities(self) -> np.ndarray:
+        return np.asarray(self._design_probs, dtype=np.float64)
+
+    def __call__(self, encodings: np.ndarray) -> np.ndarray:
+        H = np.asarray(encodings, dtype=np.float64)
+        squeeze = H.ndim == 1
+        H = check_2d(H, "encodings")
+        cuts = np.quantile(H, self._cut_probs, axis=1)  # (n_cuts, n)
+        idx = np.zeros(H.shape, dtype=np.int64)
+        for c in cuts:
+            idx += H > c[:, None]
+        out = self.levels[idx].astype(np.float32)
+        return out[0] if squeeze else out
+
+
+class BipolarQuantizer(_QuantileQuantizer):
+    """1-bit sign quantization, Eq. (13): ``H → sign(H)``."""
+
+    name = "bipolar"
+    _levels = (-1.0, 1.0)
+    _cut_probs = (0.5,)
+    _design_probs = (0.5, 0.5)
+
+    def __call__(self, encodings: np.ndarray) -> np.ndarray:
+        # The paper's Eq. (13) is literally sign(); use it directly (with
+        # the deterministic 0 → +1 tie-break) rather than a median cut so
+        # that single-dimension edge cases behave like hardware.
+        H = np.asarray(encodings, dtype=np.float64)
+        return np.where(H >= 0, 1.0, -1.0).astype(np.float32)
+
+
+class TernaryQuantizer(_QuantileQuantizer):
+    """Uniform ternary quantization to {−1, 0, +1}, p = 1/3 each."""
+
+    name = "ternary"
+    _levels = (-1.0, 0.0, 1.0)
+    _cut_probs = (1.0 / 3.0, 2.0 / 3.0)
+    _design_probs = (1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0)
+
+
+class BiasedTernaryQuantizer(_QuantileQuantizer):
+    """The paper's biased ternary: p0 = 1/2, p±1 = 1/4.
+
+    Weighting the zero level halves the number of non-zero dimensions,
+    shrinking Eq. (14) by √(3/4) ≈ 0.87× relative to uniform ternary —
+    the exact factor quoted in Section III-B.2.
+    """
+
+    name = "ternary-biased"
+    _levels = (-1.0, 0.0, 1.0)
+    _cut_probs = (0.25, 0.75)
+    _design_probs = (0.25, 0.5, 0.25)
+
+
+class TwoBitQuantizer(_QuantileQuantizer):
+    """2-bit quantization to {−2, −1, 0, +1}, p = 1/4 each (Fig. 5)."""
+
+    name = "2bit"
+    _levels = (-2.0, -1.0, 0.0, 1.0)
+    _cut_probs = (0.25, 0.5, 0.75)
+    _design_probs = (0.25, 0.25, 0.25, 0.25)
+
+
+_REGISTRY = {
+    "identity": IdentityQuantizer,
+    "none": IdentityQuantizer,
+    "full": IdentityQuantizer,
+    "bipolar": BipolarQuantizer,
+    "binary": BipolarQuantizer,
+    "ternary": TernaryQuantizer,
+    "ternary-biased": BiasedTernaryQuantizer,
+    "biased": BiasedTernaryQuantizer,
+    "2bit": TwoBitQuantizer,
+}
+
+#: canonical names accepted by :func:`get_quantizer`
+QUANTIZER_NAMES = ("identity", "bipolar", "ternary", "ternary-biased", "2bit")
+
+
+def get_quantizer(name: str | EncodingQuantizer | None) -> EncodingQuantizer:
+    """Resolve a quantizer by registry name (idempotent for instances).
+
+    >>> get_quantizer("ternary-biased").name
+    'ternary-biased'
+    """
+    if name is None:
+        return IdentityQuantizer()
+    if isinstance(name, EncodingQuantizer):
+        return name
+    key = str(name).lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown quantizer {name!r}; choose from {sorted(set(_REGISTRY))}"
+        )
+    return _REGISTRY[key]()
+
+
+def empirical_level_probabilities(
+    quantized: np.ndarray, levels: np.ndarray
+) -> np.ndarray:
+    """Measured fraction of each level in a quantized encoding batch.
+
+    Used to cross-check Eq. (14)'s design probabilities against what the
+    quantizer actually produced (they match to sampling error).
+    """
+    q = np.asarray(quantized, dtype=np.float64).ravel()
+    levels = np.asarray(levels, dtype=np.float64)
+    if q.size == 0:
+        raise ValueError("quantized array is empty")
+    counts = np.array([(q == lv).sum() for lv in levels], dtype=np.float64)
+    return counts / q.size

@@ -1,0 +1,83 @@
+"""Similarity kernels for hypervectors.
+
+Inference in HD computing is a nearest-class search under cosine
+similarity (Eq. 4 of the paper).  The paper notes the query-norm factor is
+shared across classes, so class scores can be computed as a dot product
+normalized only by the class norms; :func:`class_scores` implements exactly
+that optimization while :func:`cosine_matrix` provides the fully normalized
+quantity used for reporting "information" retention (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_2d
+
+__all__ = [
+    "cosine",
+    "cosine_matrix",
+    "dot_matrix",
+    "class_scores",
+    "hamming_distance",
+    "norm_rows",
+]
+
+_EPS = 1e-12
+
+
+def norm_rows(matrix: np.ndarray) -> np.ndarray:
+    """ℓ2 norm of each row, guarded against exact zeros."""
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+    norms = np.linalg.norm(matrix, axis=1)
+    return np.where(norms < _EPS, 1.0, norms)
+
+
+def cosine(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity δ(a, b) of two vectors (0 if either is zero)."""
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    na, nb = np.linalg.norm(a), np.linalg.norm(b)
+    if na < _EPS or nb < _EPS:
+        return 0.0
+    return float(a @ b / (na * nb))
+
+
+def dot_matrix(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
+    """Raw dot products, shape ``(n_queries, n_references)``."""
+    q = check_2d(queries, "queries").astype(np.float64, copy=False)
+    r = check_2d(references, "references", n_cols=q.shape[1]).astype(np.float64, copy=False)
+    return q @ r.T
+
+
+def cosine_matrix(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarities, shape ``(n_queries, n_references)``."""
+    q = check_2d(queries, "queries").astype(np.float64, copy=False)
+    r = check_2d(references, "references", n_cols=q.shape[1]).astype(np.float64, copy=False)
+    return (q @ r.T) / np.outer(norm_rows(q), norm_rows(r))
+
+
+def class_scores(queries: np.ndarray, class_hvs: np.ndarray) -> np.ndarray:
+    """Class scores with only the class-norm normalization (Eq. 4, reduced).
+
+    Dividing by the query norm does not change the argmax over classes, so
+    — exactly as the paper observes — it is dropped.  The class norms *do*
+    matter because classes bundle different numbers of training inputs.
+    """
+    q = check_2d(queries, "queries").astype(np.float64, copy=False)
+    c = check_2d(class_hvs, "class_hvs", n_cols=q.shape[1]).astype(np.float64, copy=False)
+    return (q @ c.T) / norm_rows(c)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Normalized Hamming distance between two bipolar hypervectors.
+
+    Orthogonal bipolar vectors sit at distance 0.5; identical at 0.0.
+    """
+    a = np.asarray(a).ravel()
+    b = np.asarray(b).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.mean(a != b))

@@ -1,0 +1,178 @@
+"""Model serialization: ship a (private) HD model to the inference host.
+
+Everything an HD deployment needs is small and NumPy-native, so the
+on-disk format is a single ``.npz``:
+
+* the class store (the only learned tensor),
+* the encoder *configuration* (not its codebooks — they regenerate
+  deterministically from the seed, which is the point of seed-derived
+  item memories),
+* for Prive-HD releases: the keep-mask and the privacy certificate
+  (ε, δ, sensitivity, noise std) so downstream users can verify what
+  guarantee the artifact carries.
+
+``load_deployment`` rebuilds a ready-to-serve :class:`DeployedModel`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.dp_trainer import DPTrainingResult, quantize_masked
+from repro.hd.encoder import ScalarBaseEncoder
+from repro.hd.model import HDModel
+from repro.hd.quantize import get_quantizer
+
+__all__ = [
+    "save_model",
+    "load_model",
+    "save_deployment",
+    "load_deployment",
+    "DeployedModel",
+    "FORMAT_VERSION",
+]
+
+#: bump when the on-disk layout changes
+FORMAT_VERSION = 1
+
+
+def save_model(path: str | Path, model: HDModel) -> Path:
+    """Persist a bare :class:`HDModel` (class store only) to ``.npz``."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        format_version=FORMAT_VERSION,
+        class_hvs=model.class_hvs,
+    )
+    return path
+
+
+def load_model(path: str | Path) -> HDModel:
+    """Load a bare :class:`HDModel` saved by :func:`save_model`."""
+    with np.load(Path(path)) as data:
+        _check_version(int(data["format_version"]))
+        class_hvs = data["class_hvs"]
+    return HDModel(class_hvs.shape[0], class_hvs.shape[1], class_hvs)
+
+
+def _check_version(version: int) -> None:
+    if version > FORMAT_VERSION:
+        raise ValueError(
+            f"artifact format v{version} is newer than supported "
+            f"v{FORMAT_VERSION}"
+        )
+
+
+@dataclass(frozen=True)
+class DeployedModel:
+    """A self-contained, servable Prive-HD artifact.
+
+    Attributes
+    ----------
+    model:
+        The (noisy, prunable-dimension-zeroed) class store.
+    encoder:
+        Rebuilt encoder; its codebooks are bit-identical to training's.
+    keep_mask:
+        Live-dimension mask; queries are masked before similarity.
+    quantizer_name:
+        Encoding quantizer the model was trained with (queries use it).
+    epsilon, delta, sensitivity, noise_std:
+        The privacy certificate recorded at training time (all 0 /
+        infinity-free floats; ``epsilon=inf`` marks a non-private model).
+    """
+
+    model: HDModel
+    encoder: ScalarBaseEncoder
+    keep_mask: np.ndarray
+    quantizer_name: str
+    epsilon: float
+    delta: float
+    sensitivity: float
+    noise_std: float
+
+    def encode_queries(self, X: np.ndarray) -> np.ndarray:
+        """The exact query pipeline of the training run."""
+        H = self.encoder.encode(X)
+        return quantize_masked(H, self.keep_mask, get_quantizer(self.quantizer_name))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Serve predictions for raw feature vectors."""
+        return self.model.predict(self.encode_queries(X))
+
+    def accuracy(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy on raw feature vectors."""
+        return self.model.accuracy(self.encode_queries(X), y)
+
+    @property
+    def is_private(self) -> bool:
+        """Whether the artifact carries a finite (ε, δ) certificate."""
+        return bool(np.isfinite(self.epsilon))
+
+
+def save_deployment(path: str | Path, result: DPTrainingResult) -> Path:
+    """Persist a :class:`DPTrainingResult` as a servable artifact.
+
+    Only the *private* model is stored — the pre-noise baseline must
+    never leave the training environment.
+    """
+    path = Path(path)
+    enc = result.encoder
+    encoder_config = {
+        "d_in": enc.d_in,
+        "d_hv": enc.d_hv,
+        "n_levels": enc.n_levels,
+        "lo": enc.lo,
+        "hi": enc.hi,
+        "seed": enc.seed,
+    }
+    np.savez_compressed(
+        path,
+        format_version=FORMAT_VERSION,
+        class_hvs=result.private.model.class_hvs,
+        keep_mask=result.keep_mask,
+        encoder_config=json.dumps(encoder_config),
+        quantizer_name=result.quantizer.name,
+        epsilon=result.private.epsilon,
+        delta=result.private.delta,
+        sensitivity=result.private.sensitivity,
+        noise_std=result.private.noise_std,
+    )
+    return path
+
+
+def load_deployment(path: str | Path) -> DeployedModel:
+    """Load a servable artifact saved by :func:`save_deployment`."""
+    with np.load(Path(path)) as data:
+        _check_version(int(data["format_version"]))
+        class_hvs = data["class_hvs"]
+        keep_mask = data["keep_mask"].astype(bool)
+        config = json.loads(str(data["encoder_config"]))
+        quantizer_name = str(data["quantizer_name"])
+        epsilon = float(data["epsilon"])
+        delta = float(data["delta"])
+        sensitivity = float(data["sensitivity"])
+        noise_std = float(data["noise_std"])
+    encoder = ScalarBaseEncoder(
+        config["d_in"],
+        config["d_hv"],
+        n_levels=config["n_levels"],
+        lo=config["lo"],
+        hi=config["hi"],
+        seed=config["seed"],
+    )
+    model = HDModel(class_hvs.shape[0], class_hvs.shape[1], class_hvs)
+    return DeployedModel(
+        model=model,
+        encoder=encoder,
+        keep_mask=keep_mask,
+        quantizer_name=quantizer_name,
+        epsilon=epsilon,
+        delta=delta,
+        sensitivity=sensitivity,
+        noise_std=noise_std,
+    )

@@ -1,0 +1,92 @@
+"""Plain-text result tables for the benchmark harness.
+
+The paper reports its evaluation as figures (series of points) and one
+table.  The benchmark layer renders both with :class:`ResultTable`, which
+produces aligned, pipe-separated text that reads like the paper's rows —
+no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["ResultTable", "format_float"]
+
+
+def format_float(value: Any, digits: int = 3) -> str:
+    """Format a number compactly: fixed-point when sane, scientific otherwise.
+
+    >>> format_float(0.8512)
+    '0.851'
+    >>> format_float(2500000)
+    '2.50e+06'
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:.2e}" if abs(value) >= 10**6 else str(value)
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        return str(value)
+    if v != v:  # NaN
+        return "nan"
+    if v == 0:
+        return "0"
+    if abs(v) >= 10**6 or abs(v) < 10 ** (-digits):
+        return f"{v:.2e}"
+    return f"{v:.{digits}f}"
+
+
+class ResultTable:
+    """An aligned text table with a title, headers and typed rows.
+
+    Examples
+    --------
+    >>> t = ResultTable("demo", ["name", "acc"])
+    >>> t.add_row(["isolet", 0.931])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    == demo ==
+    name   | acc
+    -------+------
+    isolet | 0.931
+    """
+
+    def __init__(self, title: str, headers: Sequence[str]):
+        if not headers:
+            raise ValueError("headers must be non-empty")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self._rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[Any], digits: int = 3) -> None:
+        """Append one row; numbers are formatted with :func:`format_float`."""
+        row = [format_float(v, digits) if not isinstance(v, str) else v for v in values]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self._rows.append(row)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._rows)
+
+    def render(self) -> str:
+        """Render the table as aligned pipe-separated text."""
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [f"== {self.title} =="]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self._rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the rendered table (used by the benchmark harness)."""
+        print("\n" + self.render())

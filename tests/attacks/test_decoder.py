@@ -1,0 +1,154 @@
+"""Tests for the Eq. (9)–(10) reconstruction attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.decoder import HDDecoder, decode_level_base, decode_scalar_base
+from repro.hd import (
+    BipolarQuantizer,
+    LevelBaseEncoder,
+    ScalarBaseEncoder,
+)
+from repro.utils import spawn
+
+
+def _features(n=4, d_in=24, seed=0):
+    return spawn(seed, "dec-x").uniform(0.05, 0.95, (n, d_in))
+
+
+class TestScalarBaseDecoding:
+    def test_reconstruction_error_small_at_high_dhv(self):
+        enc = ScalarBaseEncoder(24, 16384, seed=1)
+        X = _features()
+        X_hat = decode_scalar_base(enc.encode(X), enc)
+        assert np.abs(X_hat - X).max() < 0.12
+
+    def test_error_shrinks_with_dhv(self):
+        """Eq. (10): cross-talk scales like sqrt(Div/Dhv)."""
+        X = _features(seed=2)
+        errs = []
+        for d_hv in (1024, 4096, 16384):
+            enc = ScalarBaseEncoder(24, d_hv, seed=3)
+            X_hat = decode_scalar_base(enc.encode(X), enc)
+            errs.append(np.abs(X_hat - X).mean())
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_exact_for_single_feature(self):
+        # With Div=1 there is no cross-talk at all: decode is exact.
+        enc = ScalarBaseEncoder(1, 256, seed=4)
+        X = np.array([[0.37]])
+        X_hat = decode_scalar_base(enc.encode(X), enc, clip=False)
+        assert X_hat[0, 0] == pytest.approx(0.37, abs=1e-5)
+
+    def test_clip_respects_feature_range(self):
+        enc = ScalarBaseEncoder(8, 512, seed=5)
+        H = enc.encode(_features(2, 8)) * 100.0  # blow up the scale
+        X_hat = decode_scalar_base(H, enc, clip=True)
+        assert X_hat.min() >= enc.lo and X_hat.max() <= enc.hi
+
+    def test_effective_d_hv_rescales_masked_queries(self):
+        enc = ScalarBaseEncoder(24, 8192, seed=6)
+        X = _features(seed=7)
+        H = enc.encode(X)
+        keep = np.zeros(8192, dtype=bool)
+        keep[:4096] = True
+        H_masked = H * keep
+        naive = decode_scalar_base(H_masked, enc)
+        informed = decode_scalar_base(H_masked, enc, effective_d_hv=4096)
+        err_naive = np.abs(naive - X).mean()
+        err_informed = np.abs(informed - X).mean()
+        assert err_informed < err_naive  # informed attacker does better
+
+    def test_invalid_effective_d_hv(self):
+        enc = ScalarBaseEncoder(4, 64, seed=0)
+        with pytest.raises(ValueError):
+            decode_scalar_base(enc.encode(_features(1, 4)), enc, effective_d_hv=0)
+
+
+class TestLevelBaseDecoding:
+    def test_recovers_level_representatives(self):
+        enc = LevelBaseEncoder(12, 8192, n_levels=8, seed=8)
+        X = _features(3, 12, seed=9)
+        X_hat = decode_level_base(enc.encode(X), enc)
+        # The decoder returns level representatives; error bounded by
+        # half a level step plus rare cross-talk misclassifications.
+        snapped = enc.levels.values(enc.levels.indices(X))
+        assert (X_hat == snapped).mean() > 0.9
+
+    def test_quantization_limited_error(self):
+        enc = LevelBaseEncoder(10, 8192, n_levels=16, seed=10)
+        X = _features(2, 10, seed=11)
+        X_hat = decode_level_base(enc.encode(X), enc)
+        assert np.abs(X_hat - X).mean() < 0.1
+
+
+class TestHDDecoder:
+    def test_dispatch_scalar(self):
+        enc = ScalarBaseEncoder(16, 4096, seed=12)
+        X = _features(2, 16, seed=13)
+        dec = HDDecoder(enc)
+        np.testing.assert_allclose(
+            dec.decode(enc.encode(X)), decode_scalar_base(enc.encode(X), enc)
+        )
+
+    def test_dispatch_level(self):
+        enc = LevelBaseEncoder(8, 2048, n_levels=4, seed=14)
+        X = _features(2, 8, seed=15)
+        dec = HDDecoder(enc)
+        np.testing.assert_allclose(
+            dec.decode(enc.encode(X)), decode_level_base(enc.encode(X), enc)
+        )
+
+    def test_decode_one(self):
+        enc = ScalarBaseEncoder(8, 2048, seed=16)
+        x = _features(1, 8, seed=17)[0]
+        dec = HDDecoder(enc)
+        out = dec.decode_one(enc.encode_one(x))
+        assert out.shape == (8,)
+
+    def test_decode_images_shape(self):
+        enc = ScalarBaseEncoder(16, 2048, seed=18)
+        X = _features(3, 16, seed=19)
+        imgs = HDDecoder(enc).decode_images(enc.encode(X), (4, 4))
+        assert imgs.shape == (3, 4, 4)
+
+    def test_decode_images_bad_shape(self):
+        enc = ScalarBaseEncoder(16, 2048, seed=20)
+        X = _features(1, 16)
+        with pytest.raises(ValueError):
+            HDDecoder(enc).decode_images(enc.encode(X), (3, 4))
+
+    def test_rejects_unknown_encoder(self):
+        with pytest.raises(TypeError):
+            HDDecoder(object())
+
+
+class TestLeakageUnderObfuscation:
+    """The qualitative claims of Fig. 6: quantization+masking hurt the
+    attacker more than they hurt nothing at all."""
+
+    def test_quantized_decode_worse_than_plain(self):
+        enc = ScalarBaseEncoder(24, 8192, seed=21)
+        X = _features(4, 24, seed=22)
+        H = enc.encode(X)
+        plain = HDDecoder(enc).decode(H)
+        quant = HDDecoder(enc).decode(BipolarQuantizer()(H))
+        err_plain = np.abs(plain - X).mean()
+        err_quant = np.abs(quant - X).mean()
+        assert err_quant > err_plain
+
+    def test_masking_degrades_decode_progressively(self):
+        enc = ScalarBaseEncoder(24, 8192, seed=23)
+        X = _features(4, 24, seed=24)
+        H = enc.encode(X)
+        rng = spawn(25, "mask")
+        errs = []
+        for n_mask in (0, 4000, 7000):
+            mask = np.ones(8192)
+            if n_mask:
+                mask[rng.permutation(8192)[:n_mask]] = 0.0
+            X_hat = HDDecoder(enc).decode(
+                H * mask, effective_d_hv=8192 - n_mask
+            )
+            errs.append(np.abs(X_hat - X).mean())
+        assert errs[0] < errs[1] < errs[2]

@@ -1,0 +1,102 @@
+"""Tests for the model-difference extraction attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.membership import ModelDifferenceAttack
+from repro.hd import HDModel, ScalarBaseEncoder
+from repro.utils import spawn
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """Two adjacent models: D2 = D1 + one extra record."""
+    rng = spawn(0, "memb")
+    d_in, d_hv, n_classes, n = 24, 8192, 4, 120
+    enc = ScalarBaseEncoder(d_in, d_hv, seed=1)
+    X = rng.uniform(0.05, 0.95, (n, d_in))
+    y = rng.integers(0, n_classes, n)
+    target_x = rng.uniform(0.05, 0.95, d_in)
+    target_y = 2
+    H = enc.encode(X)
+    m_without = HDModel.from_encodings(H, y, n_classes)
+    m_with = m_without.copy()
+    m_with.bundle(enc.encode_one(target_x)[None, :], np.array([target_y]))
+    return enc, m_with, m_without, target_x, target_y
+
+
+class TestDifference:
+    def test_difference_is_single_row(self, setup):
+        enc, m_with, m_without, _, target_y = setup
+        attack = ModelDifferenceAttack(enc)
+        diff = attack.difference(m_with, m_without)
+        norms = np.linalg.norm(diff, axis=1)
+        assert np.flatnonzero(norms > 1e-9).tolist() == [target_y]
+
+    def test_shape_mismatch_rejected(self, setup):
+        enc, m_with, _, _, _ = setup
+        attack = ModelDifferenceAttack(enc)
+        with pytest.raises(ValueError):
+            attack.difference(m_with, HDModel(2, 16))
+
+
+class TestExtract:
+    def test_identifies_class(self, setup):
+        enc, m_with, m_without, _, target_y = setup
+        result = ModelDifferenceAttack(enc).extract(m_with, m_without)
+        assert result.class_index == target_y
+
+    def test_recovers_exact_encoding(self, setup):
+        enc, m_with, m_without, target_x, _ = setup
+        result = ModelDifferenceAttack(enc).extract(m_with, m_without)
+        np.testing.assert_allclose(
+            result.encoding, enc.encode_one(target_x), rtol=1e-9, atol=1e-6
+        )
+
+    def test_reconstructs_features(self, setup):
+        """The full Section III-A pipeline: model diff → features."""
+        enc, m_with, m_without, target_x, _ = setup
+        result = ModelDifferenceAttack(enc).extract(m_with, m_without)
+        assert np.abs(result.features - target_x).max() < 0.15
+
+    def test_row_norms_exposed(self, setup):
+        enc, m_with, m_without, _, _ = setup
+        result = ModelDifferenceAttack(enc).extract(m_with, m_without)
+        assert result.row_norms.shape == (4,)
+
+
+class TestMembershipScore:
+    def test_true_record_scores_high(self, setup):
+        enc, m_with, m_without, target_x, _ = setup
+        score = ModelDifferenceAttack(enc).membership_score(
+            target_x, m_with, m_without
+        )
+        assert score > 0.95
+
+    def test_unrelated_record_scores_low(self, setup):
+        enc, m_with, m_without, _, _ = setup
+        other = spawn(9, "other").uniform(0.05, 0.95, 24)
+        score = ModelDifferenceAttack(enc).membership_score(
+            other, m_with, m_without
+        )
+        assert score < 0.9
+
+    def test_dp_noise_suppresses_score(self, setup):
+        """Adding Gaussian noise (the Prive-HD defense) breaks the attack."""
+        enc, m_with, m_without, target_x, _ = setup
+        attack = ModelDifferenceAttack(enc)
+        clean = attack.membership_score(target_x, m_with, m_without)
+        noisy_model = m_with.with_noise(200.0, rng=spawn(3, "noise"))
+        noisy = attack.membership_score(target_x, noisy_model, m_without)
+        assert noisy < clean - 0.2
+
+    def test_dp_noise_breaks_reconstruction(self, setup):
+        enc, m_with, m_without, target_x, _ = setup
+        attack = ModelDifferenceAttack(enc)
+        clean = attack.extract(m_with, m_without)
+        noisy = attack.extract(
+            m_with.with_noise(500.0, rng=spawn(4, "noise")), m_without
+        )
+        err_clean = np.abs(clean.features - target_x).mean()
+        err_noisy = np.abs(noisy.features - target_x).mean()
+        assert err_noisy > 2 * err_clean

@@ -1,0 +1,83 @@
+"""Tests for reconstruction-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.metrics import mean_absolute_error, mse, normalized_mse, psnr
+
+
+class TestMse:
+    def test_zero_for_identical(self):
+        a = np.random.default_rng(0).uniform(size=(4, 4))
+        assert mse(a, a) == 0.0
+
+    def test_known_value(self):
+        assert mse(np.zeros(4), np.full(4, 2.0)) == pytest.approx(4.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(0), np.zeros(0))
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.uniform(size=10), rng.uniform(size=10)
+        assert mse(a, b) == pytest.approx(mse(b, a))
+
+
+class TestMae:
+    def test_known_value(self):
+        assert mean_absolute_error(np.zeros(2), np.array([1.0, -3.0])) == 2.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error(np.zeros(0), np.zeros(0))
+
+
+class TestNormalizedMse:
+    def test_equal_estimates_give_one(self):
+        ref = np.zeros(8)
+        est = np.ones(8)
+        assert normalized_mse(ref, est, est) == pytest.approx(1.0)
+
+    def test_worse_estimate_above_one(self):
+        ref = np.zeros(8)
+        good = np.full(8, 0.1)
+        bad = np.full(8, 1.0)
+        assert normalized_mse(ref, bad, good) > 1.0
+
+    def test_exact_baseline_rejected(self):
+        ref = np.zeros(4)
+        with pytest.raises(ValueError):
+            normalized_mse(ref, np.ones(4), ref)
+
+
+class TestPsnr:
+    def test_exact_is_infinite(self):
+        a = np.ones((2, 2))
+        assert psnr(a, a) == float("inf")
+
+    def test_known_value(self):
+        # MSE = 0.01, range 1 → 10*log10(1/0.01) = 20 dB.
+        ref = np.zeros(100)
+        est = np.full(100, 0.1)
+        assert psnr(ref, est) == pytest.approx(20.0)
+
+    def test_larger_range_raises_psnr(self):
+        ref, est = np.zeros(10), np.full(10, 0.5)
+        assert psnr(ref, est, data_range=2.0) > psnr(ref, est, data_range=1.0)
+
+    def test_monotone_in_error(self):
+        ref = np.zeros(50)
+        assert psnr(ref, np.full(50, 0.05)) > psnr(ref, np.full(50, 0.2))
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros(2), np.zeros(2), data_range=0.0)

@@ -1,0 +1,60 @@
+"""Shared fixtures: a small, well-separated synthetic classification task.
+
+The fixtures are deliberately tiny (tens of features, ~2k hypervector
+dimensions) so the whole suite runs in seconds while still exercising the
+same code paths the paper-scale experiments use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hd import HDModel, LevelBaseEncoder, ScalarBaseEncoder
+from repro.utils import spawn
+
+
+def make_cluster_task(
+    n: int = 240,
+    d_in: int = 32,
+    n_classes: int = 4,
+    noise: float = 0.1,
+    seed: int = 7,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gaussian class clusters with features clipped to [0, 1]."""
+    rng = spawn(seed, "cluster-task")
+    means = rng.uniform(0.2, 0.8, (n_classes, d_in))
+    y = rng.integers(0, n_classes, n)
+    X = np.clip(means[y] + rng.normal(0.0, noise, (n, d_in)), 0.0, 1.0)
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def task():
+    """(X, y) with 4 well-separated classes in [0, 1]^32."""
+    return make_cluster_task()
+
+
+@pytest.fixture(scope="session")
+def hard_task():
+    """A noisier task where pruning/quantization effects are visible."""
+    return make_cluster_task(n=400, d_in=24, n_classes=6, noise=0.22, seed=11)
+
+
+@pytest.fixture(scope="session")
+def scalar_encoder():
+    return ScalarBaseEncoder(32, 2048, seed=3)
+
+
+@pytest.fixture(scope="session")
+def level_encoder():
+    return LevelBaseEncoder(32, 2048, n_levels=16, seed=3)
+
+
+@pytest.fixture(scope="session")
+def trained(task, scalar_encoder):
+    """(model, H, y) trained on the easy task with the scalar encoder."""
+    X, y = task
+    H = scalar_encoder.encode(X)
+    model = HDModel.from_encodings(H, y, 4)
+    return model, H, y

@@ -1,0 +1,106 @@
+"""Tests for the privacy audit module."""
+
+import numpy as np
+import pytest
+
+from repro.core.audit import (
+    audit_inference_privacy,
+    audit_training_privacy,
+)
+from repro.core.dp_trainer import DPTrainingConfig
+from repro.core.inference_privacy import InferenceObfuscator, ObfuscationConfig
+from repro.hd import ScalarBaseEncoder
+from tests.conftest import make_cluster_task
+
+
+@pytest.fixture(scope="module")
+def data():
+    X, y = make_cluster_task(n=300, d_in=24, n_classes=3, noise=0.1, seed=91)
+    return 2.0 * X - 1.0, y
+
+
+class TestTrainingAudit:
+    @pytest.fixture(scope="class")
+    def plain(self, data):
+        X, y = data
+        return audit_training_privacy(X, y, 3, d_hv=2048, n_probes=2, seed=3)
+
+    @pytest.fixture(scope="class")
+    def private(self, data):
+        X, y = data
+        return audit_training_privacy(
+            X, y, 3, epsilon=1.0, d_hv=2048, n_probes=2, seed=3
+        )
+
+    def test_plain_training_fails_audit(self, plain):
+        """Non-private HD: extraction succeeds (the paper's breach)."""
+        assert plain.extraction_succeeds
+        assert plain.mean_membership_score > 0.9
+        assert plain.mean_relative_error < 0.1
+        assert plain.epsilon == float("inf")
+
+    def test_private_training_passes_audit(self, private):
+        assert not private.extraction_succeeds
+        assert private.mean_membership_score < 0.5
+        assert private.epsilon == 1.0
+
+    def test_private_reconstruction_worse(self, plain, private):
+        assert private.mean_relative_error > plain.mean_relative_error
+
+    def test_table_renders(self, plain):
+        table = plain.to_table()
+        assert table.n_rows == 3  # 2 probes + mean
+
+    def test_explicit_config(self, data):
+        X, y = data
+        cfg = DPTrainingConfig(epsilon=2.0, d_hv=1024, seed=4)
+        audit = audit_training_privacy(
+            X, y, 3, config=cfg, d_hv=1024, n_probes=1, seed=4
+        )
+        assert audit.epsilon == 2.0
+
+    def test_too_many_probes_rejected(self, data):
+        X, y = data
+        with pytest.raises(ValueError):
+            audit_training_privacy(X[:3], y[:3], 3, n_probes=5)
+
+
+class TestInferenceAudit:
+    @pytest.fixture(scope="class")
+    def encoder(self):
+        return ScalarBaseEncoder(24, 2048, lo=-1.0, hi=1.0, seed=5)
+
+    def test_obfuscation_protects(self, data, encoder):
+        X, _ = data
+        obf = InferenceObfuscator(
+            encoder, ObfuscationConfig(quantizer="bipolar", n_masked=1024)
+        )
+        audit = audit_inference_privacy(obf, X[:40])
+        assert audit.protection_factor > 1.0
+        assert audit.relative_error_obfuscated > audit.relative_error_plain
+
+    def test_identity_obfuscator_no_protection(self, data, encoder):
+        X, _ = data
+        obf = InferenceObfuscator(
+            encoder, ObfuscationConfig(quantizer="identity", n_masked=0)
+        )
+        audit = audit_inference_privacy(obf, X[:40])
+        assert audit.protection_factor == pytest.approx(1.0, abs=1e-6)
+
+    def test_more_masking_more_protection(self, data, encoder):
+        X, _ = data
+        light = InferenceObfuscator(
+            encoder, ObfuscationConfig(n_masked=256)
+        )
+        heavy = InferenceObfuscator(
+            encoder, ObfuscationConfig(n_masked=1700)
+        )
+        a = audit_inference_privacy(light, X[:40])
+        b = audit_inference_privacy(heavy, X[:40])
+        assert b.protection_factor > a.protection_factor
+
+    def test_table_renders(self, data, encoder):
+        X, _ = data
+        obf = InferenceObfuscator(encoder, ObfuscationConfig(n_masked=512))
+        table = audit_inference_privacy(obf, X[:20]).to_table()
+        assert table.n_rows == 3

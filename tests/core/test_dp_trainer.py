@@ -1,0 +1,183 @@
+"""Tests for the full Prive-HD DP training pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.dp_trainer import (
+    DPTrainer,
+    DPTrainingConfig,
+    quantize_masked,
+)
+from repro.hd import ScalarBaseEncoder, get_quantizer
+from repro.utils import spawn
+from tests.conftest import make_cluster_task
+
+
+@pytest.fixture(scope="module")
+def task():
+    return make_cluster_task(n=600, d_in=32, n_classes=4, noise=0.12, seed=41)
+
+
+@pytest.fixture(scope="module")
+def result(task):
+    X, y = task
+    cfg = DPTrainingConfig(
+        epsilon=4.0, d_hv=2000, effective_dims=1000, seed=7
+    )
+    return DPTrainer(cfg).fit(X, y, n_classes=4)
+
+
+class TestQuantizeMasked:
+    def test_pruned_dims_zero(self):
+        H = spawn(0, "qm").normal(0, 10, (4, 100))
+        keep = np.zeros(100, dtype=bool)
+        keep[:60] = True
+        out = quantize_masked(H, keep, get_quantizer("bipolar"))
+        assert np.all(out[:, 60:] == 0.0)
+        assert set(np.unique(out[:, :60])) == {-1.0, 1.0}
+
+    def test_quantile_proportions_hold_on_live_dims(self):
+        H = spawn(1, "qm").normal(0, 10, (4, 1000))
+        keep = np.zeros(1000, dtype=bool)
+        keep[::2] = True
+        out = quantize_masked(H, keep, get_quantizer("ternary-biased"))
+        live = out[:, keep]
+        assert (live == 0).mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_mask_shape_checked(self):
+        with pytest.raises(ValueError):
+            quantize_masked(
+                np.ones((2, 4)), np.ones(3, dtype=bool), get_quantizer("bipolar")
+            )
+
+
+class TestConfigValidation:
+    def test_effective_exceeding_dhv_rejected(self):
+        with pytest.raises(ValueError):
+            DPTrainingConfig(epsilon=1.0, d_hv=100, effective_dims=200)
+
+    def test_negative_epochs_rejected(self):
+        with pytest.raises(ValueError):
+            DPTrainingConfig(epsilon=1.0, retrain_epochs=-1)
+
+    def test_invalid_epsilon_surfaces_at_fit(self, task):
+        X, y = task
+        with pytest.raises(ValueError):
+            DPTrainer(DPTrainingConfig(epsilon=-1.0, d_hv=500)).fit(
+                X, y, n_classes=4
+            )
+
+
+class TestPipelineStructure:
+    def test_live_dims_exact(self, result):
+        assert result.n_live_dims == 1000
+        assert result.keep_mask.sum() == 1000
+
+    def test_pruned_dims_zero_in_both_models(self, result):
+        dead = ~result.keep_mask
+        assert np.all(result.baseline.class_hvs[:, dead] == 0.0)
+        assert np.all(result.private.model.class_hvs[:, dead] == 0.0)
+
+    def test_private_differs_from_baseline_on_live_dims(self, result):
+        live = result.keep_mask
+        assert not np.allclose(
+            result.private.model.class_hvs[:, live],
+            result.baseline.class_hvs[:, live],
+        )
+
+    def test_sensitivity_uses_live_dims(self, result):
+        # biased ternary at 1000 live dims → sqrt(500) ≈ 22.36
+        assert result.private.sensitivity == pytest.approx(22.4, abs=0.3)
+
+    def test_query_pipeline_masks_and_quantizes(self, result, task):
+        X, _ = task
+        Q = result.encode_queries(X[:8])
+        assert np.all(Q[:, ~result.keep_mask] == 0.0)
+        assert set(np.unique(Q[:, result.keep_mask])) <= {-1.0, 0.0, 1.0}
+
+    def test_retrain_history_recorded(self, result):
+        assert result.retrain_history is not None
+        assert result.retrain_history.n_epochs >= 1
+
+    def test_no_pruning_config(self, task):
+        X, y = task
+        cfg = DPTrainingConfig(epsilon=4.0, d_hv=1000, retrain_epochs=0)
+        res = DPTrainer(cfg).fit(X, y, n_classes=4)
+        assert res.n_live_dims == 1000
+        assert res.retrain_history is None
+
+    def test_encoder_reuse(self, task):
+        X, y = task
+        enc = ScalarBaseEncoder(32, 1500, seed=9)
+        cfg = DPTrainingConfig(epsilon=2.0, d_hv=1500, seed=9)
+        res = DPTrainer(cfg).fit(X, y, n_classes=4, encoder=enc)
+        assert res.encoder is enc
+
+    def test_encoder_shape_mismatch(self, task):
+        X, y = task
+        enc = ScalarBaseEncoder(32, 512, seed=9)
+        cfg = DPTrainingConfig(epsilon=2.0, d_hv=1500)
+        with pytest.raises(ValueError):
+            DPTrainer(cfg).fit(X, y, n_classes=4, encoder=enc)
+
+    def test_precomputed_encodings_match(self, task):
+        X, y = task
+        enc = ScalarBaseEncoder(32, 1000, seed=11)
+        cfg = DPTrainingConfig(epsilon=3.0, d_hv=1000, seed=11)
+        a = DPTrainer(cfg).fit(X, y, n_classes=4, encoder=enc)
+        b = DPTrainer(cfg).fit(
+            X, y, n_classes=4, encoder=enc, encodings=enc.encode(X)
+        )
+        np.testing.assert_allclose(
+            a.private.model.class_hvs, b.private.model.class_hvs
+        )
+
+    def test_encodings_length_mismatch(self, task):
+        X, y = task
+        enc = ScalarBaseEncoder(32, 1000, seed=11)
+        cfg = DPTrainingConfig(epsilon=3.0, d_hv=1000)
+        with pytest.raises(ValueError):
+            DPTrainer(cfg).fit(
+                X, y, n_classes=4, encoder=enc, encodings=enc.encode(X[:10])
+            )
+
+
+class TestPrivacyAccuracyBehaviour:
+    def test_accuracy_reasonable_at_loose_budget(self, result, task):
+        X, y = task
+        assert result.accuracy(X, y) > 0.8
+
+    def test_baseline_at_least_private(self, result, task):
+        X, y = task
+        assert result.baseline_accuracy(X, y) >= result.accuracy(X, y) - 0.05
+
+    def test_tighter_epsilon_hurts_more(self, task):
+        X, y = task
+        accs = {}
+        for eps in (0.1, 8.0):
+            cfg = DPTrainingConfig(
+                epsilon=eps, d_hv=1500, effective_dims=800, seed=13
+            )
+            accs[eps] = DPTrainer(cfg).fit(X, y, n_classes=4).accuracy(X, y)
+        assert accs[8.0] > accs[0.1]
+
+    def test_determinism(self, task):
+        X, y = task
+        cfg = DPTrainingConfig(epsilon=2.0, d_hv=800, seed=17)
+        a = DPTrainer(cfg).fit(X, y, n_classes=4)
+        b = DPTrainer(cfg).fit(X, y, n_classes=4)
+        np.testing.assert_allclose(
+            a.private.model.class_hvs, b.private.model.class_hvs
+        )
+
+    def test_full_precision_quantizer_needs_more_noise(self, task):
+        """Identity quantizer → Eq. (12) sensitivity → far more noise."""
+        X, y = task
+        base = dict(epsilon=2.0, d_hv=1500, seed=19)
+        q = DPTrainer(
+            DPTrainingConfig(quantizer="ternary-biased", **base)
+        ).fit(X, y, n_classes=4)
+        f = DPTrainer(DPTrainingConfig(quantizer="identity", **base)).fit(
+            X, y, n_classes=4
+        )
+        assert f.private.noise_std > 3 * q.private.noise_std

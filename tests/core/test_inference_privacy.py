@@ -1,0 +1,133 @@
+"""Tests for inference obfuscation (quantize + mask, §III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.inference_privacy import (
+    InferenceObfuscator,
+    ObfuscationConfig,
+)
+from repro.hd import HDModel, ScalarBaseEncoder
+from repro.utils import spawn
+from tests.conftest import make_cluster_task
+
+
+@pytest.fixture(scope="module")
+def setup():
+    X, y = make_cluster_task(n=400, d_in=32, n_classes=4, noise=0.1, seed=51)
+    X = 2.0 * X - 1.0  # centered features, as the real datasets use
+    enc = ScalarBaseEncoder(32, 2048, lo=-1.0, hi=1.0, seed=5)
+    H = enc.encode(X)
+    model = HDModel.from_encodings(H, y, 4)
+    return enc, model, X, y
+
+
+class TestConfig:
+    def test_negative_mask_rejected(self):
+        with pytest.raises(ValueError):
+            ObfuscationConfig(n_masked=-1)
+
+    def test_mask_covering_everything_rejected(self, setup):
+        enc, *_ = setup
+        with pytest.raises(ValueError):
+            InferenceObfuscator(enc, ObfuscationConfig(n_masked=2048))
+
+    def test_defaults(self, setup):
+        enc, *_ = setup
+        obf = InferenceObfuscator(enc)
+        assert obf.quantizer.name == "bipolar"
+        assert obf.n_unmasked == 2048
+
+
+class TestPrepare:
+    def test_output_is_quantized_and_masked(self, setup):
+        enc, _, X, _ = setup
+        obf = InferenceObfuscator(enc, ObfuscationConfig(n_masked=500))
+        Q = obf.prepare(X[:6])
+        assert Q.shape == (6, 2048)
+        assert np.all(Q[:, ~obf.keep_mask] == 0.0)
+        assert set(np.unique(Q[:, obf.keep_mask])) <= {-1.0, 1.0}
+
+    def test_mask_is_fixed_across_queries(self, setup):
+        enc, _, X, _ = setup
+        obf = InferenceObfuscator(enc, ObfuscationConfig(n_masked=700))
+        Q1 = obf.prepare(X[:3])
+        Q2 = obf.prepare(X[3:6])
+        zeros1 = np.all(Q1 == 0, axis=0)
+        zeros2 = np.all(Q2 == 0, axis=0)
+        np.testing.assert_array_equal(
+            zeros1 & ~obf.keep_mask, zeros2 & ~obf.keep_mask
+        )
+
+    def test_mask_deterministic_by_seed(self, setup):
+        enc, *_ = setup
+        a = InferenceObfuscator(enc, ObfuscationConfig(n_masked=100, mask_seed=1))
+        b = InferenceObfuscator(enc, ObfuscationConfig(n_masked=100, mask_seed=1))
+        c = InferenceObfuscator(enc, ObfuscationConfig(n_masked=100, mask_seed=2))
+        np.testing.assert_array_equal(a.keep_mask, b.keep_mask)
+        assert not np.array_equal(a.keep_mask, c.keep_mask)
+
+    def test_identity_quantizer_masks_only(self, setup):
+        enc, _, X, _ = setup
+        obf = InferenceObfuscator(
+            enc, ObfuscationConfig(quantizer="identity", n_masked=100)
+        )
+        Q = obf.prepare(X[:2])
+        H = enc.encode(X[:2])
+        np.testing.assert_allclose(
+            Q[:, obf.keep_mask], H[:, obf.keep_mask], rtol=1e-6
+        )
+
+
+class TestAccuracy:
+    def test_quantization_costs_little(self, setup):
+        """Fig. 6: 1-bit query quantization ≈ baseline accuracy."""
+        enc, model, X, y = setup
+        plain = model.accuracy(enc.encode(X), y)
+        obf = InferenceObfuscator(enc)
+        assert obf.evaluate_accuracy(model, X, y) >= plain - 0.03
+
+    def test_moderate_masking_tolerable(self, setup):
+        enc, model, X, y = setup
+        plain = model.accuracy(enc.encode(X), y)
+        obf = InferenceObfuscator(enc, ObfuscationConfig(n_masked=1024))
+        assert obf.evaluate_accuracy(model, X, y) >= plain - 0.1
+
+    def test_extreme_masking_degrades(self, setup):
+        enc, model, X, y = setup
+        gentle = InferenceObfuscator(enc, ObfuscationConfig(n_masked=256))
+        brutal = InferenceObfuscator(enc, ObfuscationConfig(n_masked=2040))
+        assert brutal.evaluate_accuracy(model, X, y) <= gentle.evaluate_accuracy(
+            model, X, y
+        )
+
+
+class TestLeakage:
+    def test_obfuscation_raises_reconstruction_error(self, setup):
+        enc, _, X, _ = setup
+        obf = InferenceObfuscator(enc, ObfuscationConfig(n_masked=1024))
+        rep = obf.leakage_report(X[:40])
+        assert rep.normalized_mse > 1.0
+        assert rep.mse_obfuscated > rep.mse_plain
+
+    def test_psnr_drops(self, setup):
+        enc, _, X, _ = setup
+        obf = InferenceObfuscator(enc, ObfuscationConfig(n_masked=1024))
+        rep = obf.leakage_report(X[:40])
+        assert rep.psnr_obfuscated < rep.psnr_plain
+
+    def test_more_masking_more_protection(self, setup):
+        enc, _, X, _ = setup
+        light = InferenceObfuscator(enc, ObfuscationConfig(n_masked=128))
+        heavy = InferenceObfuscator(enc, ObfuscationConfig(n_masked=1800))
+        assert (
+            heavy.leakage_report(X[:40]).normalized_mse
+            > light.leakage_report(X[:40]).normalized_mse
+        )
+
+    def test_quantization_alone_leaks_less_than_nothing(self, setup):
+        """Fig. 9(a)/(b): quantization alone already raises MSE ~2x."""
+        enc, _, X, _ = setup
+        obf = InferenceObfuscator(enc, ObfuscationConfig(n_masked=0))
+        rep = obf.leakage_report(X[:40])
+        assert rep.normalized_mse > 1.2

@@ -1,0 +1,99 @@
+"""Tests for the Gaussian and Laplace privatization mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import GaussianMechanism, LaplaceMechanism
+from repro.hd import HDModel
+from repro.utils import spawn
+
+
+def _model(n_classes=3, d_hv=2000, scale=50.0, seed=0):
+    rng = spawn(seed, "mech")
+    return HDModel(n_classes, d_hv, rng.normal(0, scale, (n_classes, d_hv)))
+
+
+class TestGaussianMechanism:
+    def test_sigma_factor(self):
+        assert GaussianMechanism(1.0, 1e-5).sigma_factor == pytest.approx(
+            4.75, abs=0.01
+        )
+
+    def test_noise_std(self):
+        m = GaussianMechanism(1.0, 1e-5)
+        assert m.noise_std(10.0) == pytest.approx(47.52, abs=0.05)
+
+    def test_privatize_returns_new_model(self):
+        model = _model()
+        out = GaussianMechanism(1.0).privatize(model, 10.0, rng=0)
+        assert out.model is not model
+        assert not np.allclose(out.model.class_hvs, model.class_hvs)
+
+    def test_privatize_bookkeeping(self):
+        out = GaussianMechanism(2.0, 1e-6).privatize(_model(), 5.0, rng=0)
+        assert out.epsilon == 2.0
+        assert out.delta == 1e-6
+        assert out.sensitivity == 5.0
+        assert out.noise_std == pytest.approx(
+            5.0 * GaussianMechanism(2.0, 1e-6).sigma_factor
+        )
+
+    def test_noise_has_declared_std(self):
+        model = HDModel(4, 5000)  # zero model isolates the noise
+        out = GaussianMechanism(1.0).privatize(model, 10.0, rng=spawn(1, "m"))
+        measured = out.model.class_hvs.std()
+        assert measured == pytest.approx(out.noise_std, rel=0.05)
+
+    def test_deterministic_given_rng(self):
+        model = _model()
+        a = GaussianMechanism(1.0).privatize(model, 3.0, rng=spawn(2, "m"))
+        b = GaussianMechanism(1.0).privatize(model, 3.0, rng=spawn(2, "m"))
+        np.testing.assert_allclose(a.model.class_hvs, b.model.class_hvs)
+
+    def test_negative_sensitivity_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianMechanism(1.0).privatize(_model(), -1.0)
+
+    def test_weaker_epsilon_less_noise(self):
+        model = _model()
+        tight = GaussianMechanism(0.5).privatize(model, 10.0, rng=spawn(3, "m"))
+        loose = GaussianMechanism(8.0).privatize(model, 10.0, rng=spawn(3, "m"))
+        d_tight = np.abs(tight.model.class_hvs - model.class_hvs).mean()
+        d_loose = np.abs(loose.model.class_hvs - model.class_hvs).mean()
+        assert d_loose < d_tight / 4
+
+
+class TestLaplaceMechanism:
+    def test_noise_scale(self):
+        assert LaplaceMechanism(2.0).noise_scale(100.0) == 50.0
+
+    def test_privatize_marks_pure_epsilon(self):
+        out = LaplaceMechanism(1.0).privatize(_model(), 100.0, rng=0)
+        assert out.delta == 0.0
+        assert out.epsilon == 1.0
+
+    def test_noise_std_matches_laplace(self):
+        model = HDModel(4, 5000)
+        out = LaplaceMechanism(1.0).privatize(model, 100.0, rng=spawn(4, "m"))
+        # Laplace(b) has std b*sqrt(2).
+        assert out.model.class_hvs.std() == pytest.approx(
+            100.0 * np.sqrt(2), rel=0.05
+        )
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(0.0)
+
+    def test_l1_route_needs_far_more_noise(self):
+        """The paper's point: Eq. (11) ℓ1 noise dwarfs Eq. (12) ℓ2 noise."""
+        from repro.core.sensitivity import (
+            l1_sensitivity_full,
+            l2_sensitivity_full,
+        )
+
+        d_in, d_hv, eps = 617, 10000, 2.0
+        lap = LaplaceMechanism(eps).noise_scale(
+            l1_sensitivity_full(d_in, d_hv)
+        ) * np.sqrt(2)
+        gau = GaussianMechanism(eps).noise_std(l2_sensitivity_full(d_in, d_hv))
+        assert lap > 10 * gau

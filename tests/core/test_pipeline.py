@@ -1,0 +1,118 @@
+"""Tests for the PriveHD facade."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.decoder import HDDecoder
+from repro.core.pipeline import PriveHD
+from tests.conftest import make_cluster_task
+
+
+@pytest.fixture(scope="module")
+def task():
+    X, y = make_cluster_task(n=500, d_in=24, n_classes=3, noise=0.12, seed=61)
+    return 2.0 * X - 1.0, y
+
+
+@pytest.fixture(scope="module")
+def system():
+    return PriveHD(d_in=24, n_classes=3, d_hv=1500, lo=-1.0, hi=1.0, seed=2)
+
+
+class TestFit:
+    def test_plain_fit_accuracy(self, system, task):
+        X, y = task
+        model = system.fit(X, y)
+        assert model.accuracy(system.encode(X), y) > 0.9
+
+    def test_fit_with_retraining(self, system, task):
+        X, y = task
+        plain = system.fit(X, y)
+        retrained = system.fit(X, y, retrain_epochs=3)
+        H = system.encode(X)
+        assert retrained.accuracy(H, y) >= plain.accuracy(H, y) - 0.02
+
+    def test_fit_with_quantizer(self, system, task):
+        X, y = task
+        model = system.fit(X, y, quantizer="bipolar")
+        assert model.accuracy(system.encode(X), y) > 0.85
+
+    def test_label_validation(self, system, task):
+        X, _ = task
+        with pytest.raises(ValueError):
+            system.fit(X, np.full(X.shape[0], 7))
+
+
+class TestFitPrivate:
+    def test_returns_result_with_correct_budget(self, system, task):
+        X, y = task
+        res = system.fit_private(X, y, epsilon=3.0, effective_dims=800)
+        assert res.private.epsilon == 3.0
+        assert res.n_live_dims == 800
+
+    def test_shares_encoder(self, system, task):
+        X, y = task
+        res = system.fit_private(X, y, epsilon=3.0)
+        assert res.encoder is system.encoder
+
+
+class TestObfuscatorAndDecoder:
+    def test_obfuscator_uses_system_encoder(self, system):
+        obf = system.obfuscator(n_masked=100)
+        assert obf.encoder is system.encoder
+        assert obf.n_unmasked == 1400
+
+    def test_decoder_roundtrip(self, system, task):
+        X, _ = task
+        dec = system.decoder()
+        assert isinstance(dec, HDDecoder)
+        X_hat = dec.decode(system.encode(X[:5]))
+        assert np.abs(X_hat - X[:5]).mean() < 0.3
+
+    def test_validation(self):
+        with pytest.raises((ValueError, TypeError)):
+            PriveHD(d_in=0, n_classes=3)
+
+
+class TestEndToEndStory:
+    """The paper's narrative, as integration checks."""
+
+    def test_private_model_resists_extraction(self, task):
+        """DP noise must push the membership score toward noise level."""
+        from repro.attacks.membership import ModelDifferenceAttack
+
+        X, y = task
+        ph = PriveHD(d_in=24, n_classes=3, d_hv=1500, lo=-1, hi=1, seed=3)
+        target_x, target_y = X[0], int(y[0])
+
+        # Adjacent non-private models: attack succeeds.
+        without = ph.fit(X[1:], y[1:])
+        with_rec = without.copy()
+        with_rec.bundle(ph.encode(target_x[None, :]), np.array([target_y]))
+        attack = ModelDifferenceAttack(ph.encoder)
+        assert attack.membership_score(target_x, with_rec, without) > 0.9
+
+        # Adjacent DP models: same attack, score near zero.  Each run must
+        # use its own noise draw — an attacker only sees one release.
+        res_without = ph.fit_private(
+            X[1:], y[1:], epsilon=1.0, retrain_epochs=0, noise_seed=101
+        )
+        res_with = ph.fit_private(
+            X, y, epsilon=1.0, retrain_epochs=0, noise_seed=202
+        )
+        score = attack.membership_score(
+            target_x, res_with.private.model, res_without.private.model
+        )
+        assert abs(score) < 0.5
+
+    def test_obfuscated_cloud_inference_story(self, task):
+        """Client quantizes+masks; host classifies; attacker decodes junk."""
+        X, y = task
+        ph = PriveHD(d_in=24, n_classes=3, d_hv=2000, lo=-1, hi=1, seed=4)
+        model = ph.fit(X, y)
+        obf = ph.obfuscator(n_masked=800)
+        acc = obf.evaluate_accuracy(model, X, y)
+        plain_acc = model.accuracy(ph.encode(X), y)
+        leak = obf.leakage_report(X[:50])
+        assert acc > plain_acc - 0.1          # utility preserved
+        assert leak.normalized_mse > 1.3      # leakage reduced

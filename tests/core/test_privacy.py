@@ -1,0 +1,121 @@
+"""Tests for the (ε, δ) ↔ σ privacy calculus."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.privacy import (
+    PrivacyBudget,
+    delta_for_sigma,
+    epsilon_for_sigma,
+    gaussian_noise_std,
+    laplace_noise_scale,
+    sigma_for_budget,
+)
+
+
+class TestSigmaForBudget:
+    def test_paper_headline_value(self):
+        """§IV-A: δ=1e-5, ε=1 → σ ≈ 4.75."""
+        assert sigma_for_budget(1.0, 1e-5) == pytest.approx(4.75, abs=0.01)
+
+    def test_scales_inversely_with_epsilon(self):
+        assert sigma_for_budget(2.0, 1e-5) == pytest.approx(
+            sigma_for_budget(1.0, 1e-5) / 2.0
+        )
+
+    def test_smaller_delta_needs_larger_sigma(self):
+        assert sigma_for_budget(1.0, 1e-7) > sigma_for_budget(1.0, 1e-5)
+
+    @pytest.mark.parametrize("eps", [0.0, -1.0])
+    def test_invalid_epsilon(self, eps):
+        with pytest.raises(ValueError):
+            sigma_for_budget(eps, 1e-5)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, 0.9])
+    def test_invalid_delta(self, delta):
+        with pytest.raises(ValueError):
+            sigma_for_budget(1.0, delta)
+
+
+class TestInverses:
+    def test_delta_roundtrip(self):
+        sigma = sigma_for_budget(1.5, 1e-5)
+        assert delta_for_sigma(sigma, 1.5) == pytest.approx(1e-5, rel=1e-9)
+
+    def test_epsilon_roundtrip(self):
+        sigma = sigma_for_budget(2.5, 1e-6)
+        assert epsilon_for_sigma(sigma, 1e-6) == pytest.approx(2.5, rel=1e-9)
+
+    def test_delta_decreases_with_sigma(self):
+        assert delta_for_sigma(5.0, 1.0) < delta_for_sigma(3.0, 1.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            delta_for_sigma(0.0, 1.0)
+        with pytest.raises(ValueError):
+            delta_for_sigma(1.0, 0.0)
+        with pytest.raises(ValueError):
+            epsilon_for_sigma(-1.0, 1e-5)
+
+
+class TestNoiseStd:
+    def test_is_sensitivity_times_sigma(self):
+        std = gaussian_noise_std(22.3, 1.0, 1e-5)
+        assert std == pytest.approx(22.3 * 4.752, abs=0.05)
+
+    def test_zero_sensitivity_zero_noise(self):
+        assert gaussian_noise_std(0.0, 1.0, 1e-5) == 0.0
+
+    def test_negative_sensitivity_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_noise_std(-1.0, 1.0, 1e-5)
+
+
+class TestLaplace:
+    def test_scale(self):
+        assert laplace_noise_scale(100.0, 2.0) == 50.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            laplace_noise_scale(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            laplace_noise_scale(1.0, 0.0)
+
+
+class TestPrivacyBudget:
+    def test_sigma_property(self):
+        b = PrivacyBudget(1.0, 1e-5)
+        assert b.sigma == pytest.approx(4.75, abs=0.01)
+
+    def test_noise_std(self):
+        b = PrivacyBudget(1.0, 1e-5)
+        assert b.noise_std(10.0) == pytest.approx(47.52, abs=0.05)
+
+    def test_default_delta(self):
+        assert PrivacyBudget(2.0).delta == 1e-5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(0.0)
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0, 0.0)
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0, 1.0)
+
+    def test_frozen(self):
+        b = PrivacyBudget(1.0)
+        with pytest.raises(AttributeError):
+            b.epsilon = 2.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    eps=st.floats(0.01, 20, allow_nan=False),
+    delta=st.floats(1e-9, 1e-2),
+)
+def test_property_sigma_delta_consistency(eps, delta):
+    """delta_for_sigma(sigma_for_budget(ε, δ), ε) == δ for all budgets."""
+    sigma = sigma_for_budget(eps, delta)
+    assert delta_for_sigma(sigma, eps) == pytest.approx(delta, rel=1e-6)

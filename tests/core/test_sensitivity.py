@@ -1,0 +1,135 @@
+"""Tests for sensitivity analysis (Eq. 11, 12, 14)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sensitivity import (
+    empirical_l1_sensitivity,
+    empirical_l2_sensitivity,
+    l1_sensitivity_full,
+    l2_sensitivity_full,
+    l2_sensitivity_quantized,
+    sensitivity_report,
+)
+from repro.hd import LevelBaseEncoder, get_quantizer
+from repro.utils import spawn
+
+
+class TestAnalyticFormulas:
+    def test_paper_l2_value(self):
+        """§III-B.2: Div=617, Dhv=1e4 → Δf₂ ≈ 2484."""
+        assert l2_sensitivity_full(617, 10000) == pytest.approx(2484, abs=1)
+
+    def test_paper_combined_headline(self):
+        """Quantize+prune shrinks 2484 → 22.3 (biased ternary, 1k dims)."""
+        assert l2_sensitivity_quantized("ternary-biased", 1000) == pytest.approx(
+            22.36, abs=0.01
+        )
+
+    def test_l1_formula(self):
+        # sqrt(2*200/pi) * 1000
+        assert l1_sensitivity_full(200, 1000) == pytest.approx(
+            np.sqrt(400 / np.pi) * 1000
+        )
+
+    def test_l2_monotone_in_both_args(self):
+        assert l2_sensitivity_full(100, 1000) < l2_sensitivity_full(200, 1000)
+        assert l2_sensitivity_full(100, 1000) < l2_sensitivity_full(100, 2000)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            l2_sensitivity_full(0, 100)
+        with pytest.raises(ValueError):
+            l1_sensitivity_full(100, -5)
+
+
+class TestEmpiricalEstimators:
+    def test_l2_known_value(self):
+        H = np.array([[3.0, 4.0], [0.0, 1.0]])
+        assert empirical_l2_sensitivity(H) == 5.0
+
+    def test_l1_known_value(self):
+        H = np.array([[1.0, -2.0], [0.5, 0.5]])
+        assert empirical_l1_sensitivity(H) == 3.0
+
+    def test_analytic_l2_matches_real_encodings(self):
+        """Eq. (12) must predict real level-base encoding norms.
+
+        Level-base encodings are sums of Div exactly-bipolar vectors, so
+        ‖H‖₂² concentrates at Dhv·Div.
+        """
+        enc = LevelBaseEncoder(64, 4096, n_levels=8, seed=0)
+        X = spawn(1, "sens").uniform(0, 1, (40, 64))
+        H = enc.encode(X)
+        analytic = l2_sensitivity_full(64, 4096)
+        measured = empirical_l2_sensitivity(H)
+        assert measured == pytest.approx(analytic, rel=0.15)
+
+    def test_analytic_l1_matches_real_encodings(self):
+        enc = LevelBaseEncoder(64, 4096, n_levels=8, seed=2)
+        X = spawn(3, "sens").uniform(0, 1, (40, 64))
+        H = enc.encode(X)
+        analytic = l1_sensitivity_full(64, 4096)
+        measured = empirical_l1_sensitivity(H)
+        assert measured == pytest.approx(analytic, rel=0.15)
+
+
+class TestQuantizedSensitivity:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("bipolar", 100.0),
+            ("ternary", np.sqrt(2e4 / 3)),
+            ("ternary-biased", np.sqrt(5e3)),
+            ("2bit", np.sqrt(1.5e4)),
+        ],
+    )
+    def test_analytic_values_at_10k(self, name, expected):
+        assert l2_sensitivity_quantized(name, 10000) == pytest.approx(expected)
+
+    def test_quantized_encodings_match_analytic_exactly(self):
+        """Per-row quantile cuts realize Eq. (14) almost exactly."""
+        rng = spawn(4, "sens")
+        H = rng.normal(0, 30, (32, 5000))
+        for name in ("bipolar", "ternary", "ternary-biased", "2bit"):
+            q = get_quantizer(name)
+            measured = empirical_l2_sensitivity(q(H))
+            analytic = l2_sensitivity_quantized(name, 5000)
+            assert measured == pytest.approx(analytic, rel=0.02), name
+
+    def test_identity_needs_d_in(self):
+        with pytest.raises(ValueError):
+            l2_sensitivity_quantized("identity", 1000)
+        assert l2_sensitivity_quantized("identity", 1000, 100) == pytest.approx(
+            np.sqrt(1e5)
+        )
+
+
+class TestSensitivityReport:
+    def test_quantized_report(self):
+        rng = spawn(5, "sens")
+        H = get_quantizer("bipolar")(rng.normal(0, 10, (16, 2000)))
+        rep = sensitivity_report(H, d_in=100, quantizer="bipolar")
+        assert rep.quantizer == "bipolar"
+        assert rep.analytic_l2 == pytest.approx(np.sqrt(2000))
+        assert rep.empirical_l2 == pytest.approx(np.sqrt(2000))
+        assert rep.l2_ratio == pytest.approx(1.0)
+
+    def test_full_precision_report_includes_l1(self):
+        enc_rng = spawn(6, "sens")
+        H = enc_rng.normal(0, np.sqrt(100), (16, 2000))
+        rep = sensitivity_report(H, d_in=100, include_l1=True)
+        assert rep.analytic_l1 == pytest.approx(l1_sensitivity_full(100, 2000))
+        assert rep.empirical_l1 is not None
+        assert rep.l2_ratio == pytest.approx(1.0, rel=0.2)
+
+    def test_quantized_l1(self):
+        H = get_quantizer("ternary-biased")(
+            spawn(7, "sens").normal(0, 5, (8, 4000))
+        )
+        rep = sensitivity_report(
+            H, d_in=10, quantizer="ternary-biased", include_l1=True
+        )
+        # analytic l1 = Dhv * (p1*1 + p-1*1) = 4000 * 0.5
+        assert rep.analytic_l1 == pytest.approx(2000.0)
+        assert rep.empirical_l1 == pytest.approx(2000.0, rel=0.02)

@@ -1,0 +1,44 @@
+"""Calibration guards: the synthetic datasets must keep their paper-like
+HD baseline accuracies.
+
+These tests pin the *calibration contract* of DESIGN.md §2: if someone
+retunes the generators, the Prive-HD experiments stop matching the paper's
+shape, and these tests catch it.  Bounds are generous (±4–5%) because the
+checks run at reduced scale for speed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.hd import HDModel, ScalarBaseEncoder
+
+
+def _baseline_accuracy(name: str, d_hv: int = 4096, **kw) -> float:
+    ds = load_dataset(name, seed=1, **kw)
+    enc = ScalarBaseEncoder(ds.d_in, d_hv, lo=ds.lo, hi=ds.hi, seed=2)
+    H_train = enc.encode(ds.X_train)
+    H_test = enc.encode(ds.X_test)
+    model = HDModel.from_encodings(H_train, ds.y_train, ds.n_classes)
+    return model.accuracy(H_test, ds.y_test)
+
+
+@pytest.mark.slow
+class TestCalibration:
+    def test_isolet_near_93(self):
+        acc = _baseline_accuracy("isolet")
+        assert 0.88 <= acc <= 0.97, f"ISOLET-like calibration drifted: {acc:.3f}"
+
+    def test_face_mid_90s(self):
+        acc = _baseline_accuracy("face")
+        assert 0.92 <= acc <= 0.99, f"FACE-like calibration drifted: {acc:.3f}"
+
+    def test_mnist_high(self):
+        acc = _baseline_accuracy("mnist", n_train=800, n_test=200)
+        assert acc >= 0.90, f"MNIST-like calibration drifted: {acc:.3f}"
+
+    def test_isolet_harder_than_face(self):
+        """26-way ISOLET must stay the hardest task, as in the paper."""
+        assert _baseline_accuracy(
+            "isolet", n_train=1000, n_test=300
+        ) < _baseline_accuracy("face", n_train=1000, n_test=300) + 0.02

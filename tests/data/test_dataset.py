@@ -1,0 +1,141 @@
+"""Tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+
+
+def _mk(n_train=20, n_test=8, d=6, n_classes=3, image_shape=None):
+    rng = np.random.default_rng(0)
+    return Dataset(
+        name="toy",
+        X_train=rng.uniform(0, 1, (n_train, d)),
+        y_train=rng.integers(0, n_classes, n_train),
+        X_test=rng.uniform(0, 1, (n_test, d)),
+        y_test=rng.integers(0, n_classes, n_test),
+        n_classes=n_classes,
+        image_shape=image_shape,
+    )
+
+
+class TestValidation:
+    def test_properties(self):
+        ds = _mk()
+        assert ds.d_in == 6
+        assert ds.n_train == 20
+        assert ds.n_test == 8
+        assert ds.lo == 0.0 and ds.hi == 1.0
+
+    def test_feature_count_mismatch(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            Dataset(
+                name="bad",
+                X_train=rng.uniform(size=(4, 6)),
+                y_train=np.zeros(4, dtype=int),
+                X_test=rng.uniform(size=(2, 5)),
+                y_test=np.zeros(2, dtype=int),
+                n_classes=1,
+            )
+
+    def test_length_mismatch(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="length mismatch"):
+            Dataset(
+                name="bad",
+                X_train=rng.uniform(size=(4, 3)),
+                y_train=np.zeros(3, dtype=int),
+                X_test=rng.uniform(size=(2, 3)),
+                y_test=np.zeros(2, dtype=int),
+                n_classes=1,
+            )
+
+    def test_label_out_of_range(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            Dataset(
+                name="bad",
+                X_train=rng.uniform(size=(2, 3)),
+                y_train=np.array([0, 5]),
+                X_test=rng.uniform(size=(1, 3)),
+                y_test=np.array([0]),
+                n_classes=2,
+            )
+
+    def test_image_shape_must_match_features(self):
+        with pytest.raises(ValueError, match="image_shape"):
+            _mk(d=6, image_shape=(2, 2))
+
+    def test_image_shape_accepted_when_consistent(self):
+        ds = _mk(d=6, image_shape=(2, 3))
+        assert ds.image_shape == (2, 3)
+
+    def test_bad_feature_range(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            Dataset(
+                name="bad",
+                X_train=rng.uniform(size=(2, 3)),
+                y_train=np.zeros(2, dtype=int),
+                X_test=rng.uniform(size=(1, 3)),
+                y_test=np.zeros(1, dtype=int),
+                n_classes=1,
+                feature_range=(1.0, 0.0),
+            )
+
+
+class TestSubsample:
+    def test_full_fraction_is_identity(self):
+        ds = _mk()
+        assert ds.subsample_train(1.0) is ds
+
+    def test_fraction_reduces_size(self):
+        ds = _mk(n_train=100)
+        sub = ds.subsample_train(0.3, rng=0)
+        assert 20 <= sub.n_train <= 40
+        assert sub.n_test == ds.n_test  # test split untouched
+
+    def test_stratified_keeps_all_classes(self):
+        ds = _mk(n_train=60, n_classes=3)
+        sub = ds.subsample_train(0.1, rng=0)
+        assert set(np.unique(sub.y_train)) == set(np.unique(ds.y_train))
+
+    def test_deterministic(self):
+        ds = _mk(n_train=50)
+        a = ds.subsample_train(0.5, rng=3)
+        b = ds.subsample_train(0.5, rng=3)
+        np.testing.assert_array_equal(a.X_train, b.X_train)
+
+    def test_bad_fraction(self):
+        ds = _mk()
+        with pytest.raises(ValueError):
+            ds.subsample_train(0.0)
+        with pytest.raises(ValueError):
+            ds.subsample_train(1.5)
+
+
+class TestHead:
+    def test_truncates(self):
+        ds = _mk(n_train=20, n_test=8)
+        h = ds.head(5, 2)
+        assert h.n_train == 5 and h.n_test == 2
+
+    def test_larger_than_available_is_noop(self):
+        ds = _mk(n_train=20, n_test=8)
+        h = ds.head(100, 100)
+        assert h.n_train == 20 and h.n_test == 8
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            _mk().head(0, 5)
+
+
+class TestSummary:
+    def test_mentions_counts(self):
+        s = _mk().summary()
+        assert "20 train" in s and "6 features" in s
+
+    def test_mentions_image_shape(self):
+        s = _mk(d=6, image_shape=(2, 3)).summary()
+        assert "2x3" in s

@@ -1,0 +1,98 @@
+"""Tests for the procedural digit renderer and MNIST-like dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data.mnist import (
+    DIGIT_SKELETONS,
+    IMAGE_SIDE,
+    make_mnist,
+    render_digit,
+)
+from repro.utils import spawn
+
+
+class TestRenderDigit:
+    def test_shape_and_range(self):
+        img = render_digit(3, rng=spawn(0, "r"))
+        assert img.shape == (IMAGE_SIDE, IMAGE_SIDE)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_all_digits_defined(self):
+        assert set(DIGIT_SKELETONS) == set(range(10))
+
+    def test_all_digits_render_nonempty(self):
+        for d in range(10):
+            img = render_digit(d, rng=spawn(d, "r"), pixel_noise=0.0)
+            assert img.max() > 0.9, f"digit {d} renders no ink"
+            # Ink covers a plausible fraction of the canvas.
+            assert 0.03 < (img > 0.5).mean() < 0.5, f"digit {d} ink fraction"
+
+    def test_deterministic(self):
+        a = render_digit(7, rng=spawn(1, "r"))
+        b = render_digit(7, rng=spawn(1, "r"))
+        np.testing.assert_array_equal(a, b)
+
+    def test_jitter_changes_image(self):
+        a = render_digit(5, rng=spawn(2, "a"))
+        b = render_digit(5, rng=spawn(2, "b"))
+        assert not np.allclose(a, b)
+
+    def test_zero_jitter_is_canonical(self):
+        a = render_digit(4, rng=spawn(3, "a"), jitter=0.0, pixel_noise=0.0,
+                         stroke_width=0.05)
+        b = render_digit(4, rng=spawn(3, "b"), jitter=0.0, pixel_noise=0.0,
+                         stroke_width=0.05)
+        np.testing.assert_array_equal(a, b)
+
+    def test_same_digit_more_similar_than_cross_digit(self):
+        """Same-class images must correlate more than cross-class ones."""
+        imgs = {
+            d: render_digit(d, rng=spawn(10 + d, "r"), pixel_noise=0.0).ravel()
+            for d in (0, 1)
+        }
+        second_zero = render_digit(0, rng=spawn(99, "r"), pixel_noise=0.0).ravel()
+        same = np.corrcoef(imgs[0], second_zero)[0, 1]
+        cross = np.corrcoef(imgs[0], imgs[1])[0, 1]
+        assert same > cross
+
+    def test_invalid_digit(self):
+        with pytest.raises(ValueError):
+            render_digit(10)
+
+    def test_custom_side(self):
+        img = render_digit(2, rng=0, side=16)
+        assert img.shape == (16, 16)
+
+
+class TestMakeMnist:
+    @pytest.fixture(scope="class")
+    def small(self):
+        return make_mnist(n_train=60, n_test=20, seed=3)
+
+    def test_shapes(self, small):
+        assert small.X_train.shape == (60, 784)
+        assert small.X_test.shape == (20, 784)
+        assert small.image_shape == (28, 28)
+        assert small.n_classes == 10
+
+    def test_all_classes_present(self, small):
+        assert set(np.unique(small.y_train)) == set(range(10))
+
+    def test_deterministic(self):
+        a = make_mnist(n_train=20, n_test=10, seed=5)
+        b = make_mnist(n_train=20, n_test=10, seed=5)
+        np.testing.assert_array_equal(a.X_train, b.X_train)
+        np.testing.assert_array_equal(a.y_test, b.y_test)
+
+    def test_seed_changes_data(self):
+        a = make_mnist(n_train=20, n_test=10, seed=5)
+        b = make_mnist(n_train=20, n_test=10, seed=6)
+        assert not np.allclose(a.X_train, b.X_train)
+
+    def test_train_test_differ(self, small):
+        # Same digit class, different renders.
+        assert not np.allclose(small.X_train[:20], small.X_test)
+
+    def test_range(self, small):
+        assert small.X_train.min() >= 0.0 and small.X_train.max() <= 1.0

@@ -1,0 +1,106 @@
+"""Tests for the cluster-feature generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synthetic import logistic_squash, make_cluster_features
+from repro.utils import spawn
+
+
+class TestLogisticSquash:
+    def test_range(self):
+        out = logistic_squash(np.array([-1e6, 0.0, 1e6]))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(0.5)
+        assert out[2] == pytest.approx(1.0, abs=1e-12)
+
+    def test_monotone(self):
+        x = np.linspace(-5, 5, 50)
+        out = logistic_squash(x)
+        assert np.all(np.diff(out) > 0)
+
+    def test_scale_flattens(self):
+        x = np.array([1.0])
+        assert logistic_squash(x, scale=10.0)[0] < logistic_squash(x, scale=1.0)[0]
+
+
+class TestMakeClusterFeatures:
+    def test_shapes_and_ranges(self):
+        X, y = make_cluster_features(100, 20, 5, rng=spawn(0, "syn"))
+        assert X.shape == (100, 20)
+        assert y.shape == (100,)
+        assert X.min() >= 0.0 and X.max() <= 1.0
+        assert y.min() >= 0 and y.max() < 5
+
+    def test_deterministic(self):
+        a = make_cluster_features(50, 10, 3, rng=spawn(1, "syn"))
+        b = make_cluster_features(50, 10, 3, rng=spawn(1, "syn"))
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_classes_are_separable_when_spread_high(self):
+        X, y = make_cluster_features(
+            400, 30, 3, class_spread=3.0, noise_scale=0.3, rng=spawn(2, "syn")
+        )
+        # Nearest-centroid accuracy should be ~perfect.
+        cents = np.stack([X[y == c].mean(axis=0) for c in range(3)])
+        d = ((X[:, None, :] - cents[None]) ** 2).sum(axis=2)
+        assert (d.argmin(axis=1) == y).mean() > 0.99
+
+    def test_classes_hard_when_noise_high(self):
+        X, y = make_cluster_features(
+            400, 30, 3, class_spread=0.1, noise_scale=5.0, rng=spawn(3, "syn")
+        )
+        cents = np.stack([X[y == c].mean(axis=0) for c in range(3)])
+        d = ((X[:, None, :] - cents[None]) ** 2).sum(axis=2)
+        assert (d.argmin(axis=1) == y).mean() < 0.9
+
+    def test_class_balance_respected(self):
+        X, y = make_cluster_features(
+            2000,
+            5,
+            2,
+            class_balance=np.array([0.8, 0.2]),
+            rng=spawn(4, "syn"),
+        )
+        assert abs((y == 0).mean() - 0.8) < 0.05
+
+    def test_correlated_noise_increases_feature_correlation(self):
+        base = dict(n=800, d_in=30, n_classes=1, class_spread=0.0, rng=None)
+        X0, _ = make_cluster_features(
+            **{**base, "rng": spawn(5, "a")}, correlated_rank=0, correlated_weight=0.0
+        )
+        X1, _ = make_cluster_features(
+            **{**base, "rng": spawn(5, "b")}, correlated_rank=2, correlated_weight=0.9
+        )
+
+        def mean_abs_offdiag(X):
+            C = np.corrcoef(X.T)
+            return np.abs(C[np.triu_indices_from(C, k=1)]).mean()
+
+        assert mean_abs_offdiag(X1) > 2 * mean_abs_offdiag(X0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            make_cluster_features(10, 5, 2, correlated_weight=1.0)
+        with pytest.raises(ValueError):
+            make_cluster_features(10, 5, 2, correlated_rank=-1)
+        with pytest.raises(ValueError):
+            make_cluster_features(10, 5, 2, class_balance=np.array([0.0, 0.0]))
+        with pytest.raises(ValueError):
+            make_cluster_features(10, 5, 2, class_balance=np.array([1.0]))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(1, 200),
+    d=st.integers(1, 40),
+    c=st.integers(1, 8),
+    seed=st.integers(0, 2**31),
+)
+def test_property_output_always_in_unit_interval(n, d, c, seed):
+    X, y = make_cluster_features(n, d, c, rng=seed)
+    assert np.all((X >= 0) & (X <= 1))
+    assert np.all((y >= 0) & (y < c))

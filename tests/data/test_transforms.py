@@ -1,0 +1,107 @@
+"""Tests for feature transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data.transforms import (
+    RangeNormalizer,
+    Standardizer,
+    gaussian_noise_augment,
+    train_test_split,
+)
+
+
+class TestRangeNormalizer:
+    def test_maps_train_to_range(self):
+        X = np.array([[0.0, 10.0], [4.0, 30.0]])
+        out = RangeNormalizer().fit_transform(X)
+        np.testing.assert_allclose(out, [[0, 0], [1, 1]])
+
+    def test_custom_range(self):
+        X = np.array([[0.0], [2.0]])
+        out = RangeNormalizer(-1.0, 1.0).fit_transform(X)
+        np.testing.assert_allclose(out, [[-1.0], [1.0]])
+
+    def test_test_data_clipped(self):
+        norm = RangeNormalizer().fit(np.array([[0.0], [1.0]]))
+        out = norm.transform(np.array([[-5.0], [5.0]]))
+        np.testing.assert_allclose(out, [[0.0], [1.0]])
+
+    def test_constant_feature_maps_to_midpoint(self):
+        norm = RangeNormalizer().fit(np.array([[2.0], [2.0]]))
+        np.testing.assert_allclose(norm.transform(np.array([[2.0]])), [[0.5]])
+
+    def test_use_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RangeNormalizer().transform(np.ones((1, 2)))
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            RangeNormalizer(1.0, 0.0)
+
+
+class TestStandardizer:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(3.0, 2.0, (200, 4))
+        out = Standardizer().fit_transform(X)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_guarded(self):
+        out = Standardizer().fit_transform(np.full((5, 1), 2.0))
+        assert np.all(np.isfinite(out))
+
+    def test_use_before_fit(self):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform(np.ones((1, 2)))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(40).reshape(20, 2)
+        y = np.arange(20)
+        Xtr, ytr, Xte, yte = train_test_split(X, y, 0.25, rng=0)
+        assert Xtr.shape == (15, 2) and Xte.shape == (5, 2)
+        assert ytr.shape == (15,) and yte.shape == (5,)
+
+    def test_partition_is_exact(self):
+        X = np.arange(20).reshape(10, 2)
+        y = np.arange(10)
+        Xtr, ytr, Xte, yte = train_test_split(X, y, 0.3, rng=1)
+        assert sorted(np.concatenate([ytr, yte]).tolist()) == list(range(10))
+
+    def test_rows_stay_paired(self):
+        X = np.arange(20).reshape(10, 2)
+        y = np.arange(10)
+        Xtr, ytr, _, _ = train_test_split(X, y, 0.3, rng=2)
+        np.testing.assert_array_equal(Xtr[:, 0] // 2, ytr)
+
+    def test_empty_split_rejected(self):
+        X, y = np.ones((3, 1)), np.zeros(3, dtype=int)
+        with pytest.raises(ValueError):
+            train_test_split(X, y, 0.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.ones((3, 1)), np.zeros(2, dtype=int))
+
+
+class TestNoiseAugment:
+    def test_zero_std_is_identity(self):
+        X = np.random.default_rng(0).uniform(size=(5, 3))
+        np.testing.assert_allclose(gaussian_noise_augment(X, 0.0, rng=1), X)
+
+    def test_clipped_to_range(self):
+        X = np.array([[0.0, 1.0]])
+        out = gaussian_noise_augment(X, 10.0, rng=2)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_noise_augment(np.ones((1, 1)), -1.0)
+
+    def test_does_not_mutate(self):
+        X = np.full((2, 2), 0.5)
+        gaussian_noise_augment(X, 0.3, rng=3)
+        np.testing.assert_array_equal(X, 0.5)

@@ -1,0 +1,69 @@
+"""Tests for the shared experiment plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import ascii_image, clear_cache, prepare
+
+
+class TestPrepare:
+    def test_fields_consistent(self):
+        prep = prepare("isolet", d_hv=512, n_train=200, n_test=80, seed=3)
+        assert prep.H_train.shape == (200, 512)
+        assert prep.H_test.shape == (80, 512)
+        assert prep.model.n_classes == 26
+        assert prep.encoder.lo == prep.dataset.lo
+
+    def test_cache_returns_same_object(self):
+        clear_cache()
+        a = prepare("face", d_hv=256, n_train=100, n_test=50, seed=1)
+        b = prepare("face", d_hv=256, n_train=100, n_test=50, seed=1)
+        assert a is b
+
+    def test_cache_bypass(self):
+        a = prepare("face", d_hv=256, n_train=100, n_test=50, seed=2)
+        b = prepare(
+            "face", d_hv=256, n_train=100, n_test=50, seed=2, use_cache=False
+        )
+        assert a is not b
+        np.testing.assert_array_equal(a.H_train, b.H_train)
+
+    def test_different_params_different_entries(self):
+        a = prepare("face", d_hv=256, n_train=100, n_test=50, seed=1)
+        b = prepare("face", d_hv=128, n_train=100, n_test=50, seed=1)
+        assert a is not b
+
+    def test_baseline_accuracy_reasonable(self):
+        prep = prepare("face", d_hv=1024, n_train=800, n_test=200, seed=4)
+        assert prep.baseline_accuracy > 0.8
+
+    def test_clear_cache(self):
+        a = prepare("face", d_hv=256, n_train=100, n_test=50, seed=5)
+        clear_cache()
+        b = prepare("face", d_hv=256, n_train=100, n_test=50, seed=5)
+        assert a is not b
+
+
+class TestAsciiImage:
+    def test_dimensions(self):
+        img = np.linspace(0, 1, 28 * 28).reshape(28, 28)
+        art = ascii_image(img)
+        lines = art.splitlines()
+        assert len(lines) == 14  # 2:1 vertical subsample
+        assert all(len(line) == 28 for line in lines)
+
+    def test_blank_is_spaces(self):
+        art = ascii_image(np.zeros((4, 4)))
+        assert set(art.replace("\n", "")) == {" "}
+
+    def test_full_is_dense_glyph(self):
+        art = ascii_image(np.ones((4, 4)))
+        assert set(art.replace("\n", "")) == {"@"}
+
+    def test_width_subsampling(self):
+        art = ascii_image(np.ones((8, 16)), width=8)
+        assert all(len(line) <= 8 for line in art.splitlines())
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ascii_image(np.zeros(4))

@@ -1,0 +1,306 @@
+"""Integration tests: every figure/table runner reproduces its paper claim.
+
+These run at reduced scale (small Dhv, small splits) but assert the
+*shape* facts the paper reports — who wins, what is monotone, where the
+qualitative behaviour lies.  They are the executable summary of
+EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig2_reconstruction,
+    fig3_information,
+    fig4_retraining,
+    fig5_quantization,
+    fig6_obfuscation,
+    fig8_dp_training,
+    fig9_inference_privacy,
+    hw_approx,
+    table1_platforms,
+)
+
+
+@pytest.mark.slow
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2_reconstruction.run(n_images=4, d_hv=2048, seed=1)
+
+    def test_reconstructions_are_recognizable(self, result):
+        """Per-image PSNR comfortably above the 'noise' regime (~8 dB)."""
+        assert min(result.psnrs) > 12.0
+
+    def test_reconstruction_correlates_with_original(self, result):
+        for i in range(result.originals.shape[0]):
+            c = np.corrcoef(
+                result.originals[i].ravel(), result.reconstructions[i].ravel()
+            )[0, 1]
+            assert c > 0.7
+
+    def test_table_rows(self, result):
+        assert result.to_table().n_rows == 5  # 4 digits + mean
+
+    def test_higher_dhv_better_psnr(self):
+        lo = fig2_reconstruction.run(n_images=2, d_hv=1024, seed=2)
+        hi = fig2_reconstruction.run(n_images=2, d_hv=4096, seed=2)
+        assert hi.mean_psnr > lo.mean_psnr
+
+
+@pytest.mark.slow
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3_information.run(d_hv=2048, n_train=1000, seed=1)
+
+    def test_restore_curve_nearly_monotone(self, result):
+        # Contributions of near-zero class dims can have either sign, so
+        # tiny dips are physical; the trend must be upward.
+        assert np.all(np.diff(result.restore_info) >= -0.02)
+        assert result.restore_info[-1] > result.restore_info[0]
+
+    def test_restore_curve_convex_start(self, result):
+        """Least-effectual dims first ⇒ early restores retrieve little."""
+        half_idx = len(result.restore_counts) // 2
+        assert result.restore_info[half_idx] < 0.5
+
+    def test_restore_ends_at_one(self, result):
+        assert result.restore_info[-1] == pytest.approx(1.0)
+
+    def test_prune_info_decays_slowly_then_fast(self, result):
+        info = result.prune_info_a
+        first_drop = info[0] - info[len(info) // 2]
+        second_drop = info[len(info) // 2] - info[-1]
+        assert second_drop > first_drop
+
+    def test_rank_retained(self, result):
+        assert result.rank_retained
+
+
+@pytest.mark.slow
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4_retraining.run(
+            d_hv_base=2048,
+            configs=(
+                fig4_retraining.Fig4Config(2048, 100),
+                fig4_retraining.Fig4Config(512, 50),
+                fig4_retraining.Fig4Config(512, 100),
+            ),
+            epochs=5,
+            n_train=1200,
+            n_test=400,
+            seed=1,
+        )
+
+    def test_retraining_recovers_pruned_configs(self, result):
+        pruned_labels = [l for l in result.curves if l.startswith("0.512K")]
+        assert pruned_labels
+        for label in pruned_labels:
+            assert result.recovery(label) >= 0.0
+
+    def test_saturation_within_two_epochs(self, result):
+        """Paper: 1-2 iterations suffice."""
+        for label in result.curves:
+            assert result.epochs_to_saturation(label, tolerance=0.01) <= 2
+
+    def test_envelope_monotone(self, result):
+        for curve in result.envelope.values():
+            assert np.all(np.diff(curve) >= -1e-12)
+
+    def test_full_dims_beats_pruned(self, result):
+        env = result.envelope
+        assert max(env["2.048K, L100"]) >= max(env["0.512K, L100"]) - 0.01
+
+
+@pytest.mark.slow
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5_quantization.run(
+            dims_list=(512, 1024, 2048),
+            d_hv=2048,
+            n_train=1200,
+            n_test=400,
+            seed=1,
+        )
+
+    def test_quantized_accuracy_near_baseline(self, result):
+        """Fig. 5a: bipolar at full dims within a few % of full precision."""
+        bip = result.accuracy["bipolar"][-1]
+        assert bip >= result.full_precision_accuracy - 0.05
+
+    def test_sensitivity_ordering_paper(self, result):
+        """Fig. 5b: 2bit > bipolar > ternary > biased at every dims."""
+        for i in range(len(result.dims_list)):
+            s = {q: result.sensitivity[q][i] for q in result.sensitivity}
+            assert (
+                s["2bit"] > s["bipolar"] > s["ternary"] > s["ternary-biased"]
+            )
+
+    def test_sensitivity_scales_sqrt_dims(self, result):
+        s = result.sensitivity["bipolar"]
+        assert s[-1] / s[0] == pytest.approx(
+            np.sqrt(result.dims_list[-1] / result.dims_list[0])
+        )
+
+    def test_accuracy_not_collapsing_at_low_dims(self, result):
+        for q in result.accuracy:
+            assert result.accuracy[q][0] > 0.7
+
+
+@pytest.mark.slow
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_obfuscation.run(
+            d_hv=2048, n_train=1200, n_test=400, n_images=3, seed=1
+        )
+
+    def test_accuracy_increases_with_unmasked_dims(self, result):
+        acc = result.accuracy
+        assert acc[-1] >= acc[0]
+
+    def test_full_dims_quantized_near_baseline(self, result):
+        assert result.accuracy[-1] >= result.baseline_accuracy - 0.03
+
+    def test_psnr_ordering(self, result):
+        """Plain > quantized > quantized+masked (paper: 23.6 → 13.1)."""
+        assert result.psnr_plain > result.psnr_quantized > result.psnr_masked
+
+    def test_masked_psnr_heavily_degraded(self, result):
+        assert result.psnr_masked < result.psnr_plain - 5.0
+
+
+@pytest.mark.slow
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8_dp_training.run_dims_sweep(
+            dataset="face",
+            dims_list=(512, 1024, 2048),
+            d_hv=2048,
+            n_train=2000,
+            n_test=500,
+            seed=1,
+        )
+
+    def test_looser_epsilon_no_worse(self, result):
+        """eps=1 curve dominates eps=0.5 (up to noise wiggle)."""
+        a_tight = np.array(result.accuracy[0.5])
+        a_loose = np.array(result.accuracy[1.0])
+        assert np.mean(a_loose - a_tight) > -0.02
+
+    def test_private_accuracy_close_to_baseline_at_eps1(self, result):
+        """Paper: FACE eps=1 within ~1.4% of non-private."""
+        best_dims, best_acc = result.best(1.0)
+        assert best_acc >= result.baseline_accuracy - 0.04
+
+    def test_datasize_effect(self):
+        """Fig. 8d: more training data buries the fixed DP noise."""
+        r = fig8_dp_training.run_datasize_sweep(
+            fractions=(0.15, 1.0),
+            dims=1024,
+            d_hv=2048,
+            n_train=2000,
+            n_test=500,
+            seed=1,
+        )
+        assert r.accuracy[-1] >= r.accuracy[0]
+
+    def test_paper_epsilons_registry(self):
+        assert fig8_dp_training.PAPER_EPSILONS["mnist"] == (1.0, 2.0)
+
+
+@pytest.mark.slow
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig9_inference_privacy.run(
+            datasets=("isolet", "face"),
+            masked_list=(0, 512, 1536),
+            d_hv=2048,
+            n_train=1200,
+            n_test=400,
+            n_leak=30,
+            seed=1,
+        )
+
+    def test_quantization_accuracy_cost_small(self, result):
+        """Paper: 0.85% average accuracy drop from quantization alone."""
+        assert result.mean_quantization_accuracy_drop < 0.03
+
+    def test_mse_rises_with_masking(self, result):
+        for name in result.normalized_mse:
+            series = result.normalized_mse[name]
+            assert series[-1] > series[0]
+
+    def test_quantization_raises_mse(self, result):
+        assert result.mean_quantization_mse_factor > 1.0
+
+    def test_moderate_masking_accuracy_tolerable(self, result):
+        for name in ("isolet", "face"):
+            assert result.accuracy[name][1] >= result.baseline[name] - 0.08
+
+
+@pytest.mark.slow
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1_platforms.run()
+
+    def test_ordering_everywhere(self, result):
+        for wl in table1_platforms.WORKLOADS:
+            t = result.throughput[wl.name]
+            assert (
+                t["Prive-HD (Kintex-7)"] > t["GTX 1080 Ti"] > t["Raspberry Pi 3"]
+            )
+
+    def test_headline_factors_within_3x_of_paper(self, result):
+        checks = [
+            ("Prive-HD (Kintex-7)", "Raspberry Pi 3", "throughput", 105067.0),
+            ("Prive-HD (Kintex-7)", "GTX 1080 Ti", "throughput", 15.8),
+            ("Raspberry Pi 3", "Prive-HD (Kintex-7)", "energy", 52896.0),
+            ("GTX 1080 Ti", "Prive-HD (Kintex-7)", "energy", 288.0),
+        ]
+        for a, b, metric, paper in checks:
+            model = result.mean_factor(a, b, metric)
+            assert paper / 3 < model < paper * 3, (a, b, metric)
+
+    def test_tables_render(self, result):
+        assert result.to_table().n_rows == 9
+        assert result.factors_table().n_rows == 4
+
+
+@pytest.mark.slow
+class TestHwApprox:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Default (ISOLET-shaped, well-conditioned) configuration: the
+        # approximation loss depends on model strength, so the claim is
+        # pinned where the paper pins it — on a model that works.
+        return hw_approx.run(seed=1)
+
+    def test_stage0_is_exact(self, result):
+        assert result.bit_error_rate[0] == 0.0
+        assert result.accuracy[0] == pytest.approx(result.accuracy_exact)
+
+    def test_ber_monotone_in_stages(self, result):
+        assert all(np.diff(result.bit_error_rate) >= -1e-12)
+
+    def test_single_stage_accuracy_loss_small(self, result):
+        """The paper's < 1% claim, with slack for the reduced Dhv scale
+        (the loss shrinks as dimensionality grows; see EXPERIMENTS.md)."""
+        assert result.accuracy_exact - result.accuracy[1] < 0.03
+
+    def test_deeper_stages_degrade(self, result):
+        assert result.accuracy[-1] <= result.accuracy[1] + 0.02
+
+    def test_lut_savings_constants(self, result):
+        assert result.lut_saving_bipolar == pytest.approx(0.708, abs=0.001)
+        assert result.lut_saving_ternary == pytest.approx(1 / 3, abs=1e-9)
+
+    def test_ternary_tree_tracks_accumulation(self, result):
+        assert result.ternary_tree_correlation > 0.8

@@ -1,0 +1,85 @@
+"""Tests for the end-to-end encoder datapath simulator."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.accelerator import EncoderAccelerator
+from repro.hd import HDModel, LevelBaseEncoder, ScalarBaseEncoder, to_bipolar
+from repro.utils import spawn
+from tests.conftest import make_cluster_task
+
+
+@pytest.fixture(scope="module")
+def setup():
+    X, y = make_cluster_task(n=200, d_in=48, n_classes=4, noise=0.08, seed=71)
+    enc = LevelBaseEncoder(48, 1024, n_levels=8, seed=6)
+    hw = EncoderAccelerator(enc, stages=1)
+    H = to_bipolar(enc.encode(X))
+    model = HDModel.from_encodings(H.astype(np.float64), y, 4)
+    return hw, X, y, model
+
+
+class TestConstruction:
+    def test_requires_level_base_encoder(self):
+        with pytest.raises(TypeError):
+            EncoderAccelerator(ScalarBaseEncoder(8, 64, seed=0))
+
+    def test_negative_stages_rejected(self):
+        enc = LevelBaseEncoder(8, 64, n_levels=2, seed=0)
+        with pytest.raises(ValueError):
+            EncoderAccelerator(enc, stages=-1)
+
+
+class TestDatapaths:
+    def test_exact_path_matches_software_sign(self, setup):
+        """The exact datapath must equal sign(Eq. 2b encoding)."""
+        hw, X, _, _ = setup
+        sw = to_bipolar(hw.encoder.encode(X[:10]))
+        hwe = hw.encode_exact(X[:10])
+        np.testing.assert_array_equal(hwe, sw)
+
+    def test_approximate_output_bipolar(self, setup):
+        hw, X, _, _ = setup
+        out = hw.encode_approximate(X[:5])
+        assert set(np.unique(out)) <= {-1, 1}
+
+    def test_approximate_close_to_exact(self, setup):
+        hw, X, _, _ = setup
+        ex = hw.encode_exact(X[:10])
+        ap = hw.encode_approximate(X[:10])
+        assert np.mean(ex != ap) < 0.35
+
+    def test_deterministic(self, setup):
+        hw, X, _, _ = setup
+        np.testing.assert_array_equal(
+            hw.encode_approximate(X[:3]), hw.encode_approximate(X[:3])
+        )
+
+
+class TestReport:
+    def test_report_fields(self, setup):
+        hw, X, y, model = setup
+        rep = hw.report(X[:60], model=model, labels=y[:60])
+        assert 0.0 <= rep.bit_error_rate < 0.4
+        assert rep.lut_saving == pytest.approx(0.708, abs=0.001)
+        assert rep.accuracy_exact is not None
+
+    def test_paper_claim_accuracy_loss_below_1_percent(self, setup):
+        """§III-D: the majority approximation costs < 1% accuracy."""
+        hw, X, y, model = setup
+        rep = hw.report(X, model=model, labels=y)
+        assert rep.accuracy_loss is not None
+        assert rep.accuracy_loss < 0.01 + 1e-9
+
+    def test_report_without_model(self, setup):
+        hw, X, _, _ = setup
+        rep = hw.report(X[:10])
+        assert rep.accuracy_exact is None
+        assert rep.accuracy_loss is None
+
+    def test_more_stages_at_least_as_much_bit_error(self, setup):
+        _, X, y, model = setup
+        enc = LevelBaseEncoder(48, 1024, n_levels=8, seed=6)
+        r1 = EncoderAccelerator(enc, stages=1).report(X[:40])
+        r2 = EncoderAccelerator(enc, stages=2).report(X[:40])
+        assert r2.bit_error_rate >= r1.bit_error_rate

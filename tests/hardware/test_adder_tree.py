@@ -1,0 +1,94 @@
+"""Tests for the saturated ternary accumulation tree (Fig. 7b)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.adder_tree import (
+    exact_ternary_sum,
+    saturated_ternary_tree,
+)
+from repro.utils import spawn
+
+
+def _iid_ternary(n=300, d=256, seed=0):
+    rng = spawn(seed, "tern")
+    return rng.choice([-1, 0, 1], size=(n, d), p=[0.25, 0.5, 0.25]).astype(
+        np.int32
+    )
+
+
+def _biased_ternary(n=600, d=256, seed=1):
+    """Class-structured inputs: each dimension has a systematic bias."""
+    rng = spawn(seed, "tern-b")
+    mu = rng.uniform(-0.45, 0.45, d)
+    p1 = np.clip(0.25 + mu / 2, 0, 1)
+    pm1 = np.clip(0.25 - mu / 2, 0, 1)
+    u = rng.random((n, d))
+    return np.where(u < pm1, -1, np.where(u < 1 - p1, 0, 1)).astype(np.int32)
+
+
+class TestExactTernarySum:
+    def test_known_value(self):
+        v = np.array([[1, -1, 0], [1, 0, 0], [1, 1, -1]], dtype=np.int32)
+        np.testing.assert_array_equal(exact_ternary_sum(v), [3, 0, -1])
+
+    def test_rejects_non_ternary(self):
+        with pytest.raises(ValueError):
+            exact_ternary_sum(np.full((2, 2), 2))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            exact_ternary_sum(np.ones(4, dtype=np.int32))
+
+
+class TestSaturatedTree:
+    def test_exact_for_three_or_fewer_inputs(self):
+        # Stage 1 is exact; with <= 3 inputs no truncation ever happens.
+        v = np.array([[1, -1], [1, 0], [-1, 1]], dtype=np.int32)
+        np.testing.assert_array_equal(
+            saturated_ternary_tree(v), exact_ternary_sum(v)
+        )
+
+    def test_unbiased(self):
+        """Alternating carry must cancel the truncation bias."""
+        v = _iid_ternary(n=500, d=2048, seed=2)
+        err = saturated_ternary_tree(v) - exact_ternary_sum(v)
+        # Bias far below one truncation quantum.
+        assert abs(err.mean()) < 10.0
+
+    def test_tracks_biased_accumulations(self):
+        """The real use case: class-structured sums correlate strongly."""
+        v = _biased_ternary()
+        ex = exact_ternary_sum(v)
+        ap = saturated_ternary_tree(v)
+        corr = np.corrcoef(ex, ap)[0, 1]
+        assert corr > 0.85
+
+    def test_sign_preserved_for_strong_dimensions(self):
+        v = _biased_ternary(seed=3)
+        ex = exact_ternary_sum(v)
+        ap = saturated_ternary_tree(v)
+        strong = np.abs(ex) > np.quantile(np.abs(ex), 0.8)
+        agree = np.mean(np.sign(ex[strong]) == np.sign(ap[strong]))
+        assert agree > 0.95
+
+    def test_saturation_bounds_output(self):
+        # All-ones input: every stage saturates at the 3-bit max.
+        v = np.ones((96, 8), dtype=np.int32)
+        out = saturated_ternary_tree(v)
+        n_pair_stages = int(np.ceil(np.log2(96 / 3)))
+        assert np.all(out <= 3 * 2**n_pair_stages)
+        assert np.all(out > 0)
+
+    def test_odd_group_counts_handled(self):
+        for n in (4, 5, 7, 10, 23):
+            v = _iid_ternary(n=n, d=16, seed=n)
+            out = saturated_ternary_tree(v)
+            assert out.shape == (16,)
+            assert np.all(np.isfinite(out))
+
+    def test_deterministic(self):
+        v = _iid_ternary(seed=4)
+        np.testing.assert_array_equal(
+            saturated_ternary_tree(v), saturated_ternary_tree(v)
+        )

@@ -1,0 +1,63 @@
+"""Tests for the Eq. (15) LUT cost models."""
+
+import pytest
+
+from repro.hardware.cost_model import (
+    bipolar_lut_saving,
+    lut_exact_adder_tree,
+    lut_majority_first_stage,
+    lut_majority_series,
+    lut_ternary_exact,
+    lut_ternary_saturated,
+    ternary_lut_saving,
+)
+
+
+class TestBipolarCosts:
+    def test_exact_tree_constant(self):
+        assert lut_exact_adder_tree(617) == pytest.approx(4 * 617 / 3)
+
+    def test_eq15_closed_form(self):
+        assert lut_majority_first_stage(617) == pytest.approx(7 * 617 / 18)
+
+    def test_series_approaches_closed_form(self):
+        """The Σ i/2^{i-1} series converges to 4, giving 7/18·div."""
+        for div in (64, 617, 4096):
+            series = lut_majority_series(div)
+            closed = lut_majority_first_stage(div)
+            # Truncation of the series tightens as div grows.
+            assert series == pytest.approx(closed, rel=0.04), div
+        assert lut_majority_series(4096) == pytest.approx(
+            lut_majority_first_stage(4096), rel=0.002
+        )
+
+    def test_paper_saving_70_8_percent(self):
+        assert bipolar_lut_saving(617) == pytest.approx(0.708, abs=0.001)
+
+    def test_saving_independent_of_div(self):
+        assert bipolar_lut_saving(100) == pytest.approx(bipolar_lut_saving(10000))
+
+
+class TestTernaryCosts:
+    def test_costs(self):
+        assert lut_ternary_exact(617) == pytest.approx(3 * 617)
+        assert lut_ternary_saturated(617) == pytest.approx(2 * 617)
+
+    def test_paper_saving_33_3_percent(self):
+        assert ternary_lut_saving(617) == pytest.approx(1 / 3, abs=1e-9)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            lut_exact_adder_tree,
+            lut_majority_first_stage,
+            lut_majority_series,
+            lut_ternary_exact,
+            lut_ternary_saturated,
+        ],
+    )
+    def test_rejects_nonpositive(self, fn):
+        with pytest.raises(ValueError):
+            fn(0)

@@ -1,0 +1,90 @@
+"""Tests for LUT-6 primitives."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.lut import (
+    LUT_INPUTS,
+    group_into_luts,
+    majority_lut,
+    tie_break_pattern,
+)
+
+
+class TestTieBreakPattern:
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            tie_break_pattern(64, seed=3), tie_break_pattern(64, seed=3)
+        )
+
+    def test_seed_changes_pattern(self):
+        assert not np.array_equal(
+            tie_break_pattern(64, seed=1), tie_break_pattern(64, seed=2)
+        )
+
+    def test_values_bipolar(self):
+        assert set(np.unique(tie_break_pattern(128))) <= {-1, 1}
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            tie_break_pattern(0)
+
+
+class TestGroupIntoLuts:
+    def test_exact_multiple(self):
+        groups, rem = group_into_luts(np.arange(12))
+        assert groups.shape == (2, 6)
+        assert rem.size == 0
+
+    def test_remainder(self):
+        groups, rem = group_into_luts(np.arange(15))
+        assert groups.shape == (2, 6)
+        np.testing.assert_array_equal(rem, [12, 13, 14])
+
+    def test_preserves_extra_axes(self):
+        groups, rem = group_into_luts(np.ones((13, 7)))
+        assert groups.shape == (2, 6, 7)
+        assert rem.shape == (1, 7)
+
+    def test_fewer_than_six(self):
+        groups, rem = group_into_luts(np.arange(4))
+        assert groups.shape == (0, 6)
+        assert rem.shape == (4,)
+
+
+class TestMajorityLut:
+    def test_clear_majority(self):
+        g = np.array([[1, 1, 1, 1, -1, -1], [-1, -1, -1, -1, -1, 1]], dtype=np.int8)
+        out = majority_lut(g)
+        np.testing.assert_array_equal(out, [1, -1])
+
+    def test_tie_uses_pattern(self):
+        g = np.array([[1, 1, 1, -1, -1, -1]], dtype=np.int8)
+        assert majority_lut(g, ties=np.array([1], dtype=np.int8))[0] == 1
+        assert majority_lut(g, ties=np.array([-1], dtype=np.int8))[0] == -1
+
+    def test_tie_deterministic_from_seed(self):
+        g = np.tile(np.array([1, 1, 1, -1, -1, -1], dtype=np.int8), (20, 1))
+        a = majority_lut(g, seed=5)
+        b = majority_lut(g, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_vectorized_over_extra_axes(self):
+        # (n_groups, 6, d): one tie value per group, broadcast over d.
+        rng = np.random.default_rng(0)
+        g = (rng.integers(0, 2, (3, 6, 10)) * 2 - 1).astype(np.int8)
+        out = majority_lut(g, seed=1)
+        assert out.shape == (3, 10)
+        assert set(np.unique(out)) <= {-1, 1}
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            majority_lut(np.ones((2, 5), dtype=np.int8))
+
+    def test_ties_length_validation(self):
+        g = np.ones((2, 6), dtype=np.int8)
+        with pytest.raises(ValueError):
+            majority_lut(g, ties=np.array([1], dtype=np.int8))
+
+    def test_lut_inputs_constant(self):
+        assert LUT_INPUTS == 6

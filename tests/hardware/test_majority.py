@@ -1,0 +1,96 @@
+"""Tests for the approximate-majority datapath (Fig. 7a)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.majority import approximate_majority, exact_majority
+from repro.utils import spawn
+
+
+def _addends(div=60, d_hv=512, seed=0):
+    rng = spawn(seed, "maj")
+    return (rng.integers(0, 2, (div, d_hv)) * 2 - 1).astype(np.int8)
+
+
+class TestExactMajority:
+    def test_matches_sign_of_sum(self):
+        a = _addends()
+        out = exact_majority(a)
+        sums = a.sum(axis=0)
+        nonzero = sums != 0
+        np.testing.assert_array_equal(out[nonzero], np.sign(sums[nonzero]))
+
+    def test_tie_handling(self):
+        a = np.array([[1], [-1]], dtype=np.int8)
+        assert exact_majority(a, tie=1)[0] == 1
+        assert exact_majority(a, tie=-1)[0] == -1
+
+    def test_invalid_tie(self):
+        with pytest.raises(ValueError):
+            exact_majority(_addends(), tie=0)
+
+    def test_rejects_non_bipolar(self):
+        with pytest.raises(ValueError):
+            exact_majority(np.zeros((4, 4)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            exact_majority(np.ones(6, dtype=np.int8))
+
+
+class TestApproximateMajority:
+    def test_output_bipolar(self):
+        out = approximate_majority(_addends())
+        assert set(np.unique(out)) <= {-1, 1}
+
+    def test_zero_stages_matches_exact_up_to_ties(self):
+        a = _addends(div=61)  # odd: no exact-zero sums, no tie ambiguity
+        np.testing.assert_array_equal(
+            approximate_majority(a, stages=0), exact_majority(a)
+        )
+
+    def test_deterministic(self):
+        a = _addends(seed=1)
+        np.testing.assert_array_equal(
+            approximate_majority(a, tie_seed=3),
+            approximate_majority(a, tie_seed=3),
+        )
+
+    def test_strongly_agrees_with_exact(self):
+        """Flips concentrate on near-tie dims; clear majorities survive."""
+        a = _addends(div=120, d_hv=4096, seed=2)
+        sums = a.sum(axis=0)
+        strong = np.abs(sums) > 0.5 * np.abs(sums).max()
+        approx = approximate_majority(a)
+        exact = exact_majority(a)
+        disagree = np.mean(approx[strong] != exact[strong])
+        assert disagree < 0.01
+
+    def test_overall_bit_error_moderate(self):
+        a = _addends(div=120, d_hv=4096, seed=3)
+        ber = np.mean(approximate_majority(a) != exact_majority(a))
+        assert ber < 0.30  # flips concentrate on near-tie dimensions
+
+    def test_more_stages_more_error(self):
+        a = _addends(div=216, d_hv=4096, seed=4)
+        exact = exact_majority(a)
+        ber1 = np.mean(approximate_majority(a, stages=1) != exact)
+        ber2 = np.mean(approximate_majority(a, stages=2) != exact)
+        assert ber2 > ber1
+
+    def test_unanimous_inputs_never_flip(self):
+        a = np.ones((60, 16), dtype=np.int8)
+        np.testing.assert_array_equal(approximate_majority(a), np.ones(16))
+        np.testing.assert_array_equal(approximate_majority(-a), -np.ones(16))
+
+    def test_small_input_skips_collapsing(self):
+        # Fewer than 12 addends: grouping is skipped, result is exact
+        # (up to final ties, avoided with an odd count).
+        a = _addends(div=7, seed=5)
+        np.testing.assert_array_equal(
+            approximate_majority(a, stages=1), exact_majority(a)
+        )
+
+    def test_negative_stages_rejected(self):
+        with pytest.raises(ValueError):
+            approximate_majority(_addends(), stages=-1)

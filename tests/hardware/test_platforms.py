@@ -1,0 +1,129 @@
+"""Tests for the Table I platform models."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.platforms import (
+    GTX_1080_TI,
+    KINTEX_7_PRIVE_HD,
+    PAPER_TABLE_I,
+    RASPBERRY_PI_3,
+    FPGAPlatform,
+    SoftwarePlatform,
+    Workload,
+)
+
+ISOLET = Workload("isolet", 617, 10000, 26)
+FACE = Workload("face", 608, 10000, 2)
+MNIST = Workload("mnist", 784, 10000, 10)
+
+
+class TestWorkload:
+    def test_ops_per_input(self):
+        wl = Workload("toy", 100, 1000, 5)
+        assert wl.ops_per_input == 100 * 1000 + 5 * 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Workload("bad", 0, 10, 1)
+
+
+class TestSoftwarePlatform:
+    def test_energy_is_power_over_throughput(self):
+        thr = RASPBERRY_PI_3.throughput(ISOLET)
+        assert RASPBERRY_PI_3.energy_per_input(ISOLET) == pytest.approx(
+            3.0 / thr
+        )
+
+    def test_rpi_order_of_magnitude(self):
+        """Model within ~2x of the measured Table I value."""
+        thr = RASPBERRY_PI_3.throughput(ISOLET)
+        assert 10 < thr < 40  # paper: 19.8
+
+    def test_gpu_order_of_magnitude(self):
+        thr = GTX_1080_TI.throughput(ISOLET)
+        assert 60_000 < thr < 300_000  # paper: 135,300
+
+    def test_more_features_slower(self):
+        assert RASPBERRY_PI_3.throughput(MNIST) < RASPBERRY_PI_3.throughput(
+            FACE
+        )
+
+
+class TestFPGAPlatform:
+    def test_luts_per_dimension_modes(self):
+        approx = KINTEX_7_PRIVE_HD.luts_per_dimension(ISOLET)
+        exact = FPGAPlatform(
+            name="exact", approximate=False, efficiency=0.15
+        ).luts_per_dimension(ISOLET)
+        assert approx == pytest.approx(7 * 617 / 18)
+        assert exact == pytest.approx(4 * 617 / 3)
+
+    def test_throughput_order_of_magnitude(self):
+        thr = KINTEX_7_PRIVE_HD.throughput(ISOLET)
+        assert 5e5 < thr < 2e7  # paper: 2.5e6
+
+    def test_approximation_speeds_up_by_lut_ratio(self):
+        """Eq. (15): 70.8% fewer LUTs → ~3.43x more dims per cycle."""
+        exact = FPGAPlatform(name="exact", approximate=False, efficiency=0.15)
+        ratio = KINTEX_7_PRIVE_HD.throughput(ISOLET) / exact.throughput(ISOLET)
+        assert ratio == pytest.approx((4 / 3) / (7 / 18), rel=0.01)
+
+    def test_energy_is_power_over_throughput(self):
+        thr = KINTEX_7_PRIVE_HD.throughput(MNIST)
+        assert KINTEX_7_PRIVE_HD.energy_per_input(MNIST) == pytest.approx(
+            7.0 / thr
+        )
+
+    def test_dims_per_cycle_floor(self):
+        """Even a huge div must map to >= 1 dim per cycle."""
+        tiny = FPGAPlatform(name="tiny", lut_budget=10, efficiency=1.0)
+        assert tiny.dims_per_cycle(ISOLET) == 1.0
+
+
+class TestPaperRatios:
+    """The headline Table I ratios the reproduction targets."""
+
+    def test_fpga_vs_rpi_throughput_factor(self):
+        """Paper: 105,067x average across benchmarks; model within 3x."""
+        ratios = [
+            KINTEX_7_PRIVE_HD.throughput(wl) / RASPBERRY_PI_3.throughput(wl)
+            for wl in (ISOLET, FACE, MNIST)
+        ]
+        mean_ratio = np.exp(np.mean(np.log(ratios)))
+        assert 3e4 < mean_ratio < 3e5
+
+    def test_fpga_vs_gpu_throughput_factor(self):
+        """Paper: 15.8x average; model within ~3x."""
+        ratios = [
+            KINTEX_7_PRIVE_HD.throughput(wl) / GTX_1080_TI.throughput(wl)
+            for wl in (ISOLET, FACE, MNIST)
+        ]
+        mean_ratio = np.exp(np.mean(np.log(ratios)))
+        assert 5 < mean_ratio < 50
+
+    def test_fpga_vs_gpu_energy_factor(self):
+        """Paper: 288x average energy saving."""
+        ratios = [
+            GTX_1080_TI.energy_per_input(wl)
+            / KINTEX_7_PRIVE_HD.energy_per_input(wl)
+            for wl in (ISOLET, FACE, MNIST)
+        ]
+        mean_ratio = np.exp(np.mean(np.log(ratios)))
+        assert 100 < mean_ratio < 900
+
+    def test_platform_ordering_matches_table(self):
+        """FPGA > GPU > RPi in throughput; reverse in energy, everywhere."""
+        for wl in (ISOLET, FACE, MNIST):
+            t_f = KINTEX_7_PRIVE_HD.throughput(wl)
+            t_g = GTX_1080_TI.throughput(wl)
+            t_r = RASPBERRY_PI_3.throughput(wl)
+            assert t_f > t_g > t_r
+            assert KINTEX_7_PRIVE_HD.energy_per_input(wl) < GTX_1080_TI.energy_per_input(
+                wl
+            ) < RASPBERRY_PI_3.energy_per_input(wl)
+
+    def test_paper_table_reference_data_complete(self):
+        assert set(PAPER_TABLE_I) == {"isolet", "face", "mnist"}
+        for rows in PAPER_TABLE_I.values():
+            assert len(rows) == 3

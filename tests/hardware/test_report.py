@@ -1,0 +1,109 @@
+"""Tests for the FPGA resource/latency report."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.platforms import FPGAPlatform, Workload
+from repro.hardware.report import (
+    KINTEX_7_XC7K325T,
+    FPGADevice,
+    estimate_resources,
+)
+
+ISOLET = Workload("isolet", 617, 10000, 26)
+MNIST = Workload("mnist", 784, 10000, 10)
+
+
+class TestEstimate:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return estimate_resources(ISOLET)
+
+    def test_fits_the_paper_device(self, report):
+        """The calibrated design must fit the KC705's XC7K325T."""
+        assert report.fits
+        assert 0 < report.lut_utilization <= 0.5
+        assert 0 < report.bram_utilization <= 1.0
+
+    def test_lut_count_follows_eq15(self, report):
+        per_dim = 7 * 617 / 18
+        assert report.luts_used == pytest.approx(
+            per_dim * report.dims_per_cycle, rel=0.01
+        )
+
+    def test_exact_datapath_uses_more_luts(self):
+        approx = estimate_resources(ISOLET, approximate=True)
+        # Same dims/cycle budget forced via a shared platform instance.
+        platform = FPGAPlatform(name="x", approximate=True, efficiency=0.15)
+        exact = estimate_resources(
+            ISOLET, approximate=False, platform=platform
+        )
+        assert exact.luts_used > approx.luts_used
+
+    def test_bram_grows_with_feature_count(self):
+        a = estimate_resources(ISOLET)
+        b = estimate_resources(MNIST)
+        # MNIST has more features (bigger base codebook) but fewer
+        # classes; base dominates here.
+        base_a = 617 * 10000
+        base_b = 784 * 10000
+        assert (b.bram36_used > a.bram36_used) == (
+            base_b + 10 * 10000 * 16 > base_a + 26 * 10000 * 16
+        )
+
+    def test_dsp_budget_is_class_count(self, report):
+        assert report.dsp_used == 26
+
+    def test_throughput_matches_platform_model(self, report):
+        platform = FPGAPlatform(
+            name="x", approximate=True, efficiency=0.15
+        )
+        # dims_per_cycle is floored to an int in the report.
+        expected = platform.f_clk_hz / (10000 / report.dims_per_cycle)
+        assert report.throughput() == pytest.approx(expected)
+
+
+class TestLatency:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return estimate_resources(ISOLET)
+
+    def test_latency_linear_in_batch(self, report):
+        l1 = report.batch_latency_cycles(1)
+        l101 = report.batch_latency_cycles(101)
+        assert l101 - l1 == pytest.approx(100 * report.cycles_per_input())
+
+    def test_fill_and_dram_are_one_off(self, report):
+        overhead = report.pipeline_fill_cycles + report.dram_setup_cycles
+        assert report.batch_latency_cycles(1) == pytest.approx(
+            overhead + report.cycles_per_input()
+        )
+
+    def test_latency_seconds(self, report):
+        assert report.batch_latency_s(1000) == pytest.approx(
+            report.batch_latency_cycles(1000) / report.f_clk_hz
+        )
+
+    def test_invalid_batch(self, report):
+        with pytest.raises(ValueError):
+            report.batch_latency_cycles(0)
+
+    def test_large_batch_amortizes_overhead(self, report):
+        """Per-input latency approaches 1/throughput for large batches."""
+        per_input = report.batch_latency_s(100_000) / 100_000
+        assert per_input == pytest.approx(1.0 / report.throughput(), rel=0.01)
+
+
+class TestDeviceAndTable:
+    def test_paper_device_constants(self):
+        assert KINTEX_7_XC7K325T.luts == 203_800
+        assert KINTEX_7_XC7K325T.bram36 == 445
+
+    def test_report_table(self):
+        table = estimate_resources(ISOLET).to_table()
+        assert table.n_rows == 4
+
+    def test_tiny_device_does_not_fit(self):
+        tiny = FPGADevice("tiny", luts=1000, flip_flops=2000, bram36=2, dsp_slices=1)
+        report = estimate_resources(ISOLET, device=tiny)
+        assert not report.fits

@@ -1,0 +1,175 @@
+"""Tests for the Verilog RTL generator (Fig. 7a datapath)."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.hardware.lut import majority_lut, tie_break_pattern
+from repro.hardware.majority import approximate_majority
+from repro.hardware.rtl import (
+    RTLBundle,
+    generate_majority_module,
+    generate_rtl_bundle,
+    generate_testbench,
+    majority_lut_init,
+)
+
+
+class TestMajorityLutInit:
+    def test_exhaustive_against_python_lut(self):
+        """All 64 input patterns must match the functional LUT model."""
+        for tie in (-1, 1):
+            init = majority_lut_init(tie)
+            for pattern in range(64):
+                bits = np.array(
+                    [1 if pattern & (1 << i) else -1 for i in range(6)],
+                    dtype=np.int8,
+                )
+                expected = majority_lut(
+                    bits[None, :], ties=np.array([tie], dtype=np.int8)
+                )[0]
+                got = 1 if init & (1 << pattern) else -1
+                assert got == expected, (tie, pattern)
+
+    def test_ones_counts(self):
+        # 22 patterns have >3 ones; 20 have exactly 3; 22 have <3.
+        assert bin(majority_lut_init(-1)).count("1") == 22
+        assert bin(majority_lut_init(1)).count("1") == 42
+
+    def test_invalid_tie(self):
+        with pytest.raises(ValueError):
+            majority_lut_init(0)
+
+
+class TestGenerateModule:
+    def test_lut_instance_count(self):
+        v = generate_majority_module(617)
+        assert len(re.findall(r"LUT6 #", v)) == 617 // 6
+
+    def test_remainder_bits_passed_through(self):
+        v = generate_majority_module(617)  # 617 = 102*6 + 5
+        assert len(re.findall(r"assign votes\[10[2-6]\]", v)) == 5
+
+    def test_small_div_has_no_majority_stage(self):
+        v = generate_majority_module(8)
+        assert "LUT6 #" not in v
+        assert "div < 6: no majority stage" in v
+
+    def test_module_name(self):
+        v = generate_majority_module(60, module_name="enc_dim")
+        assert "module enc_dim (" in v
+
+    def test_init_constants_are_64bit_hex(self):
+        v = generate_majority_module(36, tie_seed=3)
+        inits = re.findall(r"INIT\(64'h([0-9A-F]{16})\)", v)
+        assert len(inits) == 6
+        ties = tie_break_pattern(6, seed=3)
+        for hex_init, tie in zip(inits, ties):
+            assert int(hex_init, 16) == majority_lut_init(int(tie))
+
+    def test_deterministic(self):
+        assert generate_majority_module(60, tie_seed=1) == generate_majority_module(
+            60, tie_seed=1
+        )
+
+    def test_tie_seed_changes_inits(self):
+        a = generate_majority_module(120, tie_seed=1)
+        b = generate_majority_module(120, tie_seed=2)
+        assert a != b
+
+
+class TestGenerateTestbench:
+    def _vectors(self, n=8, div=60, seed=0):
+        rng = np.random.default_rng(seed)
+        return (rng.integers(0, 2, (n, div)) * 2 - 1).astype(np.int8)
+
+    def test_vector_count(self):
+        tb = generate_testbench(60, self._vectors(8))
+        assert len(re.findall(r"apply\(", tb)) == 8 + 1  # 8 calls + task def
+
+    def test_expected_bits_match_golden(self):
+        vecs = self._vectors(16, 60, seed=4)
+        tb = generate_testbench(60, vecs, tie_seed=5)
+        golden = approximate_majority(
+            vecs.T.astype(np.int8), stages=1, tie_seed=5
+        )
+        expected_bits = re.findall(r", 1'b([01]), \d+\);", tb)
+        assert len(expected_bits) == 16
+        for bit, g in zip(expected_bits, golden):
+            assert int(bit) == (1 if g > 0 else 0)
+
+    def test_literal_bit_order(self):
+        """addends[0] must be the LSB of the Verilog literal."""
+        vec = -np.ones((1, 12), dtype=np.int8)
+        vec[0, 0] = 1  # only addends[0] high
+        tb = generate_testbench(12, vec)
+        assert "12'b000000000001" in tb
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            generate_testbench(60, self._vectors(4, 32))
+
+    def test_bipolar_validation(self):
+        with pytest.raises(ValueError):
+            generate_testbench(6, np.zeros((2, 6)))
+
+
+class TestBundle:
+    def test_fields(self):
+        bundle = generate_rtl_bundle(60, n_vectors=10)
+        assert isinstance(bundle, RTLBundle)
+        assert bundle.div == 60
+        assert bundle.n_luts_stage1 == 10
+        assert bundle.golden_outputs.shape == (10,)
+        assert "module prive_hd_majority" in bundle.module
+        assert "tb_prive_hd_majority" in bundle.testbench
+
+    def test_golden_matches_testbench(self):
+        bundle = generate_rtl_bundle(36, n_vectors=12, tie_seed=2)
+        expected_bits = re.findall(r", 1'b([01]), \d+\);", bundle.testbench)
+        got = [1 if g > 0 else 0 for g in bundle.golden_outputs]
+        assert [int(b) for b in expected_bits] == got
+
+    def test_deterministic(self):
+        a = generate_rtl_bundle(60, n_vectors=5, vector_seed=7)
+        b = generate_rtl_bundle(60, n_vectors=5, vector_seed=7)
+        assert a.module == b.module
+        assert a.testbench == b.testbench
+
+
+class TestPythonLevelEquivalence:
+    """Simulate the *generated* netlist semantics in Python and compare
+    against the golden model — an RTL-vs-model equivalence check that
+    needs no Verilog simulator."""
+
+    def _simulate_module(self, div: int, vec: np.ndarray, tie_seed: int) -> int:
+        n_groups = div // 6 if div >= 12 else 0
+        ties = tie_break_pattern(max(n_groups, 1), seed=tie_seed)
+        votes = []
+        for g in range(n_groups):
+            init = majority_lut_init(int(ties[g]))
+            pattern = 0
+            for i in range(6):
+                if vec[g * 6 + i] > 0:
+                    pattern |= 1 << i
+            votes.append(1 if init & (1 << pattern) else 0)
+        for i in range(n_groups * 6, div):
+            votes.append(1 if vec[i] > 0 else 0)
+        n_votes = len(votes)
+        popcount = sum(votes)
+        threshold = (
+            n_votes // 2 if n_votes % 2 == 0 else n_votes // 2 + 1
+        )
+        return 1 if popcount >= threshold else 0
+
+    @pytest.mark.parametrize("div", [6, 8, 13, 36, 61, 120])
+    def test_netlist_semantics_match_golden(self, div):
+        rng = np.random.default_rng(div)
+        vecs = (rng.integers(0, 2, (40, div)) * 2 - 1).astype(np.int8)
+        golden = approximate_majority(
+            vecs.T.astype(np.int8), stages=1, tie_seed=9
+        )
+        for i in range(vecs.shape[0]):
+            rtl_out = self._simulate_module(div, vecs[i], tie_seed=9)
+            assert rtl_out == (1 if golden[i] > 0 else 0), (div, i)

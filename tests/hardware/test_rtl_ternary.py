@@ -1,0 +1,126 @@
+"""Tests for the Fig. 7(b) ternary-accumulator RTL generator."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.hardware.adder_tree import saturated_ternary_tree
+from repro.hardware.rtl import (
+    generate_ternary_module,
+    generate_ternary_testbench,
+)
+
+
+def _ternary_vectors(n, div, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.choice([-1, 0, 1], size=(n, div)).astype(np.int32)
+
+
+class TestGenerateTernaryModule:
+    def test_stage1_group_count(self):
+        v = generate_ternary_module(15)
+        assert len(re.findall(r"wire signed \[2:0\] s0_\d+ =", v)) == 5
+
+    def test_remainder_group(self):
+        v = generate_ternary_module(16)  # 5 triples + 1 leftover
+        assert len(re.findall(r"wire signed \[2:0\] s0_\d+ =", v)) == 6
+
+    def test_scale_localparam(self):
+        # 15 inputs -> 5 partials -> 3 -> 2 -> 1: 3 pair stages, scale 8.
+        v = generate_ternary_module(15)
+        assert "localparam integer SCALE = 8;" in v
+
+    def test_bus_width(self):
+        v = generate_ternary_module(10)
+        assert "[19:0] addends" in v
+
+    def test_deterministic(self):
+        assert generate_ternary_module(12) == generate_ternary_module(12)
+
+    def test_alternating_carry_in_source(self):
+        v = generate_ternary_module(24)
+        # Stage 1 (first pair stage) uses carry 0, stage 2 uses carry 1.
+        assert re.search(r"s1_\d+_sum = s0_\d+ \+ s0_\d+ \+ 0;", v)
+        assert re.search(r"s2_\d+_sum = s1_\d+ \+ s1_\d+ \+ 1;", v)
+
+
+class _VerilogSim:
+    """Python interpreter for the generated netlist semantics."""
+
+    @staticmethod
+    def run(div: int, vec: np.ndarray) -> tuple[int, int]:
+        n_groups = div // 3
+        partials = [
+            int(vec[3 * g] + vec[3 * g + 1] + vec[3 * g + 2])
+            for g in range(n_groups)
+        ]
+        if div % 3:
+            partials.append(int(vec[n_groups * 3 :].sum()))
+        stage, scale = 0, 1
+        while len(partials) > 1:
+            carry = stage & 1
+            nxt = []
+            half = len(partials) // 2
+            for i in range(half):
+                nxt.append((partials[2 * i] + partials[2 * i + 1] + carry) >> 1)
+            if len(partials) % 2:
+                nxt.append((partials[-1] + carry) >> 1)
+            partials = nxt
+            stage += 1
+            scale *= 2
+        return partials[0], scale
+
+    @staticmethod
+    def scale_of(div: int) -> int:
+        n_groups = div // 3 + (1 if div % 3 else 0)
+        scale = 1
+        while n_groups > 1:
+            n_groups = n_groups // 2 + n_groups % 2
+            scale *= 2
+        return scale
+
+
+class TestNetlistSemantics:
+    @pytest.mark.parametrize("div", [3, 5, 9, 15, 16, 33])
+    def test_matches_golden_model(self, div):
+        vectors = _ternary_vectors(30, div, seed=div)
+        golden = saturated_ternary_tree(vectors.T)
+        scale = _VerilogSim.scale_of(div)
+        for i in range(vectors.shape[0]):
+            out, s = _VerilogSim.run(div, vectors[i])
+            assert s == scale
+            assert out * s == golden[i], (div, i)
+
+
+class TestTernaryTestbench:
+    def test_vector_count_and_format(self):
+        vecs = _ternary_vectors(6, 9, seed=1)
+        tb = generate_ternary_testbench(9, vecs)
+        assert len(re.findall(r"apply\(18'b", tb)) == 6
+        assert "SCALE=4" in tb  # 3 partials -> 2 -> 1: two stages
+
+    def test_expected_values_match_golden(self):
+        vecs = _ternary_vectors(8, 15, seed=2)
+        tb = generate_ternary_testbench(15, vecs)
+        golden = saturated_ternary_tree(vecs.T)
+        scale = _VerilogSim.scale_of(15)
+        expected_bits = re.findall(r", 3'b([01]{3}), \d+\);", tb)
+        assert len(expected_bits) == 8
+        for bits, g in zip(expected_bits, golden):
+            val = int(bits, 2)
+            if val >= 4:
+                val -= 8  # two's complement
+            assert val == int(g / scale)
+
+    def test_literal_encoding(self):
+        # Single triple [1, 0, -1]: value 0 is LSBs.
+        vec = np.array([[1, 0, -1]], dtype=np.int32)
+        tb = generate_ternary_testbench(3, vec)
+        assert "6'b110001" in tb  # -1 -> 11, 0 -> 00, +1 -> 01 (MSB first)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_ternary_testbench(6, np.full((2, 6), 2))
+        with pytest.raises(ValueError):
+            generate_ternary_testbench(6, _ternary_vectors(2, 5))

@@ -1,0 +1,67 @@
+"""Tests for memory-bounded batched encoding/training."""
+
+import numpy as np
+import pytest
+
+from repro.hd import HDModel, ScalarBaseEncoder
+from repro.hd.batching import encode_in_batches, fit_classes_batched
+from repro.utils import spawn
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = spawn(0, "batch")
+    X = rng.uniform(0, 1, (37, 12))
+    y = rng.integers(0, 3, 37)
+    enc = ScalarBaseEncoder(12, 256, seed=1)
+    return enc, X, y
+
+
+class TestEncodeInBatches:
+    def test_chunks_cover_everything(self, setup):
+        enc, X, _ = setup
+        chunks = list(encode_in_batches(enc, X, batch_size=10))
+        assert [c[1].shape[0] for c in chunks] == [10, 10, 10, 7]
+        stitched = np.vstack([c[1] for c in chunks])
+        np.testing.assert_allclose(stitched, enc.encode(X), rtol=1e-6)
+
+    def test_slices_are_correct(self, setup):
+        enc, X, _ = setup
+        for rows, H in encode_in_batches(enc, X, batch_size=8):
+            np.testing.assert_allclose(H, enc.encode(X[rows]), rtol=1e-6)
+
+    def test_batch_larger_than_data(self, setup):
+        enc, X, _ = setup
+        chunks = list(encode_in_batches(enc, X, batch_size=1000))
+        assert len(chunks) == 1
+
+    def test_invalid_batch_size(self, setup):
+        enc, X, _ = setup
+        with pytest.raises(ValueError):
+            list(encode_in_batches(enc, X, batch_size=0))
+
+
+class TestFitClassesBatched:
+    def test_matches_monolithic_fit(self, setup):
+        enc, X, y = setup
+        batched = fit_classes_batched(enc, X, y, 3, batch_size=5)
+        mono = HDModel.from_encodings(enc.encode(X), y, 3)
+        np.testing.assert_allclose(
+            batched.class_hvs, mono.class_hvs, rtol=1e-5, atol=1e-3
+        )
+
+    def test_quantized_matches_monolithic(self, setup):
+        enc, X, y = setup
+        from repro.hd import get_quantizer
+
+        q = get_quantizer("bipolar")
+        batched = fit_classes_batched(
+            enc, X, y, 3, quantizer="bipolar", batch_size=7
+        )
+        mono = HDModel.from_encodings(q(enc.encode(X)), y, 3)
+        np.testing.assert_allclose(batched.class_hvs, mono.class_hvs)
+
+    def test_length_mismatch(self, setup):
+        enc, X, y = setup
+        with pytest.raises(ValueError):
+            fit_classes_batched(enc, X, y[:5], 3)

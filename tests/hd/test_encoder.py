@@ -1,0 +1,141 @@
+"""Tests for the Eq. (2a) and Eq. (2b) encoders."""
+
+import numpy as np
+import pytest
+
+from repro.hd.encoder import LevelBaseEncoder, ScalarBaseEncoder
+from repro.hd.similarity import cosine
+from repro.utils import spawn
+
+
+def _inputs(n=6, d_in=32, seed=0):
+    return spawn(seed, "enc-inputs").uniform(0, 1, (n, d_in))
+
+
+class TestScalarBaseEncoder:
+    def test_encode_is_linear_combination(self):
+        """Eq. (2a): H must literally equal Σ v_k · B_k."""
+        enc = ScalarBaseEncoder(8, 256, seed=1)
+        x = _inputs(1, 8)[0]
+        expected = np.zeros(256)
+        for k in range(8):
+            expected += x[k] * enc.base.vectors[k]
+        # encode() accumulates in float32; the reference sum is float64
+        np.testing.assert_allclose(enc.encode_one(x), expected, rtol=1e-3, atol=1e-5)
+
+    def test_batch_matches_single(self):
+        enc = ScalarBaseEncoder(16, 512, seed=2)
+        X = _inputs(4, 16)
+        H = enc.encode(X)
+        for i in range(4):
+            np.testing.assert_allclose(H[i], enc.encode_one(X[i]), rtol=1e-6)
+
+    def test_deterministic_across_instances(self):
+        X = _inputs()
+        a = ScalarBaseEncoder(32, 256, seed=9).encode(X)
+        b = ScalarBaseEncoder(32, 256, seed=9).encode(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        X = _inputs()
+        a = ScalarBaseEncoder(32, 256, seed=1).encode(X)
+        b = ScalarBaseEncoder(32, 256, seed=2).encode(X)
+        assert not np.allclose(a, b)
+
+    def test_feature_quantization_snaps_to_grid(self):
+        enc = ScalarBaseEncoder(4, 64, n_levels=5, seed=0)
+        Xq = enc.quantize_features(np.array([[0.0, 0.13, 0.5, 1.0]]))
+        np.testing.assert_allclose(Xq[0], [0.0, 0.25, 0.5, 1.0])
+
+    def test_no_levels_passthrough_with_clip(self):
+        enc = ScalarBaseEncoder(3, 64, seed=0)
+        Xq = enc.quantize_features(np.array([[-0.5, 0.3, 1.5]]))
+        np.testing.assert_allclose(Xq[0], [0.0, 0.3, 1.0])
+
+    def test_wrong_feature_count_rejected(self):
+        enc = ScalarBaseEncoder(8, 64, seed=0)
+        with pytest.raises(ValueError):
+            enc.encode(np.zeros((2, 9)))
+
+    def test_truncated_matches_prefix(self):
+        enc = ScalarBaseEncoder(16, 512, seed=3)
+        X = _inputs(3, 16)
+        H_full = enc.encode(X)
+        H_trunc = enc.truncated(128).encode(X)
+        np.testing.assert_allclose(H_trunc, H_full[:, :128], rtol=1e-6)
+
+    def test_similar_inputs_similar_encodings(self):
+        enc = ScalarBaseEncoder(32, 4096, seed=4)
+        x = _inputs(1, 32)[0]
+        x2 = np.clip(x + 0.01, 0, 1)
+        far = _inputs(1, 32, seed=99)[0]
+        assert cosine(enc.encode_one(x), enc.encode_one(x2)) > cosine(
+            enc.encode_one(x), enc.encode_one(far)
+        )
+
+
+class TestLevelBaseEncoder:
+    def test_encode_matches_definition(self):
+        """Eq. (2b): H must equal Σ L[q_k] ⊙ B_k."""
+        enc = LevelBaseEncoder(8, 256, n_levels=4, seed=5)
+        x = _inputs(1, 8)[0]
+        idx = enc.levels.indices(x)
+        expected = np.zeros(256)
+        for k in range(8):
+            expected += enc.levels.vectors[idx[k]] * enc.base.vectors[k]
+        np.testing.assert_allclose(enc.encode_one(x), expected)
+
+    def test_per_level_and_per_feature_paths_agree(self):
+        # n_levels small → per-level matmul path; large → gather path.
+        X = _inputs(5, 12, seed=1)
+        fast = LevelBaseEncoder(12, 256, n_levels=3, seed=6)  # 3 <= 12//4
+        slow = LevelBaseEncoder(12, 256, n_levels=3, seed=6)
+        slow.n_levels = 1000  # force the per-feature branch (levels unchanged)
+        H_fast = fast.encode(X)
+        slow_out = np.zeros_like(H_fast)
+        idx = fast.levels.indices(X)
+        for k in range(12):
+            slow_out += (
+                fast.levels.vectors[idx[:, k]].astype(np.float32)
+                * fast.base.as_float()[k]
+            )
+        np.testing.assert_allclose(H_fast, slow_out)
+
+    def test_addends_sum_to_encoding(self):
+        enc = LevelBaseEncoder(16, 512, n_levels=8, seed=7)
+        x = _inputs(1, 16)[0]
+        addends = enc.encode_addends(x)
+        assert addends.shape == (16, 512)
+        assert set(np.unique(addends)) <= {-1, 1}
+        np.testing.assert_allclose(addends.sum(axis=0), enc.encode_one(x))
+
+    def test_addends_rejects_bad_shape(self):
+        enc = LevelBaseEncoder(16, 64, n_levels=4, seed=0)
+        with pytest.raises(ValueError):
+            enc.encode_addends(np.zeros(8))
+
+    def test_encoding_values_have_parity_of_d_in(self):
+        # A sum of d_in ±1 values has the same parity as d_in.
+        enc = LevelBaseEncoder(9, 128, n_levels=4, seed=8)
+        H = enc.encode(_inputs(3, 9))
+        assert np.all(np.mod(H, 2) == 9 % 2)
+
+    def test_truncated_matches_prefix(self):
+        enc = LevelBaseEncoder(16, 512, n_levels=8, seed=9)
+        X = _inputs(3, 16)
+        np.testing.assert_allclose(
+            enc.truncated(100).encode(X), enc.encode(X)[:, :100]
+        )
+
+    def test_kind_attributes(self):
+        assert ScalarBaseEncoder(4, 16, seed=0).kind == "scalar-base"
+        assert LevelBaseEncoder(4, 16, n_levels=2, seed=0).kind == "level-base"
+
+    def test_close_features_closer_than_far(self):
+        enc = LevelBaseEncoder(32, 4096, n_levels=32, seed=10)
+        lo = np.full(32, 0.2)
+        lo_eps = np.full(32, 0.25)
+        hi = np.full(32, 0.9)
+        s_near = cosine(enc.encode_one(lo), enc.encode_one(lo_eps))
+        s_far = cosine(enc.encode_one(lo), enc.encode_one(hi))
+        assert s_near > s_far

@@ -1,0 +1,179 @@
+"""Tests for bipolar hypervector primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hd.hypervector import (
+    bind,
+    bundle,
+    flip,
+    flip_chain,
+    permute,
+    random_bipolar,
+    to_bipolar,
+)
+from repro.hd.similarity import cosine, hamming_distance
+from repro.utils import spawn
+
+
+class TestRandomBipolar:
+    def test_values_are_bipolar(self):
+        hv = random_bipolar(1000, rng=spawn(0, "t"))
+        assert set(np.unique(hv)) <= {-1, 1}
+
+    def test_single_shape(self):
+        assert random_bipolar(64, rng=0).shape == (64,)
+
+    def test_batch_shape(self):
+        assert random_bipolar(64, n=5, rng=0).shape == (5, 64)
+
+    def test_deterministic(self):
+        a = random_bipolar(128, rng=spawn(1, "x"))
+        b = random_bipolar(128, rng=spawn(1, "x"))
+        np.testing.assert_array_equal(a, b)
+
+    def test_balanced(self):
+        hv = random_bipolar(20000, rng=spawn(2, "bal"))
+        # Mean of ±1 coin flips concentrates at 0 (3-sigma ≈ 0.021).
+        assert abs(hv.mean()) < 0.03
+
+    def test_quasi_orthogonal(self):
+        hvs = random_bipolar(10000, n=2, rng=spawn(3, "orth"))
+        assert abs(cosine(hvs[0], hvs[1])) < 0.05
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            random_bipolar(0)
+
+    def test_dtype(self):
+        assert random_bipolar(16, rng=0).dtype == np.int8
+
+
+class TestFlip:
+    def test_flips_only_given_indices(self):
+        hv = random_bipolar(100, rng=spawn(4, "f"))
+        out = flip(hv, np.array([0, 5]))
+        assert out[0] == -hv[0] and out[5] == -hv[5]
+        untouched = np.ones(100, dtype=bool)
+        untouched[[0, 5]] = False
+        np.testing.assert_array_equal(out[untouched], hv[untouched])
+
+    def test_original_unmodified(self):
+        hv = random_bipolar(10, rng=0)
+        before = hv.copy()
+        flip(hv, np.array([1]))
+        np.testing.assert_array_equal(hv, before)
+
+
+class TestFlipChain:
+    def test_shape(self):
+        levels = flip_chain(10, 512, rng=spawn(5, "fc"))
+        assert levels.shape == (10, 512)
+
+    def test_endpoints_orthogonal(self):
+        levels = flip_chain(20, 10000, rng=spawn(6, "fc"))
+        # span=0.5 flips half the dimensions end-to-end → cosine ≈ 0.
+        assert abs(cosine(levels[0], levels[-1])) < 0.02
+
+    def test_adjacent_levels_similar(self):
+        levels = flip_chain(20, 10000, rng=spawn(7, "fc"))
+        d = hamming_distance(levels[0], levels[1])
+        # Each step flips ~Dhv/(2*(L-1)) of the dims: 1/38 ≈ 0.026.
+        assert d == pytest.approx(0.5 / 19, abs=0.005)
+
+    def test_similarity_decays_monotonically(self):
+        levels = flip_chain(8, 8192, rng=spawn(8, "fc"))
+        sims = [cosine(levels[0], levels[k]) for k in range(8)]
+        assert all(sims[i] >= sims[i + 1] - 1e-12 for i in range(7))
+
+    def test_hamming_is_linear_in_level_gap(self):
+        # Flips are sampled without replacement, so distance from L0 is
+        # exactly the cumulative flip count.
+        levels = flip_chain(6, 6000, rng=spawn(9, "fc"))
+        gaps = [hamming_distance(levels[0], levels[k]) for k in range(6)]
+        expected = [0.5 * k / 5 for k in range(6)]
+        np.testing.assert_allclose(gaps, expected, atol=0.01)
+
+    def test_single_level(self):
+        levels = flip_chain(1, 128, rng=0)
+        assert levels.shape == (1, 128)
+
+    def test_custom_span(self):
+        levels = flip_chain(5, 10000, rng=spawn(10, "fc"), span=0.2)
+        assert hamming_distance(levels[0], levels[-1]) == pytest.approx(0.2, abs=0.01)
+
+
+class TestOperators:
+    def test_bind_is_xnor_like(self):
+        a = np.array([1, 1, -1, -1], dtype=np.int8)
+        b = np.array([1, -1, 1, -1], dtype=np.int8)
+        np.testing.assert_array_equal(bind(a, b), [1, -1, -1, 1])
+
+    def test_bind_self_is_identity_vector(self):
+        hv = random_bipolar(256, rng=0)
+        np.testing.assert_array_equal(bind(hv, hv), np.ones(256))
+
+    def test_bind_preserves_distance(self):
+        rng = spawn(11, "bind")
+        a, b, k = random_bipolar(8192, n=3, rng=rng)
+        assert cosine(bind(a, k), bind(b, k)) == pytest.approx(cosine(a, b), abs=1e-12)
+
+    def test_bundle_is_sum(self):
+        hvs = random_bipolar(64, n=7, rng=0)
+        np.testing.assert_array_equal(bundle(hvs), hvs.sum(axis=0))
+
+    def test_bundle_int_promotion(self):
+        # int8 inputs must not overflow when many vectors are bundled.
+        hvs = np.ones((300, 8), dtype=np.int8)
+        out = bundle(hvs)
+        assert out[0] == 300
+
+    def test_bundle_similar_to_members(self):
+        hvs = random_bipolar(8192, n=5, rng=spawn(12, "bun"))
+        s = bundle(hvs)
+        for hv in hvs:
+            assert cosine(s, hv) > 0.3  # 1/sqrt(5) ≈ 0.45 in expectation
+
+    def test_permute_roundtrip(self):
+        hv = random_bipolar(100, rng=0)
+        np.testing.assert_array_equal(permute(permute(hv, 3), -3), hv)
+
+    def test_permute_decorrelates(self):
+        hv = random_bipolar(8192, rng=spawn(13, "perm"))
+        assert abs(cosine(hv, permute(hv, 1))) < 0.05
+
+
+class TestToBipolar:
+    def test_sign_mapping(self):
+        np.testing.assert_array_equal(
+            to_bipolar(np.array([-2.0, -0.1, 0.0, 0.1, 5.0])),
+            [-1, -1, 1, 1, 1],
+        )
+
+    def test_idempotent(self):
+        x = np.array([-3.0, 0.0, 2.0])
+        np.testing.assert_array_equal(to_bipolar(to_bipolar(x)), to_bipolar(x))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    d_hv=st.integers(min_value=4, max_value=512),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_random_bipolar_always_pm1(d_hv, seed):
+    hv = random_bipolar(d_hv, rng=seed)
+    assert hv.shape == (d_hv,)
+    assert np.all(np.abs(hv) == 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_levels=st.integers(min_value=2, max_value=32),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_flip_chain_monotone_distance(n_levels, seed):
+    levels = flip_chain(n_levels, 1024, rng=seed)
+    dists = [hamming_distance(levels[0], levels[k]) for k in range(n_levels)]
+    assert all(dists[i] <= dists[i + 1] + 1e-12 for i in range(n_levels - 1))

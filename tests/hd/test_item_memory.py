@@ -1,0 +1,112 @@
+"""Tests for base and level item memories."""
+
+import numpy as np
+import pytest
+
+from repro.hd.item_memory import BaseMemory, LevelMemory
+from repro.hd.similarity import cosine
+from repro.utils import spawn
+
+
+class TestBaseMemory:
+    def test_shape_and_dtype(self):
+        mem = BaseMemory(20, 512, rng=spawn(0, "bm"))
+        assert mem.vectors.shape == (20, 512)
+        assert mem.vectors.dtype == np.int8
+
+    def test_len_and_getitem(self):
+        mem = BaseMemory(5, 64, rng=0)
+        assert len(mem) == 5
+        np.testing.assert_array_equal(mem[2], mem.vectors[2])
+
+    def test_deterministic_from_rng(self):
+        a = BaseMemory(8, 256, rng=spawn(1, "bm"))
+        b = BaseMemory(8, 256, rng=spawn(1, "bm"))
+        np.testing.assert_array_equal(a.vectors, b.vectors)
+
+    def test_rows_quasi_orthogonal(self):
+        mem = BaseMemory(10, 10000, rng=spawn(2, "bm"))
+        sims = [
+            cosine(mem[i], mem[j]) for i in range(10) for j in range(i + 1, 10)
+        ]
+        assert max(abs(s) for s in sims) < 0.05
+
+    def test_as_float_cached(self):
+        mem = BaseMemory(4, 32, rng=0)
+        assert mem.as_float() is mem.as_float()
+        assert mem.as_float().dtype == np.float32
+
+    def test_truncated_is_prefix(self):
+        mem = BaseMemory(6, 128, rng=spawn(3, "bm"))
+        t = mem.truncated(32)
+        assert t.d_hv == 32
+        np.testing.assert_array_equal(t.vectors, mem.vectors[:, :32])
+
+    def test_truncated_rejects_growth(self):
+        mem = BaseMemory(6, 128, rng=0)
+        with pytest.raises(ValueError):
+            mem.truncated(256)
+
+
+class TestLevelMemoryIndices:
+    def test_endpoints(self):
+        mem = LevelMemory(10, 64, rng=0)
+        idx = mem.indices(np.array([0.0, 1.0]))
+        np.testing.assert_array_equal(idx, [0, 9])
+
+    def test_midpoint_rounds_to_nearest(self):
+        mem = LevelMemory(11, 64, rng=0)  # levels at 0.0, 0.1, ..., 1.0
+        idx = mem.indices(np.array([0.34, 0.35, 0.36]))
+        np.testing.assert_array_equal(idx, [3, 4, 4])  # 0.35 rounds to even=4? rint
+
+    def test_clipping(self):
+        mem = LevelMemory(5, 64, rng=0)
+        idx = mem.indices(np.array([-10.0, 10.0]))
+        np.testing.assert_array_equal(idx, [0, 4])
+
+    def test_custom_range(self):
+        mem = LevelMemory(3, 64, lo=-1.0, hi=1.0, rng=0)
+        idx = mem.indices(np.array([-1.0, 0.0, 1.0]))
+        np.testing.assert_array_equal(idx, [0, 1, 2])
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            LevelMemory(3, 64, lo=1.0, hi=1.0, rng=0)
+
+
+class TestLevelMemoryValues:
+    def test_roundtrip_on_grid(self):
+        mem = LevelMemory(6, 64, rng=0)
+        grid = np.linspace(0, 1, 6)
+        np.testing.assert_allclose(mem.values(mem.indices(grid)), grid)
+
+    def test_single_level_midpoint(self):
+        mem = LevelMemory(1, 64, rng=0)
+        np.testing.assert_allclose(mem.values(np.array([0])), [0.5])
+
+    def test_quantization_error_bounded(self):
+        mem = LevelMemory(21, 64, rng=0)
+        x = np.linspace(0, 1, 1000)
+        err = np.abs(mem.values(mem.indices(x)) - x)
+        assert err.max() <= 0.5 / 20 + 1e-12  # half a level step
+
+
+class TestLevelMemoryLookup:
+    def test_lookup_shape(self):
+        mem = LevelMemory(8, 128, rng=spawn(4, "lm"))
+        X = np.random.default_rng(0).uniform(0, 1, (3, 5))
+        assert mem.lookup(X).shape == (3, 5, 128)
+
+    def test_lookup_values_match_indices(self):
+        mem = LevelMemory(8, 128, rng=spawn(5, "lm"))
+        X = np.array([[0.0, 1.0]])
+        out = mem.lookup(X)
+        np.testing.assert_array_equal(out[0, 0], mem.vectors[0])
+        np.testing.assert_array_equal(out[0, 1], mem.vectors[7])
+
+    def test_truncated(self):
+        mem = LevelMemory(8, 128, rng=spawn(6, "lm"))
+        t = mem.truncated(64)
+        assert t.vectors.shape == (8, 64)
+        np.testing.assert_array_equal(t.vectors, mem.vectors[:, :64])
+        assert t.lo == mem.lo and t.hi == mem.hi

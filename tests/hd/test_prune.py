@@ -1,0 +1,181 @@
+"""Tests for less-effectual-dimension pruning (Section III-B.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hd.model import HDModel
+from repro.hd.prune import (
+    SCORE_METHODS,
+    apply_mask,
+    dimension_scores,
+    prune_mask,
+    prune_model,
+)
+
+
+class TestDimensionScores:
+    def setup_method(self):
+        self.C = np.array([[3.0, 0.0, -1.0], [4.0, 0.5, 1.0]])
+
+    def test_l2(self):
+        np.testing.assert_allclose(
+            dimension_scores(self.C, "l2"), [5.0, 0.5, np.sqrt(2)]
+        )
+
+    def test_sum_abs(self):
+        np.testing.assert_allclose(
+            dimension_scores(self.C, "sum_abs"), [7.0, 0.5, 2.0]
+        )
+
+    def test_min_abs(self):
+        np.testing.assert_allclose(
+            dimension_scores(self.C, "min_abs"), [3.0, 0.0, 1.0]
+        )
+
+    def test_max_abs(self):
+        np.testing.assert_allclose(
+            dimension_scores(self.C, "max_abs"), [4.0, 0.5, 1.0]
+        )
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            dimension_scores(self.C, "entropy")
+
+    def test_single_class_row(self):
+        """Fig. 3 analyses a single class hypervector's magnitudes."""
+        scores = dimension_scores(np.array([[-2.0, 0.5, 1.0]]), "l2")
+        np.testing.assert_allclose(scores, [2.0, 0.5, 1.0])
+
+
+class TestPruneMask:
+    def test_prunes_exact_count(self):
+        keep = prune_mask(np.arange(10.0), 0.3)
+        assert keep.sum() == 7
+        assert not keep[:3].any()  # lowest three pruned
+
+    def test_zero_fraction_keeps_all(self):
+        assert prune_mask(np.arange(5.0), 0.0).all()
+
+    def test_full_fraction_prunes_all(self):
+        assert not prune_mask(np.arange(5.0), 1.0).any()
+
+    def test_ties_broken_deterministically(self):
+        a = prune_mask(np.zeros(6), 0.5)
+        b = prune_mask(np.zeros(6), 0.5)
+        np.testing.assert_array_equal(a, b)
+        assert a.sum() == 3
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(ValueError):
+            prune_mask(np.arange(4.0), 1.5)
+
+    def test_2d_scores_rejected(self):
+        with pytest.raises(ValueError):
+            prune_mask(np.zeros((2, 2)), 0.5)
+
+    def test_monotone_in_fraction(self):
+        scores = np.random.default_rng(0).uniform(size=100)
+        keep_30 = prune_mask(scores, 0.3)
+        keep_60 = prune_mask(scores, 0.6)
+        # Everything pruned at 30% is also pruned at 60%.
+        assert np.all(~keep_30 | keep_60 | ~keep_60)
+        assert np.all(keep_60 <= keep_30)
+
+
+class TestApplyMask:
+    def test_zeroes_pruned(self):
+        H = np.ones((2, 4))
+        keep = np.array([True, False, True, False])
+        np.testing.assert_allclose(apply_mask(H, keep), [[1, 0, 1, 0]] * 2)
+
+    def test_copy_not_view(self):
+        H = np.ones((1, 2))
+        out = apply_mask(H, np.array([True, True]))
+        out[0, 0] = 5.0
+        assert H[0, 0] == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            apply_mask(np.ones((1, 3)), np.ones(2, dtype=bool))
+
+
+class TestPruneModel:
+    def test_pruned_dims_are_zero(self, trained):
+        model, _, _ = trained
+        pruned, keep = prune_model(model, 0.4)
+        assert np.all(pruned.class_hvs[:, ~keep] == 0.0)
+        np.testing.assert_array_equal(
+            pruned.class_hvs[:, keep], model.class_hvs[:, keep]
+        )
+
+    def test_mask_fraction(self, trained):
+        model, _, _ = trained
+        _, keep = prune_model(model, 0.25)
+        assert (~keep).sum() == round(0.25 * model.d_hv)
+
+    @pytest.mark.parametrize("method", SCORE_METHODS)
+    def test_all_methods_work(self, trained, method):
+        model, H, y = trained
+        pruned, keep = prune_model(model, 0.5, method=method)
+        assert pruned.accuracy(H * keep, y) > 0.5  # still far above chance
+
+    def test_gentle_pruning_preserves_accuracy(self, trained):
+        """The paper's core observation: low-magnitude dims carry little."""
+        model, H, y = trained
+        pruned, keep = prune_model(model, 0.3)
+        assert pruned.accuracy(H * keep, y) >= model.accuracy(H, y) - 0.02
+
+    def test_aggressive_magnitude_pruning_beats_antimagnitude(self):
+        """Keeping the top-|C| 10% of dims must beat keeping the bottom 10%.
+
+        This is the accuracy-side consequence of Fig. 3: less-effectual
+        dimensions carry less prediction information.  The effect is only
+        reliable at aggressive pruning, which is where the paper operates
+        (6,000 of 10,000 dims pruned).
+        """
+        from repro.hd import ScalarBaseEncoder
+        from tests.conftest import make_cluster_task
+
+        X, y = make_cluster_task(n=400, d_in=24, n_classes=6, noise=0.3, seed=31)
+        enc = ScalarBaseEncoder(24, 1024, seed=5)
+        H = enc.encode(X)
+        model = HDModel.from_encodings(H, y, 6)
+        scores = dimension_scores(model.class_hvs)
+        order = np.argsort(scores)
+        keep_top = np.zeros(1024, dtype=bool)
+        keep_top[order[-103:]] = True
+        keep_bot = np.zeros(1024, dtype=bool)
+        keep_bot[order[:103]] = True
+        acc_top = model.masked(keep_top).accuracy(H * keep_top, y)
+        acc_bot = model.masked(keep_bot).accuracy(H * keep_bot, y)
+        assert acc_top > acc_bot
+
+    def test_magnitude_pruning_maximizes_retained_energy(self, trained):
+        """Pruning low-|C| dims retains the most class-vector energy.
+
+        Σ_kept C_d² is maximized by magnitude selection by construction —
+        the deterministic core of the paper's 'less effectual' argument.
+        """
+        model, _, _ = trained
+        c = model.class_hvs[0]
+        scores = dimension_scores(c[None, :])
+        keep = prune_mask(scores, 0.5)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            rand_keep = np.zeros(model.d_hv, dtype=bool)
+            rand_keep[rng.permutation(model.d_hv)[: keep.sum()]] = True
+            assert np.sum(c[keep] ** 2) >= np.sum(c[rand_keep] ** 2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    fraction=st.floats(0.0, 1.0),
+    n=st.integers(1, 200),
+    seed=st.integers(0, 2**31),
+)
+def test_property_prune_count_exact(fraction, n, seed):
+    scores = np.random.default_rng(seed).uniform(size=n)
+    keep = prune_mask(scores, fraction)
+    assert (~keep).sum() == int(round(fraction * n))

@@ -1,0 +1,112 @@
+"""Tests for the n-gram sequence encoder."""
+
+import numpy as np
+import pytest
+
+from repro.hd.model import HDModel
+from repro.hd.sequence import NGramEncoder, SymbolMemory
+from repro.hd.similarity import cosine
+from repro.utils import spawn
+
+
+class TestSymbolMemory:
+    def test_shape(self):
+        mem = SymbolMemory(5, 128, rng=0)
+        assert mem.vectors.shape == (5, 128)
+        assert len(mem) == 5
+
+    def test_lookup(self):
+        mem = SymbolMemory(5, 64, rng=0)
+        out = mem.lookup(np.array([0, 4, 0]))
+        np.testing.assert_array_equal(out[0], out[2])
+        np.testing.assert_array_equal(out[1], mem[4])
+
+    def test_lookup_out_of_range(self):
+        mem = SymbolMemory(3, 64, rng=0)
+        with pytest.raises(ValueError):
+            mem.lookup(np.array([3]))
+        with pytest.raises(ValueError):
+            mem.lookup(np.array([-1]))
+
+    def test_symbols_quasi_orthogonal(self):
+        mem = SymbolMemory(6, 8192, rng=spawn(1, "sym"))
+        for i in range(6):
+            for j in range(i + 1, 6):
+                assert abs(cosine(mem[i], mem[j])) < 0.06
+
+
+class TestNGramEncoder:
+    def test_order_sensitivity(self):
+        """'ab' and 'ba' must be quasi-orthogonal (ρ breaks symmetry)."""
+        enc = NGramEncoder(4, 8192, n=2, seed=0)
+        ab = enc.encode_one(np.array([0, 1]))
+        ba = enc.encode_one(np.array([1, 0]))
+        assert abs(cosine(ab, ba)) < 0.1
+
+    def test_shared_ngrams_create_similarity(self):
+        enc = NGramEncoder(8, 8192, n=2, seed=1)
+        s1 = enc.encode_one(np.array([0, 1, 2, 3, 4]))
+        s2 = enc.encode_one(np.array([0, 1, 2, 3, 5]))  # 3 of 4 grams shared
+        s3 = enc.encode_one(np.array([5, 6, 7, 6, 5]))  # no grams shared
+        assert cosine(s1, s2) > 0.5
+        assert abs(cosine(s1, s3)) < 0.15
+
+    def test_single_symbol_sequence(self):
+        enc = NGramEncoder(4, 256, n=3, seed=2)
+        out = enc.encode_one(np.array([2]))
+        np.testing.assert_array_equal(out, enc.symbols[2].astype(np.float32))
+
+    def test_short_sequence_uses_reduced_order(self):
+        # length 2 < n=3: encoded as a single 2-gram, not an error.
+        enc = NGramEncoder(4, 256, n=3, seed=3)
+        out = enc.encode_one(np.array([0, 1]))
+        two = NGramEncoder(4, 256, n=2, seed=3)
+        np.testing.assert_array_equal(out, two.encode_one(np.array([0, 1])))
+
+    def test_batch_matches_single(self):
+        enc = NGramEncoder(5, 512, n=2, seed=4)
+        seqs = [np.array([0, 1, 2]), np.array([3, 4])]
+        batch = enc.encode(seqs)
+        for i, seq in enumerate(seqs):
+            np.testing.assert_array_equal(batch[i], enc.encode_one(seq))
+
+    def test_empty_inputs_rejected(self):
+        enc = NGramEncoder(4, 64, seed=0)
+        with pytest.raises(ValueError):
+            enc.encode_one(np.array([]))
+        with pytest.raises(ValueError):
+            enc.encode([])
+
+    def test_deterministic(self):
+        a = NGramEncoder(4, 256, n=2, seed=5).encode_one(np.array([1, 2, 3]))
+        b = NGramEncoder(4, 256, n=2, seed=5).encode_one(np.array([1, 2, 3]))
+        np.testing.assert_array_equal(a, b)
+
+    def test_language_classification(self):
+        """End-to-end: distinguish two synthetic 'languages' by trigrams."""
+        rng = spawn(6, "lang")
+        n_symbols, length, n_per_class = 8, 30, 40
+
+        def sample(transition, n):
+            seqs = []
+            for _ in range(n):
+                s = [int(rng.integers(0, n_symbols))]
+                for _ in range(length - 1):
+                    s.append(int(rng.choice(n_symbols, p=transition[s[-1]])))
+                seqs.append(np.array(s))
+            return seqs
+
+        def random_markov():
+            T = rng.uniform(0.05, 1.0, (n_symbols, n_symbols))
+            return T / T.sum(axis=1, keepdims=True)
+
+        lang_a, lang_b = random_markov(), random_markov()
+        train = sample(lang_a, n_per_class) + sample(lang_b, n_per_class)
+        y = np.array([0] * n_per_class + [1] * n_per_class)
+        test = sample(lang_a, 15) + sample(lang_b, 15)
+        y_test = np.array([0] * 15 + [1] * 15)
+
+        enc = NGramEncoder(n_symbols, 4096, n=3, seed=7)
+        model = HDModel.from_encodings(enc.encode(train), y, 2)
+        acc = model.accuracy(enc.encode(test), y_test)
+        assert acc > 0.8

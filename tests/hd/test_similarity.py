@@ -1,0 +1,127 @@
+"""Tests for similarity kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.hd.similarity import (
+    class_scores,
+    cosine,
+    cosine_matrix,
+    dot_matrix,
+    hamming_distance,
+    norm_rows,
+)
+
+
+class TestCosine:
+    def test_identical_is_one(self):
+        v = np.array([1.0, -2.0, 3.0])
+        assert cosine(v, v) == pytest.approx(1.0)
+
+    def test_opposite_is_minus_one(self):
+        v = np.array([1.0, 2.0])
+        assert cosine(v, -v) == pytest.approx(-1.0)
+
+    def test_orthogonal_is_zero(self):
+        assert cosine(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_zero_vector_is_zero(self):
+        assert cosine(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_scale_invariance(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([-1.0, 0.5, 2.0])
+        assert cosine(3 * a, 0.1 * b) == pytest.approx(cosine(a, b))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cosine(np.ones(3), np.ones(4))
+
+
+class TestMatrices:
+    def test_cosine_matrix_shape(self):
+        q = np.random.default_rng(0).normal(size=(5, 16))
+        r = np.random.default_rng(1).normal(size=(3, 16))
+        assert cosine_matrix(q, r).shape == (5, 3)
+
+    def test_cosine_matrix_matches_scalar(self):
+        rng = np.random.default_rng(2)
+        q = rng.normal(size=(4, 32))
+        r = rng.normal(size=(2, 32))
+        M = cosine_matrix(q, r)
+        for i in range(4):
+            for j in range(2):
+                assert M[i, j] == pytest.approx(cosine(q[i], r[j]))
+
+    def test_dot_matrix_matches_matmul(self):
+        rng = np.random.default_rng(3)
+        q = rng.normal(size=(4, 8))
+        r = rng.normal(size=(3, 8))
+        np.testing.assert_allclose(dot_matrix(q, r), q @ r.T)
+
+    def test_zero_rows_do_not_nan(self):
+        q = np.zeros((2, 8))
+        r = np.ones((2, 8))
+        M = cosine_matrix(q, r)
+        assert np.all(np.isfinite(M))
+
+    def test_column_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cosine_matrix(np.ones((2, 4)), np.ones((2, 5)))
+
+
+class TestClassScores:
+    def test_argmax_matches_cosine(self):
+        """Dropping the query norm must not change the winning class."""
+        rng = np.random.default_rng(4)
+        q = rng.normal(size=(20, 64))
+        c = rng.normal(size=(5, 64)) * rng.uniform(0.5, 4.0, size=(5, 1))
+        a = np.argmax(class_scores(q, c), axis=1)
+        b = np.argmax(cosine_matrix(q, c), axis=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_class_norm_matters(self):
+        # A class bundling many inputs has a larger norm; class_scores
+        # must normalize it away (unlike a raw dot product).
+        q = np.array([[1.0, 0.0]])
+        classes = np.array([[10.0, 0.0], [0.9, 0.45]])
+        raw = dot_matrix(q, classes)
+        scored = class_scores(q, classes)
+        assert np.argmax(raw[0]) == 0
+        assert scored[0, 0] == pytest.approx(1.0)
+
+
+class TestHamming:
+    def test_identical(self):
+        v = np.array([1, -1, 1])
+        assert hamming_distance(v, v) == 0.0
+
+    def test_opposite(self):
+        v = np.array([1, -1, 1, -1])
+        assert hamming_distance(v, -v) == 1.0
+
+    def test_half(self):
+        assert hamming_distance(np.array([1, 1]), np.array([1, -1])) == 0.5
+
+
+class TestNormRows:
+    def test_values(self):
+        m = np.array([[3.0, 4.0], [0.0, 0.0]])
+        np.testing.assert_allclose(norm_rows(m), [5.0, 1.0])  # zero guarded to 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hnp.arrays(
+        np.float64,
+        hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=8),
+        elements=st.floats(-100, 100, allow_nan=False),
+    )
+)
+def test_property_cosine_matrix_bounded(m):
+    M = cosine_matrix(m, m)
+    assert np.all(M <= 1.0 + 1e-9)
+    assert np.all(M >= -1.0 - 1e-9)

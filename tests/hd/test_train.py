@@ -1,0 +1,118 @@
+"""Tests for single-pass training and Eq. (5) retraining."""
+
+import numpy as np
+import pytest
+
+from repro.hd import HDModel, ScalarBaseEncoder, fit_hd, prune_model, retrain
+from tests.conftest import make_cluster_task
+
+
+class TestFitHd:
+    def test_learns_separable_task(self, task, scalar_encoder):
+        X, y = task
+        model = fit_hd(scalar_encoder, X, y, 4)
+        H = scalar_encoder.encode(X)
+        assert model.accuracy(H, y) > 0.95
+
+    def test_quantized_fit_close_to_full(self, task, scalar_encoder):
+        """Fig. 5(a): bipolar encoding quantization costs little accuracy."""
+        X, y = task
+        H = scalar_encoder.encode(X)
+        full = fit_hd(scalar_encoder, X, y, 4)
+        quant = fit_hd(scalar_encoder, X, y, 4, quantizer="bipolar")
+        assert quant.accuracy(H, y) >= full.accuracy(H, y) - 0.05
+
+    def test_quantizer_by_name_or_instance(self, task, scalar_encoder):
+        from repro.hd.quantize import BipolarQuantizer
+
+        X, y = task
+        a = fit_hd(scalar_encoder, X, y, 4, quantizer="bipolar")
+        b = fit_hd(scalar_encoder, X, y, 4, quantizer=BipolarQuantizer())
+        np.testing.assert_allclose(a.class_hvs, b.class_hvs)
+
+    def test_class_hvs_full_precision_after_quantized_fit(
+        self, task, scalar_encoder
+    ):
+        """Eq. (13): class HVs stay non-binary even with bipolar encodings."""
+        X, y = task
+        model = fit_hd(scalar_encoder, X, y, 4, quantizer="bipolar")
+        assert len(np.unique(model.class_hvs)) > 2
+
+
+class TestRetrain:
+    @pytest.fixture(scope="class")
+    def noisy_setup(self):
+        X, y = make_cluster_task(n=400, d_in=24, n_classes=6, noise=0.25, seed=13)
+        enc = ScalarBaseEncoder(24, 1024, seed=21)
+        H = enc.encode(X)
+        model = HDModel.from_encodings(H, y, 6)
+        return model, H, y
+
+    def test_retrain_does_not_mutate_input(self, noisy_setup):
+        model, H, y = noisy_setup
+        before = model.class_hvs.copy()
+        retrain(model, H, y, epochs=2)
+        np.testing.assert_array_equal(model.class_hvs, before)
+
+    def test_retrain_improves_or_holds_train_accuracy(self, noisy_setup):
+        model, H, y = noisy_setup
+        best, hist = retrain(model, H, y, epochs=5)
+        assert hist.best_accuracy >= hist.train_accuracy[0]
+        assert best.accuracy(H, y) == pytest.approx(hist.best_accuracy)
+
+    def test_history_lengths(self, noisy_setup):
+        model, H, y = noisy_setup
+        _, hist = retrain(model, H, y, epochs=3)
+        # initial record + one per epoch (unless early-stopped)
+        assert 2 <= len(hist.train_accuracy) <= 4
+        assert hist.n_epochs == len(hist.train_accuracy) - 1
+
+    def test_early_stop_on_zero_errors(self, trained):
+        model, H, y = trained
+        if model.accuracy(H, y) < 1.0:
+            pytest.skip("fixture not perfectly separable")
+        _, hist = retrain(model, H, y, epochs=10)
+        assert hist.n_epochs <= 1  # no errors → immediate stop
+
+    def test_eval_set_drives_best_selection(self, noisy_setup):
+        model, H, y = noisy_setup
+        He, ye = H[:100], y[:100]
+        _, hist = retrain(
+            model, H, y, epochs=4, eval_encodings=He, eval_labels=ye
+        )
+        assert len(hist.eval_accuracy) == len(hist.train_accuracy)
+        assert hist.best_accuracy == max(hist.eval_accuracy)
+
+    def test_online_mode_runs_and_improves(self, noisy_setup):
+        model, H, y = noisy_setup
+        best, hist = retrain(model, H, y, epochs=2, mode="online", rng=3)
+        assert hist.best_accuracy >= hist.train_accuracy[0]
+
+    def test_invalid_mode_rejected(self, noisy_setup):
+        model, H, y = noisy_setup
+        with pytest.raises(ValueError):
+            retrain(model, H, y, mode="sgd")
+
+    def test_keep_mask_never_resurrects_pruned_dims(self, noisy_setup):
+        """Pruned dimensions must 'perpetually remain zero' (III-B.1)."""
+        model, H, y = noisy_setup
+        pruned, keep = prune_model(model, 0.5)
+        best, _ = retrain(pruned, H, y, epochs=3, keep_mask=keep)
+        assert np.all(best.class_hvs[:, ~keep] == 0.0)
+
+    def test_keep_mask_shape_checked(self, noisy_setup):
+        model, H, y = noisy_setup
+        with pytest.raises(ValueError):
+            retrain(model, H, y, keep_mask=np.ones(3, dtype=bool))
+
+    def test_retraining_recovers_pruning_loss(self):
+        """The Fig. 4 effect: prune → accuracy drops → retrain recovers."""
+        X, y = make_cluster_task(n=500, d_in=24, n_classes=6, noise=0.3, seed=17)
+        enc = ScalarBaseEncoder(24, 1024, seed=23)
+        H = enc.encode(X)
+        model = HDModel.from_encodings(H, y, 6)
+        pruned, keep = prune_model(model, 0.6)
+        Hm = H * keep
+        acc_pruned = pruned.accuracy(Hm, y)
+        best, _ = retrain(pruned, H, y, epochs=5, keep_mask=keep)
+        assert best.accuracy(Hm, y) >= acc_pruned

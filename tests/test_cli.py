@@ -1,0 +1,58 @@
+"""Tests for the prive-hd CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestParsing:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_every_experiment_registered_with_description(self):
+        assert set(EXPERIMENTS) == {
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig8",
+            "fig9",
+            "table1",
+            "hw",
+        }
+        for desc, runner in EXPERIMENTS.values():
+            assert desc
+            assert callable(runner)
+
+
+class TestExecution:
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Kintex-7" in out
+
+    @pytest.mark.slow
+    def test_fig2_runs_small(self, capsys):
+        assert main(["fig2", "--dhv", "1024", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig.2" in out
+        assert "psnr_dB" in out
+
+    @pytest.mark.slow
+    def test_hw_runs(self, capsys):
+        assert main(["hw", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "LUT savings" in out

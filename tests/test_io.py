@@ -1,0 +1,89 @@
+"""Tests for model serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.dp_trainer import DPTrainer, DPTrainingConfig
+from repro.hd import HDModel
+from repro.io import (
+    FORMAT_VERSION,
+    load_deployment,
+    load_model,
+    save_deployment,
+    save_model,
+)
+from tests.conftest import make_cluster_task
+
+
+class TestBareModel:
+    def test_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        model = HDModel(4, 128, rng.normal(size=(4, 128)))
+        path = save_model(tmp_path / "m.npz", model)
+        loaded = load_model(path)
+        assert loaded.n_classes == 4 and loaded.d_hv == 128
+        np.testing.assert_array_equal(loaded.class_hvs, model.class_hvs)
+
+    def test_predictions_survive_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        model = HDModel(3, 64, rng.normal(size=(3, 64)))
+        q = rng.normal(size=(10, 64))
+        path = save_model(tmp_path / "m.npz", model)
+        np.testing.assert_array_equal(load_model(path).predict(q), model.predict(q))
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "m.npz"
+        np.savez(path, format_version=FORMAT_VERSION + 1, class_hvs=np.ones((1, 2)))
+        with pytest.raises(ValueError, match="newer"):
+            load_model(path)
+
+
+@pytest.fixture(scope="module")
+def dp_result():
+    X, y = make_cluster_task(n=400, d_in=24, n_classes=3, noise=0.1, seed=81)
+    cfg = DPTrainingConfig(epsilon=4.0, d_hv=1024, effective_dims=512, seed=5)
+    return DPTrainer(cfg).fit(X, y, n_classes=3), X, y
+
+
+class TestDeployment:
+    def test_roundtrip_metadata(self, tmp_path, dp_result):
+        result, _, _ = dp_result
+        path = save_deployment(tmp_path / "d.npz", result)
+        dep = load_deployment(path)
+        assert dep.epsilon == 4.0
+        assert dep.delta == 1e-5
+        assert dep.sensitivity == pytest.approx(result.private.sensitivity)
+        assert dep.noise_std == pytest.approx(result.private.noise_std)
+        assert dep.quantizer_name == "ternary-biased"
+        assert dep.is_private
+
+    def test_encoder_rebuilt_identically(self, tmp_path, dp_result):
+        result, X, _ = dp_result
+        dep = load_deployment(save_deployment(tmp_path / "d.npz", result))
+        np.testing.assert_array_equal(
+            dep.encoder.base.vectors, result.encoder.base.vectors
+        )
+
+    def test_predictions_identical(self, tmp_path, dp_result):
+        result, X, y = dp_result
+        dep = load_deployment(save_deployment(tmp_path / "d.npz", result))
+        np.testing.assert_array_equal(
+            dep.predict(X[:20]),
+            result.private.model.predict(result.encode_queries(X[:20])),
+        )
+        assert dep.accuracy(X, y) == pytest.approx(result.accuracy(X, y))
+
+    def test_only_private_model_stored(self, tmp_path, dp_result):
+        """The pre-noise baseline must not be in the artifact."""
+        result, _, _ = dp_result
+        path = save_deployment(tmp_path / "d.npz", result)
+        with np.load(path) as data:
+            stored = data["class_hvs"]
+        assert not np.allclose(stored, result.baseline.class_hvs)
+        np.testing.assert_array_equal(stored, result.private.model.class_hvs)
+
+    def test_keep_mask_applied_to_queries(self, tmp_path, dp_result):
+        result, X, _ = dp_result
+        dep = load_deployment(save_deployment(tmp_path / "d.npz", result))
+        Q = dep.encode_queries(X[:5])
+        assert np.all(Q[:, ~dep.keep_mask] == 0.0)

@@ -1,0 +1,144 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Module-level suites already contain targeted property tests; this file
+holds the *system-level* invariants that span packages:
+
+* encoding linearity (the root cause of the privacy breach),
+* decode∘encode contraction as Dhv grows,
+* quantizer/sensitivity consistency under masking,
+* DP mechanism noise calibration,
+* obfuscator bit-budget accounting.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.decoder import decode_scalar_base
+from repro.core.dp_trainer import quantize_masked
+from repro.core.mechanism import GaussianMechanism
+from repro.core.privacy import delta_for_sigma, sigma_for_budget
+from repro.core.sensitivity import empirical_l2_sensitivity
+from repro.hd import HDModel, ScalarBaseEncoder, get_quantizer
+from repro.hd.prune import prune_mask
+from repro.utils import spawn
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**31),
+    scale=st.floats(0.1, 5.0),
+)
+def test_encoding_is_linear(seed, scale):
+    """Eq. (2a) encoding is a linear map: enc(aX + bY) = a enc(X) + b enc(Y).
+
+    Linearity is exactly why class-store differences leak encodings.
+    (Feature quantization/clipping disabled: pure linear regime.)
+    """
+    rng = spawn(seed, "prop-lin")
+    enc = ScalarBaseEncoder(16, 256, lo=-100.0, hi=100.0, seed=seed % 1000)
+    x, z = rng.uniform(-1, 1, (2, 16))
+    left = enc.encode_one(scale * x + z)
+    right = scale * enc.encode_one(x) + enc.encode_one(z)
+    np.testing.assert_allclose(left, right, rtol=1e-3, atol=1e-3)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31))
+def test_decode_error_contracts_with_dimensionality(seed):
+    """Eq. (10) cross-talk shrinks as Dhv grows (on average)."""
+    rng = spawn(seed, "prop-dec")
+    X = rng.uniform(0.1, 0.9, (3, 20))
+    errs = []
+    for d_hv in (512, 8192):
+        enc = ScalarBaseEncoder(20, d_hv, seed=seed % 997)
+        errs.append(
+            np.abs(decode_scalar_base(enc.encode(X), enc) - X).mean()
+        )
+    assert errs[1] < errs[0]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**31),
+    fraction=st.floats(0.1, 0.9),
+    name=st.sampled_from(["bipolar", "ternary", "ternary-biased", "2bit"]),
+)
+def test_masked_quantized_norm_matches_live_dim_formula(seed, fraction, name):
+    """After masking, ‖Hq‖₂ equals Eq. (14) at the live dimension count.
+
+    This is the invariant that makes pruning reduce the DP noise.
+    """
+    rng = spawn(seed, "prop-qm")
+    d_hv = 1200
+    H = rng.normal(0, 20, (4, d_hv))
+    keep = prune_mask(rng.uniform(size=d_hv), fraction)
+    q = get_quantizer(name)
+    Hq = quantize_masked(H, keep, q)
+    measured = empirical_l2_sensitivity(Hq)
+    analytic = q.expected_l2_sensitivity(int(keep.sum()))
+    assert measured == pytest.approx(analytic, rel=0.05)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    eps=st.floats(0.1, 10.0),
+    delta_exp=st.integers(3, 8),
+    sens=st.floats(1.0, 100.0),
+)
+def test_mechanism_noise_certifies_budget(eps, delta_exp, sens):
+    """noise_std / Δf = σ must invert back to (ε, δ) exactly."""
+    delta = 10.0 ** (-delta_exp)
+    mech = GaussianMechanism(eps, delta)
+    sigma = mech.noise_std(sens) / sens
+    assert sigma == pytest.approx(sigma_for_budget(eps, delta))
+    assert delta_for_sigma(sigma, eps) == pytest.approx(delta, rel=1e-6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**31),
+    n_masked=st.integers(0, 500),
+)
+def test_obfuscator_transmits_exactly_unmasked_bits(seed, n_masked):
+    """Every query carries exactly d_hv − n_masked non-zero dimensions."""
+    from repro.core.inference_privacy import (
+        InferenceObfuscator,
+        ObfuscationConfig,
+    )
+
+    d_hv = 512
+    enc = ScalarBaseEncoder(12, d_hv, lo=-1, hi=1, seed=seed % 991)
+    obf = InferenceObfuscator(
+        enc,
+        ObfuscationConfig(
+            quantizer="bipolar",
+            n_masked=min(n_masked, d_hv - 1),
+            mask_seed=seed,
+        ),
+    )
+    X = spawn(seed, "prop-obf").uniform(-1, 1, (3, 12))
+    Q = obf.prepare(X)
+    expected = d_hv - min(n_masked, d_hv - 1)
+    # Bipolar levels are ±1, so non-zeros = unmasked dims exactly.
+    assert np.all((Q != 0).sum(axis=1) == expected)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31))
+def test_model_difference_recovers_bundled_encoding(seed):
+    """C(D ∪ {x}) − C(D) == encode(x), for any data — the breach itself."""
+    rng = spawn(seed, "prop-diff")
+    enc = ScalarBaseEncoder(10, 256, seed=seed % 983)
+    X = rng.uniform(0, 1, (30, 10))
+    y = rng.integers(0, 3, 30)
+    x_new = rng.uniform(0, 1, 10)
+    base = HDModel.from_encodings(enc.encode(X), y, 3)
+    grown = base.copy()
+    grown.bundle(enc.encode_one(x_new)[None, :], np.array([1]))
+    diff = grown.class_hvs - base.class_hvs
+    np.testing.assert_allclose(
+        diff[1], enc.encode_one(x_new), rtol=1e-5, atol=1e-4
+    )
+    np.testing.assert_allclose(diff[[0, 2]], 0.0, atol=1e-9)

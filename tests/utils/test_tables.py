@@ -1,0 +1,67 @@
+"""Tests for the plain-text result tables."""
+
+import pytest
+
+from repro.utils.tables import ResultTable, format_float
+
+
+class TestFormatFloat:
+    def test_fixed_point(self):
+        assert format_float(0.8512) == "0.851"
+
+    def test_custom_digits(self):
+        assert format_float(0.85129, 4) == "0.8513"
+
+    def test_large_scientific(self):
+        assert format_float(2_500_000) == "2.50e+06"
+
+    def test_small_scientific(self):
+        assert format_float(2.7e-6) == "2.70e-06"
+
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+    def test_none_is_dash(self):
+        assert format_float(None) == "-"
+
+    def test_nan(self):
+        assert format_float(float("nan")) == "nan"
+
+    def test_small_int_verbatim(self):
+        assert format_float(42) == "42"
+
+    def test_non_numeric_passthrough(self):
+        assert format_float("abc") == "abc"
+
+
+class TestResultTable:
+    def test_render_alignment(self):
+        t = ResultTable("demo", ["name", "acc"])
+        t.add_row(["isolet", 0.931])
+        t.add_row(["mnist-like", 0.9])
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        # All data rows have equal width.
+        assert len(lines[2]) == len(lines[3]) == len(lines[4])
+
+    def test_wrong_arity_rejected(self):
+        t = ResultTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            ResultTable("t", [])
+
+    def test_n_rows(self):
+        t = ResultTable("t", ["a"])
+        assert t.n_rows == 0
+        t.add_row([1.0])
+        assert t.n_rows == 1
+
+    def test_print_smoke(self, capsys):
+        t = ResultTable("t", ["a"])
+        t.add_row([3])
+        t.print()
+        assert "== t ==" in capsys.readouterr().out

@@ -1,0 +1,109 @@
+"""Tests for argument validators."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_in_range,
+    check_labels,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(4), "x") == 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-1, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("v", [0.0, 0.5, 1.0])
+    def test_accepts_bounds(self, v):
+        assert check_probability(v, "p") == v
+
+    @pytest.mark.parametrize("v", [-0.01, 1.01, 5])
+    def test_rejects_outside(self, v):
+        with pytest.raises(ValueError, match="p"):
+            check_probability(v, "p")
+
+
+class TestCheckInRange:
+    def test_inclusive(self):
+        assert check_in_range(1.0, "x", 1.0, 2.0) == 1.0
+
+    def test_exclusive_rejects_boundary(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "x", 1.0, 2.0, inclusive=False)
+
+
+class TestCheck1d2d:
+    def test_1d_ok(self):
+        out = check_1d(np.arange(4), "v")
+        assert out.shape == (4,)
+
+    def test_1d_length_enforced(self):
+        with pytest.raises(ValueError, match="length 5"):
+            check_1d(np.arange(4), "v", length=5)
+
+    def test_1d_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_1d(np.zeros((2, 2)), "v")
+
+    def test_2d_promotes_row(self):
+        out = check_2d(np.arange(4), "m")
+        assert out.shape == (1, 4)
+
+    def test_2d_column_count(self):
+        with pytest.raises(ValueError, match="3 columns"):
+            check_2d(np.zeros((2, 4)), "m", n_cols=3)
+
+    def test_2d_rejects_3d(self):
+        with pytest.raises(ValueError):
+            check_2d(np.zeros((2, 2, 2)), "m")
+
+
+class TestCheckLabels:
+    def test_int_labels_pass(self):
+        out = check_labels([0, 1, 2], "y", n_classes=3)
+        assert out.dtype == np.int64
+
+    def test_float_integral_ok(self):
+        out = check_labels(np.array([0.0, 2.0]), "y", n_classes=3)
+        np.testing.assert_array_equal(out, [0, 2])
+
+    def test_float_fractional_rejected(self):
+        with pytest.raises(ValueError):
+            check_labels(np.array([0.5]), "y")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_labels([-1, 0], "y")
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            check_labels([0, 3], "y", n_classes=3)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            check_labels(np.zeros((2, 2), dtype=int), "y")
