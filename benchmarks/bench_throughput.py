@@ -1,18 +1,55 @@
-"""Library micro-benchmarks: encode / train / predict throughput.
+"""Library micro-benchmarks: encode / train / predict / serve throughput.
 
-Not a paper artifact — these time the core software kernels with real
-pytest-benchmark statistics (multiple rounds), so regressions in the
-NumPy implementations show up.
+Not a paper artifact — these time the core software kernels so
+regressions show up.  Two entry points:
+
+* **pytest-benchmark** (``pytest benchmarks/bench_throughput.py
+  --benchmark-only``): statistical timings of the encode/quantize/
+  predict kernels, plus the serving engine on each backend.
+* **script mode** with a ``--backend {dense,packed,both}`` axis::
+
+      PYTHONPATH=src python benchmarks/bench_throughput.py --backend both
+
+  measures host-side queries/second of the batched
+  :class:`~repro.serve.InferenceEngine` on a bipolar-quantized model at
+  paper scale (``--dhv 10000``), verifies dense and packed predictions
+  are identical, and prints the speedup.  The speedup is *measured
+  here*, not asserted in docs.
 """
 
-import numpy as np
-import pytest
+import argparse
+import pathlib
+import sys
+
+if __name__ == "__main__":  # script mode works without an installed package
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+try:
+    import pytest
+except ImportError:  # script mode needs only numpy: stub the decorators
+    class _PytestStub:
+        @staticmethod
+        def fixture(*args, **kwargs):
+            return lambda f: f
+
+        class mark:
+            @staticmethod
+            def parametrize(*args, **kwargs):
+                return lambda f: f
+
+    pytest = _PytestStub()
 
 from repro.hd import (
     BipolarQuantizer,
     HDModel,
     LevelBaseEncoder,
     ScalarBaseEncoder,
+)
+from repro.serve import InferenceEngine
+from repro.serve.bench import (
+    make_serving_fixture,
+    render_throughput_report,
+    run_throughput,
 )
 from repro.utils import spawn
 
@@ -50,3 +87,56 @@ def bench_predict(benchmark, features):
     model = HDModel.from_encodings(H, y, 26)
     preds = benchmark(model.predict, H)
     assert preds.shape == (_N,)
+
+
+@pytest.mark.parametrize("backend", ["dense", "packed"])
+def bench_engine_predict(benchmark, backend):
+    """Host-side serving throughput of each backend's wire format."""
+    from repro.backend import pack_hypervectors
+
+    model, queries = make_serving_fixture(_D_HV, _N, 26, seed=0)
+    wire = pack_hypervectors(queries) if backend == "packed" else queries
+    engine = InferenceEngine(model, backend=backend)
+    preds = benchmark(engine.predict, wire)
+    assert preds.shape == (_N,)
+
+
+# ----------------------------------------------------------------------
+# script mode: the dense-vs-packed serving comparison
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Measure InferenceEngine queries/sec on a bipolar-quantized "
+            "model; packed must match dense predictions exactly."
+        )
+    )
+    parser.add_argument(
+        "--backend", choices=("dense", "packed", "both"), default="both"
+    )
+    parser.add_argument("--dhv", type=int, default=10000)
+    parser.add_argument("--n-queries", type=int, default=2000)
+    parser.add_argument("--n-classes", type=int, default=26)
+    parser.add_argument("--batch-size", type=int, default=8192)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    results = run_throughput(
+        backend=args.backend,
+        d_hv=args.dhv,
+        n_queries=args.n_queries,
+        n_classes=args.n_classes,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    print(render_throughput_report(results))
+    if not results.identical:
+        print("ERROR: backend predictions diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,8 @@ Privacy-Preserved Hyperdimensional Computing"*, DAC 2020.
 The package is organized as::
 
     repro.hd          the HD learning substrate (encoders, model, train)
+    repro.backend     pluggable similarity backends (dense, bit-packed)
+    repro.serve       the batched InferenceEngine over prepared models
     repro.data        synthetic ISOLET / MNIST / FACE dataset substrate
     repro.attacks     reconstruction + membership attacks, quality metrics
     repro.core        the paper's contribution: DP training & private inference
@@ -16,8 +18,9 @@ The most common entry points are re-exported here; see ``README.md`` for a
 quickstart.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+from repro.backend import PackedHV, get_backend, pack_hypervectors
 from repro.hd import (
     HDModel,
     LevelBaseEncoder,
@@ -27,14 +30,19 @@ from repro.hd import (
     prune_model,
     retrain,
 )
+from repro.serve import InferenceEngine
 
 __all__ = [
     "__version__",
     "HDModel",
     "ScalarBaseEncoder",
     "LevelBaseEncoder",
+    "InferenceEngine",
+    "PackedHV",
     "fit_hd",
     "retrain",
     "prune_model",
     "get_quantizer",
+    "get_backend",
+    "pack_hypervectors",
 ]

@@ -1,0 +1,66 @@
+"""Pluggable compute backends for HD similarity kernels.
+
+The quantized hypervectors of Eq. (13)–(14) take at most three values,
+so the Eq. (4) similarity search does not need float64 matmuls.  This
+package makes the compute representation a swappable choice:
+
+* ``dense``  — :class:`~repro.backend.dense.DenseBackend`, the float64
+  NumPy reference paths;
+* ``packed`` — :class:`~repro.backend.packed.PackedBackend`, uint64
+  bit-plane operands with XOR+popcount kernels (§III-D in software).
+
+Both produce identical argmax decisions on bipolar/ternary operands;
+``repro.serve.InferenceEngine`` measures the packed path at several times
+the dense throughput at paper scale (``d_hv`` = 10,000).
+
+>>> from repro.backend import get_backend, pack_hypervectors
+>>> import numpy as np
+>>> be = get_backend("packed")
+>>> q = pack_hypervectors(np.sign(np.random.default_rng(0).normal(size=(2, 128))))
+>>> be.dot_matrix(q, q).shape
+(2, 2)
+"""
+
+from repro.backend.base import (
+    Backend,
+    PreparedClassStore,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.backend.dense import DenseBackend
+from repro.backend.packed import (
+    WORD_BITS,
+    PackedBackend,
+    PackedHV,
+    is_packable,
+    pack_hypervectors,
+    packed_class_scores,
+    packed_dot_matrix,
+    packed_hamming_matrix,
+    packed_norms,
+    popcount,
+)
+
+#: canonical names accepted by :func:`get_backend`
+BACKEND_NAMES: tuple[str, ...] = backend_names()
+
+__all__ = [
+    "Backend",
+    "DenseBackend",
+    "PackedBackend",
+    "PackedHV",
+    "PreparedClassStore",
+    "BACKEND_NAMES",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "WORD_BITS",
+    "is_packable",
+    "pack_hypervectors",
+    "packed_class_scores",
+    "packed_dot_matrix",
+    "packed_hamming_matrix",
+    "packed_norms",
+    "popcount",
+]

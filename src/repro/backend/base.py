@@ -1,0 +1,154 @@
+"""The compute-backend protocol and registry.
+
+A :class:`Backend` is the narrow waist between the HD algebra and how
+similarities are actually computed.  Every backend answers the same three
+questions — dot products, class scores (Eq. 4), Hamming distances — over
+its own *prepared* operand format:
+
+* :class:`repro.backend.dense.DenseBackend` — float64 NumPy matmuls, the
+  reference semantics; accepts any real-valued hypervectors.
+* :class:`repro.backend.packed.PackedBackend` (via :mod:`.packed`) —
+  uint64 bit planes + XOR/popcount; requires bipolar/ternary values and
+  returns decisions identical to dense on the same operands.
+
+Model owners (``HDModel``, ``InferenceEngine``) call
+:meth:`Backend.prepare_class_store` once and reuse the result across
+queries; per-query work goes through :meth:`Backend.prepare_queries` +
+:meth:`Backend.class_scores`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "Backend",
+    "PreparedClassStore",
+    "get_backend",
+    "register_backend",
+    "backend_names",
+]
+
+
+@dataclass(frozen=True)
+class PreparedClassStore:
+    """A class store in a backend's native operand format.
+
+    Attributes
+    ----------
+    store:
+        Backend-native class hypervectors (float64 array for dense,
+        :class:`~repro.backend.packed.PackedHV` for packed).
+    norms:
+        Precomputed ℓ2 norms of the class hypervectors — the Eq. (4)
+        denominator, computed once at preparation time.
+    n_classes, d_hv:
+        Logical shape of the store.
+    backend_name:
+        Name of the backend that prepared (and can consume) it.
+    """
+
+    store: Any
+    norms: np.ndarray = field(repr=False)
+    n_classes: int
+    d_hv: int
+    backend_name: str
+
+
+class Backend(ABC):
+    """Similarity-kernel provider over one operand representation."""
+
+    #: registry name, e.g. ``"dense"`` or ``"packed"``
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # preparation
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def prepare_class_store(self, class_hvs: np.ndarray) -> PreparedClassStore:
+        """Convert a ``(n_classes, d_hv)`` class array to native format.
+
+        Precomputes the class norms; raises ``ValueError`` when the
+        values cannot be represented (e.g. packing a full-precision
+        store).
+        """
+
+    @abstractmethod
+    def prepare_queries(self, queries: Any) -> Any:
+        """Convert a query batch to the backend's native operand format."""
+
+    @abstractmethod
+    def supports(self, values: np.ndarray) -> bool:
+        """True when ``values`` are representable without information loss."""
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def dot_matrix(self, queries: Any, references: Any) -> np.ndarray:
+        """Pairwise dot products on native operands, ``(n_q, n_r)``."""
+
+    @abstractmethod
+    def class_scores(
+        self, queries: Any, prepared: PreparedClassStore
+    ) -> np.ndarray:
+        """Eq. (4) scores (dot / class norm), shape ``(n, n_classes)``."""
+
+    @abstractmethod
+    def hamming_matrix(self, a: Any, b: Any) -> np.ndarray:
+        """Pairwise normalized Hamming distances, shape ``(n_a, n_b)``."""
+
+    # ------------------------------------------------------------------
+    def predict(self, queries: Any, prepared: PreparedClassStore) -> np.ndarray:
+        """Argmax class per query (ties break to the lowest index)."""
+        return np.argmax(self.class_scores(queries, prepared), axis=1)
+
+    def _check_prepared(self, prepared: PreparedClassStore) -> None:
+        if prepared.backend_name != self.name:
+            raise ValueError(
+                f"class store was prepared by the "
+                f"{prepared.backend_name!r} backend, not {self.name!r}; "
+                "re-prepare it with this backend"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, type[Backend]] = {}
+
+
+def register_backend(cls: type[Backend]) -> type[Backend]:
+    """Class decorator adding a backend to the registry by its name."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_backend(name: str | Backend | None) -> Backend:
+    """Resolve a backend by registry name (idempotent for instances).
+
+    ``None`` resolves to dense — the semantics every other backend must
+    reproduce.
+    """
+    if isinstance(name, Backend):
+        return name
+    if name is None:
+        name = "dense"
+    key = str(name).lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown backend {name!r}; choose from {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key]()
+
+
+def backend_names() -> tuple[str, ...]:
+    """Sorted names of all registered backends."""
+    return tuple(sorted(_REGISTRY))

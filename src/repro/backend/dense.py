@@ -1,0 +1,106 @@
+"""The dense float64 backend — the reference semantics.
+
+These are the NumPy expressions the repository has always used
+(:mod:`repro.hd.similarity`), packaged behind the :class:`Backend`
+protocol so callers can swap them for the bit-packed kernels without
+touching call sites.  Dense accepts *any* real-valued hypervectors;
+every other backend is judged by reproducing its argmax decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.backend.base import Backend, PreparedClassStore, register_backend
+from repro.backend.packed import PackedHV
+from repro.utils.validation import check_2d
+
+__all__ = ["DenseBackend", "dense_hamming_matrix", "guarded_norm_rows"]
+
+_EPS = 1e-12
+
+
+def guarded_norm_rows(matrix: np.ndarray) -> np.ndarray:
+    """ℓ2 norm of each row of a 2-D float array, exact zeros guarded to 1.
+
+    The single implementation of the Eq. (4) denominator guard;
+    :func:`repro.hd.similarity.norm_rows` delegates here.
+    """
+    norms = np.linalg.norm(matrix, axis=1)
+    return np.where(norms < _EPS, 1.0, norms)
+
+
+def dense_hamming_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise fraction of differing values over 2-D batches.
+
+    Row-at-a-time keeps memory O(n); shared by :class:`DenseBackend`
+    and :func:`repro.hd.similarity.hamming_matrix`.
+    """
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"dimensionality mismatch: {a.shape[1]} vs {b.shape[1]}"
+        )
+    out = np.empty((a.shape[0], b.shape[0]), dtype=np.float64)
+    for j in range(b.shape[0]):
+        out[:, j] = np.mean(a != b[j], axis=1)
+    return out
+
+
+@register_backend
+class DenseBackend(Backend):
+    """Float64 matmul kernels over plain ``(n, d_hv)`` arrays."""
+
+    name = "dense"
+
+    # ------------------------------------------------------------------
+    def prepare_class_store(self, class_hvs: np.ndarray) -> PreparedClassStore:
+        # Always copy: a prepared store is a snapshot, not a view — later
+        # mutation of the source model must not change served answers.
+        store = np.array(
+            check_2d(class_hvs, "class_hvs"), dtype=np.float64, order="C"
+        )
+        return PreparedClassStore(
+            store=store,
+            norms=guarded_norm_rows(store),
+            n_classes=store.shape[0],
+            d_hv=store.shape[1],
+            backend_name=self.name,
+        )
+
+    def prepare_queries(self, queries: Any) -> np.ndarray:
+        if isinstance(queries, PackedHV):
+            # A packed client batch is still answerable densely — unpack.
+            return queries.unpack(dtype=np.float64)
+        return check_2d(queries, "queries").astype(np.float64, copy=False)
+
+    def supports(self, values: np.ndarray) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    def dot_matrix(self, queries: Any, references: Any) -> np.ndarray:
+        q = self.prepare_queries(queries)
+        r = self.prepare_queries(references)
+        if q.shape[1] != r.shape[1]:
+            raise ValueError(
+                f"dimensionality mismatch: {q.shape[1]} vs {r.shape[1]}"
+            )
+        return q @ r.T
+
+    def class_scores(
+        self, queries: Any, prepared: PreparedClassStore
+    ) -> np.ndarray:
+        self._check_prepared(prepared)
+        q = self.prepare_queries(queries)
+        if q.shape[1] != prepared.d_hv:
+            raise ValueError(
+                f"queries have {q.shape[1]} dims, class store has "
+                f"{prepared.d_hv}"
+            )
+        return (q @ prepared.store.T) / prepared.norms
+
+    def hamming_matrix(self, a: Any, b: Any) -> np.ndarray:
+        return dense_hamming_matrix(
+            self.prepare_queries(a), self.prepare_queries(b)
+        )

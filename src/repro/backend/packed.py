@@ -1,0 +1,380 @@
+"""Bit-packed bipolar/ternary hypervectors and XOR+popcount kernels.
+
+The paper's quantized hypervectors take values in {−1, +1} (Eq. 13) or
+{−1, 0, +1} (the biased scheme of §III-B.2), yet a dense float64 matmul
+spends 64 bits and a fused multiply-add per dimension.  Packing 64
+dimensions into one ``uint64`` word turns the Eq. (4) dot product into
+XOR + popcount — the same transformation the FPGA datapath of §III-D
+performs in LUTs — and makes a 10,000-dimension similarity a 157-word
+bitwise pass.
+
+Representation
+--------------
+A :class:`PackedHV` stores two bit planes per hypervector:
+
+* ``signs`` — bit ``i`` is 1 when dimension ``i`` is **positive**;
+* ``mags``  — bit ``i`` is 1 when dimension ``i`` is **non-zero**.
+
+For bipolar vectors the magnitude plane is all-ones over the valid
+dimensions and the kernels take a cheaper one-plane path.  For ternary
+vectors (including masked/obfuscated queries, whose zeroed dimensions
+are exactly the 0 level) the planes combine as::
+
+    dot(a, b)  = popcount(Ma & Mb) − 2·popcount((Sa ^ Sb) & Ma & Mb)
+
+i.e. dimensions where both are non-zero contribute ±1 according to sign
+agreement, all others contribute 0 — bit-for-bit the float result.
+
+Tail dimensions beyond ``d`` (when ``d`` is not a multiple of 64) are
+zero in **both** planes, so they never contribute to any kernel.
+
+This module is the bottom of the backend layer: it imports nothing from
+:mod:`repro.hd`, so both layers can build on it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.utils.validation import check_2d
+
+__all__ = [
+    "WORD_BITS",
+    "PackedHV",
+    "PackedBackend",
+    "pack_hypervectors",
+    "is_packable",
+    "popcount",
+    "packed_norms",
+    "packed_dot_matrix",
+    "packed_class_scores",
+    "packed_hamming_matrix",
+]
+
+#: dimensions per machine word
+WORD_BITS = 64
+
+if hasattr(np, "bitwise_count"):  # NumPy >= 2.0: hardware popcount
+
+    def popcount(words: np.ndarray) -> np.ndarray:
+        """Per-element population count of a uint64 array."""
+        return np.bitwise_count(words)
+
+else:  # pragma: no cover - exercised only on NumPy < 2.0
+    _POP8 = np.array(
+        [bin(v).count("1") for v in range(256)], dtype=np.uint8
+    )
+
+    def popcount(words: np.ndarray) -> np.ndarray:
+        """Per-element population count via a byte lookup table."""
+        bytes_view = words.view(np.uint8).reshape(*words.shape, 8)
+        return _POP8[bytes_view].sum(axis=-1, dtype=np.uint64)
+
+
+def n_words(d: int) -> int:
+    """Words needed to hold ``d`` packed dimensions."""
+    return -(-int(d) // WORD_BITS)
+
+
+def _pack_bits(bits: np.ndarray, width: int) -> np.ndarray:
+    """Pack a ``(n, d)`` bool array into ``(n, width)`` uint64 words.
+
+    Bit ``i`` of word ``w`` holds dimension ``w * 64 + i`` (little-endian
+    bit order), with zero padding beyond ``d``.
+    """
+    packed = np.packbits(bits, axis=1, bitorder="little")
+    target_bytes = width * (WORD_BITS // 8)
+    if packed.shape[1] < target_bytes:
+        packed = np.pad(packed, ((0, 0), (0, target_bytes - packed.shape[1])))
+    return np.ascontiguousarray(packed).view(np.uint64)
+
+
+def is_packable(values: np.ndarray) -> bool:
+    """True when every value is one of the packable levels {−1, 0, +1}.
+
+    An empty batch is vacuously packable — a 0-row stream chunk packs to
+    0-row planes rather than erroring.
+    """
+    v = np.asarray(values)
+    return bool(np.isin(v, (-1, 0, 1)).all())
+
+
+@dataclass(frozen=True)
+class PackedHV:
+    """A batch of bit-packed ternary (or bipolar) hypervectors.
+
+    Attributes
+    ----------
+    signs:
+        ``(n, n_words)`` uint64 — bit set where the dimension is positive.
+    mags:
+        ``(n, n_words)`` uint64 — bit set where the dimension is non-zero.
+    d:
+        Logical dimensionality ``Dhv`` (may be any positive integer; the
+        trailing ``n_words * 64 - d`` bits are zero in both planes).
+    """
+
+    signs: np.ndarray
+    mags: np.ndarray
+    d: int
+
+    def __post_init__(self):
+        if self.signs.shape != self.mags.shape:
+            raise ValueError(
+                f"sign/magnitude plane shape mismatch: "
+                f"{self.signs.shape} vs {self.mags.shape}"
+            )
+        if self.signs.ndim != 2 or self.signs.shape[1] != n_words(self.d):
+            raise ValueError(
+                f"planes must have shape (n, {n_words(self.d)}) for "
+                f"d={self.d}, got {self.signs.shape}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of hypervectors in the batch."""
+        return self.signs.shape[0]
+
+    @property
+    def n_words(self) -> int:
+        """uint64 words per hypervector."""
+        return self.signs.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical ``(n, d)`` shape of the unpacked batch."""
+        return (self.n, self.d)
+
+    @cached_property
+    def is_bipolar(self) -> bool:
+        """True when no dimension is zero (one-plane kernels apply)."""
+        return int(popcount(self.mags).sum()) == self.n * self.d
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint of both planes."""
+        return self.signs.nbytes + self.mags.nbytes
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __getitem__(self, rows) -> "PackedHV":
+        """Row-sliced view (slices/arrays of row indices)."""
+        signs = np.atleast_2d(self.signs[rows])
+        mags = np.atleast_2d(self.mags[rows])
+        return PackedHV(signs=signs, mags=mags, d=self.d)
+
+    # ------------------------------------------------------------------
+    def unpack(self, dtype=np.float32) -> np.ndarray:
+        """The dense ``(n, d)`` array this batch packs (exact round-trip)."""
+        sign_bits = np.unpackbits(
+            self.signs.view(np.uint8), axis=1, bitorder="little"
+        )[:, : self.d]
+        mag_bits = np.unpackbits(
+            self.mags.view(np.uint8), axis=1, bitorder="little"
+        )[:, : self.d]
+        # Integer arithmetic: avoids float -0.0 on masked dimensions.
+        out = (2 * sign_bits.astype(np.int8) - 1) * mag_bits
+        return out.astype(dtype)
+
+
+def pack_hypervectors(values: np.ndarray, *, validate: bool = True) -> "PackedHV":
+    """Pack a ``(n, d)`` (or ``(d,)``) ternary array into bit planes.
+
+    Values must lie in {−1, 0, +1}; bipolar input is the special case
+    with no zeros.  Raises ``ValueError`` for anything else (full-
+    precision or 2-bit encodings cannot be packed — quantize first).
+
+    ``validate=False`` skips the level check — a full extra pass over
+    the data — and is reserved for producers that guarantee ternary
+    output by construction (the packable quantizers, the obfuscator).
+    Out-of-range values would be silently collapsed to their sign, so
+    external callers should keep the default.
+
+    >>> p = pack_hypervectors(np.array([[1., -1., 0., 1.]]))
+    >>> p.shape
+    (1, 4)
+    >>> p.unpack().tolist()
+    [[1.0, -1.0, 0.0, 1.0]]
+    """
+    if isinstance(values, PackedHV):
+        return values
+    H = np.atleast_2d(np.asarray(values))
+    H = check_2d(H, "values")
+    if validate and not is_packable(H):
+        bad = np.setdiff1d(np.unique(H), (-1.0, 0.0, 1.0))
+        raise ValueError(
+            "only bipolar/ternary values in {-1, 0, +1} can be bit-packed; "
+            f"found level(s) {bad[:4].tolist()} — apply a 'bipolar', "
+            "'ternary' or 'ternary-biased' quantizer first"
+        )
+    width = n_words(H.shape[1])
+    return PackedHV(
+        signs=_pack_bits(H > 0, width),
+        mags=_pack_bits(H != 0, width),
+        d=H.shape[1],
+    )
+
+
+# ----------------------------------------------------------------------
+# kernels
+# ----------------------------------------------------------------------
+def _check_pair(a: PackedHV, b: PackedHV) -> None:
+    if a.d != b.d:
+        raise ValueError(f"dimensionality mismatch: {a.d} vs {b.d}")
+
+
+def packed_norms(p: PackedHV) -> np.ndarray:
+    """ℓ2 norm of each packed row: √(non-zero count), zeros guarded to 1.
+
+    For ternary values the squared magnitudes are all 1, so the norm is
+    the square root of the population count of the magnitude plane —
+    no unpacking required.
+    """
+    nnz = popcount(p.mags).sum(axis=1, dtype=np.int64).astype(np.float64)
+    return np.sqrt(np.where(nnz == 0, 1.0, nnz))
+
+
+def packed_dot_matrix(a: PackedHV, b: PackedHV) -> np.ndarray:
+    """Exact pairwise dot products, shape ``(a.n, b.n)``, int64.
+
+    Bipolar fast path: ``dot = d − 2·popcount(Sa ^ Sb)`` (one XOR +
+    popcount per word pair).  General ternary path masks the sign
+    disagreements with the common-support plane.  The loop runs over the
+    smaller batch (class stores are small), so the inner work stays in
+    whole-array NumPy ops.
+    """
+    _check_pair(a, b)
+    if b.n <= a.n:
+        return _dot_loop(a, b)
+    return _dot_loop(b, a).T
+
+
+def _dot_loop(a: PackedHV, b: PackedHV) -> np.ndarray:
+    out = np.empty((a.n, b.n), dtype=np.int64)
+    bipolar = a.is_bipolar and b.is_bipolar
+    for j in range(b.n):
+        if bipolar:
+            h = popcount(a.signs ^ b.signs[j]).sum(axis=1, dtype=np.int64)
+            out[:, j] = a.d - 2 * h
+        else:
+            common = a.mags & b.mags[j]
+            disagree = (a.signs ^ b.signs[j]) & common
+            out[:, j] = popcount(common).sum(
+                axis=1, dtype=np.int64
+            ) - 2 * popcount(disagree).sum(axis=1, dtype=np.int64)
+    return out
+
+
+def packed_class_scores(
+    queries: PackedHV,
+    class_store: PackedHV,
+    class_norms: np.ndarray | None = None,
+) -> np.ndarray:
+    """Eq. (4) class scores on packed operands, shape ``(n, n_classes)``.
+
+    Matches :func:`repro.hd.similarity.class_scores` bit-for-bit on the
+    same (ternary) operands: integer dot products divided by the class
+    norms.  Query norms are dropped exactly as in the dense path.
+    """
+    if class_norms is None:
+        class_norms = packed_norms(class_store)
+    class_norms = np.asarray(class_norms, dtype=np.float64)
+    if class_norms.shape != (class_store.n,):
+        raise ValueError(
+            f"class_norms must have shape ({class_store.n},), "
+            f"got {class_norms.shape}"
+        )
+    dots = packed_dot_matrix(queries, class_store).astype(np.float64)
+    return dots / class_norms
+
+
+def packed_hamming_matrix(a: PackedHV, b: PackedHV) -> np.ndarray:
+    """Pairwise normalized Hamming distance, shape ``(a.n, b.n)``.
+
+    A dimension "differs" when the unpacked values differ — sign
+    disagreement on common support, or zero vs non-zero::
+
+        differs = ((Sa ^ Sb) & Ma & Mb) | (Ma ^ Mb)
+
+    matching ``np.mean(a != b)`` on the dense arrays.
+    """
+    _check_pair(a, b)
+    small_in_b = b.n <= a.n
+    x, y = (a, b) if small_in_b else (b, a)
+    out = np.empty((x.n, y.n), dtype=np.int64)
+    bipolar = x.is_bipolar and y.is_bipolar
+    for j in range(y.n):
+        if bipolar:
+            differs = x.signs ^ y.signs[j]
+        else:
+            differs = ((x.signs ^ y.signs[j]) & x.mags & y.mags[j]) | (
+                x.mags ^ y.mags[j]
+            )
+        out[:, j] = popcount(differs).sum(axis=1, dtype=np.int64)
+    out = out if small_in_b else out.T
+    return out / float(a.d)
+
+
+# ----------------------------------------------------------------------
+# backend adapter
+# ----------------------------------------------------------------------
+from repro.backend.base import (  # noqa: E402  (kernels first, adapter last)
+    Backend,
+    PreparedClassStore,
+    register_backend,
+)
+
+
+@register_backend
+class PackedBackend(Backend):
+    """XOR+popcount kernels over :class:`PackedHV` operands.
+
+    Requires bipolar/ternary values (pack them with
+    :func:`pack_hypervectors` or a packable quantizer's ``.pack``);
+    produces class scores numerically identical to the dense backend on
+    the same operands, at 64 dimensions per machine word.
+    """
+
+    name = "packed"
+
+    # ------------------------------------------------------------------
+    def prepare_class_store(self, class_hvs) -> PreparedClassStore:
+        packed = pack_hypervectors(class_hvs)
+        return PreparedClassStore(
+            store=packed,
+            norms=packed_norms(packed),
+            n_classes=packed.n,
+            d_hv=packed.d,
+            backend_name=self.name,
+        )
+
+    def prepare_queries(self, queries) -> PackedHV:
+        return pack_hypervectors(queries)
+
+    def supports(self, values) -> bool:
+        return isinstance(values, PackedHV) or is_packable(values)
+
+    # ------------------------------------------------------------------
+    def dot_matrix(self, queries, references) -> np.ndarray:
+        return packed_dot_matrix(
+            self.prepare_queries(queries), self.prepare_queries(references)
+        ).astype(np.float64)
+
+    def class_scores(self, queries, prepared: PreparedClassStore) -> np.ndarray:
+        self._check_prepared(prepared)
+        q = self.prepare_queries(queries)
+        if q.d != prepared.d_hv:
+            raise ValueError(
+                f"queries have {q.d} dims, class store has {prepared.d_hv}"
+            )
+        return packed_class_scores(q, prepared.store, prepared.norms)
+
+    def hamming_matrix(self, a, b) -> np.ndarray:
+        return packed_hamming_matrix(
+            self.prepare_queries(a), self.prepare_queries(b)
+        )

@@ -10,12 +10,19 @@ paper-style tables:
 
 Every experiment accepts ``--seed``; the heavier ones accept ``--dhv``
 to trade fidelity for speed (paper scale is ``--dhv 10000``).
+
+Beyond the paper artifacts, two workload commands exercise the serving
+stack:
+
+    prive-hd train isolet --batch-size 512 --backend packed
+    prive-hd throughput --dhv 10000 --backend both
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Callable, Sequence
 
 from repro.experiments import (
@@ -118,6 +125,115 @@ def _run_hw(args) -> None:
     )
 
 
+# ----------------------------------------------------------------------
+# workload commands (serving stack, not paper artifacts)
+# ----------------------------------------------------------------------
+def _run_train(args) -> int:
+    import numpy as np
+
+    from repro.data import load_dataset
+    from repro.hd import get_quantizer
+    from repro.hd.batching import encode_in_batches, fit_classes_batched
+    from repro.serve import InferenceEngine
+
+    # Reject impossible flag combinations before any work is done.
+    quantizer = get_quantizer(args.quantizer)
+    if args.backend == "packed" and not quantizer.packable:
+        print(
+            f"error: --backend packed requires a packable quantizer "
+            f"(bipolar/ternary/ternary-biased), not {args.quantizer!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    data = load_dataset(args.dataset, seed=args.seed)
+    lo, hi = data.feature_range
+    encoder = _build_encoder(
+        args.encoder, data.d_in, args.dhv, lo=lo, hi=hi, seed=args.seed
+    )
+    t0 = time.perf_counter()
+    model = fit_classes_batched(
+        encoder,
+        data.X_train,
+        data.y_train,
+        data.n_classes,
+        quantizer=args.quantizer,
+        batch_size=args.batch_size,
+    )
+    train_s = time.perf_counter() - t0
+
+    # Serve the SAME model whichever backend is chosen, so --backend only
+    # changes the compute path, never the answers: a packable quantizer
+    # is applied to the class store for both backends; unpackable ones
+    # (identity/2bit) serve the raw full-precision store (dense only,
+    # enforced above).
+    serve_quantizer = args.quantizer if quantizer.packable else None
+    engine = InferenceEngine(
+        model,
+        backend=args.backend,
+        quantizer=serve_quantizer,
+        batch_size=args.batch_size,
+    )
+
+    # Evaluation streams too — the whole point of --batch-size is that
+    # the (n, d_hv) encoding matrix never materializes at once.  The
+    # packed backend gets quantizer.pack output (already validated by
+    # construction), sparing a per-batch level scan.
+    prepare = quantizer.pack if args.backend == "packed" else quantizer
+    t0 = time.perf_counter()
+    preds = np.concatenate(
+        [
+            engine.predict(prepare(H))
+            for _, H in encode_in_batches(
+                encoder, data.X_test, batch_size=args.batch_size
+            )
+        ]
+    )
+    infer_s = time.perf_counter() - t0
+    acc = float(np.mean(preds == data.y_test))
+    print(
+        f"dataset={data.name} d_in={data.d_in} n_classes={data.n_classes} "
+        f"d_hv={args.dhv} encoder={args.encoder} quantizer={args.quantizer}"
+    )
+    print(
+        f"trained {len(data.y_train)} rows in {train_s:.2f}s "
+        f"(batch_size={args.batch_size})"
+    )
+    print(
+        f"backend={args.backend}: test accuracy {acc:.3f} "
+        f"({len(data.y_test)} queries in {infer_s * 1e3:.1f} ms, "
+        f"{len(data.y_test) / max(infer_s, 1e-9):,.0f} q/s)"
+    )
+    return 0
+
+
+def _build_encoder(kind: str, d_in: int, d_hv: int, *, lo: float, hi: float, seed: int):
+    from repro.hd import LevelBaseEncoder, ScalarBaseEncoder
+
+    if kind == "level-base":
+        return LevelBaseEncoder(d_in, d_hv, lo=lo, hi=hi, seed=seed)
+    return ScalarBaseEncoder(d_in, d_hv, lo=lo, hi=hi, seed=seed)
+
+
+def _run_throughput(args) -> int:
+    from repro.serve.bench import render_throughput_report, run_throughput
+
+    results = run_throughput(
+        backend=args.backend,
+        d_hv=args.dhv,
+        n_queries=args.n_queries,
+        n_classes=args.n_classes,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    print(render_throughput_report(results))
+    if not results.identical:
+        print("ERROR: backend predictions diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
 #: experiment name -> (description, runner)
 EXPERIMENTS: dict[str, tuple[str, Callable]] = {
     "fig2": ("reconstruct digits from encodings (Fig. 2)", _run_fig2),
@@ -151,6 +267,58 @@ def _build_parser() -> argparse.ArgumentParser:
     p_all = sub.add_parser("all", help="run every experiment")
     p_all.add_argument("--dhv", type=int, default=4000)
     p_all.add_argument("--seed", type=int, default=0)
+
+    p_train = sub.add_parser(
+        "train", help="train on a benchmark dataset with batched encoding"
+    )
+    p_train.add_argument(
+        "dataset", choices=("isolet", "mnist", "face"), help="dataset name"
+    )
+    p_train.add_argument("--dhv", type=int, default=4000)
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument(
+        "--encoder",
+        choices=("scalar-base", "level-base"),
+        default="scalar-base",
+        help="Eq. 2a (scalar-base) or Eq. 2b (level-base) encoding",
+    )
+    p_train.add_argument(
+        "--quantizer",
+        default="bipolar",
+        help="encoding quantizer (bipolar/ternary/ternary-biased/2bit/identity)",
+    )
+    p_train.add_argument(
+        "--batch-size",
+        type=int,
+        default=1024,
+        help="rows encoded per training batch (bounds peak memory)",
+    )
+    p_train.add_argument(
+        "--backend",
+        choices=("dense", "packed"),
+        default="dense",
+        help=(
+            "compute path for test-set inference; with a packable "
+            "quantizer both backends serve the same quantized model and "
+            "give identical answers"
+        ),
+    )
+
+    p_tp = sub.add_parser(
+        "throughput", help="measure dense vs packed serving throughput"
+    )
+    p_tp.add_argument(
+        "--backend",
+        choices=("dense", "packed", "both"),
+        default="both",
+        help="backend(s) to measure",
+    )
+    p_tp.add_argument("--dhv", type=int, default=10000)
+    p_tp.add_argument("--seed", type=int, default=0)
+    p_tp.add_argument("--n-queries", type=int, default=2000)
+    p_tp.add_argument("--n-classes", type=int, default=26)
+    p_tp.add_argument("--batch-size", type=int, default=8192)
+    p_tp.add_argument("--repeats", type=int, default=3)
     return parser
 
 
@@ -167,6 +335,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"\n##### {name}: {desc} #####")
             runner(args)
         return 0
+    if args.command == "train":
+        return _run_train(args)
+    if args.command == "throughput":
+        return _run_throughput(args)
     EXPERIMENTS[args.command][1](args)
     return 0
 

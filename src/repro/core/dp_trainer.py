@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.core.mechanism import GaussianMechanism, PrivatizedModel
 from repro.core.sensitivity import SensitivityReport, sensitivity_report
-from repro.hd.encoder import ScalarBaseEncoder
+from repro.hd.encoder import Encoder, ScalarBaseEncoder
 from repro.hd.model import HDModel
 from repro.hd.prune import prune_model
 from repro.hd.quantize import EncodingQuantizer, get_quantizer
@@ -133,7 +133,7 @@ class DPTrainingResult:
     """
 
     config: DPTrainingConfig
-    encoder: ScalarBaseEncoder
+    encoder: Encoder
     quantizer: EncodingQuantizer
     keep_mask: np.ndarray
     baseline: HDModel
@@ -185,7 +185,7 @@ class DPTrainer:
         y: np.ndarray,
         n_classes: int,
         *,
-        encoder: ScalarBaseEncoder | None = None,
+        encoder: Encoder | None = None,
         encodings: np.ndarray | None = None,
     ) -> DPTrainingResult:
         """Train a differentially private HD model on ``(X, y)``.

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.attacks.decoder import HDDecoder
 from repro.attacks.metrics import mse, normalized_mse, psnr
+from repro.backend.packed import PackedHV, pack_hypervectors
 from repro.hd.encoder import Encoder
 from repro.hd.model import HDModel
 from repro.hd.quantize import EncodingQuantizer, get_quantizer
@@ -129,6 +130,34 @@ class InferenceObfuscator:
         remote host (or an eavesdropper) sees.
         """
         return self.obfuscate_encodings(self.encoder.encode(X))
+
+    def obfuscate_packed(self, encodings: np.ndarray) -> PackedHV:
+        """Quantize-then-mask, bit-packed for the wire.
+
+        A bipolar-quantized query with masked (zeroed) dimensions is a
+        ternary hypervector, so it packs into two uint64 bit planes —
+        16× less uplink traffic than float32 and directly consumable by
+        the host's packed :class:`~repro.serve.InferenceEngine`.  Only
+        packable (bipolar/ternary) quantizers support this; the 2-bit
+        and identity schemes raise.
+        """
+        if not self.quantizer.packable:
+            raise ValueError(
+                f"quantizer {self.quantizer.name!r} does not produce "
+                "bit-packable queries; use 'bipolar', 'ternary' or "
+                "'ternary-biased'"
+            )
+        # quantize→mask output is ternary by construction: skip the
+        # packer's validation pass.
+        return pack_hypervectors(self.obfuscate_encodings(encodings), validate=False)
+
+    def prepare_packed(self, X: np.ndarray) -> PackedHV:
+        """Encode → quantize → mask → bit-pack: the packed offload path.
+
+        Unpacks to exactly ``prepare(X)``, so host-side decisions are
+        identical whichever wire format the client chooses.
+        """
+        return self.obfuscate_packed(self.encoder.encode(X))
 
     # ------------------------------------------------------------------
     def evaluate_accuracy(

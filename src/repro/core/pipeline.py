@@ -20,16 +20,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attacks.decoder import HDDecoder
+from repro.backend.base import Backend
 from repro.core.dp_trainer import DPTrainer, DPTrainingConfig, DPTrainingResult
 from repro.core.inference_privacy import InferenceObfuscator, ObfuscationConfig
-from repro.hd.encoder import ScalarBaseEncoder
+from repro.hd.encoder import Encoder, LevelBaseEncoder, ScalarBaseEncoder
 from repro.hd.model import HDModel
 from repro.hd.quantize import get_quantizer
 from repro.hd.train import retrain
+from repro.serve.engine import InferenceEngine
 from repro.utils.rng import spawn
 from repro.utils.validation import check_2d, check_labels, check_positive_int
 
-__all__ = ["PriveHD"]
+__all__ = ["PriveHD", "ENCODER_NAMES"]
+
+#: encoder kinds constructible through the facade (Eq. 2a / Eq. 2b)
+ENCODER_NAMES = ("scalar-base", "level-base")
 
 
 class PriveHD:
@@ -43,8 +48,15 @@ class PriveHD:
         Number of classes.
     d_hv:
         Hypervector dimensionality (paper default 10,000).
+    encoder:
+        ``"scalar-base"`` (Eq. 2a, the default and the encoding the
+        paper's privacy analysis targets), ``"level-base"`` (Eq. 2b, the
+        all-bipolar-addend encoding the FPGA datapath of §III-D uses),
+        or a pre-built :class:`~repro.hd.encoder.Encoder` instance.
     n_feature_levels:
-        Optional feature quantization levels for the encoder.
+        Feature quantization levels: optional for ``scalar-base`` (raw
+        values when ``None``), the level-hypervector count for
+        ``level-base`` (default 32 when ``None``).
     lo, hi:
         Feature range.
     seed:
@@ -57,6 +69,7 @@ class PriveHD:
         n_classes: int,
         *,
         d_hv: int = 10000,
+        encoder: str | Encoder = "scalar-base",
         n_feature_levels: int | None = None,
         lo: float = 0.0,
         hi: float = 1.0,
@@ -67,9 +80,46 @@ class PriveHD:
         check_positive_int(d_hv, "d_hv")
         self.n_classes = n_classes
         self.seed = int(seed)
-        self.encoder = ScalarBaseEncoder(
-            d_in, d_hv, n_levels=n_feature_levels, lo=lo, hi=hi, seed=seed
-        )
+        if isinstance(encoder, Encoder):
+            if encoder.d_in != d_in or encoder.d_hv != d_hv:
+                raise ValueError(
+                    f"encoder is ({encoder.d_in}, {encoder.d_hv}) but the "
+                    f"facade was asked for ({d_in}, {d_hv})"
+                )
+            # A pre-built encoder already fixed these; conflicting values
+            # would be silently ignored, so reject them instead.
+            enc_levels = getattr(encoder, "n_levels", None)
+            if n_feature_levels is not None and n_feature_levels != enc_levels:
+                raise ValueError(
+                    f"n_feature_levels={n_feature_levels} conflicts with the "
+                    f"given encoder's n_levels={enc_levels}"
+                )
+            enc_lo = getattr(encoder, "lo", lo)
+            enc_hi = getattr(encoder, "hi", hi)
+            if (lo, hi) != (0.0, 1.0) and (lo, hi) != (enc_lo, enc_hi):
+                raise ValueError(
+                    f"feature range [{lo}, {hi}] conflicts with the given "
+                    f"encoder's [{enc_lo}, {enc_hi}]"
+                )
+            self.encoder = encoder
+        elif encoder == "scalar-base":
+            self.encoder = ScalarBaseEncoder(
+                d_in, d_hv, n_levels=n_feature_levels, lo=lo, hi=hi, seed=seed
+            )
+        elif encoder == "level-base":
+            self.encoder = LevelBaseEncoder(
+                d_in,
+                d_hv,
+                n_levels=32 if n_feature_levels is None else n_feature_levels,
+                lo=lo,
+                hi=hi,
+                seed=seed,
+            )
+        else:
+            raise ValueError(
+                f"unknown encoder {encoder!r}; choose from {ENCODER_NAMES} "
+                "or pass an Encoder instance"
+            )
 
     # ------------------------------------------------------------------
     def encode(self, X: np.ndarray) -> np.ndarray:
@@ -147,6 +197,25 @@ class PriveHD:
             mask_seed=self.seed if mask_seed is None else mask_seed,
         )
         return InferenceObfuscator(self.encoder, config)
+
+    def engine(
+        self,
+        model: HDModel,
+        *,
+        backend: str | Backend | None = None,
+        quantizer=None,
+        batch_size: int = 8192,
+    ) -> InferenceEngine:
+        """A batched serving engine over a trained model (host side).
+
+        ``backend="packed"`` with ``quantizer="bipolar"`` serves the
+        1-bit model of §III-C/III-D from uint64 bit planes; it answers
+        both dense queries and the bit-packed batches produced by
+        :meth:`obfuscator`'s ``prepare_packed``.
+        """
+        return InferenceEngine(
+            model, backend=backend, quantizer=quantizer, batch_size=batch_size
+        )
 
     def decoder(self) -> HDDecoder:
         """The Eq. (10) attacker's decoder — audit your own leakage."""

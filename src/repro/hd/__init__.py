@@ -44,6 +44,7 @@ from repro.hd.similarity import (
     cosine_matrix,
     dot_matrix,
     hamming_distance,
+    hamming_matrix,
     norm_rows,
 )
 from repro.hd.train import RetrainHistory, fit_hd, retrain
@@ -74,6 +75,7 @@ __all__ = [
     "dot_matrix",
     "class_scores",
     "hamming_distance",
+    "hamming_matrix",
     "norm_rows",
     "EncodingQuantizer",
     "IdentityQuantizer",

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import Backend, PackedHV, get_backend, is_packable
 from repro.hd.similarity import class_scores, cosine_matrix, norm_rows
 from repro.utils.rng import RngLike, ensure_generator
 from repro.utils.validation import check_2d, check_labels, check_positive_int
@@ -113,26 +114,66 @@ class HDModel:
             self._norm_cache = cache
         return cache
 
-    def scores(self, queries: np.ndarray) -> np.ndarray:
+    def _resolve_backend(self, backend, queries) -> Backend | None:
+        """Pick a backend.
+
+        Explicit choice wins.  Packed queries auto-route to the packed
+        kernels when the class store is packable too; against a
+        full-precision store (the §III-C host: degraded query,
+        information-rich classes) they fall back to dense, which unpacks
+        them — decisions are identical either way.
+        """
+        if backend is not None:
+            return get_backend(backend)
+        if not isinstance(queries, PackedHV):
+            return None  # classic dense expression, zero indirection
+        if is_packable(self.class_hvs):
+            return get_backend("packed")
+        return get_backend("dense")
+
+    def scores(self, queries, *, backend: str | Backend | None = None) -> np.ndarray:
         """Class-normalized dot products, shape ``(n, n_classes)``.
 
         Equivalent to cosine similarity up to the per-query norm, which is
         constant across classes and therefore dropped (paper, Eq. 4).
+
+        ``backend`` selects the compute path (``"dense"``/``"packed"``);
+        when omitted, packed queries use the packed kernels and anything
+        else the dense expression.  The packed backend requires the class
+        store to be bipolar/ternary (e.g. a quantized serving snapshot).
+
+        The store is prepared on every call so direct mutation of
+        ``class_hvs`` — a documented plain array — is always honored.
+        For repeated high-throughput queries use
+        :class:`repro.serve.InferenceEngine`, which prepares (quantizes,
+        packs, precomputes norms) exactly once.
         """
-        return class_scores(queries, self.class_hvs)
+        be = self._resolve_backend(backend, queries)
+        if be is None:
+            return class_scores(queries, self.class_hvs)
+        return be.class_scores(
+            be.prepare_queries(queries),
+            be.prepare_class_store(self.class_hvs),
+        )
 
     def similarities(self, queries: np.ndarray) -> np.ndarray:
         """Fully normalized cosine similarities (used for Fig. 3)."""
         return cosine_matrix(queries, self.class_hvs)
 
-    def predict(self, queries: np.ndarray) -> np.ndarray:
+    def predict(self, queries, *, backend: str | Backend | None = None) -> np.ndarray:
         """Predicted labels, shape ``(n,)``."""
-        return np.argmax(self.scores(queries), axis=1)
+        return np.argmax(self.scores(queries, backend=backend), axis=1)
 
-    def accuracy(self, queries: np.ndarray, labels: np.ndarray) -> float:
+    def accuracy(
+        self,
+        queries,
+        labels: np.ndarray,
+        *,
+        backend: str | Backend | None = None,
+    ) -> float:
         """Fraction of queries whose argmax class matches ``labels``."""
         y = check_labels(labels, "labels", n_classes=self.n_classes)
-        preds = self.predict(queries)
+        preds = self.predict(queries, backend=backend)
         if preds.shape[0] != y.shape[0]:
             raise ValueError(
                 f"{preds.shape[0]} queries but {y.shape[0]} labels"

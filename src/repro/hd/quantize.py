@@ -27,6 +27,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.backend.packed import PackedHV, pack_hypervectors
 from repro.utils.validation import check_2d, check_positive_int
 
 __all__ = [
@@ -61,6 +62,33 @@ class EncodingQuantizer(ABC):
     @abstractmethod
     def __call__(self, encodings: np.ndarray) -> np.ndarray:
         """Quantize ``(n, d_hv)`` (or ``(d_hv,)``) encodings."""
+
+    @property
+    def packable(self) -> bool:
+        """True when this quantizer's levels fit the bit-packed planes.
+
+        Packable levels are exactly {−1, 0, +1}: bipolar and both ternary
+        schemes pack; identity (continuous) and 2-bit (level −2) do not.
+        """
+        levels = self.levels
+        return bool(levels.size) and bool(np.isin(levels, (-1, 0, 1)).all())
+
+    def pack(self, encodings: np.ndarray) -> PackedHV:
+        """Quantize and bit-pack in one step (packable quantizers only).
+
+        The returned :class:`~repro.backend.PackedHV` feeds the packed
+        similarity kernels directly — 64 dimensions per uint64 word, 16×
+        smaller than a float32 encoding matrix.
+        """
+        if not self.packable:
+            raise ValueError(
+                f"quantizer {self.name!r} has levels "
+                f"{self.levels.tolist() or '(continuous)'} outside "
+                "{-1, 0, +1} and cannot be bit-packed"
+            )
+        # Our own output is levels-exact by construction; skip the
+        # packer's validation pass.
+        return pack_hypervectors(self(encodings), validate=False)
 
     def expected_l2_sensitivity(self, d_hv: int, d_in: int | None = None) -> float:
         """Analytic ℓ2 sensitivity of a quantized encoding, Eq. (14).

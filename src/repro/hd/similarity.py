@@ -6,12 +6,31 @@ shared across classes, so class scores can be computed as a dot product
 normalized only by the class norms; :func:`class_scores` implements exactly
 that optimization while :func:`cosine_matrix` provides the fully normalized
 quantity used for reporting "information" retention (Fig. 3).
+
+The score kernels are *packed-aware*: when either operand is a
+:class:`~repro.backend.PackedHV` batch (bit-packed bipolar/ternary
+hypervectors), the other side is packed too and the XOR+popcount kernels
+of :mod:`repro.backend.packed` answer — with results identical to the
+dense expressions on the same operands.  When the dense side cannot be
+packed (a full-precision class store answering degraded §III-C queries),
+the packed operand is unpacked and the dense expression answers instead;
+either way the result matches the all-dense computation exactly.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend.dense import dense_hamming_matrix, guarded_norm_rows
+from repro.backend.packed import (
+    PackedHV,
+    is_packable,
+    pack_hypervectors,
+    packed_class_scores,
+    packed_dot_matrix,
+    packed_hamming_matrix,
+    packed_norms,
+)
 from repro.utils.validation import check_2d
 
 __all__ = [
@@ -20,17 +39,39 @@ __all__ = [
     "dot_matrix",
     "class_scores",
     "hamming_distance",
+    "hamming_matrix",
     "norm_rows",
 ]
 
 _EPS = 1e-12
 
 
+def _as_packed_pair(a, b) -> tuple[PackedHV, PackedHV] | None:
+    """Pack the dense side of a mixed packed/dense operand pair.
+
+    Returns ``None`` when a dense operand holds values outside
+    {−1, 0, +1} (e.g. a full-precision class store): the caller then
+    unpacks the packed side and answers with the dense kernel instead.
+    """
+    for operand in (a, b):
+        if not (isinstance(operand, PackedHV) or is_packable(operand)):
+            return None
+    # is_packable just vetted the dense side; skip the packer's re-scan.
+    return (
+        pack_hypervectors(a, validate=False),
+        pack_hypervectors(b, validate=False),
+    )
+
+
+def _unpacked(x) -> np.ndarray:
+    """Dense view of an operand (unpacks ``PackedHV``, passthrough else)."""
+    return x.unpack(np.float64) if isinstance(x, PackedHV) else x
+
+
 def norm_rows(matrix: np.ndarray) -> np.ndarray:
     """ℓ2 norm of each row, guarded against exact zeros."""
     matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
-    norms = np.linalg.norm(matrix, axis=1)
-    return np.where(norms < _EPS, 1.0, norms)
+    return guarded_norm_rows(matrix)
 
 
 def cosine(a: np.ndarray, b: np.ndarray) -> float:
@@ -45,8 +86,17 @@ def cosine(a: np.ndarray, b: np.ndarray) -> float:
     return float(a @ b / (na * nb))
 
 
-def dot_matrix(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
-    """Raw dot products, shape ``(n_queries, n_references)``."""
+def dot_matrix(queries, references) -> np.ndarray:
+    """Raw dot products, shape ``(n_queries, n_references)``.
+
+    Either operand may be a :class:`~repro.backend.PackedHV`; the packed
+    XOR+popcount kernel then computes the exact integer dot products.
+    """
+    if isinstance(queries, PackedHV) or isinstance(references, PackedHV):
+        pair = _as_packed_pair(queries, references)
+        if pair is not None:
+            return packed_dot_matrix(*pair).astype(np.float64)
+        queries, references = _unpacked(queries), _unpacked(references)
     q = check_2d(queries, "queries").astype(np.float64, copy=False)
     r = check_2d(references, "references", n_cols=q.shape[1]).astype(np.float64, copy=False)
     return q @ r.T
@@ -59,25 +109,64 @@ def cosine_matrix(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
     return (q @ r.T) / np.outer(norm_rows(q), norm_rows(r))
 
 
-def class_scores(queries: np.ndarray, class_hvs: np.ndarray) -> np.ndarray:
+def class_scores(queries, class_hvs) -> np.ndarray:
     """Class scores with only the class-norm normalization (Eq. 4, reduced).
 
     Dividing by the query norm does not change the argmax over classes, so
     — exactly as the paper observes — it is dropped.  The class norms *do*
     matter because classes bundle different numbers of training inputs.
+
+    Packed operands route through the XOR+popcount kernel; on ternary
+    values the result is identical to the dense expression (integer dot
+    products, √(non-zero count) norms).
     """
+    if isinstance(queries, PackedHV) or isinstance(class_hvs, PackedHV):
+        pair = _as_packed_pair(queries, class_hvs)
+        if pair is not None:
+            q, c = pair
+            return packed_class_scores(q, c, packed_norms(c))
+        queries, class_hvs = _unpacked(queries), _unpacked(class_hvs)
     q = check_2d(queries, "queries").astype(np.float64, copy=False)
     c = check_2d(class_hvs, "class_hvs", n_cols=q.shape[1]).astype(np.float64, copy=False)
     return (q @ c.T) / norm_rows(c)
 
 
-def hamming_distance(a: np.ndarray, b: np.ndarray) -> float:
+def hamming_distance(a, b) -> float:
     """Normalized Hamming distance between two bipolar hypervectors.
 
     Orthogonal bipolar vectors sit at distance 0.5; identical at 0.0.
+    Accepts single-row :class:`~repro.backend.PackedHV` operands.
     """
+    if isinstance(a, PackedHV) or isinstance(b, PackedHV):
+        # Batch rejection must not depend on which fallback answers.
+        for operand in (a, b):
+            if isinstance(operand, PackedHV) and operand.n != 1:
+                raise ValueError(
+                    f"hamming_distance compares single hypervectors, got "
+                    f"a batch of {operand.n}; use hamming_matrix"
+                )
+        pair = _as_packed_pair(a, b)
+        if pair is not None:
+            return float(packed_hamming_matrix(*pair)[0, 0])
+        a, b = _unpacked(a), _unpacked(b)
     a = np.asarray(a).ravel()
     b = np.asarray(b).ravel()
     if a.shape != b.shape:
         raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
     return float(np.mean(a != b))
+
+
+def hamming_matrix(a, b) -> np.ndarray:
+    """Pairwise normalized Hamming distances, shape ``(n_a, n_b)``.
+
+    Dense operands are compared value-wise; packed operands go through
+    the bit-plane kernel (identical results on ternary values).
+    """
+    if isinstance(a, PackedHV) or isinstance(b, PackedHV):
+        pair = _as_packed_pair(a, b)
+        if pair is not None:
+            return packed_hamming_matrix(*pair)
+        a, b = _unpacked(a), _unpacked(b)
+    A = check_2d(a, "a")
+    B = check_2d(b, "b", n_cols=A.shape[1])
+    return dense_hamming_matrix(A, B)

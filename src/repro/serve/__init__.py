@@ -1,0 +1,16 @@
+"""Model serving: prepared, batched inference over pluggable backends.
+
+:class:`InferenceEngine` owns a ready-to-serve snapshot of a trained
+model — quantized once, bit-packed once, norms precomputed once — and
+answers query batches through any :mod:`repro.backend` backend.
+"""
+
+from repro.serve.bench import ThroughputResult, make_serving_fixture, run_throughput
+from repro.serve.engine import InferenceEngine
+
+__all__ = [
+    "InferenceEngine",
+    "ThroughputResult",
+    "make_serving_fixture",
+    "run_throughput",
+]

@@ -1,0 +1,123 @@
+"""The Backend protocol: registry, dense reference, cross-backend checks."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    BACKEND_NAMES,
+    Backend,
+    DenseBackend,
+    PackedBackend,
+    get_backend,
+    pack_hypervectors,
+)
+from repro.utils import spawn
+
+
+@pytest.fixture()
+def bipolar_setup():
+    rng = spawn(0, "backend-tests")
+    Q = rng.choice([-1.0, 1.0], size=(20, 130))
+    C = rng.choice([-1.0, 1.0], size=(4, 130))
+    return Q, C
+
+
+class TestRegistry:
+    def test_names(self):
+        assert BACKEND_NAMES == ("dense", "packed")
+
+    def test_get_by_name(self):
+        assert isinstance(get_backend("dense"), DenseBackend)
+        assert isinstance(get_backend("packed"), PackedBackend)
+        assert isinstance(get_backend("PACKED"), PackedBackend)
+
+    def test_none_resolves_to_dense(self):
+        assert get_backend(None).name == "dense"
+
+    def test_instance_passthrough(self):
+        be = DenseBackend()
+        assert get_backend(be) is be
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            get_backend("gpu")
+
+
+class TestDenseBackend:
+    def test_class_scores_match_similarity_module(self, bipolar_setup):
+        from repro.hd.similarity import class_scores
+
+        Q, C = bipolar_setup
+        be = get_backend("dense")
+        prepared = be.prepare_class_store(C)
+        np.testing.assert_array_equal(
+            be.class_scores(Q, prepared), class_scores(Q, C)
+        )
+
+    def test_supports_anything(self):
+        assert get_backend("dense").supports(np.array([[0.37, -2.4]]))
+
+    def test_accepts_packed_queries_by_unpacking(self, bipolar_setup):
+        Q, C = bipolar_setup
+        be = get_backend("dense")
+        prepared = be.prepare_class_store(C)
+        np.testing.assert_array_equal(
+            be.class_scores(pack_hypervectors(Q), prepared),
+            be.class_scores(Q, prepared),
+        )
+
+    def test_hamming_matrix(self, bipolar_setup):
+        Q, C = bipolar_setup
+        got = get_backend("dense").hamming_matrix(Q[:3], C)
+        expect = np.array([[np.mean(a != b) for b in C] for a in Q[:3]])
+        np.testing.assert_array_equal(got, expect)
+
+
+class TestPackedBackend:
+    def test_rejects_full_precision_store(self):
+        be = get_backend("packed")
+        with pytest.raises(ValueError, match="bit-packed"):
+            be.prepare_class_store(np.array([[0.5, 1.5]]))
+
+    def test_supports_only_ternary(self):
+        be = get_backend("packed")
+        assert be.supports(np.array([[1.0, -1.0, 0.0]]))
+        assert not be.supports(np.array([[2.0, 1.0]]))
+        assert be.supports(pack_hypervectors(np.ones((1, 8))))
+
+    def test_prepared_store_carries_norms(self, bipolar_setup):
+        _, C = bipolar_setup
+        prepared = get_backend("packed").prepare_class_store(C)
+        np.testing.assert_array_equal(
+            prepared.norms, np.linalg.norm(C, axis=1)
+        )
+
+    def test_wrong_backend_prepared_store_rejected(self, bipolar_setup):
+        Q, C = bipolar_setup
+        prepared = get_backend("dense").prepare_class_store(C)
+        with pytest.raises(ValueError, match="prepared by"):
+            get_backend("packed").class_scores(pack_hypervectors(Q), prepared)
+
+    def test_predict_identical_to_dense(self, bipolar_setup):
+        Q, C = bipolar_setup
+        dense, packed = get_backend("dense"), get_backend("packed")
+        pd = dense.predict(Q, dense.prepare_class_store(C))
+        pp = packed.predict(
+            packed.prepare_queries(Q), packed.prepare_class_store(C)
+        )
+        np.testing.assert_array_equal(pd, pp)
+
+
+class TestCustomBackend:
+    def test_registering_a_backend_makes_it_resolvable(self):
+        from repro.backend.base import _REGISTRY, register_backend
+
+        @register_backend
+        class EchoBackend(DenseBackend):
+            name = "echo-test"
+
+        try:
+            assert isinstance(get_backend("echo-test"), EchoBackend)
+            assert issubclass(EchoBackend, Backend)
+        finally:
+            _REGISTRY.pop("echo-test", None)

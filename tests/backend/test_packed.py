@@ -1,0 +1,206 @@
+"""Dense↔packed equivalence: the packed kernels ARE the dense kernels.
+
+The whole contract of the bit-packed backend is bit-for-bit agreement
+with the float64 reference on bipolar/ternary operands — argmax
+decisions included.  These property tests draw random bipolar and
+ternary hypervectors at dimensionalities that are *not* multiples of 64
+(plus the exact-word edge cases) and assert exact equality of every
+kernel against a NumPy reference computed the dense way.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import (
+    WORD_BITS,
+    PackedHV,
+    is_packable,
+    pack_hypervectors,
+    packed_class_scores,
+    packed_dot_matrix,
+    packed_hamming_matrix,
+    packed_norms,
+    popcount,
+)
+from repro.utils import spawn
+
+#: word-boundary edge cases plus awkward primes
+EDGE_DIMS = (1, 63, 64, 65, 127, 128, 200, 1000)
+
+
+def random_hvs(n, d, seed, *, ternary, p_zero=0.3):
+    rng = spawn(seed, "packed-prop")
+    if ternary:
+        probs = (p_zero, (1 - p_zero) / 2, (1 - p_zero) / 2)
+        return rng.choice([0.0, -1.0, 1.0], size=(n, d), p=probs)
+    return rng.choice([-1.0, 1.0], size=(n, d))
+
+
+def dense_class_scores(Q, C):
+    norms = np.linalg.norm(C.astype(np.float64), axis=1)
+    norms = np.where(norms < 1e-12, 1.0, norms)
+    return (Q.astype(np.float64) @ C.astype(np.float64).T) / norms
+
+
+class TestPopcount:
+    def test_matches_python_bit_count(self):
+        words = spawn(0, "pc").integers(0, 2**63, 64, dtype=np.uint64)
+        expect = [int(w).bit_count() for w in words]
+        assert popcount(words).tolist() == expect
+
+    def test_zero_and_all_ones(self):
+        assert int(popcount(np.uint64(0))) == 0
+        assert int(popcount(np.uint64(2**64 - 1))) == 64
+
+
+class TestPackRoundTrip:
+    @pytest.mark.parametrize("d", EDGE_DIMS)
+    @pytest.mark.parametrize("ternary", [False, True])
+    def test_unpack_inverts_pack(self, d, ternary):
+        H = random_hvs(5, d, seed=d, ternary=ternary)
+        p = pack_hypervectors(H)
+        assert p.shape == (5, d)
+        assert p.n_words == -(-d // WORD_BITS)
+        np.testing.assert_array_equal(p.unpack(np.float64), H)
+
+    def test_padding_bits_are_zero(self):
+        H = np.ones((3, 70))  # 64 + 6: one full word + 6 tail bits
+        p = pack_hypervectors(H)
+        tail = int(p.signs[0, 1])
+        assert tail == (1 << 6) - 1  # only the 6 valid bits set
+        assert int(p.mags[0, 1]) == (1 << 6) - 1
+
+    def test_1d_input_packs_to_single_row(self):
+        p = pack_hypervectors(np.array([1.0, -1.0, 0.0]))
+        assert p.shape == (1, 3)
+
+    def test_row_slicing(self):
+        H = random_hvs(10, 100, seed=3, ternary=True)
+        p = pack_hypervectors(H)
+        np.testing.assert_array_equal(p[2:7].unpack(np.float64), H[2:7])
+        assert len(p[2:7]) == 5
+
+    def test_is_bipolar_detection(self):
+        assert pack_hypervectors(np.ones((2, 65)) * -1).is_bipolar
+        assert not pack_hypervectors(np.array([[1.0, 0.0, -1.0]])).is_bipolar
+
+    def test_rejects_unpackable_levels(self):
+        with pytest.raises(ValueError, match="bit-packed"):
+            pack_hypervectors(np.array([[0.5, 1.0]]))
+        with pytest.raises(ValueError, match="bit-packed"):
+            pack_hypervectors(np.array([[-2.0, 1.0, 0.0]]))
+
+    def test_is_packable(self):
+        assert is_packable(np.array([-1, 0, 1]))
+        assert not is_packable(np.array([2]))
+        assert is_packable(np.array([]))  # vacuously ternary
+
+    def test_empty_batch_packs_to_zero_rows(self):
+        p = pack_hypervectors(np.zeros((0, 70)))
+        assert p.shape == (0, 70)
+        assert p.unpack().shape == (0, 70)
+        q = pack_hypervectors(np.ones((3, 70)))
+        assert packed_dot_matrix(q, p).shape == (3, 0)
+
+    def test_pack_is_idempotent_on_packed(self):
+        p = pack_hypervectors(np.ones((2, 10)))
+        assert pack_hypervectors(p) is p
+
+    def test_nbytes_is_16x_smaller_than_float32(self):
+        H = random_hvs(8, 6400, seed=1, ternary=False).astype(np.float32)
+        p = pack_hypervectors(H)
+        assert p.nbytes * 16 == H.nbytes
+
+
+class TestKernelEquivalence:
+    """Exact agreement with the dense reference on random operands."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        d=st.integers(1, 300),
+        seed=st.integers(0, 2**31),
+        ternary=st.booleans(),
+    )
+    def test_dot_matrix_matches_dense(self, d, seed, ternary):
+        Q = random_hvs(6, d, seed, ternary=ternary)
+        R = random_hvs(4, d, seed + 1, ternary=True)
+        expect = Q.astype(np.float64) @ R.astype(np.float64).T
+        got = packed_dot_matrix(pack_hypervectors(Q), pack_hypervectors(R))
+        np.testing.assert_array_equal(got, expect)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        d=st.integers(1, 300),
+        seed=st.integers(0, 2**31),
+        ternary=st.booleans(),
+    )
+    def test_class_scores_match_dense_bit_for_bit(self, d, seed, ternary):
+        Q = random_hvs(6, d, seed, ternary=ternary)
+        C = random_hvs(3, d, seed + 7, ternary=ternary)
+        got = packed_class_scores(pack_hypervectors(Q), pack_hypervectors(C))
+        # exact: integer dots are exact in float64, norms agree exactly
+        np.testing.assert_array_equal(got, dense_class_scores(Q, C))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        d=st.integers(1, 300),
+        seed=st.integers(0, 2**31),
+        ternary=st.booleans(),
+    )
+    def test_hamming_matches_dense(self, d, seed, ternary):
+        A = random_hvs(5, d, seed, ternary=ternary)
+        B = random_hvs(4, d, seed + 3, ternary=ternary)
+        expect = np.array([[np.mean(a != b) for b in B] for a in A])
+        got = packed_hamming_matrix(pack_hypervectors(A), pack_hypervectors(B))
+        np.testing.assert_array_equal(got, expect)
+
+    @settings(max_examples=20, deadline=None)
+    @given(d=st.integers(1, 300), seed=st.integers(0, 2**31))
+    def test_argmax_decisions_identical(self, d, seed):
+        """The acceptance contract: same winner, including tie-breaks."""
+        Q = random_hvs(16, d, seed, ternary=False)
+        C = random_hvs(5, d, seed + 11, ternary=False)
+        dense_pred = np.argmax(dense_class_scores(Q, C), axis=1)
+        packed_pred = np.argmax(
+            packed_class_scores(pack_hypervectors(Q), pack_hypervectors(C)),
+            axis=1,
+        )
+        np.testing.assert_array_equal(packed_pred, dense_pred)
+
+    @pytest.mark.parametrize("d", EDGE_DIMS)
+    def test_norms_match_dense(self, d):
+        H = random_hvs(7, d, seed=d + 1, ternary=True)
+        expect = np.linalg.norm(H, axis=1)
+        expect = np.where(expect < 1e-12, 1.0, expect)
+        np.testing.assert_array_equal(
+            packed_norms(pack_hypervectors(H)), expect
+        )
+
+    def test_dimension_mismatch_raises(self):
+        a = pack_hypervectors(np.ones((2, 64)))
+        b = pack_hypervectors(np.ones((2, 65)))
+        with pytest.raises(ValueError, match="mismatch"):
+            packed_dot_matrix(a, b)
+
+    def test_all_zero_rows_are_safe(self):
+        Z = np.zeros((2, 100))
+        C = random_hvs(3, 100, seed=5, ternary=True)
+        got = packed_class_scores(pack_hypervectors(Z), pack_hypervectors(C))
+        np.testing.assert_array_equal(got, np.zeros((2, 3)))
+
+
+class TestValidateFlag:
+    def test_unvalidated_pack_of_valid_values_is_exact(self):
+        H = random_hvs(4, 100, seed=9, ternary=True)
+        p = pack_hypervectors(H, validate=False)
+        np.testing.assert_array_equal(p.unpack(np.float64), H)
+
+    def test_plane_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            PackedHV(
+                signs=np.zeros((2, 2), dtype=np.uint64),
+                mags=np.zeros((2, 3), dtype=np.uint64),
+                d=128,
+            )

@@ -131,3 +131,42 @@ class TestLeakage:
         obf = InferenceObfuscator(enc, ObfuscationConfig(n_masked=0))
         rep = obf.leakage_report(X[:40])
         assert rep.normalized_mse > 1.2
+
+
+class TestPackedOffload:
+    """§III-C offload in packed wire format (prepare_packed)."""
+
+    def test_prepare_packed_unpacks_to_prepare(self, setup):
+        enc, _, X, _ = setup
+        obf = InferenceObfuscator(enc, ObfuscationConfig(n_masked=500))
+        packed = obf.prepare_packed(X[:20])
+        np.testing.assert_array_equal(
+            packed.unpack(np.float64), obf.prepare(X[:20])
+        )
+
+    def test_host_decisions_identical_on_either_wire_format(self, setup):
+        enc, model, X, _ = setup
+        obf = InferenceObfuscator(enc, ObfuscationConfig(n_masked=500))
+        dense_preds = model.predict(obf.prepare(X[:30]))
+        packed_preds = model.predict(obf.prepare_packed(X[:30]))
+        np.testing.assert_array_equal(packed_preds, dense_preds)
+
+    def test_masked_query_is_ternary_not_bipolar(self, setup):
+        enc, _, X, _ = setup
+        obf = InferenceObfuscator(enc, ObfuscationConfig(n_masked=100))
+        assert not obf.prepare_packed(X[:5]).is_bipolar
+        no_mask = InferenceObfuscator(enc, ObfuscationConfig(n_masked=0))
+        assert no_mask.prepare_packed(X[:5]).is_bipolar
+
+    def test_packed_wire_is_16x_smaller(self, setup):
+        enc, _, X, _ = setup
+        obf = InferenceObfuscator(enc, ObfuscationConfig(n_masked=500))
+        dense_wire = obf.prepare(X[:20])
+        packed_wire = obf.prepare_packed(X[:20])
+        assert packed_wire.nbytes * 16 <= dense_wire.astype(np.float32).nbytes
+
+    def test_unpackable_quantizer_raises(self, setup):
+        enc, _, X, _ = setup
+        obf = InferenceObfuscator(enc, ObfuscationConfig(quantizer="2bit"))
+        with pytest.raises(ValueError, match="bit-packable"):
+            obf.prepare_packed(X[:5])

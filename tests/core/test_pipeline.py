@@ -116,3 +116,101 @@ class TestEndToEndStory:
         leak = obf.leakage_report(X[:50])
         assert acc > plain_acc - 0.1          # utility preserved
         assert leak.normalized_mse > 1.3      # leakage reduced
+
+
+class TestEncoderChoice:
+    """The facade reaches both Eq. (2) encoders by name."""
+
+    def test_default_is_scalar_base(self):
+        ph = PriveHD(d_in=24, n_classes=3, d_hv=512)
+        assert ph.encoder.kind == "scalar-base"
+
+    def test_level_base_by_name(self):
+        ph = PriveHD(d_in=24, n_classes=3, d_hv=512, encoder="level-base")
+        assert ph.encoder.kind == "level-base"
+        assert ph.encoder.n_levels == 32  # hardware-style default
+
+    def test_level_base_n_levels_forwarded(self):
+        ph = PriveHD(
+            d_in=24, n_classes=3, d_hv=512, encoder="level-base",
+            n_feature_levels=8,
+        )
+        assert ph.encoder.n_levels == 8
+
+    def test_encoder_instance_accepted(self):
+        from repro.hd import LevelBaseEncoder
+
+        enc = LevelBaseEncoder(24, 512, n_levels=4, seed=9)
+        ph = PriveHD(d_in=24, n_classes=3, d_hv=512, encoder=enc)
+        assert ph.encoder is enc
+
+    def test_mismatched_encoder_instance_rejected(self):
+        from repro.hd import LevelBaseEncoder
+
+        enc = LevelBaseEncoder(24, 1024, seed=9)
+        with pytest.raises(ValueError, match="facade"):
+            PriveHD(d_in=24, n_classes=3, d_hv=512, encoder=enc)
+
+    def test_unknown_encoder_rejected(self):
+        with pytest.raises(ValueError, match="unknown encoder"):
+            PriveHD(d_in=24, n_classes=3, d_hv=512, encoder="n-gram")
+
+    def test_level_base_full_pipeline(self, task):
+        """fit / fit_private / obfuscate all run on the Eq. (2b) encoder."""
+        X, y = task
+        ph = PriveHD(
+            d_in=24, n_classes=3, d_hv=1024, encoder="level-base",
+            lo=-1.0, hi=1.0, seed=3,
+        )
+        model = ph.fit(X, y)
+        assert model.accuracy(ph.encode(X), y) > 0.5
+        result = ph.fit_private(X, y, epsilon=4.0, retrain_epochs=0)
+        assert 0.0 <= result.accuracy(X, y) <= 1.0
+        packed = ph.obfuscator(n_masked=200).prepare_packed(X[:6])
+        assert packed.shape == (6, 1024)
+
+
+class TestEngineHookup:
+    def test_engine_serves_packed_offload(self, task):
+        X, y = task
+        ph = PriveHD(d_in=24, n_classes=3, d_hv=1024, lo=-1.0, hi=1.0, seed=5)
+        model = ph.fit(X, y, quantizer="bipolar")
+        engine = ph.engine(model, backend="packed", quantizer="bipolar")
+        obf = ph.obfuscator(n_masked=128)
+        packed_queries = obf.prepare_packed(X[:40])
+        dense_engine = ph.engine(model, backend="dense", quantizer="bipolar")
+        np.testing.assert_array_equal(
+            engine.predict(packed_queries),
+            dense_engine.predict(obf.prepare(X[:40])),
+        )
+
+
+class TestEncoderInstanceConflicts:
+    def test_conflicting_n_levels_rejected(self):
+        from repro.hd import LevelBaseEncoder
+
+        enc = LevelBaseEncoder(24, 512, n_levels=4, seed=9)
+        with pytest.raises(ValueError, match="conflicts"):
+            PriveHD(
+                d_in=24, n_classes=3, d_hv=512, encoder=enc,
+                n_feature_levels=8,
+            )
+
+    def test_conflicting_feature_range_rejected(self):
+        from repro.hd import ScalarBaseEncoder
+
+        enc = ScalarBaseEncoder(24, 512, lo=0.0, hi=1.0, seed=9)
+        with pytest.raises(ValueError, match="feature range"):
+            PriveHD(
+                d_in=24, n_classes=3, d_hv=512, encoder=enc,
+                lo=-1.0, hi=1.0,
+            )
+
+    def test_matching_values_accepted(self):
+        from repro.hd import ScalarBaseEncoder
+
+        enc = ScalarBaseEncoder(24, 512, lo=-1.0, hi=1.0, seed=9)
+        ph = PriveHD(
+            d_in=24, n_classes=3, d_hv=512, encoder=enc, lo=-1.0, hi=1.0
+        )
+        assert ph.encoder is enc

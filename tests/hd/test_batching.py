@@ -65,3 +65,94 @@ class TestFitClassesBatched:
         enc, X, y = setup
         with pytest.raises(ValueError):
             fit_classes_batched(enc, X, y[:5], 3)
+
+
+class TestPackedStream:
+    """fit_classes_batched over a pre-quantized bit-packed stream."""
+
+    def test_packed_stream_matches_quantized_fit(self, setup):
+        from repro.hd import get_quantizer
+
+        enc, X, y = setup
+        q = get_quantizer("bipolar")
+
+        def stream():
+            for rows, H in encode_in_batches(enc, X, batch_size=8):
+                yield rows, q.pack(H)
+
+        from_stream = fit_classes_batched(
+            None, None, y, 3, stream=stream(), d_hv=enc.d_hv
+        )
+        mono = HDModel.from_encodings(q(enc.encode(X)), y, 3)
+        np.testing.assert_allclose(from_stream.class_hvs, mono.class_hvs)
+
+    def test_dense_stream_applies_quantizer(self, setup):
+        from repro.hd import get_quantizer
+
+        enc, X, y = setup
+        q = get_quantizer("ternary")
+        stream = encode_in_batches(enc, X, batch_size=8)
+        from_stream = fit_classes_batched(
+            None, None, y, 3, quantizer="ternary", stream=stream, d_hv=enc.d_hv
+        )
+        mono = HDModel.from_encodings(q(enc.encode(X)), y, 3)
+        np.testing.assert_allclose(from_stream.class_hvs, mono.class_hvs)
+
+    def test_stream_with_encoder_infers_d_hv(self, setup):
+        enc, X, y = setup
+        stream = encode_in_batches(enc, X, batch_size=16)
+        model = fit_classes_batched(enc, None, y, 3, stream=stream)
+        assert model.d_hv == enc.d_hv
+
+    def test_stream_and_X_are_mutually_exclusive(self, setup):
+        enc, X, y = setup
+        with pytest.raises(ValueError, match="exactly one"):
+            fit_classes_batched(
+                enc, X, y, 3, stream=encode_in_batches(enc, X)
+            )
+        with pytest.raises(ValueError, match="exactly one"):
+            fit_classes_batched(enc, None, y, 3)
+
+    def test_stream_without_d_hv_raises(self, setup):
+        enc, X, y = setup
+        stream = encode_in_batches(enc, X, batch_size=16)
+        with pytest.raises(ValueError, match="d_hv"):
+            fit_classes_batched(None, None, y, 3, stream=stream)
+
+    def test_incomplete_stream_raises(self, setup):
+        enc, X, y = setup
+
+        def stream():
+            yield slice(0, 10), enc.encode(X[:10])
+
+        with pytest.raises(ValueError, match="uncovered"):
+            fit_classes_batched(None, None, y, 3, stream=stream(), d_hv=enc.d_hv)
+
+    def test_duplicated_slice_raises(self, setup):
+        """A restarting producer must not silently double-bundle rows."""
+        enc, X, y = setup
+
+        def stream():
+            yield slice(0, 10), enc.encode(X[:10])
+            yield slice(0, 10), enc.encode(X[:10])
+
+        with pytest.raises(ValueError, match="more than once"):
+            fit_classes_batched(None, None, y, 3, stream=stream(), d_hv=enc.d_hv)
+
+    def test_chunk_slice_length_mismatch_raises(self, setup):
+        enc, X, y = setup
+
+        def stream():
+            yield slice(0, 10), enc.encode(X[:5])  # wrong chunk for slice
+
+        with pytest.raises(ValueError, match="selects 10"):
+            fit_classes_batched(None, None, y, 3, stream=stream(), d_hv=enc.d_hv)
+
+    def test_intra_chunk_duplicate_rows_raise(self, setup):
+        enc, X, y = setup
+
+        def stream():
+            yield np.array([0, 0]), enc.encode(X[[0, 0]])
+
+        with pytest.raises(ValueError, match="more than once"):
+            fit_classes_batched(None, None, y, 3, stream=stream(), d_hv=enc.d_hv)

@@ -158,3 +158,71 @@ class TestTransforms:
         c = m.copy()
         c.class_hvs[0, 0] = 9.0
         assert m.class_hvs[0, 0] == 1.0
+
+
+class TestBackendRouting:
+    """HDModel score/predict paths across compute backends."""
+
+    def _served_model(self):
+        from repro.hd.quantize import get_quantizer
+        from repro.utils import spawn
+
+        rng = spawn(4, "model-backend")
+        H = rng.choice([-1.0, 1.0], size=(40, 200))
+        y = rng.integers(0, 3, 40)
+        model = HDModel.from_encodings(H, y, 3)
+        # serving snapshot: bipolar-quantized class store
+        served = HDModel(3, 200, get_quantizer("bipolar")(model.class_hvs))
+        return served, H
+
+    def test_packed_backend_scores_match_dense(self):
+        served, H = self._served_model()
+        np.testing.assert_array_equal(
+            served.scores(H, backend="packed"), served.scores(H)
+        )
+
+    def test_packed_queries_auto_route(self):
+        from repro.backend import pack_hypervectors
+
+        served, H = self._served_model()
+        np.testing.assert_array_equal(
+            served.predict(pack_hypervectors(H)), served.predict(H)
+        )
+
+    def test_packed_queries_against_float_store_fall_back_to_dense(self):
+        from repro.backend import pack_hypervectors
+        from repro.utils import spawn
+
+        rng = spawn(5, "model-backend-f")
+        H = rng.choice([-1.0, 1.0], size=(30, 200))
+        y = rng.integers(0, 3, 30)
+        model = HDModel.from_encodings(H, y, 3)  # float count store
+        np.testing.assert_array_equal(
+            model.predict(pack_hypervectors(H)), model.predict(H)
+        )
+
+    def test_explicit_packed_on_float_store_raises(self):
+        from repro.utils import spawn
+
+        rng = spawn(6, "model-backend-g")
+        H = rng.choice([-1.0, 1.0], size=(30, 200))
+        model = HDModel.from_encodings(H, rng.integers(0, 3, 30), 3)
+        with pytest.raises(ValueError, match="bit-packed"):
+            model.scores(H, backend="packed")
+
+    def test_direct_store_mutation_is_honored(self):
+        """class_hvs is a documented plain array: in-place edits must be
+        visible to every score path, packed included."""
+        served, H = self._served_model()
+        before = served.scores(H, backend="packed")
+        served.class_hvs[:] = -served.class_hvs  # direct mutation
+        after = served.scores(H, backend="packed")
+        np.testing.assert_array_equal(after, -before)
+        np.testing.assert_array_equal(after, served.scores(H))
+
+    def test_accuracy_accepts_backend(self):
+        from repro.utils import spawn
+
+        served, H = self._served_model()
+        y = spawn(7, "model-backend-y").integers(0, 3, 40)
+        assert served.accuracy(H, y, backend="packed") == served.accuracy(H, y)

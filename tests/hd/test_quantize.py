@@ -174,3 +174,37 @@ def test_property_empirical_probs_sum_to_one(seed):
     out = q(spawn(seed, "prop-p").normal(0, 10, (2, 400)))
     p = empirical_level_probabilities(out, q.levels)
     assert p.sum() == pytest.approx(1.0)
+
+
+class TestPackableOutputs:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("bipolar", True),
+            ("ternary", True),
+            ("ternary-biased", True),
+            ("2bit", False),
+            ("identity", False),
+        ],
+    )
+    def test_packable_flag(self, name, expected):
+        assert get_quantizer(name).packable is expected
+
+    @pytest.mark.parametrize("name", ["bipolar", "ternary", "ternary-biased"])
+    def test_pack_equals_quantize_then_pack(self, name):
+        from repro.backend import pack_hypervectors
+        from repro.utils import spawn
+
+        H = spawn(8, "quant-pack").normal(size=(6, 130))
+        q = get_quantizer(name)
+        direct = q.pack(H)
+        via_dense = pack_hypervectors(q(H))
+        np.testing.assert_array_equal(direct.signs, via_dense.signs)
+        np.testing.assert_array_equal(direct.mags, via_dense.mags)
+        np.testing.assert_array_equal(direct.unpack(), q(H))
+
+    def test_unpackable_quantizer_pack_raises(self):
+        with pytest.raises(ValueError, match="cannot be bit-packed"):
+            get_quantizer("2bit").pack(np.zeros((2, 10)))
+        with pytest.raises(ValueError, match="cannot be bit-packed"):
+            get_quantizer("identity").pack(np.zeros((2, 10)))

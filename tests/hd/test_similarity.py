@@ -125,3 +125,92 @@ def test_property_cosine_matrix_bounded(m):
     M = cosine_matrix(m, m)
     assert np.all(M <= 1.0 + 1e-9)
     assert np.all(M >= -1.0 - 1e-9)
+
+
+class TestPackedAwarePaths:
+    """similarity kernels accept PackedHV operands transparently."""
+
+    def _pair(self, ternary=False):
+        from repro.utils import spawn
+
+        rng = spawn(3, "sim-packed")
+        levels = [-1.0, 0.0, 1.0] if ternary else [-1.0, 1.0]
+        A = rng.choice(levels, size=(6, 130))
+        B = rng.choice(levels, size=(4, 130))
+        return A, B
+
+    def test_dot_matrix_mixed_operands(self):
+        from repro.backend import pack_hypervectors
+
+        A, B = self._pair()
+        expect = dot_matrix(A, B)
+        np.testing.assert_array_equal(
+            dot_matrix(pack_hypervectors(A), B), expect
+        )
+        np.testing.assert_array_equal(
+            dot_matrix(A, pack_hypervectors(B)), expect
+        )
+
+    def test_class_scores_packed(self):
+        from repro.backend import pack_hypervectors
+
+        A, B = self._pair(ternary=True)
+        np.testing.assert_array_equal(
+            class_scores(pack_hypervectors(A), pack_hypervectors(B)),
+            class_scores(A, B),
+        )
+
+    def test_hamming_distance_packed_rows(self):
+        from repro.backend import pack_hypervectors
+
+        A, B = self._pair()
+        assert hamming_distance(
+            pack_hypervectors(A[:1]), pack_hypervectors(B[:1])
+        ) == hamming_distance(A[0], B[0])
+
+    def test_hamming_distance_rejects_batches(self):
+        from repro.backend import pack_hypervectors
+
+        A, B = self._pair()
+        with pytest.raises(ValueError, match="hamming_matrix"):
+            hamming_distance(pack_hypervectors(A), pack_hypervectors(B))
+
+    def test_hamming_matrix_dense_vs_packed(self):
+        from repro.backend import pack_hypervectors
+        from repro.hd.similarity import hamming_matrix
+
+        A, B = self._pair(ternary=True)
+        np.testing.assert_array_equal(
+            hamming_matrix(pack_hypervectors(A), pack_hypervectors(B)),
+            hamming_matrix(A, B),
+        )
+
+    def test_packed_queries_against_full_precision_references(self):
+        """§III-C: degraded packed queries vs an unpackable float store
+        fall back to the dense kernel instead of raising."""
+        from repro.backend import pack_hypervectors
+        from repro.utils import spawn
+
+        rng = spawn(11, "sim-mixed-fp")
+        Q = rng.choice([-1.0, 0.0, 1.0], size=(5, 100))
+        C = rng.normal(size=(3, 100))  # full precision: not packable
+        np.testing.assert_array_equal(
+            class_scores(pack_hypervectors(Q), C), class_scores(Q, C)
+        )
+        np.testing.assert_array_equal(
+            dot_matrix(pack_hypervectors(Q), C), dot_matrix(Q, C)
+        )
+        assert hamming_distance(
+            pack_hypervectors(Q[:1]), C[:1]
+        ) == hamming_distance(Q[0], C[0])
+
+    def test_hamming_distance_rejects_batches_on_either_fallback(self):
+        """Batch rejection is independent of the other operand's values."""
+        from repro.backend import pack_hypervectors
+        from repro.utils import spawn
+
+        rng = spawn(12, "sim-mixed-batch")
+        Q = rng.choice([-1.0, 1.0], size=(3, 64))
+        C_float = rng.normal(size=(3, 64))  # unpackable
+        with pytest.raises(ValueError, match="hamming_matrix"):
+            hamming_distance(pack_hypervectors(Q), C_float)

@@ -1,0 +1,146 @@
+"""InferenceEngine: prepared serving, batching, backend interchangeability."""
+
+import numpy as np
+import pytest
+
+from repro.backend import pack_hypervectors
+from repro.hd import HDModel, ScalarBaseEncoder, get_quantizer
+from repro.serve import InferenceEngine, make_serving_fixture, run_throughput
+from repro.utils import spawn
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """A model trained on bipolar encodings + its quantized queries."""
+    rng = spawn(0, "engine-tests")
+    X = rng.uniform(0, 1, (300, 24))
+    y = rng.integers(0, 4, 300)
+    enc = ScalarBaseEncoder(24, 900, seed=1)  # 900: not a multiple of 64
+    q = get_quantizer("bipolar")
+    H = q(enc.encode(X))
+    model = HDModel.from_encodings(H, y, 4)
+    return model, H, y
+
+
+class TestConstruction:
+    def test_snapshot_is_independent_of_model(self, trained):
+        model, H, _ = trained
+        model = model.copy()  # keep the shared fixture pristine
+        engine = InferenceEngine(model)
+        before = engine.scores(H[:5])
+        model.bundle(H[:10], np.zeros(10, dtype=int))
+        np.testing.assert_array_equal(engine.scores(H[:5]), before)
+
+    def test_packed_requires_quantized_store(self, trained):
+        model, _, _ = trained
+        with pytest.raises(ValueError, match="quantizer='bipolar'"):
+            InferenceEngine(model, backend="packed")
+
+    def test_quantizer_quantizes_class_store(self, trained):
+        model, _, _ = trained
+        engine = InferenceEngine(model, quantizer="bipolar")
+        np.testing.assert_array_equal(
+            engine.prepared.store, get_quantizer("bipolar")(model.class_hvs)
+        )
+
+    def test_store_nbytes_16x_smaller_packed(self, trained):
+        model, _, _ = trained
+        dense = InferenceEngine(model, backend="dense", quantizer="bipolar")
+        packed = InferenceEngine(model, backend="packed", quantizer="bipolar")
+        assert packed.store_nbytes < dense.store_nbytes / 16
+
+
+class TestServing:
+    def test_dense_and_packed_predict_identically(self, trained):
+        model, H, _ = trained
+        dense = InferenceEngine(model, backend="dense", quantizer="bipolar")
+        packed = InferenceEngine(model, backend="packed", quantizer="bipolar")
+        np.testing.assert_array_equal(dense.predict(H), packed.predict(H))
+
+    def test_packed_wire_format_matches_dense_floats(self, trained):
+        model, H, _ = trained
+        dense = InferenceEngine(model, backend="dense", quantizer="bipolar")
+        packed = InferenceEngine(model, backend="packed", quantizer="bipolar")
+        np.testing.assert_array_equal(
+            packed.predict(pack_hypervectors(H)), dense.predict(H)
+        )
+
+    def test_batching_is_transparent(self, trained):
+        model, H, _ = trained
+        one = InferenceEngine(model, batch_size=10_000)
+        many = InferenceEngine(model, batch_size=7)
+        np.testing.assert_array_equal(one.scores(H), many.scores(H))
+        assert many.batches_served == -(-H.shape[0] // 7)
+
+    def test_batching_packed_queries(self, trained):
+        model, H, _ = trained
+        packed = pack_hypervectors(H)
+        engine = InferenceEngine(
+            model, backend="packed", quantizer="bipolar", batch_size=32
+        )
+        np.testing.assert_array_equal(
+            engine.predict(packed),
+            InferenceEngine(
+                model, backend="packed", quantizer="bipolar"
+            ).predict(H),
+        )
+
+    def test_serving_counters(self, trained):
+        model, H, _ = trained
+        engine = InferenceEngine(model, batch_size=64)
+        engine.predict(H[:100])
+        assert engine.queries_served == 100
+        assert engine.batches_served == 2
+        engine.predict(H[:10])
+        assert engine.queries_served == 110
+
+    def test_accuracy_matches_model(self, trained):
+        model, H, y = trained
+        engine = InferenceEngine(model)
+        assert engine.accuracy(H, y) == model.accuracy(H, y)
+
+    def test_single_query_row(self, trained):
+        model, H, _ = trained
+        assert InferenceEngine(model).predict(H[0]).shape == (1,)
+
+    def test_empty_batch_raises(self, trained):
+        model, H, _ = trained
+        with pytest.raises(ValueError, match="empty"):
+            InferenceEngine(model).predict(H[:0])
+
+    def test_mismatched_labels_raise(self, trained):
+        model, H, y = trained
+        with pytest.raises(ValueError, match="queries but"):
+            InferenceEngine(model).accuracy(H[:5], y[:4])
+
+
+class TestThroughputHarness:
+    def test_fixture_is_bipolar_and_deterministic(self):
+        m1, q1 = make_serving_fixture(d_hv=320, n_queries=8, n_classes=3, seed=4)
+        m2, q2 = make_serving_fixture(d_hv=320, n_queries=8, n_classes=3, seed=4)
+        np.testing.assert_array_equal(q1, q2)
+        np.testing.assert_array_equal(m1.class_hvs, m2.class_hvs)
+        assert set(np.unique(q1)) <= {-1.0, 1.0}
+        assert set(np.unique(m1.class_hvs)) <= {-1.0, 1.0}
+
+    def test_run_throughput_smoke(self):
+        result = run_throughput(
+            "both", d_hv=256, n_queries=64, n_classes=3, repeats=1
+        )
+        assert result.identical
+        assert result.speedup is not None
+        assert {r.backend for r in result.rows} == {"dense", "packed"}
+        for row in result.rows:
+            assert row.queries_per_s > 0
+
+    def test_run_throughput_single_backend(self):
+        result = run_throughput("packed", d_hv=128, n_queries=16, repeats=1)
+        assert result.speedup is None
+        assert [r.backend for r in result.rows] == ["packed"]
+
+    def test_dense_only_run_skips_client_packing(self):
+        from repro.serve.bench import render_throughput_report
+
+        result = run_throughput("dense", d_hv=128, n_queries=16, repeats=1)
+        assert result.client_pack_s == 0.0
+        assert "client-side packing" not in render_throughput_report(result)

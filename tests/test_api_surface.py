@@ -20,6 +20,7 @@ _DOCTEST_MODULES = [
     "repro.hd.quantize",
     "repro.hd.prune",
     "repro.hd.batching",
+    "repro.backend.packed",
     "repro.hd.sequence",
     "repro.attacks.decoder",
     "repro.hardware.rtl",
@@ -30,6 +31,8 @@ _PACKAGES = [
     "repro",
     "repro.utils",
     "repro.hd",
+    "repro.backend",
+    "repro.serve",
     "repro.data",
     "repro.attacks",
     "repro.core",

@@ -56,3 +56,110 @@ class TestExecution:
         assert main(["hw", "--seed", "1"]) == 0
         out = capsys.readouterr().out
         assert "LUT savings" in out
+
+
+class TestServingCommands:
+    def test_train_command(self, capsys):
+        assert (
+            main(
+                [
+                    "train", "isolet",
+                    "--dhv", "512",
+                    "--batch-size", "200",
+                    "--quantizer", "bipolar",
+                    "--backend", "packed",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "dataset=isolet" in out
+        assert "batch_size=200" in out
+        assert "backend=packed" in out
+        assert "test accuracy" in out
+
+    def test_train_level_base_dense(self, capsys):
+        assert (
+            main(
+                [
+                    "train", "isolet",
+                    "--dhv", "256",
+                    "--encoder", "level-base",
+                    "--batch-size", "500",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "encoder=level-base" in out
+
+    def test_throughput_both_backends(self, capsys):
+        assert (
+            main(
+                [
+                    "throughput",
+                    "--dhv", "256",
+                    "--n-queries", "64",
+                    "--n-classes", "4",
+                    "--repeats", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "dense" in out and "packed" in out
+        assert "identical predictions: True" in out
+
+    def test_throughput_single_backend(self, capsys):
+        assert (
+            main(
+                [
+                    "throughput",
+                    "--backend", "packed",
+                    "--dhv", "128",
+                    "--n-queries", "16",
+                    "--repeats", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "packed" in out
+        assert "speedup" not in out
+
+    def test_train_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["train", "cifar"])
+
+
+class TestBackendConsistency:
+    def test_train_accuracy_is_backend_independent(self, capsys):
+        """--backend changes the compute path, never the answers."""
+        accs = {}
+        for backend in ("dense", "packed"):
+            assert (
+                main(
+                    [
+                        "train", "isolet",
+                        "--dhv", "512",
+                        "--batch-size", "512",
+                        "--quantizer", "bipolar",
+                        "--backend", backend,
+                    ]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            accs[backend] = [
+                line for line in out.splitlines() if "test accuracy" in line
+            ][0].split("test accuracy")[1].split()[0]
+        assert accs["dense"] == accs["packed"]
+
+    def test_train_packed_with_unpackable_quantizer_rejected_upfront(self, capsys):
+        code = main(
+            ["train", "isolet", "--dhv", "256",
+             "--quantizer", "2bit", "--backend", "packed"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "packable quantizer" in err
