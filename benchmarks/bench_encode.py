@@ -1,0 +1,225 @@
+"""Encoding-throughput benchmark: the chunked/parallel/packed pipeline.
+
+Sweeps ``{scalar-base, level-base} × {1, N workers} × chunk sizes``
+through :class:`repro.hd.EncodePipeline`, times each configuration
+against the seed single-shot ``encoder.encode(X)`` path, **asserts
+parity in the same run** (bit-identical for the packed level-base
+kernel, tight allclose for the chunked float matmul), and writes the
+results to ``BENCH_encode.json`` — the baseline format for the encode
+bench trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_encode.py             # paper scale
+    PYTHONPATH=src python benchmarks/bench_encode.py --smoke     # CI seconds
+    PYTHONPATH=src python benchmarks/bench_encode.py --assert-speedup 3
+
+``--assert-speedup X`` exits non-zero unless the best level-base
+configuration reaches ``X``× the single-shot baseline; parity failures
+always exit non-zero.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+if __name__ == "__main__":  # script mode works without an installed package
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.hd import EncodePipeline, LevelBaseEncoder, ScalarBaseEncoder
+from repro.hd.encode_pipeline import default_workers
+from repro.utils import spawn
+
+
+def _build_encoder(kind: str, d_in: int, d_hv: int, n_levels: int, seed: int):
+    if kind == "level-base":
+        return LevelBaseEncoder(d_in, d_hv, n_levels=n_levels, seed=seed)
+    return ScalarBaseEncoder(d_in, d_hv, seed=seed)
+
+
+def _time_best_of(fn, repeats: int) -> tuple[float, np.ndarray]:
+    best, out = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+        out = result
+    return best, out
+
+
+def _check_parity(kind: str, H_ref: np.ndarray, H: np.ndarray) -> bool:
+    """True when results are bit-identical; raises when out of tolerance.
+
+    Level-base sums ±1 addends — integer-exact in float32 — so the
+    packed/chunked paths must match bit-for-bit.  Scalar-base is a float
+    matmul whose chunked accumulation order may differ from single-shot
+    by BLAS rounding only.
+    """
+    exact = bool(np.array_equal(H_ref, H))
+    if kind == "level-base" and not exact:
+        raise AssertionError("level-base pipeline diverged from single-shot")
+    if not exact:
+        np.testing.assert_allclose(H, H_ref, rtol=1e-5, atol=1e-3)
+    return exact
+
+
+def run_bench(args) -> dict:
+    workers_sweep = sorted({1, args.workers})
+    chunk_sweep = args.chunk_sizes
+    rng = spawn(args.seed, "bench-encode-x")
+    X = rng.uniform(0.0, 1.0, (args.n, args.d_in))
+
+    report = {
+        "bench": "encode",
+        "config": {
+            "d_in": args.d_in,
+            "d_hv": args.dhv,
+            "n_rows": args.n,
+            "n_levels": args.n_levels,
+            "repeats": args.repeats,
+            "seed": args.seed,
+            "workers_sweep": workers_sweep,
+            "chunk_sweep": chunk_sweep,
+            "executor": args.executor,
+        },
+        "baselines": {},
+        "results": [],
+    }
+
+    for kind in ("scalar-base", "level-base"):
+        encoder = _build_encoder(kind, args.d_in, args.dhv, args.n_levels, args.seed)
+        # Warm both kernels' codebook caches out of the timings (float
+        # codebooks for dense, sign planes for packed).
+        encoder.encode(X[:8])
+        if hasattr(encoder, "encode_packed"):
+            encoder.encode_packed(X[:8])
+        base_s, H_ref = _time_best_of(lambda: encoder.encode(X), args.repeats)
+        report["baselines"][kind] = {
+            "path": "single-shot dense encode",
+            "seconds": base_s,
+            "rows_per_s": args.n / base_s,
+        }
+        print(
+            f"{kind:<12} single-shot: {base_s:8.3f}s "
+            f"({args.n / base_s:8.0f} rows/s)  [baseline]"
+        )
+        for workers in workers_sweep:
+            for chunk_size in chunk_sweep:
+                pipeline = EncodePipeline(
+                    encoder,
+                    chunk_size=chunk_size,
+                    workers=workers,
+                    executor=args.executor,
+                )
+                secs, H = _time_best_of(
+                    lambda: pipeline.encode(X), args.repeats
+                )
+                exact = _check_parity(kind, H_ref, H)
+                speedup = base_s / secs
+                report["results"].append(
+                    {
+                        "kind": kind,
+                        "kernel": "packed" if pipeline.uses_packed_kernel else "dense",
+                        "workers": workers,
+                        "chunk_size": chunk_size,
+                        "seconds": secs,
+                        "rows_per_s": args.n / secs,
+                        "speedup_vs_single_shot": speedup,
+                        "bit_identical": exact,
+                    }
+                )
+                print(
+                    f"{kind:<12} workers={workers} chunk={chunk_size:<6}"
+                    f" kernel={'packed' if pipeline.uses_packed_kernel else 'dense':<6}"
+                    f" {secs:8.3f}s ({args.n / secs:8.0f} rows/s)"
+                    f"  {speedup:5.2f}x  "
+                    f"{'bit-identical' if exact else 'allclose'}"
+                )
+
+    best = {}
+    for row in report["results"]:
+        cur = best.get(row["kind"])
+        if cur is None or row["speedup_vs_single_shot"] > cur:
+            best[row["kind"]] = row["speedup_vs_single_shot"]
+    report["headline"] = {
+        f"{kind}_best_speedup": round(value, 3) for kind, value in best.items()
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--d-in", type=int, default=617, dest="d_in")
+    parser.add_argument("--dhv", type=int, default=10000)
+    parser.add_argument("--n", type=int, default=2048, help="rows to encode")
+    parser.add_argument("--n-levels", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=default_workers(),
+        help="parallel worker count for the sweep (always paired with 1)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help=(
+            "worker pool kind; 'process' is what parallelizes the "
+            "GIL-bound packed kernel on multi-core hosts"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-sizes",
+        type=lambda s: [int(v) for v in s.split(",")],
+        default=[128, 512, 1024],
+        help="comma-separated chunk sizes to sweep",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "tiny sizes for CI: still sweeps every axis and asserts "
+            "parity, completes in seconds"
+        ),
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero unless level-base best speedup reaches this",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("BENCH_encode.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.d_in, args.dhv, args.n = 64, 1000, 512  # d_hv % 64 != 0 on purpose
+        args.chunk_sizes, args.repeats = [100, 256], 1
+
+    report = run_bench(args)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    for kind, value in report["headline"].items():
+        print(f"  {kind}: {value}x")
+
+    if args.assert_speedup is not None:
+        got = report["headline"]["level-base_best_speedup"]
+        if got < args.assert_speedup:
+            print(
+                f"FAIL: level-base best speedup {got}x < "
+                f"required {args.assert_speedup}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,15 +31,18 @@ from repro.backend.base import (
 from repro.backend.dense import DenseBackend
 from repro.backend.packed import (
     WORD_BITS,
+    BitPlaneAccumulator,
     PackedBackend,
     PackedHV,
     is_packable,
     pack_hypervectors,
+    pack_sign_planes,
     packed_class_scores,
     packed_dot_matrix,
     packed_hamming_matrix,
     packed_norms,
     popcount,
+    unpack_bit_planes,
 )
 
 #: canonical names accepted by :func:`get_backend`
@@ -56,8 +59,11 @@ __all__ = [
     "get_backend",
     "register_backend",
     "WORD_BITS",
+    "BitPlaneAccumulator",
     "is_packable",
     "pack_hypervectors",
+    "pack_sign_planes",
+    "unpack_bit_planes",
     "packed_class_scores",
     "packed_dot_matrix",
     "packed_hamming_matrix",

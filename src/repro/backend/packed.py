@@ -46,8 +46,11 @@ __all__ = [
     "PackedHV",
     "PackedBackend",
     "pack_hypervectors",
+    "pack_sign_planes",
+    "unpack_bit_planes",
     "is_packable",
     "popcount",
+    "BitPlaneAccumulator",
     "packed_norms",
     "packed_dot_matrix",
     "packed_class_scores",
@@ -100,6 +103,83 @@ def is_packable(values: np.ndarray) -> bool:
     """
     v = np.asarray(values)
     return bool(np.isin(v, (-1, 0, 1)).all())
+
+
+def pack_sign_planes(values: np.ndarray) -> np.ndarray:
+    """Sign bit planes of a ``(n, d)`` array: bit set where positive.
+
+    The single-plane companion of :func:`pack_hypervectors` for operands
+    known to be bipolar (codebooks, level memories): only the sign plane
+    is stored, at 64 dimensions per uint64 word with zero tail padding.
+    """
+    v = check_2d(np.atleast_2d(np.asarray(values)), "values")
+    return _pack_bits(v > 0, n_words(v.shape[1]))
+
+
+def unpack_bit_planes(planes: np.ndarray, d: int) -> np.ndarray:
+    """Unpack ``(n, n_words)`` uint64 planes to a ``(n, d)`` uint8 array."""
+    return np.unpackbits(
+        planes.view(np.uint8), axis=1, bitorder="little"
+    )[:, :d]
+
+
+class BitPlaneAccumulator:
+    """Exact per-column sums of one-bit rows via carry-save adders.
+
+    Adding ``R`` bit planes one at a time with a ripple-carry counter
+    costs ``O(R log R)`` word operations; this accumulator instead keeps
+    a binomial-heap of partial planes — at most two planes per weight
+    ``2^p`` — and compresses three same-weight planes into a sum and a
+    carry with one 5-op carry-save adder, for ``O(R)`` total word
+    operations.  This is the column-wise (vertical-counter) analogue of
+    the Harley–Seal popcount and the software mirror of the §III-D adder
+    tree: the packed level-base encoder feeds it one bipolar addend
+    plane per input feature.
+
+    All arithmetic is integer-exact: :meth:`counts` returns the exact
+    number of set bits per column across every plane added.
+    """
+
+    def __init__(self):
+        # _planes[p] holds 1–2 uint64 plane arrays of weight 2**p
+        self._planes: list[list[np.ndarray]] = []
+        self._n_added = 0
+
+    def add(self, plane: np.ndarray) -> None:
+        """Accumulate one ``(n, n_words)`` uint64 bit plane (weight 1)."""
+        self._n_added += 1
+        carry = plane
+        p = 0
+        while True:
+            if p == len(self._planes):
+                self._planes.append([carry])
+                return
+            level = self._planes[p]
+            if len(level) < 2:
+                level.append(carry)
+                return
+            a, b = level
+            u = a ^ b
+            self._planes[p] = [u ^ carry]
+            carry = (a & b) | (u & carry)
+            p += 1
+
+    @property
+    def n_added(self) -> int:
+        """Number of weight-1 planes accumulated so far."""
+        return self._n_added
+
+    def counts(self, d: int, dtype=np.int32) -> np.ndarray:
+        """The exact per-column bit count over the first ``d`` columns."""
+        if not self._planes:
+            raise ValueError("no planes accumulated")
+        out = None
+        for p, level in enumerate(self._planes):
+            for plane in level:
+                bits = unpack_bit_planes(plane, d).astype(dtype)
+                contrib = bits << p
+                out = contrib if out is None else out + contrib
+        return out
 
 
 @dataclass(frozen=True)
@@ -171,12 +251,8 @@ class PackedHV:
     # ------------------------------------------------------------------
     def unpack(self, dtype=np.float32) -> np.ndarray:
         """The dense ``(n, d)`` array this batch packs (exact round-trip)."""
-        sign_bits = np.unpackbits(
-            self.signs.view(np.uint8), axis=1, bitorder="little"
-        )[:, : self.d]
-        mag_bits = np.unpackbits(
-            self.mags.view(np.uint8), axis=1, bitorder="little"
-        )[:, : self.d]
+        sign_bits = unpack_bit_planes(self.signs, self.d)
+        mag_bits = unpack_bit_planes(self.mags, self.d)
         # Integer arithmetic: avoids float -0.0 on masked dimensions.
         out = (2 * sign_bits.astype(np.int8) - 1) * mag_bits
         return out.astype(dtype)

@@ -14,7 +14,8 @@ to trade fidelity for speed (paper scale is ``--dhv 10000``).
 Beyond the paper artifacts, two workload commands exercise the serving
 stack:
 
-    prive-hd train isolet --batch-size 512 --backend packed
+    prive-hd train isolet --batch-size 512 --backend packed \
+        --chunk-size 1024 --encode-workers 4
     prive-hd throughput --dhv 10000 --backend both
 """
 
@@ -133,7 +134,7 @@ def _run_train(args) -> int:
 
     from repro.data import load_dataset
     from repro.hd import get_quantizer
-    from repro.hd.batching import encode_in_batches, fit_classes_batched
+    from repro.hd.batching import fit_classes_batched
     from repro.serve import InferenceEngine
 
     # Reject impossible flag combinations before any work is done.
@@ -146,6 +147,7 @@ def _run_train(args) -> int:
         )
         return 2
 
+    chunk_size = args.batch_size if args.chunk_size is None else args.chunk_size
     data = load_dataset(args.dataset, seed=args.seed)
     lo, hi = data.feature_range
     encoder = _build_encoder(
@@ -158,7 +160,9 @@ def _run_train(args) -> int:
         data.y_train,
         data.n_classes,
         quantizer=args.quantizer,
-        batch_size=args.batch_size,
+        batch_size=chunk_size,
+        workers=args.encode_workers,
+        executor=args.encode_executor,
     )
     train_s = time.perf_counter() - t0
 
@@ -175,17 +179,25 @@ def _run_train(args) -> int:
         batch_size=args.batch_size,
     )
 
-    # Evaluation streams too — the whole point of --batch-size is that
-    # the (n, d_hv) encoding matrix never materializes at once.  The
-    # packed backend gets quantizer.pack output (already validated by
-    # construction), sparing a per-batch level scan.
-    prepare = quantizer.pack if args.backend == "packed" else quantizer
+    # Evaluation streams through a fused encode -> quantize (-> pack)
+    # pipeline — the whole point of --chunk-size is that the (n, d_hv)
+    # encoding matrix never materializes at once.  Test queries get the
+    # *training* quantizer (even unpackable ones like 2bit), so encoded
+    # queries always match the representation the model was bundled from.
+    from repro.hd import EncodePipeline
+
+    pipeline = EncodePipeline(
+        encoder,
+        chunk_size=chunk_size,
+        workers=args.encode_workers,
+        executor=args.encode_executor,
+    )
     t0 = time.perf_counter()
     preds = np.concatenate(
         [
-            engine.predict(prepare(H))
-            for _, H in encode_in_batches(
-                encoder, data.X_test, batch_size=args.batch_size
+            engine.predict(H)
+            for _, H in pipeline.stream_quantized(
+                data.X_test, quantizer, pack=args.backend == "packed"
             )
         ]
     )
@@ -197,7 +209,8 @@ def _run_train(args) -> int:
     )
     print(
         f"trained {len(data.y_train)} rows in {train_s:.2f}s "
-        f"(batch_size={args.batch_size})"
+        f"(batch_size={args.batch_size}, chunk_size={chunk_size}, "
+        f"encode_workers={args.encode_workers})"
     )
     print(
         f"backend={args.backend}: test accuracy {acc:.3f} "
@@ -291,7 +304,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--batch-size",
         type=int,
         default=1024,
-        help="rows encoded per training batch (bounds peak memory)",
+        help=(
+            "queries scored per serving batch, and the default "
+            "--chunk-size (bounds peak memory)"
+        ),
+    )
+    p_train.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help=(
+            "rows per encode-pipeline tile (bounds peak encoding memory); "
+            "defaults to --batch-size"
+        ),
+    )
+    p_train.add_argument(
+        "--encode-workers",
+        type=int,
+        default=1,
+        help="concurrent encode tiles",
+    )
+    p_train.add_argument(
+        "--encode-executor",
+        choices=("thread", "process"),
+        default="thread",
+        help=(
+            "worker pool kind: threads share the codebooks read-only "
+            "(good for the BLAS scalar-base path); processes rebuild "
+            "them from one pickled copy and are what parallelizes the "
+            "GIL-bound packed level-base kernel on multi-core hosts"
+        ),
     )
     p_train.add_argument(
         "--backend",

@@ -23,10 +23,12 @@ from repro.attacks.decoder import HDDecoder
 from repro.backend.base import Backend
 from repro.core.dp_trainer import DPTrainer, DPTrainingConfig, DPTrainingResult
 from repro.core.inference_privacy import InferenceObfuscator, ObfuscationConfig
+from repro.hd.batching import fit_classes_batched
+from repro.hd.encode_pipeline import EncodePipeline
 from repro.hd.encoder import Encoder, LevelBaseEncoder, ScalarBaseEncoder
 from repro.hd.model import HDModel
 from repro.hd.quantize import get_quantizer
-from repro.hd.train import retrain
+from repro.hd.train import retrain, retrain_streamed
 from repro.serve.engine import InferenceEngine
 from repro.utils.rng import spawn
 from repro.utils.validation import check_2d, check_labels, check_positive_int
@@ -126,6 +128,28 @@ class PriveHD:
         """Encode features with the system's (public) codebooks."""
         return self.encoder.encode(X)
 
+    def pipeline(
+        self,
+        *,
+        chunk_size: int = 1024,
+        workers: int | None = 1,
+        kernel: str = "auto",
+        executor: str = "thread",
+    ) -> EncodePipeline:
+        """A chunked/parallel encode pipeline over this system's encoder.
+
+        ``kernel="auto"`` gives level-base encoders the packed bit-plane
+        kernel (bit-identical, several times faster); see
+        :class:`~repro.hd.encode_pipeline.EncodePipeline`.
+        """
+        return EncodePipeline(
+            self.encoder,
+            chunk_size=chunk_size,
+            workers=workers,
+            kernel=kernel,
+            executor=executor,
+        )
+
     def fit(
         self,
         X: np.ndarray,
@@ -133,14 +157,37 @@ class PriveHD:
         *,
         quantizer: str | None = None,
         retrain_epochs: int = 0,
+        chunk_size: int | None = None,
+        encode_workers: int | None = 1,
+        encode_executor: str = "thread",
     ) -> HDModel:
         """Plain, non-private HD training (Eq. 3, optional Eq. 5).
 
         This is the baseline whose privacy Section III-A demolishes;
         provided so users can measure the accuracy cost of going private.
+
+        Passing ``chunk_size`` switches to the streaming path: encoding
+        is fused with quantization chunk by chunk, never materializing
+        the ``(n, d_hv)`` float matrix.  Retraining replays a bit-packed
+        chunk cache (16× smaller than floats) when the quantizer packs,
+        and re-encodes tile by tile otherwise — bounded memory either
+        way.  On quantized encodings both paths produce identical
+        models.  ``encode_executor="process"`` fans tiles out across
+        worker processes — the executor that actually parallelizes the
+        GIL-bound packed level-base kernel on multi-core hosts.
         """
         X = check_2d(X, "X", n_cols=self.encoder.d_in)
         y = check_labels(y, "y", n_classes=self.n_classes)
+        if chunk_size is not None:
+            return self._fit_streamed(
+                X,
+                y,
+                quantizer=quantizer,
+                retrain_epochs=retrain_epochs,
+                chunk_size=chunk_size,
+                workers=encode_workers,
+                executor=encode_executor,
+            )
         q = get_quantizer(quantizer)
         H = q(self.encoder.encode(X))
         model = HDModel.from_encodings(H, y, self.n_classes)
@@ -153,6 +200,54 @@ class PriveHD:
                 rng=spawn(self.seed, "facade-retrain"),
             )
         return model
+
+    def _fit_streamed(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        quantizer: str | None,
+        retrain_epochs: int,
+        chunk_size: int,
+        workers: int | None,
+        executor: str = "thread",
+    ) -> HDModel:
+        if retrain_epochs > 0:
+            pipeline = self.pipeline(
+                chunk_size=chunk_size, workers=workers, executor=executor
+            )
+            # Retraining replays the encodings: cache them once, packed
+            # (16x smaller), when the quantizer allows; otherwise a dense
+            # cache would cost as much as the full matrix, so re-encode
+            # each epoch instead (bounded memory, more compute).
+            q = get_quantizer(quantizer)
+            if q.packable:
+                store = pipeline.store(X, q)
+            else:
+                store = pipeline.lazy_store(X, q)
+            model = fit_classes_batched(
+                None,
+                None,
+                y,
+                self.n_classes,
+                quantizer=None,  # store chunks are already quantized
+                stream=store.iter_raw(),
+                d_hv=self.encoder.d_hv,
+            )
+            model, _ = retrain_streamed(
+                model, store, y, epochs=retrain_epochs
+            )
+            return model
+        return fit_classes_batched(
+            self.encoder,
+            X,
+            y,
+            self.n_classes,
+            quantizer=quantizer,
+            batch_size=chunk_size,
+            workers=workers,
+            executor=executor,
+        )
 
     def fit_private(
         self,

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data import Dataset, load_dataset
-from repro.hd import HDModel, ScalarBaseEncoder
+from repro.hd import EncodePipeline, HDModel, ScalarBaseEncoder
 
 __all__ = ["PreparedDataset", "prepare", "clear_cache", "ascii_image"]
 
@@ -63,6 +63,8 @@ def prepare(
     n_test: int = 500,
     seed: int = 0,
     use_cache: bool = True,
+    chunk_size: int = 2048,
+    encode_workers: int | None = 1,
 ) -> PreparedDataset:
     """Load a dataset and train the plain baseline once (cached).
 
@@ -78,16 +80,24 @@ def prepare(
         Root seed shared by the dataset generator and the codebooks.
     use_cache:
         Reuse a previous preparation with identical parameters.
+    chunk_size, encode_workers:
+        Encode-pipeline tiling (see
+        :class:`~repro.hd.encode_pipeline.EncodePipeline`): encoding runs
+        in bounded-memory tiles so paper-scale preparations never hold
+        more than one tile of transient state beyond the result itself.
     """
-    key = (name, d_hv, n_train, n_test, seed)
+    key = (name, d_hv, n_train, n_test, seed, chunk_size, encode_workers)
     if use_cache and key in _CACHE:
         return _CACHE[key]
     ds = load_dataset(name, n_train=n_train, n_test=n_test, seed=seed)
     encoder = ScalarBaseEncoder(
         ds.d_in, d_hv, lo=ds.lo, hi=ds.hi, seed=seed + 1
     )
-    H_train = encoder.encode(ds.X_train)
-    H_test = encoder.encode(ds.X_test)
+    pipeline = EncodePipeline(
+        encoder, chunk_size=chunk_size, workers=encode_workers
+    )
+    H_train = pipeline.encode(ds.X_train)
+    H_test = pipeline.encode(ds.X_test)
     model = HDModel.from_encodings(H_train, ds.y_train, ds.n_classes)
     out = PreparedDataset(
         dataset=ds,

@@ -7,6 +7,12 @@ encoding quantizers of Eq. (13)–(14) and less-effectual-dimension pruning.
 """
 
 from repro.hd.batching import encode_in_batches, fit_classes_batched
+from repro.hd.encode_pipeline import (
+    ENCODE_KERNELS,
+    EncodedChunkStore,
+    EncodePipeline,
+    LazyEncodedStream,
+)
 from repro.hd.encoder import Encoder, LevelBaseEncoder, ScalarBaseEncoder
 from repro.hd.hypervector import (
     bind,
@@ -47,7 +53,7 @@ from repro.hd.similarity import (
     hamming_matrix,
     norm_rows,
 )
-from repro.hd.train import RetrainHistory, fit_hd, retrain
+from repro.hd.train import RetrainHistory, fit_hd, retrain, retrain_streamed
 
 __all__ = [
     "Encoder",
@@ -57,12 +63,17 @@ __all__ = [
     "SymbolMemory",
     "encode_in_batches",
     "fit_classes_batched",
+    "ENCODE_KERNELS",
+    "EncodePipeline",
+    "EncodedChunkStore",
+    "LazyEncodedStream",
     "BaseMemory",
     "LevelMemory",
     "HDModel",
     "RetrainHistory",
     "fit_hd",
     "retrain",
+    "retrain_streamed",
     "random_bipolar",
     "flip",
     "flip_chain",

@@ -17,6 +17,7 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from repro.backend.packed import PackedHV
+from repro.hd.encode_pipeline import EncodePipeline
 from repro.hd.encoder import Encoder
 from repro.hd.model import HDModel
 from repro.hd.quantize import EncodingQuantizer, get_quantizer
@@ -30,8 +31,16 @@ def encode_in_batches(
     X: np.ndarray,
     *,
     batch_size: int = 1024,
+    workers: int | None = 1,
+    kernel: str = "auto",
+    executor: str = "thread",
 ) -> Iterator[tuple[slice, np.ndarray]]:
     """Yield ``(row_slice, encodings)`` chunks of at most ``batch_size``.
+
+    A thin wrapper over :class:`~repro.hd.encode_pipeline.EncodePipeline`
+    kept for its established call sites; ``workers`` and ``kernel`` pass
+    straight through to the pipeline (packed level-base kernel, parallel
+    tiles).
 
     >>> from repro.hd import ScalarBaseEncoder
     >>> import numpy as np
@@ -41,11 +50,14 @@ def encode_in_batches(
     >>> [c[1].shape[0] for c in chunks]
     [4, 4, 2]
     """
-    check_positive_int(batch_size, "batch_size")
-    X = check_2d(X, "X", n_cols=encoder.d_in)
-    for start in range(0, X.shape[0], batch_size):
-        stop = min(start + batch_size, X.shape[0])
-        yield slice(start, stop), encoder.encode(X[start:stop])
+    pipeline = EncodePipeline(
+        encoder,
+        chunk_size=batch_size,
+        workers=workers,
+        kernel=kernel,
+        executor=executor,
+    )
+    yield from pipeline.stream(X)
 
 
 def fit_classes_batched(
@@ -56,6 +68,9 @@ def fit_classes_batched(
     *,
     quantizer: EncodingQuantizer | str | None = None,
     batch_size: int = 1024,
+    workers: int | None = 1,
+    kernel: str = "auto",
+    executor: str = "thread",
     stream: Iterable[tuple[slice, np.ndarray | PackedHV]] | None = None,
     d_hv: int | None = None,
 ) -> HDModel:
@@ -79,6 +94,10 @@ def fit_classes_batched(
         already quantized and are bundled as-is).
     batch_size:
         Rows encoded per chunk on the ``encoder``/``X`` path.
+    workers, kernel, executor:
+        Encode-pipeline knobs for the ``encoder``/``X`` path (see
+        :class:`~repro.hd.encode_pipeline.EncodePipeline`); ignored with
+        ``stream``.
     stream:
         Alternative input: an iterable of ``(row_slice, chunk)`` pairs
         where each chunk is a dense ``(rows, d_hv)`` array or a
@@ -100,7 +119,14 @@ def fit_classes_batched(
         X = check_2d(X, "X", n_cols=encoder.d_in)
         if X.shape[0] != y.shape[0]:
             raise ValueError("X / y length mismatch")
-        stream = encode_in_batches(encoder, X, batch_size=batch_size)
+        stream = encode_in_batches(
+            encoder,
+            X,
+            batch_size=batch_size,
+            workers=workers,
+            kernel=kernel,
+            executor=executor,
+        )
 
     if d_hv is None:
         if encoder is None:

@@ -1,0 +1,398 @@
+"""The streaming encode pipeline: chunked, parallel, cache-aware.
+
+Encoding is the dominant cost of every training run, Eq. (5) retraining
+epoch and experiment sweep: one monolithic ``encoder.encode(X)`` call
+materializes the full ``(n, d_hv)`` float matrix (gigabytes at paper
+scale) inside a single-threaded hot loop.  This module turns encoding
+into a *pipeline*:
+
+* :class:`EncodePipeline` drives the encoder over bounded-memory tiles
+  and optionally fans tiles out across ``concurrent.futures`` workers —
+  threads share the codebooks read-only (NumPy releases the GIL in the
+  kernels), while process workers receive one pickled copy of the
+  encoder at pool start-up (encoders are deterministic in
+  ``(d_in, d_hv, seed)``, so a copy *is* the codebook).
+* Level-base tiles run on the packed bit-plane kernel
+  (:meth:`~repro.hd.encoder.LevelBaseEncoder.encode_packed`) when
+  available — bit-identical to the dense path and several times faster.
+* :meth:`EncodePipeline.stream_quantized` fuses encode → quantize →
+  (optionally) bit-pack per tile, so training and serving never hold
+  full-precision encodings for more than one tile.
+* :class:`EncodedChunkStore` caches the quantized tiles keyed by chunk
+  index — 16× smaller than floats when bit-packed — so retraining
+  epochs replay encodings instead of recomputing them.
+
+Measure it: ``python benchmarks/bench_encode.py`` (writes
+``BENCH_encode.json`` and asserts parity with the single-shot path).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterator
+
+import numpy as np
+
+from repro.backend.packed import PackedHV
+from repro.hd.encoder import Encoder
+from repro.hd.quantize import EncodingQuantizer, get_quantizer
+from repro.utils.validation import check_2d, check_positive_int
+
+__all__ = [
+    "EncodePipeline",
+    "EncodedChunkStore",
+    "LazyEncodedStream",
+    "ENCODE_KERNELS",
+]
+
+#: kernel choices accepted by :class:`EncodePipeline`
+ENCODE_KERNELS = ("auto", "dense", "packed")
+
+# ----------------------------------------------------------------------
+# process-pool plumbing: each worker process rebuilds the encoder once
+# from the pickled copy shipped at pool start-up, then encodes tiles.
+# ----------------------------------------------------------------------
+_WORKER_ENCODER: Encoder | None = None
+
+
+def _init_process_worker(encoder_bytes: bytes) -> None:
+    global _WORKER_ENCODER
+    _WORKER_ENCODER = pickle.loads(encoder_bytes)
+
+
+def _process_encode_chunk(X_chunk: np.ndarray, packed: bool) -> np.ndarray:
+    if packed:
+        return _WORKER_ENCODER.encode_packed(X_chunk)
+    return _WORKER_ENCODER.encode(X_chunk)
+
+
+def default_workers() -> int:
+    """A conservative worker count: the CPU count, capped at 4."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+class EncodePipeline:
+    """Chunked (and optionally parallel) driver around one encoder.
+
+    Parameters
+    ----------
+    encoder:
+        The :class:`~repro.hd.encoder.Encoder` to drive.  Deterministic
+        in its ``(d_in, d_hv, seed)``, so worker processes can hold
+        copies and produce identical tiles.
+    chunk_size:
+        Rows encoded per tile; bounds peak memory at
+        ``chunk_size × d_hv`` floats per in-flight tile.
+    workers:
+        Concurrent tiles.  ``1`` (default) encodes inline; ``None``
+        resolves to :func:`default_workers`.
+    kernel:
+        ``"auto"`` (default) uses the packed bit-plane kernel whenever
+        the encoder provides one (level-base), the dense reference path
+        otherwise; ``"dense"`` / ``"packed"`` force a path.
+    executor:
+        ``"thread"`` (default) shares codebooks read-only across a
+        thread pool; ``"process"`` ships one pickled encoder per worker
+        process and pays per-tile IPC — useful when the kernel does not
+        release the GIL.
+
+    All paths produce the same rows as the single-shot
+    ``encoder.encode(X)``: bit-identical for level-base (integer-exact
+    addend sums), and identical up to BLAS accumulation order for the
+    scalar-base float matmul.
+    """
+
+    def __init__(
+        self,
+        encoder: Encoder,
+        *,
+        chunk_size: int = 1024,
+        workers: int | None = 1,
+        kernel: str = "auto",
+        executor: str = "thread",
+    ):
+        self.encoder = encoder
+        self.chunk_size = check_positive_int(chunk_size, "chunk_size")
+        self.workers = (
+            default_workers()
+            if workers is None
+            else check_positive_int(workers, "workers")
+        )
+        if kernel not in ENCODE_KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; choose from {ENCODE_KERNELS}"
+            )
+        if kernel == "packed" and not hasattr(encoder, "encode_packed"):
+            raise ValueError(
+                f"the {type(encoder).__name__} has no packed encode kernel; "
+                "use kernel='auto' or 'dense'"
+            )
+        self.kernel = kernel
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        self.executor = executor
+
+    # ------------------------------------------------------------------
+    @property
+    def uses_packed_kernel(self) -> bool:
+        """True when tiles run on the bit-plane kernel."""
+        if self.kernel == "dense":
+            return False
+        return hasattr(self.encoder, "encode_packed")
+
+    def encode_chunk(self, X_chunk: np.ndarray) -> np.ndarray:
+        """Encode one tile with the selected kernel."""
+        if self.uses_packed_kernel:
+            return self.encoder.encode_packed(X_chunk)
+        return self.encoder.encode(X_chunk)
+
+    def _chunk_slices(self, n: int) -> list[slice]:
+        return [
+            slice(start, min(start + self.chunk_size, n))
+            for start in range(0, n, self.chunk_size)
+        ]
+
+    # ------------------------------------------------------------------
+    def stream(self, X: np.ndarray) -> Iterator[tuple[slice, np.ndarray]]:
+        """Yield ``(row_slice, encoded_tile)`` in row order.
+
+        With ``workers > 1`` up to ``2 × workers`` tiles are in flight,
+        so peak memory stays bounded no matter how large ``X`` is.
+        """
+        X = check_2d(X, "X", n_cols=self.encoder.d_in)
+        slices = self._chunk_slices(X.shape[0])
+        if self.workers == 1:
+            for sl in slices:
+                yield sl, self.encode_chunk(X[sl])
+            return
+        yield from self._stream_parallel(X, slices)
+
+    def _stream_parallel(self, X, slices) -> Iterator[tuple[slice, np.ndarray]]:
+        if self.executor == "process":
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_process_worker,
+                initargs=(pickle.dumps(self.encoder),),
+            )
+            submit = lambda sl: pool.submit(  # noqa: E731
+                _process_encode_chunk, X[sl], self.uses_packed_kernel
+            )
+        else:
+            pool = ThreadPoolExecutor(max_workers=self.workers)
+            submit = lambda sl: pool.submit(self.encode_chunk, X[sl])  # noqa: E731
+        window = 2 * self.workers
+        try:
+            pending: deque = deque()
+            todo = iter(slices)
+            for sl in todo:
+                pending.append((sl, submit(sl)))
+                if len(pending) >= window:
+                    break
+            while pending:
+                sl, future = pending.popleft()
+                result = future.result()
+                for nxt in todo:
+                    pending.append((nxt, submit(nxt)))
+                    break
+                yield sl, result
+        finally:
+            pool.shutdown(wait=True)
+
+    def encode(self, X: np.ndarray) -> np.ndarray:
+        """The full ``(n, d_hv)`` float32 encoding, built tile by tile.
+
+        Same contract as ``encoder.encode`` — use :meth:`stream` or
+        :meth:`stream_quantized` when the matrix should never
+        materialize.
+        """
+        X = check_2d(X, "X", n_cols=self.encoder.d_in)
+        out = np.empty((X.shape[0], self.encoder.d_hv), dtype=np.float32)
+        for sl, tile in self.stream(X):
+            out[sl] = tile
+        return out
+
+    def stream_quantized(
+        self,
+        X: np.ndarray,
+        quantizer: EncodingQuantizer | str | None,
+        *,
+        pack: bool = False,
+    ) -> Iterator[tuple[slice, np.ndarray | PackedHV]]:
+        """Fused encode → quantize (→ bit-pack) tile stream.
+
+        With ``pack=True`` (packable quantizers only) each tile leaves
+        the pipeline as a :class:`~repro.backend.PackedHV` — 16× smaller
+        than float32 — ready for the packed similarity kernels, the
+        training stream of :func:`~repro.hd.batching.fit_classes_batched`
+        or an :class:`EncodedChunkStore`.
+        """
+        q = get_quantizer(quantizer)
+        prepare = q.pack if pack else q
+        for sl, tile in self.stream(X):
+            yield sl, prepare(tile)
+
+    def store(
+        self,
+        X: np.ndarray,
+        quantizer: EncodingQuantizer | str | None = None,
+        *,
+        pack: bool | str = "auto",
+    ) -> "EncodedChunkStore":
+        """Encode once into a replayable :class:`EncodedChunkStore`."""
+        return EncodedChunkStore.build(self, X, quantizer=quantizer, pack=pack)
+
+    def lazy_store(
+        self,
+        X: np.ndarray,
+        quantizer: EncodingQuantizer | str | None = None,
+    ) -> "LazyEncodedStream":
+        """A replayable chunk source that re-encodes on every pass.
+
+        The bounded-memory companion of :meth:`store` for quantizers
+        whose tiles cannot be bit-packed (identity, 2-bit): caching
+        those dense would cost as much as the full matrix, so each pass
+        replays the fused pipeline instead — more compute, same bounded
+        peak.
+        """
+        return LazyEncodedStream(self, X, quantizer)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EncodePipeline({type(self.encoder).__name__}, "
+            f"chunk_size={self.chunk_size}, workers={self.workers}, "
+            f"kernel={self.kernel!r}, executor={self.executor!r})"
+        )
+
+
+class EncodedChunkStore:
+    """Quantized encoding tiles cached by chunk index.
+
+    Eq. (5) retraining replays the training encodings every epoch; the
+    paper's observation that retraining is cheap hinges on *not*
+    re-encoding each time.  This store keeps each quantized tile —
+    bit-packed when the quantizer allows, 16× smaller than float32 — and
+    replays them as dense tiles on demand, so an epoch costs one unpack
+    pass instead of a full encode.
+
+    Attributes
+    ----------
+    d_hv:
+        Hypervector dimensionality of every tile.
+    n_rows:
+        Total rows across tiles.
+    packed:
+        True when tiles are stored as bit planes.
+    """
+
+    def __init__(
+        self,
+        d_hv: int,
+        chunks: list[tuple[slice, np.ndarray | PackedHV]],
+    ):
+        self.d_hv = check_positive_int(d_hv, "d_hv")
+        if not chunks:
+            raise ValueError("an EncodedChunkStore needs at least one chunk")
+        self._chunks = list(chunks)
+        self.n_rows = max(sl.stop for sl, _ in self._chunks)
+        self.packed = any(isinstance(c, PackedHV) for _, c in self._chunks)
+
+    @classmethod
+    def build(
+        cls,
+        pipeline: EncodePipeline,
+        X: np.ndarray,
+        *,
+        quantizer: EncodingQuantizer | str | None = None,
+        pack: bool | str = "auto",
+    ) -> "EncodedChunkStore":
+        """Fill a store from one fused encode → quantize (→ pack) pass.
+
+        ``pack="auto"`` bit-packs exactly when the quantizer's levels
+        fit the planes; ``pack=True`` insists (raising for unpackable
+        quantizers); ``pack=False`` stores dense float32 tiles.
+        """
+        q = get_quantizer(quantizer)
+        if pack == "auto":
+            pack = q.packable
+        chunks = list(pipeline.stream_quantized(X, q, pack=bool(pack)))
+        return cls(pipeline.encoder.d_hv, chunks)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_chunks(self) -> int:
+        """Number of cached tiles."""
+        return len(self._chunks)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held across all cached tiles."""
+        return sum(c.nbytes for _, c in self._chunks)
+
+    def iter_chunks(self) -> Iterator[tuple[slice, np.ndarray]]:
+        """Replay ``(row_slice, dense_tile)`` pairs (repeatable)."""
+        for sl, chunk in self._chunks:
+            if isinstance(chunk, PackedHV):
+                yield sl, chunk.unpack()
+            else:
+                yield sl, chunk
+
+    def iter_raw(self) -> Iterator[tuple[slice, np.ndarray | PackedHV]]:
+        """The tiles exactly as stored (packed tiles stay packed) —
+        directly consumable by ``fit_classes_batched(stream=...)``."""
+        yield from iter(self._chunks)
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EncodedChunkStore(n_rows={self.n_rows}, d_hv={self.d_hv}, "
+            f"n_chunks={self.n_chunks}, packed={self.packed}, "
+            f"nbytes={self.nbytes})"
+        )
+
+
+class LazyEncodedStream:
+    """A chunk source that replays the fused pipeline on every pass.
+
+    Offers the same repeatable ``iter_chunks()`` interface as
+    :class:`EncodedChunkStore` while holding only the raw ``(n, d_in)``
+    features: each pass re-encodes and re-quantizes tile by tile, so
+    peak memory stays bounded by the chunk size even for quantizers
+    whose output cannot be bit-packed.  Trades one full encode per
+    retraining epoch for that bound — prefer :class:`EncodedChunkStore`
+    whenever the quantizer packs.
+    """
+
+    def __init__(
+        self,
+        pipeline: EncodePipeline,
+        X: np.ndarray,
+        quantizer: EncodingQuantizer | str | None = None,
+    ):
+        self._pipeline = pipeline
+        self._X = check_2d(X, "X", n_cols=pipeline.encoder.d_in)
+        self._quantizer = get_quantizer(quantizer)
+        self.d_hv = pipeline.encoder.d_hv
+        self.n_rows = self._X.shape[0]
+
+    def iter_chunks(self) -> Iterator[tuple[slice, np.ndarray]]:
+        """Re-encode and yield ``(row_slice, quantized_tile)`` pairs."""
+        yield from self._pipeline.stream_quantized(self._X, self._quantizer)
+
+    # already-quantized tiles: same contract as EncodedChunkStore.iter_raw
+    iter_raw = iter_chunks
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LazyEncodedStream(n_rows={self.n_rows}, d_hv={self.d_hv}, "
+            f"quantizer={self._quantizer.name!r})"
+        )

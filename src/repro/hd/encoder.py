@@ -16,6 +16,16 @@ hypervector ``H ∈ R^{Dhv}``:
 Both are deterministic functions of ``(d_in, d_hv, seed)`` so that the
 trainer, the attacker, and the hardware simulator all reconstruct the
 identical codebooks.
+
+Dtype policy
+------------
+Encoding is float32 end-to-end: features are clipped/quantized in
+float32, the ±1 codebooks are cached as float32 (``as_float``), and
+``encode`` returns float32.  Level-base encodings are sums of ±1 addends
+— integer-valued and far below 2²⁴ — so float32 accumulation is exact
+and the bit-plane kernel (:meth:`LevelBaseEncoder.encode_packed`)
+reproduces the dense result bit-for-bit.  Training and similarity
+accumulate in float64 (see :class:`~repro.hd.model.HDModel`).
 """
 
 from __future__ import annotations
@@ -108,17 +118,22 @@ class ScalarBaseEncoder(Encoder):
         self.hi = float(hi)
 
     def quantize_features(self, X: np.ndarray) -> np.ndarray:
-        """Snap features to the level grid (identity when ``n_levels=None``)."""
-        X = check_2d(X, "X", n_cols=self.d_in).astype(np.float64, copy=False)
-        X = np.clip(X, self.lo, self.hi)
+        """Snap features to the level grid (identity when ``n_levels=None``).
+
+        Returns float32 (the module's dtype policy) so ``encode`` feeds
+        the cached float32 codebook without a second cast.
+        """
+        X = check_2d(X, "X", n_cols=self.d_in).astype(np.float32)
+        np.clip(X, self.lo, self.hi, out=X)
         if self.n_levels is None or self.n_levels == 1:
             return X
         step = (self.hi - self.lo) / (self.n_levels - 1)
-        return self.lo + np.rint((X - self.lo) / step) * step
+        return np.float32(self.lo) + np.rint(
+            (X - np.float32(self.lo)) / np.float32(step)
+        ) * np.float32(step)
 
     def encode(self, X: np.ndarray) -> np.ndarray:
-        Xq = self.quantize_features(X).astype(np.float32)
-        return Xq @ self.base.as_float()
+        return self.quantize_features(X) @ self.base.as_float()
 
     def truncated(self, d_hv: int) -> "ScalarBaseEncoder":
         out = object.__new__(ScalarBaseEncoder)
@@ -170,8 +185,8 @@ class LevelBaseEncoder(Encoder):
     def encode(self, X: np.ndarray) -> np.ndarray:
         X = check_2d(X, "X", n_cols=self.d_in)
         idx = self.levels.indices(X)  # (n, d_in) level index per feature
-        base = self.base.as_float()  # (d_in, d_hv)
-        lvl = self.levels.vectors.astype(np.float32)  # (n_levels, d_hv)
+        base = self.base.as_float()  # (d_in, d_hv), cached
+        lvl = self.levels.as_float()  # (n_levels, d_hv), cached
         out = np.zeros((X.shape[0], self.d_hv), dtype=np.float32)
         if self.n_levels <= max(2, self.d_in // 4):
             # Binding distributes over bundling:
@@ -187,6 +202,45 @@ class LevelBaseEncoder(Encoder):
             for k in range(self.d_in):
                 out += lvl[idx[:, k]] * base[k]
         return out
+
+    def encode_packed(self, X: np.ndarray) -> np.ndarray:
+        """Eq. (2b) on uint64 bit planes — bit-identical to :meth:`encode`.
+
+        Every addend ``L_{q_k} ⊙ B_k`` is bipolar, so its sign plane is
+        one XOR away from the cached codebook planes (XNOR of the level
+        and base sign bits), and the encoding reduces to an exact
+        per-dimension count of positive addends::
+
+            H[n, j] = 2 · #{k : addend_{k,j} = +1} − d_in
+
+        The count runs through a carry-save
+        :class:`~repro.backend.packed.BitPlaneAccumulator` — the software
+        mirror of the §III-D adder tree — touching ~``d_hv/64`` words per
+        feature instead of ``n_levels`` dense matmul passes, which makes
+        this the fast path for the usual ``ℓiv`` ≫ 2.  Tail bits beyond
+        ``d_hv`` are discarded when the counters unpack.
+        """
+        from repro.backend.packed import BitPlaneAccumulator
+
+        X = check_2d(X, "X", n_cols=self.d_in)
+        idx = self.levels.indices(X)
+        lvl_planes = self.levels.sign_planes()  # (n_levels, n_words)
+        # XNOR(a, b) == a ^ ~b: fold the inversion into the base planes.
+        inv_base = getattr(self, "_inv_base_planes", None)
+        if inv_base is None:
+            inv_base = ~self.base.sign_planes()
+            self._inv_base_planes = inv_base
+        acc = BitPlaneAccumulator()
+        for k in range(self.d_in):
+            acc.add(lvl_planes[idx[:, k]] ^ inv_base[k])
+        positives = acc.counts(self.d_hv)
+        return (2 * positives - self.d_in).astype(np.float32)
+
+    def __getstate__(self):
+        # Keep worker-process pickles at codebook size (cf. item_memory).
+        state = self.__dict__.copy()
+        state.pop("_inv_base_planes", None)
+        return state
 
     def encode_addends(self, x: np.ndarray) -> np.ndarray:
         """The ``d_in`` bipolar addends of one input, before summation.

@@ -28,7 +28,7 @@ from repro.hd.quantize import EncodingQuantizer, get_quantizer
 from repro.utils.rng import RngLike, ensure_generator
 from repro.utils.validation import check_2d, check_labels, check_positive_int
 
-__all__ = ["RetrainHistory", "fit_hd", "retrain"]
+__all__ = ["RetrainHistory", "fit_hd", "retrain", "retrain_streamed"]
 
 
 @dataclass
@@ -202,6 +202,142 @@ def retrain(
             history.best_accuracy = score
         if n_wrong == 0:
             break
+
+    history.best_accuracy = best_score
+    return best, history
+
+
+def _masked_chunks(store, keep: np.ndarray | None):
+    if keep is None:
+        yield from store.iter_chunks()
+    else:
+        for sl, H in store.iter_chunks():
+            yield sl, H * keep
+
+
+def _streamed_epoch_pass(
+    model: HDModel, store, y: np.ndarray, keep: np.ndarray | None
+) -> tuple[float, int, np.ndarray]:
+    """One streaming pass: accuracy of ``model``, plus its Eq. (5) update.
+
+    Predictions for every chunk are taken against the *same* model state
+    (batch-mode semantics); the update is accumulated into a
+    ``(n_classes, d_hv)`` delta and applied by the caller, so no more
+    than one dense chunk is alive at a time.
+    """
+    delta = np.zeros((model.n_classes, model.d_hv), dtype=np.float64)
+    n_wrong = 0
+    n_correct = 0
+    for sl, H in _masked_chunks(store, keep):
+        preds = model.predict(H)
+        y_chunk = y[sl]
+        wrong = preds != y_chunk
+        n_wrong += int(wrong.sum())
+        n_correct += int((~wrong).sum())
+        if wrong.any():
+            Hw = H[wrong].astype(np.float64, copy=False)
+            np.add.at(delta, y_chunk[wrong], Hw)
+            np.subtract.at(delta, preds[wrong], Hw)
+    total = n_wrong + n_correct
+    return n_correct / total, n_wrong, delta
+
+
+def _streamed_accuracy(
+    model: HDModel, store, y: np.ndarray, keep: np.ndarray | None
+) -> float:
+    correct = 0
+    for sl, H in _masked_chunks(store, keep):
+        correct += int((model.predict(H) == y[sl]).sum())
+    return correct / y.shape[0]
+
+
+def retrain_streamed(
+    model: HDModel,
+    store,
+    labels: np.ndarray,
+    *,
+    epochs: int = 5,
+    keep_mask: np.ndarray | None = None,
+    eval_store=None,
+    eval_labels: np.ndarray | None = None,
+) -> tuple[HDModel, RetrainHistory]:
+    """Batch-mode Eq. (5) retraining over cached encoding chunks.
+
+    The streaming twin of :func:`retrain` (``mode="batch"``): instead of
+    a materialized ``(n, d_hv)`` encoding matrix it replays an
+    :class:`~repro.hd.encode_pipeline.EncodedChunkStore` (or anything
+    with repeatable ``iter_chunks()``), holding one dense chunk at a
+    time.  On quantized (integer-valued) encodings the result — model,
+    history, best-epoch selection — is identical to :func:`retrain`,
+    because every dot product and class-store update is integer-exact
+    regardless of accumulation order.  Each epoch also folds the
+    accuracy pass and the update pass into one streaming pass.
+
+    Parameters
+    ----------
+    model:
+        Starting model (not mutated).
+    store:
+        Replayable chunk source for the retraining encodings.
+    labels:
+        Labels aligned with the store's row slices.
+    epochs, keep_mask:
+        As in :func:`retrain`.
+    eval_store, eval_labels:
+        Optional held-out chunk source selecting the best epoch.
+    """
+    check_positive_int(epochs, "epochs")
+    y = check_labels(labels, "labels", n_classes=model.n_classes)
+    if getattr(store, "n_rows", y.shape[0]) != y.shape[0]:
+        raise ValueError(
+            f"store has {store.n_rows} rows but {y.shape[0]} labels"
+        )
+    keep = None
+    if keep_mask is not None:
+        keep = np.asarray(keep_mask, dtype=bool)
+        if keep.shape != (model.d_hv,):
+            raise ValueError(
+                f"keep_mask must have shape ({model.d_hv},), got {keep.shape}"
+            )
+    has_eval = eval_store is not None and eval_labels is not None
+    if has_eval:
+        ye = check_labels(eval_labels, "eval_labels", n_classes=model.n_classes)
+        if getattr(eval_store, "n_rows", ye.shape[0]) != ye.shape[0]:
+            raise ValueError(
+                f"eval_store has {eval_store.n_rows} rows but "
+                f"{ye.shape[0]} eval_labels"
+            )
+
+    work = model.copy()
+    history = RetrainHistory()
+
+    def _record(train_acc: float) -> float:
+        history.train_accuracy.append(train_acc)
+        if has_eval:
+            eval_acc = _streamed_accuracy(work, eval_store, ye, keep)
+            history.eval_accuracy.append(eval_acc)
+            return eval_acc
+        return train_acc
+
+    best = work.copy()
+    best_score = -np.inf
+    for epoch in range(epochs + 1):
+        train_acc, n_wrong, delta = _streamed_epoch_pass(work, store, y, keep)
+        score = _record(train_acc)
+        if score > best_score:
+            best_score = score
+            best = work.copy()
+            history.best_epoch = epoch
+            history.best_accuracy = score
+        if epoch == epochs:
+            break
+        if n_wrong == 0:
+            # Mirror retrain(): the epoch that discovers a clean sweep
+            # still records its (unchanged) accuracies before stopping.
+            _record(train_acc)
+            break
+        work.class_hvs += delta
+        work._invalidate()
 
     history.best_accuracy = best_score
     return best, history

@@ -25,6 +25,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.backend import Backend, PackedHV, get_backend
+from repro.hd.encode_pipeline import EncodePipeline
+from repro.hd.encoder import Encoder
 from repro.hd.model import HDModel
 from repro.hd.quantize import get_quantizer
 from repro.utils.validation import check_labels, check_positive_int
@@ -52,6 +54,17 @@ class InferenceEngine:
     batch_size:
         Maximum queries scored at once; larger client batches are
         chunked transparently.
+    encoder:
+        Optional :class:`~repro.hd.encoder.Encoder` matching the model's
+        ``d_hv``.  When given, the ``*_features`` methods accept raw
+        ``(n, d_in)`` features and stream them through a fused
+        encode → quantize (→ pack) pipeline, so serving raw features
+        never materializes more than one encoded tile.
+    encode_workers, chunk_size, encode_executor:
+        Encode-pipeline knobs (see
+        :class:`~repro.hd.encode_pipeline.EncodePipeline`); only used
+        with ``encoder``.  Pick ``encode_executor="process"`` to
+        parallelize the GIL-bound packed level-base kernel.
 
     Attributes
     ----------
@@ -67,12 +80,29 @@ class InferenceEngine:
         backend: str | Backend | None = None,
         quantizer=None,
         batch_size: int = 8192,
+        encoder: Encoder | None = None,
+        encode_workers: int | None = 1,
+        chunk_size: int | None = None,
+        encode_executor: str = "thread",
     ):
         self.backend = get_backend(backend)
         self.batch_size = check_positive_int(batch_size, "batch_size")
         self.quantizer = None if quantizer is None else get_quantizer(quantizer)
         self.n_classes = model.n_classes
         self.d_hv = model.d_hv
+        self.encode_pipeline = None
+        if encoder is not None:
+            if encoder.d_hv != model.d_hv:
+                raise ValueError(
+                    f"encoder produces {encoder.d_hv}-dim hypervectors but "
+                    f"the model is {model.d_hv}-dim"
+                )
+            self.encode_pipeline = EncodePipeline(
+                encoder,
+                chunk_size=batch_size if chunk_size is None else chunk_size,
+                workers=encode_workers,
+                executor=encode_executor,
+            )
 
         class_hvs = model.class_hvs
         if self.quantizer is not None:
@@ -129,6 +159,56 @@ class InferenceEngine:
     def predict(self, queries) -> np.ndarray:
         """Predicted labels, shape ``(n,)``."""
         return np.argmax(self.scores(queries), axis=1)
+
+    # ------------------------------------------------------------------
+    # raw-feature serving (requires the ``encoder`` constructor argument)
+    # ------------------------------------------------------------------
+    def _feature_stream(self, X: np.ndarray):
+        if self.encode_pipeline is None:
+            raise ValueError(
+                "this engine has no encoder; construct it with "
+                "InferenceEngine(model, encoder=...) to serve raw features"
+            )
+        # Queries get the same quantizer as the class store so both
+        # backends answer identically; the packed backend additionally
+        # receives bit-packed tiles (what an obfuscating client ships).
+        pack = (
+            self.backend.name == "packed"
+            and self.quantizer is not None
+            and self.quantizer.packable
+        )
+        if self.backend.name == "packed" and not pack:
+            raise ValueError(
+                "the packed backend needs a packable quantizer "
+                "(bipolar/ternary/ternary-biased) to serve raw features"
+            )
+        return self.encode_pipeline.stream_quantized(
+            X, self.quantizer, pack=pack
+        )
+
+    def scores_features(self, X: np.ndarray) -> np.ndarray:
+        """Eq. (4) scores for raw ``(n, d_in)`` features, streamed.
+
+        Fuses encode → quantize (→ pack) → score tile by tile: at no
+        point does more than one encoded tile exist in memory.
+        """
+        return np.vstack(
+            [self.scores(H) for _, H in self._feature_stream(X)]
+        )
+
+    def predict_features(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels for raw ``(n, d_in)`` features, streamed."""
+        return np.concatenate(
+            [self.predict(H) for _, H in self._feature_stream(X)]
+        )
+
+    def accuracy_features(self, X: np.ndarray, labels: np.ndarray) -> float:
+        """Streamed accuracy on raw features."""
+        y = check_labels(labels, "labels", n_classes=self.n_classes)
+        preds = self.predict_features(X)
+        if preds.shape[0] != y.shape[0]:
+            raise ValueError(f"{preds.shape[0]} queries but {y.shape[0]} labels")
+        return float(np.mean(preds == y))
 
     def accuracy(self, queries, labels: np.ndarray) -> float:
         """Fraction of queries whose argmax class matches ``labels``."""

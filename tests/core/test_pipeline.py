@@ -42,6 +42,44 @@ class TestFit:
         with pytest.raises(ValueError):
             system.fit(X, np.full(X.shape[0], 7))
 
+    def test_streamed_fit_matches_monolithic_when_quantized(self, task):
+        # Quantized encodings are integer-valued, so the chunked path is
+        # bit-for-bit the monolithic one, retraining included.
+        X, y = task
+        ph = PriveHD(
+            d_in=24, n_classes=3, d_hv=1024, encoder="level-base",
+            lo=-1.0, hi=1.0, seed=2,
+        )
+        mono = ph.fit(X, y, quantizer="bipolar", retrain_epochs=2)
+        streamed = ph.fit(
+            X, y, quantizer="bipolar", retrain_epochs=2,
+            chunk_size=64, encode_workers=2,
+        )
+        np.testing.assert_array_equal(streamed.class_hvs, mono.class_hvs)
+
+    def test_streamed_fit_without_retraining(self, system, task):
+        X, y = task
+        mono = system.fit(X, y, quantizer="ternary")
+        streamed = system.fit(X, y, quantizer="ternary", chunk_size=100)
+        np.testing.assert_array_equal(streamed.class_hvs, mono.class_hvs)
+
+    def test_streamed_fit_unpackable_quantizer_retrains_lazily(self, system, task):
+        # identity/2bit tiles cannot be packed; the streamed path must
+        # re-encode per epoch rather than caching a full dense matrix,
+        # and still land within float-accumulation noise of monolithic.
+        X, y = task
+        mono = system.fit(X, y, retrain_epochs=2)
+        streamed = system.fit(X, y, retrain_epochs=2, chunk_size=128)
+        H = system.encode(X)
+        assert abs(streamed.accuracy(H, y) - mono.accuracy(H, y)) < 0.02
+
+    def test_pipeline_accessor(self, system, task):
+        X, _ = task
+        pipeline = system.pipeline(chunk_size=128)
+        np.testing.assert_allclose(
+            pipeline.encode(X), system.encode(X), rtol=1e-5, atol=1e-4
+        )
+
 
 class TestFitPrivate:
     def test_returns_result_with_correct_budget(self, system, task):

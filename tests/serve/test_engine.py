@@ -114,6 +114,61 @@ class TestServing:
             InferenceEngine(model).accuracy(H[:5], y[:4])
 
 
+class TestRawFeatureServing:
+    """The engine's fused encode -> quantize (-> pack) feature path."""
+
+    @pytest.fixture(scope="class")
+    def system(self):
+        rng = spawn(3, "engine-features")
+        X = rng.uniform(0, 1, (120, 24))
+        y = rng.integers(0, 4, 120)
+        enc = ScalarBaseEncoder(24, 900, seed=1)
+        q = get_quantizer("bipolar")
+        model = HDModel.from_encodings(q(enc.encode(X)), y, 4)
+        return enc, model, X, y
+
+    def test_features_match_manual_encode(self, system):
+        enc, model, X, y = system
+        engine = InferenceEngine(
+            model, quantizer="bipolar", encoder=enc, chunk_size=50
+        )
+        q = get_quantizer("bipolar")
+        np.testing.assert_array_equal(
+            engine.predict_features(X), engine.predict(q(enc.encode(X)))
+        )
+        assert engine.accuracy_features(X, y) == pytest.approx(
+            engine.accuracy(q(enc.encode(X)), y)
+        )
+
+    def test_packed_and_dense_backends_agree_on_features(self, system):
+        enc, model, X, _ = system
+        kwargs = dict(quantizer="bipolar", encoder=enc, chunk_size=33)
+        dense = InferenceEngine(model, backend="dense", **kwargs)
+        packed = InferenceEngine(model, backend="packed", **kwargs)
+        np.testing.assert_array_equal(
+            dense.predict_features(X), packed.predict_features(X)
+        )
+
+    def test_features_without_encoder_rejected(self, system):
+        _, model, X, _ = system
+        with pytest.raises(ValueError, match="no encoder"):
+            InferenceEngine(model).predict_features(X)
+
+    def test_packed_backend_needs_packable_quantizer_for_features(self, system):
+        enc, model, X, _ = system
+        engine = InferenceEngine(
+            model, backend="packed", quantizer="bipolar", encoder=enc
+        )
+        engine.quantizer = None  # simulate an unquantized packed setup
+        with pytest.raises(ValueError, match="packable"):
+            engine.predict_features(X)
+
+    def test_mismatched_encoder_dims_rejected(self, system):
+        enc, model, _, _ = system
+        with pytest.raises(ValueError, match="-dim"):
+            InferenceEngine(model, encoder=ScalarBaseEncoder(24, 64, seed=1))
+
+
 class TestThroughputHarness:
     def test_fixture_is_bipolar_and_deterministic(self):
         m1, q1 = make_serving_fixture(d_hv=320, n_queries=8, n_classes=3, seed=4)
