@@ -1,0 +1,329 @@
+"""Serving-stack benchmark: micro-batched concurrency vs offline batches.
+
+Exercises the full model lifecycle the way a deployment would:
+
+1. build a paper-scale serving fixture, package it as an on-disk
+   :class:`~repro.serve.ModelArtifact`, **save and re-load it**, and
+   assert the loaded engine predicts bit-identically to the in-memory
+   one;
+2. measure the *offline* packed batch path (one ``engine.predict`` over
+   the whole query set) — the throughput ceiling;
+3. drive a :class:`~repro.serve.ModelServer` with N concurrent
+   single-query client threads through the micro-batching scheduler and
+   measure served throughput + latency percentiles — the acceptance
+   bar is served throughput within 2x of the offline batch;
+4. hot-swap: publish and promote a second artifact version *while*
+   clients hammer the server, asserting **zero failed requests** and
+   that every answer matches one of the two versions exactly.
+
+Writes ``BENCH_serve.json``::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py              # paper scale
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke      # CI seconds
+    PYTHONPATH=src python benchmarks/bench_serve.py --assert-within 2
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import threading
+import time
+
+if __name__ == "__main__":  # script mode works without an installed package
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.serve import (
+    MicroBatchConfig,
+    ModelArtifact,
+    ModelRegistry,
+    ModelServer,
+    make_serving_fixture,
+)
+
+
+def _build_artifact(d_hv, n_classes, n_queries, seed, directory):
+    """Fixture model -> artifact -> disk -> loaded artifact + queries."""
+    model, queries = make_serving_fixture(
+        d_hv=d_hv, n_queries=n_queries, n_classes=n_classes, seed=seed
+    )
+    artifact = ModelArtifact.build(
+        model,
+        quantizer="bipolar",
+        backend="packed",
+        metadata={"bench": "serve", "seed": seed},
+    )
+    path = artifact.save(directory)
+    return ModelArtifact.load(path), queries
+
+
+def _drive_clients(server, queries, n_clients, *, on_request=None):
+    """N threads, each serving its stripe of single queries; returns
+    (predictions, per-request latencies, failure list, elapsed seconds).
+
+    ``on_request`` is invoked (from the client thread) after every
+    completed request — the hot-swap scenario uses it to promote a new
+    version mid-traffic.
+    """
+    n = queries.shape[0]
+    results = np.full(n, -1, dtype=np.int64)
+    latencies = np.zeros(n, dtype=np.float64)
+    failures: list[Exception] = []
+
+    def client(worker: int) -> None:
+        for i in range(worker, n, n_clients):
+            t0 = time.perf_counter()
+            try:
+                results[i] = server.predict(queries[i])
+            except Exception as exc:  # noqa: BLE001 — counted, reported
+                failures.append(exc)
+            latencies[i] = time.perf_counter() - t0
+            if on_request is not None:
+                on_request(i)
+
+    threads = [
+        threading.Thread(target=client, args=(w,)) for w in range(n_clients)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    return results, latencies, failures, elapsed
+
+
+def run_hot_swap(artifact_v1, artifact_v2, queries, args) -> dict:
+    """Promote v2 mid-traffic; every request must succeed and match a
+    version-consistent answer."""
+    direct_v1 = artifact_v1.engine().predict(queries)
+    direct_v2 = artifact_v2.engine().predict(queries)
+    registry = ModelRegistry()
+    registry.publish("bench", artifact_v1)
+
+    n = queries.shape[0]
+    swap_at = n // 2
+    swapped = threading.Event()
+    served = 0
+    served_lock = threading.Lock()
+
+    def maybe_swap(_i: int) -> None:
+        nonlocal served
+        with served_lock:
+            served += 1
+            if served >= swap_at and not swapped.is_set():
+                swapped.set()
+                # Publish + promote while requests are in flight: the
+                # registry swap is atomic, so no request may fail or
+                # see a half-prepared model.
+                registry.publish("bench", artifact_v2)
+
+    config = MicroBatchConfig(max_batch=args.max_batch)
+    with ModelServer(registry, default_model="bench", config=config) as server:
+        results, _, failures, _ = _drive_clients(
+            server, queries, args.clients, on_request=maybe_swap
+        )
+        # After the swap, fresh traffic must see v2.
+        post_swap = server.predict(queries[:8])
+
+    matches_v1 = results == direct_v1
+    matches_v2 = results == direct_v2
+    consistent = bool(np.all(matches_v1 | matches_v2))
+    return {
+        "requests": int(n),
+        "failed_requests": len(failures),
+        "zero_dropped": len(failures) == 0,
+        "answers_version_consistent": consistent,
+        "served_by_v1_only": int(np.sum(matches_v1 & ~matches_v2)),
+        "served_by_v2_only": int(np.sum(matches_v2 & ~matches_v1)),
+        "post_swap_is_v2": bool(np.array_equal(post_swap, direct_v2[:8])),
+        "current_version": registry.current_version("bench"),
+    }
+
+
+def run_bench(args, workdir) -> dict:
+    artifact, queries = _build_artifact(
+        args.dhv, args.n_classes, args.n_queries, args.seed,
+        pathlib.Path(workdir) / "v1",
+    )
+    engine = artifact.engine()
+
+    # Round-trip guard: the loaded artifact must serve bit-identically
+    # to an engine built from the in-memory model.
+    model, _ = make_serving_fixture(
+        d_hv=args.dhv, n_queries=args.n_queries,
+        n_classes=args.n_classes, seed=args.seed,
+    )
+    from repro.serve import InferenceEngine
+
+    direct = InferenceEngine(
+        model, backend="packed", quantizer="bipolar"
+    ).predict(queries)
+    loaded_preds = engine.predict(queries)
+    if not np.array_equal(loaded_preds, direct):
+        raise AssertionError("artifact round-trip changed predictions")
+
+    # Offline ceiling: one packed batch, best of repeats.
+    offline_s = min(
+        _timed(engine.predict, queries) for _ in range(args.repeats)
+    )
+
+    # Micro-batched concurrent serving.
+    registry = ModelRegistry()
+    registry.publish("bench", artifact)
+    config = MicroBatchConfig(max_batch=args.max_batch)
+    with ModelServer(registry, default_model="bench", config=config) as server:
+        results, latencies, failures, served_s = _drive_clients(
+            server, queries, args.clients
+        )
+        stats = server.stats()["bench.predict"]
+
+    if failures:
+        raise AssertionError(f"{len(failures)} serving requests failed")
+    if not np.array_equal(results, direct):
+        raise AssertionError("micro-batched predictions diverged from offline")
+
+    offline_qps = args.n_queries / offline_s
+    served_qps = args.n_queries / served_s
+    slowdown = offline_qps / served_qps
+
+    # Hot swap under traffic, with a distinguishable second version.
+    artifact_v2, _ = _build_artifact(
+        args.dhv, args.n_classes, args.n_queries, args.seed + 1,
+        pathlib.Path(workdir) / "v2",
+    )
+    hot_swap = run_hot_swap(artifact, artifact_v2, queries, args)
+
+    lat_ms = latencies * 1e3
+    return {
+        "bench": "serve",
+        "config": {
+            "d_hv": args.dhv,
+            "n_classes": args.n_classes,
+            "n_queries": args.n_queries,
+            "clients": args.clients,
+            "max_batch": args.max_batch,
+            "repeats": args.repeats,
+            "seed": args.seed,
+        },
+        "roundtrip_identical": True,
+        "offline": {
+            "seconds": offline_s,
+            "queries_per_s": offline_qps,
+        },
+        "served": {
+            "seconds": served_s,
+            "queries_per_s": served_qps,
+            "slowdown_vs_offline": slowdown,
+            "within_2x_of_offline": slowdown <= 2.0,
+            "latency_ms": {
+                "p50": float(np.percentile(lat_ms, 50)),
+                "p95": float(np.percentile(lat_ms, 95)),
+                "max": float(lat_ms.max()),
+            },
+            "flushes": stats.flushes,
+            "mean_batch_rows": stats.mean_batch_rows,
+            "max_batch_rows": stats.max_batch_rows,
+            "flushes_by_trigger": dict(stats.flushes_by_trigger),
+        },
+        "hot_swap": hot_swap,
+    }
+
+
+def _timed(fn, arg) -> float:
+    t0 = time.perf_counter()
+    fn(arg)
+    return time.perf_counter() - t0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--dhv", type=int, default=10000)
+    parser.add_argument("--n-classes", type=int, default=26)
+    parser.add_argument("--n-queries", type=int, default=2000)
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--max-batch", type=int, default=256)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI: same assertions, completes in seconds",
+    )
+    parser.add_argument(
+        "--assert-within",
+        type=float,
+        default=None,
+        help=(
+            "exit non-zero unless served throughput is within this "
+            "factor of the offline packed batch"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("BENCH_serve.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        # d_hv % 64 != 0 on purpose: exercises the packed tail path.
+        args.dhv, args.n_queries, args.clients = 1000, 512, 8
+        args.repeats = 1
+
+    with tempfile.TemporaryDirectory() as workdir:
+        report = run_bench(args, workdir)
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    served = report["served"]
+    print(
+        f"offline packed batch: "
+        f"{report['offline']['queries_per_s']:12,.0f} q/s"
+    )
+    print(
+        f"micro-batched x{report['config']['clients']} clients: "
+        f"{served['queries_per_s']:12,.0f} q/s "
+        f"({served['slowdown_vs_offline']:.2f}x off the offline batch; "
+        f"mean batch {served['mean_batch_rows']:.1f} rows)"
+    )
+    print(
+        f"latency p50/p95/max: {served['latency_ms']['p50']:.2f}/"
+        f"{served['latency_ms']['p95']:.2f}/"
+        f"{served['latency_ms']['max']:.2f} ms"
+    )
+    hs = report["hot_swap"]
+    print(
+        f"hot swap: {hs['requests']} requests, "
+        f"{hs['failed_requests']} failed, "
+        f"v1-only {hs['served_by_v1_only']} / v2-only "
+        f"{hs['served_by_v2_only']}, post-swap on v2: "
+        f"{hs['post_swap_is_v2']}"
+    )
+    print(f"wrote {args.out}")
+
+    ok = (
+        hs["zero_dropped"]
+        and hs["answers_version_consistent"]
+        and hs["post_swap_is_v2"]
+    )
+    if not ok:
+        print("FAIL: hot swap dropped or corrupted requests", file=sys.stderr)
+        return 1
+    if (
+        args.assert_within is not None
+        and served["slowdown_vs_offline"] > args.assert_within
+    ):
+        print(
+            f"FAIL: served throughput {served['slowdown_vs_offline']:.2f}x "
+            f"off offline, required within {args.assert_within}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

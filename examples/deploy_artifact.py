@@ -4,10 +4,12 @@ The MLOps loop a Prive-HD user actually runs:
 
 1. train a differentially private model;
 2. **audit** it — run the paper's own attacks against it before release;
-3. save a self-contained artifact (model + encoder config + privacy
-   certificate) with ``repro.io``;
-4. on the serving side, load the artifact and answer queries — and also
-   emit the Verilog for an FPGA serving path.
+3. save a self-contained, checksum-verified ``ModelArtifact`` directory
+   (quantized store + encoder config + privacy certificate);
+4. on the serving side, load the artifact into a versioned registry and
+   answer live traffic through the micro-batching server — then promote
+   a re-privatized v2 with zero dropped requests — and also emit the
+   Verilog for an FPGA serving path.
 
 Run:  python examples/deploy_artifact.py
 """
@@ -18,7 +20,7 @@ from pathlib import Path
 from repro.core import PriveHD, audit_training_privacy
 from repro.data import load_dataset
 from repro.hardware import generate_rtl_bundle
-from repro.io import load_deployment, save_deployment
+from repro.serve import ModelArtifact, ModelRegistry, ModelServer
 
 
 def main() -> None:
@@ -48,20 +50,37 @@ def main() -> None:
 
     # 3. ship -------------------------------------------------------------
     with tempfile.TemporaryDirectory() as tmp:
-        path = Path(tmp) / "face-eps1.npz"
-        save_deployment(path, result)
-        print(f"[ship]  artifact written: {path.name} "
-              f"({path.stat().st_size / 1024:.0f} KiB)")
+        path = result.to_artifact(
+            metadata={"dataset": "face", "release": "eps1"}
+        ).save(Path(tmp) / "face-eps1")
+        size = sum(f.stat().st_size for f in path.iterdir())
+        print(f"[ship]  artifact written: {path.name}/ "
+              f"({size / 1024:.0f} KiB, manifest + tensors)")
 
         # 4. serve ---------------------------------------------------------
-        dep = load_deployment(path)
-        print(f"[serve] certificate: eps={dep.epsilon:g} delta={dep.delta:g} "
-              f"private={dep.is_private}")
-        print(f"[serve] accuracy from the loaded artifact: "
-              f"{dep.accuracy(ds.X_test, ds.y_test):.3f}")
-        preds = dep.predict(ds.X_test[:5])
-        print(f"[serve] first predictions: {preds.tolist()} "
-              f"(truth {ds.y_test[:5].tolist()})")
+        art = ModelArtifact.load(path)  # checksum-verified
+        print(f"[serve] certificate: eps={art.epsilon:g} "
+              f"delta={art.privacy['delta']:g} private={art.is_private}")
+        registry = ModelRegistry()
+        registry.publish("face", art)
+        with ModelServer(registry, default_model="face") as server:
+            acc = art.engine().accuracy_features(ds.X_test, ds.y_test)
+            print(f"[serve] accuracy from the loaded artifact: {acc:.3f}")
+            preds = server.predict_features(ds.X_test[:5])
+            print(f"[serve] first micro-batched predictions: "
+                  f"{preds.tolist()} (truth {ds.y_test[:5].tolist()})")
+
+            # promote a re-privatized v2 under live traffic: atomic, no
+            # dropped requests — the next flush simply resolves v2.
+            result_v2 = system.fit_private(
+                ds.X_train, ds.y_train, epsilon=1.0,
+                effective_dims=2000, noise_seed=99,
+            )
+            v2 = registry.publish("face", result_v2.to_artifact())
+            print(f"[swap]  promoted v{v2} "
+                  f"(current: v{registry.current_version('face')}); "
+                  f"post-swap prediction: "
+                  f"{server.predict_features(ds.X_test[:1]).tolist()}")
 
     # ... and the FPGA path: emit the majority datapath RTL + testbench.
     bundle = generate_rtl_bundle(ds.d_in, n_vectors=16, tie_seed=13)

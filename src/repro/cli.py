@@ -11,12 +11,17 @@ paper-style tables:
 Every experiment accepts ``--seed``; the heavier ones accept ``--dhv``
 to trade fidelity for speed (paper scale is ``--dhv 10000``).
 
-Beyond the paper artifacts, two workload commands exercise the serving
-stack:
+Beyond the paper artifacts, workload commands exercise the serving
+stack and the model lifecycle end-to-end:
 
     prive-hd train isolet --batch-size 512 --backend packed \
-        --chunk-size 1024 --encode-workers 4
+        --save artifacts/isolet            # train -> on-disk artifact
+    prive-hd eval artifacts/isolet        # load -> accuracy
+    prive-hd serve artifacts/isolet --clients 8   # micro-batched serving
     prive-hd throughput --dhv 10000 --backend both
+
+Every command returns a non-zero exit code on failure (2 for bad
+arguments, 1 for runtime errors) instead of a bare traceback.
 """
 
 from __future__ import annotations
@@ -217,6 +222,31 @@ def _run_train(args) -> int:
         f"({len(data.y_test)} queries in {infer_s * 1e3:.1f} ms, "
         f"{len(data.y_test) / max(infer_s, 1e-9):,.0f} q/s)"
     )
+
+    if args.save is not None:
+        from repro.serve import ModelArtifact
+
+        artifact = ModelArtifact.build(
+            model,
+            quantizer=args.quantizer,
+            store_quantizer=serve_quantizer,
+            backend=args.backend,
+            encoder=encoder,
+            metadata={
+                "dataset": data.name,
+                "dataset_seed": args.seed,
+                "encoder": args.encoder,
+                "test_accuracy": round(acc, 4),
+                "n_train": int(len(data.y_train)),
+            },
+        )
+        path = artifact.save(args.save)
+        print(
+            f"saved artifact to {path} "
+            f"(backend={artifact.backend}, "
+            f"query_quantizer={artifact.query_quantizer}, "
+            f"store={artifact.class_hvs.nbytes:,} bytes)"
+        )
     return 0
 
 
@@ -226,6 +256,142 @@ def _build_encoder(kind: str, d_in: int, d_hv: int, *, lo: float, hi: float, see
     if kind == "level-base":
         return LevelBaseEncoder(d_in, d_hv, lo=lo, hi=hi, seed=seed)
     return ScalarBaseEncoder(d_in, d_hv, lo=lo, hi=hi, seed=seed)
+
+
+def _load_artifact_for_dataset(args):
+    """Shared ``eval``/``serve`` plumbing: artifact + its evaluation data."""
+    from repro.data import load_dataset
+    from repro.serve import load_artifact
+
+    artifact = load_artifact(args.artifact)
+    dataset = args.dataset or artifact.metadata.get("dataset")
+    if dataset is None:
+        raise ValueError(
+            "the artifact records no dataset; pass --dataset explicitly"
+        )
+    if artifact.encoder_config is None:
+        raise ValueError(
+            "the artifact has no encoder config and cannot serve raw "
+            "features; re-save it with an encoder"
+        )
+    seed = args.seed
+    if seed is None:
+        seed = int(artifact.metadata.get("dataset_seed", 0))
+    data = load_dataset(dataset, seed=seed)
+    if data.d_in != artifact.encoder_config["d_in"]:
+        raise ValueError(
+            f"dataset {dataset!r} has {data.d_in} features but the "
+            f"artifact's encoder expects {artifact.encoder_config['d_in']}"
+        )
+    return artifact, data
+
+
+def _describe_artifact(artifact) -> str:
+    privacy = "none (no DP claim)"
+    if artifact.privacy:
+        eps = artifact.privacy.get("epsilon")
+        privacy = (
+            f"epsilon={eps} delta={artifact.privacy.get('delta')} "
+            f"noise_std={artifact.privacy.get('noise_std'):.4g}"
+            if artifact.is_private
+            else "explicitly non-private"
+        )
+    return (
+        f"artifact: {artifact.n_classes} classes x {artifact.d_hv} dims "
+        f"({artifact.n_live_dims} live), backend={artifact.backend}, "
+        f"query_quantizer={artifact.query_quantizer}\n"
+        f"privacy: {privacy}"
+    )
+
+
+def _run_eval(args) -> int:
+    artifact, data = _load_artifact_for_dataset(args)
+    engine = artifact.engine(batch_size=args.batch_size)
+    t0 = time.perf_counter()
+    acc = engine.accuracy_features(data.X_test, data.y_test)
+    elapsed = time.perf_counter() - t0
+    print(_describe_artifact(artifact))
+    print(
+        f"dataset={data.name}: accuracy {acc:.3f} "
+        f"({len(data.y_test)} queries in {elapsed * 1e3:.1f} ms)"
+    )
+    recorded = artifact.metadata.get("test_accuracy")
+    if recorded is not None:
+        print(f"recorded at save time: {recorded}")
+    return 0
+
+
+def _run_serve(args) -> int:
+    import threading
+
+    import numpy as np
+
+    from repro.serve import MicroBatchConfig, ModelRegistry, ModelServer
+
+    artifact, data = _load_artifact_for_dataset(args)
+    print(_describe_artifact(artifact))
+
+    registry = ModelRegistry()
+    registry.publish("model", artifact)
+    engine = registry.resolve("model")
+
+    n = min(args.requests, len(data.y_test))
+    X = data.X_test[:n]
+    # Offline reference: the same engine, one packed batch.
+    t0 = time.perf_counter()
+    direct = engine.predict_features(X)
+    offline_s = time.perf_counter() - t0
+
+    config = MicroBatchConfig(
+        max_batch=args.max_batch,
+        eager=not args.paced,
+        max_delay_s=args.max_delay_ms / 1e3,
+    )
+    results = np.full(n, -1, dtype=np.int64)
+    failures: list[Exception] = []
+
+    def client(worker: int) -> None:
+        for i in range(worker, n, args.clients):
+            try:
+                results[i] = server.predict_features(X[i])
+            except Exception as exc:  # noqa: BLE001 — counted, reported
+                failures.append(exc)
+
+    with ModelServer(
+        registry, default_model="model", config=config
+    ) as server:
+        threads = [
+            threading.Thread(target=client, args=(w,))
+            for w in range(args.clients)
+        ]
+        perf = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        served_s = time.perf_counter() - perf
+        stats = server.stats()["model.predict_features"]
+
+    identical = bool(np.array_equal(results, direct))
+    acc = float(np.mean(results == data.y_test[:n]))
+    print(
+        f"served {n} single-query requests from {args.clients} clients "
+        f"in {served_s * 1e3:.1f} ms ({n / max(served_s, 1e-9):,.0f} q/s; "
+        f"offline batch: {n / max(offline_s, 1e-9):,.0f} q/s)"
+    )
+    print(
+        f"micro-batching: {stats.flushes} flushes, "
+        f"mean batch {stats.mean_batch_rows:.1f} rows "
+        f"(max {stats.max_batch_rows}), triggers {stats.flushes_by_trigger}"
+    )
+    print(
+        f"accuracy {acc:.3f}; predictions identical to offline batch: "
+        f"{identical}; failed requests: {len(failures)}"
+    )
+    if failures or not identical:
+        print("ERROR: serving diverged from the offline engine", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _run_throughput(args) -> int:
@@ -265,6 +431,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="prive-hd",
         description="Reproduce the Prive-HD (DAC 2020) experiments.",
+    )
+    parser.add_argument(
+        "--traceback",
+        action="store_true",
+        help="re-raise command errors with a full traceback (debugging)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
@@ -345,6 +516,72 @@ def _build_parser() -> argparse.ArgumentParser:
             "give identical answers"
         ),
     )
+    p_train.add_argument(
+        "--save",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the trained model as a versioned artifact directory "
+            "(manifest.json + tensors.npz) loadable by 'serve' and 'eval'"
+        ),
+    )
+
+    p_eval = sub.add_parser(
+        "eval", help="load a saved artifact and report its test accuracy"
+    )
+    p_eval.add_argument("artifact", help="artifact directory (from train --save)")
+    p_eval.add_argument(
+        "--dataset",
+        default=None,
+        help="dataset to evaluate on (default: the one recorded at save time)",
+    )
+    p_eval.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="dataset seed (default: recorded at save time)",
+    )
+    p_eval.add_argument("--batch-size", type=int, default=8192)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help=(
+            "serve a saved artifact to concurrent clients through the "
+            "micro-batching scheduler and report latency/throughput"
+        ),
+    )
+    p_serve.add_argument("artifact", help="artifact directory (from train --save)")
+    p_serve.add_argument("--dataset", default=None)
+    p_serve.add_argument("--seed", type=int, default=None)
+    p_serve.add_argument(
+        "--clients", type=int, default=8, help="concurrent client threads"
+    )
+    p_serve.add_argument(
+        "--requests",
+        type=int,
+        default=512,
+        help="total single-query requests across all clients",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        help="micro-batch flush size (rows)",
+    )
+    p_serve.add_argument(
+        "--paced",
+        action="store_true",
+        help=(
+            "hold batches for --max-delay-ms instead of eager "
+            "backpressure batching"
+        ),
+    )
+    p_serve.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=2.0,
+        help="paced-mode flush deadline (tail-latency bound)",
+    )
 
     p_tp = sub.add_parser(
         "throughput", help="measure dense vs packed serving throughput"
@@ -364,9 +601,7 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+def _dispatch(args) -> int:
     if args.command == "list":
         width = max(len(n) for n in EXPERIMENTS)
         for name, (desc, _) in EXPERIMENTS.items():
@@ -379,10 +614,34 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "train":
         return _run_train(args)
+    if args.command == "eval":
+        return _run_eval(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "throughput":
         return _run_throughput(args)
     EXPERIMENTS[args.command][1](args)
     return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code.
+
+    Runtime failures (missing artifact, corrupt checksum, mismatched
+    dataset, …) exit 1 with a one-line error on stderr instead of a
+    traceback; ``--traceback`` on any command re-raises for debugging.
+    """
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except (KeyboardInterrupt, SystemExit, BrokenPipeError):
+        raise
+    except Exception as exc:  # noqa: BLE001 — the CLI's error boundary
+        if getattr(args, "traceback", False):
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -51,16 +51,19 @@ def quantize_masked(
 
     Quantile cuts are computed over the kept dimensions, so the level
     proportions (and Eq. 14) hold exactly at the live dimension count.
+    Thin functional wrapper over
+    :class:`~repro.hd.quantize.MaskedQuantizer` (the streaming form the
+    encode pipeline and serving engine consume).
     """
+    from repro.hd.quantize import MaskedQuantizer
+
     H = check_2d(encodings, "encodings").astype(np.float64)
     keep = np.asarray(keep_mask, dtype=bool)
     if keep.shape != (H.shape[1],):
         raise ValueError(
             f"keep_mask must have shape ({H.shape[1]},), got {keep.shape}"
         )
-    out = np.zeros_like(H)
-    out[:, keep] = quantizer(H[:, keep])
-    return out
+    return MaskedQuantizer(quantizer, keep)(H).astype(np.float64)
 
 
 @dataclass(frozen=True)
@@ -159,6 +162,38 @@ class DPTrainingResult:
     def baseline_accuracy(self, X: np.ndarray, y: np.ndarray) -> float:
         """Accuracy of the pre-noise model (the mechanism-free ceiling)."""
         return self.baseline.accuracy(self.encode_queries(X), y)
+
+    def to_artifact(self, *, backend: str = "dense", metadata: dict | None = None):
+        """Package the *private* model as a servable
+        :class:`~repro.serve.ModelArtifact`.
+
+        Only the released (noisy) store ships — the pre-noise baseline
+        never leaves the training environment.  The artifact carries the
+        full privacy certificate (ε, δ, σ, Δf, analytic and empirical
+        ℓ2) plus the encoder config, query quantizer and keep-mask, so
+        ``artifact.engine()`` serves queries exactly as
+        :meth:`encode_queries` + the private model would.
+        """
+        from repro.serve.artifact import ModelArtifact
+
+        privacy = {
+            "epsilon": float(self.private.epsilon),
+            "delta": float(self.private.delta),
+            "sensitivity": float(self.private.sensitivity),
+            "noise_std": float(self.private.noise_std),
+            "analytic_l2": float(self.sensitivity.analytic_l2),
+            "empirical_l2": float(self.sensitivity.empirical_l2),
+        }
+        return ModelArtifact.build(
+            self.private.model,
+            quantizer=self.quantizer.name,
+            store_quantizer=None,
+            backend=backend,
+            encoder=self.encoder,
+            keep_mask=self.keep_mask,
+            privacy=privacy,
+            metadata=metadata,
+        )
 
 
 class DPTrainer:

@@ -29,6 +29,7 @@ from repro.hd.encoder import Encoder, LevelBaseEncoder, ScalarBaseEncoder
 from repro.hd.model import HDModel
 from repro.hd.quantize import get_quantizer
 from repro.hd.train import retrain, retrain_streamed
+from repro.serve.artifact import ModelArtifact
 from repro.serve.engine import InferenceEngine
 from repro.utils.rng import spawn
 from repro.utils.validation import check_2d, check_labels, check_positive_int
@@ -310,6 +311,39 @@ class PriveHD:
         """
         return InferenceEngine(
             model, backend=backend, quantizer=quantizer, batch_size=batch_size
+        )
+
+    def artifact(
+        self,
+        model: HDModel | DPTrainingResult,
+        *,
+        quantizer: str | None = None,
+        store_quantizer: str | None = "same",
+        backend: str = "dense",
+        metadata: dict | None = None,
+    ) -> ModelArtifact:
+        """Package a trained model as a versioned on-disk artifact.
+
+        Accepts either a plain :class:`HDModel` from :meth:`fit` (the
+        facade's encoder config rides along so the artifact can serve
+        raw features) or a :class:`DPTrainingResult` from
+        :meth:`fit_private` (which delegates to
+        :meth:`~repro.core.dp_trainer.DPTrainingResult.to_artifact` and
+        carries the privacy certificate; ``quantizer``/
+        ``store_quantizer`` are fixed by the training run there).
+
+        ``artifact.save(path)`` writes it; ``ModelArtifact.load(path)
+        .engine()`` reconstructs a ready serving engine.
+        """
+        if isinstance(model, DPTrainingResult):
+            return model.to_artifact(backend=backend, metadata=metadata)
+        return ModelArtifact.build(
+            model,
+            quantizer=quantizer,
+            store_quantizer=store_quantizer,
+            backend=backend,
+            encoder=self.encoder,
+            metadata=metadata,
         )
 
     def decoder(self) -> HDDecoder:

@@ -13,7 +13,13 @@ from repro.hd.encode_pipeline import (
     EncodePipeline,
     LazyEncodedStream,
 )
-from repro.hd.encoder import Encoder, LevelBaseEncoder, ScalarBaseEncoder
+from repro.hd.encoder import (
+    ENCODER_KINDS,
+    Encoder,
+    LevelBaseEncoder,
+    ScalarBaseEncoder,
+    encoder_from_config,
+)
 from repro.hd.hypervector import (
     bind,
     bundle,
@@ -38,6 +44,7 @@ from repro.hd.quantize import (
     BipolarQuantizer,
     EncodingQuantizer,
     IdentityQuantizer,
+    MaskedQuantizer,
     TernaryQuantizer,
     TwoBitQuantizer,
     empirical_level_probabilities,
@@ -59,6 +66,8 @@ __all__ = [
     "Encoder",
     "ScalarBaseEncoder",
     "LevelBaseEncoder",
+    "ENCODER_KINDS",
+    "encoder_from_config",
     "NGramEncoder",
     "SymbolMemory",
     "encode_in_batches",
@@ -94,6 +103,7 @@ __all__ = [
     "TernaryQuantizer",
     "BiasedTernaryQuantizer",
     "TwoBitQuantizer",
+    "MaskedQuantizer",
     "get_quantizer",
     "QUANTIZER_NAMES",
     "empirical_level_probabilities",

@@ -203,15 +203,77 @@ class EncodePipeline:
         finally:
             pool.shutdown(wait=True)
 
+    @property
+    def uses_fused_dense_kernel(self) -> bool:
+        """True when :meth:`encode` writes tiles in place (no copy-out).
+
+        Available when the encoder exposes ``encode_into`` (the blocked
+        quantize-into-matmul of
+        :meth:`~repro.hd.encoder.ScalarBaseEncoder.encode_into`) and the
+        selected kernel is dense.  Process workers cannot share the
+        output buffer, so the fused path covers inline and thread
+        execution.
+        """
+        return (
+            not self.uses_packed_kernel
+            and hasattr(self.encoder, "encode_into")
+            and (self.workers == 1 or self.executor == "thread")
+        )
+
+    #: row count below which a scalar-base GEMM is memory-bound (the
+    #: codebook panel is re-streamed per call without enough rows to
+    #: amortize it); the fused encode path coalesces chunk slices up to
+    #: this many rows per projection call.
+    FUSED_GEMM_ROWS = 2048
+
+    def _coalesced_slices(self, n: int, min_rows: int) -> list[slice]:
+        """Chunk slices merged into row groups of at least ``min_rows``.
+
+        Feature quantization is elementwise, so quantizing a merged
+        group equals quantizing its chunks one by one — coalescing only
+        changes the *projection* call shape, never the values.
+        """
+        groups: list[slice] = []
+        start = 0
+        while start < n:
+            stop = min(start + max(self.chunk_size, min_rows), n)
+            groups.append(slice(start, stop))
+            start = stop
+        return groups
+
     def encode(self, X: np.ndarray) -> np.ndarray:
         """The full ``(n, d_hv)`` float32 encoding, built tile by tile.
 
         Same contract as ``encoder.encode`` — use :meth:`stream` or
         :meth:`stream_quantized` when the matrix should never
-        materialize.
+        materialize.  When the encoder provides a fused ``encode_into``
+        kernel (scalar-base), quantization is fused per tile into a
+        blocked projection that lands directly in the output rows — no
+        per-tile temporary, no copy-out pass, and GEMM calls are
+        coalesced to at least :attr:`FUSED_GEMM_ROWS` rows so small
+        streaming chunks no longer degrade the matmul to a
+        memory-bound shape.  This is what recovers the chunked
+        scalar-base path to single-shot throughput
+        (``benchmarks/bench_encode.py``).
         """
         X = check_2d(X, "X", n_cols=self.encoder.d_in)
         out = np.empty((X.shape[0], self.encoder.d_hv), dtype=np.float32)
+        if self.uses_fused_dense_kernel:
+            groups = self._coalesced_slices(X.shape[0], self.FUSED_GEMM_ROWS)
+            if self.workers == 1 or len(groups) == 1:
+                for sl in groups:
+                    self.encoder.encode_into(X[sl], out[sl])
+                return out
+            # Thread workers share the output buffer; every group writes
+            # a disjoint row block, so no synchronization is needed.
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                futures = [
+                    pool.submit(self.encoder.encode_into, X[sl], out[sl])
+                    for sl in groups
+                ]
+                for future in futures:
+                    future.result()
+            return out
         for sl, tile in self.stream(X):
             out[sl] = tile
         return out

@@ -38,7 +38,13 @@ from repro.hd.item_memory import BaseMemory, LevelMemory
 from repro.utils.rng import spawn
 from repro.utils.validation import check_2d, check_positive_int
 
-__all__ = ["Encoder", "ScalarBaseEncoder", "LevelBaseEncoder"]
+__all__ = [
+    "Encoder",
+    "ScalarBaseEncoder",
+    "LevelBaseEncoder",
+    "encoder_from_config",
+    "ENCODER_KINDS",
+]
 
 
 class Encoder(ABC):
@@ -76,6 +82,30 @@ class Encoder(ABC):
     @abstractmethod
     def truncated(self, d_hv: int) -> "Encoder":
         """The same encoder restricted to the first ``d_hv`` dimensions."""
+
+    def config(self) -> dict:
+        """A JSON-safe description that rebuilds this encoder exactly.
+
+        Codebooks are deterministic in ``(kind, d_in, d_hv, seed, …)``, so
+        the config *is* the codebook — the on-disk model artifact stores
+        this dict instead of megabytes of ±1 vectors.  Truncated encoders
+        record their parent dimensionality (``parent_d_hv``) because a
+        ``d_hv``-dimensional codebook drawn fresh differs from the first
+        ``d_hv`` columns of the parent's.
+        """
+        cfg = {
+            "kind": self.kind,
+            "d_in": self.d_in,
+            "d_hv": self.d_hv,
+            "seed": self.seed,
+            "n_levels": self.n_levels,
+            "lo": self.lo,
+            "hi": self.hi,
+        }
+        parent = getattr(self, "_parent_d_hv", self.d_hv)
+        if parent != self.d_hv:
+            cfg["parent_d_hv"] = parent
+        return cfg
 
 
 class ScalarBaseEncoder(Encoder):
@@ -135,6 +165,52 @@ class ScalarBaseEncoder(Encoder):
     def encode(self, X: np.ndarray) -> np.ndarray:
         return self.quantize_features(X) @ self.base.as_float()
 
+    def encode_into(
+        self,
+        X: np.ndarray,
+        out: np.ndarray,
+        *,
+        col_block: int | None = None,
+    ) -> np.ndarray:
+        """Blocked quantize-into-matmul: encode ``X`` directly into ``out``.
+
+        Fuses the per-tile feature quantization into the projection and
+        writes the BLAS product straight into the caller's buffer — no
+        per-tile ``(rows, d_hv)`` temporary, no copy-out pass.  This is
+        what lets the chunked streaming pipeline match (not trail) the
+        single-shot ``encode`` throughput: the single-shot path allocates
+        and fills the full matrix once, and so does a sequence of
+        ``encode_into`` tiles.
+
+        ``col_block`` additionally tiles the projection over codebook
+        column panels (``base[:, j:j+col_block]``), keeping the output
+        panel cache-resident for very large ``d_hv``; ``None`` (default)
+        issues one GEMM per call, which is optimal for the usual tile
+        shapes.  Blocking over columns never changes the per-element
+        accumulation order, so results are identical to :meth:`encode`'s
+        matmul up to BLAS kernel-shape rounding.
+        """
+        Xq = self.quantize_features(X)
+        if out.shape != (Xq.shape[0], self.d_hv):
+            raise ValueError(
+                f"out must have shape {(Xq.shape[0], self.d_hv)}, "
+                f"got {out.shape}"
+            )
+        if out.dtype != np.float32:
+            raise ValueError(f"out must be float32, got {out.dtype}")
+        base = self.base.as_float()
+        if col_block is None or col_block >= self.d_hv:
+            # matmul's out= path is measurably faster than np.dot's here
+            # (no output-buffer staging) and writes the product straight
+            # into the caller's rows.
+            np.matmul(Xq, base, out=out)
+            return out
+        check_positive_int(col_block, "col_block")
+        for j in range(0, self.d_hv, col_block):
+            sl = slice(j, min(j + col_block, self.d_hv))
+            np.matmul(Xq, base[:, sl], out=out[:, sl])
+        return out
+
     def truncated(self, d_hv: int) -> "ScalarBaseEncoder":
         out = object.__new__(ScalarBaseEncoder)
         out.d_in = self.d_in
@@ -144,6 +220,7 @@ class ScalarBaseEncoder(Encoder):
         out.n_levels = self.n_levels
         out.lo = self.lo
         out.hi = self.hi
+        out._parent_d_hv = getattr(self, "_parent_d_hv", self.d_hv)
         return out
 
 
@@ -266,4 +343,54 @@ class LevelBaseEncoder(Encoder):
         out.levels = self.levels.truncated(d_hv)
         out.lo = self.lo
         out.hi = self.hi
+        out._parent_d_hv = getattr(self, "_parent_d_hv", self.d_hv)
         return out
+
+
+#: encoder kinds reconstructible by :func:`encoder_from_config`
+ENCODER_KINDS = ("scalar-base", "level-base")
+
+
+def encoder_from_config(config: dict) -> Encoder:
+    """Rebuild an encoder (codebooks included) from :meth:`Encoder.config`.
+
+    The returned encoder's codebooks are bit-identical to the original's:
+    they regenerate deterministically from the recorded seed, and a
+    recorded ``parent_d_hv`` rebuilds the parent codebook first and
+    truncates it, exactly as the original was made.
+    """
+    cfg = dict(config)
+    kind = cfg.get("kind")
+    if kind not in ENCODER_KINDS:
+        raise ValueError(
+            f"unknown encoder kind {kind!r}; choose from {ENCODER_KINDS}"
+        )
+    d_hv = int(cfg["d_hv"])
+    parent_d_hv = int(cfg.get("parent_d_hv", d_hv))
+    if parent_d_hv < d_hv:
+        raise ValueError(
+            f"parent_d_hv ({parent_d_hv}) cannot be smaller than d_hv ({d_hv})"
+        )
+    n_levels = cfg.get("n_levels")
+    kwargs = dict(
+        lo=float(cfg.get("lo", 0.0)),
+        hi=float(cfg.get("hi", 1.0)),
+        seed=int(cfg.get("seed", 0)),
+    )
+    if kind == "scalar-base":
+        enc: Encoder = ScalarBaseEncoder(
+            int(cfg["d_in"]),
+            parent_d_hv,
+            n_levels=None if n_levels is None else int(n_levels),
+            **kwargs,
+        )
+    else:
+        enc = LevelBaseEncoder(
+            int(cfg["d_in"]),
+            parent_d_hv,
+            n_levels=32 if n_levels is None else int(n_levels),
+            **kwargs,
+        )
+    if parent_d_hv != d_hv:
+        enc = enc.truncated(d_hv)
+    return enc

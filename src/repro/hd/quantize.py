@@ -37,6 +37,7 @@ __all__ = [
     "TernaryQuantizer",
     "BiasedTernaryQuantizer",
     "TwoBitQuantizer",
+    "MaskedQuantizer",
     "get_quantizer",
     "QUANTIZER_NAMES",
     "empirical_level_probabilities",
@@ -213,6 +214,79 @@ class TwoBitQuantizer(_QuantileQuantizer):
     _levels = (-2.0, -1.0, 0.0, 1.0)
     _cut_probs = (0.25, 0.5, 0.75)
     _design_probs = (0.25, 0.25, 0.25, 0.25)
+
+
+class MaskedQuantizer(EncodingQuantizer):
+    """A quantizer restricted to the live dimensions of a pruned model.
+
+    The §III-B query pipeline quantizes only the dimensions that survived
+    pruning — quantile cuts run over the kept dimensions, so the realized
+    level proportions (and the Eq. 14 sensitivity) hold exactly at the
+    live dimension count — and leaves the pruned dimensions at zero.
+    Wrapping that rule as an :class:`EncodingQuantizer` lets every fused
+    consumer (:meth:`~repro.hd.encode_pipeline.EncodePipeline.
+    stream_quantized`, :class:`~repro.serve.InferenceEngine`) stream
+    pruned-model queries without special-casing the mask.
+
+    Masked output adds zeros to the inner level set, so a masked bipolar/
+    ternary quantizer stays packable (zeros are exactly the packed 0
+    level).
+    """
+
+    def __init__(self, inner: EncodingQuantizer | str, keep_mask: np.ndarray):
+        self.inner = get_quantizer(inner)
+        keep = np.asarray(keep_mask, dtype=bool)
+        if keep.ndim != 1:
+            raise ValueError(
+                f"keep_mask must be 1-D, got shape {keep.shape}"
+            )
+        self.keep_mask = keep
+        self.name = f"masked({self.inner.name})"
+
+    @property
+    def levels(self) -> np.ndarray:
+        inner = self.inner.levels
+        if inner.size == 0:
+            return inner
+        return np.unique(np.append(inner, 0.0))
+
+    @property
+    def design_probabilities(self) -> np.ndarray:
+        # Dimension-marginal probabilities are a mask-weighted mixture;
+        # sensitivity accounting uses the inner quantizer at the live
+        # count instead (expected_l2_sensitivity below).
+        return self.inner.design_probabilities
+
+    @property
+    def packable(self) -> bool:
+        # Identity passes values through unchanged outside the mask, so
+        # it is packable only if the inner quantizer is.
+        return self.inner.packable
+
+    def __call__(self, encodings: np.ndarray) -> np.ndarray:
+        H = np.asarray(encodings, dtype=np.float64)
+        squeeze = H.ndim == 1
+        H = check_2d(H, "encodings")
+        if H.shape[1] != self.keep_mask.shape[0]:
+            raise ValueError(
+                f"encodings have {H.shape[1]} dims but keep_mask covers "
+                f"{self.keep_mask.shape[0]}"
+            )
+        out = np.zeros(H.shape, dtype=np.float32)
+        out[:, self.keep_mask] = self.inner(H[:, self.keep_mask])
+        return out[0] if squeeze else out
+
+    def expected_l2_sensitivity(self, d_hv: int, d_in: int | None = None) -> float:
+        """Eq. (14) at the *live* dimension count (``d_hv`` ignored)."""
+        return self.inner.expected_l2_sensitivity(
+            int(self.keep_mask.sum()), d_in
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MaskedQuantizer({self.inner.name!r}, "
+            f"live={int(self.keep_mask.sum())}/{self.keep_mask.shape[0]})"
+        )
 
 
 _REGISTRY = {

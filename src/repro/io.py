@@ -1,17 +1,25 @@
 """Model serialization: ship a (private) HD model to the inference host.
 
-Everything an HD deployment needs is small and NumPy-native, so the
-on-disk format is a single ``.npz``:
+Two generations of on-disk format live here:
 
-* the class store (the only learned tensor),
-* the encoder *configuration* (not its codebooks — they regenerate
-  deterministically from the seed, which is the point of seed-derived
-  item memories),
-* for Prive-HD releases: the keep-mask and the privacy certificate
-  (ε, δ, sensitivity, noise std) so downstream users can verify what
-  guarantee the artifact carries.
+* the **v1 single-npz** forms (:func:`save_model` /
+  :func:`save_deployment`) — kept so existing files keep loading; and
+* the **v2 model artifact** (:class:`~repro.serve.ModelArtifact`,
+  re-exported here) — a directory of ``tensors.npz`` + ``manifest.json``
+  with checksums, quantizer/backend layout, the encoder config and the
+  privacy certificate, reconstructing a ready
+  :class:`~repro.serve.InferenceEngine` via ``ModelArtifact.load(path)
+  .engine()``.  New code (the CLI's ``train --save`` / ``serve`` /
+  ``eval``, the serving registry) uses artifacts.
 
-``load_deployment`` rebuilds a ready-to-serve :class:`DeployedModel`.
+Both formats store the encoder *configuration*, not its codebooks —
+they regenerate deterministically from the seed, which is the point of
+seed-derived item memories — and, for Prive-HD releases, the keep-mask
+and privacy certificate (ε, δ, sensitivity, noise std) so downstream
+users can verify what guarantee the model carries.
+
+:meth:`DeployedModel.to_artifact` upgrades a loaded v1 deployment to
+the artifact format.
 """
 
 from __future__ import annotations
@@ -26,6 +34,12 @@ from repro.core.dp_trainer import DPTrainingResult, quantize_masked
 from repro.hd.encoder import ScalarBaseEncoder
 from repro.hd.model import HDModel
 from repro.hd.quantize import get_quantizer
+from repro.serve.artifact import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactError,
+    ModelArtifact,
+    load_artifact,
+)
 
 __all__ = [
     "save_model",
@@ -34,6 +48,10 @@ __all__ = [
     "load_deployment",
     "DeployedModel",
     "FORMAT_VERSION",
+    "ModelArtifact",
+    "ArtifactError",
+    "load_artifact",
+    "ARTIFACT_FORMAT_VERSION",
 ]
 
 #: bump when the on-disk layout changes
@@ -112,6 +130,26 @@ class DeployedModel:
     def is_private(self) -> bool:
         """Whether the artifact carries a finite (ε, δ) certificate."""
         return bool(np.isfinite(self.epsilon))
+
+    def to_artifact(self) -> ModelArtifact:
+        """Upgrade this v1 deployment to a v2 :class:`ModelArtifact`.
+
+        The private store ships as trained (no serving re-quantization)
+        with the recorded query quantizer, mask and certificate.
+        """
+        return ModelArtifact.build(
+            self.model,
+            quantizer=self.quantizer_name,
+            store_quantizer=None,
+            encoder=self.encoder,
+            keep_mask=self.keep_mask,
+            privacy={
+                "epsilon": float(self.epsilon),
+                "delta": float(self.delta),
+                "sensitivity": float(self.sensitivity),
+                "noise_std": float(self.noise_std),
+            },
+        )
 
 
 def save_deployment(path: str | Path, result: DPTrainingResult) -> Path:

@@ -1,15 +1,47 @@
-"""Model serving: prepared, batched inference over pluggable backends.
+"""Model serving: artifacts, registry, micro-batching, prepared engines.
 
-:class:`InferenceEngine` owns a ready-to-serve snapshot of a trained
-model — quantized once, bit-packed once, norms precomputed once — and
-answers query batches through any :mod:`repro.backend` backend.
+The serving subsystem moves models from training to traffic:
+
+* :class:`ModelArtifact` — the versioned on-disk unit (npz tensors +
+  JSON manifest) that reconstructs a ready engine without training code;
+* :class:`InferenceEngine` — a prepared snapshot (quantized once,
+  bit-packed once, norms precomputed once) answering batched queries
+  through any :mod:`repro.backend` backend;
+* :class:`ModelRegistry` — named, versioned engines with atomic
+  hot-swap (promote a fresh privatized model, zero dropped requests);
+* :class:`MicroBatchScheduler` / :class:`ModelServer` — deadline- and
+  size-triggered coalescing of concurrent small callers into bounded
+  packed batches.
 """
 
+from repro.serve.artifact import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactError,
+    ModelArtifact,
+    load_artifact,
+)
 from repro.serve.bench import ThroughputResult, make_serving_fixture, run_throughput
 from repro.serve.engine import InferenceEngine
+from repro.serve.registry import ModelRegistry, ModelVersion
+from repro.serve.scheduler import (
+    MicroBatchConfig,
+    MicroBatchScheduler,
+    SchedulerStats,
+)
+from repro.serve.server import ModelServer
 
 __all__ = [
     "InferenceEngine",
+    "ModelArtifact",
+    "ArtifactError",
+    "load_artifact",
+    "ARTIFACT_FORMAT_VERSION",
+    "ModelRegistry",
+    "ModelVersion",
+    "MicroBatchConfig",
+    "MicroBatchScheduler",
+    "SchedulerStats",
+    "ModelServer",
     "ThroughputResult",
     "make_serving_fixture",
     "run_throughput",

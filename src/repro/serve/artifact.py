@@ -1,0 +1,381 @@
+"""The versioned, self-describing on-disk model format.
+
+Prive-HD's deployment unit is not a training run — it is the *served*
+model: the (possibly privatized, pruned, quantized) class store plus
+everything a host needs to answer queries exactly as the trainer would.
+:class:`ModelArtifact` captures that unit as a directory of two files:
+
+``manifest.json``
+    Human-readable description: format version, store shape/dtype,
+    quantizer names, preferred backend layout, the encoder *config*
+    (codebooks regenerate deterministically from the seed — the config
+    **is** the codebook), the privacy certificate (ε, δ, σ, sensitivity
+    report) and SHA-256 checksums of every tensor.
+``tensors.npz``
+    The arrays: the serving class store (already quantized — quantile
+    quantizers are not idempotent, so the store is quantized exactly
+    once, at save time) and the pruning keep-mask when present.
+
+``save``/``load`` round-trip bit-exactly, and :meth:`ModelArtifact.
+engine` reconstructs a ready :class:`~repro.serve.InferenceEngine`
+without touching any training code:
+
+    >>> art = ModelArtifact.build(model, quantizer="bipolar",
+    ...                           backend="packed", encoder=enc)
+    >>> art.save("isolet-v1")
+    >>> engine = ModelArtifact.load("isolet-v1").engine()
+    >>> engine.predict(queries)          # identical to pre-save engine
+
+The manifest makes artifacts safe to hand across trust boundaries: a
+host can verify checksums and read the privacy certificate before
+serving, and a newer reader always refuses an artifact from a future
+format version.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.backend import Backend, get_backend
+from repro.hd.encoder import Encoder, encoder_from_config
+from repro.hd.model import HDModel
+from repro.hd.quantize import get_quantizer
+from repro.serve.engine import InferenceEngine
+
+__all__ = [
+    "ModelArtifact",
+    "ArtifactError",
+    "load_artifact",
+    "ARTIFACT_FORMAT_VERSION",
+    "MANIFEST_FILENAME",
+    "TENSORS_FILENAME",
+]
+
+#: bump when the artifact layout changes incompatibly
+ARTIFACT_FORMAT_VERSION = 2
+
+MANIFEST_FILENAME = "manifest.json"
+TENSORS_FILENAME = "tensors.npz"
+
+
+class ArtifactError(ValueError):
+    """A model artifact is missing, malformed, corrupt, or too new."""
+
+
+def _checksum(arr: np.ndarray) -> str:
+    """SHA-256 over the array's C-order bytes (dtype/shape checked apart)."""
+    return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ModelArtifact:
+    """A servable model snapshot: tensors + manifest, nothing else needed.
+
+    Attributes
+    ----------
+    class_hvs:
+        The serving class store, ``(n_classes, d_hv)``, already passed
+        through ``store_quantizer`` (and masked, for pruned models).
+    query_quantizer:
+        Registry name of the quantizer raw-feature queries go through
+        (``None`` = full precision) — the *training* quantizer, which may
+        differ from the store's serving quantizer.
+    store_quantizer:
+        Registry name of the quantizer that produced ``class_hvs``
+        (informational; the store is never re-quantized).
+    backend:
+        Preferred serving layout (``"dense"``/``"packed"``) recorded at
+        build time; :meth:`engine` uses it unless overridden.
+    keep_mask:
+        Live-dimension mask of a pruned model, or ``None``.
+    encoder_config:
+        :meth:`~repro.hd.encoder.Encoder.config` dict, or ``None`` when
+        the artifact serves pre-encoded queries only.
+    privacy:
+        The privacy certificate: ``epsilon``, ``delta``, ``sensitivity``,
+        ``noise_std`` plus the sensitivity report's analytic/empirical
+        ℓ2 values.  ``None`` marks a model with no DP claim at all;
+        ``epsilon=inf`` marks an explicitly non-private release.
+    metadata:
+        Free-form JSON-safe extras (dataset name, training notes, …).
+    """
+
+    class_hvs: np.ndarray
+    query_quantizer: str | None = None
+    store_quantizer: str | None = None
+    backend: str = "dense"
+    keep_mask: np.ndarray | None = None
+    encoder_config: dict | None = None
+    privacy: dict | None = None
+    metadata: dict = field(default_factory=dict)
+    format_version: int = ARTIFACT_FORMAT_VERSION
+
+    def __post_init__(self):
+        store = np.asarray(self.class_hvs)
+        if store.ndim != 2:
+            raise ArtifactError(
+                f"class_hvs must be 2-D, got shape {store.shape}"
+            )
+        object.__setattr__(self, "class_hvs", store)
+        if self.keep_mask is not None:
+            keep = np.asarray(self.keep_mask, dtype=bool)
+            if keep.shape != (store.shape[1],):
+                raise ArtifactError(
+                    f"keep_mask must have shape ({store.shape[1]},), "
+                    f"got {keep.shape}"
+                )
+            object.__setattr__(self, "keep_mask", keep)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_classes(self) -> int:
+        return int(self.class_hvs.shape[0])
+
+    @property
+    def d_hv(self) -> int:
+        return int(self.class_hvs.shape[1])
+
+    @property
+    def n_live_dims(self) -> int:
+        """Dimensions that survived pruning (= ``d_hv`` when unpruned)."""
+        if self.keep_mask is None:
+            return self.d_hv
+        return int(self.keep_mask.sum())
+
+    @property
+    def epsilon(self) -> float:
+        """The certified ε (``inf`` when no finite certificate)."""
+        if not self.privacy:
+            return float("inf")
+        return float(self.privacy.get("epsilon", float("inf")))
+
+    @property
+    def is_private(self) -> bool:
+        """Whether the artifact carries a finite (ε, δ) certificate."""
+        return bool(np.isfinite(self.epsilon))
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        model: HDModel,
+        *,
+        quantizer: str | None = None,
+        store_quantizer: str | None = "same",
+        backend: str | Backend = "dense",
+        encoder: Encoder | None = None,
+        keep_mask: np.ndarray | None = None,
+        privacy: dict | None = None,
+        metadata: dict | None = None,
+    ) -> "ModelArtifact":
+        """Snapshot a trained model into an artifact.
+
+        ``quantizer`` is the raw-feature *query* quantizer;
+        ``store_quantizer`` (default: same as ``quantizer``) is applied
+        to the class store here, once — the artifact stores the
+        quantized result, exactly what an
+        ``InferenceEngine(model, quantizer=...)`` would have served.
+        Pass ``store_quantizer=None`` to ship the store as trained
+        (e.g. the full-precision noisy store of a DP release).
+        """
+        if encoder is not None and encoder.d_hv != model.d_hv:
+            raise ArtifactError(
+                f"encoder produces {encoder.d_hv}-dim hypervectors but "
+                f"the model is {model.d_hv}-dim"
+            )
+        if store_quantizer == "same":
+            store_quantizer = quantizer
+        class_hvs = model.class_hvs
+        if store_quantizer is not None:
+            class_hvs = get_quantizer(store_quantizer)(class_hvs)
+            store_name = get_quantizer(store_quantizer).name
+        else:
+            store_name = None
+        if keep_mask is not None:
+            # The served store of a pruned model is zero off-mask by
+            # construction; re-zero defensively (quantizers map 0 → a
+            # level, e.g. bipolar sends 0 to +1).
+            keep = np.asarray(keep_mask, dtype=bool)
+            class_hvs = class_hvs * keep
+        be = get_backend(backend)
+        if not be.supports(class_hvs):
+            raise ArtifactError(
+                f"the {be.name!r} backend cannot represent the "
+                f"{store_name!r}-quantized class store; pick a packable "
+                "store quantizer or backend='dense'"
+            )
+        q_name = None if quantizer is None else get_quantizer(quantizer).name
+        return cls(
+            class_hvs=class_hvs,
+            query_quantizer=q_name,
+            store_quantizer=store_name,
+            backend=be.name,
+            keep_mask=keep_mask,
+            encoder_config=None if encoder is None else encoder.config(),
+            privacy=privacy,
+            metadata=dict(metadata or {}),
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def manifest(self) -> dict:
+        """The JSON manifest describing this artifact (checksums included)."""
+        tensors = {
+            "class_hvs": {
+                "shape": list(self.class_hvs.shape),
+                "dtype": str(self.class_hvs.dtype),
+                "sha256": _checksum(self.class_hvs),
+            }
+        }
+        if self.keep_mask is not None:
+            tensors["keep_mask"] = {
+                "shape": list(self.keep_mask.shape),
+                "dtype": str(self.keep_mask.dtype),
+                "sha256": _checksum(self.keep_mask),
+            }
+        return {
+            "format": "prive-hd-model-artifact",
+            "format_version": self.format_version,
+            "n_classes": self.n_classes,
+            "d_hv": self.d_hv,
+            "n_live_dims": self.n_live_dims,
+            "backend": self.backend,
+            "query_quantizer": self.query_quantizer,
+            "store_quantizer": self.store_quantizer,
+            "encoder": self.encoder_config,
+            "privacy": self.privacy,
+            "metadata": self.metadata,
+            "tensors": tensors,
+        }
+
+    def save(self, path: str | Path) -> Path:
+        """Write the artifact directory (``manifest.json`` + ``tensors.npz``).
+
+        The tensors are written first and the manifest last, so a
+        directory with a readable manifest always has its tensors in
+        place.
+        """
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        arrays = {"class_hvs": self.class_hvs}
+        if self.keep_mask is not None:
+            arrays["keep_mask"] = self.keep_mask
+        np.savez_compressed(path / TENSORS_FILENAME, **arrays)
+        (path / MANIFEST_FILENAME).write_text(
+            json.dumps(self.manifest(), indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ModelArtifact":
+        """Read an artifact directory back, verifying checksums."""
+        path = Path(path)
+        manifest_path = path / MANIFEST_FILENAME
+        if not manifest_path.is_file():
+            raise ArtifactError(
+                f"{path} is not a model artifact (no {MANIFEST_FILENAME})"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(f"unreadable manifest in {path}: {exc}") from exc
+        version = int(manifest.get("format_version", 0))
+        if version > ARTIFACT_FORMAT_VERSION:
+            raise ArtifactError(
+                f"artifact format v{version} is newer than supported "
+                f"v{ARTIFACT_FORMAT_VERSION}"
+            )
+        declared = manifest.get("tensors", {})
+        with np.load(path / TENSORS_FILENAME) as data:
+            class_hvs = data["class_hvs"]
+            keep_mask = data["keep_mask"] if "keep_mask" in data else None
+        for name, arr in (("class_hvs", class_hvs), ("keep_mask", keep_mask)):
+            if arr is None:
+                continue
+            spec = declared.get(name)
+            if spec is None:
+                continue
+            if list(arr.shape) != spec["shape"] or str(arr.dtype) != spec["dtype"]:
+                raise ArtifactError(
+                    f"tensor {name!r} does not match its manifest: "
+                    f"{arr.shape}/{arr.dtype} vs "
+                    f"{tuple(spec['shape'])}/{spec['dtype']}"
+                )
+            if _checksum(arr) != spec["sha256"]:
+                raise ArtifactError(
+                    f"checksum mismatch on tensor {name!r} — the artifact "
+                    "is corrupt or was modified after saving"
+                )
+        return cls(
+            class_hvs=class_hvs,
+            query_quantizer=manifest.get("query_quantizer"),
+            store_quantizer=manifest.get("store_quantizer"),
+            backend=manifest.get("backend", "dense"),
+            keep_mask=keep_mask,
+            encoder_config=manifest.get("encoder"),
+            privacy=manifest.get("privacy"),
+            metadata=manifest.get("metadata", {}),
+            format_version=version,
+        )
+
+    # ------------------------------------------------------------------
+    # reconstruction
+    # ------------------------------------------------------------------
+    def encoder(self) -> Encoder | None:
+        """Rebuild the recorded encoder (codebooks bit-identical), if any."""
+        if self.encoder_config is None:
+            return None
+        return encoder_from_config(self.encoder_config)
+
+    def engine(
+        self,
+        *,
+        backend: str | Backend | None = None,
+        batch_size: int = 8192,
+        with_encoder: bool = True,
+        encode_workers: int | None = 1,
+        chunk_size: int | None = None,
+        encode_executor: str = "thread",
+    ) -> InferenceEngine:
+        """A ready :class:`~repro.serve.InferenceEngine` over this artifact.
+
+        The store is served exactly as saved (never re-quantized);
+        raw-feature queries stream through the recorded query quantizer,
+        masked to the live dimensions for pruned models.  ``backend``
+        overrides the recorded layout; predictions are identical either
+        way on the same operands.
+        """
+        model = HDModel(self.n_classes, self.d_hv, self.class_hvs)
+        return InferenceEngine(
+            model,
+            backend=self.backend if backend is None else backend,
+            quantizer=self.query_quantizer,
+            batch_size=batch_size,
+            encoder=self.encoder() if with_encoder else None,
+            encode_workers=encode_workers,
+            chunk_size=chunk_size,
+            encode_executor=encode_executor,
+            store_is_quantized=True,
+            keep_mask=self.keep_mask,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        eps = f"{self.epsilon:.3g}" if self.is_private else "non-private"
+        return (
+            f"ModelArtifact(n_classes={self.n_classes}, d_hv={self.d_hv}, "
+            f"backend={self.backend!r}, "
+            f"query_quantizer={self.query_quantizer!r}, privacy={eps})"
+        )
+
+
+def load_artifact(path: str | Path) -> ModelArtifact:
+    """Load a :class:`ModelArtifact` directory (checksum-verified)."""
+    return ModelArtifact.load(path)

@@ -28,7 +28,7 @@ from repro.backend import Backend, PackedHV, get_backend
 from repro.hd.encode_pipeline import EncodePipeline
 from repro.hd.encoder import Encoder
 from repro.hd.model import HDModel
-from repro.hd.quantize import get_quantizer
+from repro.hd.quantize import MaskedQuantizer, get_quantizer
 from repro.utils.validation import check_labels, check_positive_int
 
 __all__ = ["InferenceEngine"]
@@ -65,12 +65,26 @@ class InferenceEngine:
         :class:`~repro.hd.encode_pipeline.EncodePipeline`); only used
         with ``encoder``.  Pick ``encode_executor="process"`` to
         parallelize the GIL-bound packed level-base kernel.
+    store_is_quantized:
+        Declare the model's class store already in its serving
+        representation — e.g. loaded from a
+        :class:`~repro.serve.ModelArtifact`, whose store was quantized
+        once at save time.  The store is prepared as-is (re-applying a
+        quantile quantizer to its own output is not idempotent in
+        general), while ``quantizer`` still shapes raw-feature queries.
+    keep_mask:
+        Live-dimension mask of a pruned (§III-B) model.  Raw-feature
+        queries are quantized over the live dimensions only and zeroed
+        elsewhere — the exact training-time query pipeline
+        (:class:`~repro.hd.quantize.MaskedQuantizer`).  Encoded-query
+        entry points (``predict``/``scores``) expect the caller to have
+        masked already, as the obfuscator does.
 
     Attributes
     ----------
     queries_served, batches_served:
         Cumulative serving counters (cheap observability for the
-        throughput benchmarks and a future service wrapper).
+        throughput benchmarks and the micro-batching server).
     """
 
     def __init__(
@@ -84,12 +98,23 @@ class InferenceEngine:
         encode_workers: int | None = 1,
         chunk_size: int | None = None,
         encode_executor: str = "thread",
+        store_is_quantized: bool = False,
+        keep_mask=None,
     ):
         self.backend = get_backend(backend)
         self.batch_size = check_positive_int(batch_size, "batch_size")
         self.quantizer = None if quantizer is None else get_quantizer(quantizer)
         self.n_classes = model.n_classes
         self.d_hv = model.d_hv
+        self.store_is_quantized = bool(store_is_quantized)
+        if keep_mask is not None:
+            keep_mask = np.asarray(keep_mask, dtype=bool)
+            if keep_mask.shape != (model.d_hv,):
+                raise ValueError(
+                    f"keep_mask must have shape ({model.d_hv},), "
+                    f"got {keep_mask.shape}"
+                )
+        self.keep_mask = keep_mask
         self.encode_pipeline = None
         if encoder is not None:
             if encoder.d_hv != model.d_hv:
@@ -105,7 +130,7 @@ class InferenceEngine:
             )
 
         class_hvs = model.class_hvs
-        if self.quantizer is not None:
+        if self.quantizer is not None and not self.store_is_quantized:
             class_hvs = self.quantizer(class_hvs)
         if not self.backend.supports(class_hvs):
             raise ValueError(
@@ -163,15 +188,32 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     # raw-feature serving (requires the ``encoder`` constructor argument)
     # ------------------------------------------------------------------
+    @property
+    def query_quantizer(self):
+        """The quantizer raw-feature queries actually stream through.
+
+        The configured ``quantizer`` wrapped over the live dimensions
+        when the engine serves a pruned model (``keep_mask``), the
+        configured quantizer itself otherwise, ``None`` when neither is
+        set.
+        """
+        if self.keep_mask is None:
+            return self.quantizer
+        return MaskedQuantizer(
+            get_quantizer(self.quantizer), self.keep_mask
+        )
+
     def _feature_stream(self, X: np.ndarray):
         if self.encode_pipeline is None:
             raise ValueError(
                 "this engine has no encoder; construct it with "
                 "InferenceEngine(model, encoder=...) to serve raw features"
             )
-        # Queries get the same quantizer as the class store so both
-        # backends answer identically; the packed backend additionally
-        # receives bit-packed tiles (what an obfuscating client ships).
+        # Queries get the model's serving quantizer (masked to the live
+        # dimensions for pruned models) so both backends answer
+        # identically; the packed backend additionally receives
+        # bit-packed tiles (what an obfuscating client ships).
+        q = self.query_quantizer
         pack = (
             self.backend.name == "packed"
             and self.quantizer is not None
@@ -182,9 +224,7 @@ class InferenceEngine:
                 "the packed backend needs a packable quantizer "
                 "(bipolar/ternary/ternary-biased) to serve raw features"
             )
-        return self.encode_pipeline.stream_quantized(
-            X, self.quantizer, pack=pack
-        )
+        return self.encode_pipeline.stream_quantized(X, q, pack=pack)
 
     def scores_features(self, X: np.ndarray) -> np.ndarray:
         """Eq. (4) scores for raw ``(n, d_in)`` features, streamed.

@@ -1,0 +1,228 @@
+"""The serving registry: named, versioned models with atomic hot-swap.
+
+A Prive-HD deployment retrains and re-privatizes on a cadence — each run
+produces a fresh :class:`~repro.serve.ModelArtifact` that must replace
+the live model *without dropping requests*.  :class:`ModelRegistry`
+holds every published version of every named model as a prepared
+:class:`~repro.serve.InferenceEngine` and keeps one pointer per name to
+the *current* version.
+
+Swap semantics
+--------------
+``promote`` replaces the current pointer under a lock in one assignment;
+``resolve`` takes the same lock for a dict read.  A request that
+resolved the old engine before a promote simply finishes on the old
+engine — both versions are fully constructed, so there is no window
+where a name resolves to a partially-prepared model, and therefore no
+dropped or errored request during a swap.  The micro-batching
+:class:`~repro.serve.ModelServer` resolves once per *flush*, so every
+query in a batch is answered by a single consistent version.
+
+    >>> reg = ModelRegistry()
+    >>> v1 = reg.publish("isolet", artifact_v1)        # becomes current
+    >>> v2 = reg.publish("isolet", artifact_v2, promote=False)
+    >>> reg.promote("isolet", v2)                      # atomic swap
+    >>> reg.resolve("isolet")                          # v2's engine
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.serve.artifact import ModelArtifact
+from repro.serve.engine import InferenceEngine
+
+__all__ = ["ModelRegistry", "ModelVersion"]
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One published version of a named model.
+
+    Attributes
+    ----------
+    name, version:
+        Registry coordinates; versions are assigned sequentially per
+        name starting at 1.
+    engine:
+        The prepared serving engine (quantized/packed once, at publish).
+    artifact:
+        The source artifact when the version was published from one
+        (``None`` for engines published directly).
+    """
+
+    name: str
+    version: int
+    engine: InferenceEngine
+    artifact: ModelArtifact | None = field(default=None, repr=False)
+
+
+class ModelRegistry:
+    """Thread-safe store of named, versioned serving engines.
+
+    All mutating and resolving operations take one internal lock; the
+    critical sections are dict operations only (engine preparation
+    happens *outside* the lock), so resolution stays cheap under
+    concurrent serving traffic.
+    """
+
+    def __init__(self):
+        # Re-entrant: resolution helpers (describe -> _require -> names)
+        # compose under one lock without deadlocking.
+        self._lock = threading.RLock()
+        self._versions: dict[str, dict[int, ModelVersion]] = {}
+        self._current: dict[str, int] = {}
+        self.swaps = 0
+
+    # ------------------------------------------------------------------
+    # publishing
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        name: str,
+        model: ModelArtifact | InferenceEngine,
+        *,
+        promote: bool = True,
+        engine_kwargs: dict | None = None,
+    ) -> int:
+        """Register a new version of ``name``; returns its version number.
+
+        ``model`` is a :class:`~repro.serve.ModelArtifact` (an engine is
+        built from it, honoring its recorded backend; ``engine_kwargs``
+        forwards overrides) or an already-prepared
+        :class:`~repro.serve.InferenceEngine`.  With ``promote=True``
+        (default) the new version becomes current atomically; with
+        ``promote=False`` it is staged for a later :meth:`promote` —
+        e.g. after a validation pass against the live version.
+        """
+        if isinstance(model, ModelArtifact):
+            engine = model.engine(**(engine_kwargs or {}))
+            artifact: ModelArtifact | None = model
+        elif isinstance(model, InferenceEngine):
+            if engine_kwargs:
+                raise ValueError(
+                    "engine_kwargs only applies when publishing an artifact"
+                )
+            engine, artifact = model, None
+        else:
+            raise TypeError(
+                "publish() takes a ModelArtifact or an InferenceEngine, "
+                f"got {type(model).__name__}"
+            )
+        with self._lock:
+            versions = self._versions.setdefault(name, {})
+            version = max(versions, default=0) + 1
+            versions[version] = ModelVersion(
+                name=name, version=version, engine=engine, artifact=artifact
+            )
+            if promote or name not in self._current:
+                self._current[name] = version
+                self.swaps += 1
+        return version
+
+    def load(
+        self,
+        name: str,
+        path: str | Path,
+        *,
+        promote: bool = True,
+        engine_kwargs: dict | None = None,
+    ) -> int:
+        """Load an artifact directory from disk and :meth:`publish` it."""
+        return self.publish(
+            name,
+            ModelArtifact.load(path),
+            promote=promote,
+            engine_kwargs=engine_kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # promotion / retirement
+    # ------------------------------------------------------------------
+    def promote(self, name: str, version: int) -> None:
+        """Atomically make ``version`` the current one for ``name``.
+
+        In-flight requests holding the previous engine finish on it;
+        every resolution after this call returns the promoted engine.
+        """
+        with self._lock:
+            self._require(name, version)
+            self._current[name] = int(version)
+            self.swaps += 1
+
+    def retire(self, name: str, version: int) -> None:
+        """Drop a non-current version (frees its prepared store)."""
+        with self._lock:
+            self._require(name, version)
+            if self._current.get(name) == version:
+                raise ValueError(
+                    f"cannot retire the current version {version} of "
+                    f"{name!r}; promote another version first"
+                )
+            del self._versions[name][version]
+
+    def _require(self, name: str, version: int) -> None:
+        if name not in self._versions:
+            raise KeyError(f"unknown model {name!r}; published: {self.names()}")
+        if version not in self._versions[name]:
+            raise KeyError(
+                f"model {name!r} has no version {version}; "
+                f"published: {sorted(self._versions[name])}"
+            )
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve(self, name: str, version: int | None = None) -> InferenceEngine:
+        """The engine for ``name`` (current version unless pinned)."""
+        return self.describe(name, version).engine
+
+    def describe(self, name: str, version: int | None = None) -> ModelVersion:
+        """Full :class:`ModelVersion` record (engine + source artifact)."""
+        with self._lock:
+            if name not in self._versions:
+                raise KeyError(
+                    f"unknown model {name!r}; published: {self.names()}"
+                )
+            if version is None:
+                version = self._current[name]
+            self._require(name, version)
+            return self._versions[name][version]
+
+    def current_version(self, name: str) -> int:
+        """The currently-promoted version number of ``name``."""
+        with self._lock:
+            if name not in self._current:
+                raise KeyError(f"unknown model {name!r}")
+            return self._current[name]
+
+    def versions(self, name: str) -> tuple[int, ...]:
+        """All published version numbers of ``name``, ascending."""
+        with self._lock:
+            if name not in self._versions:
+                raise KeyError(f"unknown model {name!r}")
+            return tuple(sorted(self._versions[name]))
+
+    def names(self) -> tuple[str, ...]:
+        """All published model names, sorted."""
+        with self._lock:
+            return tuple(sorted(self._versions))
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._versions
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._versions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            parts = [
+                f"{name}@v{self._current[name]}"
+                f"({len(self._versions[name])} versions)"
+                for name in sorted(self._versions)
+            ]
+        return f"ModelRegistry({', '.join(parts)})"

@@ -1,0 +1,187 @@
+"""The serving frontend: registry-backed, micro-batched, hot-swappable.
+
+:class:`ModelServer` is what a deployment actually exposes to callers:
+it owns a :class:`~repro.serve.ModelRegistry` of named/versioned models
+and one :class:`~repro.serve.MicroBatchScheduler` per served entry
+point, so that
+
+* many concurrent small callers are coalesced into bounded packed
+  batches (throughput ≈ the offline batch bench, not per-query
+  matmuls);
+* every batch is answered by one consistent model version — the
+  scheduler's runner resolves the registry *per flush*, so
+  :meth:`~repro.serve.ModelRegistry.promote` hot-swaps versions between
+  batches with zero dropped requests;
+* encoded-hypervector clients (``predict``) and raw-feature clients
+  (``predict_features``, for artifacts that recorded an encoder) get
+  separate schedulers — their row shapes differ.
+
+    >>> registry = ModelRegistry()
+    >>> registry.load("isolet", "artifacts/isolet-v1")
+    >>> with ModelServer(registry, default_model="isolet") as server:
+    ...     preds = server.predict(query_hv)          # any thread
+    ...     registry.load("isolet", "artifacts/isolet-v2")  # hot swap
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.serve.artifact import ModelArtifact
+from repro.serve.registry import ModelRegistry
+from repro.serve.scheduler import MicroBatchConfig, MicroBatchScheduler
+
+__all__ = ["ModelServer"]
+
+
+class ModelServer:
+    """Micro-batched serving over a (hot-swappable) model registry.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.serve.ModelRegistry` to serve from; publishing
+        or promoting versions on it takes effect on the next flush.
+        ``None`` creates an empty registry (reachable as ``.registry``).
+    default_model:
+        Model name assumed when a call omits ``model=``; optional if the
+        registry serves exactly one name at call time.
+    config:
+        Micro-batching flush policy shared by all entry points.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry | None = None,
+        *,
+        default_model: str | None = None,
+        config: MicroBatchConfig | None = None,
+    ):
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.default_model = default_model
+        self.config = config or MicroBatchConfig()
+        self._schedulers: dict[tuple[str, str], MicroBatchScheduler] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # convenience publishing
+    # ------------------------------------------------------------------
+    def serve(self, name: str, model, **publish_kwargs) -> int:
+        """Publish an artifact/engine and make it this server's default.
+
+        Sugar for ``registry.publish`` + ``default_model=name`` on a
+        fresh server; returns the published version.
+        """
+        version = self.registry.publish(name, model, **publish_kwargs)
+        if self.default_model is None:
+            self.default_model = name
+        return version
+
+    # ------------------------------------------------------------------
+    # serving entry points (thread-safe, blocking, micro-batched)
+    # ------------------------------------------------------------------
+    def predict(self, queries, *, model: str | None = None) -> np.ndarray:
+        """Predicted labels for encoded query hypervectors.
+
+        Accepts a single ``(d_hv,)`` query or an ``(n, d_hv)`` dense
+        batch; concurrent callers are coalesced into one engine call
+        per flush (the batch is packed once there, when the serving
+        backend is packed).
+        """
+        return self._scheduler(model, "predict").predict(queries)
+
+    def scores(self, queries, *, model: str | None = None) -> np.ndarray:
+        """Eq. (4) class scores, micro-batched like :meth:`predict`."""
+        return self._scheduler(model, "scores").predict(queries)
+
+    def predict_features(self, X, *, model: str | None = None) -> np.ndarray:
+        """Predictions for raw ``(n, d_in)`` features.
+
+        Requires the served artifact to carry an encoder config; the
+        whole coalesced batch streams through the engine's fused
+        encode → quantize (→ pack) pipeline once per flush.
+        """
+        return self._scheduler(model, "predict_features").predict(X)
+
+    def submit(self, queries, *, model: str | None = None):
+        """Non-blocking :meth:`predict`; returns the request's Future."""
+        return self._scheduler(model, "predict").submit(queries)
+
+    # ------------------------------------------------------------------
+    def current_artifact(self, model: str | None = None) -> ModelArtifact | None:
+        """The artifact behind the current version (None if engine-only)."""
+        return self.registry.describe(self._resolve_name(model)).artifact
+
+    def stats(self) -> dict:
+        """Per-entry-point scheduler stats, keyed ``"name.method"``."""
+        with self._lock:
+            return {
+                f"{name}.{method}": sched.stats
+                for (name, method), sched in self._schedulers.items()
+            }
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _resolve_name(self, model: str | None) -> str:
+        name = model or self.default_model
+        if name is None:
+            names = self.registry.names()
+            if len(names) == 1:
+                return names[0]
+            raise ValueError(
+                "no model name given and no default set; "
+                f"registry serves {list(names)}"
+            )
+        return name
+
+    def _scheduler(self, model: str | None, method: str) -> MicroBatchScheduler:
+        name = self._resolve_name(model)
+        key = (name, method)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            sched = self._schedulers.get(key)
+            if sched is None:
+                # The runner resolves the *current* engine at every
+                # flush — this is what makes registry promotion a
+                # zero-downtime hot swap: a batch in flight keeps its
+                # engine, the next batch gets the new one.
+                def runner(rows, _name=name, _method=method):
+                    engine = self.registry.resolve(_name)
+                    return getattr(engine, _method)(rows)
+
+                sched = MicroBatchScheduler(
+                    runner, self.config, name=f"{name}.{method}"
+                )
+                self._schedulers[key] = sched
+            return sched
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain and stop every scheduler; further calls raise."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            schedulers = list(self._schedulers.values())
+        for sched in schedulers:
+            sched.close()
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ModelServer(models={list(self.registry.names())}, "
+            f"default={self.default_model!r}, "
+            f"max_batch={self.config.max_batch})"
+        )

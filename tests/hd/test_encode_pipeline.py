@@ -392,3 +392,48 @@ class TestBatchingPassthrough:
             get_quantizer("bipolar")(enc.encode(X)), y, 3
         )
         np.testing.assert_array_equal(parallel.class_hvs, mono.class_hvs)
+
+
+class TestFusedDenseKernel:
+    """The blocked quantize-into-matmul path of pipeline.encode()."""
+
+    def test_flag_set_for_scalar_base_inline_and_threads(self):
+        enc = ScalarBaseEncoder(13, 130, seed=1)
+        assert EncodePipeline(enc).uses_fused_dense_kernel
+        assert EncodePipeline(enc, workers=3).uses_fused_dense_kernel
+        assert not EncodePipeline(
+            enc, workers=2, executor="process"
+        ).uses_fused_dense_kernel
+
+    def test_flag_unset_for_packed_kernel(self):
+        enc = LevelBaseEncoder(13, 130, n_levels=4, seed=1)
+        assert not EncodePipeline(enc).uses_fused_dense_kernel
+        assert EncodePipeline(enc, kernel="dense").uses_fused_dense_kernel is False
+        # level-base has no encode_into, so even the dense kernel streams
+
+    def test_coalesced_groups_cover_all_rows(self):
+        enc = ScalarBaseEncoder(13, 130, seed=1)
+        pipeline = EncodePipeline(enc, chunk_size=10)
+        groups = pipeline._coalesced_slices(25, min_rows=20)
+        assert [(g.start, g.stop) for g in groups] == [(0, 20), (20, 25)]
+        # chunk_size larger than min_rows wins
+        pipeline = EncodePipeline(enc, chunk_size=30)
+        groups = pipeline._coalesced_slices(65, min_rows=20)
+        assert [(g.start, g.stop) for g in groups] == [
+            (0, 30), (30, 60), (60, 65),
+        ]
+
+    def test_fused_encode_matches_stream_tiles(self):
+        enc = ScalarBaseEncoder(13, 130, seed=2)
+        X = _inputs(47, 13, seed=5)
+        pipeline = EncodePipeline(enc, chunk_size=9)
+        fused = pipeline.encode(X)
+        streamed = np.vstack([tile for _, tile in pipeline.stream(X)])
+        np.testing.assert_allclose(fused, streamed, rtol=1e-5, atol=1e-4)
+
+    def test_fused_threaded_encode_matches_inline(self):
+        enc = ScalarBaseEncoder(13, 130, seed=3)
+        X = _inputs(101, 13, seed=6)
+        inline = EncodePipeline(enc, chunk_size=8).encode(X)
+        threaded = EncodePipeline(enc, chunk_size=8, workers=3).encode(X)
+        np.testing.assert_allclose(threaded, inline, rtol=1e-5, atol=1e-4)

@@ -139,3 +139,85 @@ class TestLevelBaseEncoder:
         s_near = cosine(enc.encode_one(lo), enc.encode_one(lo_eps))
         s_far = cosine(enc.encode_one(lo), enc.encode_one(hi))
         assert s_near > s_far
+
+
+class TestEncodeInto:
+    """The blocked quantize-into-matmul kernel of the streaming pipeline."""
+
+    def test_matches_encode(self):
+        enc = ScalarBaseEncoder(16, 300, seed=4)
+        X = _inputs(20, 16)
+        out = np.empty((20, 300), dtype=np.float32)
+        assert enc.encode_into(X, out) is out
+        np.testing.assert_allclose(out, enc.encode(X), rtol=1e-5, atol=1e-4)
+
+    def test_col_block_parity(self):
+        enc = ScalarBaseEncoder(16, 300, seed=4)
+        X = _inputs(10, 16)
+        blocked = np.empty((10, 300), dtype=np.float32)
+        enc.encode_into(X, blocked, col_block=77)  # does not divide 300
+        np.testing.assert_allclose(
+            blocked, enc.encode(X), rtol=1e-5, atol=1e-4
+        )
+
+    def test_with_feature_levels(self):
+        enc = ScalarBaseEncoder(8, 128, n_levels=5, seed=1)
+        X = _inputs(6, 8)
+        out = np.empty((6, 128), dtype=np.float32)
+        enc.encode_into(X, out)
+        np.testing.assert_allclose(out, enc.encode(X), rtol=1e-5, atol=1e-4)
+
+    def test_rejects_bad_out(self):
+        enc = ScalarBaseEncoder(8, 64, seed=0)
+        X = _inputs(4, 8)
+        with pytest.raises(ValueError, match="shape"):
+            enc.encode_into(X, np.empty((4, 65), dtype=np.float32))
+        with pytest.raises(ValueError, match="float32"):
+            enc.encode_into(X, np.empty((4, 64), dtype=np.float64))
+
+
+class TestEncoderConfig:
+    """Config round-trips rebuild bit-identical codebooks."""
+
+    def test_scalar_base_round_trip(self):
+        from repro.hd import encoder_from_config
+
+        enc = ScalarBaseEncoder(12, 200, n_levels=7, lo=-1.0, hi=2.0, seed=5)
+        clone = encoder_from_config(enc.config())
+        assert isinstance(clone, ScalarBaseEncoder)
+        np.testing.assert_array_equal(clone.base.vectors, enc.base.vectors)
+        X = spawn(0, "cfg-x").uniform(-1, 2, (5, 12))
+        np.testing.assert_array_equal(clone.encode(X), enc.encode(X))
+
+    def test_level_base_round_trip(self):
+        from repro.hd import encoder_from_config
+
+        enc = LevelBaseEncoder(12, 200, n_levels=6, seed=5)
+        clone = encoder_from_config(enc.config())
+        assert isinstance(clone, LevelBaseEncoder)
+        np.testing.assert_array_equal(clone.base.vectors, enc.base.vectors)
+        np.testing.assert_array_equal(
+            clone.levels.vectors, enc.levels.vectors
+        )
+
+    def test_truncated_config_records_parent(self):
+        from repro.hd import encoder_from_config
+
+        enc = LevelBaseEncoder(8, 512, n_levels=4, seed=3).truncated(100)
+        cfg = enc.config()
+        assert cfg["parent_d_hv"] == 512
+        clone = encoder_from_config(cfg)
+        np.testing.assert_array_equal(clone.base.vectors, enc.base.vectors)
+        np.testing.assert_array_equal(
+            clone.levels.vectors, enc.levels.vectors
+        )
+
+    def test_twice_truncated_keeps_root_parent(self):
+        enc = ScalarBaseEncoder(8, 512, seed=3).truncated(300).truncated(100)
+        assert enc.config()["parent_d_hv"] == 512
+
+    def test_unknown_kind_rejected(self):
+        from repro.hd import encoder_from_config
+
+        with pytest.raises(ValueError, match="kind"):
+            encoder_from_config({"kind": "fourier", "d_in": 4, "d_hv": 16})

@@ -208,3 +208,82 @@ class TestPackableOutputs:
             get_quantizer("2bit").pack(np.zeros((2, 10)))
         with pytest.raises(ValueError, match="cannot be bit-packed"):
             get_quantizer("identity").pack(np.zeros((2, 10)))
+
+
+class TestMaskedQuantizer:
+    def _mask(self, d=40, live=25, seed=0):
+        from repro.utils import spawn
+
+        keep = np.zeros(d, dtype=bool)
+        keep[spawn(seed, "mask").choice(d, live, replace=False)] = True
+        return keep
+
+    def test_matches_quantize_masked(self):
+        from repro.core.dp_trainer import quantize_masked
+        from repro.hd.quantize import MaskedQuantizer
+        from repro.utils import spawn
+
+        H = spawn(1, "masked-q").normal(size=(12, 40))
+        keep = self._mask()
+        inner = get_quantizer("ternary-biased")
+        np.testing.assert_array_equal(
+            MaskedQuantizer(inner, keep)(H), quantize_masked(H, keep, inner)
+        )
+
+    def test_pruned_dimensions_stay_zero(self):
+        from repro.hd.quantize import MaskedQuantizer
+        from repro.utils import spawn
+
+        H = spawn(2, "masked-q").normal(size=(6, 40))
+        keep = self._mask()
+        out = MaskedQuantizer("bipolar", keep)(H)
+        assert np.all(out[:, ~keep] == 0.0)
+        assert set(np.unique(out[:, keep])) <= {-1.0, 1.0}
+
+    def test_packable_follows_inner(self):
+        from repro.hd.quantize import MaskedQuantizer
+
+        keep = self._mask()
+        assert MaskedQuantizer("bipolar", keep).packable
+        assert MaskedQuantizer("ternary", keep).packable
+        assert not MaskedQuantizer("2bit", keep).packable
+
+    def test_pack_round_trips(self):
+        from repro.hd.quantize import MaskedQuantizer
+        from repro.utils import spawn
+
+        H = spawn(3, "masked-q").normal(size=(5, 70))
+        q = MaskedQuantizer("ternary", self._mask(70, 30))
+        np.testing.assert_array_equal(q.pack(H).unpack(), q(H))
+
+    def test_sensitivity_uses_live_count(self):
+        from repro.hd.quantize import MaskedQuantizer
+
+        keep = self._mask(40, 25)
+        inner = get_quantizer("bipolar")
+        q = MaskedQuantizer(inner, keep)
+        assert q.expected_l2_sensitivity(40) == pytest.approx(
+            inner.expected_l2_sensitivity(25)
+        )
+
+    def test_single_row_squeezes(self):
+        from repro.hd.quantize import MaskedQuantizer
+        from repro.utils import spawn
+
+        keep = self._mask()
+        out = MaskedQuantizer("bipolar", keep)(
+            spawn(4, "masked-q").normal(size=40)
+        )
+        assert out.shape == (40,)
+
+    def test_dimension_mismatch_raises(self):
+        from repro.hd.quantize import MaskedQuantizer
+
+        with pytest.raises(ValueError, match="keep_mask"):
+            MaskedQuantizer("bipolar", self._mask(40))(np.zeros((2, 41)))
+
+    def test_levels_include_masked_zero(self):
+        from repro.hd.quantize import MaskedQuantizer
+
+        q = MaskedQuantizer("bipolar", self._mask())
+        assert 0.0 in q.levels.tolist()

@@ -1,0 +1,277 @@
+"""ModelArtifact: round-trips, manifests, checksums, engine rebuilds."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dp_trainer import DPTrainer, DPTrainingConfig
+from repro.hd import (
+    HDModel,
+    LevelBaseEncoder,
+    ScalarBaseEncoder,
+    get_quantizer,
+)
+from repro.serve import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactError,
+    InferenceEngine,
+    ModelArtifact,
+    load_artifact,
+)
+from repro.serve.artifact import MANIFEST_FILENAME, TENSORS_FILENAME
+from tests.conftest import make_cluster_task
+from repro.utils import spawn
+
+
+def _trained_system(d_hv=900, quantizer="bipolar", encoder_kind="scalar-base"):
+    """Encoder + model trained on quantized encodings + raw data."""
+    X, y = make_cluster_task(n=160, d_in=24, n_classes=4, seed=11)
+    if encoder_kind == "level-base":
+        enc = LevelBaseEncoder(24, d_hv, n_levels=8, seed=3)
+    else:
+        enc = ScalarBaseEncoder(24, d_hv, seed=3)
+    q = get_quantizer(quantizer)
+    model = HDModel.from_encodings(q(enc.encode(X)), y, 4)
+    return enc, model, X, y
+
+
+class TestRoundTrip:
+    """Bit-identical predictions before and after save/load, over the
+    backend × quantizer × pruned × dimensionality grid."""
+
+    # 900 and 1000 are deliberately not multiples of 64 (packed tail).
+    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    @pytest.mark.parametrize(
+        "quantizer", ["bipolar", "ternary", "ternary-biased"]
+    )
+    @pytest.mark.parametrize("d_hv", [900, 128])
+    def test_packable_grid(self, tmp_path, backend, quantizer, d_hv):
+        enc, model, X, _ = _trained_system(d_hv=d_hv, quantizer=quantizer)
+        art = ModelArtifact.build(
+            model, quantizer=quantizer, backend=backend, encoder=enc
+        )
+        loaded = ModelArtifact.load(art.save(tmp_path / "a"))
+        before, after = art.engine(), loaded.engine()
+        np.testing.assert_array_equal(
+            before.predict_features(X), after.predict_features(X)
+        )
+        H = get_quantizer(quantizer)(enc.encode(X))
+        np.testing.assert_array_equal(before.predict(H), after.predict(H))
+
+    @pytest.mark.parametrize("quantizer", ["identity", "2bit"])
+    def test_unpackable_quantizers_round_trip_dense(self, tmp_path, quantizer):
+        enc, model, X, _ = _trained_system(d_hv=257, quantizer=quantizer)
+        art = ModelArtifact.build(
+            model, quantizer=quantizer, backend="dense", encoder=enc
+        )
+        loaded = ModelArtifact.load(art.save(tmp_path / "a"))
+        np.testing.assert_array_equal(
+            art.engine().predict_features(X),
+            loaded.engine().predict_features(X),
+        )
+
+    def test_store_quantized_exactly_once(self, tmp_path):
+        """The loaded engine must serve the saved store as-is — never
+        re-quantize it (quantile quantizers are not idempotent)."""
+        enc, model, X, _ = _trained_system(quantizer="ternary-biased")
+        art = ModelArtifact.build(
+            model, quantizer="ternary-biased", encoder=enc
+        )
+        loaded = ModelArtifact.load(art.save(tmp_path / "a"))
+        np.testing.assert_array_equal(loaded.class_hvs, art.class_hvs)
+        engine = loaded.engine()
+        assert engine.store_is_quantized
+        np.testing.assert_array_equal(
+            np.asarray(engine.prepared.store), art.class_hvs
+        )
+
+    def test_matches_legacy_engine_construction(self, tmp_path):
+        """artifact.engine() == InferenceEngine(model, quantizer=...)."""
+        enc, model, X, _ = _trained_system(quantizer="bipolar")
+        legacy = InferenceEngine(
+            model, backend="packed", quantizer="bipolar", encoder=enc
+        )
+        art = ModelArtifact.build(
+            model, quantizer="bipolar", backend="packed", encoder=enc
+        )
+        loaded = ModelArtifact.load(art.save(tmp_path / "a"))
+        np.testing.assert_array_equal(
+            loaded.engine().predict_features(X), legacy.predict_features(X)
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        d_hv=st.sampled_from([64, 100, 129, 640, 900]),
+        quantizer=st.sampled_from(["bipolar", "ternary", "ternary-biased"]),
+    )
+    def test_roundtrip_property(self, tmp_path_factory, seed, d_hv, quantizer):
+        """Random stores round-trip with identical packed/dense scores."""
+        rng = spawn(seed, "artifact-prop")
+        store = get_quantizer(quantizer)(rng.normal(size=(5, d_hv)))
+        model = HDModel(5, d_hv, store)
+        queries = get_quantizer(quantizer)(rng.normal(size=(16, d_hv)))
+        art = ModelArtifact.build(model, quantizer=quantizer, backend="packed")
+        path = art.save(tmp_path_factory.mktemp("artifact") / "a")
+        loaded = ModelArtifact.load(path)
+        for backend in ("dense", "packed"):
+            np.testing.assert_array_equal(
+                art.engine(backend=backend).predict(queries),
+                loaded.engine(backend=backend).predict(queries),
+            )
+
+
+class TestPrunedModels:
+    @pytest.fixture(scope="class")
+    def dp_result(self):
+        X, y = make_cluster_task(n=300, d_in=24, n_classes=3, seed=81)
+        cfg = DPTrainingConfig(
+            epsilon=4.0, d_hv=1000, effective_dims=600, seed=5
+        )
+        return DPTrainer(cfg).fit(X, y, n_classes=3), X, y
+
+    def test_dp_artifact_round_trip(self, tmp_path, dp_result):
+        result, X, y = dp_result
+        art = result.to_artifact()
+        loaded = ModelArtifact.load(art.save(tmp_path / "dp"))
+        engine = loaded.engine()
+        np.testing.assert_array_equal(
+            engine.predict_features(X),
+            result.private.model.predict(result.encode_queries(X)),
+        )
+        assert engine.accuracy_features(X, y) == pytest.approx(
+            result.accuracy(X, y)
+        )
+
+    def test_dp_artifact_privacy_certificate(self, tmp_path, dp_result):
+        result, _, _ = dp_result
+        loaded = ModelArtifact.load(result.to_artifact().save(tmp_path / "dp"))
+        assert loaded.is_private
+        assert loaded.epsilon == 4.0
+        assert loaded.privacy["delta"] == 1e-5
+        assert loaded.privacy["noise_std"] == pytest.approx(
+            result.private.noise_std
+        )
+        assert loaded.privacy["analytic_l2"] == pytest.approx(
+            result.sensitivity.analytic_l2
+        )
+        assert loaded.n_live_dims == 600
+
+    def test_dp_artifact_never_ships_baseline(self, tmp_path, dp_result):
+        result, _, _ = dp_result
+        path = result.to_artifact().save(tmp_path / "dp")
+        with np.load(path / TENSORS_FILENAME) as data:
+            stored = data["class_hvs"]
+        assert not np.allclose(stored, result.baseline.class_hvs)
+        np.testing.assert_array_equal(
+            stored, result.private.model.class_hvs
+        )
+
+    def test_masked_queries_stay_zero(self, tmp_path, dp_result):
+        result, X, _ = dp_result
+        loaded = ModelArtifact.load(result.to_artifact().save(tmp_path / "dp"))
+        engine = loaded.engine()
+        tile = next(iter(engine._feature_stream(X[:8])))[1]
+        assert np.all(np.asarray(tile)[:, ~loaded.keep_mask] == 0.0)
+
+
+class TestManifest:
+    def test_manifest_is_self_describing(self, tmp_path):
+        enc, model, _, _ = _trained_system(quantizer="bipolar")
+        art = ModelArtifact.build(
+            model,
+            quantizer="bipolar",
+            backend="packed",
+            encoder=enc,
+            metadata={"dataset": "unit-test"},
+        )
+        path = art.save(tmp_path / "a")
+        manifest = json.loads((path / MANIFEST_FILENAME).read_text())
+        assert manifest["format"] == "prive-hd-model-artifact"
+        assert manifest["format_version"] == ARTIFACT_FORMAT_VERSION
+        assert manifest["n_classes"] == 4
+        assert manifest["backend"] == "packed"
+        assert manifest["query_quantizer"] == "bipolar"
+        assert manifest["encoder"]["kind"] == "scalar-base"
+        assert manifest["metadata"]["dataset"] == "unit-test"
+        assert "sha256" in manifest["tensors"]["class_hvs"]
+
+    def test_checksum_corruption_detected(self, tmp_path):
+        _, model, _, _ = _trained_system(d_hv=128)
+        art = ModelArtifact.build(model, quantizer="bipolar")
+        path = art.save(tmp_path / "a")
+        corrupt = art.class_hvs.copy()
+        corrupt[0, 0] = -corrupt[0, 0]
+        np.savez_compressed(path / TENSORS_FILENAME, class_hvs=corrupt)
+        with pytest.raises(ArtifactError, match="checksum"):
+            ModelArtifact.load(path)
+
+    def test_shape_mismatch_detected(self, tmp_path):
+        _, model, _, _ = _trained_system(d_hv=128)
+        path = ModelArtifact.build(model, quantizer="bipolar").save(
+            tmp_path / "a"
+        )
+        np.savez_compressed(
+            path / TENSORS_FILENAME, class_hvs=np.ones((2, 64), np.float32)
+        )
+        with pytest.raises(ArtifactError, match="manifest"):
+            ModelArtifact.load(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        _, model, _, _ = _trained_system(d_hv=128)
+        path = ModelArtifact.build(model, quantizer="bipolar").save(
+            tmp_path / "a"
+        )
+        manifest = json.loads((path / MANIFEST_FILENAME).read_text())
+        manifest["format_version"] = ARTIFACT_FORMAT_VERSION + 1
+        (path / MANIFEST_FILENAME).write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="newer"):
+            load_artifact(path)
+
+    def test_missing_artifact_raises(self, tmp_path):
+        with pytest.raises(ArtifactError, match="not a model artifact"):
+            load_artifact(tmp_path / "nope")
+
+    def test_unsupported_store_backend_rejected_at_build(self):
+        _, model, _, _ = _trained_system(d_hv=128, quantizer="identity")
+        with pytest.raises(ArtifactError, match="backend"):
+            ModelArtifact.build(model, quantizer=None, backend="packed")
+
+
+class TestEncoderRebuild:
+    @pytest.mark.parametrize("kind", ["scalar-base", "level-base"])
+    def test_codebooks_bit_identical(self, tmp_path, kind):
+        enc, model, _, _ = _trained_system(encoder_kind=kind)
+        art = ModelArtifact.build(model, quantizer="bipolar", encoder=enc)
+        rebuilt = ModelArtifact.load(art.save(tmp_path / "a")).encoder()
+        np.testing.assert_array_equal(
+            rebuilt.base.vectors, enc.base.vectors
+        )
+        if kind == "level-base":
+            np.testing.assert_array_equal(
+                rebuilt.levels.vectors, enc.levels.vectors
+            )
+
+    def test_truncated_encoder_round_trips(self, tmp_path):
+        """Truncated codebooks differ from fresh draws at the small size;
+        the artifact must record and replay the truncation."""
+        parent = ScalarBaseEncoder(24, 1024, seed=9)
+        enc = parent.truncated(700)
+        fresh = ScalarBaseEncoder(24, 700, seed=9)
+        assert not np.array_equal(enc.base.vectors, fresh.base.vectors)
+        X, y = make_cluster_task(n=80, d_in=24, n_classes=3, seed=2)
+        q = get_quantizer("bipolar")
+        model = HDModel.from_encodings(q(enc.encode(X)), y, 3)
+        art = ModelArtifact.build(model, quantizer="bipolar", encoder=enc)
+        rebuilt = ModelArtifact.load(art.save(tmp_path / "a")).encoder()
+        np.testing.assert_array_equal(rebuilt.base.vectors, enc.base.vectors)
+
+    def test_engine_without_encoder_serves_hypervectors_only(self, tmp_path):
+        _, model, X, _ = _trained_system(d_hv=128)
+        art = ModelArtifact.build(model, quantizer="bipolar")
+        engine = ModelArtifact.load(art.save(tmp_path / "a")).engine()
+        with pytest.raises(ValueError, match="no encoder"):
+            engine.predict_features(X)

@@ -1,0 +1,135 @@
+"""ModelRegistry: versioning, promotion, atomic hot-swap."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.hd import HDModel, get_quantizer
+from repro.serve import InferenceEngine, ModelArtifact, ModelRegistry
+from repro.utils import spawn
+
+
+def _artifact(seed=0, d_hv=256, n_classes=3):
+    rng = spawn(seed, "registry-tests")
+    store = get_quantizer("bipolar")(rng.normal(size=(n_classes, d_hv)))
+    model = HDModel(n_classes, d_hv, store)
+    return ModelArtifact.build(model, quantizer="bipolar", backend="packed")
+
+
+class TestPublishing:
+    def test_versions_are_sequential_per_name(self):
+        reg = ModelRegistry()
+        assert reg.publish("a", _artifact(0)) == 1
+        assert reg.publish("a", _artifact(1)) == 2
+        assert reg.publish("b", _artifact(2)) == 1
+        assert reg.versions("a") == (1, 2)
+        assert reg.names() == ("a", "b")
+
+    def test_publish_artifact_builds_engine(self):
+        reg = ModelRegistry()
+        reg.publish("m", _artifact(0))
+        engine = reg.resolve("m")
+        assert isinstance(engine, InferenceEngine)
+        assert engine.backend.name == "packed"  # honors the artifact layout
+
+    def test_publish_prepared_engine_directly(self):
+        art = _artifact(0)
+        reg = ModelRegistry()
+        reg.publish("m", art.engine(backend="dense"))
+        assert reg.resolve("m").backend.name == "dense"
+
+    def test_publish_rejects_other_types(self):
+        with pytest.raises(TypeError, match="ModelArtifact"):
+            ModelRegistry().publish("m", object())
+
+    def test_first_publish_becomes_current_even_unpromoted(self):
+        reg = ModelRegistry()
+        reg.publish("m", _artifact(0), promote=False)
+        assert reg.current_version("m") == 1
+
+    def test_load_from_disk(self, tmp_path):
+        art = _artifact(0)
+        art.save(tmp_path / "a")
+        reg = ModelRegistry()
+        assert reg.load("m", tmp_path / "a") == 1
+        assert reg.describe("m").artifact.backend == "packed"
+
+
+class TestPromotion:
+    def test_promote_flips_current_atomically(self):
+        reg = ModelRegistry()
+        reg.publish("m", _artifact(0))
+        v2 = reg.publish("m", _artifact(1), promote=False)
+        assert reg.current_version("m") == 1
+        reg.promote("m", v2)
+        assert reg.current_version("m") == 2
+        assert reg.resolve("m") is reg.describe("m", 2).engine
+
+    def test_rollback_is_just_promotion(self):
+        reg = ModelRegistry()
+        reg.publish("m", _artifact(0))
+        reg.publish("m", _artifact(1))
+        reg.promote("m", 1)
+        assert reg.current_version("m") == 1
+
+    def test_promote_unknown_version_raises(self):
+        reg = ModelRegistry()
+        reg.publish("m", _artifact(0))
+        with pytest.raises(KeyError, match="no version"):
+            reg.promote("m", 7)
+        with pytest.raises(KeyError, match="unknown model"):
+            reg.promote("ghost", 1)
+
+    def test_retire_frees_old_versions(self):
+        reg = ModelRegistry()
+        reg.publish("m", _artifact(0))
+        reg.publish("m", _artifact(1))
+        reg.retire("m", 1)
+        assert reg.versions("m") == (2,)
+        with pytest.raises(ValueError, match="current"):
+            reg.retire("m", 2)
+
+    def test_pinned_resolution_survives_promotion(self):
+        reg = ModelRegistry()
+        reg.publish("m", _artifact(0))
+        pinned = reg.resolve("m", 1)
+        reg.publish("m", _artifact(1))
+        assert reg.resolve("m", 1) is pinned
+
+
+class TestHotSwapUnderTraffic:
+    def test_no_request_fails_during_swaps(self):
+        """Readers hammering resolve() while a writer promotes back and
+        forth never see a missing or half-registered version."""
+        reg = ModelRegistry()
+        reg.publish("m", _artifact(0))
+        v2 = reg.publish("m", _artifact(1), promote=False)
+        rng = spawn(3, "swap-queries")
+        queries = get_quantizer("bipolar")(rng.normal(size=(4, 256)))
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    engine = reg.resolve("m")
+                    preds = engine.predict(queries)
+                    assert preds.shape == (4,)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    return
+
+        def writer():
+            for i in range(50):
+                reg.promote("m", v2 if i % 2 == 0 else 1)
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for t in readers:
+            t.start()
+        writer()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert not errors
+        assert reg.swaps >= 51  # initial publish + 50 promotions

@@ -1,0 +1,191 @@
+"""MicroBatchScheduler: coalescing, triggers, failure isolation."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import MicroBatchConfig, MicroBatchScheduler
+
+
+def double_rows(batch):
+    return np.asarray(batch) * 2.0
+
+
+class TestCorrectness:
+    def test_single_request_round_trip(self):
+        with MicroBatchScheduler(double_rows) as sched:
+            out = sched.predict(np.array([1.0, 2.0]))
+        np.testing.assert_array_equal(out, [2.0, 4.0])
+        assert out.shape == (2,)  # 1-D in, 1-D out (squeezed)
+
+    def test_batch_request_keeps_shape(self):
+        with MicroBatchScheduler(double_rows) as sched:
+            out = sched.predict(np.ones((5, 3)))
+        assert out.shape == (5, 3)
+
+    def test_concurrent_clients_get_their_own_rows(self):
+        n = 200
+        results = np.zeros(n)
+        with MicroBatchScheduler(double_rows) as sched:
+            def client(i):
+                results[i] = sched.predict(np.array([float(i)]))[0]
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(n)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        np.testing.assert_array_equal(results, 2.0 * np.arange(n))
+
+    def test_requests_actually_coalesce(self):
+        """Under a slow runner, concurrent requests share flushes."""
+        def slow_runner(batch):
+            time.sleep(0.005)
+            return np.asarray(batch)
+
+        with MicroBatchScheduler(slow_runner) as sched:
+            futures = [sched.submit(np.array([float(i)])) for i in range(32)]
+            for f in futures:
+                f.result()
+            stats = sched.stats
+        assert stats.flushes < 32
+        assert stats.max_batch_rows > 1
+
+    def test_oversized_request_flushes_alone(self):
+        config = MicroBatchConfig(max_batch=4)
+        with MicroBatchScheduler(double_rows, config) as sched:
+            out = sched.predict(np.ones((10, 2)))
+        assert out.shape == (10, 2)
+
+    def test_empty_request_rejected(self):
+        with MicroBatchScheduler(double_rows) as sched:
+            with pytest.raises(ValueError, match="empty"):
+                sched.submit(np.empty((0, 3)))
+
+
+class TestTriggers:
+    def test_size_trigger_counts(self):
+        config = MicroBatchConfig(max_batch=8)
+        with MicroBatchScheduler(double_rows, config) as sched:
+            sched.predict(np.ones((8, 2)))  # exactly max_batch
+            stats = sched.stats
+        assert stats.flushes_by_trigger["size"] == 1
+
+    def test_paced_mode_flushes_on_deadline(self):
+        config = MicroBatchConfig(
+            max_batch=1000, eager=False, max_delay_s=0.005
+        )
+        with MicroBatchScheduler(double_rows, config) as sched:
+            t0 = time.perf_counter()
+            sched.predict(np.ones((1, 2)))
+            elapsed = time.perf_counter() - t0
+            stats = sched.stats
+        assert stats.flushes_by_trigger["deadline"] == 1
+        assert elapsed >= 0.005
+
+    def test_eager_mode_does_not_wait(self):
+        config = MicroBatchConfig(max_batch=1000, max_delay_s=10.0)
+        with MicroBatchScheduler(double_rows, config) as sched:
+            t0 = time.perf_counter()
+            sched.predict(np.ones((1, 2)))
+            elapsed = time.perf_counter() - t0
+        assert elapsed < 1.0  # nowhere near the 10 s deadline
+
+    def test_stats_accounting(self):
+        with MicroBatchScheduler(double_rows) as sched:
+            sched.predict(np.ones((3, 2)))
+            sched.predict(np.ones((2, 2)))
+            stats = sched.stats
+        assert stats.submitted == 5
+        assert stats.completed == 5
+        assert stats.failed == 0
+        assert stats.total_rows == 5
+        assert stats.mean_batch_rows > 0
+
+
+class TestFailureIsolation:
+    def test_runner_exception_fails_only_that_batch(self):
+        calls = []
+
+        def flaky(batch):
+            calls.append(batch.shape[0])
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return np.asarray(batch)
+
+        with MicroBatchScheduler(flaky) as sched:
+            with pytest.raises(RuntimeError, match="transient"):
+                sched.predict(np.ones((2, 2)))
+            # The scheduler survives and serves the next batch.
+            out = sched.predict(np.ones((3, 2)))
+        assert out.shape == (3, 2)
+        assert sched.stats.failed == 2
+        assert sched.stats.completed == 3
+
+    def test_wrong_row_count_from_runner_fails_batch(self):
+        def bad_runner(batch):
+            return np.ones((batch.shape[0] + 1, 2))
+
+        with MicroBatchScheduler(bad_runner) as sched:
+            with pytest.raises(RuntimeError, match="rows"):
+                sched.predict(np.ones((2, 2)))
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises(self):
+        sched = MicroBatchScheduler(double_rows)
+        sched.predict(np.ones((1, 2)))
+        sched.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            sched.submit(np.ones((1, 2)))
+
+    def test_close_without_drain_fails_pending(self):
+        release = threading.Event()
+
+        def blocking(batch):
+            release.wait(timeout=5)
+            return np.asarray(batch)
+
+        sched = MicroBatchScheduler(blocking)
+        first = sched.submit(np.ones((1, 2)))  # occupies the runner
+        time.sleep(0.05)
+        second = sched.submit(np.ones((1, 2)))  # still queued
+        closer = threading.Thread(
+            target=sched.close, kwargs={"drain": False}
+        )
+        closer.start()
+        time.sleep(0.05)
+        release.set()
+        closer.join()
+        np.testing.assert_array_equal(first.result(), np.ones((1, 2)))
+        with pytest.raises(RuntimeError, match="closed"):
+            second.result()
+
+    def test_close_is_idempotent(self):
+        sched = MicroBatchScheduler(double_rows)
+        sched.close()
+        sched.close()
+
+    def test_cancelled_future_does_not_wedge_the_scheduler(self):
+        """A client cancelling a queued request must not kill the
+        flusher: later and co-batched requests still complete."""
+        release = threading.Event()
+
+        def blocking(batch):
+            release.wait(timeout=5)
+            return np.asarray(batch)
+
+        with MicroBatchScheduler(blocking) as sched:
+            first = sched.submit(np.ones((1, 2)))  # occupies the runner
+            time.sleep(0.05)
+            doomed = sched.submit(np.ones((2, 2)))  # queued
+            assert doomed.cancel()
+            survivor = sched.submit(np.ones((3, 2)))  # queued behind it
+            release.set()
+            np.testing.assert_array_equal(first.result(5), np.ones((1, 2)))
+            np.testing.assert_array_equal(survivor.result(5), np.ones((3, 2)))
+            assert sched.stats.cancelled == 2

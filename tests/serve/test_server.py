@@ -1,0 +1,156 @@
+"""ModelServer: registry-backed micro-batched serving + hot swap."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.hd import HDModel, ScalarBaseEncoder, get_quantizer
+from repro.serve import (
+    MicroBatchConfig,
+    ModelArtifact,
+    ModelRegistry,
+    ModelServer,
+)
+from tests.conftest import make_cluster_task
+from repro.utils import spawn
+
+
+@pytest.fixture(scope="module")
+def system():
+    X, y = make_cluster_task(n=160, d_in=24, n_classes=4, seed=21)
+    enc = ScalarBaseEncoder(24, 900, seed=2)  # 900: packed tail exercised
+    q = get_quantizer("bipolar")
+    model = HDModel.from_encodings(q(enc.encode(X)), y, 4)
+    art = ModelArtifact.build(
+        model, quantizer="bipolar", backend="packed", encoder=enc
+    )
+    H = q(enc.encode(X))
+    return art, X, H
+
+
+class TestServing:
+    def test_predictions_match_direct_engine(self, system):
+        art, X, H = system
+        direct = art.engine().predict(H)
+        with ModelServer() as server:
+            server.serve("m", art)
+            single = np.array([server.predict(H[i]) for i in range(20)])
+            batch = server.predict(H[:20])
+        np.testing.assert_array_equal(single, direct[:20])
+        np.testing.assert_array_equal(batch, direct[:20])
+
+    def test_feature_serving(self, system):
+        art, X, H = system
+        direct = art.engine().predict_features(X[:30])
+        with ModelServer() as server:
+            server.serve("m", art)
+            np.testing.assert_array_equal(
+                server.predict_features(X[:30]), direct
+            )
+
+    def test_scores_entry_point(self, system):
+        art, _, H = system
+        with ModelServer() as server:
+            server.serve("m", art)
+            np.testing.assert_array_equal(
+                server.scores(H[:5]), art.engine().scores(H[:5])
+            )
+
+    def test_concurrent_clients_identical_to_offline(self, system):
+        art, _, H = system
+        n = H.shape[0]
+        direct = art.engine().predict(H)
+        results = np.full(n, -1, dtype=np.int64)
+        config = MicroBatchConfig(max_batch=32)
+        with ModelServer(config=config) as server:
+            server.serve("m", art)
+
+            def client(w):
+                for i in range(w, n, 8):
+                    results[i] = server.predict(H[i])
+
+            threads = [
+                threading.Thread(target=client, args=(w,)) for w in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = server.stats()["m.predict"]
+        np.testing.assert_array_equal(results, direct)
+        assert stats.completed == n
+        assert stats.failed == 0
+
+    def test_single_model_is_implicit_default(self, system):
+        art, _, H = system
+        with ModelServer() as server:
+            server.registry.publish("only", art)
+            assert server.predict(H[0]) == art.engine().predict(H[:1])[0]
+
+    def test_ambiguous_default_raises(self, system):
+        art, _, H = system
+        with ModelServer() as server:
+            server.registry.publish("a", art)
+            server.registry.publish("b", art)
+            with pytest.raises(ValueError, match="no default"):
+                server.predict(H[0])
+
+
+class TestHotSwap:
+    def test_zero_dropped_requests_during_promotion(self, system):
+        art, X, H = system
+        rng = spawn(9, "swap-v2")
+        store2 = get_quantizer("bipolar")(rng.normal(size=(4, 900)))
+        art2 = ModelArtifact.build(
+            HDModel(4, 900, store2), quantizer="bipolar", backend="packed"
+        )
+        d1 = art.engine().predict(H)
+        d2 = art2.engine().predict(H)
+
+        registry = ModelRegistry()
+        registry.publish("m", art)
+        n = H.shape[0]
+        results = np.full(n, -1, dtype=np.int64)
+        failures = []
+        swapped = threading.Event()
+
+        with ModelServer(registry, default_model="m") as server:
+
+            def client(w):
+                for i in range(w, n, 8):
+                    try:
+                        results[i] = server.predict(H[i])
+                    except Exception as exc:  # noqa: BLE001
+                        failures.append(exc)
+                    if i > n // 2 and not swapped.is_set():
+                        swapped.set()
+                        registry.publish("m", art2)
+
+            threads = [
+                threading.Thread(target=client, args=(w,)) for w in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            post = server.predict(H[:4])
+
+        assert not failures
+        assert np.all((results == d1) | (results == d2))
+        np.testing.assert_array_equal(post, d2[:4])
+
+    def test_current_artifact_tracks_promotion(self, system):
+        art, _, _ = system
+        with ModelServer() as server:
+            server.serve("m", art)
+            assert server.current_artifact() is art
+
+    def test_closed_server_rejects_requests(self, system):
+        art, _, H = system
+        server = ModelServer()
+        server.serve("m", art)
+        server.predict(H[0])
+        server.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            server.predict(H[0])

@@ -163,3 +163,69 @@ class TestBackendConsistency:
         assert code == 2
         err = capsys.readouterr().err
         assert "packable quantizer" in err
+
+
+class TestArtifactLifecycle:
+    """train --save -> eval -> serve, the CLI model lifecycle."""
+
+    @pytest.fixture(scope="class")
+    def artifact_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "artifact"
+        code = main(
+            ["train", "isolet",
+             "--dhv", "512",
+             "--batch-size", "256",
+             "--quantizer", "bipolar",
+             "--backend", "packed",
+             "--save", str(path)]
+        )
+        assert code == 0
+        return path
+
+    def test_train_save_writes_artifact(self, artifact_path, capsys):
+        assert (artifact_path / "manifest.json").is_file()
+        assert (artifact_path / "tensors.npz").is_file()
+
+    def test_eval_loads_and_matches_recorded_accuracy(
+        self, artifact_path, capsys
+    ):
+        assert main(["eval", str(artifact_path)]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        recorded = [
+            line for line in out.splitlines() if "recorded" in line
+        ][0].split()[-1]
+        shown = [
+            line for line in out.splitlines() if line.startswith("dataset=")
+        ][0].split("accuracy")[1].split()[0]
+        assert abs(float(recorded) - float(shown)) < 1e-3
+
+    def test_serve_answers_match_offline(self, artifact_path, capsys):
+        code = main(
+            ["serve", str(artifact_path),
+             "--clients", "4", "--requests", "64"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "identical to offline batch: True" in out
+        assert "failed requests: 0" in out
+
+    def test_eval_missing_artifact_exits_nonzero(self, capsys):
+        assert main(["eval", "/nonexistent/artifact"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_missing_artifact_exits_nonzero(self, capsys):
+        assert main(["serve", "/nonexistent/artifact"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_traceback_flag_reraises(self):
+        with pytest.raises(Exception):
+            main(["--traceback", "eval", "/nonexistent/artifact"])
+
+    def test_runtime_errors_never_traceback(self, tmp_path, capsys):
+        # A corrupt artifact directory is a clean exit-1, not a traceback.
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "manifest.json").write_text("{not json")
+        assert main(["eval", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
