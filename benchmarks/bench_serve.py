@@ -14,13 +14,24 @@ Exercises the full model lifecycle the way a deployment would:
    bar is served throughput within 2x of the offline batch;
 4. hot-swap: publish and promote a second artifact version *while*
    clients hammer the server, asserting **zero failed requests** and
-   that every answer matches one of the two versions exactly.
+   that every answer matches one of the two versions exactly;
+5. with ``--transport socket`` (or ``both``), run the same workload as
+   N *real* TCP clients against a :class:`~repro.serve.ServingFrontend`
+   — every query leaves as packed bit planes over the versioned wire
+   protocol — and compare against the in-process thread numbers (the
+   acceptance bar is socket throughput within 2x of in-process, i.e.
+   ≥ 0.5x);
+6. micro-benchmark the scheduler's per-flush result scatter (the
+   pre-vectorization per-future Python loop vs the shipped
+   ``np.split``-based scatter), the flush-overhead fix for small
+   ``d_hv``.
 
 Writes ``BENCH_serve.json``::
 
     PYTHONPATH=src python benchmarks/bench_serve.py              # paper scale
     PYTHONPATH=src python benchmarks/bench_serve.py --smoke      # CI seconds
-    PYTHONPATH=src python benchmarks/bench_serve.py --assert-within 2
+    PYTHONPATH=src python benchmarks/bench_serve.py --assert-within 2 \
+        --transport both --assert-socket-within 2
 """
 
 import argparse
@@ -36,11 +47,15 @@ if __name__ == "__main__":  # script mode works without an installed package
 
 import numpy as np
 
+from repro.backend.packed import pack_hypervectors
+from repro.client import PriveHDClient
 from repro.serve import (
+    FrontendHandle,
     MicroBatchConfig,
     ModelArtifact,
     ModelRegistry,
     ModelServer,
+    ServingAPI,
     make_serving_fixture,
 )
 
@@ -144,6 +159,139 @@ def run_hot_swap(artifact_v1, artifact_v2, queries, args) -> dict:
     }
 
 
+def run_socket_bench(artifact, queries, direct, args) -> dict:
+    """N real TCP clients vs the same workload served in-process.
+
+    Each client owns a :class:`~repro.client.PriveHDClient` connection,
+    bit-packs every query row (the §III-C edge-side cost), and ships
+    single-query frames over the versioned wire protocol with a small
+    pipelining window (``--socket-window`` in-flight requests, the
+    standard way a real RPC client hides per-request round-trip
+    latency); all connections coalesce in the frontend's shared
+    micro-batcher.  Predictions must match the offline engine exactly.
+    """
+    n = queries.shape[0]
+    n_clients = args.socket_clients
+    results = np.full(n, -1, dtype=np.int64)
+    failures: list[Exception] = []
+    config = MicroBatchConfig(max_batch=args.max_batch)
+    with ServingAPI.from_artifact(
+        artifact, name="bench", config=config
+    ) as api, FrontendHandle(api) as handle:
+
+        # Packing and connecting happen on the edge devices in the real
+        # split deployment (bench_throughput measures the pack cost
+        # separately), so they run before the barrier; the timed region
+        # is pure request traffic.
+        ready = threading.Barrier(n_clients + 1)
+
+        def client_worker(worker: int) -> None:
+            try:
+                indices = list(range(worker, n, n_clients))
+                packed = [
+                    pack_hypervectors(queries[i], validate=False)
+                    for i in indices
+                ]
+                with PriveHDClient(handle.address) as client:
+                    ready.wait()
+                    preds = client.predict_encoded_many(
+                        packed, window=args.socket_window
+                    )
+                for i, p in zip(indices, preds):
+                    results[i] = p[0]
+            except Exception as exc:  # noqa: BLE001 — counted, reported
+                failures.append(exc)
+                # A client that dies before the barrier must not leave
+                # everyone else waiting forever.
+                ready.abort()
+
+        threads = [
+            threading.Thread(target=client_worker, args=(w,))
+            for w in range(n_clients)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            ready.wait()
+        except threading.BrokenBarrierError:
+            pass  # a client failed early; join + report via `failures`
+        t0 = time.perf_counter()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - t0
+        stats = api.stats().get("bench.predict_packed", {})
+
+    if failures:
+        raise AssertionError(
+            f"{len(failures)} socket clients failed: {failures[0]!r}"
+        )
+    if not np.array_equal(results, direct):
+        raise AssertionError("socket predictions diverged from offline")
+    return {
+        "clients": n_clients,
+        "pipeline_window": args.socket_window,
+        "requests": int(n),
+        "seconds": elapsed,
+        "queries_per_s": n / elapsed,
+        "identical_to_offline": True,
+        "failed_requests": 0,
+        "flushes": stats.get("flushes"),
+        "mean_batch_rows": stats.get("mean_batch_rows"),
+    }
+
+
+def run_scatter_microbench(n_requests: int = 256, repeats: int = 30) -> dict:
+    """Per-flush result-scatter cost: PR 3's per-future Python loop
+    (the "before") vs the shipped vectorized ``_split_results`` scatter.
+
+    Measures exactly the code that runs between the kernel returning
+    and the clients' futures resolving, on the dominant serving shape
+    (every pending request a single squeezed query) — the overhead that
+    dominates flushes below ``d_hv`` ≈ 4k.
+    """
+    from repro.serve.scheduler import MicroBatchScheduler, _Pending
+
+    result = np.arange(n_requests, dtype=np.int64)
+    rows = np.zeros((1, 8))
+
+    def make_batch():
+        batch = []
+        for _ in range(n_requests):
+            p = _Pending(rows, True, 0.0)
+            p.future.set_running_or_notify_cancel()
+            batch.append(p)
+        return batch
+
+    def scatter_before(batch):
+        start = 0
+        for p in batch:
+            k = p.rows.shape[0]
+            out = result[start : start + k]
+            start += k
+            p.future.set_result(out[0] if p.squeeze else out)
+
+    def scatter_after(batch):
+        for p, out in zip(
+            batch, MicroBatchScheduler._split_results(batch, result)
+        ):
+            p.future.set_result(out)
+
+    timings = {}
+    for name, scatter in (("before", scatter_before), ("after", scatter_after)):
+        batches = [make_batch() for _ in range(repeats)]
+        best = float("inf")
+        for batch in batches:
+            t0 = time.perf_counter()
+            scatter(batch)
+            best = min(best, time.perf_counter() - t0)
+        timings[name] = best * 1e6
+    return {
+        "n_requests": n_requests,
+        "per_flush_us": timings,
+        "speedup": timings["before"] / timings["after"],
+    }
+
+
 def run_bench(args, workdir) -> dict:
     artifact, queries = _build_artifact(
         args.dhv, args.n_classes, args.n_queries, args.seed,
@@ -198,7 +346,7 @@ def run_bench(args, workdir) -> dict:
     hot_swap = run_hot_swap(artifact, artifact_v2, queries, args)
 
     lat_ms = latencies * 1e3
-    return {
+    report = {
         "bench": "serve",
         "config": {
             "d_hv": args.dhv,
@@ -208,6 +356,7 @@ def run_bench(args, workdir) -> dict:
             "max_batch": args.max_batch,
             "repeats": args.repeats,
             "seed": args.seed,
+            "transport": args.transport,
         },
         "roundtrip_identical": True,
         "offline": {
@@ -230,7 +379,15 @@ def run_bench(args, workdir) -> dict:
             "flushes_by_trigger": dict(stats.flushes_by_trigger),
         },
         "hot_swap": hot_swap,
+        "scatter": run_scatter_microbench(),
     }
+    if args.transport in ("socket", "both"):
+        socket_report = run_socket_bench(artifact, queries, direct, args)
+        socket_report["vs_in_process"] = (
+            socket_report["queries_per_s"] / served_qps
+        )
+        report["socket"] = socket_report
+    return report
 
 
 def _timed(fn, arg) -> float:
@@ -248,6 +405,36 @@ def main(argv=None) -> int:
     parser.add_argument("--max-batch", type=int, default=256)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--transport",
+        choices=("thread", "socket", "both"),
+        default="thread",
+        help=(
+            "in-process client threads (thread), real TCP clients "
+            "through the ServingFrontend (socket), or both"
+        ),
+    )
+    parser.add_argument(
+        "--socket-clients",
+        type=int,
+        default=8,
+        help="concurrent TCP client connections in socket mode",
+    )
+    parser.add_argument(
+        "--socket-window",
+        type=int,
+        default=4,
+        help="pipelined in-flight requests per TCP connection",
+    )
+    parser.add_argument(
+        "--assert-socket-within",
+        type=float,
+        default=None,
+        help=(
+            "exit non-zero unless socket throughput is within this "
+            "factor of the in-process ModelServer (2 = at least 0.5x)"
+        ),
+    )
     parser.add_argument(
         "--smoke",
         action="store_true",
@@ -273,6 +460,7 @@ def main(argv=None) -> int:
         # d_hv % 64 != 0 on purpose: exercises the packed tail path.
         args.dhv, args.n_queries, args.clients = 1000, 512, 8
         args.repeats = 1
+        args.socket_clients = min(args.socket_clients, 4)
 
     with tempfile.TemporaryDirectory() as workdir:
         report = run_bench(args, workdir)
@@ -302,6 +490,21 @@ def main(argv=None) -> int:
         f"{hs['served_by_v2_only']}, post-swap on v2: "
         f"{hs['post_swap_is_v2']}"
     )
+    scatter = report["scatter"]
+    print(
+        f"result scatter ({scatter['n_requests']} single-row requests): "
+        f"{scatter['per_flush_us']['before']:.1f} -> "
+        f"{scatter['per_flush_us']['after']:.1f} us/flush "
+        f"({scatter['speedup']:.2f}x)"
+    )
+    if "socket" in report:
+        sk = report["socket"]
+        print(
+            f"socket x{sk['clients']} TCP clients: "
+            f"{sk['queries_per_s']:12,.0f} q/s "
+            f"({sk['vs_in_process']:.2f}x the in-process server; "
+            f"identical: {sk['identical_to_offline']})"
+        )
     print(f"wrote {args.out}")
 
     ok = (
@@ -322,6 +525,23 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.assert_socket_within is not None:
+        if "socket" not in report:
+            print(
+                "FAIL: --assert-socket-within needs --transport "
+                "socket/both",
+                file=sys.stderr,
+            )
+            return 1
+        if report["socket"]["vs_in_process"] < 1.0 / args.assert_socket_within:
+            print(
+                f"FAIL: socket throughput "
+                f"{report['socket']['vs_in_process']:.2f}x the in-process "
+                f"server, required at least "
+                f"{1.0 / args.assert_socket_within:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

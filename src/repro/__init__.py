@@ -7,7 +7,10 @@ The package is organized as::
 
     repro.hd          the HD learning substrate (encoders, model, train)
     repro.backend     pluggable similarity backends (dense, bit-packed)
-    repro.serve       the batched InferenceEngine over prepared models
+    repro.serve       serving: engine, artifacts, registry, micro-batching,
+                      the typed ServingAPI and the socket frontend
+    repro.proto       the versioned wire protocol of the serving boundary
+    repro.client      the trusted edge client (encode + obfuscate locally)
     repro.data        synthetic ISOLET / MNIST / FACE dataset substrate
     repro.attacks     reconstruction + membership attacks, quality metrics
     repro.core        the paper's contribution: DP training & private inference

@@ -18,6 +18,10 @@ stack and the model lifecycle end-to-end:
         --save artifacts/isolet            # train -> on-disk artifact
     prive-hd eval artifacts/isolet        # load -> accuracy
     prive-hd serve artifacts/isolet --clients 8   # micro-batched serving
+    prive-hd serve artifacts/isolet --listen 127.0.0.1:7411 \
+        --http-port 7412                  # network frontend (binary + ops)
+    prive-hd client artifacts/isolet --connect 127.0.0.1:7411 \
+        # encode+obfuscate locally, ship bit planes, verify vs offline
     prive-hd throughput --dhv 10000 --backend both
 
 Every command returns a non-zero exit code on failure (2 for bad
@@ -328,6 +332,9 @@ def _run_serve(args) -> int:
 
     from repro.serve import MicroBatchConfig, ModelRegistry, ModelServer
 
+    if args.listen is not None:
+        return _run_serve_listen(args)
+
     artifact, data = _load_artifact_for_dataset(args)
     print(_describe_artifact(artifact))
 
@@ -390,6 +397,102 @@ def _run_serve(args) -> int:
     )
     if failures or not identical:
         print("ERROR: serving diverged from the offline engine", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_serve_listen(args) -> int:
+    """``serve ARTIFACT --listen host:port``: the network frontend.
+
+    Binds the versioned binary protocol (plus the optional HTTP ops
+    port), prints the bound addresses, and serves until interrupted.
+    Remote clients (``prive-hd client``) get the same micro-batched
+    packed scoring and zero-drop hot-swap as in-process callers — and
+    can only ever send encoded hypervectors, never raw features.
+    """
+    from repro.client import parse_address
+    from repro.serve import (
+        MicroBatchConfig,
+        ServingAPI,
+        ServingFrontend,
+        load_artifact,
+    )
+
+    artifact = load_artifact(args.artifact)
+    print(_describe_artifact(artifact))
+    host, port = parse_address(args.listen)
+    config = MicroBatchConfig(
+        max_batch=args.max_batch,
+        eager=not args.paced,
+        max_delay_s=args.max_delay_ms / 1e3,
+    )
+    with ServingAPI.from_artifact(
+        artifact, name=args.model_name, config=config
+    ) as api:
+        frontend = ServingFrontend(
+            api, host=host, port=port, http_port=args.http_port
+        )
+        frontend.run()
+    return 0
+
+
+def _run_client(args) -> int:
+    """``client ARTIFACT --connect host:port``: remote inference.
+
+    The artifact directory is read *locally* for the encoder config and
+    quantizer (the codebooks live with the client in the split
+    deployment); features are encoded + obfuscated on this side and
+    only hypervector bit planes cross the wire.  Exits non-zero if the
+    remote predictions diverge from the local offline engine.
+    """
+    import numpy as np
+
+    from repro.client import PriveHDClient
+    from repro.core.inference_privacy import ObfuscationConfig
+
+    artifact, data = _load_artifact_for_dataset(args)
+    print(_describe_artifact(artifact))
+
+    n = min(args.requests, len(data.y_test))
+    X, y = data.X_test[:n], data.y_test[:n]
+    quantizer = artifact.query_quantizer or "identity"
+    with PriveHDClient(
+        args.connect,
+        encoder=artifact.encoder_config,
+        obfuscation=ObfuscationConfig(quantizer=quantizer),
+        connect_retries=args.retries,
+    ) as client:
+        info = client.info
+        print(
+            f"connected to {args.connect} (protocol v"
+            f"{client.protocol_version}): model={info.name} v{info.version}, "
+            f"backend={info.backend}, d_hv={info.d_hv}"
+        )
+        t0 = time.perf_counter()
+        preds = np.concatenate(
+            [
+                client.predict(X[start : start + args.batch_size])
+                for start in range(0, n, args.batch_size)
+            ]
+        )
+        elapsed = time.perf_counter() - t0
+
+    acc = float(np.mean(preds == y))
+    print(
+        f"remote accuracy {acc:.3f} ({n} queries in {elapsed * 1e3:.1f} ms, "
+        f"{n / max(elapsed, 1e-9):,.0f} q/s over the socket)"
+    )
+
+    # Offline reference: the same artifact served in-process.  The wire
+    # must change the transport, never the answers.
+    offline = artifact.engine().predict_features(X)
+    identical = bool(np.array_equal(preds, offline))
+    print(f"predictions identical to offline eval: {identical}")
+    if not identical:
+        print(
+            "ERROR: remote predictions diverged from the offline engine",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
@@ -582,6 +685,73 @@ def _build_parser() -> argparse.ArgumentParser:
         default=2.0,
         help="paced-mode flush deadline (tail-latency bound)",
     )
+    p_serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "serve the artifact over the network instead of running the "
+            "self-driving benchmark: binds the binary serving protocol "
+            "and runs until interrupted (clients: 'prive-hd client')"
+        ),
+    )
+    p_serve.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help=(
+            "with --listen: also bind a JSON ops port "
+            "(/healthz, /models, /stats); 0 picks a free port"
+        ),
+    )
+    p_serve.add_argument(
+        "--model-name",
+        default="model",
+        help="registry name the artifact is served under (default: model)",
+    )
+
+    p_client = sub.add_parser(
+        "client",
+        help=(
+            "run remote inference against a 'serve --listen' frontend; "
+            "encodes + obfuscates locally so only hypervector bit planes "
+            "cross the wire, and verifies predictions against the "
+            "offline engine"
+        ),
+    )
+    p_client.add_argument(
+        "artifact",
+        help=(
+            "local artifact directory providing the client-side encoder "
+            "config and quantizer (codebooks never cross the wire)"
+        ),
+    )
+    p_client.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the serving frontend",
+    )
+    p_client.add_argument("--dataset", default=None)
+    p_client.add_argument("--seed", type=int, default=None)
+    p_client.add_argument(
+        "--requests",
+        type=int,
+        default=256,
+        help="test queries to send",
+    )
+    p_client.add_argument(
+        "--batch-size",
+        type=int,
+        default=32,
+        help="queries per ScoreRequest frame",
+    )
+    p_client.add_argument(
+        "--retries",
+        type=int,
+        default=20,
+        help="connect retries while the server is still binding",
+    )
 
     p_tp = sub.add_parser(
         "throughput", help="measure dense vs packed serving throughput"
@@ -618,6 +788,8 @@ def _dispatch(args) -> int:
         return _run_eval(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "client":
+        return _run_client(args)
     if args.command == "throughput":
         return _run_throughput(args)
     EXPERIMENTS[args.command][1](args)

@@ -1,0 +1,12 @@
+"""The trusted edge side of the split deployment.
+
+:class:`PriveHDClient` encodes, quantizes, masks, and bit-packs locally
+(the §III-C client-side defense) and ships only obfuscated hypervector
+bit planes to a remote :class:`~repro.serve.ServingFrontend` over the
+versioned binary protocol — raw features and codebooks never leave this
+process.
+"""
+
+from repro.client.client import PriveHDClient, ServerError, parse_address
+
+__all__ = ["PriveHDClient", "ServerError", "parse_address"]

@@ -1,0 +1,432 @@
+"""The edge-side client: encode + obfuscate locally, ship bit planes.
+
+:class:`PriveHDClient` is the trusted half of the §III-C split.  It owns
+the encoder (codebooks never leave this process) and an
+:class:`~repro.core.InferenceObfuscator` (quantize + mask, the paper's
+turnkey inference defense), talks the versioned binary protocol of
+:mod:`repro.proto` to a remote :class:`~repro.serve.ServingFrontend`,
+and — **by construction** — cannot put raw features on the wire:
+
+* :meth:`predict` runs features through encode → quantize → mask →
+  bit-pack *before* anything touches a frame; the only array the frame
+  encoder ever receives is a ``d_hv``-dimensional hypervector batch;
+* the protocol itself has no message that could carry a ``(d_in,)``
+  feature vector, a codebook, or an encoder config —
+  :func:`repro.proto.encode_message` serializes its closed vocabulary
+  and nothing else;
+* the client validates every encoded batch against the server's
+  negotiated ``d_hv`` at the API boundary, so features passed to the
+  wrong method fail loudly instead of leaking quietly.
+
+``tests/client/test_privacy_boundary.py`` sniffs the actual bytes this
+class emits and asserts neither the feature values nor any codebook
+plane appears in any frame.
+
+    >>> enc = encoder_from_config(manifest["encoder"])   # client-side
+    >>> with PriveHDClient("127.0.0.1:7411", encoder=enc) as client:
+    ...     client.model_info().backend
+    'packed'
+    ...     client.predict(X)                  # ships packed bit planes
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from collections import deque
+
+import numpy as np
+
+from repro.backend.packed import PackedHV
+from repro.core.inference_privacy import InferenceObfuscator, ObfuscationConfig
+from repro.hd.encoder import Encoder, encoder_from_config
+from repro.proto.messages import (
+    ErrorReply,
+    Hello,
+    ModelInfo,
+    ModelInfoRequest,
+    ScoreRequest,
+    ScoreResponse,
+    Welcome,
+    decode_message,
+    encode_message,
+)
+from repro.proto.wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    SUPPORTED_VERSIONS,
+    FrameDecoder,
+    ProtocolError,
+)
+
+__all__ = ["PriveHDClient", "ServerError", "parse_address"]
+
+
+class ServerError(RuntimeError):
+    """A typed :class:`~repro.proto.ErrorReply` from the server.
+
+    Attributes
+    ----------
+    code:
+        The machine-readable error code
+        (one of :data:`repro.proto.ERROR_CODES`).
+    """
+
+    def __init__(self, reply: ErrorReply):
+        super().__init__(f"[{reply.code}] {reply.message}")
+        self.code = reply.code
+        self.reply = reply
+
+
+def parse_address(address: str | tuple[str, int]) -> tuple[str, int]:
+    """``"host:port"`` (or an already-split tuple) → ``(host, port)``."""
+    if isinstance(address, tuple):
+        host, port = address
+        return str(host), int(port)
+    host, sep, port = str(address).rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"address must look like 'host:port', got {address!r}"
+        )
+    return host, int(port)
+
+
+class PriveHDClient:
+    """Synchronous protocol client bound to a local encoder + obfuscator.
+
+    Parameters
+    ----------
+    address:
+        ``"host:port"`` or ``(host, port)`` of a
+        :class:`~repro.serve.ServingFrontend`.
+    encoder:
+        The client-side encoder (or an
+        :meth:`~repro.hd.encoder.Encoder.config` dict to rebuild one —
+        e.g. read from the artifact manifest the *deployment* shared
+        with this edge device; the server never transmits it).  Without
+        an encoder only the ``*_encoded`` methods work.
+    obfuscation:
+        Quantize/mask parameters of the client-side defense; the
+        default quantizes to bipolar with no masking.  For a pruned
+        (§III-B) model the deployment shares ``mask_seed``/``n_masked``
+        so the client masks exactly the server's dead dimensions.
+    model:
+        Registry model name to score against (``None`` = the server's
+        default).
+    timeout:
+        Socket timeout (seconds) for connect and each reply.
+    connect_retries, retry_delay_s:
+        Reconnect attempts while the server is still binding — what a
+        CLI racing a just-started frontend needs.
+
+    Attributes
+    ----------
+    protocol_version:
+        The negotiated wire version (from the server's ``Welcome``).
+    info:
+        The served model's :class:`~repro.proto.ModelInfo`, fetched at
+        connect; ``d_hv``/backend checks run against it.
+    """
+
+    def __init__(
+        self,
+        address: str | tuple[str, int],
+        *,
+        encoder: Encoder | dict | None = None,
+        obfuscation: ObfuscationConfig | None = None,
+        model: str | None = None,
+        timeout: float = 30.0,
+        connect_retries: int = 0,
+        retry_delay_s: float = 0.25,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ):
+        self.host, self.port = parse_address(address)
+        self.model = model
+        self.timeout = timeout
+        self.max_frame_bytes = max_frame_bytes
+        self._request_id = 0
+        self._decoder = FrameDecoder(max_frame_bytes=max_frame_bytes)
+        self._frames: deque = deque()
+        if isinstance(encoder, dict):
+            encoder = encoder_from_config(encoder)
+        self.encoder = encoder
+        self.obfuscator: InferenceObfuscator | None = None
+        if encoder is not None:
+            self.obfuscator = InferenceObfuscator(
+                encoder, obfuscation or ObfuscationConfig()
+            )
+        elif obfuscation is not None:
+            raise ValueError(
+                "obfuscation parameters need an encoder to apply to"
+            )
+
+        self._sock = self._connect(connect_retries, retry_delay_s)
+        try:
+            self.protocol_version, self.server_info = self._handshake()
+            self.info = self.model_info(model)
+        except BaseException:
+            self._sock.close()
+            raise
+        if encoder is not None and encoder.d_hv != self.info.d_hv:
+            self.close()
+            raise ValueError(
+                f"client encoder produces {encoder.d_hv}-dim hypervectors "
+                f"but the server serves d_hv={self.info.d_hv}"
+            )
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _connect(self, retries: int, delay_s: float) -> socket.socket:
+        last: Exception | None = None
+        for attempt in range(retries + 1):
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                # Request/response frames are small; Nagle + delayed ACK
+                # would serialize them at ~25 q/s per connection.
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                return sock
+            except OSError as exc:
+                last = exc
+                if attempt < retries:
+                    time.sleep(delay_s)
+        raise ConnectionError(
+            f"could not connect to {self.host}:{self.port} after "
+            f"{retries + 1} attempt(s): {last}"
+        ) from last
+
+    def _send_frame(self, data: bytes) -> None:
+        """The single point where bytes leave the client (tests hook it)."""
+        self._sock.sendall(data)
+
+    def _read_message(self):
+        """The next message off the stream, via the shared FrameDecoder.
+
+        Reads are buffered in 64 KiB chunks — one ``recv`` usually
+        captures a whole response frame (header and payload together),
+        and the per-request syscall/hop count is what bounds single-
+        connection round-trip latency.  Framing errors surface as
+        :class:`ProtocolError` exactly as they do server-side, because
+        both ends split the stream with the same decoder.
+        """
+        while not self._frames:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError(
+                    "server closed the connection mid-frame"
+                )
+            self._frames.extend(self._decoder.feed(chunk))
+        return decode_message(self._frames.popleft())
+
+    def _handshake(self) -> tuple[int, Welcome]:
+        self._send_frame(encode_message(Hello(versions=SUPPORTED_VERSIONS)))
+        reply = self._read_message()
+        if isinstance(reply, ErrorReply):
+            raise ServerError(reply)
+        if not isinstance(reply, Welcome):
+            raise ProtocolError(
+                f"expected Welcome after Hello, got {type(reply).__name__}"
+            )
+        if reply.version not in SUPPORTED_VERSIONS:
+            raise ProtocolError(
+                f"server negotiated unsupported version {reply.version}"
+            )
+        return reply.version, reply
+
+    def _request(self, message):
+        """Send one message, return its (id-matched) non-error reply."""
+        self._send_frame(
+            encode_message(message, version=self.protocol_version)
+        )
+        reply = self._read_message()
+        if isinstance(reply, ErrorReply):
+            raise ServerError(reply)
+        want = getattr(message, "request_id", 0)
+        got = getattr(reply, "request_id", 0)
+        if got != want:
+            raise ProtocolError(
+                f"response correlation id {got} does not match request {want}"
+            )
+        return reply
+
+    def _next_id(self) -> int:
+        self._request_id = (self._request_id + 1) % (1 << 32)
+        return self._request_id
+
+    # ------------------------------------------------------------------
+    # feature entry points (encode + obfuscate locally)
+    # ------------------------------------------------------------------
+    def _prepare_wire_queries(self, X: np.ndarray):
+        """Features → the obfuscated hypervector batch that ships.
+
+        Packable quantizers (the paper's default) ship two uint64 bit
+        planes — the 16×-smaller payload; non-packable ones (e.g.
+        ``identity`` for an explicitly unprotected run) ship dense
+        float32 encodings.  Raw ``X`` never reaches a frame either way.
+        """
+        if self.obfuscator is None:
+            raise ValueError(
+                "this client has no encoder; construct it with "
+                "PriveHDClient(..., encoder=...) to send raw features, or "
+                "use predict_encoded() with pre-encoded hypervectors"
+            )
+        X = np.atleast_2d(np.asarray(X))
+        if X.shape[1] != self.encoder.d_in:
+            raise ValueError(
+                f"features have {X.shape[1]} columns but the encoder "
+                f"expects d_in={self.encoder.d_in}"
+            )
+        if self.obfuscator.quantizer.packable:
+            return self.obfuscator.prepare_packed(X)
+        return self.obfuscator.prepare(X).astype(np.float32)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Labels for raw features; only obfuscated bits cross the wire."""
+        return self._score(self._prepare_wire_queries(X)).predictions
+
+    def scores(self, X: np.ndarray) -> np.ndarray:
+        """Eq. (4) score matrix for raw features (obfuscated on-wire)."""
+        return self._score(
+            self._prepare_wire_queries(X), want_scores=True
+        ).scores
+
+    # ------------------------------------------------------------------
+    # encoded entry points (caller already holds hypervectors)
+    # ------------------------------------------------------------------
+    def _check_encoded(self, queries):
+        if isinstance(queries, PackedHV):
+            d = queries.d
+        else:
+            queries = np.atleast_2d(np.asarray(queries))
+            d = queries.shape[1]
+        if d != self.info.d_hv:
+            raise ValueError(
+                f"encoded queries must have d_hv={self.info.d_hv} "
+                f"dimensions, got {d} — raw features do not belong here"
+            )
+        return queries
+
+    def predict_encoded(self, queries) -> np.ndarray:
+        """Labels for already-encoded queries (dense or ``PackedHV``).
+
+        The caller is responsible for having quantized/masked to match
+        the served model (e.g. via an
+        :class:`~repro.core.InferenceObfuscator`); dimensionality is
+        validated against the server's ``d_hv``.
+        """
+        return self._score(self._check_encoded(queries)).predictions
+
+    def scores_encoded(self, queries) -> np.ndarray:
+        """Score matrix for already-encoded queries."""
+        return self._score(
+            self._check_encoded(queries), want_scores=True
+        ).scores
+
+    def predict_encoded_many(
+        self, batches, *, window: int = 8
+    ) -> list[np.ndarray]:
+        """Pipeline many encoded batches over this one connection.
+
+        Keeps up to ``window`` :class:`~repro.proto.ScoreRequest` frames
+        in flight and matches replies by correlation id (the server may
+        reorder).  Pipelining is how a single connection approaches the
+        server's batch throughput: the micro-batcher coalesces this
+        client's in-flight requests with everyone else's instead of
+        paying a full round trip per request.  Returns one prediction
+        array per input batch, in input order.
+        """
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        checked = [self._check_encoded(b) for b in batches]
+        out: list[np.ndarray | None] = [None] * len(checked)
+        index_of: dict[int, int] = {}
+        next_send = 0
+        completed = 0
+        while completed < len(checked):
+            while next_send < len(checked) and len(index_of) < window:
+                rid = self._next_id()
+                index_of[rid] = next_send
+                self._send_frame(
+                    encode_message(
+                        ScoreRequest(
+                            queries=checked[next_send],
+                            model=self.model,
+                            request_id=rid,
+                        ),
+                        version=self.protocol_version,
+                    )
+                )
+                next_send += 1
+            reply = self._read_message()
+            if isinstance(reply, ErrorReply):
+                raise ServerError(reply)
+            if not isinstance(reply, ScoreResponse):
+                raise ProtocolError(
+                    f"expected ScoreResponse, got {type(reply).__name__}"
+                )
+            idx = index_of.pop(reply.request_id, None)
+            if idx is None:
+                raise ProtocolError(
+                    f"unmatched correlation id {reply.request_id}"
+                )
+            out[idx] = reply.predictions
+            completed += 1
+        return out
+
+    def _score(self, queries, *, want_scores: bool = False) -> ScoreResponse:
+        request = ScoreRequest(
+            queries=queries,
+            model=self.model,
+            want_scores=want_scores,
+            request_id=self._next_id(),
+        )
+        reply = self._request(request)
+        if not isinstance(reply, ScoreResponse):
+            raise ProtocolError(
+                f"expected ScoreResponse, got {type(reply).__name__}"
+            )
+        return reply
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+    def model_info(self, model: str | None = None) -> ModelInfo:
+        """Describe a served model (``None`` = this client's target)."""
+        reply = self._request(
+            ModelInfoRequest(
+                model=model if model is not None else self.model,
+                request_id=self._next_id(),
+            )
+        )
+        if not isinstance(reply, ModelInfo):
+            raise ProtocolError(
+                f"expected ModelInfo, got {type(reply).__name__}"
+            )
+        return reply
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+
+    def __enter__(self) -> "PriveHDClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        quantizer = (
+            self.obfuscator.quantizer.name if self.obfuscator else None
+        )
+        return (
+            f"PriveHDClient({self.host}:{self.port}, "
+            f"model={self.model or self.info.name!r}, "
+            f"quantizer={quantizer!r}, v{self.protocol_version})"
+        )

@@ -1,0 +1,69 @@
+"""The serving protocol: typed messages + versioned binary wire format.
+
+This package defines everything that crosses the client/cloud boundary
+of the §III-C split deployment — and, just as deliberately, everything
+that cannot: the message vocabulary has no way to express raw feature
+vectors, codebooks, or encoder configs, so the untrusted serving side
+only ever receives encoded (quantized, masked, bit-packed) query
+hypervectors.
+
+* :mod:`repro.proto.wire` — the 8-byte-header, length-prefixed frame
+  format, version negotiation, and the fail-closed
+  :class:`ProtocolError` decoding discipline;
+* :mod:`repro.proto.messages` — the typed request/response dataclasses
+  (:class:`ScoreRequest`, :class:`ScoreResponse`, :class:`ModelInfo`,
+  :class:`ErrorReply`, handshake :class:`Hello`/:class:`Welcome`) and
+  their exact round-tripping codecs.
+"""
+
+from repro.proto.messages import (
+    ERROR_CODES,
+    ErrorReply,
+    Hello,
+    ModelInfo,
+    ModelInfoRequest,
+    ScoreRequest,
+    ScoreResponse,
+    Welcome,
+    decode_message,
+    encode_message,
+)
+from repro.proto.wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    HEADER_SIZE,
+    MAGIC,
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    Frame,
+    FrameDecoder,
+    FrameType,
+    ProtocolError,
+    decode_header,
+    encode_frame,
+    negotiate_version,
+)
+
+__all__ = [
+    "ERROR_CODES",
+    "ErrorReply",
+    "Hello",
+    "ModelInfo",
+    "ModelInfoRequest",
+    "ScoreRequest",
+    "ScoreResponse",
+    "Welcome",
+    "decode_message",
+    "encode_message",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "HEADER_SIZE",
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
+    "Frame",
+    "FrameDecoder",
+    "FrameType",
+    "ProtocolError",
+    "decode_header",
+    "encode_frame",
+    "negotiate_version",
+]

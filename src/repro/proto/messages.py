@@ -1,0 +1,515 @@
+"""Typed request/response messages of the serving protocol.
+
+Each dataclass here is one frame type on the wire (see
+:mod:`repro.proto.wire` for the framing itself).  The conversation is
+deliberately small — score encoded hypervectors, describe models, report
+errors — because the remote surface *is* the privacy boundary: there is
+no message that could carry raw features, codebooks, or encoder seeds,
+so the untrusted serving side can only ever see what the paper's §III-C
+client chooses to ship (quantized, masked, bit-packed query
+hypervectors).
+
+Handshake
+---------
+A connection opens with :class:`Hello` (client → server, listing every
+protocol version the client speaks) answered by :class:`Welcome`
+(server → client, the negotiated version plus the served model names).
+Everything after that is :class:`ScoreRequest`/:class:`ScoreResponse`
+and :class:`ModelInfoRequest`/:class:`ModelInfo`, with
+:class:`ErrorReply` for anything the server refuses.
+
+>>> req = ScoreRequest(queries=packed_queries, request_id=7)
+>>> frame = encode_message(req)                    # bytes for the wire
+>>> decode_message(decode_frame(frame)) == req     # round-trips exactly
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.backend.packed import PackedHV
+from repro.proto.wire import (
+    Frame,
+    FrameType,
+    PayloadReader,
+    PayloadWriter,
+    ProtocolError,
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    encode_frame,
+    read_queries,
+    write_queries,
+)
+
+__all__ = [
+    "Hello",
+    "Welcome",
+    "ScoreRequest",
+    "ScoreResponse",
+    "ModelInfoRequest",
+    "ModelInfo",
+    "ErrorReply",
+    "ERROR_CODES",
+    "encode_message",
+    "decode_message",
+]
+
+#: machine-readable :class:`ErrorReply` codes
+ERROR_CODES = (
+    "bad-frame",            # unparseable frame or payload; connection closes
+    "unsupported-version",  # no common protocol version
+    "unknown-model",        # model name not in the registry
+    "bad-request",          # well-formed frame, unservable content
+    "internal",             # server-side failure answering a valid request
+)
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Client's opening frame: the protocol versions it speaks.
+
+    Attributes
+    ----------
+    versions:
+        Every protocol version the client can use, ascending.
+    client:
+        Free-form client identification (logged, never trusted).
+    """
+
+    versions: tuple[int, ...] = SUPPORTED_VERSIONS
+    client: str = "prive-hd"
+
+    def __post_init__(self):
+        if not self.versions:
+            raise ValueError("Hello must offer at least one version")
+        object.__setattr__(
+            self, "versions", tuple(sorted(int(v) for v in self.versions))
+        )
+
+
+@dataclass(frozen=True)
+class Welcome:
+    """Server's handshake reply: the negotiated protocol version.
+
+    Attributes
+    ----------
+    version:
+        The version both sides will stamp on every subsequent frame.
+    server:
+        Server identification string.
+    models:
+        Names the registry currently serves (descriptive — the set can
+        change; :class:`ModelInfoRequest` gives authoritative answers).
+    """
+
+    version: int = PROTOCOL_VERSION
+    server: str = "prive-hd"
+    models: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "models", tuple(self.models))
+
+
+@dataclass(frozen=True)
+class ScoreRequest:
+    """Score a batch of *encoded* query hypervectors.
+
+    Attributes
+    ----------
+    queries:
+        A :class:`~repro.backend.PackedHV` batch (bit-plane payload, 16×
+        smaller than float32 — what an obfuscating client ships) or a
+        dense ``(n, d_hv)`` array of encoded hypervectors.  There is no
+        raw-feature variant: encoding happens on the client, always.
+    model:
+        Registry model name; ``None`` uses the server's default.
+    want_scores:
+        Also return the full Eq. (4) score matrix (predictions alone are
+        the default — smaller frames, and all a classifier client needs).
+    request_id:
+        Caller-chosen correlation id echoed in the response, so clients
+        may pipeline requests over one connection.
+    """
+
+    queries: PackedHV | np.ndarray
+    model: str | None = None
+    want_scores: bool = False
+    request_id: int = 0
+
+    def __post_init__(self):
+        if not isinstance(self.queries, PackedHV):
+            arr = np.asarray(self.queries)
+            if arr.ndim != 2:
+                raise ValueError(
+                    "ScoreRequest queries must be a PackedHV or a 2-D "
+                    f"(n, d_hv) array, got shape {arr.shape} — raw feature "
+                    "vectors do not belong on the wire; encode them first"
+                )
+            object.__setattr__(self, "queries", arr)
+
+    @property
+    def n_queries(self) -> int:
+        q = self.queries
+        return q.n if isinstance(q, PackedHV) else int(q.shape[0])
+
+    @property
+    def d_hv(self) -> int:
+        q = self.queries
+        return q.d if isinstance(q, PackedHV) else int(q.shape[1])
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ScoreRequest):
+            return NotImplemented
+        if (
+            self.model != other.model
+            or self.want_scores != other.want_scores
+            or self.request_id != other.request_id
+        ):
+            return False
+        a, b = self.queries, other.queries
+        if isinstance(a, PackedHV) != isinstance(b, PackedHV):
+            return False
+        if isinstance(a, PackedHV):
+            return (
+                a.d == b.d
+                and np.array_equal(a.signs, b.signs)
+                and np.array_equal(a.mags, b.mags)
+            )
+        return np.array_equal(a, b)
+
+
+@dataclass(frozen=True)
+class ScoreResponse:
+    """The server's answer to one :class:`ScoreRequest`.
+
+    Attributes
+    ----------
+    predictions:
+        ``(n,)`` int64 argmax labels, one per query row.
+    scores:
+        ``(n, n_classes)`` float64 Eq. (4) scores when the request set
+        ``want_scores``, else ``None``.
+    model, version:
+        Which registry entry (and which hot-swappable version of it)
+        answered — every row of one response is answered by a single
+        consistent version.
+    request_id:
+        Echo of the request's correlation id.
+    """
+
+    predictions: np.ndarray
+    scores: np.ndarray | None = None
+    model: str = ""
+    version: int = 0
+    request_id: int = 0
+
+    def __post_init__(self):
+        preds = np.asarray(self.predictions, dtype=np.int64)
+        if preds.ndim != 1:
+            raise ValueError(
+                f"predictions must be 1-D, got shape {preds.shape}"
+            )
+        object.__setattr__(self, "predictions", preds)
+        if self.scores is not None:
+            scores = np.asarray(self.scores, dtype=np.float64)
+            if scores.ndim != 2 or scores.shape[0] != preds.shape[0]:
+                raise ValueError(
+                    f"scores must be (n={preds.shape[0]}, n_classes), "
+                    f"got shape {scores.shape}"
+                )
+            object.__setattr__(self, "scores", scores)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ScoreResponse):
+            return NotImplemented
+        if (
+            self.model != other.model
+            or self.version != other.version
+            or self.request_id != other.request_id
+        ):
+            return False
+        if not np.array_equal(self.predictions, other.predictions):
+            return False
+        if (self.scores is None) != (other.scores is None):
+            return False
+        return self.scores is None or np.array_equal(self.scores, other.scores)
+
+
+@dataclass(frozen=True)
+class ModelInfoRequest:
+    """Ask the server to describe a served model (``None`` = default)."""
+
+    model: str | None = None
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """What a client may know about a hosted model.
+
+    Deliberately excludes the encoder config: codebooks live with the
+    *client* in the split deployment, and the manifest travels by an
+    out-of-band channel (the artifact directory), never this wire.
+
+    Attributes
+    ----------
+    name, version:
+        Registry coordinates of the answering version.
+    n_classes, d_hv, n_live_dims:
+        Served shape; ``n_live_dims < d_hv`` marks a pruned (§III-B)
+        model, whose clients must mask their queries to the same
+        dimensions (the deployment shares the mask seed out of band).
+    backend:
+        The serving compute layout (``"dense"``/``"packed"``).
+    query_quantizer:
+        Name of the quantizer queries are expected to have gone
+        through (``None`` = full precision).
+    epsilon:
+        The certified DP ε of the served store (``inf`` = no claim).
+    """
+
+    name: str
+    version: int
+    n_classes: int
+    d_hv: int
+    n_live_dims: int
+    backend: str
+    query_quantizer: str | None = None
+    epsilon: float = float("inf")
+    request_id: int = 0
+
+    @property
+    def is_pruned(self) -> bool:
+        return self.n_live_dims < self.d_hv
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    """A machine-readable refusal.
+
+    Attributes
+    ----------
+    code:
+        One of :data:`ERROR_CODES`.
+    message:
+        Human-readable detail (safe to show; never includes payload
+        bytes).
+    request_id:
+        Correlation id of the failed request when known, else 0.
+    """
+
+    code: str
+    message: str = ""
+    request_id: int = 0
+
+    def __post_init__(self):
+        if self.code not in ERROR_CODES:
+            raise ValueError(
+                f"unknown error code {self.code!r}; use one of {ERROR_CODES}"
+            )
+
+
+# ----------------------------------------------------------------------
+# per-message payload codecs
+# ----------------------------------------------------------------------
+def _write_hello(msg: Hello, w: PayloadWriter) -> None:
+    w.string(msg.client)
+    w.u8(len(msg.versions))
+    for v in msg.versions:
+        w.u8(v)
+
+
+def _read_hello(r: PayloadReader) -> Hello:
+    client = r.string() or ""
+    count = r.u8()
+    if count == 0:
+        raise ProtocolError("Hello offered zero protocol versions")
+    versions = tuple(r.u8() for _ in range(count))
+    return Hello(versions=versions, client=client)
+
+
+def _write_welcome(msg: Welcome, w: PayloadWriter) -> None:
+    w.u8(msg.version)
+    w.string(msg.server)
+    w.u16(len(msg.models))
+    for name in msg.models:
+        w.string(name)
+
+
+def _read_welcome(r: PayloadReader) -> Welcome:
+    version = r.u8()
+    server = r.string() or ""
+    models = tuple(r.string() or "" for _ in range(r.u16()))
+    return Welcome(version=version, server=server, models=models)
+
+
+def _write_score_request(msg: ScoreRequest, w: PayloadWriter) -> None:
+    w.u32(msg.request_id)
+    w.string(msg.model)
+    w.u8(1 if msg.want_scores else 0)
+    write_queries(w, msg.queries)
+
+
+def _read_score_request(r: PayloadReader) -> ScoreRequest:
+    request_id = r.u32()
+    model = r.string()
+    want_scores = bool(r.u8())
+    queries = read_queries(r)
+    return ScoreRequest(
+        queries=queries,
+        model=model,
+        want_scores=want_scores,
+        request_id=request_id,
+    )
+
+
+def _write_score_response(msg: ScoreResponse, w: PayloadWriter) -> None:
+    w.u32(msg.request_id)
+    w.string(msg.model)
+    w.u32(msg.version)
+    w.u32(msg.predictions.shape[0])
+    w.array(msg.predictions, "<i8")
+    if msg.scores is None:
+        w.u8(0)
+    else:
+        w.u8(1)
+        w.u32(msg.scores.shape[1])
+        w.array(msg.scores, "<f8")
+
+
+def _read_score_response(r: PayloadReader) -> ScoreResponse:
+    request_id = r.u32()
+    model = r.string() or ""
+    version = r.u32()
+    n = r.u32()
+    predictions = r.array(n, "<i8")
+    scores = None
+    if r.u8():
+        n_classes = r.u32()
+        scores = r.array(n * n_classes, "<f8").reshape(n, n_classes)
+    return ScoreResponse(
+        predictions=predictions,
+        scores=scores,
+        model=model,
+        version=version,
+        request_id=request_id,
+    )
+
+
+def _write_model_info_request(msg: ModelInfoRequest, w: PayloadWriter) -> None:
+    w.u32(msg.request_id)
+    w.string(msg.model)
+
+
+def _read_model_info_request(r: PayloadReader) -> ModelInfoRequest:
+    request_id = r.u32()
+    return ModelInfoRequest(model=r.string(), request_id=request_id)
+
+
+def _write_model_info(msg: ModelInfo, w: PayloadWriter) -> None:
+    w.u32(msg.request_id)
+    w.string(msg.name)
+    w.u32(msg.version)
+    w.u32(msg.n_classes)
+    w.u32(msg.d_hv)
+    w.u32(msg.n_live_dims)
+    w.string(msg.backend)
+    w.string(msg.query_quantizer)
+    w.f64(msg.epsilon)
+
+
+def _read_model_info(r: PayloadReader) -> ModelInfo:
+    request_id = r.u32()
+    return ModelInfo(
+        name=r.string() or "",
+        version=r.u32(),
+        n_classes=r.u32(),
+        d_hv=r.u32(),
+        n_live_dims=r.u32(),
+        backend=r.string() or "",
+        query_quantizer=r.string(),
+        epsilon=r.f64(),
+        request_id=request_id,
+    )
+
+
+def _write_error(msg: ErrorReply, w: PayloadWriter) -> None:
+    w.u32(msg.request_id)
+    w.string(msg.code)
+    w.string(msg.message)
+
+
+def _read_error(r: PayloadReader) -> ErrorReply:
+    request_id = r.u32()
+    code = r.string() or ""
+    message = r.string() or ""
+    if code not in ERROR_CODES:
+        raise ProtocolError(f"unknown error code {code!r} on the wire")
+    return ErrorReply(code=code, message=message, request_id=request_id)
+
+
+#: exact message type -> (frame type, writer); the closed world of the
+#: wire — anything not in this table cannot be serialized at all
+_CODECS = {
+    Hello: (FrameType.HELLO, _write_hello),
+    Welcome: (FrameType.WELCOME, _write_welcome),
+    ScoreRequest: (FrameType.SCORE_REQUEST, _write_score_request),
+    ScoreResponse: (FrameType.SCORE_RESPONSE, _write_score_response),
+    ModelInfoRequest: (FrameType.MODEL_INFO_REQUEST, _write_model_info_request),
+    ModelInfo: (FrameType.MODEL_INFO, _write_model_info),
+    ErrorReply: (FrameType.ERROR, _write_error),
+}
+
+_DECODERS = {
+    FrameType.HELLO: _read_hello,
+    FrameType.WELCOME: _read_welcome,
+    FrameType.SCORE_REQUEST: _read_score_request,
+    FrameType.SCORE_RESPONSE: _read_score_response,
+    FrameType.MODEL_INFO_REQUEST: _read_model_info_request,
+    FrameType.MODEL_INFO: _read_model_info,
+    FrameType.ERROR: _read_error,
+}
+
+
+def encode_message(msg, *, version: int = PROTOCOL_VERSION) -> bytes:
+    """One message dataclass → one complete wire frame.
+
+    Dispatch is on *exact* type: the codec table above is the entire
+    vocabulary of the protocol, so nothing outside it — raw arrays,
+    feature batches, encoder objects — can be framed, by construction.
+    """
+    codec = _CODECS.get(type(msg))
+    if codec is None:
+        raise ProtocolError(
+            f"{type(msg).__name__} is not a wire message; only "
+            f"{sorted(c.__name__ for c in _CODECS)} cross the boundary"
+        )
+    frame_type, writer = codec
+    w = PayloadWriter()
+    writer(msg, w)
+    return encode_frame(frame_type, w.getvalue(), version=version)
+
+
+def decode_message(frame: Frame):
+    """One decoded :class:`~repro.proto.wire.Frame` → its message.
+
+    Raises :class:`~repro.proto.wire.ProtocolError` for unknown frame
+    types, truncated payloads, and trailing garbage.
+    """
+    try:
+        kind = FrameType(frame.frame_type)
+    except ValueError:
+        raise ProtocolError(
+            f"unknown frame type 0x{frame.frame_type:02x}"
+        ) from None
+    reader = PayloadReader(frame.payload)
+    try:
+        msg = _DECODERS[kind](reader)
+    except ProtocolError:
+        raise
+    except (ValueError, OverflowError) as exc:
+        raise ProtocolError(f"malformed {kind.name} payload: {exc}") from exc
+    reader.done()
+    return msg

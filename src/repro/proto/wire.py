@@ -1,0 +1,377 @@
+"""The versioned, length-prefixed binary wire format of the serving API.
+
+Every byte that crosses the client/cloud boundary of §III-C goes through
+this module.  A frame is::
+
+    +----------+---------+-----------+--------------+-----------------+
+    | magic 2B | ver 1B  | type 1B   | length 4B BE | payload (length)|
+    +----------+---------+-----------+--------------+-----------------+
+
+* ``magic`` — ``b"HD"``; anything else is rejected immediately (a peer
+  speaking the wrong protocol never gets to allocate payload buffers);
+* ``ver`` — the protocol version of this frame.  Clients open with a
+  :class:`~repro.proto.messages.Hello` listing every version they speak;
+  the server answers :class:`~repro.proto.messages.Welcome` with the
+  highest common one, and both sides stamp it on every later frame;
+* ``type`` — one :data:`FrameType` per message dataclass;
+* ``length`` — payload bytes to follow, capped at ``max_frame_bytes``
+  so a corrupt or hostile length field cannot make the server allocate
+  gigabytes.
+
+Scalar fields are big-endian (network order); bulk arrays are raw
+little-endian buffers with their dtype fixed by the message schema
+(``<u8`` bit planes, ``<f4`` dense hypervectors, ``<i8`` predictions,
+``<f8`` scores) — the natural layout on every platform we serve from,
+and 16× smaller than float32 for packed queries.
+
+**The privacy boundary is structural.**  The payload schemas below are
+the *only* things this module can serialize, and none of them has a
+field for raw ``(d_in,)`` feature vectors, codebooks, or encoder
+configs: :func:`encode_message` dispatches on exact message type and
+raises for anything else, and every array a
+:class:`~repro.proto.messages.ScoreRequest` carries is validated to be a
+``d_hv``-wide hypervector batch.  A client simply has no way to put
+features on the wire — see ``tests/client/test_privacy_boundary.py``,
+which sniffs real frames for feature and codebook bytes.
+
+Malformed input (bad magic, oversize length, truncated payload,
+trailing garbage, unknown frame type, undecodable strings) raises
+:class:`ProtocolError`, never an arbitrary exception: the fuzz tests in
+``tests/proto/test_wire.py`` feed mutated and truncated frames and
+assert the decoder fails closed.
+"""
+
+from __future__ import annotations
+
+import struct
+from enum import IntEnum
+
+import numpy as np
+
+from repro.backend.packed import PackedHV, n_words
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
+    "HEADER_SIZE",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FrameType",
+    "Frame",
+    "ProtocolError",
+    "encode_frame",
+    "decode_header",
+    "FrameDecoder",
+    "negotiate_version",
+    "PayloadWriter",
+    "PayloadReader",
+]
+
+#: first two bytes of every frame
+MAGIC = b"HD"
+
+#: the version this build speaks natively
+PROTOCOL_VERSION = 1
+
+#: every version this build can decode (negotiation picks the highest
+#: common entry)
+SUPPORTED_VERSIONS = (1,)
+
+#: magic(2) + version(1) + frame type(1) + payload length(4, big-endian)
+HEADER_SIZE = 8
+
+_HEADER = struct.Struct("!2sBBI")
+
+#: default cap on a single frame's payload (64 MiB) — a hostile length
+#: field must not turn into an allocation
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A frame or payload violates the wire format.
+
+    Raised for bad magic, oversize or truncated frames, unknown frame
+    types, undecodable payloads, and version mismatches — every way a
+    peer can deviate from the protocol maps to this one exception, so
+    transports fail closed instead of leaking :mod:`struct` internals.
+    """
+
+
+class FrameType(IntEnum):
+    """One wire type byte per message dataclass."""
+
+    HELLO = 1
+    WELCOME = 2
+    SCORE_REQUEST = 3
+    SCORE_RESPONSE = 4
+    MODEL_INFO_REQUEST = 5
+    MODEL_INFO = 6
+    ERROR = 7
+
+
+class Frame:
+    """A decoded frame: its protocol version, type byte, and payload."""
+
+    __slots__ = ("version", "frame_type", "payload")
+
+    def __init__(self, version: int, frame_type: int, payload: bytes):
+        self.version = version
+        self.frame_type = frame_type
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        try:
+            kind = FrameType(self.frame_type).name
+        except ValueError:
+            kind = f"0x{self.frame_type:02x}"
+        return f"Frame(v{self.version}, {kind}, {len(self.payload)}B)"
+
+
+def encode_frame(
+    frame_type: int, payload: bytes, *, version: int = PROTOCOL_VERSION
+) -> bytes:
+    """Wrap a payload in the 8-byte header."""
+    return _HEADER.pack(MAGIC, version, int(frame_type), len(payload)) + payload
+
+
+def decode_header(
+    header: bytes, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> tuple[int, int, int]:
+    """Parse an 8-byte header into ``(version, frame_type, length)``.
+
+    Rejects bad magic and hostile lengths before any payload is read.
+    """
+    if len(header) != HEADER_SIZE:
+        raise ProtocolError(
+            f"frame header must be {HEADER_SIZE} bytes, got {len(header)}"
+        )
+    magic, version, frame_type, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r} (expected {MAGIC!r})")
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"frame payload of {length} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit"
+        )
+    return version, frame_type, length
+
+
+def negotiate_version(offered) -> int | None:
+    """The highest version both sides speak, or ``None`` if disjoint."""
+    common = set(int(v) for v in offered) & set(SUPPORTED_VERSIONS)
+    return max(common) if common else None
+
+
+class FrameDecoder:
+    """Incremental frame splitter for stream transports.
+
+    Feed arbitrary byte chunks; complete frames come back in order.
+    Errors (bad magic, oversize length) are raised on the ``feed`` that
+    makes them detectable — after a framing error the stream cannot be
+    resynchronized, so transports must close the connection.
+    """
+
+    def __init__(self, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES):
+        self.max_frame_bytes = max_frame_bytes
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[Frame]:
+        """Absorb ``data``; return every frame it completes."""
+        self._buf.extend(data)
+        frames = []
+        while True:
+            if len(self._buf) < HEADER_SIZE:
+                break
+            version, frame_type, length = decode_header(
+                bytes(self._buf[:HEADER_SIZE]),
+                max_frame_bytes=self.max_frame_bytes,
+            )
+            if len(self._buf) < HEADER_SIZE + length:
+                break
+            payload = bytes(self._buf[HEADER_SIZE : HEADER_SIZE + length])
+            del self._buf[: HEADER_SIZE + length]
+            frames.append(Frame(version, frame_type, payload))
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buf)
+
+
+# ----------------------------------------------------------------------
+# payload primitives
+# ----------------------------------------------------------------------
+_U8 = struct.Struct("!B")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_F64 = struct.Struct("!d")
+
+#: u16 sentinel marking an absent optional string
+_NONE_STR = 0xFFFF
+
+
+class PayloadWriter:
+    """Append-only builder for payload bytes (scalars big-endian)."""
+
+    def __init__(self):
+        self._parts: list[bytes] = []
+
+    def u8(self, value: int) -> "PayloadWriter":
+        self._parts.append(_U8.pack(int(value)))
+        return self
+
+    def u16(self, value: int) -> "PayloadWriter":
+        self._parts.append(_U16.pack(int(value)))
+        return self
+
+    def u32(self, value: int) -> "PayloadWriter":
+        self._parts.append(_U32.pack(int(value)))
+        return self
+
+    def f64(self, value: float) -> "PayloadWriter":
+        self._parts.append(_F64.pack(float(value)))
+        return self
+
+    def string(self, value: str | None) -> "PayloadWriter":
+        """A length-prefixed UTF-8 string; ``None`` is a u16 sentinel."""
+        if value is None:
+            self._parts.append(_U16.pack(_NONE_STR))
+            return self
+        raw = str(value).encode("utf-8")
+        if len(raw) >= _NONE_STR:
+            raise ProtocolError(
+                f"string field of {len(raw)} bytes exceeds the wire limit"
+            )
+        self._parts.append(_U16.pack(len(raw)))
+        self._parts.append(raw)
+        return self
+
+    def array(self, arr: np.ndarray, dtype: str) -> "PayloadWriter":
+        """Raw little-endian buffer of ``arr`` as ``dtype`` (no shape)."""
+        self._parts.append(np.ascontiguousarray(arr, dtype=dtype).tobytes())
+        return self
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class PayloadReader:
+    """Sequential payload parser; every read is bounds-checked.
+
+    :meth:`done` asserts full consumption — trailing garbage after a
+    well-formed prefix is a protocol violation, not padding.
+    """
+
+    def __init__(self, payload: bytes):
+        self._buf = payload
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._buf):
+            raise ProtocolError(
+                f"payload truncated: needed {n} bytes at offset "
+                f"{self._pos}, only {len(self._buf) - self._pos} left"
+            )
+        out = self._buf[self._pos : self._pos + n]
+        self._pos += n
+        return out
+
+    def u8(self) -> int:
+        return _U8.unpack(self._take(1))[0]
+
+    def u16(self) -> int:
+        return _U16.unpack(self._take(2))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self._take(4))[0]
+
+    def f64(self) -> float:
+        return _F64.unpack(self._take(8))[0]
+
+    def string(self) -> str | None:
+        length = self.u16()
+        if length == _NONE_STR:
+            return None
+        try:
+            return self._take(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"undecodable string field: {exc}") from exc
+
+    def array(self, count: int, dtype: str) -> np.ndarray:
+        """A typed view over the payload bytes — zero-copy, read-only.
+
+        Consumers that need to mutate (none on the serving path: the
+        scheduler concatenates, the kernels only read) must copy
+        themselves; skipping the copy here keeps large query frames off
+        the decoder's profile.
+        """
+        dt = np.dtype(dtype)
+        raw = self._take(int(count) * dt.itemsize)
+        return np.frombuffer(raw, dtype=dt)
+
+    def done(self) -> None:
+        if self._pos != len(self._buf):
+            raise ProtocolError(
+                f"{len(self._buf) - self._pos} trailing bytes after a "
+                "well-formed payload"
+            )
+
+
+# ----------------------------------------------------------------------
+# hypervector payload codec (shared by ScoreRequest)
+# ----------------------------------------------------------------------
+#: query payload kinds
+QUERY_DENSE = 0
+QUERY_PACKED = 1
+
+
+def write_queries(w: PayloadWriter, queries) -> None:
+    """Serialize a hypervector batch: packed bit planes or dense f32.
+
+    This is the *only* array-of-hypervectors writer in the protocol.  It
+    accepts exactly two shapes of data — a :class:`PackedHV` batch (two
+    ``(n, n_words)`` uint64 planes, the §III-C offload payload) or a
+    dense 2-D ``(n, d)`` batch — and refuses everything else, which is
+    what makes "raw features cannot be framed" a property of the
+    encoder rather than a convention: feature matrices are ``(n, d_in)``
+    with ``d_in`` unequal to any served ``d_hv``, and 1-D/ragged/object
+    inputs never reach a buffer.
+    """
+    if isinstance(queries, PackedHV):
+        w.u8(QUERY_PACKED)
+        w.u32(queries.n).u32(queries.d)
+        w.array(queries.signs, "<u8")
+        w.array(queries.mags, "<u8")
+        return
+    arr = np.asarray(queries)
+    if arr.ndim != 2 or arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise ProtocolError(
+            "queries must be a PackedHV batch or a non-empty 2-D array, "
+            f"got shape {getattr(arr, 'shape', None)}"
+        )
+    if arr.dtype == object:
+        raise ProtocolError("object arrays cannot be framed")
+    w.u8(QUERY_DENSE)
+    w.u32(arr.shape[0]).u32(arr.shape[1])
+    w.array(arr, "<f4")
+
+
+def read_queries(r: PayloadReader):
+    """Inverse of :func:`write_queries`: a PackedHV or float32 array."""
+    kind = r.u8()
+    n = r.u32()
+    d = r.u32()
+    if n == 0 or d == 0:
+        raise ProtocolError(f"empty query batch on the wire (n={n}, d={d})")
+    if kind == QUERY_PACKED:
+        words = n_words(d)
+        signs = r.array(n * words, "<u8").reshape(n, words)
+        mags = r.array(n * words, "<u8").reshape(n, words)
+        try:
+            return PackedHV(signs=signs, mags=mags, d=d)
+        except ValueError as exc:
+            raise ProtocolError(f"inconsistent packed planes: {exc}") from exc
+    if kind == QUERY_DENSE:
+        return r.array(n * d, "<f4").reshape(n, d)
+    raise ProtocolError(f"unknown query payload kind {kind}")

@@ -11,9 +11,17 @@ The serving subsystem moves models from training to traffic:
   hot-swap (promote a fresh privatized model, zero dropped requests);
 * :class:`MicroBatchScheduler` / :class:`ModelServer` — deadline- and
   size-triggered coalescing of concurrent small callers into bounded
-  packed batches.
+  packed batches;
+* :class:`ServingAPI` — the one typed surface (speaking
+  :mod:`repro.proto` requests/responses) every entry point funnels
+  through;
+* :class:`ServingFrontend` / :class:`FrontendHandle` — the asyncio
+  socket server (plus HTTP ops adapter) that exposes the API to remote
+  :class:`~repro.client.PriveHDClient` connections without ever seeing
+  raw features or codebooks.
 """
 
+from repro.serve.api import ServingAPI
 from repro.serve.artifact import (
     ARTIFACT_FORMAT_VERSION,
     ArtifactError,
@@ -22,6 +30,7 @@ from repro.serve.artifact import (
 )
 from repro.serve.bench import ThroughputResult, make_serving_fixture, run_throughput
 from repro.serve.engine import InferenceEngine
+from repro.serve.frontend import FrontendHandle, ServingFrontend
 from repro.serve.registry import ModelRegistry, ModelVersion
 from repro.serve.scheduler import (
     MicroBatchConfig,
@@ -42,6 +51,9 @@ __all__ = [
     "MicroBatchScheduler",
     "SchedulerStats",
     "ModelServer",
+    "ServingAPI",
+    "ServingFrontend",
+    "FrontendHandle",
     "ThroughputResult",
     "make_serving_fixture",
     "run_throughput",

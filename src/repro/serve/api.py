@@ -1,0 +1,324 @@
+"""The one typed serving surface every entry point goes through.
+
+Before this module, a deployment had three ways in — raw
+:class:`~repro.serve.InferenceEngine` calls (with representation kwargs
+like ``store_is_quantized``/``keep_mask`` leaking into callers),
+:class:`~repro.serve.ModelServer` micro-batched calls, and now a
+network frontend — each with its own argument conventions.
+:class:`ServingAPI` is the narrow waist that unifies them: the CLI, the
+benchmarks, and the socket frontend all speak *this* class, and this
+class speaks the typed :mod:`repro.proto` vocabulary
+(:class:`~repro.proto.ScoreRequest` in,
+:class:`~repro.proto.ScoreResponse` out), so engine construction
+details stay behind :meth:`~repro.serve.ModelArtifact.engine` where
+they belong.
+
+    >>> api = ServingAPI.from_artifact("artifacts/isolet-v1")
+    >>> api.predict(encoded_queries)             # micro-batched labels
+    >>> api.score(ScoreRequest(queries=packed))  # the wire entry point
+    >>> api.info()                               # typed ModelInfo
+    >>> api.health(), api.stats()                # ops endpoints (JSON-safe)
+
+Every query path is micro-batched through the underlying
+:class:`~repro.serve.ModelServer`; registry mutations (publish /
+promote / rollback) hot-swap between flushes with zero dropped
+requests, exactly as before — the API adds types, not a new execution
+path.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from pathlib import Path
+
+import numpy as np
+
+from repro.backend.packed import PackedHV
+from repro.proto.messages import ModelInfo, ScoreRequest, ScoreResponse
+from repro.serve.artifact import ModelArtifact
+from repro.serve.registry import ModelRegistry
+from repro.serve.scheduler import MicroBatchConfig
+from repro.serve.server import ModelServer
+
+__all__ = ["ServingAPI"]
+
+
+class ServingAPI:
+    """Typed facade over a micro-batched, hot-swappable model registry.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.serve.ModelRegistry` to serve; ``None``
+        creates an empty one (reachable as :attr:`registry`).
+    default_model:
+        Name assumed when calls omit ``model=``; optional when the
+        registry serves exactly one name.
+    config:
+        Micro-batching flush policy shared by all entry points.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry | None = None,
+        *,
+        default_model: str | None = None,
+        config: MicroBatchConfig | None = None,
+    ):
+        self._server = ModelServer(
+            registry, default_model=default_model, config=config
+        )
+
+    # ------------------------------------------------------------------
+    # construction sugar
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_artifact(
+        cls,
+        artifact: ModelArtifact | str | Path,
+        *,
+        name: str = "model",
+        config: MicroBatchConfig | None = None,
+        engine_kwargs: dict | None = None,
+    ) -> "ServingAPI":
+        """Serve one artifact (object or directory path) under ``name``.
+
+        All engine construction happens inside
+        :meth:`~repro.serve.ModelArtifact.engine` — callers never touch
+        ``store_is_quantized``, ``keep_mask``, or backend plumbing.
+        """
+        registry = ModelRegistry()
+        if isinstance(artifact, (str, Path)):
+            registry.load(name, artifact, engine_kwargs=engine_kwargs)
+        else:
+            registry.publish(name, artifact, engine_kwargs=engine_kwargs)
+        return cls(registry, default_model=name, config=config)
+
+    @property
+    def registry(self) -> ModelRegistry:
+        """The live registry — publish/promote on it to hot-swap."""
+        return self._server.registry
+
+    @property
+    def server(self) -> ModelServer:
+        """The underlying micro-batching server."""
+        return self._server
+
+    @property
+    def default_model(self) -> str | None:
+        return self._server.default_model
+
+    # ------------------------------------------------------------------
+    # array entry points (thread-safe, micro-batched)
+    # ------------------------------------------------------------------
+    def predict(self, queries, *, model: str | None = None) -> np.ndarray:
+        """Labels for encoded query hypervectors (dense rows)."""
+        return self._server.predict(queries, model=model)
+
+    def scores(self, queries, *, model: str | None = None) -> np.ndarray:
+        """Eq. (4) class scores for encoded query hypervectors."""
+        return self._server.scores(queries, model=model)
+
+    def predict_features(self, X, *, model: str | None = None) -> np.ndarray:
+        """Labels for raw features — **in-process callers only**.
+
+        The artifact must carry an encoder config.  This entry point
+        deliberately has no wire equivalent: the network protocol cannot
+        express raw features, so remote callers encode client-side
+        (:class:`~repro.client.PriveHDClient`) and use :meth:`score`.
+        """
+        return self._server.predict_features(X, model=model)
+
+    def submit(
+        self, queries, *, model: str | None = None, method: str = "predict"
+    ) -> Future:
+        """Non-blocking array submission (see :meth:`ModelServer.submit`)."""
+        return self._server.submit(queries, model=model, method=method)
+
+    # ------------------------------------------------------------------
+    # typed protocol entry points (what the frontend calls)
+    # ------------------------------------------------------------------
+    def score(self, request: ScoreRequest) -> ScoreResponse:
+        """Answer one typed request synchronously."""
+        return self.submit_score(request).result()
+
+    def submit_score(self, request: ScoreRequest) -> Future:
+        """Answer one typed request; resolves to a :class:`ScoreResponse`.
+
+        Packed bit-plane queries stay packed through the micro-batcher
+        (their uint64 planes ride the scheduler as plane rows, 16x
+        smaller than dense, and the packed backend consumes the rebuilt
+        batch natively — no unpack/repack on the hot path).  Raises
+        ``KeyError`` for unknown models and ``ValueError`` for shape
+        mismatches (the frontend maps these to typed
+        :class:`ErrorReply` codes).
+
+        The response's ``version`` is the version that actually scored
+        the flush, even if a hot-swap landed between submit and flush.
+        The ``d_hv`` check runs against the version current at submit;
+        in the (pathological) case of a promote *changing* ``d_hv``
+        mid-flight, the flush fails loudly and every affected request
+        gets a typed error rather than silently wrong shapes.
+        """
+        name = self._server.resolve_name(request.model)
+        record = self.registry.describe(name)
+        engine = record.engine
+        if request.d_hv != engine.d_hv:
+            raise ValueError(
+                f"queries have {request.d_hv} dimensions but model "
+                f"{name!r} serves {engine.d_hv}"
+            )
+        queries = request.queries
+        if isinstance(queries, PackedHV):
+            method = (
+                "scores_packed" if request.want_scores else "predict_packed"
+            )
+            raw = self._server.submit_packed(
+                queries, model=name, want_scores=request.want_scores
+            )
+        else:
+            method = "scores" if request.want_scores else "predict"
+            raw = self._server.submit(queries, model=name, method=method)
+
+        response: Future = Future()
+        response.set_running_or_notify_cancel()
+
+        def _finish(fut: Future, _req=request, _name=name, _method=method):
+            exc = fut.exception()
+            if exc is not None:
+                response.set_exception(exc)
+                return
+            result = fut.result()
+            try:
+                # This callback runs in the flusher thread right after
+                # the flush that scored us, so flushed_version is
+                # exactly the version that answered — even when a
+                # hot-swap landed between submit and flush.
+                version = self._server.flushed_version(_name, _method)
+                if _req.want_scores:
+                    scores = np.atleast_2d(np.asarray(result))
+                    resp = ScoreResponse(
+                        predictions=np.argmax(scores, axis=1),
+                        scores=scores,
+                        model=_name,
+                        version=version,
+                        request_id=_req.request_id,
+                    )
+                else:
+                    resp = ScoreResponse(
+                        predictions=np.atleast_1d(np.asarray(result)),
+                        model=_name,
+                        version=version,
+                        request_id=_req.request_id,
+                    )
+            except Exception as build_exc:  # noqa: BLE001 — forwarded
+                response.set_exception(build_exc)
+                return
+            response.set_result(resp)
+
+        raw.add_done_callback(_finish)
+        return response
+
+    def info(
+        self, model: str | None = None, *, request_id: int = 0
+    ) -> ModelInfo:
+        """A typed :class:`~repro.proto.ModelInfo` for a served model."""
+        name = self._server.resolve_name(model)
+        record = self.registry.describe(name)
+        engine = record.engine
+        artifact = record.artifact
+        if artifact is not None:
+            n_live = artifact.n_live_dims
+            quantizer = artifact.query_quantizer
+            epsilon = artifact.epsilon
+        else:
+            mask = engine.keep_mask
+            n_live = engine.d_hv if mask is None else int(mask.sum())
+            quantizer = (
+                engine.quantizer.name if engine.quantizer is not None else None
+            )
+            epsilon = float("inf")
+        return ModelInfo(
+            name=name,
+            version=record.version,
+            n_classes=engine.n_classes,
+            d_hv=engine.d_hv,
+            n_live_dims=n_live,
+            backend=engine.backend.name,
+            query_quantizer=quantizer,
+            epsilon=epsilon,
+            request_id=request_id,
+        )
+
+    # ------------------------------------------------------------------
+    # ops endpoints (JSON-safe — the HTTP adapter returns these verbatim)
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Liveness + registry summary for load balancers and probes."""
+        registry = self.registry
+        names = registry.names()
+        return {
+            "status": "ok" if names else "empty",
+            "models": len(names),
+            "default_model": self.default_model,
+            "swaps": registry.swaps,
+        }
+
+    def models(self) -> dict:
+        """Every served name with its versions and current pointer."""
+        registry = self.registry
+        out = {}
+        for name in registry.names():
+            current = registry.current_version(name)
+            info = self.info(name)
+            out[name] = {
+                "current_version": current,
+                "versions": list(registry.versions(name)),
+                "evicted_versions": [
+                    v
+                    for v in registry.versions(name)
+                    if registry.is_evicted(name, v)
+                ],
+                "n_classes": info.n_classes,
+                "d_hv": info.d_hv,
+                "n_live_dims": info.n_live_dims,
+                "backend": info.backend,
+                "query_quantizer": info.query_quantizer,
+                "epsilon": None if np.isinf(info.epsilon) else info.epsilon,
+            }
+        return out
+
+    def stats(self) -> dict:
+        """Scheduler counters per entry point, JSON-safe."""
+        out = {}
+        for key, stats in self._server.stats().items():
+            out[key] = {
+                "submitted": stats.submitted,
+                "completed": stats.completed,
+                "failed": stats.failed,
+                "cancelled": stats.cancelled,
+                "flushes": stats.flushes,
+                "mean_batch_rows": stats.mean_batch_rows,
+                "max_batch_rows": stats.max_batch_rows,
+                "flushes_by_trigger": dict(stats.flushes_by_trigger),
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain and stop the underlying server."""
+        self._server.close()
+
+    def __enter__(self) -> "ServingAPI":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServingAPI(models={list(self.registry.names())}, "
+            f"default={self.default_model!r})"
+        )

@@ -1,0 +1,627 @@
+"""The network front-end: an asyncio socket server over the ServingAPI.
+
+This is the cloud side of the §III-C split made real: remote clients
+connect over TCP, speak the versioned binary protocol of
+:mod:`repro.proto`, and get micro-batched packed scoring with zero-drop
+hot-swap — the exact execution path in-process callers get, because
+every decoded request funnels into the same
+:class:`~repro.serve.ServingAPI` /
+:class:`~repro.serve.MicroBatchScheduler`.  Crucially, the frontend can
+only *receive* what the protocol can express: encoded (quantized,
+masked, bit-packed) query hypervectors.  Raw features and codebooks
+have no frame type, so this process never sees them.
+
+Connection discipline
+---------------------
+* Handshake first: the client's :class:`~repro.proto.Hello` is answered
+  by :class:`~repro.proto.Welcome` carrying the negotiated protocol
+  version; a client offering no common version gets a typed
+  ``unsupported-version`` :class:`~repro.proto.ErrorReply` and a close.
+* Requests on one connection are answered in order (responses echo the
+  request's correlation id); per-connection throughput comes from
+  batching rows into one :class:`~repro.proto.ScoreRequest`, aggregate
+  throughput from many connections — concurrent connections coalesce
+  into shared micro-batches, which is the whole point.
+* Application errors (unknown model, wrong ``d_hv``) are typed replies
+  on a *healthy* connection; framing violations (bad magic, oversize
+  length, truncated or trailing bytes) poison the stream and close it
+  after a best-effort ``bad-frame`` reply.
+
+A thin HTTP/1.0 adapter (:class:`HttpOpsAdapter`, enabled with
+``http_port``) exposes the ops endpoints — ``/healthz``, ``/models``,
+``/stats`` — as JSON for probes and humans; it serves *metadata only*
+and cannot score.
+
+    >>> api = ServingAPI.from_artifact("artifacts/isolet-v1")
+    >>> with FrontendHandle(api, port=7411) as handle:   # background thread
+    ...     print(handle.address)                        # ('127.0.0.1', 7411)
+
+For a foreground server (the CLI's ``serve --listen``) use
+:meth:`ServingFrontend.run`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket as socket_module
+import threading
+
+from repro.proto.messages import (
+    ErrorReply,
+    Hello,
+    ModelInfoRequest,
+    ScoreRequest,
+    Welcome,
+    decode_message,
+    encode_message,
+)
+from repro.proto.wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    HEADER_SIZE,
+    PROTOCOL_VERSION,
+    Frame,
+    FrameType,
+    ProtocolError,
+    decode_header,
+    negotiate_version,
+)
+from repro.serve.api import ServingAPI
+
+__all__ = ["ServingFrontend", "FrontendHandle"]
+
+
+class ServingFrontend:
+    """Asyncio TCP server speaking the typed serving protocol.
+
+    Parameters
+    ----------
+    api:
+        The :class:`~repro.serve.ServingAPI` answering decoded requests
+        (shared with any in-process callers — one registry, one
+        micro-batcher).
+    host, port:
+        Bind address of the binary protocol listener; ``port=0`` picks
+        a free port (read it from :attr:`address` after :meth:`start`).
+    http_port:
+        Optional second listener serving the JSON ops endpoints
+        (``/healthz``, ``/models``, ``/stats``); ``None`` disables it,
+        ``0`` picks a free port.
+    max_frame_bytes:
+        Per-frame payload cap forwarded to the decoder.
+    max_inflight:
+        Unanswered requests one connection may pipeline before the
+        frontend stops reading from it — together with the transport's
+        drain high-water mark, this bounds the memory a slow-reading
+        (or never-reading) client can pin server-side.
+    name:
+        Server identification sent in the :class:`Welcome` frame.
+    """
+
+    def __init__(
+        self,
+        api: ServingAPI,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        http_port: int | None = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        max_inflight: int = 64,
+        name: str = "prive-hd",
+    ):
+        self.api = api
+        self.host = host
+        self.port = port
+        self.http_port = http_port
+        self.max_frame_bytes = max_frame_bytes
+        self.max_inflight = max_inflight
+        self.name = name
+        self.connections_served = 0
+        self.frames_rejected = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._http_server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._conn_writers: set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind both listeners; returns the protocol ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        if self.http_port is not None:
+            self._http_server = await asyncio.start_server(
+                self._handle_http, self.host, self.http_port
+            )
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound ``(host, port)`` of the binary protocol listener."""
+        if self._server is None:
+            raise RuntimeError("frontend is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def http_address(self) -> tuple[str, int] | None:
+        """Bound ``(host, port)`` of the HTTP ops listener, if enabled."""
+        if self._http_server is None:
+            return None
+        return self._http_server.sockets[0].getsockname()[:2]
+
+    async def stop(self) -> None:
+        """Stop accepting connections and close the listeners.
+
+        Live connections are closed at the transport (their handlers
+        exit on the resulting EOF); stragglers are cancelled after a
+        short grace period.  The transport makes no drain promise
+        beyond what the micro-batcher already flushed.
+        """
+        for server in (self._server, self._http_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        for writer in list(self._conn_writers):
+            writer.close()
+        if self._conn_tasks:
+            _, pending = await asyncio.wait(
+                list(self._conn_tasks), timeout=5.0
+            )
+            for task in pending:  # pragma: no cover - defensive
+                task.cancel()
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (listeners must be started)."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    def run(self) -> None:
+        """Blocking convenience: start and serve until interrupted."""
+
+        async def _main():
+            await self.start()
+            host, port = self.address
+            print(f"listening on {host}:{port}", flush=True)
+            if self.http_address is not None:
+                h, p = self.http_address
+                print(f"http ops on {h}:{p}", flush=True)
+            await self._server.serve_forever()
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:
+            pass
+
+    # ------------------------------------------------------------------
+    # binary protocol
+    # ------------------------------------------------------------------
+    async def _read_frame(self, reader: asyncio.StreamReader) -> Frame | None:
+        """One frame off the stream; ``None`` on clean EOF between frames."""
+        try:
+            header = await reader.readexactly(HEADER_SIZE)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean close between frames
+            raise ProtocolError(
+                f"connection closed mid-header ({len(exc.partial)} bytes)"
+            ) from exc
+        version, frame_type, length = decode_header(
+            header, max_frame_bytes=self.max_frame_bytes
+        )
+        try:
+            payload = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError(
+                f"connection closed mid-payload "
+                f"({len(exc.partial)}/{length} bytes)"
+            ) from exc
+        return Frame(version, frame_type, payload)
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        message,
+        *,
+        version: int = PROTOCOL_VERSION,
+    ) -> None:
+        data = encode_message(message, version=version)
+        async with lock:  # pipelined responses must not interleave
+            writer.write(data)
+            await writer.drain()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_served += 1
+        me = asyncio.current_task()
+        if me is not None:
+            self._conn_tasks.add(me)
+            me.add_done_callback(self._conn_tasks.discard)
+        self._conn_writers.add(writer)
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            # Small request/response frames: defeat Nagle on our side of
+            # the connection too (the client sets it on its own).
+            sock.setsockopt(
+                socket_module.IPPROTO_TCP, socket_module.TCP_NODELAY, 1
+            )
+        write_lock = asyncio.Lock()
+        inflight = asyncio.Semaphore(self.max_inflight)
+        negotiated: int | None = None
+        try:
+            while True:
+                frame = await self._read_frame(reader)
+                if frame is None:
+                    break
+                if negotiated is None:
+                    negotiated = await self._handshake(
+                        frame, writer, write_lock
+                    )
+                    if negotiated is None:
+                        break
+                    continue
+                if frame.version != negotiated:
+                    await self._send(
+                        writer,
+                        write_lock,
+                        ErrorReply(
+                            code="bad-frame",
+                            message=(
+                                f"frame version {frame.version} after "
+                                f"negotiating {negotiated}"
+                            ),
+                        ),
+                        version=negotiated,
+                    )
+                    break
+                # Requests pipeline: a ScoreRequest is submitted to the
+                # micro-batcher without blocking the read loop, and its
+                # response is written by a completion callback when the
+                # flush lands (correlation ids let clients match reorder
+                # -ed replies).  Many connections — and many in-flight
+                # requests per connection — coalesce into shared
+                # batches.  The semaphore caps this connection's
+                # unanswered requests and drain() honors the
+                # transport's high-water mark, so a client that floods
+                # requests or never reads replies throttles itself
+                # instead of growing server memory.
+                await inflight.acquire()
+                self._dispatch(frame, writer, negotiated, inflight.release)
+                # Give completion callbacks a turn before the next read:
+                # readexactly returns without suspending when the frame
+                # is already buffered, so a flooding client must not
+                # starve the response path.
+                await asyncio.sleep(0)
+                await writer.drain()
+        except ProtocolError as exc:
+            self.frames_rejected += 1
+            try:
+                await self._send(
+                    writer,
+                    write_lock,
+                    ErrorReply(code="bad-frame", message=str(exc)),
+                    version=negotiated or PROTOCOL_VERSION,
+                )
+            except (ConnectionError, RuntimeError):
+                pass
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._conn_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _handshake(
+        self,
+        frame: Frame,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> int | None:
+        """Negotiate a protocol version; None closes the connection."""
+        if frame.frame_type != FrameType.HELLO:
+            await self._send(
+                writer,
+                lock,
+                ErrorReply(
+                    code="bad-frame",
+                    message="connection must open with a Hello frame",
+                ),
+            )
+            return None
+        hello = decode_message(frame)
+        version = negotiate_version(hello.versions)
+        if version is None:
+            await self._send(
+                writer,
+                lock,
+                ErrorReply(
+                    code="unsupported-version",
+                    message=(
+                        f"client speaks {list(hello.versions)}, server "
+                        f"speaks {list(self._supported())}"
+                    ),
+                ),
+            )
+            return None
+        await self._send(
+            writer,
+            lock,
+            Welcome(
+                version=version,
+                server=self.name,
+                models=self.api.registry.names(),
+            ),
+            version=version,
+        )
+        return version
+
+    @staticmethod
+    def _supported() -> tuple[int, ...]:
+        from repro.proto.wire import SUPPORTED_VERSIONS
+
+        return SUPPORTED_VERSIONS
+
+    def _dispatch(
+        self,
+        frame: Frame,
+        writer: asyncio.StreamWriter,
+        version: int,
+        done,
+    ) -> None:
+        """Route one post-handshake frame (runs on the event loop).
+
+        Metadata requests are answered immediately; scoring requests
+        are submitted to the micro-batcher without blocking the read
+        loop — the scheduler future's completion callback hops back to
+        the loop (``call_soon_threadsafe``, one hop, no intermediate
+        task) and writes the response.  Application errors become typed
+        replies on a healthy connection.  ``done`` is invoked exactly
+        once, after this frame's response is written (the in-flight
+        semaphore release).
+        """
+        request_id = 0
+        try:
+            message = decode_message(frame)
+            if isinstance(message, ScoreRequest):
+                request_id = message.request_id
+                loop = asyncio.get_running_loop()
+                future = self.api.submit_score(message)
+                future.add_done_callback(
+                    lambda f: loop.call_soon_threadsafe(
+                        self._write_completion,
+                        writer,
+                        f,
+                        version,
+                        request_id,
+                        done,
+                    )
+                )
+                return
+            if isinstance(message, ModelInfoRequest):
+                request_id = message.request_id
+                response = self.api.info(
+                    message.model, request_id=message.request_id
+                )
+            else:
+                response = ErrorReply(
+                    code="bad-frame",
+                    message=(
+                        f"unexpected {type(message).__name__} frame from "
+                        "a client"
+                    ),
+                )
+        except ProtocolError as exc:
+            self.frames_rejected += 1
+            response = ErrorReply(
+                code="bad-frame", message=str(exc), request_id=request_id
+            )
+        except Exception as exc:  # noqa: BLE001 — the server must survive
+            response = self._error_reply(exc, request_id)
+        try:
+            self._write_message(writer, response, version)
+        finally:
+            done()
+
+    def _write_completion(
+        self,
+        writer: asyncio.StreamWriter,
+        future,
+        version: int,
+        request_id: int,
+        done=None,
+    ) -> None:
+        """Write a finished scoring future's response (on the loop)."""
+        try:
+            exc = future.exception()
+            if exc is None:
+                message = future.result()
+            else:
+                message = self._error_reply(exc, request_id)
+            self._write_message(writer, message, version)
+        finally:
+            if done is not None:
+                done()
+
+    def _write_message(
+        self, writer: asyncio.StreamWriter, message, version: int
+    ) -> None:
+        """Encode + write one frame, synchronously on the loop.
+
+        ``write`` enqueues the whole frame atomically (the transport
+        handles flow control in the background), so concurrent
+        completions for one connection cannot interleave bytes.
+        """
+        if writer.is_closing():
+            return
+        try:
+            writer.write(encode_message(message, version=version))
+        except (ConnectionError, RuntimeError):
+            pass
+
+    @staticmethod
+    def _error_reply(exc: BaseException, request_id: int) -> ErrorReply:
+        """Map an application exception to its typed wire error."""
+        if isinstance(exc, ProtocolError):
+            return ErrorReply(
+                code="bad-frame", message=str(exc), request_id=request_id
+            )
+        if isinstance(exc, KeyError):
+            return ErrorReply(
+                code="unknown-model",
+                message=str(exc).strip("'\""),
+                request_id=request_id,
+            )
+        if isinstance(exc, ValueError):
+            return ErrorReply(
+                code="bad-request", message=str(exc), request_id=request_id
+            )
+        return ErrorReply(
+            code="internal",
+            message=f"{type(exc).__name__}: {exc}",
+            request_id=request_id,
+        )
+
+    # ------------------------------------------------------------------
+    # HTTP ops adapter
+    # ------------------------------------------------------------------
+    async def _handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Minimal HTTP/1.0, JSON out, connection-per-request.
+
+        Metadata only — there is deliberately no scoring route, so an
+        ops port exposed wider than the binary port cannot be used to
+        query the model.
+        """
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=5.0
+            )
+            while True:  # drain headers; we route on the request line only
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1").split()
+            method = parts[0].upper() if parts else ""
+            path = parts[1].split("?")[0] if len(parts) > 1 else ""
+            if method != "GET":
+                status, body = 405, {"error": "method not allowed"}
+            elif path in ("/healthz", "/health"):
+                status, body = 200, self.api.health()
+            elif path == "/models":
+                status, body = 200, self.api.models()
+            elif path == "/stats":
+                status, body = 200, self.api.stats()
+            else:
+                status, body = 404, {"error": f"no route {path!r}"}
+            payload = json.dumps(body, indent=2, sort_keys=True).encode()
+            reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}
+            writer.write(
+                (
+                    f"HTTP/1.0 {status} {reason.get(status, 'Error')}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode()
+                + payload
+            )
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError, UnicodeDecodeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        bound = self._server is not None and self._server.is_serving()
+        return (
+            f"ServingFrontend(api={self.api!r}, "
+            f"bound={self.address if bound else None})"
+        )
+
+
+class FrontendHandle:
+    """A frontend running on a background event-loop thread.
+
+    What tests, benchmarks, and notebooks want: start a real TCP
+    listener without owning an event loop, get the bound address
+    synchronously, and tear it down deterministically.
+
+        with FrontendHandle(api) as handle:
+            client = PriveHDClient(*handle.address, ...)
+
+    The handle owns only the listeners — closing it does not close the
+    :class:`~repro.serve.ServingAPI`.
+    """
+
+    def __init__(self, api: ServingAPI, **frontend_kwargs):
+        self.frontend = ServingFrontend(api, **frontend_kwargs)
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="serving-frontend", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._started.is_set():
+            raise RuntimeError("frontend failed to start within 30s")
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+
+        async def _start():
+            try:
+                await self.frontend.start()
+            except BaseException as exc:  # noqa: BLE001 — surfaced to ctor
+                self._startup_error = exc
+            finally:
+                self._started.set()
+
+        self._loop.run_until_complete(_start())
+        if self._startup_error is None:
+            self._loop.run_forever()
+        self._loop.close()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound ``(host, port)`` of the binary listener."""
+        return self.frontend.address
+
+    @property
+    def http_address(self) -> tuple[str, int] | None:
+        """Bound ``(host, port)`` of the HTTP ops listener, if enabled."""
+        return self.frontend.http_address
+
+    def close(self) -> None:
+        """Stop the listeners and join the loop thread."""
+        if not self._thread.is_alive():
+            return
+        stopped = threading.Event()
+
+        async def _stop():
+            await self.frontend.stop()
+            stopped.set()
+            self._loop.stop()
+
+        asyncio.run_coroutine_threadsafe(_stop(), self._loop)
+        stopped.wait(timeout=10.0)
+        self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "FrontendHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -28,7 +28,7 @@ query in a batch is answered by a single consistent version.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.serve.artifact import ModelArtifact
@@ -47,16 +47,33 @@ class ModelVersion:
         Registry coordinates; versions are assigned sequentially per
         name starting at 1.
     engine:
-        The prepared serving engine (quantized/packed once, at publish).
+        The prepared serving engine (quantized/packed once, at publish);
+        ``None`` while the version is evicted (retired to disk).
     artifact:
         The source artifact when the version was published from one
-        (``None`` for engines published directly).
+        (``None`` for engines published directly, and while evicted).
+    source_path:
+        The on-disk artifact directory this version can be reloaded
+        from; set by :meth:`ModelRegistry.load`.  Versions with a
+        ``source_path`` are *evictable*: retiring them drops the
+        prepared store from memory but keeps the record, and a later
+        rollback lazily reloads it.
+    engine_kwargs:
+        Engine overrides recorded at publish, replayed on reload so an
+        evicted version comes back configured exactly as published.
     """
 
     name: str
     version: int
-    engine: InferenceEngine
+    engine: InferenceEngine | None
     artifact: ModelArtifact | None = field(default=None, repr=False)
+    source_path: Path | None = field(default=None, repr=False)
+    engine_kwargs: dict | None = field(default=None, repr=False)
+
+    @property
+    def is_evicted(self) -> bool:
+        """True while the prepared store lives only on disk."""
+        return self.engine is None
 
 
 class ModelRegistry:
@@ -86,6 +103,7 @@ class ModelRegistry:
         *,
         promote: bool = True,
         engine_kwargs: dict | None = None,
+        source_path: str | Path | None = None,
     ) -> int:
         """Register a new version of ``name``; returns its version number.
 
@@ -96,6 +114,10 @@ class ModelRegistry:
         (default) the new version becomes current atomically; with
         ``promote=False`` it is staged for a later :meth:`promote` —
         e.g. after a validation pass against the live version.
+
+        ``source_path`` records the artifact directory the version can
+        be reloaded from after eviction; :meth:`load` sets it
+        automatically.
         """
         if isinstance(model, ModelArtifact):
             engine = model.engine(**(engine_kwargs or {}))
@@ -104,6 +126,10 @@ class ModelRegistry:
             if engine_kwargs:
                 raise ValueError(
                     "engine_kwargs only applies when publishing an artifact"
+                )
+            if source_path is not None:
+                raise ValueError(
+                    "source_path only applies when publishing an artifact"
                 )
             engine, artifact = model, None
         else:
@@ -115,7 +141,12 @@ class ModelRegistry:
             versions = self._versions.setdefault(name, {})
             version = max(versions, default=0) + 1
             versions[version] = ModelVersion(
-                name=name, version=version, engine=engine, artifact=artifact
+                name=name,
+                version=version,
+                engine=engine,
+                artifact=artifact,
+                source_path=None if source_path is None else Path(source_path),
+                engine_kwargs=dict(engine_kwargs) if engine_kwargs else None,
             )
             if promote or name not in self._current:
                 self._current[name] = version
@@ -130,12 +161,18 @@ class ModelRegistry:
         promote: bool = True,
         engine_kwargs: dict | None = None,
     ) -> int:
-        """Load an artifact directory from disk and :meth:`publish` it."""
+        """Load an artifact directory from disk and :meth:`publish` it.
+
+        The path is recorded on the version, which makes it evictable:
+        :meth:`retire` can drop its in-memory store and a later rollback
+        reloads it from here.
+        """
         return self.publish(
             name,
             ModelArtifact.load(path),
             promote=promote,
             engine_kwargs=engine_kwargs,
+            source_path=path,
         )
 
     # ------------------------------------------------------------------
@@ -153,7 +190,16 @@ class ModelRegistry:
             self.swaps += 1
 
     def retire(self, name: str, version: int) -> None:
-        """Drop a non-current version (frees its prepared store)."""
+        """Free a non-current version's prepared in-memory store.
+
+        Disk-backed versions (published via :meth:`load`) are *evicted*:
+        the record stays listed, the engine and artifact are dropped —
+        typically the dominant share of registry memory, a prepared
+        d_hv=10,000 store per version — and the next resolution (e.g. a
+        rollback :meth:`promote`) lazily reloads them from the recorded
+        artifact directory, checksums re-verified.  Versions without a
+        ``source_path`` cannot come back, so they are deleted outright.
+        """
         with self._lock:
             self._require(name, version)
             if self._current.get(name) == version:
@@ -161,7 +207,19 @@ class ModelRegistry:
                     f"cannot retire the current version {version} of "
                     f"{name!r}; promote another version first"
                 )
-            del self._versions[name][version]
+            record = self._versions[name][version]
+            if record.source_path is None:
+                del self._versions[name][version]
+            elif record.engine is not None:
+                self._versions[name][version] = replace(
+                    record, engine=None, artifact=None
+                )
+
+    def is_evicted(self, name: str, version: int) -> bool:
+        """Whether a version's store currently lives only on disk."""
+        with self._lock:
+            self._require(name, version)
+            return self._versions[name][version].is_evicted
 
     def _require(self, name: str, version: int) -> None:
         if name not in self._versions:
@@ -180,7 +238,16 @@ class ModelRegistry:
         return self.describe(name, version).engine
 
     def describe(self, name: str, version: int | None = None) -> ModelVersion:
-        """Full :class:`ModelVersion` record (engine + source artifact)."""
+        """Full :class:`ModelVersion` record (engine + source artifact).
+
+        Resolving an evicted version reloads its artifact from the
+        recorded directory (checksum-verified) and re-prepares the
+        engine with the kwargs it was originally published with — the
+        slow path a rollback pays once.  The disk load and engine
+        preparation run *outside* the registry lock (two concurrent
+        first-resolvers may both load; one install wins), so serving
+        traffic for other models never stalls behind a reload.
+        """
         with self._lock:
             if name not in self._versions:
                 raise KeyError(
@@ -189,7 +256,21 @@ class ModelRegistry:
             if version is None:
                 version = self._current[name]
             self._require(name, version)
-            return self._versions[name][version]
+            record = self._versions[name][version]
+            if record.engine is not None:
+                return record
+        # Evicted: reload off-lock, then install under a double-check.
+        artifact = ModelArtifact.load(record.source_path)
+        engine = artifact.engine(**(record.engine_kwargs or {}))
+        with self._lock:
+            self._require(name, version)
+            current = self._versions[name][version]
+            if current.engine is None:
+                current = replace(
+                    current, engine=engine, artifact=artifact
+                )
+                self._versions[name][version] = current
+            return current
 
     def current_version(self, name: str) -> int:
         """The currently-promoted version number of ``name``."""

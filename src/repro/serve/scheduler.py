@@ -321,12 +321,37 @@ class MicroBatchScheduler:
                 self.stats.max_batch_rows, stacked.shape[0]
             )
             self.stats.completed += stacked.shape[0]
-        start = 0
-        for p in batch:
-            n = p.rows.shape[0]
-            out = result[start : start + n]
-            start += n
-            p.future.set_result(out[0] if p.squeeze else out)
+        for p, out in zip(batch, self._split_results(batch, result)):
+            p.future.set_result(out)
+
+    @staticmethod
+    def _split_results(batch: list[_Pending], result: np.ndarray) -> list:
+        """Each request's rows of the flush result, scattered vectorized.
+
+        The dominant serving shape — every pending request a single
+        squeezed query — takes one C-level row iteration over the result
+        instead of per-future Python index arithmetic; mixed-size
+        batches split at `np.cumsum` boundaries in one pass.  This is
+        the flush-overhead fix for small ``d_hv`` (the kernel no longer
+        dominates there): measured before/after in
+        ``benchmarks/bench_serve.py`` (``scatter`` section of
+        ``BENCH_serve.json``).
+        """
+        if len(batch) == 1:
+            p = batch[0]
+            return [result[0] if p.squeeze else result]
+        sizes = np.fromiter(
+            (p.rows.shape[0] for p in batch), dtype=np.intp, count=len(batch)
+        )
+        if sizes.max() == 1:
+            return [
+                out if p.squeeze else out[None]
+                for p, out in zip(batch, result)
+            ]
+        outs = np.split(result, np.cumsum(sizes[:-1]), axis=0)
+        return [
+            out[0] if p.squeeze else out for p, out in zip(batch, outs)
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

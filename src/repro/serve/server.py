@@ -29,11 +29,24 @@ import threading
 
 import numpy as np
 
+from repro.backend.packed import PackedHV, n_words
 from repro.serve.artifact import ModelArtifact
 from repro.serve.registry import ModelRegistry
 from repro.serve.scheduler import MicroBatchConfig, MicroBatchScheduler
 
 __all__ = ["ModelServer"]
+
+#: scheduler entry points a caller may submit to.  The ``*_packed``
+#: methods take uint64 plane rows (``[signs | mags]``, the wire layout)
+#: and rebuild the PackedHV per flush — bit-plane queries stay packed
+#: through the whole micro-batching path, 16x smaller than dense rows.
+SERVING_METHODS = (
+    "predict",
+    "scores",
+    "predict_features",
+    "predict_packed",
+    "scores_packed",
+)
 
 
 class ModelServer:
@@ -63,6 +76,12 @@ class ModelServer:
         self.default_model = default_model
         self.config = config or MicroBatchConfig()
         self._schedulers: dict[tuple[str, str], MicroBatchScheduler] = {}
+        # Version that answered the most recent flush, per entry point.
+        # Written by the runner (flusher thread) just before it scores;
+        # read by future callbacks, which the scheduler fires in the
+        # same flusher thread before the next flush starts — so a
+        # reader always sees the version of its own batch.
+        self._flush_versions: dict[tuple[str, str], int] = {}
         self._lock = threading.Lock()
         self._closed = False
 
@@ -106,14 +125,60 @@ class ModelServer:
         """
         return self._scheduler(model, "predict_features").predict(X)
 
-    def submit(self, queries, *, model: str | None = None):
-        """Non-blocking :meth:`predict`; returns the request's Future."""
-        return self._scheduler(model, "predict").submit(queries)
+    def submit(
+        self, queries, *, model: str | None = None, method: str = "predict"
+    ):
+        """Non-blocking submission; returns the request's Future.
+
+        ``method`` picks the entry point the coalesced batch runs
+        through: ``"predict"`` (default), ``"scores"``,
+        ``"predict_features"``, or the plane-row ``"predict_packed"`` /
+        ``"scores_packed"``.  Each method has its own scheduler, so row
+        shapes never mix inside a batch.
+        """
+        if method not in SERVING_METHODS:
+            raise ValueError(
+                f"unknown serving method {method!r}; choose from "
+                f"{SERVING_METHODS}"
+            )
+        return self._scheduler(model, method).submit(queries)
+
+    def submit_packed(self, queries: PackedHV, *, model: str | None = None,
+                      want_scores: bool = False):
+        """Non-blocking scoring of a bit-packed query batch.
+
+        The two uint64 planes travel the scheduler as one
+        ``(n, 2 * n_words)`` row block — no unpack on the submission
+        path; the flush runner rebuilds the :class:`PackedHV` and the
+        packed backend consumes it natively.  (A dense-backend engine
+        unpacks inside the flush instead — off the caller's thread
+        either way.)
+        """
+        rows = np.concatenate([queries.signs, queries.mags], axis=1)
+        method = "scores_packed" if want_scores else "predict_packed"
+        return self._scheduler(model, method).submit(rows)
+
+    def flushed_version(
+        self, model: str | None = None, method: str = "predict"
+    ) -> int:
+        """The registry version that answered the latest flush.
+
+        Meaningful from a future callback of that flush (the scheduler
+        runs callbacks in the flusher thread before the next flush), so
+        a response can be labeled with the exact version that scored it
+        even when a hot-swap landed between submit and flush.  Falls
+        back to the current version before any flush has run.
+        """
+        name = self.resolve_name(model)
+        version = self._flush_versions.get((name, method))
+        if version is None:
+            return self.registry.current_version(name)
+        return version
 
     # ------------------------------------------------------------------
     def current_artifact(self, model: str | None = None) -> ModelArtifact | None:
         """The artifact behind the current version (None if engine-only)."""
-        return self.registry.describe(self._resolve_name(model)).artifact
+        return self.registry.describe(self.resolve_name(model)).artifact
 
     def stats(self) -> dict:
         """Per-entry-point scheduler stats, keyed ``"name.method"``."""
@@ -126,7 +191,12 @@ class ModelServer:
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
-    def _resolve_name(self, model: str | None) -> str:
+    def resolve_name(self, model: str | None) -> str:
+        """The registry name a call with ``model=`` would serve.
+
+        ``None`` falls back to ``default_model``, then to the single
+        published name when the registry serves exactly one.
+        """
         name = model or self.default_model
         if name is None:
             names = self.registry.names()
@@ -139,7 +209,7 @@ class ModelServer:
         return name
 
     def _scheduler(self, model: str | None, method: str) -> MicroBatchScheduler:
-        name = self._resolve_name(model)
+        name = self.resolve_name(model)
         key = (name, method)
         with self._lock:
             if self._closed:
@@ -151,7 +221,11 @@ class ModelServer:
                 # zero-downtime hot swap: a batch in flight keeps its
                 # engine, the next batch gets the new one.
                 def runner(rows, _name=name, _method=method):
-                    engine = self.registry.resolve(_name)
+                    record = self.registry.describe(_name)
+                    self._flush_versions[(_name, _method)] = record.version
+                    engine = record.engine
+                    if _method in ("predict_packed", "scores_packed"):
+                        return self._run_packed(engine, rows, _method)
                     return getattr(engine, _method)(rows)
 
                 sched = MicroBatchScheduler(
@@ -159,6 +233,36 @@ class ModelServer:
                 )
                 self._schedulers[key] = sched
             return sched
+
+    @staticmethod
+    def _run_packed(engine, rows: np.ndarray, method: str) -> np.ndarray:
+        """Flush runner for plane-row batches: rebuild, score.
+
+        ``rows`` is the concatenated ``[signs | mags]`` layout from
+        :meth:`submit_packed`.  The packed backend consumes the rebuilt
+        :class:`PackedHV` natively; a dense engine gets the exact
+        unpacked values — either way the conversion happens once per
+        flush, on the flusher thread.
+        """
+        words = n_words(engine.d_hv)
+        if rows.shape[1] != 2 * words:
+            raise ValueError(
+                f"plane rows have {rows.shape[1]} words but a "
+                f"d_hv={engine.d_hv} model needs {2 * words}"
+            )
+        packed = PackedHV(
+            signs=np.ascontiguousarray(rows[:, :words]),
+            mags=np.ascontiguousarray(rows[:, words:]),
+            d=engine.d_hv,
+        )
+        queries = (
+            packed
+            if engine.backend.name == "packed"
+            else packed.unpack(np.float32)
+        )
+        if method == "predict_packed":
+            return engine.predict(queries)
+        return engine.scores(queries)
 
     # ------------------------------------------------------------------
     # lifecycle

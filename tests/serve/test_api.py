@@ -1,0 +1,220 @@
+"""ServingAPI: the one typed surface over registry + micro-batcher."""
+
+import numpy as np
+import pytest
+
+from repro.backend.packed import pack_hypervectors
+from repro.hd import HDModel, get_quantizer
+from repro.proto import ModelInfo, ScoreRequest, ScoreResponse
+from repro.serve import (
+    MicroBatchConfig,
+    ModelArtifact,
+    ModelRegistry,
+    ServingAPI,
+)
+from repro.utils import spawn
+
+
+def _artifact(seed=0, d_hv=300, n_classes=4, backend="packed", **kwargs):
+    rng = spawn(seed, "api-tests")
+    store = get_quantizer("bipolar")(rng.normal(size=(n_classes, d_hv)))
+    model = HDModel(n_classes, d_hv, store)
+    return ModelArtifact.build(
+        model, quantizer="bipolar", backend=backend, **kwargs
+    )
+
+
+def _queries(n=16, d_hv=300, seed=1):
+    rng = spawn(seed, "api-queries")
+    return get_quantizer("bipolar")(rng.normal(size=(n, d_hv))).astype(
+        np.float32
+    )
+
+
+class TestConstruction:
+    def test_from_artifact_object(self):
+        with ServingAPI.from_artifact(_artifact(), name="m") as api:
+            assert api.default_model == "m"
+            assert api.registry.names() == ("m",)
+
+    def test_from_artifact_path(self, tmp_path):
+        _artifact().save(tmp_path / "a")
+        with ServingAPI.from_artifact(tmp_path / "a") as api:
+            assert api.predict(_queries()[0:1]).shape == (1,)
+
+    def test_wraps_existing_registry(self):
+        registry = ModelRegistry()
+        registry.publish("x", _artifact())
+        with ServingAPI(registry, default_model="x") as api:
+            assert api.registry is registry
+
+
+class TestTypedScoring:
+    def test_score_matches_engine_predict(self):
+        artifact = _artifact()
+        queries = _queries()
+        direct = artifact.engine().predict(queries)
+        with ServingAPI.from_artifact(artifact, name="m") as api:
+            resp = api.score(ScoreRequest(queries=queries, request_id=5))
+            assert isinstance(resp, ScoreResponse)
+            assert resp.request_id == 5
+            assert resp.model == "m"
+            assert resp.version == 1
+            assert resp.scores is None
+            np.testing.assert_array_equal(resp.predictions, direct)
+
+    def test_score_packed_queries_identical_to_dense(self):
+        artifact = _artifact()
+        queries = _queries()
+        with ServingAPI.from_artifact(artifact, name="m") as api:
+            dense = api.score(ScoreRequest(queries=queries))
+            packed = api.score(
+                ScoreRequest(queries=pack_hypervectors(queries))
+            )
+            np.testing.assert_array_equal(
+                dense.predictions, packed.predictions
+            )
+
+    def test_packed_queries_against_dense_backend(self):
+        artifact = _artifact(backend="dense")
+        queries = _queries()
+        direct = artifact.engine().predict(queries)
+        with ServingAPI.from_artifact(artifact, name="m") as api:
+            resp = api.score(
+                ScoreRequest(queries=pack_hypervectors(queries))
+            )
+            np.testing.assert_array_equal(resp.predictions, direct)
+
+    def test_want_scores_returns_full_matrix(self):
+        artifact = _artifact()
+        queries = _queries()
+        expected = artifact.engine().scores(queries)
+        with ServingAPI.from_artifact(artifact, name="m") as api:
+            resp = api.score(
+                ScoreRequest(queries=queries, want_scores=True)
+            )
+            np.testing.assert_array_equal(resp.scores, expected)
+            np.testing.assert_array_equal(
+                resp.predictions, np.argmax(expected, axis=1)
+            )
+
+    def test_dimension_mismatch_raises_value_error(self):
+        with ServingAPI.from_artifact(_artifact(), name="m") as api:
+            with pytest.raises(ValueError, match="dimensions"):
+                api.score(ScoreRequest(queries=np.zeros((2, 17))))
+
+    def test_unknown_model_raises_key_error(self):
+        with ServingAPI.from_artifact(_artifact(), name="m") as api:
+            with pytest.raises(KeyError):
+                api.score(
+                    ScoreRequest(queries=_queries(), model="ghost")
+                )
+
+    def test_response_version_tracks_hot_swap(self):
+        with ServingAPI.from_artifact(_artifact(0), name="m") as api:
+            assert api.score(ScoreRequest(queries=_queries())).version == 1
+            api.registry.publish("m", _artifact(1))
+            assert api.score(ScoreRequest(queries=_queries())).version == 2
+
+    def test_response_version_is_the_flushing_version(self):
+        """A promote landing between submit and flush must be reflected
+        in the response's version label — the label names the version
+        that actually scored, not the one current at submit."""
+        import threading
+
+        artifact_v1, artifact_v2 = _artifact(0), _artifact(1)
+        with ServingAPI.from_artifact(artifact_v1, name="m") as api:
+            release = threading.Event()
+            blocked = threading.Event()
+            # Stall the flusher inside its registry resolution so
+            # requests queue up while we promote a new version.
+            original_describe = api.registry.describe
+
+            def slow_describe(name, version=None):
+                # Stall only the flusher's resolution — submit_score's
+                # own validation describe must stay fast.
+                if "flusher" in threading.current_thread().name:
+                    blocked.set()
+                    release.wait(timeout=10.0)
+                return original_describe(name, version)
+
+            api.registry.describe = slow_describe
+            try:
+                first = api.submit_score(ScoreRequest(queries=_queries()))
+                assert blocked.wait(timeout=10.0)
+                second = api.submit_score(ScoreRequest(queries=_queries()))
+                api.registry.publish("m", artifact_v2)
+                release.set()
+                # Both flushes resolve after the promote, so both are
+                # scored by — and must be labeled with — version 2.
+                assert first.result(timeout=10.0).version == 2
+                assert second.result(timeout=10.0).version == 2
+            finally:
+                api.registry.describe = original_describe
+                release.set()
+
+
+class TestInfoAndOps:
+    def test_info_reflects_artifact(self):
+        rng = spawn(5, "api-mask")
+        keep = np.ones(300, dtype=bool)
+        keep[rng.permutation(300)[:100]] = False
+        artifact = _artifact(keep_mask=keep)
+        with ServingAPI.from_artifact(artifact, name="m") as api:
+            info = api.info()
+            assert isinstance(info, ModelInfo)
+            assert info.name == "m"
+            assert (info.n_classes, info.d_hv) == (4, 300)
+            assert info.n_live_dims == 200
+            assert info.is_pruned
+            assert info.backend == "packed"
+            assert info.query_quantizer == "bipolar"
+            assert np.isinf(info.epsilon)
+
+    def test_health_and_models_and_stats_are_json_safe(self):
+        import json
+
+        with ServingAPI.from_artifact(_artifact(), name="m") as api:
+            api.predict(_queries()[0])
+            health = api.health()
+            assert health["status"] == "ok"
+            models = api.models()
+            assert models["m"]["current_version"] == 1
+            stats = api.stats()
+            assert stats["m.predict"]["completed"] == 1
+            json.dumps([health, models, stats])  # must not raise
+
+    def test_predict_features_requires_encoder(self):
+        with ServingAPI.from_artifact(_artifact(), name="m") as api:
+            with pytest.raises(Exception, match="encoder"):
+                api.predict_features(np.zeros((2, 10)))
+
+
+class TestMicroBatchingPreserved:
+    def test_concurrent_callers_coalesce(self):
+        import threading
+
+        artifact = _artifact()
+        queries = _queries(n=64)
+        direct = artifact.engine().predict(queries)
+        config = MicroBatchConfig(max_batch=64)
+        with ServingAPI.from_artifact(
+            artifact, name="m", config=config
+        ) as api:
+            out = np.full(64, -1, dtype=np.int64)
+
+            def worker(w):
+                for i in range(w, 64, 8):
+                    out[i] = api.predict(queries[i])
+
+            threads = [
+                threading.Thread(target=worker, args=(w,)) for w in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            np.testing.assert_array_equal(out, direct)
+            stats = api.stats()["m.predict"]
+            assert stats["completed"] == 64
+            assert stats["flushes"] <= 64

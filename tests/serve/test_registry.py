@@ -98,6 +98,84 @@ class TestPromotion:
         assert reg.resolve("m", 1) is pinned
 
 
+class TestEviction:
+    """Disk-backed versions retire to their artifact dir and reload."""
+
+    def _saved(self, tmp_path, seed, name):
+        path = tmp_path / name
+        _artifact(seed).save(path)
+        return path
+
+    def test_retire_evicts_disk_backed_version(self, tmp_path):
+        reg = ModelRegistry()
+        reg.load("m", self._saved(tmp_path, 0, "v1"))
+        reg.load("m", self._saved(tmp_path, 1, "v2"))
+        reg.retire("m", 1)
+        # Still listed — eviction is not deletion.
+        assert reg.versions("m") == (1, 2)
+        assert reg.is_evicted("m", 1)
+        assert not reg.is_evicted("m", 2)
+
+    def test_rollback_lazily_reloads_evicted_version(self, tmp_path):
+        rng = spawn(3, "evict-queries")
+        queries = get_quantizer("bipolar")(rng.normal(size=(8, 256)))
+        reg = ModelRegistry()
+        reg.load("m", self._saved(tmp_path, 0, "v1"))
+        v1_preds = reg.resolve("m").predict(queries)
+        reg.load("m", self._saved(tmp_path, 1, "v2"))
+        reg.retire("m", 1)
+        assert reg.is_evicted("m", 1)
+        reg.promote("m", 1)  # rollback to the evicted version
+        np.testing.assert_array_equal(
+            reg.resolve("m").predict(queries), v1_preds
+        )
+        assert not reg.is_evicted("m", 1)  # reloaded and cached
+
+    def test_reload_replays_engine_kwargs(self, tmp_path):
+        reg = ModelRegistry()
+        reg.load(
+            "m",
+            self._saved(tmp_path, 0, "v1"),
+            engine_kwargs={"backend": "dense", "batch_size": 17},
+        )
+        reg.load("m", self._saved(tmp_path, 1, "v2"))
+        reg.retire("m", 1)
+        reg.promote("m", 1)
+        engine = reg.resolve("m")
+        assert engine.backend.name == "dense"
+        assert engine.batch_size == 17
+
+    def test_evicted_version_drops_store_memory(self, tmp_path):
+        reg = ModelRegistry()
+        reg.load("m", self._saved(tmp_path, 0, "v1"))
+        reg.load("m", self._saved(tmp_path, 1, "v2"))
+        record = reg._versions["m"][1]
+        assert record.engine is not None
+        reg.retire("m", 1)
+        record = reg._versions["m"][1]
+        assert record.engine is None and record.artifact is None
+
+    def test_memory_published_version_is_deleted_not_evicted(self):
+        reg = ModelRegistry()
+        reg.publish("m", _artifact(0))
+        reg.publish("m", _artifact(1))
+        reg.retire("m", 1)
+        assert reg.versions("m") == (2,)  # no path to come back from
+
+    def test_reload_fails_loudly_if_artifact_dir_gone(self, tmp_path):
+        import shutil
+
+        reg = ModelRegistry()
+        path = self._saved(tmp_path, 0, "v1")
+        reg.load("m", path)
+        reg.load("m", self._saved(tmp_path, 1, "v2"))
+        reg.retire("m", 1)
+        shutil.rmtree(path)
+        reg.promote("m", 1)
+        with pytest.raises(Exception, match="artifact"):
+            reg.resolve("m")
+
+
 class TestHotSwapUnderTraffic:
     def test_no_request_fails_during_swaps(self):
         """Readers hammering resolve() while a writer promotes back and

@@ -67,6 +67,76 @@ class TestCorrectness:
                 sched.submit(np.empty((0, 3)))
 
 
+class TestResultScatter:
+    """The vectorized `_split_results` must scatter exactly like the
+    per-future loop it replaced, across every batch shape."""
+
+    def _pending(self, rows, squeeze):
+        from repro.serve.scheduler import _Pending
+
+        p = _Pending(np.atleast_2d(np.asarray(rows)), squeeze, 0.0)
+        p.future.set_running_or_notify_cancel()
+        return p
+
+    def _scatter(self, batch, result):
+        return MicroBatchScheduler._split_results(
+            batch, np.asarray(result)
+        )
+
+    def test_single_request_batch(self):
+        p = self._pending(np.ones((3, 2)), squeeze=False)
+        (out,) = self._scatter([p], np.arange(3))
+        np.testing.assert_array_equal(out, [0, 1, 2])
+
+    def test_single_squeezed_request(self):
+        p = self._pending(np.ones(4), squeeze=True)
+        (out,) = self._scatter([p], np.array([7]))
+        assert out == 7
+
+    def test_all_single_row_fast_path(self):
+        batch = [self._pending(np.ones(2), True) for _ in range(5)]
+        batch[2] = self._pending(np.ones((1, 2)), False)  # unsqueezed
+        outs = self._scatter(batch, np.arange(5) * 10)
+        assert outs[0] == 0 and outs[1] == 10
+        np.testing.assert_array_equal(outs[2], [20])  # kept 2-D
+        assert outs[2].shape == (1,)
+        assert outs[3] == 30 and outs[4] == 40
+
+    def test_mixed_sizes_split_at_boundaries(self):
+        sizes = [3, 1, 4, 2]
+        batch = [
+            self._pending(np.ones((s, 2)), squeeze=False) for s in sizes
+        ]
+        batch[1] = self._pending(np.ones(2), squeeze=True)
+        result = np.arange(10)
+        outs = self._scatter(batch, result)
+        np.testing.assert_array_equal(outs[0], [0, 1, 2])
+        assert outs[1] == 3  # squeezed single row
+        np.testing.assert_array_equal(outs[2], [4, 5, 6, 7])
+        np.testing.assert_array_equal(outs[3], [8, 9])
+
+    def test_2d_results_scatter_rowwise(self):
+        batch = [self._pending(np.ones(2), True) for _ in range(3)]
+        result = np.arange(12).reshape(3, 4)
+        outs = self._scatter(batch, result)
+        np.testing.assert_array_equal(outs[1], [4, 5, 6, 7])
+
+    def test_end_to_end_mixed_shapes_through_scheduler(self):
+        rng = np.random.default_rng(4)
+        requests = [rng.normal(size=(int(n), 3)) for n in rng.integers(1, 6, 20)]
+        requests.append(rng.normal(size=3))  # one squeezed single query
+        with MicroBatchScheduler(
+            double_rows, MicroBatchConfig(max_batch=7)
+        ) as sched:
+            futures = [sched.submit(r) for r in requests]
+            for r, f in zip(requests, futures):
+                np.testing.assert_array_equal(
+                    f.result(), np.atleast_2d(r)[0] * 2
+                    if np.asarray(r).ndim == 1
+                    else np.asarray(r) * 2,
+                )
+
+
 class TestTriggers:
     def test_size_trigger_counts(self):
         config = MicroBatchConfig(max_batch=8)

@@ -210,6 +210,38 @@ class TestArtifactLifecycle:
         assert "identical to offline batch: True" in out
         assert "failed requests: 0" in out
 
+    def test_client_against_live_frontend(self, artifact_path, capsys):
+        """`client` drives a real socket frontend and verifies parity
+        with the offline engine (non-zero exit on divergence)."""
+        from repro.serve import FrontendHandle, ServingAPI, load_artifact
+
+        api = ServingAPI.from_artifact(
+            load_artifact(artifact_path), name="model"
+        )
+        with FrontendHandle(api) as handle:
+            host, port = handle.address
+            code = main(
+                ["client", str(artifact_path),
+                 "--connect", f"{host}:{port}",
+                 "--requests", "64"]
+            )
+        api.close()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "predictions identical to offline eval: True" in out
+        assert "q/s over the socket" in out
+
+    def test_client_connection_refused_exits_nonzero(
+        self, artifact_path, capsys
+    ):
+        code = main(
+            ["client", str(artifact_path),
+             "--connect", "127.0.0.1:1",
+             "--retries", "0"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
     def test_eval_missing_artifact_exits_nonzero(self, capsys):
         assert main(["eval", "/nonexistent/artifact"]) == 1
         assert "error:" in capsys.readouterr().err
