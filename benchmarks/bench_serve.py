@@ -18,10 +18,19 @@ Exercises the full model lifecycle the way a deployment would:
 5. with ``--transport socket`` (or ``both``), run the same workload as
    N *real* TCP clients against a :class:`~repro.serve.ServingFrontend`
    — every query leaves as packed bit planes over the versioned wire
-   protocol — and compare against the in-process thread numbers (the
-   acceptance bar is socket throughput within 2x of in-process, i.e.
-   ≥ 0.5x);
-6. micro-benchmark the scheduler's per-flush result scatter (the
+   protocol — in **both framings**: one v1 ``ScoreRequest`` frame per
+   query (the per-frame event-loop regime, the PR-4 baseline) and the
+   protocol-v2 **batched wire** (``--wire-batch N`` logical requests
+   stacked per ``ScoreBatchRequest`` frame, one scheduler submit each),
+   so ``BENCH_serve.json`` tracks the v1/v2 gap over time (the
+   acceptance bars: single-query within 2x of in-process, batched ≥ 2x
+   the single-query rate);
+6. with ``--workers K``, serve the saved artifact through a
+   :class:`~repro.serve.WorkerPool` — K ``SO_REUSEPORT`` acceptor
+   processes mmap-loading one artifact — and record the K-worker
+   aggregate vs a single worker (with ``cpu_count``: the ≥1.5x bar
+   needs ≥ K cores; a 1-core host time-shares and stays near 1x);
+7. micro-benchmark the scheduler's per-flush result scatter (the
    pre-vectorization per-future Python loop vs the shipped
    ``np.split``-based scatter), the flush-overhead fix for small
    ``d_hv``.
@@ -31,7 +40,8 @@ Writes ``BENCH_serve.json``::
     PYTHONPATH=src python benchmarks/bench_serve.py              # paper scale
     PYTHONPATH=src python benchmarks/bench_serve.py --smoke      # CI seconds
     PYTHONPATH=src python benchmarks/bench_serve.py --assert-within 2 \
-        --transport both --assert-socket-within 2
+        --transport both --assert-socket-within 2 \
+        --wire-batch 32 --assert-wire-batch-speedup 2
 """
 
 import argparse
@@ -159,77 +169,94 @@ def run_hot_swap(artifact_v1, artifact_v2, queries, args) -> dict:
     }
 
 
-def run_socket_bench(artifact, queries, direct, args) -> dict:
-    """N real TCP clients vs the same workload served in-process.
+def _drive_socket_clients(
+    address, queries, n_clients, window, wire_batch
+) -> tuple[np.ndarray, float]:
+    """N TCP clients, each shipping its stripe of single-query requests.
 
     Each client owns a :class:`~repro.client.PriveHDClient` connection,
-    bit-packs every query row (the §III-C edge-side cost), and ships
-    single-query frames over the versioned wire protocol with a small
-    pipelining window (``--socket-window`` in-flight requests, the
-    standard way a real RPC client hides per-request round-trip
-    latency); all connections coalesce in the frontend's shared
-    micro-batcher.  Predictions must match the offline engine exactly.
+    bit-packs every query row (the §III-C edge-side cost), and ships its
+    requests over the versioned wire protocol with a small pipelining
+    window.  ``wire_batch=1`` sends one :class:`ScoreRequest` frame per
+    query (the v1 regime, bounded by per-frame event-loop work);
+    ``wire_batch=N`` stacks N logical requests into one v2
+    ``ScoreBatchRequest`` frame and one scheduler submit.  Packing and
+    connecting run before the barrier — the timed region is pure
+    request traffic.  Returns (predictions, elapsed seconds); raises if
+    any client failed.
     """
     n = queries.shape[0]
-    n_clients = args.socket_clients
     results = np.full(n, -1, dtype=np.int64)
     failures: list[Exception] = []
-    config = MicroBatchConfig(max_batch=args.max_batch)
-    with ServingAPI.from_artifact(
-        artifact, name="bench", config=config
-    ) as api, FrontendHandle(api) as handle:
+    ready = threading.Barrier(n_clients + 1)
 
-        # Packing and connecting happen on the edge devices in the real
-        # split deployment (bench_throughput measures the pack cost
-        # separately), so they run before the barrier; the timed region
-        # is pure request traffic.
-        ready = threading.Barrier(n_clients + 1)
-
-        def client_worker(worker: int) -> None:
-            try:
-                indices = list(range(worker, n, n_clients))
-                packed = [
-                    pack_hypervectors(queries[i], validate=False)
-                    for i in indices
-                ]
-                with PriveHDClient(handle.address) as client:
-                    ready.wait()
-                    preds = client.predict_encoded_many(
-                        packed, window=args.socket_window
-                    )
-                for i, p in zip(indices, preds):
-                    results[i] = p[0]
-            except Exception as exc:  # noqa: BLE001 — counted, reported
-                failures.append(exc)
-                # A client that dies before the barrier must not leave
-                # everyone else waiting forever.
-                ready.abort()
-
-        threads = [
-            threading.Thread(target=client_worker, args=(w,))
-            for w in range(n_clients)
-        ]
-        for t in threads:
-            t.start()
+    def client_worker(worker: int) -> None:
         try:
-            ready.wait()
-        except threading.BrokenBarrierError:
-            pass  # a client failed early; join + report via `failures`
-        t0 = time.perf_counter()
-        for t in threads:
-            t.join()
-        elapsed = time.perf_counter() - t0
-        stats = api.stats().get("bench.predict_packed", {})
+            indices = list(range(worker, n, n_clients))
+            packed = [
+                pack_hypervectors(queries[i], validate=False)
+                for i in indices
+            ]
+            with PriveHDClient(address) as client:
+                ready.wait()
+                preds = client.predict_encoded_many(
+                    packed, window=window, wire_batch=wire_batch
+                )
+            for i, p in zip(indices, preds):
+                results[i] = p[0]
+        except Exception as exc:  # noqa: BLE001 — counted, reported
+            failures.append(exc)
+            # A client that dies before the barrier must not leave
+            # everyone else waiting forever.
+            ready.abort()
 
+    threads = [
+        threading.Thread(target=client_worker, args=(w,))
+        for w in range(n_clients)
+    ]
+    for t in threads:
+        t.start()
+    try:
+        ready.wait()
+    except threading.BrokenBarrierError:
+        pass  # a client failed early; join + report via `failures`
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
     if failures:
         raise AssertionError(
             f"{len(failures)} socket clients failed: {failures[0]!r}"
         )
+    return results, elapsed
+
+
+def run_socket_bench(artifact, queries, direct, args, wire_batch) -> dict:
+    """N real TCP clients vs the same workload served in-process.
+
+    All connections coalesce in the frontend's shared micro-batcher;
+    predictions must match the offline engine exactly.  ``wire_batch``
+    picks the framing: 1 = the v1 single-query regime (the PR-4
+    baseline), >1 = the v2 batched wire.
+    """
+    n = queries.shape[0]
+    n_clients = args.socket_clients
+    config = MicroBatchConfig(max_batch=args.max_batch)
+    with ServingAPI.from_artifact(
+        artifact, name="bench", config=config
+    ) as api, FrontendHandle(api) as handle:
+        results, elapsed = _drive_socket_clients(
+            handle.address, queries, n_clients,
+            args.socket_window, wire_batch,
+        )
+        stats = api.stats().get("bench.predict_packed", {})
+
     if not np.array_equal(results, direct):
         raise AssertionError("socket predictions diverged from offline")
     return {
         "clients": n_clients,
         "pipeline_window": args.socket_window,
+        "wire_batch": wire_batch,
         "requests": int(n),
         "seconds": elapsed,
         "queries_per_s": n / elapsed,
@@ -238,6 +265,57 @@ def run_socket_bench(artifact, queries, direct, args) -> dict:
         "flushes": stats.get("flushes"),
         "mean_batch_rows": stats.get("mean_batch_rows"),
     }
+
+
+def run_worker_pool_bench(artifact_dir, queries, direct, args) -> dict:
+    """Aggregate throughput of 1 vs K SO_REUSEPORT acceptor processes.
+
+    Runs the *single-query* (wire_batch=1) workload — the event-loop-
+    bound regime multi-worker serving exists to scale — against a
+    :class:`~repro.serve.WorkerPool` of 1 worker and of ``--workers``
+    workers on the same saved artifact (each worker mmap-loads it
+    read-only).  Predictions must match the offline engine in both
+    configurations.  The aggregate speedup is gated by available cores:
+    on a single-core host the workers time-share one CPU and the ratio
+    hovers near 1x (recorded as ``cpu_count`` so readers can judge).
+    """
+    import os
+
+    from repro.serve import WorkerPool
+
+    n = queries.shape[0]
+    config = MicroBatchConfig(max_batch=args.max_batch)
+    # More clients than the single-frontend bench: K acceptors need
+    # enough concurrent connections for the kernel to spread.
+    n_clients = max(args.socket_clients, 2 * args.workers)
+    out = {
+        "workers_max": args.workers,
+        "clients": n_clients,
+        "cpu_count": os.cpu_count(),
+        "by_workers": {},
+    }
+    for n_workers in sorted({1, args.workers}):
+        with WorkerPool(
+            artifact_dir, name="bench", workers=n_workers, config=config
+        ) as pool:
+            results, elapsed = _drive_socket_clients(
+                pool.address, queries, n_clients, args.socket_window, 1
+            )
+            conns = [s["connections_served"] for s in pool.stats()]
+        if not np.array_equal(results, direct):
+            raise AssertionError(
+                f"{n_workers}-worker predictions diverged from offline"
+            )
+        out["by_workers"][str(n_workers)] = {
+            "queries_per_s": n / elapsed,
+            "seconds": elapsed,
+            "connections_per_worker": conns,
+            "identical_to_offline": True,
+        }
+    single = out["by_workers"]["1"]["queries_per_s"]
+    multi = out["by_workers"][str(args.workers)]["queries_per_s"]
+    out["aggregate_speedup"] = multi / single
+    return out
 
 
 def run_scatter_microbench(n_requests: int = 256, repeats: int = 30) -> dict:
@@ -382,11 +460,26 @@ def run_bench(args, workdir) -> dict:
         "scatter": run_scatter_microbench(),
     }
     if args.transport in ("socket", "both"):
-        socket_report = run_socket_bench(artifact, queries, direct, args)
+        # Single-query frames: the v1 regime, the PR-4 baseline number.
+        socket_report = run_socket_bench(artifact, queries, direct, args, 1)
         socket_report["vs_in_process"] = (
             socket_report["queries_per_s"] / served_qps
         )
         report["socket"] = socket_report
+        # Batched wire: same logical workload, N queries per v2 frame.
+        if args.wire_batch > 1:
+            batched = run_socket_bench(
+                artifact, queries, direct, args, args.wire_batch
+            )
+            batched["vs_in_process"] = batched["queries_per_s"] / served_qps
+            batched["vs_single_query_wire"] = (
+                batched["queries_per_s"] / socket_report["queries_per_s"]
+            )
+            report["socket_batched"] = batched
+        if args.workers > 1:
+            report["workers"] = run_worker_pool_bench(
+                str(pathlib.Path(workdir) / "v1"), queries, direct, args
+            )
     return report
 
 
@@ -427,6 +520,47 @@ def main(argv=None) -> int:
         help="pipelined in-flight requests per TCP connection",
     )
     parser.add_argument(
+        "--wire-batch",
+        type=int,
+        default=32,
+        help=(
+            "logical requests stacked per v2 ScoreBatchRequest frame in "
+            "the batched socket run (1 disables the batched run; the "
+            "single-query v1-regime run always happens in socket mode)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help=(
+            "SO_REUSEPORT acceptor processes in the WorkerPool run "
+            "(1 disables it); aggregate vs single-worker throughput is "
+            "recorded alongside the machine's cpu_count"
+        ),
+    )
+    parser.add_argument(
+        "--assert-wire-batch-speedup",
+        type=float,
+        default=None,
+        help=(
+            "exit non-zero unless the batched wire reaches this "
+            "multiple of the single-query socket rate (the ISSUE bar "
+            "is 2)"
+        ),
+    )
+    parser.add_argument(
+        "--assert-workers-speedup",
+        type=float,
+        default=None,
+        help=(
+            "exit non-zero unless the K-worker aggregate reaches this "
+            "multiple of one worker (the ISSUE bar is 1.5 — only "
+            "meaningful with >= workers cores; the report records "
+            "cpu_count)"
+        ),
+    )
+    parser.add_argument(
         "--assert-socket-within",
         type=float,
         default=None,
@@ -461,6 +595,7 @@ def main(argv=None) -> int:
         args.dhv, args.n_queries, args.clients = 1000, 512, 8
         args.repeats = 1
         args.socket_clients = min(args.socket_clients, 4)
+        args.workers = min(args.workers, 2)
 
     with tempfile.TemporaryDirectory() as workdir:
         report = run_bench(args, workdir)
@@ -500,10 +635,28 @@ def main(argv=None) -> int:
     if "socket" in report:
         sk = report["socket"]
         print(
-            f"socket x{sk['clients']} TCP clients: "
+            f"socket x{sk['clients']} TCP clients (single-query frames): "
             f"{sk['queries_per_s']:12,.0f} q/s "
             f"({sk['vs_in_process']:.2f}x the in-process server; "
             f"identical: {sk['identical_to_offline']})"
+        )
+    if "socket_batched" in report:
+        sb = report["socket_batched"]
+        print(
+            f"socket batched wire (x{sb['wire_batch']} per frame):   "
+            f"{sb['queries_per_s']:12,.0f} q/s "
+            f"({sb['vs_single_query_wire']:.2f}x the single-query wire, "
+            f"{sb['vs_in_process']:.2f}x in-process)"
+        )
+    if "workers" in report:
+        wk = report["workers"]
+        single = wk["by_workers"]["1"]["queries_per_s"]
+        multi = wk["by_workers"][str(wk["workers_max"])]["queries_per_s"]
+        print(
+            f"worker pool: 1 worker {single:,.0f} q/s -> "
+            f"{wk['workers_max']} workers {multi:,.0f} q/s "
+            f"({wk['aggregate_speedup']:.2f}x aggregate on "
+            f"{wk['cpu_count']} core(s))"
         )
     print(f"wrote {args.out}")
 
@@ -539,6 +692,39 @@ def main(argv=None) -> int:
                 f"{report['socket']['vs_in_process']:.2f}x the in-process "
                 f"server, required at least "
                 f"{1.0 / args.assert_socket_within:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    if args.assert_wire_batch_speedup is not None:
+        if "socket_batched" not in report:
+            print(
+                "FAIL: --assert-wire-batch-speedup needs --transport "
+                "socket/both and --wire-batch > 1",
+                file=sys.stderr,
+            )
+            return 1
+        got = report["socket_batched"]["vs_single_query_wire"]
+        if got < args.assert_wire_batch_speedup:
+            print(
+                f"FAIL: batched wire {got:.2f}x the single-query wire, "
+                f"required {args.assert_wire_batch_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    if args.assert_workers_speedup is not None:
+        if "workers" not in report:
+            print(
+                "FAIL: --assert-workers-speedup needs --transport "
+                "socket/both and --workers > 1",
+                file=sys.stderr,
+            )
+            return 1
+        got = report["workers"]["aggregate_speedup"]
+        if got < args.assert_workers_speedup:
+            print(
+                f"FAIL: {report['workers']['workers_max']}-worker "
+                f"aggregate {got:.2f}x one worker, required "
+                f"{args.assert_workers_speedup:.2f}x",
                 file=sys.stderr,
             )
             return 1

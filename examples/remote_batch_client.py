@@ -1,0 +1,122 @@
+"""Scenario: the full remote-serving walkthrough, batched wire + workers.
+
+The docs' headline example (docs/architecture.md), runnable end-to-end:
+
+1. train a model and save it as a checksum-verified ``ModelArtifact``
+   directory — the deployment unit;
+2. serve it through a :class:`~repro.serve.WorkerPool`: two acceptor
+   processes sharing one address via ``SO_REUSEPORT``, each
+   memory-mapping the same artifact read-only;
+3. connect a :class:`~repro.client.PriveHDClient` that encodes +
+   obfuscates locally (codebooks never leave the client) and streams
+   the test set through ``predict_many`` — protocol-v2 batched frames,
+   one frame and one scheduler submit per chunk;
+4. verify the remote predictions are **bit-identical** to an offline
+   in-process evaluation of the very same artifact (exit 1 otherwise);
+5. hot-swap the whole fleet to a v2 artifact mid-flight and confirm
+   every worker serves the new version.
+
+Run:  python examples/remote_batch_client.py
+(The network-smoke CI job runs exactly this, so the example can't rot.)
+"""
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.client import PriveHDClient
+from repro.data import load_dataset
+from repro.hd import ScalarBaseEncoder
+from repro.hd.batching import fit_classes_batched
+from repro.serve import ModelArtifact, WorkerPool
+
+D_HV = 2000
+
+
+def train_artifact(ds, seed: int) -> ModelArtifact:
+    """Train on the dataset and snapshot a packed serving artifact."""
+    encoder = ScalarBaseEncoder(
+        ds.d_in, D_HV, lo=ds.lo, hi=ds.hi, seed=seed
+    )
+    model = fit_classes_batched(
+        encoder, ds.X_train, ds.y_train, ds.n_classes,
+        quantizer="bipolar", batch_size=512,
+    )
+    return ModelArtifact.build(
+        model, quantizer="bipolar", backend="packed", encoder=encoder,
+        metadata={"example": "remote_batch_client", "seed": seed},
+    )
+
+
+def main() -> int:
+    ds = load_dataset("isolet", n_train=2000, n_test=400, seed=3)
+    print(f"dataset: {ds.summary()}")
+
+    with tempfile.TemporaryDirectory() as workdir:
+        # 1. train -> versioned on-disk artifact --------------------------
+        artifact = train_artifact(ds, seed=13)
+        v1_dir = artifact.save(Path(workdir) / "isolet-v1")
+        print(f"[artifact] saved {v1_dir} "
+              f"({artifact.n_classes} classes x {artifact.d_hv} dims, "
+              f"backend={artifact.backend})")
+
+        # Offline reference: the same artifact, evaluated in-process.
+        offline = ModelArtifact.load(v1_dir).engine().predict_features(
+            ds.X_test
+        )
+
+        # 2. serve it: two SO_REUSEPORT acceptor processes ---------------
+        with WorkerPool(v1_dir, name="isolet", workers=2) as pool:
+            host, port = pool.address
+            print(f"[serve] 2 workers on {host}:{port}, "
+                  f"pids {pool.ping()}")
+
+            # 3. the batched client: encode locally, ship v2 frames -------
+            with PriveHDClient(
+                pool.address,
+                encoder=artifact.encoder_config,   # codebooks stay local
+                connect_retries=20,
+            ) as client:
+                info = client.info
+                print(f"[client] protocol v{client.protocol_version}, "
+                      f"model={info.name} v{info.version}, "
+                      f"d_hv={info.d_hv}, backend={info.backend}")
+                t0 = time.perf_counter()
+                remote = client.predict_many(
+                    ds.X_test, chunk_size=64, window=4
+                )
+                elapsed = time.perf_counter() - t0
+                accuracy = float(np.mean(remote == ds.y_test))
+                print(f"[client] {len(remote)} queries in "
+                      f"{elapsed * 1e3:.0f} ms "
+                      f"({len(remote) / elapsed:,.0f} q/s over the wire), "
+                      f"accuracy {accuracy:.3f}")
+
+                # 4. the wire must change the transport, not the answers --
+                if not np.array_equal(remote, offline):
+                    print("ERROR: remote predictions diverged from the "
+                          "offline engine", file=sys.stderr)
+                    return 1
+                print("[verify] remote == offline eval: bit-identical")
+
+                # 5. fleet hot-swap mid-flight ----------------------------
+                v2_dir = train_artifact(ds, seed=14).save(
+                    Path(workdir) / "isolet-v2"
+                )
+                version = pool.load(v2_dir)
+                swapped = client.model_info()
+                print(f"[swap] fleet promoted to v{version}; server now "
+                      f"answers as {swapped.name} v{swapped.version}")
+                if swapped.version != version:
+                    print("ERROR: a worker kept serving the old version",
+                          file=sys.stderr)
+                    return 1
+    print("done")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -290,21 +290,59 @@ def _load_artifact_for_dataset(args):
     return artifact, data
 
 
-def _describe_artifact(artifact) -> str:
-    privacy = "none (no DP claim)"
-    if artifact.privacy:
-        eps = artifact.privacy.get("epsilon")
-        privacy = (
-            f"epsilon={eps} delta={artifact.privacy.get('delta')} "
-            f"noise_std={artifact.privacy.get('noise_std'):.4g}"
-            if artifact.is_private
+def _describe(
+    n_classes, d_hv, n_live_dims, backend, query_quantizer, privacy
+) -> str:
+    import math
+
+    privacy_line = "none (no DP claim)"
+    if privacy:
+        eps = privacy.get("epsilon")
+        privacy_line = (
+            f"epsilon={eps} delta={privacy.get('delta')} "
+            f"noise_std={privacy.get('noise_std'):.4g}"
+            if eps is not None and math.isfinite(float(eps))
             else "explicitly non-private"
         )
     return (
-        f"artifact: {artifact.n_classes} classes x {artifact.d_hv} dims "
-        f"({artifact.n_live_dims} live), backend={artifact.backend}, "
-        f"query_quantizer={artifact.query_quantizer}\n"
-        f"privacy: {privacy}"
+        f"artifact: {n_classes} classes x {d_hv} dims "
+        f"({n_live_dims} live), backend={backend}, "
+        f"query_quantizer={query_quantizer}\n"
+        f"privacy: {privacy_line}"
+    )
+
+
+def _describe_artifact(artifact) -> str:
+    return _describe(
+        artifact.n_classes,
+        artifact.d_hv,
+        artifact.n_live_dims,
+        artifact.backend,
+        artifact.query_quantizer,
+        artifact.privacy,
+    )
+
+
+def _describe_manifest(path) -> str:
+    """The artifact banner from ``manifest.json`` alone.
+
+    The multi-worker serve path uses this: the parent never serves, so
+    it should not pay a full tensor load + checksum just to print two
+    lines (each worker verifies the artifact itself at mmap-load).
+    """
+    import json
+    import pathlib
+
+    manifest = json.loads(
+        (pathlib.Path(path) / "manifest.json").read_text()
+    )
+    return _describe(
+        manifest.get("n_classes"),
+        manifest.get("d_hv"),
+        manifest.get("n_live_dims"),
+        manifest.get("backend"),
+        manifest.get("query_quantizer"),
+        manifest.get("privacy"),
     )
 
 
@@ -409,23 +447,58 @@ def _run_serve_listen(args) -> int:
     Remote clients (``prive-hd client``) get the same micro-batched
     packed scoring and zero-drop hot-swap as in-process callers — and
     can only ever send encoded hypervectors, never raw features.
+
+    ``--workers K`` (K > 1) serves through a
+    :class:`~repro.serve.WorkerPool` instead: K acceptor processes
+    share the listen address via ``SO_REUSEPORT``, each memory-mapping
+    the same checksum-verified artifact read-only.
     """
     from repro.client import parse_address
     from repro.serve import (
         MicroBatchConfig,
         ServingAPI,
         ServingFrontend,
+        WorkerPool,
         load_artifact,
     )
 
-    artifact = load_artifact(args.artifact)
-    print(_describe_artifact(artifact))
     host, port = parse_address(args.listen)
     config = MicroBatchConfig(
         max_batch=args.max_batch,
         eager=not args.paced,
         max_delay_s=args.max_delay_ms / 1e3,
     )
+    if args.workers > 1:
+        if args.http_port is not None:
+            raise ValueError(
+                "--http-port is per-process and not available with "
+                "--workers > 1; run a single worker for the ops port"
+            )
+        # Banner from the manifest only — the parent never serves, so
+        # it skips the full tensor load + checksum (each worker
+        # verifies the artifact itself when it mmap-loads).
+        print(_describe_manifest(args.artifact))
+        with WorkerPool(
+            args.artifact,
+            name=args.model_name,
+            workers=args.workers,
+            host=host,
+            port=port,
+            config=config,
+        ) as pool:
+            print(
+                f"{args.workers} workers listening on "
+                f"{pool.address[0]}:{pool.address[1]} (SO_REUSEPORT)",
+                flush=True,
+            )
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                pass
+        return 0
+    artifact = load_artifact(args.artifact)
+    print(_describe_artifact(artifact))
     with ServingAPI.from_artifact(
         artifact, name=args.model_name, config=config
     ) as api:
@@ -468,13 +541,12 @@ def _run_client(args) -> int:
             f"{client.protocol_version}): model={info.name} v{info.version}, "
             f"backend={info.backend}, d_hv={info.d_hv}"
         )
+        # Batched wire scoring: each chunk ships as one frame (a v2
+        # ScoreBatchRequest when the server speaks v2, a plain
+        # ScoreRequest on a v1 downgrade), pipelined so client-side
+        # encoding overlaps server-side scoring.
         t0 = time.perf_counter()
-        preds = np.concatenate(
-            [
-                client.predict(X[start : start + args.batch_size])
-                for start in range(0, n, args.batch_size)
-            ]
-        )
+        preds = client.predict_many(X, chunk_size=args.batch_size)
         elapsed = time.perf_counter() - t0
 
     acc = float(np.mean(preds == y))
@@ -708,6 +780,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--model-name",
         default="model",
         help="registry name the artifact is served under (default: model)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "with --listen: acceptor processes sharing the address via "
+            "SO_REUSEPORT, each mmap-loading the artifact read-only "
+            "(1 = single in-process frontend)"
+        ),
     )
 
     p_client = sub.add_parser(

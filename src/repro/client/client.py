@@ -34,6 +34,7 @@ from __future__ import annotations
 import socket
 import time
 from collections import deque
+from dataclasses import replace as dataclass_replace
 
 import numpy as np
 
@@ -45,6 +46,8 @@ from repro.proto.messages import (
     Hello,
     ModelInfo,
     ModelInfoRequest,
+    ScoreBatchRequest,
+    ScoreBatchResponse,
     ScoreRequest,
     ScoreResponse,
     Welcome,
@@ -117,6 +120,10 @@ class PriveHDClient:
     connect_retries, retry_delay_s:
         Reconnect attempts while the server is still binding — what a
         CLI racing a just-started frontend needs.
+    versions:
+        Protocol versions to offer in the ``Hello`` (default: every
+        version this build speaks).  Pinning ``(1,)`` forces the v1
+        dialect against any server — the cross-version tests' knob.
 
     Attributes
     ----------
@@ -124,7 +131,11 @@ class PriveHDClient:
         The negotiated wire version (from the server's ``Welcome``).
     info:
         The served model's :class:`~repro.proto.ModelInfo`, fetched at
-        connect; ``d_hv``/backend checks run against it.
+        connect; ``d_hv``/backend checks run against it.  On a v2
+        connection to a pruned model whose artifact recorded its
+        deployment ``mask_seed``, a default-masked obfuscator is
+        upgraded automatically to mask exactly the server's dead
+        dimensions — no out-of-band mask channel needed.
     """
 
     def __init__(
@@ -138,11 +149,22 @@ class PriveHDClient:
         connect_retries: int = 0,
         retry_delay_s: float = 0.25,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        versions: tuple[int, ...] | None = None,
     ):
         self.host, self.port = parse_address(address)
         self.model = model
         self.timeout = timeout
         self.max_frame_bytes = max_frame_bytes
+        self.versions = (
+            tuple(SUPPORTED_VERSIONS)
+            if versions is None
+            else tuple(sorted(int(v) for v in versions))
+        )
+        if not set(self.versions) <= set(SUPPORTED_VERSIONS):
+            raise ValueError(
+                f"this build only speaks versions {SUPPORTED_VERSIONS}, "
+                f"cannot offer {self.versions}"
+            )
         self._request_id = 0
         self._decoder = FrameDecoder(max_frame_bytes=max_frame_bytes)
         self._frames: deque = deque()
@@ -172,6 +194,33 @@ class PriveHDClient:
                 f"client encoder produces {encoder.d_hv}-dim hypervectors "
                 f"but the server serves d_hv={self.info.d_hv}"
             )
+        self._adopt_served_mask()
+
+    def _adopt_served_mask(self) -> None:
+        """Mask like the server, from the wire-shared seed (v2).
+
+        A pruned (§III-B) model only answers correctly when the client
+        zeroes exactly the server's dead dimensions.  When the served
+        artifact recorded its deployment ``mask_seed`` (and the
+        connection speaks v2, so :class:`~repro.proto.ModelInfo`
+        carries it), an obfuscator left at the default *unmasked*
+        config is rebuilt to regenerate that mask locally — closing the
+        ROADMAP's out-of-band-channel gap.  An explicitly configured
+        mask (``n_masked > 0``) is always respected as given.
+        """
+        if (
+            self.obfuscator is None
+            or not self.info.is_pruned
+            or self.info.mask_seed is None
+            or self.obfuscator.config.n_masked != 0
+        ):
+            return
+        config = dataclass_replace(
+            self.obfuscator.config,
+            n_masked=self.info.n_masked,
+            mask_seed=self.info.mask_seed,
+        )
+        self.obfuscator = InferenceObfuscator(self.encoder, config)
 
     # ------------------------------------------------------------------
     # transport
@@ -220,7 +269,13 @@ class PriveHDClient:
         return decode_message(self._frames.popleft())
 
     def _handshake(self) -> tuple[int, Welcome]:
-        self._send_frame(encode_message(Hello(versions=SUPPORTED_VERSIONS)))
+        # The Hello itself is a v1-layout frame stamped with the lowest
+        # offered version, so even a v1-only server can parse the offer.
+        self._send_frame(
+            encode_message(
+                Hello(versions=self.versions), version=min(self.versions)
+            )
+        )
         reply = self._read_message()
         if isinstance(reply, ErrorReply):
             raise ServerError(reply)
@@ -228,7 +283,7 @@ class PriveHDClient:
             raise ProtocolError(
                 f"expected Welcome after Hello, got {type(reply).__name__}"
             )
-        if reply.version not in SUPPORTED_VERSIONS:
+        if reply.version not in self.versions:
             raise ProtocolError(
                 f"server negotiated unsupported version {reply.version}"
             )
@@ -323,37 +378,31 @@ class PriveHDClient:
             self._check_encoded(queries), want_scores=True
         ).scores
 
-    def predict_encoded_many(
-        self, batches, *, window: int = 8
-    ) -> list[np.ndarray]:
-        """Pipeline many encoded batches over this one connection.
+    def _pipelined_requests(
+        self, n_items: int, window: int, build_message, expected: tuple
+    ) -> list:
+        """The sliding-window pipeline every bulk entry point shares.
 
-        Keeps up to ``window`` :class:`~repro.proto.ScoreRequest` frames
-        in flight and matches replies by correlation id (the server may
-        reorder).  Pipelining is how a single connection approaches the
-        server's batch throughput: the micro-batcher coalesces this
-        client's in-flight requests with everyone else's instead of
-        paying a full round trip per request.  Returns one prediction
-        array per input batch, in input order.
+        Keeps up to ``window`` frames in flight over this one
+        connection and matches replies to requests by correlation id
+        (the server may reorder).  ``build_message(index, request_id)``
+        produces the item's request lazily at send time — so e.g.
+        client-side encoding of chunk ``i+window`` overlaps the server
+        scoring chunk ``i``.  Replies outside ``expected`` (beyond the
+        always-raised :class:`ServerError`) fail the stream as a
+        protocol violation.  Returns the reply messages in item order.
         """
-        if window < 1:
-            raise ValueError(f"window must be >= 1, got {window}")
-        checked = [self._check_encoded(b) for b in batches]
-        out: list[np.ndarray | None] = [None] * len(checked)
+        out: list = [None] * n_items
         index_of: dict[int, int] = {}
         next_send = 0
         completed = 0
-        while completed < len(checked):
-            while next_send < len(checked) and len(index_of) < window:
+        while completed < n_items:
+            while next_send < n_items and len(index_of) < window:
                 rid = self._next_id()
                 index_of[rid] = next_send
                 self._send_frame(
                     encode_message(
-                        ScoreRequest(
-                            queries=checked[next_send],
-                            model=self.model,
-                            request_id=rid,
-                        ),
+                        build_message(next_send, rid),
                         version=self.protocol_version,
                     )
                 )
@@ -361,18 +410,169 @@ class PriveHDClient:
             reply = self._read_message()
             if isinstance(reply, ErrorReply):
                 raise ServerError(reply)
-            if not isinstance(reply, ScoreResponse):
+            if not isinstance(reply, expected):
                 raise ProtocolError(
-                    f"expected ScoreResponse, got {type(reply).__name__}"
+                    f"expected {' or '.join(t.__name__ for t in expected)}, "
+                    f"got {type(reply).__name__}"
                 )
             idx = index_of.pop(reply.request_id, None)
             if idx is None:
                 raise ProtocolError(
                     f"unmatched correlation id {reply.request_id}"
                 )
-            out[idx] = reply.predictions
+            out[idx] = reply
             completed += 1
         return out
+
+    @staticmethod
+    def _stack_encoded(items: list) -> tuple[PackedHV | np.ndarray, tuple]:
+        """Stack checked sub-batches into one wire block + chunk counts."""
+        packed = [isinstance(b, PackedHV) for b in items]
+        if any(packed) and not all(packed):
+            raise ValueError(
+                "cannot mix PackedHV and dense sub-batches in one "
+                "wire batch"
+            )
+        if all(packed):
+            counts = tuple(b.n for b in items)
+            if len(items) == 1:
+                return items[0], counts
+            block = PackedHV(
+                signs=np.concatenate([b.signs for b in items], axis=0),
+                mags=np.concatenate([b.mags for b in items], axis=0),
+                d=items[0].d,
+            )
+            return block, counts
+        counts = tuple(b.shape[0] for b in items)
+        if len(items) == 1:
+            return items[0], counts
+        return np.concatenate(items, axis=0), counts
+
+    def predict_encoded_many(
+        self, batches, *, window: int = 8, wire_batch: int = 1
+    ) -> list[np.ndarray]:
+        """Pipeline many encoded batches over this one connection.
+
+        Keeps up to ``window`` frames in flight and matches replies by
+        correlation id (the server may reorder).  Pipelining is how a
+        single connection approaches the server's batch throughput: the
+        micro-batcher coalesces this client's in-flight requests with
+        everyone else's instead of paying a full round trip per request.
+        Returns one prediction array per input batch, in input order.
+
+        ``wire_batch`` is the protocol-v2 amplifier: that many
+        consecutive input batches are stacked into a single
+        :class:`~repro.proto.ScoreBatchRequest` frame, so the server
+        pays one frame decode and one scheduler submit per ``wire_batch``
+        logical requests instead of one per request (the per-frame event
+        -loop cost is what caps single-query socket throughput).  On a
+        connection negotiated at v1 — an older server — ``wire_batch``
+        degrades gracefully to the per-request v1 framing; results are
+        identical either way.  All batches in one group must share a
+        representation (all :class:`~repro.backend.PackedHV` or all
+        dense).
+        """
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if wire_batch < 1:
+            raise ValueError(f"wire_batch must be >= 1, got {wire_batch}")
+        checked = [self._check_encoded(b) for b in batches]
+        if wire_batch == 1 or self.protocol_version < 2:
+            replies = self._pipelined_requests(
+                len(checked),
+                window,
+                lambda i, rid: ScoreRequest(
+                    queries=checked[i], model=self.model, request_id=rid
+                ),
+                (ScoreResponse,),
+            )
+            return [reply.predictions for reply in replies]
+        # v2 path: groups of wire_batch sub-batches per frame.
+        groups = [
+            checked[start : start + wire_batch]
+            for start in range(0, len(checked), wire_batch)
+        ]
+
+        def build(i: int, rid: int) -> ScoreBatchRequest:
+            block, counts = self._stack_encoded(groups[i])
+            return ScoreBatchRequest(
+                queries=block, counts=counts, model=self.model, request_id=rid
+            )
+
+        replies = self._pipelined_requests(
+            len(groups), window, build, (ScoreBatchResponse,)
+        )
+        out: list[np.ndarray] = []
+        for group, reply in zip(groups, replies):
+            parts = reply.split()
+            if len(parts) != len(group):
+                raise ProtocolError(
+                    f"batch response carries {len(parts)} chunks for a "
+                    f"{len(group)}-chunk request"
+                )
+            out.extend(parts)
+        return out
+
+    def predict_many(
+        self, X: np.ndarray, *, chunk_size: int = 256, window: int = 4
+    ) -> np.ndarray:
+        """Labels for a large feature set, streamed in batched frames.
+
+        The bulk-scoring entry point: features are encoded + obfuscated
+        locally in ``chunk_size``-row chunks, each chunk ships as *one*
+        frame (a v2 :class:`~repro.proto.ScoreBatchRequest`, or the
+        equivalent :class:`~repro.proto.ScoreRequest` when the server
+        only speaks v1), and up to ``window`` chunks stay in flight so
+        client-side encoding overlaps server-side scoring.  Exactly as
+        with :meth:`predict`, only obfuscated hypervector bits ever
+        reach a frame.  Returns the ``(n,)`` prediction vector in row
+        order.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if self.obfuscator is None:
+            raise ValueError(
+                "predict_many needs an encoder; construct the client "
+                "with PriveHDClient(..., encoder=...)"
+            )
+        X = np.atleast_2d(np.asarray(X))
+        if X.shape[1] != self.encoder.d_in:
+            raise ValueError(
+                f"features have {X.shape[1]} columns but the encoder "
+                f"expects d_in={self.encoder.d_in}"
+            )
+        starts = list(range(0, X.shape[0], chunk_size))
+        if not starts:
+            return np.zeros(0, dtype=np.int64)
+
+        def build(i: int, rid: int):
+            # Encoding happens here, at send time, so preparing chunk
+            # i+window overlaps the server scoring chunk i.
+            queries = self._prepare_wire_queries(
+                X[starts[i] : starts[i] + chunk_size]
+            )
+            if self.protocol_version < 2:
+                return ScoreRequest(
+                    queries=queries, model=self.model, request_id=rid
+                )
+            n_rows = (
+                queries.n
+                if isinstance(queries, PackedHV)
+                else queries.shape[0]
+            )
+            return ScoreBatchRequest(
+                queries=queries,
+                counts=(n_rows,),
+                model=self.model,
+                request_id=rid,
+            )
+
+        replies = self._pipelined_requests(
+            len(starts), window, build, (ScoreResponse, ScoreBatchResponse)
+        )
+        return np.concatenate([reply.predictions for reply in replies])
 
     def _score(self, queries, *, want_scores: bool = False) -> ScoreResponse:
         request = ScoreRequest(

@@ -63,6 +63,7 @@ class TrainingAudit:
 
     @property
     def mean_membership_score(self) -> float:
+        """Average attacker confidence that records were in training."""
         return float(np.mean(self.membership_scores))
 
     @property
@@ -84,6 +85,7 @@ class TrainingAudit:
         )
 
     def to_table(self) -> ResultTable:
+        """Per-record membership/reconstruction table for reports."""
         table = ResultTable(
             f"training-privacy audit (eps={self.epsilon:g})",
             ["record", "membership score", "relative recon error"],
@@ -209,11 +211,13 @@ class InferenceAudit:
 
     @property
     def protection_factor(self) -> float:
+        """How much worse the attacker does on obfuscated queries (>1 = protected)."""
         if self.relative_error_plain == 0:
             return float("inf")
         return self.relative_error_obfuscated / self.relative_error_plain
 
     def to_table(self) -> ResultTable:
+        """Plain-vs-obfuscated reconstruction error table for reports."""
         table = ResultTable(
             "inference-privacy audit",
             ["offload variant", "relative recon error"],

@@ -29,7 +29,6 @@ from repro.backend.packed import PackedHV, pack_hypervectors
 from repro.hd.encoder import Encoder
 from repro.hd.model import HDModel
 from repro.hd.quantize import EncodingQuantizer, get_quantizer
-from repro.utils.rng import spawn
 from repro.utils.validation import check_2d
 
 __all__ = ["ObfuscationConfig", "InferenceObfuscator", "LeakageReport"]
@@ -106,11 +105,13 @@ class InferenceObfuscator:
                 f"({encoder.d_hv})"
             )
         self.quantizer: EncodingQuantizer = get_quantizer(self.config.quantizer)
-        keep = np.ones(encoder.d_hv, dtype=bool)
-        if self.config.n_masked > 0:
-            gen = spawn(self.config.mask_seed, "inference-mask")
-            keep[gen.permutation(encoder.d_hv)[: self.config.n_masked]] = False
-        self.keep_mask = keep
+        # One canonical seed -> mask derivation, shared with the serving
+        # artifact (which records mask_seed for remote clients).
+        from repro.hd.prune import mask_from_seed
+
+        self.keep_mask = mask_from_seed(
+            encoder.d_hv, self.config.n_masked, self.config.mask_seed
+        )
 
     # ------------------------------------------------------------------
     @property

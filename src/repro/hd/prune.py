@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hd.model import HDModel
+from repro.utils.rng import spawn
 from repro.utils.validation import check_2d, check_probability
 
 __all__ = [
@@ -32,8 +33,43 @@ __all__ = [
     "prune_mask",
     "prune_model",
     "apply_mask",
+    "mask_from_seed",
     "SCORE_METHODS",
 ]
+
+
+def mask_from_seed(d_hv: int, n_masked: int, mask_seed: int) -> np.ndarray:
+    """The deterministic random keep-mask of a §III-C deployment.
+
+    The inference defense zeroes a *fixed* random subset of dimensions,
+    chosen once per deployment from ``mask_seed`` — this is the one
+    canonical derivation, shared by the client-side
+    :class:`~repro.core.inference_privacy.InferenceObfuscator` and the
+    serving :class:`~repro.serve.ModelArtifact` (which records the seed
+    so remote clients can regenerate exactly the served mask).
+
+    Parameters
+    ----------
+    d_hv:
+        Hypervector dimensionality.
+    n_masked:
+        Dimensions to zero (``0 <= n_masked < d_hv``).
+    mask_seed:
+        Deployment seed; equal seeds give bit-identical masks.
+
+    Returns
+    -------
+    ``(d_hv,)`` bool array, ``True`` on the live dimensions.
+    """
+    if not 0 <= n_masked < d_hv:
+        raise ValueError(
+            f"n_masked must be in [0, d_hv={d_hv}), got {n_masked}"
+        )
+    keep = np.ones(d_hv, dtype=bool)
+    if n_masked > 0:
+        gen = spawn(mask_seed, "inference-mask")
+        keep[gen.permutation(d_hv)[:n_masked]] = False
+    return keep
 
 #: supported per-dimension effectuality scores
 SCORE_METHODS = ("l2", "sum_abs", "min_abs", "max_abs")

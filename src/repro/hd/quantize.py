@@ -114,10 +114,12 @@ class IdentityQuantizer(EncodingQuantizer):
 
     @property
     def levels(self) -> np.ndarray:
+        """Empty: a passthrough has no discrete levels."""
         return np.array([])
 
     @property
     def design_probabilities(self) -> np.ndarray:
+        """Empty: no levels, no design distribution."""
         return np.array([])
 
     def __call__(self, encodings: np.ndarray) -> np.ndarray:
@@ -245,6 +247,7 @@ class MaskedQuantizer(EncodingQuantizer):
 
     @property
     def levels(self) -> np.ndarray:
+        """The inner quantizer's levels plus 0 (masked dimensions)."""
         inner = self.inner.levels
         if inner.size == 0:
             return inner
@@ -252,6 +255,7 @@ class MaskedQuantizer(EncodingQuantizer):
 
     @property
     def design_probabilities(self) -> np.ndarray:
+        """The inner quantizer's design distribution (see the note)."""
         # Dimension-marginal probabilities are a mask-weighted mixture;
         # sensitivity accounting uses the inner quantizer at the live
         # count instead (expected_l2_sensitivity below).
@@ -259,6 +263,7 @@ class MaskedQuantizer(EncodingQuantizer):
 
     @property
     def packable(self) -> bool:
+        """Packable exactly when the inner quantizer is."""
         # Identity passes values through unchanged outside the mask, so
         # it is packable only if the inner quantizer is.
         return self.inner.packable

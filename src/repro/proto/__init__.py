@@ -22,6 +22,8 @@ from repro.proto.messages import (
     Hello,
     ModelInfo,
     ModelInfoRequest,
+    ScoreBatchRequest,
+    ScoreBatchResponse,
     ScoreRequest,
     ScoreResponse,
     Welcome,
@@ -30,6 +32,7 @@ from repro.proto.messages import (
 )
 from repro.proto.wire import (
     DEFAULT_MAX_FRAME_BYTES,
+    FRAME_MIN_VERSION,
     HEADER_SIZE,
     MAGIC,
     PROTOCOL_VERSION,
@@ -49,12 +52,15 @@ __all__ = [
     "Hello",
     "ModelInfo",
     "ModelInfoRequest",
+    "ScoreBatchRequest",
+    "ScoreBatchResponse",
     "ScoreRequest",
     "ScoreResponse",
     "Welcome",
     "decode_message",
     "encode_message",
     "DEFAULT_MAX_FRAME_BYTES",
+    "FRAME_MIN_VERSION",
     "HEADER_SIZE",
     "MAGIC",
     "PROTOCOL_VERSION",

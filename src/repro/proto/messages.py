@@ -16,7 +16,12 @@ protocol version the client speaks) answered by :class:`Welcome`
 (server → client, the negotiated version plus the served model names).
 Everything after that is :class:`ScoreRequest`/:class:`ScoreResponse`
 and :class:`ModelInfoRequest`/:class:`ModelInfo`, with
-:class:`ErrorReply` for anything the server refuses.
+:class:`ErrorReply` for anything the server refuses.  Protocol **v2**
+adds :class:`ScoreBatchRequest`/:class:`ScoreBatchResponse` — N logical
+sub-requests stacked into one frame and one scheduler submit — and
+extends :class:`ModelInfo` with the deployment mask seed of pruned
+models; a connection negotiated at v1 never sees either (the codecs
+refuse to encode or decode v2-only frames for a v1 peer).
 
 >>> req = ScoreRequest(queries=packed_queries, request_id=7)
 >>> frame = encode_message(req)                    # bytes for the wire
@@ -31,6 +36,7 @@ import numpy as np
 
 from repro.backend.packed import PackedHV
 from repro.proto.wire import (
+    FRAME_MIN_VERSION,
     Frame,
     FrameType,
     PayloadReader,
@@ -48,6 +54,8 @@ __all__ = [
     "Welcome",
     "ScoreRequest",
     "ScoreResponse",
+    "ScoreBatchRequest",
+    "ScoreBatchResponse",
     "ModelInfoRequest",
     "ModelInfo",
     "ErrorReply",
@@ -151,11 +159,13 @@ class ScoreRequest:
 
     @property
     def n_queries(self) -> int:
+        """Rows in the query batch."""
         q = self.queries
         return q.n if isinstance(q, PackedHV) else int(q.shape[0])
 
     @property
     def d_hv(self) -> int:
+        """Hypervector dimensionality of the queries."""
         q = self.queries
         return q.d if isinstance(q, PackedHV) else int(q.shape[1])
 
@@ -237,6 +247,185 @@ class ScoreResponse:
         return self.scores is None or np.array_equal(self.scores, other.scores)
 
 
+def _check_counts(counts, n_rows: int) -> tuple[int, ...]:
+    """Validate chunk boundaries against a stacked query/result block."""
+    out = tuple(int(c) for c in counts)
+    if not out:
+        raise ValueError("counts must name at least one chunk")
+    if any(c <= 0 for c in out):
+        raise ValueError(f"every chunk count must be >= 1, got {out}")
+    if sum(out) != n_rows:
+        raise ValueError(
+            f"chunk counts sum to {sum(out)} but the block has "
+            f"{n_rows} rows"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class ScoreBatchRequest:
+    """Protocol v2: N logical scoring requests stacked into one frame.
+
+    Where a v1 client ships one :class:`ScoreRequest` frame per request
+    and pays a frame decode + scheduler submit for each, a v2 client
+    stacks the rows of N requests into a single block, records the
+    per-request row counts, and ships *one* frame — the server decodes
+    once and submits the whole block to the micro-batcher once, so
+    frame parsing, syscalls, and future wakeups amortize over N.
+
+    Attributes
+    ----------
+    queries:
+        The stacked block: a :class:`~repro.backend.PackedHV` batch or a
+        dense ``(n, d_hv)`` array, exactly as in :class:`ScoreRequest` —
+        the privacy boundary is unchanged (no raw-feature variant).
+    counts:
+        Rows belonging to each logical sub-request, in block order;
+        must sum to the block's row count.  The response echoes them so
+        the client can scatter results back per sub-request.
+    model:
+        Registry model name; ``None`` uses the server's default.
+    want_scores:
+        Also return the full Eq. (4) score matrix for every row.
+    request_id:
+        Correlation id echoed in the response.
+    """
+
+    queries: PackedHV | np.ndarray
+    counts: tuple[int, ...]
+    model: str | None = None
+    want_scores: bool = False
+    request_id: int = 0
+
+    def __post_init__(self):
+        if not isinstance(self.queries, PackedHV):
+            arr = np.asarray(self.queries)
+            if arr.ndim != 2:
+                raise ValueError(
+                    "ScoreBatchRequest queries must be a PackedHV or a "
+                    f"2-D (n, d_hv) array, got shape {arr.shape} — raw "
+                    "feature vectors do not belong on the wire"
+                )
+            object.__setattr__(self, "queries", arr)
+        object.__setattr__(
+            self, "counts", _check_counts(self.counts, self.n_queries)
+        )
+
+    @property
+    def n_queries(self) -> int:
+        """Rows in the stacked block (all sub-requests together)."""
+        q = self.queries
+        return q.n if isinstance(q, PackedHV) else int(q.shape[0])
+
+    @property
+    def d_hv(self) -> int:
+        """Hypervector dimensionality of the block."""
+        q = self.queries
+        return q.d if isinstance(q, PackedHV) else int(q.shape[1])
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of logical sub-requests in the block."""
+        return len(self.counts)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ScoreBatchRequest):
+            return NotImplemented
+        if (
+            self.model != other.model
+            or self.want_scores != other.want_scores
+            or self.request_id != other.request_id
+            or self.counts != other.counts
+        ):
+            return False
+        a, b = self.queries, other.queries
+        if isinstance(a, PackedHV) != isinstance(b, PackedHV):
+            return False
+        if isinstance(a, PackedHV):
+            return (
+                a.d == b.d
+                and np.array_equal(a.signs, b.signs)
+                and np.array_equal(a.mags, b.mags)
+            )
+        return np.array_equal(a, b)
+
+
+@dataclass(frozen=True)
+class ScoreBatchResponse:
+    """The server's answer to one :class:`ScoreBatchRequest`.
+
+    Attributes
+    ----------
+    predictions:
+        ``(n,)`` int64 labels for the whole stacked block, in block
+        order.
+    counts:
+        Echo of the request's per-sub-request row counts;
+        :meth:`split` scatters the block back into per-request arrays.
+    scores:
+        ``(n, n_classes)`` float64 scores when requested, else ``None``.
+    model, version:
+        The registry entry (and exact hot-swappable version) that
+        scored the block — one consistent version for every row.
+    request_id:
+        Echo of the request's correlation id.
+    """
+
+    predictions: np.ndarray
+    counts: tuple[int, ...]
+    scores: np.ndarray | None = None
+    model: str = ""
+    version: int = 0
+    request_id: int = 0
+
+    def __post_init__(self):
+        preds = np.asarray(self.predictions, dtype=np.int64)
+        if preds.ndim != 1:
+            raise ValueError(
+                f"predictions must be 1-D, got shape {preds.shape}"
+            )
+        object.__setattr__(self, "predictions", preds)
+        object.__setattr__(
+            self, "counts", _check_counts(self.counts, preds.shape[0])
+        )
+        if self.scores is not None:
+            scores = np.asarray(self.scores, dtype=np.float64)
+            if scores.ndim != 2 or scores.shape[0] != preds.shape[0]:
+                raise ValueError(
+                    f"scores must be (n={preds.shape[0]}, n_classes), "
+                    f"got shape {scores.shape}"
+                )
+            object.__setattr__(self, "scores", scores)
+
+    def split(self) -> list[np.ndarray]:
+        """Per-sub-request prediction arrays, in request order."""
+        bounds = np.cumsum(self.counts[:-1])
+        return np.split(self.predictions, bounds)
+
+    def split_scores(self) -> list[np.ndarray]:
+        """Per-sub-request score matrices (requires ``want_scores``)."""
+        if self.scores is None:
+            raise ValueError("this response carries no scores")
+        bounds = np.cumsum(self.counts[:-1])
+        return np.split(self.scores, bounds, axis=0)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ScoreBatchResponse):
+            return NotImplemented
+        if (
+            self.model != other.model
+            or self.version != other.version
+            or self.request_id != other.request_id
+            or self.counts != other.counts
+        ):
+            return False
+        if not np.array_equal(self.predictions, other.predictions):
+            return False
+        if (self.scores is None) != (other.scores is None):
+            return False
+        return self.scores is None or np.array_equal(self.scores, other.scores)
+
+
 @dataclass(frozen=True)
 class ModelInfoRequest:
     """Ask the server to describe a served model (``None`` = default)."""
@@ -260,7 +449,7 @@ class ModelInfo:
     n_classes, d_hv, n_live_dims:
         Served shape; ``n_live_dims < d_hv`` marks a pruned (§III-B)
         model, whose clients must mask their queries to the same
-        dimensions (the deployment shares the mask seed out of band).
+        dimensions.
     backend:
         The serving compute layout (``"dense"``/``"packed"``).
     query_quantizer:
@@ -268,6 +457,16 @@ class ModelInfo:
         through (``None`` = full precision).
     epsilon:
         The certified DP ε of the served store (``inf`` = no claim).
+    mask_seed:
+        Protocol v2: the deployment seed of a pruned model's keep-mask
+        (the :class:`~repro.core.inference_privacy.ObfuscationConfig`
+        ``mask_seed``), when the artifact recorded one.  With it, a
+        client regenerates exactly the server's live dimensions
+        (``n_masked = d_hv - n_live_dims``) and needs no out-of-band
+        mask channel.  The seed reveals only *which* dimensions are
+        dead server-side — information the server already holds —
+        never anything about the client's features.  ``None`` on v1
+        connections and for unpruned or seedless artifacts.
     """
 
     name: str
@@ -278,11 +477,18 @@ class ModelInfo:
     backend: str
     query_quantizer: str | None = None
     epsilon: float = float("inf")
+    mask_seed: int | None = None
     request_id: int = 0
 
     @property
     def is_pruned(self) -> bool:
+        """Whether some served dimensions are dead (``n_live_dims < d_hv``)."""
         return self.n_live_dims < self.d_hv
+
+    @property
+    def n_masked(self) -> int:
+        """Dimensions a matching client must zero before shipping."""
+        return self.d_hv - self.n_live_dims
 
 
 @dataclass(frozen=True)
@@ -314,14 +520,17 @@ class ErrorReply:
 # ----------------------------------------------------------------------
 # per-message payload codecs
 # ----------------------------------------------------------------------
-def _write_hello(msg: Hello, w: PayloadWriter) -> None:
+# Every codec takes the frame's negotiated protocol version so a field
+# added in v2 is written/read only when both sides speak v2 — a v1 peer
+# sees byte-identical v1 payloads.
+def _write_hello(msg: Hello, w: PayloadWriter, version: int) -> None:
     w.string(msg.client)
     w.u8(len(msg.versions))
     for v in msg.versions:
         w.u8(v)
 
 
-def _read_hello(r: PayloadReader) -> Hello:
+def _read_hello(r: PayloadReader, version: int) -> Hello:
     client = r.string() or ""
     count = r.u8()
     if count == 0:
@@ -330,7 +539,7 @@ def _read_hello(r: PayloadReader) -> Hello:
     return Hello(versions=versions, client=client)
 
 
-def _write_welcome(msg: Welcome, w: PayloadWriter) -> None:
+def _write_welcome(msg: Welcome, w: PayloadWriter, version: int) -> None:
     w.u8(msg.version)
     w.string(msg.server)
     w.u16(len(msg.models))
@@ -338,21 +547,23 @@ def _write_welcome(msg: Welcome, w: PayloadWriter) -> None:
         w.string(name)
 
 
-def _read_welcome(r: PayloadReader) -> Welcome:
-    version = r.u8()
+def _read_welcome(r: PayloadReader, version: int) -> Welcome:
+    version_field = r.u8()
     server = r.string() or ""
     models = tuple(r.string() or "" for _ in range(r.u16()))
-    return Welcome(version=version, server=server, models=models)
+    return Welcome(version=version_field, server=server, models=models)
 
 
-def _write_score_request(msg: ScoreRequest, w: PayloadWriter) -> None:
+def _write_score_request(
+    msg: ScoreRequest, w: PayloadWriter, version: int
+) -> None:
     w.u32(msg.request_id)
     w.string(msg.model)
     w.u8(1 if msg.want_scores else 0)
     write_queries(w, msg.queries)
 
 
-def _read_score_request(r: PayloadReader) -> ScoreRequest:
+def _read_score_request(r: PayloadReader, version: int) -> ScoreRequest:
     request_id = r.u32()
     model = r.string()
     want_scores = bool(r.u8())
@@ -365,7 +576,9 @@ def _read_score_request(r: PayloadReader) -> ScoreRequest:
     )
 
 
-def _write_score_response(msg: ScoreResponse, w: PayloadWriter) -> None:
+def _write_score_response(
+    msg: ScoreResponse, w: PayloadWriter, version: int
+) -> None:
     w.u32(msg.request_id)
     w.string(msg.model)
     w.u32(msg.version)
@@ -379,10 +592,10 @@ def _write_score_response(msg: ScoreResponse, w: PayloadWriter) -> None:
         w.array(msg.scores, "<f8")
 
 
-def _read_score_response(r: PayloadReader) -> ScoreResponse:
+def _read_score_response(r: PayloadReader, version: int) -> ScoreResponse:
     request_id = r.u32()
     model = r.string() or ""
-    version = r.u32()
+    version_field = r.u32()
     n = r.u32()
     predictions = r.array(n, "<i8")
     scores = None
@@ -393,22 +606,110 @@ def _read_score_response(r: PayloadReader) -> ScoreResponse:
         predictions=predictions,
         scores=scores,
         model=model,
-        version=version,
+        version=version_field,
         request_id=request_id,
     )
 
 
-def _write_model_info_request(msg: ModelInfoRequest, w: PayloadWriter) -> None:
+def _write_counts(w: PayloadWriter, counts: tuple[int, ...]) -> None:
+    if len(counts) > 0xFFFF:
+        raise ProtocolError(
+            f"{len(counts)} chunks exceed the u16 wire limit"
+        )
+    w.u16(len(counts))
+    for c in counts:
+        w.u32(c)
+
+
+def _read_counts(r: PayloadReader) -> tuple[int, ...]:
+    n_chunks = r.u16()
+    if n_chunks == 0:
+        raise ProtocolError("batch frame with zero chunks")
+    return tuple(r.u32() for _ in range(n_chunks))
+
+
+def _write_score_batch_request(
+    msg: ScoreBatchRequest, w: PayloadWriter, version: int
+) -> None:
+    w.u32(msg.request_id)
+    w.string(msg.model)
+    w.u8(1 if msg.want_scores else 0)
+    _write_counts(w, msg.counts)
+    write_queries(w, msg.queries)
+
+
+def _read_score_batch_request(
+    r: PayloadReader, version: int
+) -> ScoreBatchRequest:
+    request_id = r.u32()
+    model = r.string()
+    want_scores = bool(r.u8())
+    counts = _read_counts(r)
+    queries = read_queries(r)
+    return ScoreBatchRequest(
+        queries=queries,
+        counts=counts,
+        model=model,
+        want_scores=want_scores,
+        request_id=request_id,
+    )
+
+
+def _write_score_batch_response(
+    msg: ScoreBatchResponse, w: PayloadWriter, version: int
+) -> None:
+    w.u32(msg.request_id)
+    w.string(msg.model)
+    w.u32(msg.version)
+    _write_counts(w, msg.counts)
+    w.u32(msg.predictions.shape[0])
+    w.array(msg.predictions, "<i8")
+    if msg.scores is None:
+        w.u8(0)
+    else:
+        w.u8(1)
+        w.u32(msg.scores.shape[1])
+        w.array(msg.scores, "<f8")
+
+
+def _read_score_batch_response(
+    r: PayloadReader, version: int
+) -> ScoreBatchResponse:
+    request_id = r.u32()
+    model = r.string() or ""
+    version_field = r.u32()
+    counts = _read_counts(r)
+    n = r.u32()
+    predictions = r.array(n, "<i8")
+    scores = None
+    if r.u8():
+        n_classes = r.u32()
+        scores = r.array(n * n_classes, "<f8").reshape(n, n_classes)
+    return ScoreBatchResponse(
+        predictions=predictions,
+        counts=counts,
+        scores=scores,
+        model=model,
+        version=version_field,
+        request_id=request_id,
+    )
+
+
+def _write_model_info_request(
+    msg: ModelInfoRequest, w: PayloadWriter, version: int
+) -> None:
     w.u32(msg.request_id)
     w.string(msg.model)
 
 
-def _read_model_info_request(r: PayloadReader) -> ModelInfoRequest:
+def _read_model_info_request(
+    r: PayloadReader, version: int
+) -> ModelInfoRequest:
     request_id = r.u32()
     return ModelInfoRequest(model=r.string(), request_id=request_id)
 
 
-def _write_model_info(msg: ModelInfo, w: PayloadWriter) -> None:
+def _write_model_info(msg: ModelInfo, w: PayloadWriter, version: int) -> None:
     w.u32(msg.request_id)
     w.string(msg.name)
     w.u32(msg.version)
@@ -418,30 +719,48 @@ def _write_model_info(msg: ModelInfo, w: PayloadWriter) -> None:
     w.string(msg.backend)
     w.string(msg.query_quantizer)
     w.f64(msg.epsilon)
+    if version >= 2:
+        if msg.mask_seed is None:
+            w.u8(0)
+        else:
+            w.u8(1)
+            w.u64(msg.mask_seed)
 
 
-def _read_model_info(r: PayloadReader) -> ModelInfo:
+def _read_model_info(r: PayloadReader, version: int) -> ModelInfo:
     request_id = r.u32()
+    name = r.string() or ""
+    version_field = r.u32()
+    n_classes = r.u32()
+    d_hv = r.u32()
+    n_live_dims = r.u32()
+    backend = r.string() or ""
+    query_quantizer = r.string()
+    epsilon = r.f64()
+    mask_seed = None
+    if version >= 2 and r.u8():
+        mask_seed = r.u64()
     return ModelInfo(
-        name=r.string() or "",
-        version=r.u32(),
-        n_classes=r.u32(),
-        d_hv=r.u32(),
-        n_live_dims=r.u32(),
-        backend=r.string() or "",
-        query_quantizer=r.string(),
-        epsilon=r.f64(),
+        name=name,
+        version=version_field,
+        n_classes=n_classes,
+        d_hv=d_hv,
+        n_live_dims=n_live_dims,
+        backend=backend,
+        query_quantizer=query_quantizer,
+        epsilon=epsilon,
+        mask_seed=mask_seed,
         request_id=request_id,
     )
 
 
-def _write_error(msg: ErrorReply, w: PayloadWriter) -> None:
+def _write_error(msg: ErrorReply, w: PayloadWriter, version: int) -> None:
     w.u32(msg.request_id)
     w.string(msg.code)
     w.string(msg.message)
 
 
-def _read_error(r: PayloadReader) -> ErrorReply:
+def _read_error(r: PayloadReader, version: int) -> ErrorReply:
     request_id = r.u32()
     code = r.string() or ""
     message = r.string() or ""
@@ -457,6 +776,14 @@ _CODECS = {
     Welcome: (FrameType.WELCOME, _write_welcome),
     ScoreRequest: (FrameType.SCORE_REQUEST, _write_score_request),
     ScoreResponse: (FrameType.SCORE_RESPONSE, _write_score_response),
+    ScoreBatchRequest: (
+        FrameType.SCORE_BATCH_REQUEST,
+        _write_score_batch_request,
+    ),
+    ScoreBatchResponse: (
+        FrameType.SCORE_BATCH_RESPONSE,
+        _write_score_batch_response,
+    ),
     ModelInfoRequest: (FrameType.MODEL_INFO_REQUEST, _write_model_info_request),
     ModelInfo: (FrameType.MODEL_INFO, _write_model_info),
     ErrorReply: (FrameType.ERROR, _write_error),
@@ -467,6 +794,8 @@ _DECODERS = {
     FrameType.WELCOME: _read_welcome,
     FrameType.SCORE_REQUEST: _read_score_request,
     FrameType.SCORE_RESPONSE: _read_score_response,
+    FrameType.SCORE_BATCH_REQUEST: _read_score_batch_request,
+    FrameType.SCORE_BATCH_RESPONSE: _read_score_batch_response,
     FrameType.MODEL_INFO_REQUEST: _read_model_info_request,
     FrameType.MODEL_INFO: _read_model_info,
     FrameType.ERROR: _read_error,
@@ -479,6 +808,9 @@ def encode_message(msg, *, version: int = PROTOCOL_VERSION) -> bytes:
     Dispatch is on *exact* type: the codec table above is the entire
     vocabulary of the protocol, so nothing outside it — raw arrays,
     feature batches, encoder objects — can be framed, by construction.
+    ``version`` is the connection's negotiated protocol version; frames
+    introduced after it (the v2 batch frames on a v1 connection) refuse
+    to encode rather than confuse an older peer.
     """
     codec = _CODECS.get(type(msg))
     if codec is None:
@@ -487,8 +819,14 @@ def encode_message(msg, *, version: int = PROTOCOL_VERSION) -> bytes:
             f"{sorted(c.__name__ for c in _CODECS)} cross the boundary"
         )
     frame_type, writer = codec
+    min_version = FRAME_MIN_VERSION.get(frame_type, 1)
+    if version < min_version:
+        raise ProtocolError(
+            f"{type(msg).__name__} requires protocol v{min_version}; "
+            f"this connection negotiated v{version}"
+        )
     w = PayloadWriter()
-    writer(msg, w)
+    writer(msg, w, version)
     return encode_frame(frame_type, w.getvalue(), version=version)
 
 
@@ -496,7 +834,8 @@ def decode_message(frame: Frame):
     """One decoded :class:`~repro.proto.wire.Frame` → its message.
 
     Raises :class:`~repro.proto.wire.ProtocolError` for unknown frame
-    types, truncated payloads, and trailing garbage.
+    types, frame types newer than the frame's stamped version,
+    truncated payloads, and trailing garbage.
     """
     try:
         kind = FrameType(frame.frame_type)
@@ -504,9 +843,15 @@ def decode_message(frame: Frame):
         raise ProtocolError(
             f"unknown frame type 0x{frame.frame_type:02x}"
         ) from None
+    min_version = FRAME_MIN_VERSION.get(kind, 1)
+    if frame.version < min_version:
+        raise ProtocolError(
+            f"{kind.name} frames require protocol v{min_version}, "
+            f"got a v{frame.version} frame"
+        )
     reader = PayloadReader(frame.payload)
     try:
-        msg = _DECODERS[kind](reader)
+        msg = _DECODERS[kind](reader, frame.version)
     except ProtocolError:
         raise
     except (ValueError, OverflowError) as exc:

@@ -57,6 +57,7 @@ __all__ = [
     "HEADER_SIZE",
     "DEFAULT_MAX_FRAME_BYTES",
     "FrameType",
+    "FRAME_MIN_VERSION",
     "Frame",
     "ProtocolError",
     "encode_frame",
@@ -70,12 +71,19 @@ __all__ = [
 #: first two bytes of every frame
 MAGIC = b"HD"
 
-#: the version this build speaks natively
-PROTOCOL_VERSION = 1
+#: the version this build speaks natively.
+#:
+#: * **v1** — the original conversation: ``ScoreRequest``/``ScoreResponse``
+#:   plus model metadata and the handshake.
+#: * **v2** — adds the batched scoring frames
+#:   (``ScoreBatchRequest``/``ScoreBatchResponse``, carrying N logical
+#:   sub-requests in one frame/one scheduler submit) and extends
+#:   ``ModelInfo`` with the deployment mask seed of pruned models.
+PROTOCOL_VERSION = 2
 
 #: every version this build can decode (negotiation picks the highest
 #: common entry)
-SUPPORTED_VERSIONS = (1,)
+SUPPORTED_VERSIONS = (1, 2)
 
 #: magic(2) + version(1) + frame type(1) + payload length(4, big-endian)
 HEADER_SIZE = 8
@@ -107,6 +115,17 @@ class FrameType(IntEnum):
     MODEL_INFO_REQUEST = 5
     MODEL_INFO = 6
     ERROR = 7
+    SCORE_BATCH_REQUEST = 8
+    SCORE_BATCH_RESPONSE = 9
+
+
+#: lowest protocol version at which each frame type exists.  Encoding a
+#: frame for (or decoding one stamped with) an older version raises
+#: :class:`ProtocolError` — a v1 peer must never see a v2-only frame.
+FRAME_MIN_VERSION = {
+    FrameType.SCORE_BATCH_REQUEST: 2,
+    FrameType.SCORE_BATCH_RESPONSE: 2,
+}
 
 
 class Frame:
@@ -156,9 +175,16 @@ def decode_header(
     return version, frame_type, length
 
 
-def negotiate_version(offered) -> int | None:
-    """The highest version both sides speak, or ``None`` if disjoint."""
-    common = set(int(v) for v in offered) & set(SUPPORTED_VERSIONS)
+def negotiate_version(offered, *, supported=None) -> int | None:
+    """The highest version both sides speak, or ``None`` if disjoint.
+
+    ``supported`` overrides this build's :data:`SUPPORTED_VERSIONS` —
+    how a server pins itself to an older dialect (and how the
+    cross-version tests simulate one) without patching the module.
+    """
+    if supported is None:
+        supported = SUPPORTED_VERSIONS
+    common = set(int(v) for v in offered) & set(int(v) for v in supported)
     return max(common) if common else None
 
 
@@ -205,6 +231,7 @@ class FrameDecoder:
 _U8 = struct.Struct("!B")
 _U16 = struct.Struct("!H")
 _U32 = struct.Struct("!I")
+_U64 = struct.Struct("!Q")
 _F64 = struct.Struct("!d")
 
 #: u16 sentinel marking an absent optional string
@@ -218,18 +245,30 @@ class PayloadWriter:
         self._parts: list[bytes] = []
 
     def u8(self, value: int) -> "PayloadWriter":
+        """Append one unsigned byte."""
         self._parts.append(_U8.pack(int(value)))
         return self
 
     def u16(self, value: int) -> "PayloadWriter":
+        """Append a big-endian unsigned 16-bit integer."""
         self._parts.append(_U16.pack(int(value)))
         return self
 
     def u32(self, value: int) -> "PayloadWriter":
+        """Append a big-endian unsigned 32-bit integer."""
         self._parts.append(_U32.pack(int(value)))
         return self
 
+    def u64(self, value: int) -> "PayloadWriter":
+        """Append a big-endian unsigned 64-bit integer (range-checked)."""
+        try:
+            self._parts.append(_U64.pack(int(value)))
+        except struct.error as exc:
+            raise ProtocolError(f"u64 field out of range: {exc}") from exc
+        return self
+
     def f64(self, value: float) -> "PayloadWriter":
+        """Append a big-endian IEEE 754 binary64 float."""
         self._parts.append(_F64.pack(float(value)))
         return self
 
@@ -253,6 +292,7 @@ class PayloadWriter:
         return self
 
     def getvalue(self) -> bytes:
+        """The accumulated payload bytes."""
         return b"".join(self._parts)
 
 
@@ -278,18 +318,27 @@ class PayloadReader:
         return out
 
     def u8(self) -> int:
+        """Read one unsigned byte."""
         return _U8.unpack(self._take(1))[0]
 
     def u16(self) -> int:
+        """Read a big-endian unsigned 16-bit integer."""
         return _U16.unpack(self._take(2))[0]
 
     def u32(self) -> int:
+        """Read a big-endian unsigned 32-bit integer."""
         return _U32.unpack(self._take(4))[0]
 
+    def u64(self) -> int:
+        """Read a big-endian unsigned 64-bit integer."""
+        return _U64.unpack(self._take(8))[0]
+
     def f64(self) -> float:
+        """Read a big-endian IEEE 754 binary64 float."""
         return _F64.unpack(self._take(8))[0]
 
     def string(self) -> str | None:
+        """Read a length-prefixed UTF-8 string (``None`` sentinel aware)."""
         length = self.u16()
         if length == _NONE_STR:
             return None
@@ -311,6 +360,7 @@ class PayloadReader:
         return np.frombuffer(raw, dtype=dt)
 
     def done(self) -> None:
+        """Assert the payload was fully consumed (no trailing bytes)."""
         if self._pos != len(self._buf):
             raise ProtocolError(
                 f"{len(self._buf) - self._pos} trailing bytes after a "

@@ -18,7 +18,10 @@ The serving subsystem moves models from training to traffic:
 * :class:`ServingFrontend` / :class:`FrontendHandle` — the asyncio
   socket server (plus HTTP ops adapter) that exposes the API to remote
   :class:`~repro.client.PriveHDClient` connections without ever seeing
-  raw features or codebooks.
+  raw features or codebooks;
+* :class:`WorkerPool` — K acceptor processes sharing one listen address
+  via ``SO_REUSEPORT``, each mmap-loading the same artifact read-only,
+  hot-swapped fleet-wide over a control channel.
 """
 
 from repro.serve.api import ServingAPI
@@ -31,6 +34,7 @@ from repro.serve.artifact import (
 from repro.serve.bench import ThroughputResult, make_serving_fixture, run_throughput
 from repro.serve.engine import InferenceEngine
 from repro.serve.frontend import FrontendHandle, ServingFrontend
+from repro.serve.pool import WorkerPool
 from repro.serve.registry import ModelRegistry, ModelVersion
 from repro.serve.scheduler import (
     MicroBatchConfig,
@@ -54,6 +58,7 @@ __all__ = [
     "ServingAPI",
     "ServingFrontend",
     "FrontendHandle",
+    "WorkerPool",
     "ThroughputResult",
     "make_serving_fixture",
     "run_throughput",

@@ -34,7 +34,13 @@ from pathlib import Path
 import numpy as np
 
 from repro.backend.packed import PackedHV
-from repro.proto.messages import ModelInfo, ScoreRequest, ScoreResponse
+from repro.proto.messages import (
+    ModelInfo,
+    ScoreBatchRequest,
+    ScoreBatchResponse,
+    ScoreRequest,
+    ScoreResponse,
+)
 from repro.serve.artifact import ModelArtifact
 from repro.serve.registry import ModelRegistry
 from repro.serve.scheduler import MicroBatchConfig
@@ -80,16 +86,19 @@ class ServingAPI:
         name: str = "model",
         config: MicroBatchConfig | None = None,
         engine_kwargs: dict | None = None,
+        mmap: bool = False,
     ) -> "ServingAPI":
         """Serve one artifact (object or directory path) under ``name``.
 
         All engine construction happens inside
         :meth:`~repro.serve.ModelArtifact.engine` — callers never touch
         ``store_is_quantized``, ``keep_mask``, or backend plumbing.
+        ``mmap=True`` (paths only) maps the tensors read-only instead of
+        copying them, so co-hosted processes share pages.
         """
         registry = ModelRegistry()
         if isinstance(artifact, (str, Path)):
-            registry.load(name, artifact, engine_kwargs=engine_kwargs)
+            registry.load(name, artifact, engine_kwargs=engine_kwargs, mmap=mmap)
         else:
             registry.publish(name, artifact, engine_kwargs=engine_kwargs)
         return cls(registry, default_model=name, config=config)
@@ -106,6 +115,7 @@ class ServingAPI:
 
     @property
     def default_model(self) -> str | None:
+        """Name served when a call omits ``model=`` (``None`` = unset)."""
         return self._server.default_model
 
     # ------------------------------------------------------------------
@@ -142,16 +152,70 @@ class ServingAPI:
         """Answer one typed request synchronously."""
         return self.submit_score(request).result()
 
-    def submit_score(self, request: ScoreRequest) -> Future:
-        """Answer one typed request; resolves to a :class:`ScoreResponse`.
+    def score_batch(self, request: ScoreBatchRequest) -> ScoreBatchResponse:
+        """Answer one typed batch request synchronously."""
+        return self.submit_score_batch(request).result()
 
-        Packed bit-plane queries stay packed through the micro-batcher
-        (their uint64 planes ride the scheduler as plane rows, 16x
-        smaller than dense, and the packed backend consumes the rebuilt
-        batch natively — no unpack/repack on the hot path).  Raises
+    def _submit_queries(self, queries, model, want_scores, d_hv):
+        """Shared submit plumbing: resolve, shape-check, enqueue once.
+
+        Returns ``(name, method, raw_future)``; packed bit-plane queries
+        stay packed through the micro-batcher (their uint64 planes ride
+        the scheduler as plane rows, 16x smaller than dense, and the
+        packed backend consumes the rebuilt batch natively).  Raises
         ``KeyError`` for unknown models and ``ValueError`` for shape
         mismatches (the frontend maps these to typed
-        :class:`ErrorReply` codes).
+        :class:`~repro.proto.ErrorReply` codes).
+        """
+        name = self._server.resolve_name(model)
+        record = self.registry.describe(name)
+        engine = record.engine
+        if d_hv != engine.d_hv:
+            raise ValueError(
+                f"queries have {d_hv} dimensions but model "
+                f"{name!r} serves {engine.d_hv}"
+            )
+        if isinstance(queries, PackedHV):
+            method = "scores_packed" if want_scores else "predict_packed"
+            raw = self._server.submit_packed(
+                queries, model=name, want_scores=want_scores
+            )
+        else:
+            method = "scores" if want_scores else "predict"
+            raw = self._server.submit(queries, model=name, method=method)
+        return name, method, raw
+
+    def _finish_response(self, raw: Future, name, method, build) -> Future:
+        """Chain a raw scheduler future into a typed-response future.
+
+        ``build(result, version)`` constructs the response message; it
+        runs in the flusher thread right after the flush that scored
+        the rows, so ``flushed_version`` is exactly the version that
+        answered — even when a hot-swap landed between submit and
+        flush.
+        """
+        response: Future = Future()
+        response.set_running_or_notify_cancel()
+
+        def _finish(fut: Future):
+            exc = fut.exception()
+            if exc is not None:
+                response.set_exception(exc)
+                return
+            result = fut.result()
+            try:
+                version = self._server.flushed_version(name, method)
+                resp = build(result, version)
+            except Exception as build_exc:  # noqa: BLE001 — forwarded
+                response.set_exception(build_exc)
+                return
+            response.set_result(resp)
+
+        raw.add_done_callback(_finish)
+        return response
+
+    def submit_score(self, request: ScoreRequest) -> Future:
+        """Answer one typed request; resolves to a :class:`ScoreResponse`.
 
         The response's ``version`` is the version that actually scored
         the flush, even if a hot-swap landed between submit and flush.
@@ -160,64 +224,64 @@ class ServingAPI:
         mid-flight, the flush fails loudly and every affected request
         gets a typed error rather than silently wrong shapes.
         """
-        name = self._server.resolve_name(request.model)
-        record = self.registry.describe(name)
-        engine = record.engine
-        if request.d_hv != engine.d_hv:
-            raise ValueError(
-                f"queries have {request.d_hv} dimensions but model "
-                f"{name!r} serves {engine.d_hv}"
-            )
-        queries = request.queries
-        if isinstance(queries, PackedHV):
-            method = (
-                "scores_packed" if request.want_scores else "predict_packed"
-            )
-            raw = self._server.submit_packed(
-                queries, model=name, want_scores=request.want_scores
-            )
-        else:
-            method = "scores" if request.want_scores else "predict"
-            raw = self._server.submit(queries, model=name, method=method)
+        name, method, raw = self._submit_queries(
+            request.queries, request.model, request.want_scores, request.d_hv
+        )
 
-        response: Future = Future()
-        response.set_running_or_notify_cancel()
+        def build(result, version):
+            if request.want_scores:
+                scores = np.atleast_2d(np.asarray(result))
+                return ScoreResponse(
+                    predictions=np.argmax(scores, axis=1),
+                    scores=scores,
+                    model=name,
+                    version=version,
+                    request_id=request.request_id,
+                )
+            return ScoreResponse(
+                predictions=np.atleast_1d(np.asarray(result)),
+                model=name,
+                version=version,
+                request_id=request.request_id,
+            )
 
-        def _finish(fut: Future, _req=request, _name=name, _method=method):
-            exc = fut.exception()
-            if exc is not None:
-                response.set_exception(exc)
-                return
-            result = fut.result()
-            try:
-                # This callback runs in the flusher thread right after
-                # the flush that scored us, so flushed_version is
-                # exactly the version that answered — even when a
-                # hot-swap landed between submit and flush.
-                version = self._server.flushed_version(_name, _method)
-                if _req.want_scores:
-                    scores = np.atleast_2d(np.asarray(result))
-                    resp = ScoreResponse(
-                        predictions=np.argmax(scores, axis=1),
-                        scores=scores,
-                        model=_name,
-                        version=version,
-                        request_id=_req.request_id,
-                    )
-                else:
-                    resp = ScoreResponse(
-                        predictions=np.atleast_1d(np.asarray(result)),
-                        model=_name,
-                        version=version,
-                        request_id=_req.request_id,
-                    )
-            except Exception as build_exc:  # noqa: BLE001 — forwarded
-                response.set_exception(build_exc)
-                return
-            response.set_result(resp)
+        return self._finish_response(raw, name, method, build)
 
-        raw.add_done_callback(_finish)
-        return response
+    def submit_score_batch(self, request: ScoreBatchRequest) -> Future:
+        """Answer one v2 batch frame; resolves to a
+        :class:`ScoreBatchResponse`.
+
+        This is the whole point of the batched wire: the N logical
+        sub-requests stacked into ``request`` cost *one* scheduler
+        submit (one future, one wakeup, one flush slot) instead of N —
+        the response echoes ``counts`` so the client scatters the block
+        back itself.  Every row is scored by one consistent registry
+        version, exactly as for :meth:`submit_score`.
+        """
+        name, method, raw = self._submit_queries(
+            request.queries, request.model, request.want_scores, request.d_hv
+        )
+
+        def build(result, version):
+            if request.want_scores:
+                scores = np.atleast_2d(np.asarray(result))
+                return ScoreBatchResponse(
+                    predictions=np.argmax(scores, axis=1),
+                    counts=request.counts,
+                    scores=scores,
+                    model=name,
+                    version=version,
+                    request_id=request.request_id,
+                )
+            return ScoreBatchResponse(
+                predictions=np.atleast_1d(np.asarray(result)),
+                counts=request.counts,
+                model=name,
+                version=version,
+                request_id=request.request_id,
+            )
+
+        return self._finish_response(raw, name, method, build)
 
     def info(
         self, model: str | None = None, *, request_id: int = 0
@@ -231,6 +295,7 @@ class ServingAPI:
             n_live = artifact.n_live_dims
             quantizer = artifact.query_quantizer
             epsilon = artifact.epsilon
+            mask_seed = artifact.mask_seed
         else:
             mask = engine.keep_mask
             n_live = engine.d_hv if mask is None else int(mask.sum())
@@ -238,6 +303,7 @@ class ServingAPI:
                 engine.quantizer.name if engine.quantizer is not None else None
             )
             epsilon = float("inf")
+            mask_seed = None
         return ModelInfo(
             name=name,
             version=record.version,
@@ -247,6 +313,7 @@ class ServingAPI:
             backend=engine.backend.name,
             query_quantizer=quantizer,
             epsilon=epsilon,
+            mask_seed=mask_seed,
             request_id=request_id,
         )
 

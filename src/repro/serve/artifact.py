@@ -72,6 +72,60 @@ def _checksum(arr: np.ndarray) -> str:
     return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
 
 
+def _mmap_npz(path: Path) -> dict[str, np.ndarray] | None:
+    """Read-only memory maps of an *uncompressed* npz's arrays.
+
+    An npz is a zip archive of ``.npy`` members; when the members are
+    stored (not deflated — :meth:`ModelArtifact.save`'s default), every
+    array's raw buffer sits at a fixed byte offset inside the file and
+    can be mapped in place: each entry's local zip header gives the
+    ``.npy`` start, the ``.npy`` header gives dtype/shape, and
+    ``np.memmap(..., mode="r")`` does the rest.  Returns ``None``
+    whenever the layout does not support mapping (compressed members,
+    Fortran order, unknown npy versions) — callers fall back to a
+    regular load, so this is an optimization, never a requirement.
+    """
+    import zipfile
+
+    try:
+        arrays: dict[str, np.ndarray] = {}
+        with open(path, "rb") as f:
+            with zipfile.ZipFile(f) as zf:
+                infos = zf.infolist()
+            if any(i.compress_type != zipfile.ZIP_STORED for i in infos):
+                return None
+            for info in infos:
+                f.seek(info.header_offset)
+                local = f.read(30)
+                if len(local) < 30 or local[:4] != b"PK\x03\x04":
+                    return None
+                name_len = int.from_bytes(local[26:28], "little")
+                extra_len = int.from_bytes(local[28:30], "little")
+                f.seek(info.header_offset + 30 + name_len + extra_len)
+                version = np.lib.format.read_magic(f)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(f)
+                elif version == (2, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(f)
+                else:
+                    return None
+                if fortran or dtype.hasobject:
+                    return None
+                name = info.filename
+                if name.endswith(".npy"):
+                    name = name[: -len(".npy")]
+                arrays[name] = np.memmap(
+                    path,
+                    mode="r",
+                    dtype=dtype,
+                    shape=tuple(shape),
+                    offset=f.tell(),
+                )
+        return arrays
+    except (OSError, ValueError, zipfile.BadZipFile):
+        return None
+
+
 @dataclass(frozen=True)
 class ModelArtifact:
     """A servable model snapshot: tensors + manifest, nothing else needed.
@@ -93,6 +147,15 @@ class ModelArtifact:
         build time; :meth:`engine` uses it unless overridden.
     keep_mask:
         Live-dimension mask of a pruned model, or ``None``.
+    mask_seed:
+        The deployment seed the keep-mask was drawn from
+        (:func:`repro.hd.prune.mask_from_seed` /
+        :class:`~repro.core.inference_privacy.ObfuscationConfig`
+        ``mask_seed``), or ``None`` when the mask has no seed (e.g. an
+        effectuality-pruned model) or there is no mask.  Recorded so
+        the server can hand clients the mask *derivation* over the wire
+        (protocol v2 :class:`~repro.proto.ModelInfo`) instead of a
+        side channel; verified against ``keep_mask`` at build time.
     encoder_config:
         :meth:`~repro.hd.encoder.Encoder.config` dict, or ``None`` when
         the artifact serves pre-encoded queries only.
@@ -110,6 +173,7 @@ class ModelArtifact:
     store_quantizer: str | None = None
     backend: str = "dense"
     keep_mask: np.ndarray | None = None
+    mask_seed: int | None = None
     encoder_config: dict | None = None
     privacy: dict | None = None
     metadata: dict = field(default_factory=dict)
@@ -130,14 +194,20 @@ class ModelArtifact:
                     f"got {keep.shape}"
                 )
             object.__setattr__(self, "keep_mask", keep)
+        if self.mask_seed is not None and self.keep_mask is None:
+            raise ArtifactError(
+                "mask_seed makes no sense without a keep_mask"
+            )
 
     # ------------------------------------------------------------------
     @property
     def n_classes(self) -> int:
+        """Number of classes in the stored class store."""
         return int(self.class_hvs.shape[0])
 
     @property
     def d_hv(self) -> int:
+        """Hypervector dimensionality of the stored class store."""
         return int(self.class_hvs.shape[1])
 
     @property
@@ -172,6 +242,7 @@ class ModelArtifact:
         backend: str | Backend = "dense",
         encoder: Encoder | None = None,
         keep_mask: np.ndarray | None = None,
+        mask_seed: int | None = None,
         privacy: dict | None = None,
         metadata: dict | None = None,
     ) -> "ModelArtifact":
@@ -184,6 +255,13 @@ class ModelArtifact:
         ``InferenceEngine(model, quantizer=...)`` would have served.
         Pass ``store_quantizer=None`` to ship the store as trained
         (e.g. the full-precision noisy store of a DP release).
+
+        ``mask_seed`` records the deployment seed a random §III-C
+        ``keep_mask`` was drawn from; it is verified here to regenerate
+        exactly ``keep_mask`` (via
+        :func:`repro.hd.prune.mask_from_seed`), so the seed a v2
+        :class:`~repro.proto.ModelInfo` later hands to clients is
+        guaranteed to reproduce the served mask.
         """
         if encoder is not None and encoder.d_hv != model.d_hv:
             raise ArtifactError(
@@ -204,6 +282,20 @@ class ModelArtifact:
             # level, e.g. bipolar sends 0 to +1).
             keep = np.asarray(keep_mask, dtype=bool)
             class_hvs = class_hvs * keep
+            if mask_seed is not None:
+                from repro.hd.prune import mask_from_seed
+
+                n_masked = int(keep.size - keep.sum())
+                if not np.array_equal(
+                    mask_from_seed(keep.size, n_masked, mask_seed), keep
+                ):
+                    raise ArtifactError(
+                        f"mask_seed={mask_seed} does not regenerate the "
+                        "given keep_mask; clients handed this seed would "
+                        "mask the wrong dimensions"
+                    )
+        elif mask_seed is not None:
+            raise ArtifactError("mask_seed makes no sense without a keep_mask")
         be = get_backend(backend)
         if not be.supports(class_hvs):
             raise ArtifactError(
@@ -218,6 +310,7 @@ class ModelArtifact:
             store_quantizer=store_name,
             backend=be.name,
             keep_mask=keep_mask,
+            mask_seed=mask_seed,
             encoder_config=None if encoder is None else encoder.config(),
             privacy=privacy,
             metadata=dict(metadata or {}),
@@ -250,33 +343,49 @@ class ModelArtifact:
             "backend": self.backend,
             "query_quantizer": self.query_quantizer,
             "store_quantizer": self.store_quantizer,
+            "mask_seed": self.mask_seed,
             "encoder": self.encoder_config,
             "privacy": self.privacy,
             "metadata": self.metadata,
             "tensors": tensors,
         }
 
-    def save(self, path: str | Path) -> Path:
+    def save(self, path: str | Path, *, compress: bool = False) -> Path:
         """Write the artifact directory (``manifest.json`` + ``tensors.npz``).
 
         The tensors are written first and the manifest last, so a
         directory with a readable manifest always has its tensors in
-        place.
+        place.  By default the npz members are *stored* uncompressed so
+        :meth:`load` with ``mmap=True`` can map the class store straight
+        off disk (K serving workers then share one set of page-cache
+        pages instead of K heap copies); ``compress=True`` trades that
+        for a smaller file.
         """
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
         arrays = {"class_hvs": self.class_hvs}
         if self.keep_mask is not None:
             arrays["keep_mask"] = self.keep_mask
-        np.savez_compressed(path / TENSORS_FILENAME, **arrays)
+        writer = np.savez_compressed if compress else np.savez
+        writer(path / TENSORS_FILENAME, **arrays)
         (path / MANIFEST_FILENAME).write_text(
             json.dumps(self.manifest(), indent=2, sort_keys=True) + "\n"
         )
         return path
 
     @classmethod
-    def load(cls, path: str | Path) -> "ModelArtifact":
-        """Read an artifact directory back, verifying checksums."""
+    def load(cls, path: str | Path, *, mmap: bool = False) -> "ModelArtifact":
+        """Read an artifact directory back, verifying checksums.
+
+        With ``mmap=True``, tensors saved uncompressed (the
+        :meth:`save` default) come back as *read-only memory maps* of
+        the npz file instead of heap copies: checksum verification
+        still reads every byte once, but the pages are file-backed, so
+        any number of processes serving the same artifact — a
+        :class:`~repro.serve.WorkerPool` — share one physical copy
+        through the page cache.  Compressed artifacts fall back to a
+        regular in-memory load.
+        """
         path = Path(path)
         manifest_path = path / MANIFEST_FILENAME
         if not manifest_path.is_file():
@@ -294,9 +403,14 @@ class ModelArtifact:
                 f"v{ARTIFACT_FORMAT_VERSION}"
             )
         declared = manifest.get("tensors", {})
-        with np.load(path / TENSORS_FILENAME) as data:
-            class_hvs = data["class_hvs"]
-            keep_mask = data["keep_mask"] if "keep_mask" in data else None
+        arrays = _mmap_npz(path / TENSORS_FILENAME) if mmap else None
+        if arrays is not None:
+            class_hvs = arrays["class_hvs"]
+            keep_mask = arrays.get("keep_mask")
+        else:
+            with np.load(path / TENSORS_FILENAME) as data:
+                class_hvs = data["class_hvs"]
+                keep_mask = data["keep_mask"] if "keep_mask" in data else None
         for name, arr in (("class_hvs", class_hvs), ("keep_mask", keep_mask)):
             if arr is None:
                 continue
@@ -314,12 +428,14 @@ class ModelArtifact:
                     f"checksum mismatch on tensor {name!r} — the artifact "
                     "is corrupt or was modified after saving"
                 )
+        mask_seed = manifest.get("mask_seed")
         return cls(
             class_hvs=class_hvs,
             query_quantizer=manifest.get("query_quantizer"),
             store_quantizer=manifest.get("store_quantizer"),
             backend=manifest.get("backend", "dense"),
             keep_mask=keep_mask,
+            mask_seed=None if mask_seed is None else int(mask_seed),
             encoder_config=manifest.get("encoder"),
             privacy=manifest.get("privacy"),
             metadata=manifest.get("metadata", {}),

@@ -51,6 +51,7 @@ from repro.proto.messages import (
     ErrorReply,
     Hello,
     ModelInfoRequest,
+    ScoreBatchRequest,
     ScoreRequest,
     Welcome,
     decode_message,
@@ -60,6 +61,7 @@ from repro.proto.wire import (
     DEFAULT_MAX_FRAME_BYTES,
     HEADER_SIZE,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     Frame,
     FrameType,
     ProtocolError,
@@ -96,6 +98,15 @@ class ServingFrontend:
         (or never-reading) client can pin server-side.
     name:
         Server identification sent in the :class:`Welcome` frame.
+    reuse_port:
+        Bind with ``SO_REUSEPORT`` so several frontends — the acceptor
+        processes of a :class:`~repro.serve.WorkerPool` — can listen on
+        one address and let the kernel balance connections across them.
+    supported_versions:
+        Protocol versions this server negotiates (default: everything
+        this build speaks).  Pinning ``(1,)`` serves v2 clients in the
+        v1 dialect — the downgrade path the cross-version tests
+        exercise.
     """
 
     def __init__(
@@ -108,6 +119,8 @@ class ServingFrontend:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         max_inflight: int = 64,
         name: str = "prive-hd",
+        reuse_port: bool = False,
+        supported_versions: tuple[int, ...] | None = None,
     ):
         self.api = api
         self.host = host
@@ -116,6 +129,12 @@ class ServingFrontend:
         self.max_frame_bytes = max_frame_bytes
         self.max_inflight = max_inflight
         self.name = name
+        self.reuse_port = reuse_port
+        self.supported_versions = (
+            tuple(SUPPORTED_VERSIONS)
+            if supported_versions is None
+            else tuple(sorted(int(v) for v in supported_versions))
+        )
         self.connections_served = 0
         self.frames_rejected = 0
         self._server: asyncio.AbstractServer | None = None
@@ -128,8 +147,9 @@ class ServingFrontend:
     # ------------------------------------------------------------------
     async def start(self) -> tuple[str, int]:
         """Bind both listeners; returns the protocol ``(host, port)``."""
+        kwargs = {"reuse_port": True} if self.reuse_port else {}
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection, self.host, self.port, **kwargs
         )
         if self.http_port is not None:
             self._http_server = await asyncio.start_server(
@@ -336,7 +356,9 @@ class ServingFrontend:
             )
             return None
         hello = decode_message(frame)
-        version = negotiate_version(hello.versions)
+        version = negotiate_version(
+            hello.versions, supported=self.supported_versions
+        )
         if version is None:
             await self._send(
                 writer,
@@ -345,7 +367,7 @@ class ServingFrontend:
                     code="unsupported-version",
                     message=(
                         f"client speaks {list(hello.versions)}, server "
-                        f"speaks {list(self._supported())}"
+                        f"speaks {list(self.supported_versions)}"
                     ),
                 ),
             )
@@ -361,12 +383,6 @@ class ServingFrontend:
             version=version,
         )
         return version
-
-    @staticmethod
-    def _supported() -> tuple[int, ...]:
-        from repro.proto.wire import SUPPORTED_VERSIONS
-
-        return SUPPORTED_VERSIONS
 
     def _dispatch(
         self,
@@ -389,10 +405,18 @@ class ServingFrontend:
         request_id = 0
         try:
             message = decode_message(frame)
-            if isinstance(message, ScoreRequest):
+            if isinstance(message, (ScoreRequest, ScoreBatchRequest)):
+                # One frame -> one scheduler submit, for both shapes: a
+                # ScoreBatchRequest amortizes this dispatch (and the
+                # completion wakeup below) over its N stacked
+                # sub-requests, which is what closes the gap between
+                # the socket path and the in-process server.
                 request_id = message.request_id
                 loop = asyncio.get_running_loop()
-                future = self.api.submit_score(message)
+                if isinstance(message, ScoreBatchRequest):
+                    future = self.api.submit_score_batch(message)
+                else:
+                    future = self.api.submit_score(message)
                 future.add_done_callback(
                     lambda f: loop.call_soon_threadsafe(
                         self._write_completion,

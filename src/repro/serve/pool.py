@@ -1,0 +1,458 @@
+"""Multi-process serving: K acceptor workers behind one address.
+
+A single :class:`~repro.serve.ServingFrontend` tops out when its event
+loop saturates — every connection's frame decode and scheduler submit
+runs on one loop, on one core.  :class:`WorkerPool` scales past that by
+running **K independent acceptor processes** that all listen on the
+*same* ``host:port`` via ``SO_REUSEPORT``: the kernel hashes incoming
+connections across the listening sockets, so each worker owns a slice
+of the connections end-to-end (accept → decode → micro-batch → score →
+respond) with no shared locks, no proxy hop, and no GIL contention
+between slices.
+
+Sharing the model without sharing memory bugs
+---------------------------------------------
+Every worker loads the same checksum-verified
+:class:`~repro.serve.ModelArtifact` directory *read-only* with
+``mmap=True``: the npz tensors are memory-mapped, so K workers touch one
+physical copy of the class store through the page cache instead of K
+heap copies.  Nothing about serving is shared mutable state — each
+worker has its own registry, scheduler, and engine — which is exactly
+why hot-swap stays race-free.
+
+Control channel
+---------------
+The parent keeps a pipe to every worker.  ``load``/``promote`` are
+broadcast to all workers and each applies the registry operation
+locally — the per-worker swap is the same atomic, zero-dropped-request
+promote a single server does, and the parent collects one ack per
+worker so a deployment knows when the fleet is consistent.  ``stats``
+aggregates the per-worker scheduler counters; ``stop`` shuts the
+listeners down gracefully.
+
+    >>> with WorkerPool("artifacts/isolet", workers=4, port=7411) as pool:
+    ...     pool.address                      # ("127.0.0.1", 7411)
+    ...     pool.load("artifacts/isolet-v2")  # hot-swap on every worker
+    ...     pool.stats()                      # one entry per worker
+
+``prive-hd serve ARTIFACT --listen host:port --workers K`` is the CLI
+spelling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import time
+from pathlib import Path
+
+from repro.proto.wire import DEFAULT_MAX_FRAME_BYTES
+from repro.serve.scheduler import MicroBatchConfig
+
+__all__ = ["WorkerPool"]
+
+
+def _worker_main(
+    artifact_path: str,
+    name: str,
+    host: str,
+    port: int,
+    conn,
+    config: MicroBatchConfig | None,
+    mmap: bool,
+    max_frame_bytes: int,
+    supported_versions: tuple[int, ...] | None,
+) -> None:
+    """One acceptor process: frontend + registry + control-pipe listener.
+
+    Runs until a ``stop`` command (or parent death — pipe EOF) arrives.
+    Control commands execute on the event loop thread, so a ``load``'s
+    registry swap is ordered with connection handling exactly like an
+    in-process promote: batches in flight finish on their version, the
+    next flush resolves the new one, zero requests dropped.
+    """
+    import asyncio
+
+    from repro.serve.api import ServingAPI
+    from repro.serve.frontend import ServingFrontend
+
+    try:
+        api = ServingAPI.from_artifact(
+            artifact_path, name=name, config=config, mmap=mmap
+        )
+    except BaseException as exc:  # noqa: BLE001 — reported to the parent
+        conn.send({"ready": False, "error": f"{type(exc).__name__}: {exc}"})
+        conn.close()
+        return
+
+    async def _run() -> None:
+        frontend = ServingFrontend(
+            api,
+            host=host,
+            port=port,
+            max_frame_bytes=max_frame_bytes,
+            reuse_port=True,
+            supported_versions=supported_versions,
+        )
+        try:
+            await frontend.start()
+        except BaseException as exc:  # noqa: BLE001 — reported to the parent
+            conn.send(
+                {"ready": False, "error": f"{type(exc).__name__}: {exc}"}
+            )
+            return
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+
+        def on_command() -> None:
+            try:
+                command = conn.recv()
+            except (EOFError, OSError):
+                # Parent is gone; shut down rather than orphan the port.
+                stopping.set()
+                return
+            op = command.get("op")
+            seq = command.get("seq")
+
+            def send_reply(payload: dict) -> None:
+                payload["seq"] = seq  # parent matches replies to commands
+                try:
+                    conn.send(payload)
+                except (BrokenPipeError, OSError):
+                    stopping.set()
+
+            if op == "load":
+                # The disk read + SHA-256 verify + engine prep of a big
+                # artifact must not stall this worker's event loop (and
+                # with it every in-flight connection): run it on a
+                # thread; only the registry's promote — a dict swap
+                # under its own lock — lands synchronously inside it.
+                async def do_load() -> None:
+                    try:
+                        version = await loop.run_in_executor(
+                            None,
+                            lambda: api.registry.load(
+                                command.get("model") or name,
+                                command["path"],
+                                mmap=mmap,
+                            ),
+                        )
+                        send_reply({"ok": True, "version": version})
+                    except Exception as exc:  # noqa: BLE001 — reported
+                        send_reply(
+                            {"ok": False,
+                             "error": f"{type(exc).__name__}: {exc}"}
+                        )
+
+                loop.create_task(do_load())
+                return
+            try:
+                if op == "stop":
+                    reply = {"ok": True}
+                    stopping.set()
+                elif op == "ping":
+                    reply = {"ok": True, "pid": multiprocessing.current_process().pid}
+                elif op == "promote":
+                    api.registry.promote(
+                        command.get("model") or name, command["version"]
+                    )
+                    reply = {"ok": True}
+                elif op == "stats":
+                    reply = {
+                        "ok": True,
+                        "stats": api.stats(),
+                        "connections_served": frontend.connections_served,
+                    }
+                else:
+                    reply = {"ok": False, "error": f"unknown op {op!r}"}
+            except Exception as exc:  # noqa: BLE001 — reported, not fatal
+                reply = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            send_reply(reply)
+
+        loop.add_reader(conn.fileno(), on_command)
+        conn.send({"ready": True, "port": frontend.address[1]})
+        try:
+            await stopping.wait()
+        finally:
+            loop.remove_reader(conn.fileno())
+            await frontend.stop()
+
+    try:
+        asyncio.run(_run())
+    finally:
+        api.close()
+        conn.close()
+
+
+class WorkerPool:
+    """K acceptor processes serving one artifact behind one address.
+
+    Parameters
+    ----------
+    artifact_path:
+        Directory of the :class:`~repro.serve.ModelArtifact` every
+        worker loads (checksum-verified, read-only).
+    name:
+        Registry name the artifact is served under in each worker.
+    workers:
+        Acceptor process count.  Aggregate throughput scales with
+        available cores until the engines saturate them; on a
+        single-core host K workers time-share one core and the pool
+        buys isolation, not speed.
+    host, port:
+        Shared listen address.  ``port=0`` picks a free port once (the
+        parent reserves it with an ``SO_REUSEPORT`` placeholder bind)
+        and every worker binds it.
+    config:
+        Micro-batching flush policy for each worker's scheduler.
+    mmap:
+        Memory-map the artifact tensors (default) so the workers share
+        one page-cache copy of the class store; ``False`` gives each
+        worker a private heap copy.
+    max_frame_bytes:
+        Per-frame payload cap forwarded to each worker's frontend.
+    supported_versions:
+        Protocol versions each worker negotiates (default: all).
+    start_timeout_s:
+        Seconds to wait for every worker to come up before failing.
+
+    Raises
+    ------
+    RuntimeError
+        If the platform lacks ``SO_REUSEPORT`` or a worker fails to
+        start (the failure message is forwarded).
+    """
+
+    def __init__(
+        self,
+        artifact_path: str | Path,
+        *,
+        name: str = "model",
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: MicroBatchConfig | None = None,
+        mmap: bool = True,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        supported_versions: tuple[int, ...] | None = None,
+        start_timeout_s: float = 60.0,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if not hasattr(socket, "SO_REUSEPORT"):
+            raise RuntimeError(
+                "WorkerPool needs SO_REUSEPORT, which this platform "
+                "does not provide; run a single ServingFrontend instead"
+            )
+        self.artifact_path = str(artifact_path)
+        self.name = name
+        self.workers = workers
+        self.host = host
+        self._placeholder: socket.socket | None = None
+        if port == 0:
+            # Reserve a concrete port for the whole fleet: a bound (but
+            # never listening) SO_REUSEPORT socket keeps the number ours
+            # without receiving any connections.
+            self._placeholder = socket.socket(
+                socket.AF_INET, socket.SOCK_STREAM
+            )
+            self._placeholder.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+            )
+            self._placeholder.bind((host, 0))
+            port = self._placeholder.getsockname()[1]
+        self.port = port
+        self._stopped = False
+        self._seq = 0
+        # spawn, not fork: each worker gets a clean interpreter (no
+        # inherited locks or event loops), and the page-cache sharing
+        # comes from mmap rather than fork-time copy-on-write.
+        ctx = multiprocessing.get_context("spawn")
+        self._procs: list = []
+        self._conns: list = []
+        try:
+            for _ in range(workers):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        self.artifact_path,
+                        name,
+                        host,
+                        port,
+                        child_conn,
+                        config,
+                        mmap,
+                        max_frame_bytes,
+                        supported_versions,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+            for index, conn in enumerate(self._conns):
+                if not conn.poll(start_timeout_s):
+                    raise RuntimeError(
+                        f"worker {index} did not start within "
+                        f"{start_timeout_s}s"
+                    )
+                ready = conn.recv()
+                if not ready.get("ready"):
+                    raise RuntimeError(
+                        f"worker {index} failed to start: "
+                        f"{ready.get('error', 'unknown error')}"
+                    )
+        except BaseException:
+            self.stop()
+            raise
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The shared ``(host, port)`` every worker listens on."""
+        return self.host, self.port
+
+    @staticmethod
+    def _recv_matching(conn, seq: int, deadline: float):
+        """The reply whose ``seq`` matches, or ``None`` on timeout/EOF.
+
+        Replies to *earlier* commands that timed out may still be
+        sitting in the pipe; the sequence number lets us discard them
+        instead of mis-attributing them to the current command (which
+        would leave the channel off by one forever).
+        """
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            try:
+                if not conn.poll(remaining):
+                    return None
+                reply = conn.recv()
+            except (EOFError, OSError):
+                return None
+            if reply.get("seq") == seq:
+                return reply
+            # stale reply from a previously timed-out command: drop it
+
+    def _broadcast(self, command: dict, *, timeout_s: float = 60.0) -> list:
+        """Send one control command to every worker; collect the acks.
+
+        Raises ``RuntimeError`` naming each worker whose reply was an
+        error or that timed out — a partially-applied fleet operation is
+        loud, never silent.
+        """
+        if self._stopped:
+            raise RuntimeError("pool is stopped")
+        self._seq += 1
+        command = dict(command, seq=self._seq)
+        for conn in self._conns:
+            conn.send(command)
+        deadline = time.monotonic() + timeout_s
+        replies = []
+        failures = []
+        for index, conn in enumerate(self._conns):
+            reply = self._recv_matching(conn, self._seq, deadline)
+            replies.append(reply)
+            if reply is None:
+                failures.append(f"worker {index}: no reply in {timeout_s}s")
+            elif not reply.get("ok"):
+                failures.append(
+                    f"worker {index}: {reply.get('error', 'unknown error')}"
+                )
+        if failures:
+            raise RuntimeError(
+                f"{command.get('op')} failed on {len(failures)}/"
+                f"{len(self._conns)} workers: " + "; ".join(failures)
+            )
+        return replies
+
+    # ------------------------------------------------------------------
+    # fleet-wide registry operations
+    # ------------------------------------------------------------------
+    def ping(self) -> list[int]:
+        """Liveness check; returns each worker's PID."""
+        return [r["pid"] for r in self._broadcast({"op": "ping"})]
+
+    def load(self, path: str | Path, *, model: str | None = None) -> int:
+        """Hot-swap every worker to a new artifact directory.
+
+        Each worker loads (checksum-verified) and promotes the artifact
+        through its local registry — the same atomic swap a single
+        server does, so no worker drops a request.  Returns the version
+        number the fleet converged on; raises if any worker failed or
+        the workers disagree (which would mean their registries have
+        diverged).
+        """
+        replies = self._broadcast(
+            {"op": "load", "path": str(path), "model": model}
+        )
+        versions = sorted({r["version"] for r in replies})
+        if len(versions) != 1:
+            raise RuntimeError(
+                f"workers diverged: new artifact got versions {versions}"
+            )
+        return versions[0]
+
+    def promote(self, version: int, *, model: str | None = None) -> None:
+        """Atomically point every worker at an already-loaded version.
+
+        The rollback path: after ``load`` bumped the fleet to vN,
+        ``promote(vN-1)`` swings every worker back with zero dropped
+        requests.
+        """
+        self._broadcast(
+            {"op": "promote", "version": int(version), "model": model}
+        )
+
+    def stats(self) -> list[dict]:
+        """Per-worker scheduler counters + connections served."""
+        return [
+            {
+                "stats": r["stats"],
+                "connections_served": r["connections_served"],
+            }
+            for r in self._broadcast({"op": "stats"})
+        ]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def stop(self, *, timeout_s: float = 30.0) -> None:
+        """Stop every worker and release the shared port (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._seq += 1
+        for conn in self._conns:
+            try:
+                conn.send({"op": "stop", "seq": self._seq})
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + timeout_s
+        for conn in self._conns:
+            self._recv_matching(conn, self._seq, deadline)
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=timeout_s)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5.0)
+        if self._placeholder is not None:
+            self._placeholder.close()
+            self._placeholder = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "stopped" if self._stopped else f"{self.workers} workers"
+        return (
+            f"WorkerPool({self.artifact_path!r}, {state}, "
+            f"{self.host}:{self.port})"
+        )

@@ -160,16 +160,21 @@ class ModelRegistry:
         *,
         promote: bool = True,
         engine_kwargs: dict | None = None,
+        mmap: bool = False,
     ) -> int:
         """Load an artifact directory from disk and :meth:`publish` it.
 
         The path is recorded on the version, which makes it evictable:
         :meth:`retire` can drop its in-memory store and a later rollback
-        reloads it from here.
+        reloads it from here.  ``mmap=True`` maps the tensors read-only
+        instead of copying them onto the heap (see
+        :meth:`ModelArtifact.load`) — what each
+        :class:`~repro.serve.WorkerPool` worker does so K processes
+        share one page-cache copy of the class store.
         """
         return self.publish(
             name,
-            ModelArtifact.load(path),
+            ModelArtifact.load(path, mmap=mmap),
             promote=promote,
             engine_kwargs=engine_kwargs,
             source_path=path,

@@ -213,7 +213,10 @@ class TestStructuralEnforcement:
 
     def test_server_never_receives_an_encoder_config(self, served, encoder):
         """ModelInfo — the only metadata the server sends — carries no
-        encoder config, seed, or codebook field."""
+        encoder config, seed, or codebook field.  (``mask_seed`` is the
+        *deployment mask* seed, deliberately public: it regenerates only
+        which server-side dimensions are dead — information the server
+        holds anyway — never the encoder codebooks.)"""
         with PriveHDClient(served.address) as client:
             info = client.model_info()
         fields = set(vars(info))
@@ -226,5 +229,6 @@ class TestStructuralEnforcement:
             "backend",
             "query_quantizer",
             "epsilon",
+            "mask_seed",
             "request_id",
         }

@@ -1,0 +1,147 @@
+"""Protocol v2 batch frames: round-trips, version gating, validation."""
+
+import numpy as np
+import pytest
+
+from repro.backend.packed import pack_hypervectors
+from repro.proto import (
+    FrameDecoder,
+    ModelInfo,
+    ProtocolError,
+    ScoreBatchRequest,
+    ScoreBatchResponse,
+    decode_message,
+    encode_message,
+)
+from repro.utils import spawn
+
+
+def _roundtrip(msg, version=2):
+    frames = FrameDecoder().feed(encode_message(msg, version=version))
+    assert len(frames) == 1
+    return decode_message(frames[0])
+
+
+class TestScoreBatchRequest:
+    @pytest.mark.parametrize("d", [64, 130, 1000])  # incl. non-mult-64
+    def test_packed_roundtrip(self, d):
+        rng = spawn(1, "batch-packed")
+        block = pack_hypervectors(np.sign(rng.normal(size=(9, d))))
+        msg = ScoreBatchRequest(
+            queries=block, counts=(4, 3, 2), model="m", request_id=7
+        )
+        assert _roundtrip(msg) == msg
+
+    def test_dense_roundtrip(self):
+        rng = spawn(2, "batch-dense")
+        msg = ScoreBatchRequest(
+            queries=rng.normal(size=(6, 120)).astype(np.float32),
+            counts=(1, 1, 1, 3),
+            want_scores=True,
+        )
+        assert _roundtrip(msg) == msg
+
+    def test_counts_must_sum_to_rows(self):
+        with pytest.raises(ValueError, match="sum"):
+            ScoreBatchRequest(queries=np.zeros((4, 8)), counts=(2, 3))
+
+    def test_counts_must_be_positive(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            ScoreBatchRequest(queries=np.zeros((2, 8)), counts=(2, 0))
+
+    def test_counts_must_be_nonempty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ScoreBatchRequest(queries=np.zeros((2, 8)), counts=())
+
+    def test_raw_1d_features_refused(self):
+        with pytest.raises(ValueError, match="2-D"):
+            ScoreBatchRequest(queries=np.zeros(40), counts=(1,))
+
+
+class TestScoreBatchResponse:
+    def test_roundtrip_and_split(self):
+        msg = ScoreBatchResponse(
+            predictions=np.arange(7),
+            counts=(3, 2, 2),
+            model="m",
+            version=4,
+            request_id=11,
+        )
+        back = _roundtrip(msg)
+        assert back == msg
+        parts = back.split()
+        assert [p.tolist() for p in parts] == [[0, 1, 2], [3, 4], [5, 6]]
+
+    def test_scores_roundtrip_and_split(self):
+        rng = spawn(3, "batch-scores")
+        scores = rng.normal(size=(5, 4))
+        msg = ScoreBatchResponse(
+            predictions=np.argmax(scores, axis=1),
+            counts=(2, 3),
+            scores=scores,
+        )
+        back = _roundtrip(msg)
+        assert back == msg
+        a, b = back.split_scores()
+        np.testing.assert_allclose(np.vstack([a, b]), scores)
+
+    def test_split_scores_requires_scores(self):
+        msg = ScoreBatchResponse(predictions=np.arange(3), counts=(3,))
+        with pytest.raises(ValueError, match="no scores"):
+            msg.split_scores()
+
+
+class TestVersionGating:
+    """v2-only frames must never reach (or leave) a v1 peer."""
+
+    def _batch(self):
+        return ScoreBatchRequest(queries=np.zeros((2, 16)), counts=(1, 1))
+
+    def test_encode_refuses_v1(self):
+        with pytest.raises(ProtocolError, match="requires protocol v2"):
+            encode_message(self._batch(), version=1)
+
+    def test_decode_refuses_v1_stamped_batch_frame(self):
+        # A hostile/buggy peer stamping v1 on a batch frame fails closed.
+        frame = FrameDecoder().feed(encode_message(self._batch()))[0]
+        frame.version = 1
+        with pytest.raises(ProtocolError, match="require protocol v2"):
+            decode_message(frame)
+
+    def test_truncated_counts_fail_closed(self):
+        raw = encode_message(self._batch())
+        frame = FrameDecoder().feed(raw)[0]
+        frame.payload = frame.payload[: len(frame.payload) - 3]
+        with pytest.raises(ProtocolError):
+            decode_message(frame)
+
+
+class TestModelInfoMaskSeed:
+    def _info(self, seed):
+        return ModelInfo(
+            name="m",
+            version=1,
+            n_classes=5,
+            d_hv=1000,
+            n_live_dims=600,
+            backend="packed",
+            mask_seed=seed,
+        )
+
+    def test_v2_carries_the_seed(self):
+        back = _roundtrip(self._info(42), version=2)
+        assert back.mask_seed == 42
+        assert back.n_masked == 400
+
+    def test_v1_layout_has_no_seed_field(self):
+        # The v1 payload is byte-identical to the pre-v2 layout, so the
+        # seed never reaches a v1 peer.
+        back = _roundtrip(self._info(42), version=1)
+        assert back.mask_seed is None
+
+    def test_absent_seed_roundtrips_as_none(self):
+        assert _roundtrip(self._info(None), version=2).mask_seed is None
+
+    def test_seed_zero_is_carried(self):
+        # 0 is a valid seed, distinct from "no seed recorded".
+        assert _roundtrip(self._info(0), version=2).mask_seed == 0

@@ -88,9 +88,16 @@ class TestFraming:
 
     def test_negotiation_picks_highest_common(self):
         assert negotiate_version((1,)) == 1
-        assert negotiate_version((1, 7, 200)) == max(SUPPORTED_VERSIONS)
+        assert negotiate_version(SUPPORTED_VERSIONS + (7, 200)) == max(
+            SUPPORTED_VERSIONS
+        )
         assert negotiate_version((99,)) is None
         assert negotiate_version(()) is None
+
+    def test_negotiation_respects_pinned_supported_set(self):
+        # A server pinned to v1 downgrades a v1+v2 client to v1.
+        assert negotiate_version(SUPPORTED_VERSIONS, supported=(1,)) == 1
+        assert negotiate_version((2,), supported=(1,)) is None
 
 
 class TestPayloadPrimitives:

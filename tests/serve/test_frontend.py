@@ -87,9 +87,11 @@ def _read_frame(sock):
 
 class TestHandshake:
     def test_welcome_carries_negotiated_version_and_models(self, served):
+        from repro.proto import PROTOCOL_VERSION
+
         _, handle = served
         with PriveHDClient(handle.address) as client:
-            assert client.protocol_version == 1
+            assert client.protocol_version == PROTOCOL_VERSION
             assert "demo" in client.server_info.models
 
     def test_version_skew_rejected_with_typed_error(self, served):
@@ -359,6 +361,160 @@ class TestHttpOps:
         with pytest.raises(urllib.error.HTTPError) as err:
             urllib.request.urlopen(req, timeout=10)
         assert err.value.code == 405
+
+
+class TestBatchedWire:
+    """Protocol v2 batch frames end-to-end over real sockets."""
+
+    def test_predict_many_matches_offline(
+        self, served, fixture_task, encoder, artifact
+    ):
+        X, _, _ = fixture_task
+        _, handle = served
+        obf = InferenceObfuscator(encoder, ObfuscationConfig())
+        offline = artifact.engine().predict(
+            obf.prepare_packed(X).unpack(np.float32)
+        )
+        with PriveHDClient(handle.address, encoder=encoder) as client:
+            np.testing.assert_array_equal(
+                client.predict_many(X, chunk_size=16), offline
+            )
+
+    def test_wire_batch_matches_single_frames(
+        self, served, fixture_task, encoder
+    ):
+        X, _, _ = fixture_task
+        _, handle = served
+        obf = InferenceObfuscator(encoder, ObfuscationConfig())
+        singles = [
+            pack_hypervectors(obf.prepare(X[i : i + 1]), validate=False)
+            for i in range(30)
+        ]
+        with PriveHDClient(handle.address) as client:
+            plain = client.predict_encoded_many(singles, window=4)
+            batched = client.predict_encoded_many(
+                singles, window=4, wire_batch=8
+            )
+        for a, b in zip(plain, batched):
+            np.testing.assert_array_equal(a, b)
+
+    def test_wire_batch_mixed_sizes(self, served, fixture_task, encoder):
+        X, _, _ = fixture_task
+        _, handle = served
+        obf = InferenceObfuscator(encoder, ObfuscationConfig())
+        sizes = [1, 3, 2, 5, 1, 4]
+        batches, start = [], 0
+        for size in sizes:
+            batches.append(
+                pack_hypervectors(
+                    obf.prepare(X[start : start + size]), validate=False
+                )
+            )
+            start += size
+        with PriveHDClient(handle.address) as client:
+            plain = client.predict_encoded_many(batches, window=2)
+            batched = client.predict_encoded_many(
+                batches, window=2, wire_batch=4
+            )
+        for a, b in zip(plain, batched):
+            np.testing.assert_array_equal(a, b)
+
+    def test_mixing_packed_and_dense_in_one_group_refused(
+        self, served, fixture_task, encoder
+    ):
+        X, _, _ = fixture_task
+        _, handle = served
+        obf = InferenceObfuscator(encoder, ObfuscationConfig())
+        dense = obf.prepare(X[:2]).astype(np.float32)
+        packed = pack_hypervectors(obf.prepare(X[2:4]), validate=False)
+        with PriveHDClient(handle.address) as client:
+            with pytest.raises(ValueError, match="mix"):
+                client.predict_encoded_many(
+                    [dense, packed], wire_batch=2
+                )
+
+    def test_batch_request_version_stamped(self, served, fixture_task, encoder):
+        """Every row of a batch frame is answered by one version — the
+        response's version field says which."""
+        from repro.proto import ScoreBatchRequest
+
+        X, _, _ = fixture_task
+        api, handle = served
+        obf = InferenceObfuscator(encoder, ObfuscationConfig())
+        block = pack_hypervectors(obf.prepare(X[:6]), validate=False)
+        response = api.score_batch(
+            ScoreBatchRequest(queries=block, counts=(2, 2, 2), model="demo")
+        )
+        assert response.version == api.registry.current_version("demo")
+        assert sum(len(p) for p in response.split()) == 6
+
+
+class TestMaskSeedOverTheWire:
+    def test_pruned_client_needs_no_out_of_band_mask(
+        self, fixture_task, encoder
+    ):
+        """The ROADMAP gap, closed: the artifact records its mask seed,
+        ModelInfo (v2) carries it, and a client constructed with *only*
+        the encoder regenerates the deployment mask locally."""
+        from repro.hd.prune import mask_from_seed
+
+        X, _, model = fixture_task
+        seed, n_masked = 11, D_HV // 2
+        keep = mask_from_seed(D_HV, n_masked, seed)
+        obf = InferenceObfuscator(
+            encoder, ObfuscationConfig(n_masked=n_masked, mask_seed=seed)
+        )
+        pruned = ModelArtifact.build(
+            model,
+            quantizer="bipolar",
+            backend="packed",
+            encoder=encoder,
+            keep_mask=keep,
+            mask_seed=seed,
+        )
+        offline = pruned.engine().predict(
+            obf.prepare_packed(X).unpack(np.float32)
+        )
+        api = ServingAPI.from_artifact(pruned, name="pruned")
+        with FrontendHandle(api) as handle:
+            # No ObfuscationConfig passed: the mask comes off the wire.
+            with PriveHDClient(handle.address, encoder=encoder) as client:
+                assert client.info.mask_seed == seed
+                assert client.obfuscator.config.n_masked == n_masked
+                np.testing.assert_array_equal(
+                    client.obfuscator.keep_mask, keep
+                )
+                remote = client.predict(X)
+        api.close()
+        np.testing.assert_array_equal(remote, offline)
+
+    def test_v1_connection_still_needs_the_out_of_band_mask(
+        self, fixture_task, encoder
+    ):
+        """On a v1 downgrade ModelInfo cannot carry the seed, so an
+        unmasked client stays unmasked (and must be configured
+        explicitly, as before)."""
+        from repro.hd.prune import mask_from_seed
+
+        _, _, model = fixture_task
+        seed, n_masked = 11, D_HV // 2
+        keep = mask_from_seed(D_HV, n_masked, seed)
+        pruned = ModelArtifact.build(
+            model,
+            quantizer="bipolar",
+            backend="packed",
+            encoder=encoder,
+            keep_mask=keep,
+            mask_seed=seed,
+        )
+        api = ServingAPI.from_artifact(pruned, name="pruned")
+        with FrontendHandle(api) as handle:
+            with PriveHDClient(
+                handle.address, encoder=encoder, versions=(1,)
+            ) as client:
+                assert client.info.mask_seed is None
+                assert client.obfuscator.config.n_masked == 0
+        api.close()
 
 
 class TestHotSwapOverTheWire:

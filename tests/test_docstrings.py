@@ -1,0 +1,21 @@
+"""The public-API docstring-coverage gate, wired into tier-1.
+
+CI also runs ``tools/check_docstrings.py`` as a standalone step (the
+docs job); this test keeps the same guarantee enforced for anyone who
+only runs pytest.
+"""
+
+import importlib.util
+import pathlib
+
+
+def test_public_api_docstring_coverage(capsys):
+    root = pathlib.Path(__file__).resolve().parent.parent
+    spec = importlib.util.spec_from_file_location(
+        "check_docstrings", root / "tools" / "check_docstrings.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    code = module.check()
+    captured = capsys.readouterr()
+    assert code == 0, f"undocumented public API:\n{captured.err}"

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Docstring coverage gate for the public API surface.
+
+Imports the packages a user of this repository programs against and
+fails (exit 1, listing every offender) when a public module, class,
+method, or property lacks a docstring.  "Public" means: exported by the
+module (its ``__all__``), not underscore-prefixed, and *defined there*
+(inherited members are the parent's responsibility).
+
+This is the CI step behind the documentation guarantee: the guides in
+``docs/`` link into the API, so an undocumented public method is a
+broken promise, not a style nit.
+
+    PYTHONPATH=src python tools/check_docstrings.py          # gate
+    PYTHONPATH=src python tools/check_docstrings.py -v       # list all
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import sys
+
+#: the modules whose exports constitute the public API surface
+PUBLIC_MODULES = (
+    "repro.backend",
+    "repro.client",
+    "repro.core",
+    "repro.hd",
+    "repro.hd.encode_pipeline",
+    "repro.proto",
+    "repro.proto.messages",
+    "repro.proto.wire",
+    "repro.serve",
+    "repro.serve.api",
+    "repro.serve.artifact",
+    "repro.serve.pool",
+    "repro.serve.registry",
+    "repro.serve.frontend",
+)
+
+
+def _has_doc(obj) -> bool:
+    doc = inspect.getdoc(obj)
+    return bool(doc and doc.strip())
+
+
+def _check_class(cls, qualname: str, problems: list[str], seen: set) -> int:
+    """Check a class and every public member defined in its own body."""
+    checked = 0
+    if cls in seen:
+        return 0
+    seen.add(cls)
+    if not _has_doc(cls):
+        problems.append(f"{qualname}: class has no docstring")
+    checked += 1
+    for name, member in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        if isinstance(member, property):
+            checked += 1
+            if not _has_doc(member.fget):
+                problems.append(
+                    f"{qualname}.{name}: property has no docstring"
+                )
+        elif isinstance(member, (staticmethod, classmethod)):
+            checked += 1
+            if not _has_doc(member.__func__):
+                problems.append(
+                    f"{qualname}.{name}: method has no docstring"
+                )
+        elif inspect.isfunction(member):
+            checked += 1
+            if not _has_doc(member):
+                problems.append(
+                    f"{qualname}.{name}: method has no docstring"
+                )
+    return checked
+
+
+def check(verbose: bool = False) -> int:
+    """Walk :data:`PUBLIC_MODULES`; print offenders; return an exit code."""
+    problems: list[str] = []
+    seen: set = set()
+    checked = 0
+    for module_name in PUBLIC_MODULES:
+        module = importlib.import_module(module_name)
+        checked += 1
+        if not _has_doc(module):
+            problems.append(f"{module_name}: module has no docstring")
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            problems.append(f"{module_name}: public module has no __all__")
+            continue
+        for name in exported:
+            obj = getattr(module, name)
+            qualname = f"{module_name}.{name}"
+            if inspect.isclass(obj):
+                checked += _check_class(obj, qualname, problems, seen)
+            elif callable(obj):
+                checked += 1
+                if not _has_doc(obj):
+                    problems.append(f"{qualname}: function has no docstring")
+            # bare constants (ints, tuples, ...) have nowhere to hang a
+            # docstring; the module docstring covers them
+    if verbose:
+        print(f"checked {checked} public objects across "
+              f"{len(PUBLIC_MODULES)} modules")
+    if problems:
+        print(
+            f"docstring coverage FAILED: {len(problems)} public API "
+            "member(s) undocumented:",
+            file=sys.stderr,
+        )
+        for problem in sorted(problems):
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"docstring coverage OK ({checked} public objects)")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="print the tally"
+    )
+    args = parser.parse_args(argv)
+    return check(verbose=args.verbose)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
