@@ -1,24 +1,31 @@
 """Encoding-throughput benchmark: the chunked/parallel/packed pipeline.
 
-Sweeps ``{scalar-base, level-base} × {1, N workers} × chunk sizes``
-through :class:`repro.hd.EncodePipeline`, times each configuration
-against the seed single-shot ``encoder.encode(X)`` path, **asserts
-parity in the same run** (bit-identical for the packed level-base
-kernel, tight allclose for the chunked float matmul), and writes the
-results to ``BENCH_encode.json`` — the baseline format for the encode
-bench trajectory::
+Sweeps ``{scalar-base, level-base} × kernels × {1, N workers} × chunk
+sizes`` through :class:`repro.hd.EncodePipeline`, times each
+configuration against the seed single-shot ``encoder.encode(X)`` path,
+**asserts parity in the same run** (bit-identical for the packed and
+native level-base kernels, tight allclose for the chunked float
+matmul), and writes the results to ``BENCH_encode.json`` — the
+baseline format for the encode bench trajectory.  The kernel axis is
+the backend sweep: ``dense`` (NumPy matmul), ``packed`` (pure-NumPy
+bit-plane counters), ``native`` (numba-compiled kernels; skipped with
+a note when numba is absent)::
 
     PYTHONPATH=src python benchmarks/bench_encode.py             # paper scale
     PYTHONPATH=src python benchmarks/bench_encode.py --smoke     # CI seconds
-    PYTHONPATH=src python benchmarks/bench_encode.py --assert-speedup 3
+    PYTHONPATH=src python benchmarks/bench_encode.py --backend all \
+        --assert-native-speedup 2
 
 ``--assert-speedup X`` exits non-zero unless the best level-base
-configuration reaches ``X``× the single-shot baseline; parity failures
-always exit non-zero.
+configuration reaches ``X``× the single-shot baseline;
+``--assert-native-speedup X`` exits non-zero unless the native
+level-base kernel reaches ``X``× the packed kernel at ``workers=1``
+(requires numba); parity failures always exit non-zero.
 """
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -28,9 +35,29 @@ if __name__ == "__main__":  # script mode works without an installed package
 
 import numpy as np
 
+from repro.backend.native import kernels_available, warm_kernels
 from repro.hd import EncodePipeline, LevelBaseEncoder, ScalarBaseEncoder
 from repro.hd.encode_pipeline import default_workers
 from repro.utils import spawn
+
+
+def _kernel_sweep(kind: str, backend: str) -> list[str]:
+    """The kernels to measure for one encoder kind.
+
+    Scalar-base has no bit-plane kernel, so "packed" does not apply;
+    its native kernel is the fused quantize→matmul.  Native entries are
+    dropped (with a note printed by the caller) when numba is absent —
+    the fallback would just re-measure the packed numbers.
+    """
+    if backend == "all":
+        wanted = ["dense", "packed", "native"]
+    else:
+        wanted = [backend]
+    if kind == "scalar-base":
+        wanted = [k for k in wanted if k != "packed"]
+    if not kernels_available():
+        wanted = [k for k in wanted if k != "native"]
+    return wanted
 
 
 def _build_encoder(kind: str, d_in: int, d_hv: int, n_levels: int, seed: int):
@@ -83,10 +110,17 @@ def run_bench(args) -> dict:
             "workers_sweep": workers_sweep,
             "chunk_sweep": chunk_sweep,
             "executor": args.executor,
+            "backend": args.backend,
+            "numba_available": kernels_available(),
+            "cpu_count": os.cpu_count(),
         },
         "baselines": {},
         "results": [],
     }
+    if kernels_available():
+        warm_kernels()  # JIT compilation must not count against the timings
+    elif args.backend in ("native", "all"):
+        print("numba not installed: native kernel entries skipped")
 
     for kind in ("scalar-base", "level-base"):
         encoder = _build_encoder(kind, args.d_in, args.dhv, args.n_levels, args.seed)
@@ -105,38 +139,40 @@ def run_bench(args) -> dict:
             f"{kind:<12} single-shot: {base_s:8.3f}s "
             f"({args.n / base_s:8.0f} rows/s)  [baseline]"
         )
-        for workers in workers_sweep:
-            for chunk_size in chunk_sweep:
-                pipeline = EncodePipeline(
-                    encoder,
-                    chunk_size=chunk_size,
-                    workers=workers,
-                    executor=args.executor,
-                )
-                secs, H = _time_best_of(
-                    lambda: pipeline.encode(X), args.repeats
-                )
-                exact = _check_parity(kind, H_ref, H)
-                speedup = base_s / secs
-                report["results"].append(
-                    {
-                        "kind": kind,
-                        "kernel": "packed" if pipeline.uses_packed_kernel else "dense",
-                        "workers": workers,
-                        "chunk_size": chunk_size,
-                        "seconds": secs,
-                        "rows_per_s": args.n / secs,
-                        "speedup_vs_single_shot": speedup,
-                        "bit_identical": exact,
-                    }
-                )
-                print(
-                    f"{kind:<12} workers={workers} chunk={chunk_size:<6}"
-                    f" kernel={'packed' if pipeline.uses_packed_kernel else 'dense':<6}"
-                    f" {secs:8.3f}s ({args.n / secs:8.0f} rows/s)"
-                    f"  {speedup:5.2f}x  "
-                    f"{'bit-identical' if exact else 'allclose'}"
-                )
+        for kernel in _kernel_sweep(kind, args.backend):
+            for workers in workers_sweep:
+                for chunk_size in chunk_sweep:
+                    pipeline = EncodePipeline(
+                        encoder,
+                        chunk_size=chunk_size,
+                        workers=workers,
+                        kernel=kernel,
+                        executor=args.executor,
+                    )
+                    secs, H = _time_best_of(
+                        lambda: pipeline.encode(X), args.repeats
+                    )
+                    exact = _check_parity(kind, H_ref, H)
+                    speedup = base_s / secs
+                    report["results"].append(
+                        {
+                            "kind": kind,
+                            "kernel": kernel,
+                            "workers": workers,
+                            "chunk_size": chunk_size,
+                            "seconds": secs,
+                            "rows_per_s": args.n / secs,
+                            "speedup_vs_single_shot": speedup,
+                            "bit_identical": exact,
+                        }
+                    )
+                    print(
+                        f"{kind:<12} kernel={kernel:<6} workers={workers} "
+                        f"chunk={chunk_size:<6}"
+                        f" {secs:8.3f}s ({args.n / secs:8.0f} rows/s)"
+                        f"  {speedup:5.2f}x  "
+                        f"{'bit-identical' if exact else 'allclose'}"
+                    )
 
     best = {}
     for row in report["results"]:
@@ -146,6 +182,17 @@ def run_bench(args) -> dict:
     report["headline"] = {
         f"{kind}_best_speedup": round(value, 3) for kind, value in best.items()
     }
+    # The single-core native-vs-packed bar: best rows/s at workers=1 per
+    # kernel (prange scaling inside the kernel is recorded, not gated).
+    single = {}
+    for row in report["results"]:
+        if row["kind"] == "level-base" and row["workers"] == 1:
+            cur = single.get(row["kernel"], 0.0)
+            single[row["kernel"]] = max(cur, row["rows_per_s"])
+    if "native" in single and "packed" in single:
+        report["headline"]["level-base_native_vs_packed"] = round(
+            single["native"] / single["packed"], 3
+        )
     return report
 
 
@@ -187,10 +234,29 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--backend",
+        choices=("dense", "packed", "native", "all"),
+        default="all",
+        help=(
+            "kernel(s) to sweep; 'native' is the numba-compiled backend "
+            "(skipped with a note when numba is absent)"
+        ),
+    )
+    parser.add_argument(
         "--assert-speedup",
         type=float,
         default=None,
         help="exit non-zero unless level-base best speedup reaches this",
+    )
+    parser.add_argument(
+        "--assert-native-speedup",
+        type=float,
+        default=None,
+        help=(
+            "exit non-zero unless the native level-base kernel reaches "
+            "this multiple of the packed kernel at workers=1 (the ISSUE "
+            "bar is 2; requires numba)"
+        ),
     )
     parser.add_argument(
         "--out",
@@ -215,6 +281,22 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: level-base best speedup {got}x < "
                 f"required {args.assert_speedup}x",
+                file=sys.stderr,
+            )
+            return 1
+    if args.assert_native_speedup is not None:
+        got = report["headline"].get("level-base_native_vs_packed")
+        if got is None:
+            print(
+                "FAIL: --assert-native-speedup needs numba and both the "
+                "native and packed kernels in the sweep (--backend all)",
+                file=sys.stderr,
+            )
+            return 1
+        if got < args.assert_native_speedup:
+            print(
+                f"FAIL: native level-base kernel {got}x the packed "
+                f"kernel, required {args.assert_native_speedup}x",
                 file=sys.stderr,
             )
             return 1

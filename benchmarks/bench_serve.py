@@ -33,7 +33,12 @@ Exercises the full model lifecycle the way a deployment would:
 7. micro-benchmark the scheduler's per-flush result scatter (the
    pre-vectorization per-future Python loop vs the shipped
    ``np.split``-based scatter), the flush-overhead fix for small
-   ``d_hv``.
+   ``d_hv``;
+8. sweep the offline scoring backends (``--backend``, default ``all``:
+   dense / packed / native) on the same workload and record per-backend
+   q/s plus ``numba_available``/``cpu_count`` — the
+   ``--assert-native-speedup`` bar (native ≥ Nx packed, ISSUE bar 3)
+   is enforced when numba is present.
 
 Writes ``BENCH_serve.json``::
 
@@ -370,6 +375,64 @@ def run_scatter_microbench(n_requests: int = 256, repeats: int = 30) -> dict:
     }
 
 
+def run_backend_sweep(args) -> dict:
+    """Per-backend offline scoring throughput on the serving workload.
+
+    Thin wrapper over :func:`repro.serve.bench.run_throughput` (same
+    fixture, same seed): each backend serves the query batch in its own
+    wire format and predictions are checked identical across backends.
+    Native kernels are warmed before timing; when numba is absent the
+    native entry is skipped (its fallback would re-measure packed) and
+    ``numba_available`` records why.
+    """
+    import os
+
+    from repro.backend.native import kernels_available
+    from repro.serve import run_throughput
+
+    wanted = {
+        "all": ["dense", "packed", "native"],
+        "dense": ["dense"],
+        "packed": ["packed"],
+        "native": ["native"],
+    }[args.backend]
+    if not kernels_available() and "native" in wanted:
+        wanted.remove("native")
+    out = {
+        "numba_available": kernels_available(),
+        "cpu_count": os.cpu_count(),
+        "by_backend": {},
+    }
+    identical = True
+    reference = None
+    for name in wanted:
+        result = run_throughput(
+            name,
+            d_hv=args.dhv,
+            n_queries=args.n_queries,
+            n_classes=args.n_classes,
+            seed=args.seed,
+            repeats=args.repeats,
+        )
+        row = result.rows[0]
+        out["by_backend"][name] = {
+            "queries_per_s": row.queries_per_s,
+            "seconds": row.elapsed_s,
+        }
+        preds = result.predictions[name]
+        if reference is None:
+            reference = preds
+        elif not np.array_equal(reference, preds):
+            identical = False
+    out["identical_predictions"] = identical
+    by = out["by_backend"]
+    if "native" in by and "packed" in by:
+        out["native_vs_packed"] = (
+            by["native"]["queries_per_s"] / by["packed"]["queries_per_s"]
+        )
+    return out
+
+
 def run_bench(args, workdir) -> dict:
     artifact, queries = _build_artifact(
         args.dhv, args.n_classes, args.n_queries, args.seed,
@@ -435,6 +498,7 @@ def run_bench(args, workdir) -> dict:
             "repeats": args.repeats,
             "seed": args.seed,
             "transport": args.transport,
+            "backend": args.backend,
         },
         "roundtrip_identical": True,
         "offline": {
@@ -458,6 +522,7 @@ def run_bench(args, workdir) -> dict:
         },
         "hot_swap": hot_swap,
         "scatter": run_scatter_microbench(),
+        "backends": run_backend_sweep(args),
     }
     if args.transport in ("socket", "both"):
         # Single-query frames: the v1 regime, the PR-4 baseline number.
@@ -537,6 +602,25 @@ def main(argv=None) -> int:
             "SO_REUSEPORT acceptor processes in the WorkerPool run "
             "(1 disables it); aggregate vs single-worker throughput is "
             "recorded alongside the machine's cpu_count"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("dense", "packed", "native", "all"),
+        default="all",
+        help=(
+            "offline scoring backend(s) to sweep; 'native' is the "
+            "numba-compiled backend (skipped with a note when numba is "
+            "absent)"
+        ),
+    )
+    parser.add_argument(
+        "--assert-native-speedup",
+        type=float,
+        default=None,
+        help=(
+            "exit non-zero unless native scoring reaches this multiple "
+            "of the packed backend (the ISSUE bar is 3; requires numba)"
         ),
     )
     parser.add_argument(
@@ -632,6 +716,19 @@ def main(argv=None) -> int:
         f"{scatter['per_flush_us']['after']:.1f} us/flush "
         f"({scatter['speedup']:.2f}x)"
     )
+    backends = report["backends"]
+    for name, row in backends["by_backend"].items():
+        print(
+            f"offline backend {name:>6}: {row['queries_per_s']:12,.0f} q/s"
+        )
+    if "native_vs_packed" in backends:
+        print(
+            f"native speedup over packed: "
+            f"{backends['native_vs_packed']:.2f}x (identical predictions: "
+            f"{backends['identical_predictions']})"
+        )
+    elif not backends["numba_available"]:
+        print("numba not installed: native backend entry skipped")
     if "socket" in report:
         sk = report["socket"]
         print(
@@ -668,6 +765,25 @@ def main(argv=None) -> int:
     if not ok:
         print("FAIL: hot swap dropped or corrupted requests", file=sys.stderr)
         return 1
+    if not backends["identical_predictions"]:
+        print("FAIL: backend predictions diverged", file=sys.stderr)
+        return 1
+    if args.assert_native_speedup is not None:
+        got = backends.get("native_vs_packed")
+        if got is None:
+            print(
+                "FAIL: --assert-native-speedup needs numba and both the "
+                "native and packed backends in the sweep (--backend all)",
+                file=sys.stderr,
+            )
+            return 1
+        if got < args.assert_native_speedup:
+            print(
+                f"FAIL: native scoring {got:.2f}x the packed backend, "
+                f"required {args.assert_native_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
     if (
         args.assert_within is not None
         and served["slowdown_vs_offline"] > args.assert_within

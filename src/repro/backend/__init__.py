@@ -7,11 +7,15 @@ package makes the compute representation a swappable choice:
 * ``dense``  — :class:`~repro.backend.dense.DenseBackend`, the float64
   NumPy reference paths;
 * ``packed`` — :class:`~repro.backend.packed.PackedBackend`, uint64
-  bit-plane operands with XOR+popcount kernels (§III-D in software).
+  bit-plane operands with XOR+popcount kernels (§III-D in software);
+* ``native`` — :class:`~repro.backend.native.NativeBackend`, the same
+  packed operands run through numba-compiled parallel kernels, falling
+  back to the packed NumPy kernels automatically when numba is absent.
 
-Both produce identical argmax decisions on bipolar/ternary operands;
+All produce identical argmax decisions on bipolar/ternary operands;
 ``repro.serve.InferenceEngine`` measures the packed path at several times
-the dense throughput at paper scale (``d_hv`` = 10,000).
+the dense throughput at paper scale (``d_hv`` = 10,000), and the native
+kernels at an integer multiple beyond that (``docs/performance.md``).
 
 >>> from repro.backend import get_backend, pack_hypervectors
 >>> import numpy as np
@@ -29,6 +33,13 @@ from repro.backend.base import (
     register_backend,
 )
 from repro.backend.dense import DenseBackend
+from repro.backend.native import (
+    NUMBA_AVAILABLE,
+    NativeBackend,
+    native_class_scores,
+    native_dot_matrix,
+    native_hamming_matrix,
+)
 from repro.backend.packed import (
     WORD_BITS,
     BitPlaneAccumulator,
@@ -42,6 +53,7 @@ from repro.backend.packed import (
     packed_hamming_matrix,
     packed_norms,
     popcount,
+    popcount_lut,
     unpack_bit_planes,
 )
 
@@ -51,10 +63,12 @@ BACKEND_NAMES: tuple[str, ...] = backend_names()
 __all__ = [
     "Backend",
     "DenseBackend",
+    "NativeBackend",
     "PackedBackend",
     "PackedHV",
     "PreparedClassStore",
     "BACKEND_NAMES",
+    "NUMBA_AVAILABLE",
     "backend_names",
     "get_backend",
     "register_backend",
@@ -64,9 +78,13 @@ __all__ = [
     "pack_hypervectors",
     "pack_sign_planes",
     "unpack_bit_planes",
+    "native_class_scores",
+    "native_dot_matrix",
+    "native_hamming_matrix",
     "packed_class_scores",
     "packed_dot_matrix",
     "packed_hamming_matrix",
     "packed_norms",
     "popcount",
+    "popcount_lut",
 ]

@@ -1,0 +1,477 @@
+"""Numba-compiled native kernels behind the ``repro.backend`` protocol.
+
+The packed kernels of :mod:`repro.backend.packed` already shrink the
+Eq. (4) similarity search to XOR + popcount, but they run as chains of
+NumPy ufunc calls: every word pass allocates an intermediate, popcounts
+stream through memory once per operator, and everything stays on one
+core.  This module compiles the same three kernel families to native
+code with numba:
+
+* **fused scoring** — the XOR/popcount dot product (bipolar and
+  masked-ternary paths) runs as a single ``prange``-parallel loop nest
+  with zero intermediate allocations;
+* **carry-save encode** — the per-column vertical counters of
+  :class:`~repro.backend.packed.BitPlaneAccumulator` (the §III-D adder
+  tree) become per-row ripple counters in registers, including a
+  variant that emits the packed bipolar sign plane directly through a
+  bitwise majority comparator;
+* **fused quantize** — the scalar-base feature snapping of Eq. (2a)
+  runs clip→snap in one float32 pass, feeding the projection GEMM.
+
+Fallback semantics
+------------------
+numba is an *optional* dependency.  When it is absent (or fails to
+import) every ``native_*`` entry point transparently falls back to the
+pure-NumPy packed kernels — identical results, reduced throughput — and
+logs one message the first time.  :func:`kernels_available` reports
+which mode is active; the ``native`` backend therefore always resolves
+and always answers correctly, compiled or not.
+
+Every kernel is exact integer (or IEEE-deterministic float32)
+arithmetic: results are bit-identical to the packed and dense reference
+paths, which the backend equivalence suite asserts across all three
+backends.
+
+    >>> import numpy as np
+    >>> from repro.backend import pack_hypervectors
+    >>> from repro.backend.native import native_dot_matrix
+    >>> a = pack_hypervectors(np.array([[1.0, -1.0, 1.0]]))
+    >>> native_dot_matrix(a, a)  # compiled when numba is installed
+    array([[3]])
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+
+from repro.backend.packed import (
+    PackedBackend,
+    PackedHV,
+    _check_pair,
+    n_words,
+    packed_dot_matrix,
+    packed_hamming_matrix,
+    packed_norms,
+)
+from repro.backend.base import register_backend
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "NativeBackend",
+    "kernels_available",
+    "native_dot_matrix",
+    "native_class_scores",
+    "native_hamming_matrix",
+    "native_level_encode",
+    "native_level_encode_signs",
+    "native_quantize_features",
+    "warm_kernels",
+]
+
+_logger = logging.getLogger(__name__)
+_fallback_logged = False
+
+try:  # pragma: no cover - exercised via the monkeypatched-import test
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # numba absent: pure-NumPy fallback mode
+    NUMBA_AVAILABLE = False
+
+
+def kernels_available() -> bool:
+    """True when the compiled kernels can run (numba imported cleanly)."""
+    return NUMBA_AVAILABLE
+
+
+def _note_fallback() -> None:
+    """Log the numba-absent fallback exactly once per process."""
+    global _fallback_logged
+    if not _fallback_logged:
+        _logger.info(
+            "numba is not installed; the 'native' backend falls back to "
+            "the pure-NumPy packed kernels (identical results, reduced "
+            "throughput)"
+        )
+        _fallback_logged = True
+
+
+def _require_kernels() -> None:
+    if not NUMBA_AVAILABLE:
+        raise RuntimeError(
+            "the compiled native kernels need numba, which is not "
+            "installed; call kernels_available() first or use the "
+            "automatic fallback entry points"
+        )
+
+
+if NUMBA_AVAILABLE:
+    # uint64 SWAR constants — typed scalars, because mixing uint64 with
+    # Python int literals promotes to float64 under numba's numpy rules.
+    _M1 = np.uint64(0x5555555555555555)
+    _M2 = np.uint64(0x3333333333333333)
+    _M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    _H01 = np.uint64(0x0101010101010101)
+    _S1 = np.uint64(1)
+    _S2 = np.uint64(2)
+    _S4 = np.uint64(4)
+    _S56 = np.uint64(56)
+    _U0 = np.uint64(0)
+    _U1 = np.uint64(1)
+
+    @njit(inline="always")
+    def _pc64(x):  # pragma: no cover - compiled
+        """SWAR popcount of one uint64 word, returned as int64."""
+        x = x - ((x >> _S1) & _M1)
+        x = (x & _M2) + ((x >> _S2) & _M2)
+        x = (x + (x >> _S4)) & _M4
+        return np.int64((x * _H01) >> _S56)
+
+    @njit(parallel=True, nogil=True, cache=True)
+    def _dot_bipolar_kernel(qs, cs, d, out):  # pragma: no cover - compiled
+        """dot = d − 2·popcount(Sa ^ Sb), fused over words."""
+        for i in prange(qs.shape[0]):
+            for j in range(cs.shape[0]):
+                acc = np.int64(0)
+                for w in range(qs.shape[1]):
+                    acc += _pc64(qs[i, w] ^ cs[j, w])
+                out[i, j] = d - 2 * acc
+
+    @njit(parallel=True, nogil=True, cache=True)
+    def _dot_ternary_kernel(qs, qm, cs, cm, out):  # pragma: no cover - compiled
+        """Masked-ternary dot: ±1 on common support, 0 elsewhere."""
+        for i in prange(qs.shape[0]):
+            for j in range(cs.shape[0]):
+                acc = np.int64(0)
+                for w in range(qs.shape[1]):
+                    common = qm[i, w] & cm[j, w]
+                    disagree = (qs[i, w] ^ cs[j, w]) & common
+                    acc += _pc64(common) - 2 * _pc64(disagree)
+                out[i, j] = acc
+
+    @njit(parallel=True, nogil=True, cache=True)
+    def _ham_bipolar_kernel(qs, cs, out):  # pragma: no cover - compiled
+        """Differing-dimension counts for bipolar operands."""
+        for i in prange(qs.shape[0]):
+            for j in range(cs.shape[0]):
+                acc = np.int64(0)
+                for w in range(qs.shape[1]):
+                    acc += _pc64(qs[i, w] ^ cs[j, w])
+                out[i, j] = acc
+
+    @njit(parallel=True, nogil=True, cache=True)
+    def _ham_ternary_kernel(qs, qm, cs, cm, out):  # pragma: no cover - compiled
+        """Differing-dimension counts for ternary operands."""
+        for i in prange(qs.shape[0]):
+            for j in range(cs.shape[0]):
+                acc = np.int64(0)
+                for w in range(qs.shape[1]):
+                    differs = ((qs[i, w] ^ cs[j, w]) & qm[i, w] & cm[j, w]) | (
+                        qm[i, w] ^ cm[j, w]
+                    )
+                    acc += _pc64(differs)
+                out[i, j] = acc
+
+    @njit(parallel=True, nogil=True, cache=True)
+    def _level_encode_kernel(
+        idx, lvl, invb, n_planes, d_in, d_hv, out
+    ):  # pragma: no cover - compiled
+        """Per-row ripple-carry vertical counters → dense float32 tile."""
+        nw = invb.shape[1]
+        for i in prange(idx.shape[0]):
+            cnt = np.zeros((n_planes, nw), dtype=np.uint64)
+            for k in range(d_in):
+                row = idx[i, k]
+                for w in range(nw):
+                    carry = lvl[row, w] ^ invb[k, w]
+                    p = 0
+                    while carry != _U0:
+                        tmp = cnt[p, w]
+                        cnt[p, w] = tmp ^ carry
+                        carry = tmp & carry
+                        p += 1
+            for col in range(d_hv):
+                w = col >> 6
+                b = np.uint64(col & 63)
+                c = np.int64(0)
+                for p in range(n_planes):
+                    c += np.int64((cnt[p, w] >> b) & _U1) << p
+                out[i, col] = np.float32(2 * c - d_in)
+
+    @njit(parallel=True, nogil=True, cache=True)
+    def _level_signs_kernel(
+        idx, lvl, invb, n_planes, d_in, threshold, signs
+    ):  # pragma: no cover - compiled
+        """Vertical counters → packed sign plane via a bitwise comparator."""
+        nw = invb.shape[1]
+        for i in prange(idx.shape[0]):
+            cnt = np.zeros((n_planes, nw), dtype=np.uint64)
+            for k in range(d_in):
+                row = idx[i, k]
+                for w in range(nw):
+                    carry = lvl[row, w] ^ invb[k, w]
+                    p = 0
+                    while carry != _U0:
+                        tmp = cnt[p, w]
+                        cnt[p, w] = tmp ^ carry
+                        carry = tmp & carry
+                        p += 1
+            for w in range(nw):
+                gt = _U0
+                eq = ~_U0
+                for p in range(n_planes - 1, -1, -1):
+                    if (threshold >> p) & 1:
+                        eq = eq & cnt[p, w]
+                    else:
+                        gt = gt | (eq & cnt[p, w])
+                        eq = eq & ~cnt[p, w]
+                signs[i, w] = gt
+
+    @njit(parallel=True, nogil=True, cache=True)
+    def _quantize_kernel(X, lo, hi, step, snap, out):  # pragma: no cover
+        """Fused float32 clip → level-snap, elementwise-identical to NumPy."""
+        for i in prange(X.shape[0]):
+            for j in range(X.shape[1]):
+                v = np.float32(X[i, j])
+                if v < lo:
+                    v = lo
+                elif v > hi:
+                    v = hi
+                if snap:
+                    v = lo + np.float32(np.rint((v - lo) / step)) * step
+                out[i, j] = v
+
+
+# ----------------------------------------------------------------------
+# entry points (always defined; automatic fallback when numba is absent)
+# ----------------------------------------------------------------------
+def native_dot_matrix(a: PackedHV, b: PackedHV) -> np.ndarray:
+    """Exact pairwise dot products, shape ``(a.n, b.n)``, int64.
+
+    The compiled twin of :func:`~repro.backend.packed.packed_dot_matrix`:
+    one fused XOR+popcount loop nest, parallelized over the larger
+    batch, allocating nothing but the output.  Falls back to the packed
+    kernel when numba is absent.
+    """
+    if not NUMBA_AVAILABLE:
+        _note_fallback()
+        return packed_dot_matrix(a, b)
+    _check_pair(a, b)
+    if a.n >= b.n:
+        return _native_dot(a, b)
+    return _native_dot(b, a).T
+
+
+def _native_dot(a: PackedHV, b: PackedHV) -> np.ndarray:
+    out = np.empty((a.n, b.n), dtype=np.int64)
+    if a.is_bipolar and b.is_bipolar:
+        _dot_bipolar_kernel(a.signs, b.signs, a.d, out)
+    else:
+        _dot_ternary_kernel(a.signs, a.mags, b.signs, b.mags, out)
+    return out
+
+
+def native_class_scores(
+    queries: PackedHV,
+    class_store: PackedHV,
+    class_norms: np.ndarray | None = None,
+) -> np.ndarray:
+    """Eq. (4) class scores on packed operands via the compiled dot.
+
+    Bit-identical to :func:`~repro.backend.packed.packed_class_scores`
+    (and hence to the dense reference) on the same operands.
+    """
+    if class_norms is None:
+        class_norms = packed_norms(class_store)
+    class_norms = np.asarray(class_norms, dtype=np.float64)
+    if class_norms.shape != (class_store.n,):
+        raise ValueError(
+            f"class_norms must have shape ({class_store.n},), "
+            f"got {class_norms.shape}"
+        )
+    dots = native_dot_matrix(queries, class_store).astype(np.float64)
+    return dots / class_norms
+
+
+def native_hamming_matrix(a: PackedHV, b: PackedHV) -> np.ndarray:
+    """Pairwise normalized Hamming distances, compiled XOR+popcount.
+
+    Falls back to :func:`~repro.backend.packed.packed_hamming_matrix`
+    when numba is absent.
+    """
+    if not NUMBA_AVAILABLE:
+        _note_fallback()
+        return packed_hamming_matrix(a, b)
+    _check_pair(a, b)
+    if a.n >= b.n:
+        counts = _native_ham(a, b)
+    else:
+        counts = _native_ham(b, a).T
+    return counts / float(a.d)
+
+
+def _native_ham(a: PackedHV, b: PackedHV) -> np.ndarray:
+    out = np.empty((a.n, b.n), dtype=np.int64)
+    if a.is_bipolar and b.is_bipolar:
+        _ham_bipolar_kernel(a.signs, b.signs, out)
+    else:
+        _ham_ternary_kernel(a.signs, a.mags, b.signs, b.mags, out)
+    return out
+
+
+def _counter_planes(d_in: int) -> int:
+    """Counter bit-planes needed for ``d_in`` one-bit addends."""
+    return max(1, int(d_in).bit_length())
+
+
+def native_level_encode(
+    idx: np.ndarray,
+    lvl_planes: np.ndarray,
+    inv_base_planes: np.ndarray,
+    d_in: int,
+    d_hv: int,
+) -> np.ndarray:
+    """Compiled Eq. (2b) encode: bit-plane counters → ``(n, d_hv)`` float32.
+
+    Parameters mirror the packed encode path of
+    :meth:`~repro.hd.encoder.LevelBaseEncoder.encode_packed`: per-feature
+    level indices, the level sign planes, and the *inverted* base sign
+    planes (XNOR folded into the codebook).  Requires numba — callers
+    select this path via :func:`kernels_available`.
+    """
+    _require_kernels()
+    idx = np.ascontiguousarray(idx, dtype=np.int64)
+    out = np.empty((idx.shape[0], int(d_hv)), dtype=np.float32)
+    _level_encode_kernel(
+        idx,
+        lvl_planes,
+        inv_base_planes,
+        _counter_planes(d_in),
+        int(d_in),
+        int(d_hv),
+        out,
+    )
+    return out
+
+
+def native_level_encode_signs(
+    idx: np.ndarray,
+    lvl_planes: np.ndarray,
+    inv_base_planes: np.ndarray,
+    d_in: int,
+    d_hv: int,
+) -> np.ndarray:
+    """Compiled Eq. (2b) encode emitting the bipolar *sign plane* directly.
+
+    Skips the dense tile entirely: the per-column positive count ``c``
+    feeds a bitwise magnitude comparator (``2c − d_in >= 0`` iff
+    ``c > (d_in − 1) // 2``, the +1 tie-break of the bipolar quantizer
+    included), producing ``(n, n_words)`` uint64 sign words.  Tail bits
+    beyond ``d_hv`` come out zero.  Requires numba.
+    """
+    _require_kernels()
+    idx = np.ascontiguousarray(idx, dtype=np.int64)
+    signs = np.empty((idx.shape[0], n_words(int(d_hv))), dtype=np.uint64)
+    _level_signs_kernel(
+        idx,
+        lvl_planes,
+        inv_base_planes,
+        _counter_planes(d_in),
+        int(d_in),
+        (int(d_in) - 1) // 2,
+        signs,
+    )
+    return signs
+
+
+def native_quantize_features(
+    X: np.ndarray,
+    lo: float,
+    hi: float,
+    step: float | None,
+) -> np.ndarray:
+    """Compiled scalar-base feature snapping: fused clip → level grid.
+
+    One parallel float32 pass, elementwise bit-identical to
+    :meth:`~repro.hd.encoder.ScalarBaseEncoder.quantize_features`
+    (IEEE float32 clip, divide, round-half-even, multiply-add).
+    ``step=None`` clips only.  Requires numba.
+    """
+    _require_kernels()
+    X = np.asarray(X)
+    out = np.empty(X.shape, dtype=np.float32)
+    snap = step is not None
+    _quantize_kernel(
+        X,
+        np.float32(lo),
+        np.float32(hi),
+        np.float32(step if snap else 1.0),
+        snap,
+        out,
+    )
+    return out
+
+
+def warm_kernels() -> bool:
+    """Trigger JIT compilation of every kernel on tiny operands.
+
+    Benchmarks call this before timing so compilation latency never
+    lands inside a measured region.  Returns ``True`` when the compiled
+    kernels are active, ``False`` in fallback mode (no-op).
+    """
+    if not NUMBA_AVAILABLE:
+        return False
+    from repro.backend.packed import pack_hypervectors
+
+    bip = pack_hypervectors(np.ones((2, 70)))
+    tern = pack_hypervectors(np.array([[1.0, 0.0, -1.0] * 30] * 2))
+    native_dot_matrix(bip, bip)
+    native_dot_matrix(tern, tern)
+    native_hamming_matrix(bip, bip)
+    native_hamming_matrix(tern, tern)
+    idx = np.zeros((1, 3), dtype=np.int64)
+    planes = np.zeros((2, 2), dtype=np.uint64)
+    base = np.zeros((3, 2), dtype=np.uint64)
+    native_level_encode(idx, planes, base, 3, 70)
+    native_level_encode_signs(idx, planes, base, 3, 70)
+    native_quantize_features(np.zeros((1, 3)), 0.0, 1.0, 0.5)
+    native_quantize_features(np.zeros((1, 3)), 0.0, 1.0, None)
+    return True
+
+
+# ----------------------------------------------------------------------
+# backend adapter
+# ----------------------------------------------------------------------
+@register_backend
+class NativeBackend(PackedBackend):
+    """Compiled XOR+popcount kernels over :class:`PackedHV` operands.
+
+    Same operand format, preparation, and answers as
+    :class:`~repro.backend.packed.PackedBackend` — the scoring loops run
+    as numba-compiled parallel kernels when numba is installed and fall
+    back to the packed NumPy kernels (logged once) when it is not, so
+    selecting ``"native"`` is always safe.
+    """
+
+    name = "native"
+
+    def dot_matrix(self, queries, references) -> np.ndarray:
+        return native_dot_matrix(
+            self.prepare_queries(queries), self.prepare_queries(references)
+        ).astype(np.float64)
+
+    def class_scores(self, queries, prepared) -> np.ndarray:
+        self._check_prepared(prepared)
+        q = self.prepare_queries(queries)
+        if q.d != prepared.d_hv:
+            raise ValueError(
+                f"queries have {q.d} dims, class store has {prepared.d_hv}"
+            )
+        return native_class_scores(q, prepared.store, prepared.norms)
+
+    def hamming_matrix(self, a, b) -> np.ndarray:
+        return native_hamming_matrix(
+            self.prepare_queries(a), self.prepare_queries(b)
+        )

@@ -148,9 +148,9 @@ def _run_train(args) -> int:
 
     # Reject impossible flag combinations before any work is done.
     quantizer = get_quantizer(args.quantizer)
-    if args.backend == "packed" and not quantizer.packable:
+    if args.backend in ("packed", "native") and not quantizer.packable:
         print(
-            f"error: --backend packed requires a packable quantizer "
+            f"error: --backend {args.backend} requires a packable quantizer "
             f"(bipolar/ternary/ternary-biased), not {args.quantizer!r}",
             file=sys.stderr,
         )
@@ -206,7 +206,7 @@ def _run_train(args) -> int:
         [
             engine.predict(H)
             for _, H in pipeline.stream_quantized(
-                data.X_test, quantizer, pack=args.backend == "packed"
+                data.X_test, quantizer, pack=args.backend in ("packed", "native")
             )
         ]
     )
@@ -683,12 +683,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_train.add_argument(
         "--backend",
-        choices=("dense", "packed"),
+        choices=("dense", "packed", "native"),
         default="dense",
         help=(
             "compute path for test-set inference; with a packable "
-            "quantizer both backends serve the same quantized model and "
-            "give identical answers"
+            "quantizer all backends serve the same quantized model and "
+            "give identical answers ('native' = numba-compiled packed "
+            "kernels, falls back to pure NumPy when numba is absent)"
         ),
     )
     p_train.add_argument(
@@ -840,9 +841,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_tp.add_argument(
         "--backend",
-        choices=("dense", "packed", "both"),
+        choices=("dense", "packed", "native", "both", "all"),
         default="both",
-        help="backend(s) to measure",
+        help=(
+            "backend(s) to measure; 'both' = dense+packed, 'all' adds "
+            "the numba-compiled native backend"
+        ),
     )
     p_tp.add_argument("--dhv", type=int, default=10000)
     p_tp.add_argument("--seed", type=int, default=0)

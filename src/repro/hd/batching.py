@@ -138,13 +138,17 @@ def fit_classes_batched(
     covered = np.zeros(y.shape[0], dtype=bool)
     for rows, chunk in stream:
         if isinstance(chunk, PackedHV):
-            H = chunk.unpack()  # already quantized on the producer side
+            # Already quantized on the producer side; bundled straight
+            # off the bit planes — no dense unpack round-trip.
+            H = None
+            n_chunk = chunk.n
         else:
             H = q(chunk)
+            n_chunk = H.shape[0]
         idx = row_ids[rows]
-        if H.shape[0] != idx.shape[0]:
+        if n_chunk != idx.shape[0]:
             raise ValueError(
-                f"stream chunk has {H.shape[0]} rows but its slice "
+                f"stream chunk has {n_chunk} rows but its slice "
                 f"selects {idx.shape[0]}"
             )
         if np.unique(idx).size != idx.size or covered[idx].any():
@@ -153,7 +157,10 @@ def fit_classes_batched(
                 f"(around rows {idx[:3].tolist()})"
             )
         covered[idx] = True
-        model.bundle(H, y[rows])
+        if H is None:
+            model.bundle_packed(chunk, y[rows])
+        else:
+            model.bundle(H, y[rows])
     if not covered.all():
         raise ValueError(
             f"stream left {int((~covered).sum())} of {y.shape[0]} rows "

@@ -11,13 +11,20 @@ into a *pipeline*:
   threads share the codebooks read-only (NumPy releases the GIL in the
   kernels), while process workers receive one pickled copy of the
   encoder at pool start-up (encoders are deterministic in
-  ``(d_in, d_hv, seed)``, so a copy *is* the codebook).
+  ``(d_in, d_hv, seed)``, so a copy *is* the codebook) and exchange
+  tiles through a ring of ``multiprocessing.shared_memory`` buffers, so
+  per-chunk IPC never pickles feature or encoding arrays.
 * Level-base tiles run on the packed bit-plane kernel
   (:meth:`~repro.hd.encoder.LevelBaseEncoder.encode_packed`) when
-  available — bit-identical to the dense path and several times faster.
+  available — bit-identical to the dense path and several times faster —
+  and on the numba-compiled counters of :mod:`repro.backend.native`
+  when numba is installed (``kernel="native"`` forces them).
 * :meth:`EncodePipeline.stream_quantized` fuses encode → quantize →
   (optionally) bit-pack per tile, so training and serving never hold
-  full-precision encodings for more than one tile.
+  full-precision encodings for more than one tile.  Bipolar packing on
+  a level-base encoder is emitted *directly* from the bit-plane
+  counters (:meth:`~repro.hd.encoder.LevelBaseEncoder.encode_packed_bipolar`)
+  — the dense tile never materializes.
 * :class:`EncodedChunkStore` caches the quantized tiles keyed by chunk
   index — 16× smaller than floats when bit-packed — so retraining
   epochs replay encodings instead of recomputing them.
@@ -32,11 +39,12 @@ import os
 import pickle
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from multiprocessing import shared_memory
 from typing import Iterator
 
 import numpy as np
 
-from repro.backend.packed import PackedHV
+from repro.backend.packed import PackedHV, n_words
 from repro.hd.encoder import Encoder
 from repro.hd.quantize import EncodingQuantizer, get_quantizer
 from repro.utils.validation import check_2d, check_positive_int
@@ -49,13 +57,38 @@ __all__ = [
 ]
 
 #: kernel choices accepted by :class:`EncodePipeline`
-ENCODE_KERNELS = ("auto", "dense", "packed")
+ENCODE_KERNELS = ("auto", "dense", "packed", "native")
+
+
+def _encode_tile_with(encoder, X_chunk, kernel: str, mode: str):
+    """Encode one tile under a kernel policy — shared by parent and workers.
+
+    ``kernel`` follows :data:`ENCODE_KERNELS` ("packed" forces the
+    pure-NumPy accumulator, "native" the compiled kernels, "auto" picks
+    the best available); ``mode`` is ``"encode"`` for a dense float32
+    tile or ``"packed-bipolar"`` for direct
+    :class:`~repro.backend.PackedHV` emission.
+    """
+    native = {"native": True, "packed": False}.get(kernel)
+    if mode == "packed-bipolar":
+        return encoder.encode_packed_bipolar(X_chunk, native=native)
+    if kernel != "dense" and hasattr(encoder, "encode_packed"):
+        if native is None:
+            return encoder.encode_packed(X_chunk)
+        return encoder.encode_packed(X_chunk, native=native)
+    if kernel == "native" and hasattr(encoder, "encode_into"):
+        out = np.empty((X_chunk.shape[0], encoder.d_hv), dtype=np.float32)
+        return encoder.encode_into(X_chunk, out, native=True)
+    return encoder.encode(X_chunk)
+
 
 # ----------------------------------------------------------------------
 # process-pool plumbing: each worker process rebuilds the encoder once
-# from the pickled copy shipped at pool start-up, then encodes tiles.
+# from the pickled copy shipped at pool start-up, then encodes tiles
+# passed through shared-memory slots (no per-chunk pickling of arrays).
 # ----------------------------------------------------------------------
 _WORKER_ENCODER: Encoder | None = None
+_WORKER_SHM: dict[str, shared_memory.SharedMemory] = {}
 
 
 def _init_process_worker(encoder_bytes: bytes) -> None:
@@ -63,10 +96,49 @@ def _init_process_worker(encoder_bytes: bytes) -> None:
     _WORKER_ENCODER = pickle.loads(encoder_bytes)
 
 
-def _process_encode_chunk(X_chunk: np.ndarray, packed: bool) -> np.ndarray:
-    if packed:
-        return _WORKER_ENCODER.encode_packed(X_chunk)
-    return _WORKER_ENCODER.encode(X_chunk)
+def _attach_worker_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach (once per process) to a parent-owned shared-memory slot.
+
+    Attachments are cached for the worker's lifetime — slots are reused
+    across chunks, so each segment is mapped exactly once per process.
+    The parent owns every segment and unlinks them when the stream
+    closes.
+    """
+    shm = _WORKER_SHM.get(name)
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=name)
+        _WORKER_SHM[name] = shm
+    return shm
+
+
+def _process_encode_shm(
+    in_name: str,
+    out_name: str,
+    shape: tuple,
+    dtype_str: str,
+    kernel: str,
+    mode: str,
+):
+    """Encode one shared-memory tile; returns constant-size metadata only.
+
+    The features are read in place from the input slot and the result —
+    dense float32 rows or the two uint64 planes of a packed tile — is
+    written in place to the output slot; the pickled return value is a
+    tiny shape tuple, never an array.
+    """
+    X_chunk = np.ndarray(
+        shape, dtype=np.dtype(dtype_str), buffer=_attach_worker_shm(in_name).buf
+    )
+    tile = _encode_tile_with(_WORKER_ENCODER, X_chunk, kernel, mode)
+    out_buf = _attach_worker_shm(out_name).buf
+    if isinstance(tile, PackedHV):
+        planes = np.ndarray((2, tile.n, tile.n_words), np.uint64, buffer=out_buf)
+        planes[0] = tile.signs
+        planes[1] = tile.mags
+        return ("packed", tile.n, tile.n_words, tile.d)
+    tile = np.ascontiguousarray(tile, dtype=np.float32)
+    np.ndarray(tile.shape, np.float32, buffer=out_buf)[:] = tile
+    return ("dense", tile.shape)
 
 
 def default_workers() -> int:
@@ -90,13 +162,18 @@ class EncodePipeline:
         Concurrent tiles.  ``1`` (default) encodes inline; ``None``
         resolves to :func:`default_workers`.
     kernel:
-        ``"auto"`` (default) uses the packed bit-plane kernel whenever
-        the encoder provides one (level-base), the dense reference path
-        otherwise; ``"dense"`` / ``"packed"`` force a path.
+        ``"auto"`` (default) uses the best kernel the encoder provides —
+        the numba-compiled native kernels when numba is installed, the
+        packed bit-plane kernel for level-base encoders, the dense
+        reference path otherwise.  ``"dense"`` / ``"packed"`` /
+        ``"native"`` force a path (``"packed"`` pins the pure-NumPy
+        accumulator; ``"native"`` raises at construction when numba is
+        absent).
     executor:
         ``"thread"`` (default) shares codebooks read-only across a
         thread pool; ``"process"`` ships one pickled encoder per worker
-        process and pays per-tile IPC — useful when the kernel does not
+        process and exchanges tiles through shared-memory slots (no
+        per-chunk array pickling) — useful when the kernel does not
         release the GIL.
 
     All paths produce the same rows as the single-shot
@@ -130,6 +207,14 @@ class EncodePipeline:
                 f"the {type(encoder).__name__} has no packed encode kernel; "
                 "use kernel='auto' or 'dense'"
             )
+        if kernel == "native":
+            from repro.backend.native import kernels_available
+
+            if not kernels_available():
+                raise ValueError(
+                    "kernel='native' needs numba, which is not installed; "
+                    "use kernel='auto' for automatic selection"
+                )
         self.kernel = kernel
         if executor not in ("thread", "process"):
             raise ValueError(
@@ -147,9 +232,7 @@ class EncodePipeline:
 
     def encode_chunk(self, X_chunk: np.ndarray) -> np.ndarray:
         """Encode one tile with the selected kernel."""
-        if self.uses_packed_kernel:
-            return self.encoder.encode_packed(X_chunk)
-        return self.encoder.encode(X_chunk)
+        return _encode_tile_with(self.encoder, X_chunk, self.kernel, "encode")
 
     def _chunk_slices(self, n: int) -> list[slice]:
         return [
@@ -165,26 +248,25 @@ class EncodePipeline:
         so peak memory stays bounded no matter how large ``X`` is.
         """
         X = check_2d(X, "X", n_cols=self.encoder.d_in)
+        yield from self._stream_tiles(X, "encode")
+
+    def _stream_tiles(self, X, mode: str) -> Iterator[tuple[slice, np.ndarray]]:
+        """Drive tiles through the inline, thread, or shared-memory path."""
         slices = self._chunk_slices(X.shape[0])
         if self.workers == 1:
             for sl in slices:
-                yield sl, self.encode_chunk(X[sl])
+                yield sl, _encode_tile_with(self.encoder, X[sl], self.kernel, mode)
             return
-        yield from self._stream_parallel(X, slices)
-
-    def _stream_parallel(self, X, slices) -> Iterator[tuple[slice, np.ndarray]]:
         if self.executor == "process":
-            pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_process_worker,
-                initargs=(pickle.dumps(self.encoder),),
-            )
-            submit = lambda sl: pool.submit(  # noqa: E731
-                _process_encode_chunk, X[sl], self.uses_packed_kernel
-            )
-        else:
-            pool = ThreadPoolExecutor(max_workers=self.workers)
-            submit = lambda sl: pool.submit(self.encode_chunk, X[sl])  # noqa: E731
+            yield from self._stream_process(X, slices, mode)
+            return
+        yield from self._stream_threads(X, slices, mode)
+
+    def _stream_threads(self, X, slices, mode) -> Iterator[tuple[slice, np.ndarray]]:
+        pool = ThreadPoolExecutor(max_workers=self.workers)
+        submit = lambda sl: pool.submit(  # noqa: E731
+            _encode_tile_with, self.encoder, X[sl], self.kernel, mode
+        )
         window = 2 * self.workers
         try:
             pending: deque = deque()
@@ -202,6 +284,88 @@ class EncodePipeline:
                 yield sl, result
         finally:
             pool.shutdown(wait=True)
+
+    def _stream_process(self, X, slices, mode) -> Iterator[tuple[slice, np.ndarray]]:
+        """Fan tiles out to worker processes through shared-memory slots.
+
+        Each in-flight chunk owns one (input, output) slot pair from a
+        fixed ring of ``2 × workers``: the parent copies the feature
+        rows in, the worker encodes in place and writes the result
+        planes/rows back, and only a constant-size metadata tuple ever
+        crosses the pickle boundary.  Slots are recycled as results are
+        consumed and unlinked when the stream closes.
+        """
+        d_hv = self.encoder.d_hv
+        in_bytes = max(1, self.chunk_size * self.encoder.d_in * X.dtype.itemsize)
+        if mode == "packed-bipolar":
+            out_bytes = 2 * self.chunk_size * n_words(d_hv) * 8
+        else:
+            out_bytes = self.chunk_size * d_hv * 4
+        window = 2 * self.workers
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_process_worker,
+            initargs=(pickle.dumps(self.encoder),),
+        )
+        slots: list[tuple] = []
+        free: list[tuple] = []
+        for _ in range(min(window, len(slices))):
+            pair = (
+                shared_memory.SharedMemory(create=True, size=in_bytes),
+                shared_memory.SharedMemory(create=True, size=out_bytes),
+            )
+            slots.append(pair)
+            free.append(pair)
+
+        def submit(sl):
+            slot = free.pop()
+            shm_in, shm_out = slot
+            X_chunk = X[sl]
+            # Elementwise copy into the slot — works for any ndarray
+            # (subclasses included) without serializing it.
+            np.ndarray(X_chunk.shape, X.dtype, buffer=shm_in.buf)[:] = X_chunk
+            future = pool.submit(
+                _process_encode_shm,
+                shm_in.name,
+                shm_out.name,
+                X_chunk.shape,
+                X.dtype.str,
+                self.kernel,
+                mode,
+            )
+            return slot, future
+
+        try:
+            pending: deque = deque()
+            todo = iter(slices)
+            for sl in todo:
+                pending.append((sl, *submit(sl)))
+                if len(pending) >= window:
+                    break
+            while pending:
+                sl, slot, future = pending.popleft()
+                tile = self._read_slot(slot[1], future.result())
+                free.append(slot)
+                for nxt in todo:
+                    pending.append((nxt, *submit(nxt)))
+                    break
+                yield sl, tile
+        finally:
+            pool.shutdown(wait=True)
+            for shm_in, shm_out in slots:
+                shm_in.close()
+                shm_in.unlink()
+                shm_out.close()
+                shm_out.unlink()
+
+    @staticmethod
+    def _read_slot(shm_out, meta):
+        """Materialize a worker's result from its output slot."""
+        if meta[0] == "dense":
+            return np.ndarray(meta[1], np.float32, buffer=shm_out.buf).copy()
+        _, n, nw, d = meta
+        planes = np.ndarray((2, n, nw), np.uint64, buffer=shm_out.buf)
+        return PackedHV(signs=planes[0].copy(), mags=planes[1].copy(), d=d)
 
     @property
     def uses_fused_dense_kernel(self) -> bool:
@@ -259,16 +423,19 @@ class EncodePipeline:
         X = check_2d(X, "X", n_cols=self.encoder.d_in)
         out = np.empty((X.shape[0], self.encoder.d_hv), dtype=np.float32)
         if self.uses_fused_dense_kernel:
+            native = {"native": True, "dense": False}.get(self.kernel)
             groups = self._coalesced_slices(X.shape[0], self.FUSED_GEMM_ROWS)
             if self.workers == 1 or len(groups) == 1:
                 for sl in groups:
-                    self.encoder.encode_into(X[sl], out[sl])
+                    self.encoder.encode_into(X[sl], out[sl], native=native)
                 return out
             # Thread workers share the output buffer; every group writes
             # a disjoint row block, so no synchronization is needed.
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
                 futures = [
-                    pool.submit(self.encoder.encode_into, X[sl], out[sl])
+                    pool.submit(
+                        self.encoder.encode_into, X[sl], out[sl], native=native
+                    )
                     for sl in groups
                 ]
                 for future in futures:
@@ -292,11 +459,30 @@ class EncodePipeline:
         than float32 — ready for the packed similarity kernels, the
         training stream of :func:`~repro.hd.batching.fit_classes_batched`
         or an :class:`EncodedChunkStore`.
+
+        Bipolar packing on an encoder with a direct-emission kernel
+        (level-base) skips the dense tile entirely: the packed sign
+        plane comes straight off the bit-plane counters
+        (:meth:`~repro.hd.encoder.LevelBaseEncoder.encode_packed_bipolar`)
+        with no unpack → quantize → re-pack round-trip.  Values are
+        identical either way.
         """
         q = get_quantizer(quantizer)
+        if pack and self._emits_packed_bipolar(q):
+            X = check_2d(X, "X", n_cols=self.encoder.d_in)
+            yield from self._stream_tiles(X, "packed-bipolar")
+            return
         prepare = q.pack if pack else q
         for sl, tile in self.stream(X):
             yield sl, prepare(tile)
+
+    def _emits_packed_bipolar(self, q: EncodingQuantizer) -> bool:
+        """True when packed bipolar tiles can skip the dense round-trip."""
+        return (
+            q.name == "bipolar"
+            and self.kernel != "dense"
+            and hasattr(self.encoder, "encode_packed_bipolar")
+        )
 
     def store(
         self,

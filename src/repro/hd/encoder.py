@@ -162,6 +162,29 @@ class ScalarBaseEncoder(Encoder):
             (X - np.float32(self.lo)) / np.float32(step)
         ) * np.float32(step)
 
+    def _quantized_features(self, X: np.ndarray, native: bool | None) -> np.ndarray:
+        """Level-snapped features via the NumPy or compiled path.
+
+        ``native=None`` auto-selects the compiled kernel when available;
+        ``True`` insists (raising without numba); ``False`` forces the
+        NumPy reference.  Both paths are elementwise float32 and produce
+        bit-identical values.
+        """
+        from repro.backend import native as native_kernels
+
+        if native is None:
+            native = native_kernels.kernels_available()
+        if not native:
+            return self.quantize_features(X)
+        X = check_2d(X, "X", n_cols=self.d_in)
+        snap = self.n_levels is not None and self.n_levels != 1
+        step = (
+            (self.hi - self.lo) / (self.n_levels - 1) if snap else None
+        )
+        return native_kernels.native_quantize_features(
+            X, self.lo, self.hi, step
+        )
+
     def encode(self, X: np.ndarray) -> np.ndarray:
         return self.quantize_features(X) @ self.base.as_float()
 
@@ -171,6 +194,7 @@ class ScalarBaseEncoder(Encoder):
         out: np.ndarray,
         *,
         col_block: int | None = None,
+        native: bool | None = None,
     ) -> np.ndarray:
         """Blocked quantize-into-matmul: encode ``X`` directly into ``out``.
 
@@ -189,8 +213,12 @@ class ScalarBaseEncoder(Encoder):
         shapes.  Blocking over columns never changes the per-element
         accumulation order, so results are identical to :meth:`encode`'s
         matmul up to BLAS kernel-shape rounding.
+
+        ``native`` selects the compiled quantize kernel feeding the GEMM
+        (``None`` auto-detects numba, ``False`` forces NumPy, ``True``
+        insists); the two quantize paths are bit-identical.
         """
-        Xq = self.quantize_features(X)
+        Xq = self._quantized_features(X, native)
         if out.shape != (Xq.shape[0], self.d_hv):
             raise ValueError(
                 f"out must have shape {(Xq.shape[0], self.d_hv)}, "
@@ -280,7 +308,34 @@ class LevelBaseEncoder(Encoder):
                 out += lvl[idx[:, k]] * base[k]
         return out
 
-    def encode_packed(self, X: np.ndarray) -> np.ndarray:
+    def _packed_operands(self, X: np.ndarray):
+        """Shared packed-kernel inputs: level indices and codebook planes."""
+        X = check_2d(X, "X", n_cols=self.d_in)
+        idx = self.levels.indices(X)
+        lvl_planes = self.levels.sign_planes()  # (n_levels, n_words)
+        # XNOR(a, b) == a ^ ~b: fold the inversion into the base planes.
+        inv_base = getattr(self, "_inv_base_planes", None)
+        if inv_base is None:
+            inv_base = ~self.base.sign_planes()
+            self._inv_base_planes = inv_base
+        return idx, lvl_planes, inv_base
+
+    @staticmethod
+    def _use_native(native: bool | None) -> bool:
+        from repro.backend import native as native_kernels
+
+        if native is None:
+            return native_kernels.kernels_available()
+        if native and not native_kernels.kernels_available():
+            raise ValueError(
+                "native=True needs numba, which is not installed; "
+                "use native=None for automatic selection"
+            )
+        return bool(native)
+
+    def encode_packed(
+        self, X: np.ndarray, *, native: bool | None = None
+    ) -> np.ndarray:
         """Eq. (2b) on uint64 bit planes — bit-identical to :meth:`encode`.
 
         Every addend ``L_{q_k} ⊙ B_k`` is bipolar, so its sign plane is
@@ -296,22 +351,69 @@ class LevelBaseEncoder(Encoder):
         feature instead of ``n_levels`` dense matmul passes, which makes
         this the fast path for the usual ``ℓiv`` ≫ 2.  Tail bits beyond
         ``d_hv`` are discarded when the counters unpack.
+
+        ``native`` routes the counters through the numba-compiled kernel
+        (:func:`~repro.backend.native.native_level_encode`): ``None``
+        auto-detects numba, ``False`` forces the NumPy accumulator,
+        ``True`` insists on the compiled path.  Both are integer-exact
+        and bit-identical.
         """
         from repro.backend.packed import BitPlaneAccumulator
 
-        X = check_2d(X, "X", n_cols=self.d_in)
-        idx = self.levels.indices(X)
-        lvl_planes = self.levels.sign_planes()  # (n_levels, n_words)
-        # XNOR(a, b) == a ^ ~b: fold the inversion into the base planes.
-        inv_base = getattr(self, "_inv_base_planes", None)
-        if inv_base is None:
-            inv_base = ~self.base.sign_planes()
-            self._inv_base_planes = inv_base
+        idx, lvl_planes, inv_base = self._packed_operands(X)
+        if self._use_native(native):
+            from repro.backend.native import native_level_encode
+
+            return native_level_encode(
+                idx, lvl_planes, inv_base, self.d_in, self.d_hv
+            )
         acc = BitPlaneAccumulator()
         for k in range(self.d_in):
             acc.add(lvl_planes[idx[:, k]] ^ inv_base[k])
         positives = acc.counts(self.d_hv)
         return (2 * positives - self.d_in).astype(np.float32)
+
+    def encode_packed_bipolar(
+        self, X: np.ndarray, *, native: bool | None = None
+    ):
+        """Encode and bipolar-quantize directly on bit planes — no dense tile.
+
+        Equivalent to ``pack_hypervectors(bipolar(encode(X)))`` but the
+        ``(n, d_hv)`` float tile never exists: the sign of the encoding
+        ``2c − d_in`` is exactly ``c > (d_in − 1) // 2`` (the bipolar
+        quantizer's 0 → +1 tie-break included), read straight off the
+        vertical counters with a bitwise magnitude comparator
+        (:meth:`~repro.backend.packed.BitPlaneAccumulator.greater_than`).
+        Returns a :class:`~repro.backend.PackedHV` whose magnitude plane
+        is all-ones over the valid dimensions (bipolar values have no
+        zeros).  ``native`` selects the compiled counters as in
+        :meth:`encode_packed`.
+        """
+        from repro.backend.packed import BitPlaneAccumulator, PackedHV, n_words
+
+        idx, lvl_planes, inv_base = self._packed_operands(X)
+        if self._use_native(native):
+            from repro.backend.native import native_level_encode_signs
+
+            signs = native_level_encode_signs(
+                idx, lvl_planes, inv_base, self.d_in, self.d_hv
+            )
+        else:
+            acc = BitPlaneAccumulator()
+            for k in range(self.d_in):
+                acc.add(lvl_planes[idx[:, k]] ^ inv_base[k])
+            signs = acc.greater_than((self.d_in - 1) // 2)
+        nw = n_words(self.d_hv)
+        mags = np.full((idx.shape[0], nw), ~np.uint64(0), dtype=np.uint64)
+        tail = self.d_hv % 64
+        if tail:
+            # The folded XNOR sets padding bits in every addend (the
+            # inverted base planes are all-ones there), so the tail
+            # counts are not zero — clear the padding in both planes.
+            mags[:, -1] = np.uint64((1 << tail) - 1)
+            signs = signs.copy()
+            signs[:, -1] &= mags[0, -1]
+        return PackedHV(signs=signs, mags=mags, d=self.d_hv)
 
     def __getstate__(self):
         # Keep worker-process pickles at codebook size (cf. item_memory).

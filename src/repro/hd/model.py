@@ -99,6 +99,45 @@ class HDModel:
         np.subtract.at(self.class_hvs, y, H.astype(np.float64, copy=False))
         self._invalidate()
 
+    def bundle_packed(self, packed: PackedHV, labels: np.ndarray) -> None:
+        """Bundle bit-packed quantized encodings — no dense round-trip.
+
+        Equivalent to ``bundle(packed.unpack(), labels)`` but the
+        ``(n, d_hv)`` float tile never materializes: per class, the sum
+        of ternary values is ``2 · #positive − #non-zero`` per column,
+        and both counts come off the bit planes through carry-save
+        :class:`~repro.backend.BitPlaneAccumulator` counters.  Every
+        addend is ±1/0, so the integer counts are exact and the result
+        matches the dense bundle bit-for-bit in float64.
+        """
+        from repro.backend.packed import BitPlaneAccumulator
+
+        y = check_labels(labels, "labels", n_classes=self.n_classes)
+        if packed.d != self.d_hv:
+            raise ValueError(
+                f"packed encodings have {packed.d} dims, model has {self.d_hv}"
+            )
+        if packed.n != y.shape[0]:
+            raise ValueError(
+                f"{packed.n} encodings but {y.shape[0]} labels"
+            )
+        bipolar = packed.is_bipolar
+        for c in np.unique(y):
+            rows = np.nonzero(y == c)[0]
+            acc_pos = BitPlaneAccumulator()
+            acc_nnz = None if bipolar else BitPlaneAccumulator()
+            for r in rows:
+                acc_pos.add(packed.signs[r : r + 1] & packed.mags[r : r + 1])
+                if acc_nnz is not None:
+                    acc_nnz.add(packed.mags[r : r + 1])
+            pos = acc_pos.counts(self.d_hv, dtype=np.int64)[0]
+            if acc_nnz is None:
+                nnz = np.int64(len(rows))
+            else:
+                nnz = acc_nnz.counts(self.d_hv, dtype=np.int64)[0]
+            self.class_hvs[c] += 2 * pos - nnz
+        self._invalidate()
+
     def _invalidate(self) -> None:
         self._norm_cache = None
 
@@ -118,17 +157,21 @@ class HDModel:
         """Pick a backend.
 
         Explicit choice wins.  Packed queries auto-route to the packed
-        kernels when the class store is packable too; against a
-        full-precision store (the §III-C host: degraded query,
-        information-rich classes) they fall back to dense, which unpacks
-        them — decisions are identical either way.
+        kernels when the class store is packable too — upgraded to the
+        numba-compiled ``native`` backend when its kernels are available
+        (answers are bit-identical); against a full-precision store (the
+        §III-C host: degraded query, information-rich classes) they fall
+        back to dense, which unpacks them — decisions are identical
+        either way.
         """
         if backend is not None:
             return get_backend(backend)
         if not isinstance(queries, PackedHV):
             return None  # classic dense expression, zero indirection
         if is_packable(self.class_hvs):
-            return get_backend("packed")
+            from repro.backend.native import kernels_available
+
+            return get_backend("native" if kernels_available() else "packed")
         return get_backend("dense")
 
     def scores(self, queries, *, backend: str | Backend | None = None) -> np.ndarray:

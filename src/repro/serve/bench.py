@@ -106,29 +106,39 @@ def run_throughput(
 ) -> ThroughputResult:
     """Measure host-side ``predict`` throughput per backend.
 
-    ``backend`` is ``"dense"``, ``"packed"`` or ``"both"``.  The same
-    query batch is served in each backend's wire format — floats for
-    dense, bit planes for packed, exactly the §III-C offload split where
-    the client quantizes/packs before transmitting.  The one-time
+    ``backend`` is ``"dense"``, ``"packed"``, ``"native"``, ``"both"``
+    (dense + packed) or ``"all"`` (those plus native).  The same query
+    batch is served in each backend's wire format — floats for dense,
+    bit planes for the packed-operand backends, exactly the §III-C
+    offload split where the client quantizes/packs before transmitting.
+    Native kernels are warmed (JIT-compiled) before timing.  The one-time
     client-side packing cost is measured separately
     (``client_pack_s``).  Each row is the best of ``repeats`` runs; when
     both backends run, predictions are compared element-wise.
     """
     from repro.backend import pack_hypervectors
+    from repro.backend.native import kernels_available, warm_kernels
 
-    names = ("dense", "packed") if backend == "both" else (backend,)
+    if backend == "both":
+        names: tuple[str, ...] = ("dense", "packed")
+    elif backend == "all":
+        names = ("dense", "packed", "native")
+    else:
+        names = (backend,)
     check_positive_int(repeats, "repeats")
     model, queries = make_serving_fixture(d_hv, n_queries, n_classes, seed)
     packed_queries, client_pack_s = None, 0.0
-    if "packed" in names:
+    if "packed" in names or "native" in names:
         t0 = time.perf_counter()
         packed_queries = pack_hypervectors(queries)
         client_pack_s = time.perf_counter() - t0
+    if "native" in names and kernels_available():
+        warm_kernels()  # JIT compilation must not count against the timings
 
     rows = []
     predictions: dict[str, np.ndarray] = {}
     for name in names:
-        wire = packed_queries if name == "packed" else queries
+        wire = queries if name == "dense" else packed_queries
         engine = InferenceEngine(model, backend=name, batch_size=batch_size)
         predictions[name] = engine.predict(wire)  # warm-up + correctness
         best = min(_time_once(engine.predict, wire) for _ in range(repeats))
@@ -141,8 +151,8 @@ def run_throughput(
         )
 
     speedup = None
-    if len(rows) == 2:
-        by_name = {r.backend: r for r in rows}
+    by_name = {r.backend: r for r in rows}
+    if "dense" in by_name and "packed" in by_name:
         speedup = (
             by_name["packed"].queries_per_s / by_name["dense"].queries_per_s
         )

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.backend import Backend, PackedHV, get_backend
+from repro.backend import Backend, PackedBackend, PackedHV, get_backend
 from repro.hd.encode_pipeline import EncodePipeline
 from repro.hd.encoder import Encoder
 from repro.hd.model import HDModel
@@ -44,9 +44,10 @@ class InferenceEngine:
         snapshot of its class store; later mutation of ``model`` does not
         affect the engine.
     backend:
-        ``"dense"`` (default), ``"packed"``, or a :class:`Backend`
-        instance.  The packed backend requires the (possibly quantized)
-        class store to be bipolar/ternary.
+        ``"dense"`` (default), ``"packed"``, ``"native"`` (compiled
+        packed kernels, NumPy fallback when numba is absent), or a
+        :class:`Backend` instance.  The packed-operand backends require
+        the (possibly quantized) class store to be bipolar/ternary.
     quantizer:
         Optional quantizer name/instance applied to the **class store**
         before preparation (e.g. ``"bipolar"`` serves the 1-bit model of
@@ -214,15 +215,17 @@ class InferenceEngine:
         # identically; the packed backend additionally receives
         # bit-packed tiles (what an obfuscating client ships).
         q = self.query_quantizer
+        packed_backend = isinstance(self.backend, PackedBackend)
         pack = (
-            self.backend.name == "packed"
+            packed_backend
             and self.quantizer is not None
             and self.quantizer.packable
         )
-        if self.backend.name == "packed" and not pack:
+        if packed_backend and not pack:
             raise ValueError(
-                "the packed backend needs a packable quantizer "
-                "(bipolar/ternary/ternary-biased) to serve raw features"
+                f"the {self.backend.name!r} backend needs a packable "
+                "quantizer (bipolar/ternary/ternary-biased) to serve "
+                "raw features"
             )
         return self.encode_pipeline.stream_quantized(X, q, pack=pack)
 

@@ -7,6 +7,7 @@ from repro.backend import (
     BACKEND_NAMES,
     Backend,
     DenseBackend,
+    NativeBackend,
     PackedBackend,
     get_backend,
     pack_hypervectors,
@@ -24,12 +25,13 @@ def bipolar_setup():
 
 class TestRegistry:
     def test_names(self):
-        assert BACKEND_NAMES == ("dense", "packed")
+        assert BACKEND_NAMES == ("dense", "native", "packed")
 
     def test_get_by_name(self):
         assert isinstance(get_backend("dense"), DenseBackend)
         assert isinstance(get_backend("packed"), PackedBackend)
         assert isinstance(get_backend("PACKED"), PackedBackend)
+        assert isinstance(get_backend("native"), NativeBackend)
 
     def test_none_resolves_to_dense(self):
         assert get_backend(None).name == "dense"
@@ -106,6 +108,68 @@ class TestPackedBackend:
             packed.prepare_queries(Q), packed.prepare_class_store(C)
         )
         np.testing.assert_array_equal(pd, pp)
+
+
+@pytest.fixture(params=sorted(BACKEND_NAMES))
+def any_backend(request):
+    """Every registered backend, one at a time.
+
+    ``native`` resolves to the numba kernels when installed and the
+    NumPy fallback otherwise; the dense-equivalence contract below must
+    hold in both configurations.
+    """
+    return get_backend(request.param)
+
+
+class TestCrossBackendEquivalence:
+    """Every backend answers exactly like the dense reference."""
+
+    def test_class_scores_match_dense(self, any_backend, bipolar_setup):
+        from repro.hd.similarity import class_scores
+
+        Q, C = bipolar_setup
+        prepared = any_backend.prepare_class_store(C)
+        queries = any_backend.prepare_queries(Q)
+        np.testing.assert_array_equal(
+            any_backend.class_scores(queries, prepared), class_scores(Q, C)
+        )
+
+    def test_predict_matches_dense(self, any_backend, bipolar_setup):
+        Q, C = bipolar_setup
+        dense = get_backend("dense")
+        expect = dense.predict(Q, dense.prepare_class_store(C))
+        got = any_backend.predict(
+            any_backend.prepare_queries(Q),
+            any_backend.prepare_class_store(C),
+        )
+        np.testing.assert_array_equal(got, expect)
+
+    def test_hamming_matches_dense(self, any_backend, bipolar_setup):
+        Q, C = bipolar_setup
+        expect = get_backend("dense").hamming_matrix(Q[:5], C)
+        got = any_backend.hamming_matrix(
+            any_backend.prepare_queries(Q[:5]),
+            any_backend.prepare_queries(C),
+        )
+        np.testing.assert_array_equal(got, expect)
+
+
+class TestNativeBackendRegistry:
+    def test_native_is_a_packed_backend(self):
+        # Inheritance keeps preparation (norms, packing, validation)
+        # byte-identical between the two packed-operand backends.
+        assert isinstance(get_backend("native"), PackedBackend)
+        assert get_backend("native").name == "native"
+
+    def test_native_rejects_full_precision_store(self):
+        with pytest.raises(ValueError, match="bit-packed"):
+            get_backend("native").prepare_class_store(np.array([[0.5, 1.5]]))
+
+    def test_packed_prepared_store_rejected_by_native(self, bipolar_setup):
+        Q, C = bipolar_setup
+        prepared = get_backend("packed").prepare_class_store(C)
+        with pytest.raises(ValueError, match="prepared by"):
+            get_backend("native").class_scores(pack_hypervectors(Q), prepared)
 
 
 class TestCustomBackend:

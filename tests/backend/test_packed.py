@@ -17,17 +17,29 @@ from repro.backend import (
     WORD_BITS,
     PackedHV,
     is_packable,
+    native_class_scores,
+    native_dot_matrix,
+    native_hamming_matrix,
     pack_hypervectors,
     packed_class_scores,
     packed_dot_matrix,
     packed_hamming_matrix,
     packed_norms,
     popcount,
+    popcount_lut,
 )
 from repro.utils import spawn
 
 #: word-boundary edge cases plus awkward primes
 EDGE_DIMS = (1, 63, 64, 65, 127, 128, 200, 1000)
+
+#: kernel families under the same dense-equivalence contract; "native"
+#: runs the numba kernels when installed and the NumPy fallback otherwise
+#: — the contract is identical either way
+KERNELS = {
+    "packed": (packed_dot_matrix, packed_class_scores, packed_hamming_matrix),
+    "native": (native_dot_matrix, native_class_scores, native_hamming_matrix),
+}
 
 
 def random_hvs(n, d, seed, *, ternary, p_zero=0.3):
@@ -53,6 +65,31 @@ class TestPopcount:
     def test_zero_and_all_ones(self):
         assert int(popcount(np.uint64(0))) == 0
         assert int(popcount(np.uint64(2**64 - 1))) == 64
+
+    def test_lut_agrees_with_popcount(self):
+        """The 16-bit-LUT fallback and the shipped popcount agree.
+
+        On NumPy >= 2.0 ``popcount`` is ``np.bitwise_count`` and the LUT
+        is the dormant fallback; this keeps the fallback honest so a
+        NumPy downgrade cannot silently change results.
+        """
+        words = spawn(1, "pc-lut").integers(
+            0, 2**64, 256, dtype=np.uint64
+        )
+        np.testing.assert_array_equal(popcount_lut(words), popcount(words))
+
+    def test_lut_edge_values(self):
+        assert int(popcount_lut(np.uint64(0))) == 0
+        assert int(popcount_lut(np.uint64(2**64 - 1))) == 64
+        assert popcount_lut(np.uint64(1 << 63)).dtype == np.uint8
+
+    def test_lut_preserves_shape(self):
+        words = spawn(2, "pc-shape").integers(
+            0, 2**64, (3, 4, 5), dtype=np.uint64
+        )
+        got = popcount_lut(words)
+        assert got.shape == (3, 4, 5)
+        np.testing.assert_array_equal(got, popcount(words))
 
 
 class TestPackRoundTrip:
@@ -114,8 +151,15 @@ class TestPackRoundTrip:
         assert p.nbytes * 16 == H.nbytes
 
 
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
 class TestKernelEquivalence:
-    """Exact agreement with the dense reference on random operands."""
+    """Exact agreement with the dense reference on random operands.
+
+    Parameterized over the packed-operand kernel families: the
+    pure-NumPy ``packed`` kernels and the ``native`` entry points
+    (compiled when numba is installed, NumPy fallback otherwise — the
+    dense-equivalence contract holds in every configuration).
+    """
 
     @settings(max_examples=30, deadline=None)
     @given(
@@ -123,11 +167,12 @@ class TestKernelEquivalence:
         seed=st.integers(0, 2**31),
         ternary=st.booleans(),
     )
-    def test_dot_matrix_matches_dense(self, d, seed, ternary):
+    def test_dot_matrix_matches_dense(self, kernel, d, seed, ternary):
+        dot, _, _ = KERNELS[kernel]
         Q = random_hvs(6, d, seed, ternary=ternary)
         R = random_hvs(4, d, seed + 1, ternary=True)
         expect = Q.astype(np.float64) @ R.astype(np.float64).T
-        got = packed_dot_matrix(pack_hypervectors(Q), pack_hypervectors(R))
+        got = dot(pack_hypervectors(Q), pack_hypervectors(R))
         np.testing.assert_array_equal(got, expect)
 
     @settings(max_examples=30, deadline=None)
@@ -136,10 +181,13 @@ class TestKernelEquivalence:
         seed=st.integers(0, 2**31),
         ternary=st.booleans(),
     )
-    def test_class_scores_match_dense_bit_for_bit(self, d, seed, ternary):
+    def test_class_scores_match_dense_bit_for_bit(
+        self, kernel, d, seed, ternary
+    ):
+        _, scores, _ = KERNELS[kernel]
         Q = random_hvs(6, d, seed, ternary=ternary)
         C = random_hvs(3, d, seed + 7, ternary=ternary)
-        got = packed_class_scores(pack_hypervectors(Q), pack_hypervectors(C))
+        got = scores(pack_hypervectors(Q), pack_hypervectors(C))
         # exact: integer dots are exact in float64, norms agree exactly
         np.testing.assert_array_equal(got, dense_class_scores(Q, C))
 
@@ -149,26 +197,44 @@ class TestKernelEquivalence:
         seed=st.integers(0, 2**31),
         ternary=st.booleans(),
     )
-    def test_hamming_matches_dense(self, d, seed, ternary):
+    def test_hamming_matches_dense(self, kernel, d, seed, ternary):
+        _, _, hamming = KERNELS[kernel]
         A = random_hvs(5, d, seed, ternary=ternary)
         B = random_hvs(4, d, seed + 3, ternary=ternary)
         expect = np.array([[np.mean(a != b) for b in B] for a in A])
-        got = packed_hamming_matrix(pack_hypervectors(A), pack_hypervectors(B))
+        got = hamming(pack_hypervectors(A), pack_hypervectors(B))
         np.testing.assert_array_equal(got, expect)
 
     @settings(max_examples=20, deadline=None)
     @given(d=st.integers(1, 300), seed=st.integers(0, 2**31))
-    def test_argmax_decisions_identical(self, d, seed):
+    def test_argmax_decisions_identical(self, kernel, d, seed):
         """The acceptance contract: same winner, including tie-breaks."""
+        _, scores, _ = KERNELS[kernel]
         Q = random_hvs(16, d, seed, ternary=False)
         C = random_hvs(5, d, seed + 11, ternary=False)
         dense_pred = np.argmax(dense_class_scores(Q, C), axis=1)
         packed_pred = np.argmax(
-            packed_class_scores(pack_hypervectors(Q), pack_hypervectors(C)),
+            scores(pack_hypervectors(Q), pack_hypervectors(C)),
             axis=1,
         )
         np.testing.assert_array_equal(packed_pred, dense_pred)
 
+    def test_dimension_mismatch_raises(self, kernel):
+        dot, _, _ = KERNELS[kernel]
+        a = pack_hypervectors(np.ones((2, 64)))
+        b = pack_hypervectors(np.ones((2, 65)))
+        with pytest.raises(ValueError, match="mismatch"):
+            dot(a, b)
+
+    def test_all_zero_rows_are_safe(self, kernel):
+        _, scores, _ = KERNELS[kernel]
+        Z = np.zeros((2, 100))
+        C = random_hvs(3, 100, seed=5, ternary=True)
+        got = scores(pack_hypervectors(Z), pack_hypervectors(C))
+        np.testing.assert_array_equal(got, np.zeros((2, 3)))
+
+
+class TestPackedNorms:
     @pytest.mark.parametrize("d", EDGE_DIMS)
     def test_norms_match_dense(self, d):
         H = random_hvs(7, d, seed=d + 1, ternary=True)
@@ -177,18 +243,6 @@ class TestKernelEquivalence:
         np.testing.assert_array_equal(
             packed_norms(pack_hypervectors(H)), expect
         )
-
-    def test_dimension_mismatch_raises(self):
-        a = pack_hypervectors(np.ones((2, 64)))
-        b = pack_hypervectors(np.ones((2, 65)))
-        with pytest.raises(ValueError, match="mismatch"):
-            packed_dot_matrix(a, b)
-
-    def test_all_zero_rows_are_safe(self):
-        Z = np.zeros((2, 100))
-        C = random_hvs(3, 100, seed=5, ternary=True)
-        got = packed_class_scores(pack_hypervectors(Z), pack_hypervectors(C))
-        np.testing.assert_array_equal(got, np.zeros((2, 3)))
 
 
 class TestValidateFlag:

@@ -58,6 +58,51 @@ class TestBitPlaneAccumulator:
         with pytest.raises(ValueError):
             BitPlaneAccumulator().counts(8)
 
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_rows=st.integers(1, 40),
+        d=st.integers(1, 200),
+        seed=st.integers(0, 2**31),
+        threshold=st.integers(-2, 42),
+    )
+    def test_greater_than_matches_counts(self, n_rows, d, seed, threshold):
+        rng = spawn(seed, "acc-gt")
+        bits = rng.integers(0, 2, (n_rows, d), dtype=np.uint8)
+        planes = pack_sign_planes(2 * bits.astype(np.int8) - 1)
+        acc = BitPlaneAccumulator()
+        for row in planes:
+            acc.add(row[None, :])
+        mask = acc.greater_than(threshold)
+        counts = bits.sum(axis=0, dtype=np.int64)
+        expect = counts > threshold
+        got = np.zeros(d, dtype=bool)
+        for j in range(d):
+            got[j] = bool((mask[0, j // 64] >> np.uint64(j % 64)) & np.uint64(1))
+        np.testing.assert_array_equal(got, expect)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_rows=st.integers(1, 40),
+        d=st.integers(1, 200),
+        seed=st.integers(0, 2**31),
+    )
+    def test_compressed_is_canonical_binary(self, n_rows, d, seed):
+        rng = spawn(seed, "acc-cmp")
+        bits = rng.integers(0, 2, (n_rows, d), dtype=np.uint8)
+        planes = pack_sign_planes(2 * bits.astype(np.int8) - 1)
+        acc = BitPlaneAccumulator()
+        for row in planes:
+            acc.add(row[None, :])
+        compressed = acc.compressed()
+        counts = bits.sum(axis=0, dtype=np.int64)
+        # decode the canonical planes back to per-column counts
+        decoded = np.zeros(d, dtype=np.int64)
+        for p, plane in enumerate(compressed):
+            for j in range(d):
+                bit = (plane[0, j // 64] >> np.uint64(j % 64)) & np.uint64(1)
+                decoded[j] += int(bit) << p
+        np.testing.assert_array_equal(decoded, counts)
+
 
 # ----------------------------------------------------------------------
 # packed level-base kernel vs dense reference
@@ -169,6 +214,131 @@ class TestEncodePipeline:
             enc, chunk_size=5, workers=2, executor="process"
         )
         np.testing.assert_array_equal(pipeline.encode(X), enc.encode(X))
+
+
+# ----------------------------------------------------------------------
+# shared-memory tiles: the process executor must not pickle data tiles
+# ----------------------------------------------------------------------
+class _NoPickle(np.ndarray):
+    """An ndarray whose pickling is a test failure.
+
+    Streaming it through the process executor proves input tiles reach
+    the workers via shared memory, not serialized chunk arguments.
+    """
+
+    def __reduce__(self):
+        raise RuntimeError("input tile was pickled")
+
+
+class TestSharedMemoryTiles:
+    def test_process_path_never_pickles_input_tiles(self):
+        enc = LevelBaseEncoder(6, 70, n_levels=4, seed=2)
+        X = _inputs(13, 6).view(_NoPickle)
+        pipeline = EncodePipeline(
+            enc, chunk_size=5, workers=2, executor="process"
+        )
+        np.testing.assert_array_equal(
+            pipeline.encode(X), enc.encode(np.asarray(X))
+        )
+
+    def test_process_path_never_pickles_packed_tiles(self):
+        enc = LevelBaseEncoder(6, 70, n_levels=4, seed=2)
+        X = _inputs(13, 6).view(_NoPickle)
+        q = get_quantizer("bipolar")
+        pipeline = EncodePipeline(
+            enc, chunk_size=5, workers=2, executor="process"
+        )
+        ref = EncodePipeline(enc, chunk_size=5)
+        for (sl, got), (_, want) in zip(
+            pipeline.stream_quantized(X, q, pack=True),
+            ref.stream_quantized(np.asarray(X), q, pack=True),
+        ):
+            assert isinstance(got, PackedHV)
+            np.testing.assert_array_equal(got.signs, want.signs)
+            np.testing.assert_array_equal(got.mags, want.mags)
+
+    def test_shm_slots_are_released(self):
+        # Every segment the stream creates must be unlinked afterwards:
+        # re-running the same pipeline many times must not accumulate
+        # attachments in this process.
+        from repro.hd import encode_pipeline as ep
+
+        enc = LevelBaseEncoder(4, 70, n_levels=4, seed=1)
+        X = _inputs(11, 4)
+        pipeline = EncodePipeline(
+            enc, chunk_size=4, workers=2, executor="process"
+        )
+        first = pipeline.encode(X)
+        np.testing.assert_array_equal(first, enc.encode(X))
+        # parent-side slot objects are per-stream; worker caches live in
+        # the pool processes, not here
+        assert not ep._WORKER_SHM
+
+
+# ----------------------------------------------------------------------
+# direct packed-bipolar emission: no dense tile, no unpack round-trip
+# ----------------------------------------------------------------------
+class TestDirectPackedEmission:
+    def _reference(self, enc, X):
+        q = get_quantizer("bipolar")
+        from repro.backend import pack_hypervectors
+
+        return pack_hypervectors(q(enc.encode(X)))
+
+    def test_emitted_tiles_match_quantized_dense(self):
+        enc = LevelBaseEncoder(10, 130, n_levels=5, seed=3)
+        X = _inputs(29, 10)
+        want = self._reference(enc, X)
+        pipeline = EncodePipeline(enc, chunk_size=8)
+        for sl, chunk in pipeline.stream_quantized(
+            X, get_quantizer("bipolar"), pack=True
+        ):
+            assert isinstance(chunk, PackedHV)
+            np.testing.assert_array_equal(chunk.signs, want[sl].signs)
+            np.testing.assert_array_equal(chunk.mags, want[sl].mags)
+
+    def test_no_dense_unpack_on_the_bipolar_path(self, monkeypatch):
+        enc = LevelBaseEncoder(10, 130, n_levels=5, seed=3)
+        X = _inputs(29, 10)
+        want = self._reference(enc, X)
+
+        def _boom(self, dtype=np.float32):
+            raise AssertionError("dense unpack on the packed path")
+
+        monkeypatch.setattr(PackedHV, "unpack", _boom)
+        pipeline = EncodePipeline(enc, chunk_size=8)
+        got = [
+            c for _, c in pipeline.stream_quantized(
+                X, get_quantizer("bipolar"), pack=True
+            )
+        ]
+        np.testing.assert_array_equal(
+            np.vstack([c.signs for c in got]), want.signs
+        )
+        np.testing.assert_array_equal(
+            np.vstack([c.mags for c in got]), want.mags
+        )
+
+    def test_packed_training_streams_without_unpack(self, monkeypatch):
+        enc = LevelBaseEncoder(10, 130, n_levels=5, seed=3)
+        X = _inputs(29, 10)
+        y = spawn(4, "pipe-train-y").integers(0, 3, 29)
+        mono = HDModel.from_encodings(
+            get_quantizer("bipolar")(enc.encode(X)), y, 3
+        )
+
+        def _boom(self, dtype=np.float32):
+            raise AssertionError("dense unpack during packed training")
+
+        monkeypatch.setattr(PackedHV, "unpack", _boom)
+        pipeline = EncodePipeline(enc, chunk_size=8)
+        stream = pipeline.stream_quantized(
+            X, get_quantizer("bipolar"), pack=True
+        )
+        model = fit_classes_batched(
+            None, None, y, 3, stream=stream, d_hv=130
+        )
+        np.testing.assert_array_equal(model.class_hvs, mono.class_hvs)
 
 
 # ----------------------------------------------------------------------

@@ -160,6 +160,63 @@ class TestTransforms:
         assert m.class_hvs[0, 0] == 1.0
 
 
+class TestBundlePacked:
+    """Bit-packed bundling must match the dense bundle bit-for-bit."""
+
+    @pytest.mark.parametrize("ternary", [False, True])
+    def test_matches_dense_bundle(self, ternary):
+        from repro.backend import pack_hypervectors
+
+        rng = spawn(7, "model-packed")
+        if ternary:
+            H = rng.choice([0.0, -1.0, 1.0], size=(23, 130))
+        else:
+            H = rng.choice([-1.0, 1.0], size=(23, 130))
+        y = rng.integers(0, 4, 23)
+        dense = HDModel(4, 130)
+        dense.bundle(H, y)
+        packed = HDModel(4, 130)
+        packed.bundle_packed(pack_hypervectors(H), y)
+        np.testing.assert_array_equal(packed.class_hvs, dense.class_hvs)
+
+    def test_accumulates_onto_existing_store(self):
+        from repro.backend import pack_hypervectors
+
+        rng = spawn(8, "model-packed-2")
+        H = rng.choice([-1.0, 1.0], size=(10, 70))
+        y = rng.integers(0, 2, 10)
+        a = HDModel(2, 70)
+        a.bundle(H, y)
+        a.bundle(H, y)
+        b = HDModel(2, 70)
+        b.bundle(H, y)
+        b.bundle_packed(pack_hypervectors(H), y)
+        np.testing.assert_array_equal(a.class_hvs, b.class_hvs)
+
+    def test_dimension_mismatch_rejected(self):
+        from repro.backend import pack_hypervectors
+
+        m = HDModel(2, 70)
+        with pytest.raises(ValueError, match="dims"):
+            m.bundle_packed(pack_hypervectors(np.ones((2, 64))), np.zeros(2, dtype=int))
+
+    def test_label_count_mismatch_rejected(self):
+        from repro.backend import pack_hypervectors
+
+        m = HDModel(2, 70)
+        with pytest.raises(ValueError, match="labels"):
+            m.bundle_packed(pack_hypervectors(np.ones((2, 70))), np.zeros(3, dtype=int))
+
+    def test_invalidates_norm_cache(self):
+        from repro.backend import pack_hypervectors
+
+        m = HDModel(2, 70)
+        m.bundle(np.ones((1, 70)), np.array([0]))
+        n1 = m.class_norms.copy()
+        m.bundle_packed(pack_hypervectors(np.ones((1, 70))), np.array([0]))
+        assert not np.allclose(m.class_norms, n1)
+
+
 class TestBackendRouting:
     """HDModel score/predict paths across compute backends."""
 

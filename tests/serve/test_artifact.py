@@ -43,7 +43,7 @@ class TestRoundTrip:
     backend × quantizer × pruned × dimensionality grid."""
 
     # 900 and 1000 are deliberately not multiples of 64 (packed tail).
-    @pytest.mark.parametrize("backend", ["dense", "packed"])
+    @pytest.mark.parametrize("backend", ["dense", "packed", "native"])
     @pytest.mark.parametrize(
         "quantizer", ["bipolar", "ternary", "ternary-biased"]
     )

@@ -21,6 +21,7 @@ _DOCTEST_MODULES = [
     "repro.hd.prune",
     "repro.hd.batching",
     "repro.backend.packed",
+    "repro.backend.native",
     "repro.hd.sequence",
     "repro.attacks.decoder",
     "repro.hardware.rtl",
