@@ -323,6 +323,240 @@ def run_worker_pool_bench(artifact_dir, queries, direct, args) -> dict:
     return out
 
 
+def _paced_open_loop(api, queries, *, rate_rows_s, duration_s, rows_per_req):
+    """Offer ``rate_rows_s`` of scoring work for ``duration_s``, open loop.
+
+    Unlike the closed-loop client drivers above, the pacer never waits
+    for answers: it submits ``rows_per_req``-row requests on a fixed
+    schedule whether or not the server is keeping up — which is what an
+    overload actually looks like.  Returns
+    (completed, shed, latencies, achieved_rate, elapsed_total).
+    """
+    from repro.proto import ScoreRequest
+    from repro.serve.errors import Overloaded
+
+    n = queries.shape[0]
+    futures = []
+    latencies: list[float] = []
+    lock = threading.Lock()
+    shed = 0
+    sent_rows = 0
+    t_start = time.perf_counter()
+    while True:
+        now = time.perf_counter() - t_start
+        if now >= duration_s:
+            break
+        target_rows = int(now * rate_rows_s)
+        while sent_rows < target_rows:
+            lo = sent_rows % max(n - rows_per_req, 1)
+            block = queries[lo : lo + rows_per_req]
+            t0 = time.perf_counter()
+            try:
+                f = api.submit_score(ScoreRequest(queries=block))
+            except Overloaded:
+                shed += 1
+            else:
+                def _done(fut, t0=t0):
+                    with lock:
+                        latencies.append(time.perf_counter() - t0)
+
+                f.add_done_callback(_done)
+                futures.append(f)
+            sent_rows += rows_per_req
+        time.sleep(0.001)
+    offered_elapsed = time.perf_counter() - t_start
+    for f in futures:
+        f.result(timeout=120.0)
+    elapsed_total = time.perf_counter() - t_start
+    achieved = sent_rows / offered_elapsed
+    return len(futures), shed, latencies, achieved, elapsed_total
+
+
+def run_overload_sweep(artifact, queries, args) -> dict:
+    """Goodput / shed rate / p99 from 0.5x to 4x capacity, with and
+    without admission control.
+
+    Capacity is measured first (a saturating burst through the same
+    micro-batched path), then each multiplier of it is *offered* open
+    loop.  With ``max_queue_rows`` bounded, the excess comes back as
+    typed ``Overloaded`` rejections and the latency of accepted
+    requests stays pinned to the queue bound; with admission control
+    off, nothing is shed — the queue absorbs the whole burst and p99
+    grows with it.  That contrast is the point of the table.
+    """
+    from repro.proto import ScoreRequest
+
+    rows_per_req = args.overload_rows
+    queue_rows = 4 * args.max_batch
+
+    def fresh_api(bounded: bool) -> ServingAPI:
+        return ServingAPI.from_artifact(
+            artifact,
+            name="bench",
+            config=MicroBatchConfig(
+                max_batch=args.max_batch,
+                max_queue_rows=queue_rows if bounded else None,
+            ),
+        )
+
+    # Capacity: saturate the unbounded path and time the drain.
+    with fresh_api(bounded=False) as api:
+        n_burst = max(64, 4096 // rows_per_req)
+        t0 = time.perf_counter()
+        futs = [
+            api.submit_score(
+                ScoreRequest(
+                    queries=queries[
+                        (i * rows_per_req)
+                        % max(queries.shape[0] - rows_per_req, 1) :
+                    ][:rows_per_req]
+                )
+            )
+            for i in range(n_burst)
+        ]
+        for f in futs:
+            f.result(timeout=120.0)
+        capacity_rows_s = n_burst * rows_per_req / (time.perf_counter() - t0)
+
+    sweep = []
+    for multiplier in args.overload_multipliers:
+        entry = {"offered_x_capacity": multiplier}
+        for label, bounded in (("admission", True), ("unbounded", False)):
+            with fresh_api(bounded) as api:
+                completed, shed, lats, achieved, elapsed = _paced_open_loop(
+                    api,
+                    queries,
+                    rate_rows_s=multiplier * capacity_rows_s,
+                    duration_s=args.overload_duration,
+                    rows_per_req=rows_per_req,
+                )
+                rejected = sum(
+                    e.get("rejected", 0) for e in api.stats().values()
+                )
+            lats.sort()
+            entry[label] = {
+                "offered_rows_s": multiplier * capacity_rows_s,
+                "achieved_offer_rows_s": achieved,
+                "completed_requests": completed,
+                "shed_requests": shed,
+                "shed_rate": shed / max(completed + shed, 1),
+                "goodput_rows_s": completed * rows_per_req / elapsed,
+                "p50_ms": 1e3 * lats[len(lats) // 2] if lats else None,
+                "p99_ms": (
+                    1e3 * lats[int(0.99 * len(lats))] if lats else None
+                ),
+                "rejected_by_scheduler": rejected,
+            }
+        sweep.append(entry)
+    return {
+        "rows_per_request": rows_per_req,
+        "duration_s": args.overload_duration,
+        "max_queue_rows": queue_rows,
+        "capacity_rows_s": capacity_rows_s,
+        "sweep": sweep,
+    }
+
+
+def run_chaos_pool(artifact_dir, queries, direct, args) -> dict:
+    """Kill one of two live workers under retrying client traffic.
+
+    The recovery-time report CI uploads: clients with bounded retries
+    hammer a two-worker pool; worker 0 is SIGKILLed mid-traffic; one
+    supervision pass replaces it (replaying the registry log).  The
+    run *asserts* zero wrong answers and zero client failures — the
+    chaos outcome is a correctness bar, not just a timing.
+    """
+    from repro.serve import WorkerPool
+
+    n_probe = min(64, queries.shape[0])
+    packed = [
+        pack_hypervectors(queries[i], validate=False) for i in range(n_probe)
+    ]
+    config = MicroBatchConfig(max_batch=args.max_batch)
+    out = {"workers": 2, "clients": 4}
+    with WorkerPool(
+        artifact_dir, name="bench", workers=2, config=config
+    ) as pool:
+        stop = threading.Event()
+        failures: list[Exception] = []
+        wrong = [0]
+        count = [0]
+        retries = [0]
+        reconnects = [0]
+        lock = threading.Lock()
+
+        def hammer(worker: int) -> None:
+            try:
+                with PriveHDClient(
+                    pool.address,
+                    max_retries=8,
+                    backoff_base_s=0.02,
+                    timeout=10.0,
+                ) as client:
+                    i = 0
+                    while not stop.is_set():
+                        idx = (worker + i) % n_probe
+                        i += 1
+                        pred = client.predict_encoded(packed[idx])
+                        with lock:
+                            count[0] += 1
+                            if pred[0] != direct[idx]:
+                                wrong[0] += 1
+                    with lock:
+                        retries[0] += client.retries
+                        reconnects[0] += client.reconnects
+            except Exception as exc:  # noqa: BLE001 — counted, reported
+                failures.append(exc)
+
+        def wait_for(n: int, deadline_s: float = 60.0) -> None:
+            deadline = time.perf_counter() + deadline_s
+            while time.perf_counter() < deadline:
+                with lock:
+                    if count[0] >= n:
+                        return
+                time.sleep(0.002)
+            raise AssertionError(f"chaos traffic stalled before {n} answers")
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,))
+            for w in range(out["clients"])
+        ]
+        for t in threads:
+            t.start()
+        wait_for(50)  # traffic established on both workers
+        t_kill = time.perf_counter()
+        killed_pid = pool.kill_worker(0)
+        at_kill = count[0]
+        respawned = pool.supervise_once()
+        pool.ping()  # the whole fleet acks again
+        recovery_s = time.perf_counter() - t_kill
+        wait_for(at_kill + 200)  # traffic flowed on through the kill
+        stop.set()
+        for t in threads:
+            t.join()
+        out.update(
+            {
+                "requests": count[0],
+                "answers_before_kill": at_kill,
+                "killed_pid": killed_pid,
+                "respawned_workers": respawned,
+                "recovery_s": recovery_s,
+                "restarts": pool.restarts,
+                "client_retries": retries[0],
+                "client_reconnects": reconnects[0],
+                "failed_clients": len(failures),
+                "wrong_answers": wrong[0],
+            }
+        )
+    if failures:
+        raise AssertionError(f"chaos client gave up: {failures[0]!r}")
+    if wrong[0]:
+        raise AssertionError(f"{wrong[0]} wrong answers under chaos")
+    if respawned != [0]:
+        raise AssertionError(f"supervisor respawned {respawned}, not [0]")
+    return out
+
+
 def run_scatter_microbench(n_requests: int = 256, repeats: int = 30) -> dict:
     """Per-flush result-scatter cost: PR 3's per-future Python loop
     (the "before") vs the shipped vectorized ``_split_results`` scatter.
@@ -545,6 +779,17 @@ def run_bench(args, workdir) -> dict:
             report["workers"] = run_worker_pool_bench(
                 str(pathlib.Path(workdir) / "v1"), queries, direct, args
             )
+    if args.overload:
+        report["overload"] = run_overload_sweep(artifact, queries, args)
+    if args.chaos:
+        import socket as _socket
+
+        if hasattr(_socket, "SO_REUSEPORT"):
+            report["chaos"] = run_chaos_pool(
+                str(pathlib.Path(workdir) / "v1"), queries, direct, args
+            )
+        else:  # pragma: no cover - non-Linux
+            report["chaos"] = {"skipped": "no SO_REUSEPORT on this host"}
     return report
 
 
@@ -654,6 +899,42 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--overload",
+        action="store_true",
+        help=(
+            "sweep offered load from 0.5x to 4x of measured capacity "
+            "and record goodput, shed rate, and p99 latency with and "
+            "without admission control"
+        ),
+    )
+    parser.add_argument(
+        "--overload-multipliers",
+        type=lambda s: tuple(float(x) for x in s.split(",")),
+        default=(0.5, 1.0, 2.0, 4.0),
+        help="offered-load multiples of capacity to sweep",
+    )
+    parser.add_argument(
+        "--overload-duration",
+        type=float,
+        default=1.0,
+        help="seconds of offered load per sweep point",
+    )
+    parser.add_argument(
+        "--overload-rows",
+        type=int,
+        default=64,
+        help="rows per request in the overload sweep",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help=(
+            "kill one of two live pool workers under retrying client "
+            "traffic and record the recovery-time report (asserts zero "
+            "wrong answers and zero failed clients)"
+        ),
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="tiny sizes for CI: same assertions, completes in seconds",
@@ -680,6 +961,7 @@ def main(argv=None) -> int:
         args.repeats = 1
         args.socket_clients = min(args.socket_clients, 4)
         args.workers = min(args.workers, 2)
+        args.overload_duration = min(args.overload_duration, 0.4)
 
     with tempfile.TemporaryDirectory() as workdir:
         report = run_bench(args, workdir)
@@ -754,6 +1036,31 @@ def main(argv=None) -> int:
             f"{wk['workers_max']} workers {multi:,.0f} q/s "
             f"({wk['aggregate_speedup']:.2f}x aggregate on "
             f"{wk['cpu_count']} core(s))"
+        )
+    if "overload" in report:
+        ov = report["overload"]
+        print(
+            f"overload sweep (capacity {ov['capacity_rows_s']:,.0f} "
+            f"rows/s, queue bound {ov['max_queue_rows']} rows):"
+        )
+        for entry in ov["sweep"]:
+            adm, unb = entry["admission"], entry["unbounded"]
+            print(
+                f"  {entry['offered_x_capacity']:>4}x offered: "
+                f"goodput {adm['goodput_rows_s']:,.0f} rows/s, "
+                f"shed {adm['shed_rate']:.0%}, "
+                f"p99 {adm['p99_ms']:.1f} ms with admission | "
+                f"p99 {unb['p99_ms']:.1f} ms unbounded"
+            )
+    if "chaos" in report and "skipped" not in report["chaos"]:
+        ch = report["chaos"]
+        print(
+            f"chaos: killed pid {ch['killed_pid']} under "
+            f"{ch['clients']} retrying clients — fleet restored in "
+            f"{ch['recovery_s'] * 1e3:.0f} ms, {ch['requests']} answers, "
+            f"{ch['wrong_answers']} wrong, {ch['failed_clients']} failed "
+            f"clients, {ch['client_retries']} retries / "
+            f"{ch['client_reconnects']} reconnects"
         )
     print(f"wrote {args.out}")
 

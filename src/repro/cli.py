@@ -391,6 +391,12 @@ def _run_serve(args) -> int:
         max_batch=args.max_batch,
         eager=not args.paced,
         max_delay_s=args.max_delay_ms / 1e3,
+        max_queue_rows=args.max_queue_rows,
+        max_queue_age_s=(
+            None
+            if args.max_queue_age_ms is None
+            else args.max_queue_age_ms / 1e3
+        ),
     )
     results = np.full(n, -1, dtype=np.int64)
     failures: list[Exception] = []
@@ -455,6 +461,7 @@ def _run_serve_listen(args) -> int:
     """
     from repro.client import parse_address
     from repro.serve import (
+        FrontendConfig,
         MicroBatchConfig,
         ServingAPI,
         ServingFrontend,
@@ -467,6 +474,21 @@ def _run_serve_listen(args) -> int:
         max_batch=args.max_batch,
         eager=not args.paced,
         max_delay_s=args.max_delay_ms / 1e3,
+        max_queue_rows=args.max_queue_rows,
+        max_queue_age_s=(
+            None
+            if args.max_queue_age_ms is None
+            else args.max_queue_age_ms / 1e3
+        ),
+    )
+    frontend_config = FrontendConfig(
+        handshake_timeout_s=args.handshake_timeout_s,
+        idle_timeout_s=args.idle_timeout_s,
+        write_high_water_bytes=(
+            None
+            if args.write_high_water_kib is None
+            else args.write_high_water_kib * 1024
+        ),
     )
     if args.workers > 1:
         if args.http_port is not None:
@@ -485,6 +507,8 @@ def _run_serve_listen(args) -> int:
             host=host,
             port=port,
             config=config,
+            frontend_config=frontend_config,
+            supervise=True,
         ) as pool:
             print(
                 f"{args.workers} workers listening on "
@@ -503,7 +527,11 @@ def _run_serve_listen(args) -> int:
         artifact, name=args.model_name, config=config
     ) as api:
         frontend = ServingFrontend(
-            api, host=host, port=port, http_port=args.http_port
+            api,
+            host=host,
+            port=port,
+            http_port=args.http_port,
+            config=frontend_config,
         )
         frontend.run()
     return 0
@@ -790,6 +818,54 @@ def _build_parser() -> argparse.ArgumentParser:
             "with --listen: acceptor processes sharing the address via "
             "SO_REUSEPORT, each mmap-loading the artifact read-only "
             "(1 = single in-process frontend)"
+        ),
+    )
+    p_serve.add_argument(
+        "--max-queue-rows",
+        type=int,
+        default=None,
+        help=(
+            "admission control: reject new submissions (typed "
+            "'overloaded' errors with a retry-after hint) once this "
+            "many rows are queued (default: unbounded)"
+        ),
+    )
+    p_serve.add_argument(
+        "--max-queue-age-ms",
+        type=float,
+        default=None,
+        help=(
+            "admission control: reject new submissions while the oldest "
+            "queued request has waited longer than this "
+            "(default: unbounded)"
+        ),
+    )
+    p_serve.add_argument(
+        "--handshake-timeout-s",
+        type=float,
+        default=None,
+        help=(
+            "with --listen: close connections that do not complete the "
+            "Hello handshake within this many seconds (default: never)"
+        ),
+    )
+    p_serve.add_argument(
+        "--idle-timeout-s",
+        type=float,
+        default=None,
+        help=(
+            "with --listen: close negotiated connections idle for this "
+            "many seconds between frames (default: never)"
+        ),
+    )
+    p_serve.add_argument(
+        "--write-high-water-kib",
+        type=int,
+        default=None,
+        help=(
+            "with --listen: per-connection write-buffer high-water mark "
+            "in KiB; a slow-reading client past it stops being read "
+            "(default: asyncio's 64 KiB)"
         ),
     )
 

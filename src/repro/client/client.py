@@ -31,6 +31,7 @@ plane appears in any frame.
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from collections import deque
@@ -72,12 +73,23 @@ class ServerError(RuntimeError):
     code:
         The machine-readable error code
         (one of :data:`repro.proto.ERROR_CODES`).
+    retryable:
+        Whether backing off and resending the same request can succeed
+        (today: ``overloaded`` — the server shed load, it did not fail).
+        A client constructed with ``max_retries > 0`` handles these
+        itself; this surfaces only when retries are exhausted or
+        disabled.
     """
 
     def __init__(self, reply: ErrorReply):
         super().__init__(f"[{reply.code}] {reply.message}")
         self.code = reply.code
         self.reply = reply
+
+    @property
+    def retryable(self) -> bool:
+        """True when backing off and retrying the request can succeed."""
+        return self.reply.retryable
 
 
 def parse_address(address: str | tuple[str, int]) -> tuple[str, int]:
@@ -120,6 +132,32 @@ class PriveHDClient:
     connect_retries, retry_delay_s:
         Reconnect attempts while the server is still binding — what a
         CLI racing a just-started frontend needs.
+    max_retries:
+        In-band resilience budget *per operation*: how many times one
+        logical request may be resent after a retryable failure.  Two
+        failure classes retry; nothing else does:
+
+        * a typed ``overloaded`` reply — the server shed load; the
+          client honors its ``retry_after_ms`` hint (never sleeping
+          less), layered with exponential backoff;
+        * a lost connection — the client reconnects, re-handshakes, and
+          resends every request it never got an answer for.  This is
+          safe because every message this client sends is an
+          idempotent, stateless read (score/metadata) — resending a
+          request whose reply was lost cannot double-apply anything.
+
+        ``0`` (the default) keeps the historical fail-fast behavior.
+    backoff_base_s, backoff_max_s, backoff_jitter:
+        Retry pacing: attempt ``k`` waits
+        ``min(base * 2**(k-1), max)`` plus a uniform jitter of up to
+        ``backoff_jitter`` of that (decorrelates a thundering herd of
+        clients all told to retry at once).  ``retry_after_ms`` from
+        the server acts as a floor on the wait.
+    deadline_ms:
+        Default end-to-end deadline stamped on every scoring request
+        (protocol v3+).  The server drops a request still queued past
+        its deadline and answers ``deadline-exceeded`` instead of
+        scoring stale work; older servers ignore it.
     versions:
         Protocol versions to offer in the ``Hello`` (default: every
         version this build speaks).  Pinning ``(1,)`` forces the v1
@@ -148,12 +186,32 @@ class PriveHDClient:
         timeout: float = 30.0,
         connect_retries: int = 0,
         retry_delay_s: float = 0.25,
+        max_retries: int = 0,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        backoff_jitter: float = 0.1,
+        deadline_ms: int | None = None,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         versions: tuple[int, ...] | None = None,
     ):
         self.host, self.port = parse_address(address)
         self.model = model
         self.timeout = timeout
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_base_s <= 0 or backoff_max_s <= 0 or backoff_jitter < 0:
+            raise ValueError(
+                "backoff_base_s/backoff_max_s must be > 0 and "
+                "backoff_jitter >= 0"
+            )
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.backoff_jitter = backoff_jitter
+        self.deadline_ms = deadline_ms
+        self.reconnects = 0
+        self.retries = 0
+        self._rng = random.Random()
         self.max_frame_bytes = max_frame_bytes
         self.versions = (
             tuple(SUPPORTED_VERSIONS)
@@ -181,6 +239,8 @@ class PriveHDClient:
                 "obfuscation parameters need an encoder to apply to"
             )
 
+        self._connect_retries = connect_retries
+        self._retry_delay_s = retry_delay_s
         self._sock = self._connect(connect_retries, retry_delay_s)
         try:
             self.protocol_version, self.server_info = self._handshake()
@@ -268,6 +328,46 @@ class PriveHDClient:
             self._frames.extend(self._decoder.feed(chunk))
         return decode_message(self._frames.popleft())
 
+    def _backoff(
+        self, attempt: int, *, retry_after_ms: int | None = None
+    ) -> None:
+        """Sleep before retry ``attempt`` (1-based).
+
+        Exponential in the attempt number, capped, jittered, and
+        floored by the server's ``retry_after_ms`` hint when present —
+        the server knows its drain rate better than we do.
+        """
+        delay = min(
+            self.backoff_base_s * (2 ** (attempt - 1)), self.backoff_max_s
+        )
+        if self.backoff_jitter:
+            delay += self._rng.uniform(0, delay * self.backoff_jitter)
+        if retry_after_ms is not None:
+            delay = max(delay, retry_after_ms / 1e3)
+        time.sleep(delay)
+
+    def _reconnect(self) -> None:
+        """Re-establish the connection and re-handshake.
+
+        The frame decoder and any half-read buffered frames are
+        discarded with the dead socket — replies can only be trusted
+        within the connection that produced them.
+        """
+        self.close()
+        self._decoder = FrameDecoder(max_frame_bytes=self.max_frame_bytes)
+        self._frames.clear()
+        self._sock = self._connect(
+            self._connect_retries, self._retry_delay_s
+        )
+        self.protocol_version, self.server_info = self._handshake()
+        self.reconnects += 1
+
+    def _deadline_ms(self) -> int | None:
+        """The deadline to stamp on scoring requests (v3+ only)."""
+        if self.protocol_version < 3:
+            return None
+        return self.deadline_ms
+
     def _handshake(self) -> tuple[int, Welcome]:
         # The Hello itself is a v1-layout frame stamped with the lowest
         # offered version, so even a v1-only server can parse the offer.
@@ -290,20 +390,47 @@ class PriveHDClient:
         return reply.version, reply
 
     def _request(self, message):
-        """Send one message, return its (id-matched) non-error reply."""
-        self._send_frame(
-            encode_message(message, version=self.protocol_version)
-        )
-        reply = self._read_message()
-        if isinstance(reply, ErrorReply):
-            raise ServerError(reply)
-        want = getattr(message, "request_id", 0)
-        got = getattr(reply, "request_id", 0)
-        if got != want:
-            raise ProtocolError(
-                f"response correlation id {got} does not match request {want}"
-            )
-        return reply
+        """Send one message, return its (id-matched) non-error reply.
+
+        With ``max_retries > 0``: a retryable error reply (overloaded)
+        is retried after backing off at least ``retry_after_ms``; a
+        lost connection is retried after a reconnect + re-handshake.
+        Both are safe for this protocol's idempotent reads — a resent
+        request whose original reply was lost scores the same bits
+        again, nothing more.
+        """
+        attempts = 0
+        while True:
+            try:
+                self._send_frame(
+                    encode_message(message, version=self.protocol_version)
+                )
+                reply = self._read_message()
+            except (ConnectionError, TimeoutError, OSError):
+                if attempts >= self.max_retries:
+                    raise
+                attempts += 1
+                self.retries += 1
+                self._backoff(attempts)
+                self._reconnect()
+                continue
+            if isinstance(reply, ErrorReply):
+                if reply.retryable and attempts < self.max_retries:
+                    attempts += 1
+                    self.retries += 1
+                    self._backoff(
+                        attempts, retry_after_ms=reply.retry_after_ms
+                    )
+                    continue
+                raise ServerError(reply)
+            want = getattr(message, "request_id", 0)
+            got = getattr(reply, "request_id", 0)
+            if got != want:
+                raise ProtocolError(
+                    f"response correlation id {got} does not match "
+                    f"request {want}"
+                )
+            return reply
 
     def _next_id(self) -> int:
         self._request_id = (self._request_id + 1) % (1 << 32)
@@ -391,24 +518,70 @@ class PriveHDClient:
         scoring chunk ``i``.  Replies outside ``expected`` (beyond the
         always-raised :class:`ServerError`) fail the stream as a
         protocol violation.  Returns the reply messages in item order.
+
+        With ``max_retries > 0`` the window self-heals: an
+        ``overloaded`` reply re-queues just that item after its
+        ``retry_after_ms``; a dead connection reconnects and replays
+        every unacknowledged item (safe — all idempotent reads), each
+        with a per-item attempt budget.
         """
         out: list = [None] * n_items
         index_of: dict[int, int] = {}
-        next_send = 0
+        attempts = [0] * n_items
+        to_send: deque[int] = deque(range(n_items))
         completed = 0
+
+        def recover(idx_attempt: int, *, retry_after_ms=None):
+            # One more attempt for item idx_attempt, or give up loudly.
+            if attempts[idx_attempt] >= self.max_retries:
+                return False
+            attempts[idx_attempt] += 1
+            self.retries += 1
+            self._backoff(
+                attempts[idx_attempt], retry_after_ms=retry_after_ms
+            )
+            return True
+
         while completed < n_items:
-            while next_send < n_items and len(index_of) < window:
-                rid = self._next_id()
-                index_of[rid] = next_send
-                self._send_frame(
-                    encode_message(
-                        build_message(next_send, rid),
+            try:
+                while to_send and len(index_of) < window:
+                    idx = to_send[0]
+                    rid = self._next_id()
+                    data = encode_message(
+                        build_message(idx, rid),
                         version=self.protocol_version,
                     )
-                )
-                next_send += 1
-            reply = self._read_message()
+                    index_of[rid] = idx
+                    to_send.popleft()
+                    self._send_frame(data)
+                reply = self._read_message()
+            except (ConnectionError, TimeoutError, OSError):
+                # The connection died with up to `window` unanswered
+                # requests in flight.  Every one of them is an
+                # idempotent read, so the correlation window is safe to
+                # replay wholesale: reconnect, then resend each
+                # unacknowledged item (budgeted per item, so a
+                # poison-pill request cannot retry forever).
+                survivors = sorted(index_of.values())
+                if any(attempts[i] >= self.max_retries for i in survivors):
+                    raise
+                for i in survivors:
+                    attempts[i] += 1
+                self.retries += len(survivors) or 1
+                self._backoff(max((attempts[i] for i in survivors), default=1))
+                self._reconnect()
+                index_of.clear()
+                to_send.extendleft(reversed(survivors))
+                continue
             if isinstance(reply, ErrorReply):
+                idx = index_of.pop(reply.request_id, None)
+                if (
+                    idx is not None
+                    and reply.retryable
+                    and recover(idx, retry_after_ms=reply.retry_after_ms)
+                ):
+                    to_send.append(idx)  # resend after the backoff
+                    continue
                 raise ServerError(reply)
             if not isinstance(reply, expected):
                 raise ProtocolError(
@@ -482,7 +655,10 @@ class PriveHDClient:
                 len(checked),
                 window,
                 lambda i, rid: ScoreRequest(
-                    queries=checked[i], model=self.model, request_id=rid
+                    queries=checked[i],
+                    model=self.model,
+                    request_id=rid,
+                    deadline_ms=self._deadline_ms(),
                 ),
                 (ScoreResponse,),
             )
@@ -496,7 +672,11 @@ class PriveHDClient:
         def build(i: int, rid: int) -> ScoreBatchRequest:
             block, counts = self._stack_encoded(groups[i])
             return ScoreBatchRequest(
-                queries=block, counts=counts, model=self.model, request_id=rid
+                queries=block,
+                counts=counts,
+                model=self.model,
+                request_id=rid,
+                deadline_ms=self._deadline_ms(),
             )
 
         replies = self._pipelined_requests(
@@ -567,6 +747,7 @@ class PriveHDClient:
                 counts=(n_rows,),
                 model=self.model,
                 request_id=rid,
+                deadline_ms=self._deadline_ms(),
             )
 
         replies = self._pipelined_requests(
@@ -580,6 +761,7 @@ class PriveHDClient:
             model=self.model,
             want_scores=want_scores,
             request_id=self._next_id(),
+            deadline_ms=self._deadline_ms(),
         )
         reply = self._request(request)
         if not isinstance(reply, ScoreResponse):

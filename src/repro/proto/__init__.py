@@ -18,6 +18,7 @@ hypervectors.
 
 from repro.proto.messages import (
     ERROR_CODES,
+    RETRYABLE_ERROR_CODES,
     ErrorReply,
     Hello,
     ModelInfo,
@@ -48,6 +49,7 @@ from repro.proto.wire import (
 
 __all__ = [
     "ERROR_CODES",
+    "RETRYABLE_ERROR_CODES",
     "ErrorReply",
     "Hello",
     "ModelInfo",

@@ -60,6 +60,7 @@ __all__ = [
     "ModelInfo",
     "ErrorReply",
     "ERROR_CODES",
+    "RETRYABLE_ERROR_CODES",
     "encode_message",
     "decode_message",
 ]
@@ -70,8 +71,25 @@ ERROR_CODES = (
     "unsupported-version",  # no common protocol version
     "unknown-model",        # model name not in the registry
     "bad-request",          # well-formed frame, unservable content
+    "overloaded",           # admission control shed the request; retry later
+    "deadline-exceeded",    # the request's deadline_ms expired unscored
     "internal",             # server-side failure answering a valid request
 )
+
+#: :class:`ErrorReply` codes a client may safely retry (the request was
+#: never scored; scoring is idempotent, so a repeat cannot double-apply)
+RETRYABLE_ERROR_CODES = ("overloaded",)
+
+
+def _check_deadline_ms(deadline_ms) -> int | None:
+    if deadline_ms is None:
+        return None
+    out = int(deadline_ms)
+    if out < 1 or out > 0xFFFFFFFF:
+        raise ValueError(
+            f"deadline_ms must be in [1, 2**32 - 1], got {deadline_ms}"
+        )
+    return out
 
 
 @dataclass(frozen=True)
@@ -139,12 +157,19 @@ class ScoreRequest:
     request_id:
         Caller-chosen correlation id echoed in the response, so clients
         may pipeline requests over one connection.
+    deadline_ms:
+        Protocol v3: optional latency budget in milliseconds, counted
+        from the moment the server receives the frame.  A request whose
+        budget expires while queued is dropped unscored with a typed
+        ``"deadline-exceeded"`` error — shed work instead of late
+        answers.  Silently omitted on the wire for v1/v2 peers.
     """
 
     queries: PackedHV | np.ndarray
     model: str | None = None
     want_scores: bool = False
     request_id: int = 0
+    deadline_ms: int | None = None
 
     def __post_init__(self):
         if not isinstance(self.queries, PackedHV):
@@ -156,6 +181,9 @@ class ScoreRequest:
                     "vectors do not belong on the wire; encode them first"
                 )
             object.__setattr__(self, "queries", arr)
+        object.__setattr__(
+            self, "deadline_ms", _check_deadline_ms(self.deadline_ms)
+        )
 
     @property
     def n_queries(self) -> int:
@@ -176,6 +204,7 @@ class ScoreRequest:
             self.model != other.model
             or self.want_scores != other.want_scores
             or self.request_id != other.request_id
+            or self.deadline_ms != other.deadline_ms
         ):
             return False
         a, b = self.queries, other.queries
@@ -289,6 +318,9 @@ class ScoreBatchRequest:
         Also return the full Eq. (4) score matrix for every row.
     request_id:
         Correlation id echoed in the response.
+    deadline_ms:
+        Protocol v3: optional latency budget in milliseconds for the
+        whole stacked block, exactly as on :class:`ScoreRequest`.
     """
 
     queries: PackedHV | np.ndarray
@@ -296,6 +328,7 @@ class ScoreBatchRequest:
     model: str | None = None
     want_scores: bool = False
     request_id: int = 0
+    deadline_ms: int | None = None
 
     def __post_init__(self):
         if not isinstance(self.queries, PackedHV):
@@ -309,6 +342,9 @@ class ScoreBatchRequest:
             object.__setattr__(self, "queries", arr)
         object.__setattr__(
             self, "counts", _check_counts(self.counts, self.n_queries)
+        )
+        object.__setattr__(
+            self, "deadline_ms", _check_deadline_ms(self.deadline_ms)
         )
 
     @property
@@ -336,6 +372,7 @@ class ScoreBatchRequest:
             or self.want_scores != other.want_scores
             or self.request_id != other.request_id
             or self.counts != other.counts
+            or self.deadline_ms != other.deadline_ms
         ):
             return False
         a, b = self.queries, other.queries
@@ -501,7 +538,11 @@ class ErrorReply:
         One of :data:`ERROR_CODES`.
     message:
         Human-readable detail (safe to show; never includes payload
-        bytes).
+        bytes).  An ``"overloaded"`` reply conventionally starts with
+        ``retry_after_ms=N;`` — a structured backoff hint inside the
+        existing message field, so older peers that only know the v2
+        error frame layout still parse the frame (they just skip the
+        hint).  Use :attr:`retry_after_ms` to read it.
     request_id:
         Correlation id of the failed request when known, else 0.
     """
@@ -515,6 +556,31 @@ class ErrorReply:
             raise ValueError(
                 f"unknown error code {self.code!r}; use one of {ERROR_CODES}"
             )
+
+    @classmethod
+    def overloaded(
+        cls, detail: str, *, retry_after_ms: int, request_id: int = 0
+    ) -> "ErrorReply":
+        """Build an ``"overloaded"`` reply carrying the backoff hint."""
+        return cls(
+            code="overloaded",
+            message=f"retry_after_ms={max(1, int(retry_after_ms))}; {detail}",
+            request_id=request_id,
+        )
+
+    @property
+    def retry_after_ms(self) -> int | None:
+        """The backoff hint parsed from the message, if present."""
+        prefix = "retry_after_ms="
+        if not self.message.startswith(prefix):
+            return None
+        head = self.message[len(prefix):].split(";", 1)[0].strip()
+        return int(head) if head.isdigit() else None
+
+    @property
+    def retryable(self) -> bool:
+        """Whether a client may safely resend the failed request."""
+        return self.code in RETRYABLE_ERROR_CODES
 
 
 # ----------------------------------------------------------------------
@@ -554,12 +620,30 @@ def _read_welcome(r: PayloadReader, version: int) -> Welcome:
     return Welcome(version=version_field, server=server, models=models)
 
 
+def _write_deadline(w: PayloadWriter, deadline_ms: int | None, version: int):
+    """v3 optional-deadline suffix; silently dropped for older peers."""
+    if version < 3:
+        return
+    if deadline_ms is None:
+        w.u8(0)
+    else:
+        w.u8(1)
+        w.u32(deadline_ms)
+
+
+def _read_deadline(r: PayloadReader, version: int) -> int | None:
+    if version < 3 or not r.u8():
+        return None
+    return r.u32()
+
+
 def _write_score_request(
     msg: ScoreRequest, w: PayloadWriter, version: int
 ) -> None:
     w.u32(msg.request_id)
     w.string(msg.model)
     w.u8(1 if msg.want_scores else 0)
+    _write_deadline(w, msg.deadline_ms, version)
     write_queries(w, msg.queries)
 
 
@@ -567,12 +651,14 @@ def _read_score_request(r: PayloadReader, version: int) -> ScoreRequest:
     request_id = r.u32()
     model = r.string()
     want_scores = bool(r.u8())
+    deadline_ms = _read_deadline(r, version)
     queries = read_queries(r)
     return ScoreRequest(
         queries=queries,
         model=model,
         want_scores=want_scores,
         request_id=request_id,
+        deadline_ms=deadline_ms,
     )
 
 
@@ -634,6 +720,7 @@ def _write_score_batch_request(
     w.u32(msg.request_id)
     w.string(msg.model)
     w.u8(1 if msg.want_scores else 0)
+    _write_deadline(w, msg.deadline_ms, version)
     _write_counts(w, msg.counts)
     write_queries(w, msg.queries)
 
@@ -644,6 +731,7 @@ def _read_score_batch_request(
     request_id = r.u32()
     model = r.string()
     want_scores = bool(r.u8())
+    deadline_ms = _read_deadline(r, version)
     counts = _read_counts(r)
     queries = read_queries(r)
     return ScoreBatchRequest(
@@ -652,6 +740,7 @@ def _read_score_batch_request(
         model=model,
         want_scores=want_scores,
         request_id=request_id,
+        deadline_ms=deadline_ms,
     )
 
 

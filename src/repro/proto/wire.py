@@ -79,11 +79,16 @@ MAGIC = b"HD"
 #:   (``ScoreBatchRequest``/``ScoreBatchResponse``, carrying N logical
 #:   sub-requests in one frame/one scheduler submit) and extends
 #:   ``ModelInfo`` with the deployment mask seed of pruned models.
-PROTOCOL_VERSION = 2
+#: * **v3** — extends the scoring requests with an optional
+#:   ``deadline_ms`` budget (the server drops a request unscored when
+#:   its budget expires in the queue).  The overload error codes
+#:   (``"overloaded"``/``"deadline-exceeded"``) ride the *existing*
+#:   error frame as new code strings, so they are version-independent.
+PROTOCOL_VERSION = 3
 
 #: every version this build can decode (negotiation picks the highest
 #: common entry)
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: magic(2) + version(1) + frame type(1) + payload length(4, big-endian)
 HEADER_SIZE = 8

@@ -21,7 +21,13 @@ The serving subsystem moves models from training to traffic:
   raw features or codebooks;
 * :class:`WorkerPool` — K acceptor processes sharing one listen address
   via ``SO_REUSEPORT``, each mmap-loading the same artifact read-only,
-  hot-swapped fleet-wide over a control channel.
+  hot-swapped fleet-wide over a control channel and kept at strength by
+  a supervisor that respawns crashed workers with the registry state
+  replayed;
+* :class:`Overloaded` / :class:`DeadlineExceeded` / :class:`WorkerLost`
+  — the typed overload/failure vocabulary (see ``docs/operations.md``);
+* :data:`faults` — the deterministic fault-injection registry the chaos
+  suite and ``bench_serve --chaos`` arm (a no-op in production).
 """
 
 from repro.serve.api import ServingAPI
@@ -33,7 +39,9 @@ from repro.serve.artifact import (
 )
 from repro.serve.bench import ThroughputResult, make_serving_fixture, run_throughput
 from repro.serve.engine import InferenceEngine
-from repro.serve.frontend import FrontendHandle, ServingFrontend
+from repro.serve.errors import DeadlineExceeded, Overloaded, WorkerLost
+from repro.serve.faults import FaultRegistry, faults
+from repro.serve.frontend import FrontendConfig, FrontendHandle, ServingFrontend
 from repro.serve.pool import WorkerPool
 from repro.serve.registry import ModelRegistry, ModelVersion
 from repro.serve.scheduler import (
@@ -57,8 +65,14 @@ __all__ = [
     "ModelServer",
     "ServingAPI",
     "ServingFrontend",
+    "FrontendConfig",
     "FrontendHandle",
     "WorkerPool",
+    "Overloaded",
+    "DeadlineExceeded",
+    "WorkerLost",
+    "FaultRegistry",
+    "faults",
     "ThroughputResult",
     "make_serving_fixture",
     "run_throughput",

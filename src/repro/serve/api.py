@@ -28,6 +28,7 @@ path.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import Future
 from pathlib import Path
 
@@ -156,16 +157,18 @@ class ServingAPI:
         """Answer one typed batch request synchronously."""
         return self.submit_score_batch(request).result()
 
-    def _submit_queries(self, queries, model, want_scores, d_hv):
+    def _submit_queries(self, queries, model, want_scores, d_hv, deadline):
         """Shared submit plumbing: resolve, shape-check, enqueue once.
 
         Returns ``(name, method, raw_future)``; packed bit-plane queries
         stay packed through the micro-batcher (their uint64 planes ride
         the scheduler as plane rows, 16x smaller than dense, and the
         packed backend consumes the rebuilt batch natively).  Raises
-        ``KeyError`` for unknown models and ``ValueError`` for shape
-        mismatches (the frontend maps these to typed
-        :class:`~repro.proto.ErrorReply` codes).
+        ``KeyError`` for unknown models, ``ValueError`` for shape
+        mismatches, :class:`~repro.serve.Overloaded` when admission
+        control rejects, and :class:`~repro.serve.DeadlineExceeded`
+        when ``deadline`` already passed (the frontend maps each to its
+        typed :class:`~repro.proto.ErrorReply` code).
         """
         name = self._server.resolve_name(model)
         record = self.registry.describe(name)
@@ -178,12 +181,30 @@ class ServingAPI:
         if isinstance(queries, PackedHV):
             method = "scores_packed" if want_scores else "predict_packed"
             raw = self._server.submit_packed(
-                queries, model=name, want_scores=want_scores
+                queries, model=name, want_scores=want_scores,
+                deadline=deadline,
             )
         else:
             method = "scores" if want_scores else "predict"
-            raw = self._server.submit(queries, model=name, method=method)
+            raw = self._server.submit(
+                queries, model=name, method=method, deadline=deadline
+            )
         return name, method, raw
+
+    @staticmethod
+    def _resolve_deadline(request, deadline: float | None) -> float | None:
+        """An absolute monotonic deadline for ``request``, if any.
+
+        An explicit ``deadline`` (the frontend computes one the moment
+        the frame is decoded) wins; otherwise a request carrying
+        ``deadline_ms`` starts its budget now, at submission.
+        """
+        if deadline is not None:
+            return deadline
+        deadline_ms = getattr(request, "deadline_ms", None)
+        if deadline_ms is None:
+            return None
+        return time.monotonic() + deadline_ms / 1e3
 
     def _finish_response(self, raw: Future, name, method, build) -> Future:
         """Chain a raw scheduler future into a typed-response future.
@@ -214,7 +235,9 @@ class ServingAPI:
         raw.add_done_callback(_finish)
         return response
 
-    def submit_score(self, request: ScoreRequest) -> Future:
+    def submit_score(
+        self, request: ScoreRequest, *, deadline: float | None = None
+    ) -> Future:
         """Answer one typed request; resolves to a :class:`ScoreResponse`.
 
         The response's ``version`` is the version that actually scored
@@ -223,9 +246,14 @@ class ServingAPI:
         in the (pathological) case of a promote *changing* ``d_hv``
         mid-flight, the flush fails loudly and every affected request
         gets a typed error rather than silently wrong shapes.
+
+        ``deadline`` (absolute :func:`time.monotonic`; defaults to the
+        request's own ``deadline_ms`` budget measured from now) drops
+        the request unscored if it expires while queued.
         """
         name, method, raw = self._submit_queries(
-            request.queries, request.model, request.want_scores, request.d_hv
+            request.queries, request.model, request.want_scores,
+            request.d_hv, self._resolve_deadline(request, deadline),
         )
 
         def build(result, version):
@@ -247,7 +275,9 @@ class ServingAPI:
 
         return self._finish_response(raw, name, method, build)
 
-    def submit_score_batch(self, request: ScoreBatchRequest) -> Future:
+    def submit_score_batch(
+        self, request: ScoreBatchRequest, *, deadline: float | None = None
+    ) -> Future:
         """Answer one v2 batch frame; resolves to a
         :class:`ScoreBatchResponse`.
 
@@ -256,10 +286,12 @@ class ServingAPI:
         submit (one future, one wakeup, one flush slot) instead of N —
         the response echoes ``counts`` so the client scatters the block
         back itself.  Every row is scored by one consistent registry
-        version, exactly as for :meth:`submit_score`.
+        version, exactly as for :meth:`submit_score` (including
+        ``deadline`` semantics).
         """
         name, method, raw = self._submit_queries(
-            request.queries, request.model, request.want_scores, request.d_hv
+            request.queries, request.model, request.want_scores,
+            request.d_hv, self._resolve_deadline(request, deadline),
         )
 
         def build(result, version):
@@ -364,6 +396,8 @@ class ServingAPI:
                 "completed": stats.completed,
                 "failed": stats.failed,
                 "cancelled": stats.cancelled,
+                "rejected": stats.rejected,
+                "expired": stats.expired,
                 "flushes": stats.flushes,
                 "mean_batch_rows": stats.mean_batch_rows,
                 "max_batch_rows": stats.max_batch_rows,

@@ -1,0 +1,80 @@
+"""Typed overload/failure errors shared by every serving layer.
+
+The overload-safe serving contract is built on three exceptions that
+cross layer boundaries with *meaning* attached, instead of generic
+``RuntimeError`` strings each caller has to pattern-match:
+
+* :class:`Overloaded` — the scheduler's admission control refused a
+  request because the queue is past its row or age bound.  Carries a
+  ``retry_after_ms`` hint derived from the observed drain rate, so
+  well-behaved clients back off for roughly one queue-drain instead of
+  hammering a saturated server.  The frontend maps it to the
+  ``"overloaded"`` wire code.
+* :class:`DeadlineExceeded` — a request's deadline expired while it
+  waited in the queue; the scheduler dropped it *before* scoring (work
+  the caller no longer wants is work the fleet should not do).  Maps to
+  the ``"deadline-exceeded"`` wire code.
+* :class:`WorkerLost` — a :class:`~repro.serve.WorkerPool` control
+  command could not be acknowledged because the worker process died or
+  hung past the ack timeout.  The pool raises it instead of blocking
+  forever, and the supervisor (if enabled) respawns the worker in the
+  background.
+
+All three are exported from :mod:`repro.serve`, so callers catch them
+by type; over the wire they travel as :class:`~repro.proto.ErrorReply`
+codes (see ``docs/operations.md`` for the full error-code table).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Overloaded", "DeadlineExceeded", "WorkerLost"]
+
+
+class Overloaded(RuntimeError):
+    """Admission control refused a request: the queue is saturated.
+
+    Attributes
+    ----------
+    retry_after_ms:
+        Server-estimated milliseconds until the queue has likely
+        drained enough to accept this request — the client backoff
+        hint carried on the wire (``retry_after_ms=N`` prefix of the
+        ``"overloaded"`` :class:`~repro.proto.ErrorReply` message).
+    queued_rows:
+        Rows pending at rejection time (diagnostic).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after_ms: int = 50,
+        queued_rows: int = 0,
+    ):
+        super().__init__(message)
+        self.retry_after_ms = max(1, int(retry_after_ms))
+        self.queued_rows = int(queued_rows)
+
+
+class DeadlineExceeded(TimeoutError):
+    """A request's deadline expired before it could be scored.
+
+    Raised on the request's future when the scheduler drops it from the
+    queue (the flush loop checks deadlines *before* stacking a batch,
+    so expired work never reaches the kernel), and by layers that
+    receive a request whose budget is already spent on arrival.
+    """
+
+
+class WorkerLost(RuntimeError):
+    """A pool worker died or stopped acknowledging control commands.
+
+    Attributes
+    ----------
+    workers:
+        Indices of the workers that failed to acknowledge.
+    """
+
+    def __init__(self, message: str, *, workers: tuple[int, ...] = ()):
+        super().__init__(message)
+        self.workers = tuple(int(w) for w in workers)

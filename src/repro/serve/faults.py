@@ -1,0 +1,227 @@
+"""Deterministic fault injection for the serving stack.
+
+Chaos testing a server with ``kill -9`` and ``sleep`` produces flaky
+tests; this module produces *deterministic* failures instead.  The
+serving layers call :meth:`FaultRegistry.fire` at a handful of named
+**fault points**; unless a rule is armed for that point the call is a
+single dict lookup and returns ``None`` — production cost is nil.  The
+chaos suite and ``bench_serve --chaos`` arm rules that fire on exact
+hit counts, so "the worker crashes while handling the third control
+command" is a reproducible scenario, not a race.
+
+Fault points currently instrumented
+-----------------------------------
+========================  ====================================================
+``scheduler.flush``       just before a micro-batch flush invokes the runner
+                          (``stall`` simulates a wedged kernel)
+``frontend.read``         after each decoded request frame, before dispatch
+                          (``delay`` simulates a slow network/loop)
+``frontend.reply``        before a response frame is written
+                          (``drop`` silently eats the reply — the client
+                          retry path's worst case; ``delay`` defers it)
+``worker.control``        at the top of a pool worker's control-command
+                          handler (``crash`` exits the process like a
+                          segfault; ``stall`` wedges the ack — the
+                          supervisor/ack-timeout scenario)
+========================  ====================================================
+
+Rules
+-----
+A rule is ``"point:action[,key=value ...]"``:
+
+* actions — ``crash`` (``os._exit(70)``), ``error`` (raise
+  :class:`InjectedFault`), ``drop``, ``delay``, ``stall`` (the last
+  three are returned to the call site, which knows whether to skip a
+  write or how to sleep without blocking an event loop);
+* ``after=N`` — skip the first N hits (default 0);
+* ``times=N`` — fire at most N times, then fall dormant (default:
+  forever);
+* ``delay_ms=N`` — sleep length for ``delay``/``stall`` (default 100).
+
+    >>> faults.arm("frontend.reply:drop,after=2,times=1")
+    >>> # third reply written after arming is silently dropped, once
+
+Workers are separate processes: arm them through
+:meth:`~repro.serve.WorkerPool.inject` (a control-channel broadcast) or
+the ``PRIVE_HD_FAULTS`` environment variable (``;``-separated rules),
+which every pool worker reads at startup via :meth:`arm_from_env`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["FaultRegistry", "FaultAction", "InjectedFault", "faults"]
+
+#: environment variable pool workers read at startup (``;``-separated
+#: rule specs)
+FAULTS_ENV_VAR = "PRIVE_HD_FAULTS"
+
+_ACTIONS = ("crash", "error", "drop", "delay", "stall")
+
+
+class InjectedFault(RuntimeError):
+    """The exception an armed ``error`` rule raises at its fault point."""
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """What :meth:`FaultRegistry.fire` tells an instrumented call site.
+
+    Attributes
+    ----------
+    action:
+        ``"drop"``, ``"delay"``, or ``"stall"`` — the actions a call
+        site interprets itself (``crash``/``error`` never reach the
+        caller: they exit or raise inside :meth:`~FaultRegistry.fire`).
+    delay_s:
+        Sleep length for ``delay``/``stall`` actions.
+    """
+
+    action: str
+    delay_s: float = 0.0
+
+
+@dataclass
+class _Rule:
+    point: str
+    action: str
+    after: int = 0
+    times: int | None = None
+    delay_s: float = 0.1
+    hits: int = 0
+    fires: int = 0
+
+    def spec(self) -> str:
+        parts = [f"{self.point}:{self.action}", f"after={self.after}"]
+        if self.times is not None:
+            parts.append(f"times={self.times}")
+        parts.append(f"delay_ms={int(self.delay_s * 1e3)}")
+        return ",".join(parts)
+
+
+@dataclass
+class FaultRegistry:
+    """Armable fault rules keyed by fault point (see module docs).
+
+    The process-wide instance is :data:`repro.serve.faults`; tests may
+    construct private registries, but the instrumented call sites all
+    fire the shared one.  Thread-safe; unarmed cost is one empty-dict
+    truthiness check per fault point.
+    """
+
+    _rules: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+    def arm(self, spec: str) -> None:
+        """Arm one rule from its ``"point:action[,k=v ...]"`` spec."""
+        head, _, tail = spec.strip().partition(",")
+        point, sep, action = head.partition(":")
+        point, action = point.strip(), action.strip()
+        if not sep or not point or action not in _ACTIONS:
+            raise ValueError(
+                f"fault spec must look like 'point:action[,k=v ...]' with "
+                f"action in {_ACTIONS}, got {spec!r}"
+            )
+        rule = _Rule(point=point, action=action)
+        for item in filter(None, (p.strip() for p in tail.split(","))):
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise ValueError(f"malformed fault option {item!r}")
+            key = key.strip()
+            if key == "after":
+                rule.after = int(value)
+            elif key == "times":
+                rule.times = int(value)
+            elif key == "delay_ms":
+                rule.delay_s = int(value) / 1e3
+            else:
+                raise ValueError(f"unknown fault option {key!r}")
+        with self._lock:
+            self._rules[point] = rule
+
+    def arm_from_env(self) -> int:
+        """Arm every ``;``-separated rule in ``PRIVE_HD_FAULTS``.
+
+        Pool workers call this at startup so a chaos harness can arm
+        faults in processes it spawns but never imports.  Returns the
+        number of rules armed (0 when the variable is unset/empty).
+        """
+        raw = os.environ.get(FAULTS_ENV_VAR, "").strip()
+        if not raw:
+            return 0
+        count = 0
+        for spec in filter(None, (s.strip() for s in raw.split(";"))):
+            self.arm(spec)
+            count += 1
+        return count
+
+    def disarm(self, point: str | None = None) -> None:
+        """Remove one rule (or every rule with ``point=None``)."""
+        with self._lock:
+            if point is None:
+                self._rules.clear()
+            else:
+                self._rules.pop(point, None)
+
+    # ------------------------------------------------------------------
+    # firing
+    # ------------------------------------------------------------------
+    def fire(self, point: str) -> FaultAction | None:
+        """Hit a fault point; the armed action, if one triggers.
+
+        ``crash`` calls ``os._exit(70)`` (no cleanup — exactly like the
+        real failure it simulates) and ``error`` raises
+        :class:`InjectedFault`, both from inside this call; ``drop``,
+        ``delay``, and ``stall`` are returned as a
+        :class:`FaultAction` for the call site to interpret.  Returns
+        ``None`` when nothing is armed for ``point`` or the rule's
+        ``after``/``times`` window does not cover this hit.
+        """
+        if not self._rules:  # unarmed fast path — no lock
+            return None
+        with self._lock:
+            rule = self._rules.get(point)
+            if rule is None:
+                return None
+            rule.hits += 1
+            if rule.hits <= rule.after:
+                return None
+            if rule.times is not None and rule.fires >= rule.times:
+                return None
+            rule.fires += 1
+            action, delay_s = rule.action, rule.delay_s
+        if action == "crash":
+            os._exit(70)
+        if action == "error":
+            raise InjectedFault(f"injected fault at {point!r}")
+        return FaultAction(action=action, delay_s=delay_s)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Per-point ``{spec, hits, fires}`` for chaos reports."""
+        with self._lock:
+            return {
+                point: {
+                    "spec": rule.spec(),
+                    "hits": rule.hits,
+                    "fires": rule.fires,
+                }
+                for point, rule in self._rules.items()
+            }
+
+    @property
+    def armed(self) -> bool:
+        """Whether any rule is currently armed."""
+        return bool(self._rules)
+
+
+#: the process-wide registry every instrumented serving layer fires
+faults = FaultRegistry()

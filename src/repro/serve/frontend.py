@@ -46,6 +46,8 @@ import asyncio
 import json
 import socket as socket_module
 import threading
+import time
+from dataclasses import dataclass
 
 from repro.proto.messages import (
     ErrorReply,
@@ -69,8 +71,73 @@ from repro.proto.wire import (
     negotiate_version,
 )
 from repro.serve.api import ServingAPI
+from repro.serve.errors import DeadlineExceeded, Overloaded
+from repro.serve.faults import faults
 
-__all__ = ["ServingFrontend", "FrontendHandle"]
+__all__ = ["FrontendConfig", "ServingFrontend", "FrontendHandle"]
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Connection-discipline knobs of a :class:`ServingFrontend`.
+
+    Defaults reproduce the historical hard-coded behavior exactly; a
+    deployment tightens them per its SLOs (``prive-hd serve`` exposes
+    the timeouts as flags — see ``docs/operations.md`` for tuning
+    guidance).
+
+    Attributes
+    ----------
+    handshake_timeout_s:
+        Seconds a fresh connection may sit without completing its
+        :class:`~repro.proto.Hello` before the server closes it
+        (``None`` = wait forever).  Bounds the sockets an idle port
+        scanner can pin.
+    idle_timeout_s:
+        Seconds a negotiated connection may sit between request frames
+        before the server closes it (``None`` = wait forever).
+    http_timeout_s:
+        Per-read timeout of the HTTP ops adapter (was a hard-coded
+        ``5.0``).
+    stop_grace_s:
+        Seconds :meth:`ServingFrontend.stop` waits for live connection
+        handlers to finish before cancelling them (was ``5.0``).
+    start_timeout_s:
+        Seconds :class:`FrontendHandle` waits for its background loop
+        to bind the listeners (was ``30.0``).
+    close_timeout_s:
+        Seconds :class:`FrontendHandle.close` waits for the loop
+        thread to stop and join (was ``10.0``).
+    write_high_water_bytes:
+        Per-connection transport write-buffer high-water mark.  The
+        read loop ``drain()``\\ s after every dispatched frame, so once
+        a slow-reading client's buffer crosses this mark the server
+        *pauses reading* from that connection until it catches up —
+        per-connection backpressure instead of unbounded server-side
+        buffering.  ``None`` keeps asyncio's default (64 KiB).
+    """
+
+    handshake_timeout_s: float | None = None
+    idle_timeout_s: float | None = None
+    http_timeout_s: float = 5.0
+    stop_grace_s: float = 5.0
+    start_timeout_s: float = 30.0
+    close_timeout_s: float = 10.0
+    write_high_water_bytes: int | None = None
+
+    def __post_init__(self):
+        for name in (
+            "handshake_timeout_s",
+            "idle_timeout_s",
+            "http_timeout_s",
+            "stop_grace_s",
+            "start_timeout_s",
+            "close_timeout_s",
+            "write_high_water_bytes",
+        ):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be > 0, got {value}")
 
 
 class ServingFrontend:
@@ -107,6 +174,11 @@ class ServingFrontend:
         this build speaks).  Pinning ``(1,)`` serves v2 clients in the
         v1 dialect — the downgrade path the cross-version tests
         exercise.
+    config:
+        :class:`FrontendConfig` with the connection-discipline knobs
+        (handshake/idle timeouts, write high-water backpressure, stop
+        grace); ``None`` uses the defaults, which reproduce the
+        historical hard-coded behavior.
     """
 
     def __init__(
@@ -121,8 +193,10 @@ class ServingFrontend:
         name: str = "prive-hd",
         reuse_port: bool = False,
         supported_versions: tuple[int, ...] | None = None,
+        config: FrontendConfig | None = None,
     ):
         self.api = api
+        self.config = config if config is not None else FrontendConfig()
         self.host = host
         self.port = port
         self.http_port = http_port
@@ -187,7 +261,7 @@ class ServingFrontend:
             writer.close()
         if self._conn_tasks:
             _, pending = await asyncio.wait(
-                list(self._conn_tasks), timeout=5.0
+                list(self._conn_tasks), timeout=self.config.stop_grace_s
             )
             for task in pending:  # pragma: no cover - defensive
                 task.cancel()
@@ -218,10 +292,24 @@ class ServingFrontend:
     # ------------------------------------------------------------------
     # binary protocol
     # ------------------------------------------------------------------
-    async def _read_frame(self, reader: asyncio.StreamReader) -> Frame | None:
-        """One frame off the stream; ``None`` on clean EOF between frames."""
+    async def _read_frame(
+        self,
+        reader: asyncio.StreamReader,
+        *,
+        timeout: float | None = None,
+    ) -> Frame | None:
+        """One frame off the stream; ``None`` on clean EOF between frames.
+
+        ``timeout`` bounds the wait for the *start* of the next frame —
+        the idle gap between requests (or before the handshake).  A
+        peer that goes silent past it gets the connection closed; a
+        peer mid-frame is actively sending and is not timed.
+        """
         try:
-            header = await reader.readexactly(HEADER_SIZE)
+            read = reader.readexactly(HEADER_SIZE)
+            if timeout is not None:
+                read = asyncio.wait_for(read, timeout=timeout)
+            header = await read
         except asyncio.IncompleteReadError as exc:
             if not exc.partial:
                 return None  # clean close between frames
@@ -269,14 +357,31 @@ class ServingFrontend:
             sock.setsockopt(
                 socket_module.IPPROTO_TCP, socket_module.TCP_NODELAY, 1
             )
+        if self.config.write_high_water_bytes is not None:
+            # Lower the transport's pause threshold so the drain() in
+            # the read loop below pauses reads from a slow-reading
+            # client sooner — per-connection backpressure.
+            writer.transport.set_write_buffer_limits(
+                high=self.config.write_high_water_bytes
+            )
         write_lock = asyncio.Lock()
         inflight = asyncio.Semaphore(self.max_inflight)
         negotiated: int | None = None
         try:
             while True:
-                frame = await self._read_frame(reader)
+                timeout = (
+                    self.config.handshake_timeout_s
+                    if negotiated is None
+                    else self.config.idle_timeout_s
+                )
+                frame = await self._read_frame(reader, timeout=timeout)
                 if frame is None:
                     break
+                action = faults.fire("frontend.read")
+                if action is not None:
+                    if action.action == "drop":
+                        continue
+                    await asyncio.sleep(action.delay_s)
                 if negotiated is None:
                     negotiated = await self._handshake(
                         frame, writer, write_lock
@@ -328,6 +433,8 @@ class ServingFrontend:
                 )
             except (ConnectionError, RuntimeError):
                 pass
+        except asyncio.TimeoutError:
+            pass  # idle/handshake timeout: close without ceremony
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
@@ -417,16 +524,23 @@ class ServingFrontend:
                     future = self.api.submit_score_batch(message)
                 else:
                     future = self.api.submit_score(message)
-                future.add_done_callback(
-                    lambda f: loop.call_soon_threadsafe(
-                        self._write_completion,
-                        writer,
-                        f,
-                        version,
-                        request_id,
-                        done,
-                    )
-                )
+                def bridge(f, _rid=request_id):
+                    # A batch can complete after the frontend's loop is
+                    # gone (e.g. a stalled flush draining past
+                    # shutdown); there is no one left to reply to.
+                    try:
+                        loop.call_soon_threadsafe(
+                            self._write_completion,
+                            writer,
+                            f,
+                            version,
+                            _rid,
+                            done,
+                        )
+                    except RuntimeError:
+                        pass
+
+                future.add_done_callback(bridge)
                 return
             if isinstance(message, ModelInfoRequest):
                 request_id = message.request_id
@@ -480,8 +594,30 @@ class ServingFrontend:
 
         ``write`` enqueues the whole frame atomically (the transport
         handles flow control in the background), so concurrent
-        completions for one connection cannot interleave bytes.
+        completions for one connection cannot interleave bytes.  This
+        is also the single interception point for reply-side fault
+        injection (``frontend.reply``): drops skip the write, delays
+        reschedule it via ``call_later`` — the loop never blocks.
         """
+        action = faults.fire("frontend.reply")
+        if action is not None:
+            if action.action == "drop":
+                return
+            # delay/stall: defer the write without blocking the loop.
+            try:
+                loop = asyncio.get_running_loop()
+            except RuntimeError:  # pragma: no cover - defensive
+                loop = None
+            if loop is not None:
+                loop.call_later(
+                    action.delay_s, self._write_now, writer, message, version
+                )
+                return
+        self._write_now(writer, message, version)
+
+    def _write_now(
+        self, writer: asyncio.StreamWriter, message, version: int
+    ) -> None:
         if writer.is_closing():
             return
         try:
@@ -492,6 +628,18 @@ class ServingFrontend:
     @staticmethod
     def _error_reply(exc: BaseException, request_id: int) -> ErrorReply:
         """Map an application exception to its typed wire error."""
+        if isinstance(exc, Overloaded):
+            return ErrorReply.overloaded(
+                str(exc),
+                retry_after_ms=exc.retry_after_ms,
+                request_id=request_id,
+            )
+        if isinstance(exc, DeadlineExceeded):
+            return ErrorReply(
+                code="deadline-exceeded",
+                message=str(exc),
+                request_id=request_id,
+            )
         if isinstance(exc, ProtocolError):
             return ErrorReply(
                 code="bad-frame", message=str(exc), request_id=request_id
@@ -524,12 +672,15 @@ class ServingFrontend:
         ops port exposed wider than the binary port cannot be used to
         query the model.
         """
+        http_timeout = self.config.http_timeout_s
         try:
             request_line = await asyncio.wait_for(
-                reader.readline(), timeout=5.0
+                reader.readline(), timeout=http_timeout
             )
             while True:  # drain headers; we route on the request line only
-                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=http_timeout
+                )
                 if line in (b"\r\n", b"\n", b""):
                     break
             parts = request_line.decode("latin-1").split()
@@ -590,6 +741,7 @@ class FrontendHandle:
 
     def __init__(self, api: ServingAPI, **frontend_kwargs):
         self.frontend = ServingFrontend(api, **frontend_kwargs)
+        start_timeout = self.frontend.config.start_timeout_s
         self._loop = asyncio.new_event_loop()
         self._started = threading.Event()
         self._startup_error: BaseException | None = None
@@ -597,11 +749,13 @@ class FrontendHandle:
             target=self._run, name="serving-frontend", daemon=True
         )
         self._thread.start()
-        self._started.wait(timeout=30.0)
+        self._started.wait(timeout=start_timeout)
         if self._startup_error is not None:
             raise self._startup_error
         if not self._started.is_set():
-            raise RuntimeError("frontend failed to start within 30s")
+            raise RuntimeError(
+                f"frontend failed to start within {start_timeout:g}s"
+            )
 
     def _run(self) -> None:
         asyncio.set_event_loop(self._loop)
@@ -640,9 +794,10 @@ class FrontendHandle:
             stopped.set()
             self._loop.stop()
 
+        close_timeout = self.frontend.config.close_timeout_s
         asyncio.run_coroutine_threadsafe(_stop(), self._loop)
-        stopped.wait(timeout=10.0)
-        self._thread.join(timeout=10.0)
+        stopped.wait(timeout=close_timeout)
+        self._thread.join(timeout=close_timeout)
 
     def __enter__(self) -> "FrontendHandle":
         return self

@@ -28,7 +28,23 @@ locally — the per-worker swap is the same atomic, zero-dropped-request
 promote a single server does, and the parent collects one ack per
 worker so a deployment knows when the fleet is consistent.  ``stats``
 aggregates the per-worker scheduler counters; ``stop`` shuts the
-listeners down gracefully.
+listeners down gracefully.  Every ack is bounded by a per-command
+timeout: a worker that died or hung answers with a typed
+:class:`~repro.serve.WorkerLost` naming the workers, never a parent
+that blocks forever.
+
+Supervision
+-----------
+Workers are processes and processes die.  :meth:`WorkerPool.supervise_once`
+is one deterministic supervision pass — it finds dead acceptors (by
+exit code, and optionally by a timed ping for hung-but-alive ones),
+respawns them, and replays the recorded ``load``/``promote`` history so
+the replacement converges on the fleet's current registry state.
+``supervise=True`` runs that pass on a background thread every
+``supervise_interval_s``.  Because the kernel only hashes connections
+to *live* listening sockets, the surviving workers keep serving during
+the respawn: a worker crash degrades capacity, it does not drop the
+fleet.
 
     >>> with WorkerPool("artifacts/isolet", workers=4, port=7411) as pool:
     ...     pool.address                      # ("127.0.0.1", 7411)
@@ -42,11 +58,16 @@ spelling.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import socket
+import threading
 import time
 from pathlib import Path
 
 from repro.proto.wire import DEFAULT_MAX_FRAME_BYTES
+from repro.serve.errors import WorkerLost
+from repro.serve.faults import faults
+from repro.serve.frontend import FrontendConfig
 from repro.serve.scheduler import MicroBatchConfig
 
 __all__ = ["WorkerPool"]
@@ -62,6 +83,7 @@ def _worker_main(
     mmap: bool,
     max_frame_bytes: int,
     supported_versions: tuple[int, ...] | None,
+    frontend_config: FrontendConfig | None = None,
 ) -> None:
     """One acceptor process: frontend + registry + control-pipe listener.
 
@@ -76,6 +98,9 @@ def _worker_main(
     from repro.serve.api import ServingAPI
     from repro.serve.frontend import ServingFrontend
 
+    # spawn gives this process a fresh interpreter, so the parent's
+    # in-memory fault rules do not carry over — the environment does.
+    faults.arm_from_env()
     try:
         api = ServingAPI.from_artifact(
             artifact_path, name=name, config=config, mmap=mmap
@@ -93,6 +118,7 @@ def _worker_main(
             max_frame_bytes=max_frame_bytes,
             reuse_port=True,
             supported_versions=supported_versions,
+            config=frontend_config,
         )
         try:
             await frontend.start()
@@ -111,6 +137,14 @@ def _worker_main(
                 # Parent is gone; shut down rather than orphan the port.
                 stopping.set()
                 return
+            action = faults.fire("worker.control")
+            if action is not None:
+                if action.action == "drop":
+                    return  # swallow the command: the ack never comes
+                # delay/stall *block the loop* on purpose — this is what
+                # a worker wedged in native code looks like from the
+                # parent's side of the pipe.
+                time.sleep(action.delay_s)
             op = command.get("op")
             seq = command.get("seq")
 
@@ -156,6 +190,9 @@ def _worker_main(
                     api.registry.promote(
                         command.get("model") or name, command["version"]
                     )
+                    reply = {"ok": True}
+                elif op == "inject":
+                    faults.arm(command["spec"])
                     reply = {"ok": True}
                 elif op == "stats":
                     reply = {
@@ -213,8 +250,21 @@ class WorkerPool:
         Per-frame payload cap forwarded to each worker's frontend.
     supported_versions:
         Protocol versions each worker negotiates (default: all).
+    frontend_config:
+        :class:`~repro.serve.FrontendConfig` applied to each worker's
+        frontend (idle/handshake timeouts, write backpressure).
     start_timeout_s:
         Seconds to wait for every worker to come up before failing.
+    supervise:
+        Run a background supervisor thread that calls
+        :meth:`supervise_once` every ``supervise_interval_s`` seconds,
+        respawning dead workers automatically.
+    supervise_interval_s:
+        Cadence of the background supervisor passes.
+    ping_timeout_s:
+        Per-worker ack timeout the supervisor's liveness ping uses; a
+        worker that cannot answer within it is treated as hung and
+        replaced.
 
     Raises
     ------
@@ -235,7 +285,11 @@ class WorkerPool:
         mmap: bool = True,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         supported_versions: tuple[int, ...] | None = None,
+        frontend_config: FrontendConfig | None = None,
         start_timeout_s: float = 60.0,
+        supervise: bool = False,
+        supervise_interval_s: float = 0.5,
+        ping_timeout_s: float = 5.0,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -262,51 +316,86 @@ class WorkerPool:
             self._placeholder.bind((host, 0))
             port = self._placeholder.getsockname()[1]
         self.port = port
+        self._spawn_args = (
+            config,
+            mmap,
+            max_frame_bytes,
+            supported_versions,
+            frontend_config,
+        )
+        self._start_timeout_s = start_timeout_s
+        self._ping_timeout_s = ping_timeout_s
+        self._supervise_interval_s = supervise_interval_s
         self._stopped = False
         self._seq = 0
-        # spawn, not fork: each worker gets a clean interpreter (no
-        # inherited locks or event loops), and the page-cache sharing
-        # comes from mmap rather than fork-time copy-on-write.
-        ctx = multiprocessing.get_context("spawn")
+        self.restarts = 0
+        # One reentrant lock orders fleet operations, supervision
+        # passes, and shutdown against each other: a respawn can never
+        # swap a worker's pipe out from under a broadcast in flight.
+        self._lock = threading.RLock()
+        # Replayed onto respawned workers so they converge on the
+        # fleet's current registry state (see _respawn).
+        self._registry_log: list[dict] = []
+        self._supervisor: threading.Thread | None = None
+        self._supervisor_stop = threading.Event()
         self._procs: list = []
         self._conns: list = []
         try:
             for _ in range(workers):
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(
-                        self.artifact_path,
-                        name,
-                        host,
-                        port,
-                        child_conn,
-                        config,
-                        mmap,
-                        max_frame_bytes,
-                        supported_versions,
-                    ),
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
+                proc, conn = self._spawn_worker()
                 self._procs.append(proc)
-                self._conns.append(parent_conn)
+                self._conns.append(conn)
             for index, conn in enumerate(self._conns):
-                if not conn.poll(start_timeout_s):
-                    raise RuntimeError(
-                        f"worker {index} did not start within "
-                        f"{start_timeout_s}s"
-                    )
-                ready = conn.recv()
-                if not ready.get("ready"):
-                    raise RuntimeError(
-                        f"worker {index} failed to start: "
-                        f"{ready.get('error', 'unknown error')}"
-                    )
+                self._await_ready(index, conn)
         except BaseException:
             self.stop()
             raise
+        if supervise:
+            self._supervisor = threading.Thread(
+                target=self._supervise_loop,
+                name="worker-pool-supervisor",
+                daemon=True,
+            )
+            self._supervisor.start()
+
+    def _spawn_worker(self):
+        """Start one acceptor process; returns ``(proc, parent_conn)``.
+
+        spawn, not fork: each worker gets a clean interpreter (no
+        inherited locks or event loops), and the page-cache sharing
+        comes from mmap rather than fork-time copy-on-write.
+        """
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(
+                self.artifact_path,
+                self.name,
+                self.host,
+                self.port,
+                child_conn,
+                *self._spawn_args,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
+
+    def _await_ready(self, index: int, conn) -> None:
+        """Block until worker ``index`` reports its listener is bound."""
+        if not conn.poll(self._start_timeout_s):
+            raise RuntimeError(
+                f"worker {index} did not start within "
+                f"{self._start_timeout_s}s"
+            )
+        ready = conn.recv()
+        if not ready.get("ready"):
+            raise RuntimeError(
+                f"worker {index} failed to start: "
+                f"{ready.get('error', 'unknown error')}"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -340,41 +429,84 @@ class WorkerPool:
     def _broadcast(self, command: dict, *, timeout_s: float = 60.0) -> list:
         """Send one control command to every worker; collect the acks.
 
-        Raises ``RuntimeError`` naming each worker whose reply was an
-        error or that timed out — a partially-applied fleet operation is
-        loud, never silent.
+        A partially-applied fleet operation is loud, never silent — and
+        *typed*: workers whose pipe broke or that never acked within
+        ``timeout_s`` raise :class:`~repro.serve.WorkerLost` naming
+        them (the supervisor's cue to replace them); workers that
+        answered with an application error raise ``RuntimeError``.  The
+        parent never blocks past the deadline on a dead worker.
         """
-        if self._stopped:
-            raise RuntimeError("pool is stopped")
-        self._seq += 1
-        command = dict(command, seq=self._seq)
-        for conn in self._conns:
-            conn.send(command)
-        deadline = time.monotonic() + timeout_s
-        replies = []
-        failures = []
-        for index, conn in enumerate(self._conns):
-            reply = self._recv_matching(conn, self._seq, deadline)
-            replies.append(reply)
-            if reply is None:
-                failures.append(f"worker {index}: no reply in {timeout_s}s")
-            elif not reply.get("ok"):
-                failures.append(
-                    f"worker {index}: {reply.get('error', 'unknown error')}"
+        with self._lock:
+            if self._stopped:
+                raise RuntimeError("pool is stopped")
+            self._seq += 1
+            command = dict(command, seq=self._seq)
+            lost: list[int] = []
+            sent: set[int] = set()
+            for index, conn in enumerate(self._conns):
+                try:
+                    conn.send(command)
+                    sent.add(index)
+                except (BrokenPipeError, OSError):
+                    lost.append(index)
+            deadline = time.monotonic() + timeout_s
+            replies = []
+            errors = []
+            for index, conn in enumerate(self._conns):
+                if index not in sent:
+                    replies.append(None)
+                    continue
+                reply = self._recv_matching(conn, self._seq, deadline)
+                replies.append(reply)
+                if reply is None:
+                    lost.append(index)
+                elif not reply.get("ok"):
+                    errors.append(
+                        f"worker {index}: "
+                        f"{reply.get('error', 'unknown error')}"
+                    )
+            if lost:
+                raise WorkerLost(
+                    f"{command.get('op')}: no ack from worker(s) "
+                    f"{sorted(lost)} within {timeout_s}s "
+                    "(dead or hung; supervise_once() replaces them)",
+                    workers=sorted(lost),
                 )
-        if failures:
-            raise RuntimeError(
-                f"{command.get('op')} failed on {len(failures)}/"
-                f"{len(self._conns)} workers: " + "; ".join(failures)
+            if errors:
+                raise RuntimeError(
+                    f"{command.get('op')} failed on {len(errors)}/"
+                    f"{len(self._conns)} workers: " + "; ".join(errors)
+                )
+            return replies
+
+    def _command_one(
+        self, index: int, command: dict, *, timeout_s: float
+    ) -> dict | None:
+        """One command to one worker; the ack, or ``None`` if lost."""
+        with self._lock:
+            self._seq += 1
+            conn = self._conns[index]
+            try:
+                conn.send(dict(command, seq=self._seq))
+            except (BrokenPipeError, OSError):
+                return None
+            return self._recv_matching(
+                conn, self._seq, time.monotonic() + timeout_s
             )
-        return replies
 
     # ------------------------------------------------------------------
     # fleet-wide registry operations
     # ------------------------------------------------------------------
-    def ping(self) -> list[int]:
-        """Liveness check; returns each worker's PID."""
-        return [r["pid"] for r in self._broadcast({"op": "ping"})]
+    def ping(self, *, timeout_s: float = 5.0) -> list[int]:
+        """Liveness check; returns each worker's PID.
+
+        Raises :class:`~repro.serve.WorkerLost` (naming the workers)
+        when any worker fails to ack within ``timeout_s``.
+        """
+        return [
+            r["pid"]
+            for r in self._broadcast({"op": "ping"}, timeout_s=timeout_s)
+        ]
 
     def load(self, path: str | Path, *, model: str | None = None) -> int:
         """Hot-swap every worker to a new artifact directory.
@@ -385,10 +517,25 @@ class WorkerPool:
         number the fleet converged on; raises if any worker failed or
         the workers disagree (which would mean their registries have
         diverged).
+
+        Crash-mid-swap safety: the command is recorded in the replay
+        log *before* it is broadcast, so if a worker dies mid-swap
+        (:class:`~repro.serve.WorkerLost`), the survivors have applied
+        it and the respawned replacement replays it — the fleet
+        converges instead of serving two model versions forever.  If
+        the load failed with an application error (bad path, checksum
+        mismatch), no registry changed and the entry is rolled back.
         """
-        replies = self._broadcast(
-            {"op": "load", "path": str(path), "model": model}
-        )
+        entry = {"op": "load", "path": str(path), "model": model}
+        with self._lock:
+            self._registry_log.append(entry)
+            try:
+                replies = self._broadcast(entry)
+            except WorkerLost:
+                raise  # survivors applied it; keep the entry for replay
+            except BaseException:
+                self._registry_log.remove(entry)
+                raise
         versions = sorted({r["version"] for r in replies})
         if len(versions) != 1:
             raise RuntimeError(
@@ -401,11 +548,18 @@ class WorkerPool:
 
         The rollback path: after ``load`` bumped the fleet to vN,
         ``promote(vN-1)`` swings every worker back with zero dropped
-        requests.
+        requests.  Recorded in the replay log exactly like ``load``.
         """
-        self._broadcast(
-            {"op": "promote", "version": int(version), "model": model}
-        )
+        entry = {"op": "promote", "version": int(version), "model": model}
+        with self._lock:
+            self._registry_log.append(entry)
+            try:
+                self._broadcast(entry)
+            except WorkerLost:
+                raise  # survivors applied it; keep the entry for replay
+            except BaseException:
+                self._registry_log.remove(entry)
+                raise
 
     def stats(self) -> list[dict]:
         """Per-worker scheduler counters + connections served."""
@@ -417,32 +571,180 @@ class WorkerPool:
             for r in self._broadcast({"op": "stats"})
         ]
 
+    def inject(self, spec: str, *, worker: int | None = None) -> None:
+        """Arm a fault rule (see :mod:`repro.serve.faults`) in workers.
+
+        ``worker=None`` arms every worker; an index arms exactly one —
+        how the chaos harness makes *one* acceptor of a fleet crash on
+        its Nth control command while its siblings stay healthy.
+        """
+        if worker is None:
+            self._broadcast({"op": "inject", "spec": spec})
+            return
+        reply = self._command_one(
+            worker, {"op": "inject", "spec": spec}, timeout_s=10.0
+        )
+        if reply is None:
+            raise WorkerLost(
+                f"inject: no ack from worker {worker}", workers=(worker,)
+            )
+        if not reply.get("ok"):
+            raise RuntimeError(
+                f"inject failed on worker {worker}: "
+                f"{reply.get('error', 'unknown error')}"
+            )
+
+    # ------------------------------------------------------------------
+    # supervision
+    # ------------------------------------------------------------------
+    def alive(self) -> list[bool]:
+        """Per-worker process liveness (exit-code check, no pipe I/O)."""
+        return [proc.is_alive() for proc in self._procs]
+
+    def kill_worker(self, index: int) -> int:
+        """Hard-kill worker ``index`` (SIGKILL); returns its old PID.
+
+        The chaos hook: simulates an acceptor crashing mid-traffic.
+        The kernel stops hashing new connections to the dead listener,
+        so surviving workers keep serving; in-flight requests on the
+        killed worker's connections fail at the socket and are the
+        client's to retry.  :meth:`supervise_once` replaces the worker.
+        """
+        proc = self._procs[index]
+        pid = proc.pid
+        proc.kill()
+        proc.join(timeout=10.0)
+        return pid
+
+    def supervise_once(self, *, ping: bool = False) -> list[int]:
+        """One deterministic supervision pass; respawned worker indices.
+
+        Finds workers that died (exit code) — and, with ``ping=True``,
+        workers that are alive but cannot ack a ping within the pool's
+        ``ping_timeout_s`` (wedged event loop, stuck native call) —
+        terminates what is left of them, and respawns replacements that
+        replay the recorded ``load``/``promote`` history so their
+        registries converge on the fleet's current state.  Tests call
+        this directly for sleep-free determinism; ``supervise=True``
+        runs it on the background thread.
+        """
+        with self._lock:
+            if self._stopped:
+                return []
+            respawned = []
+            for index, proc in enumerate(self._procs):
+                # is_alive() alone has a blind spot: a just-crashed
+                # child delivers its pipe EOF (what made a broadcast
+                # raise WorkerLost) a beat before the process is
+                # reapable, so waitpid still says "alive".  The
+                # sentinel becomes ready at fd-teardown — the same
+                # moment as that EOF — closing the window.
+                dead = (
+                    not proc.is_alive()
+                    or bool(
+                        multiprocessing.connection.wait(
+                            [proc.sentinel], timeout=0
+                        )
+                    )
+                )
+                if not dead and ping:
+                    reply = self._command_one(
+                        index,
+                        {"op": "ping"},
+                        timeout_s=self._ping_timeout_s,
+                    )
+                    dead = reply is None
+                if dead:
+                    self._respawn(index)
+                    respawned.append(index)
+            return respawned
+
+    def _respawn(self, index: int) -> None:
+        """Replace worker ``index`` with a fresh, converged process."""
+        old_proc = self._procs[index]
+        old_conn = self._conns[index]
+        if old_proc.is_alive():
+            old_proc.terminate()
+            old_proc.join(timeout=10.0)
+            if old_proc.is_alive():  # pragma: no cover - defensive
+                old_proc.kill()
+                old_proc.join(timeout=10.0)
+        try:
+            old_conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        proc, conn = self._spawn_worker()
+        self._await_ready(index, conn)
+        # Replay the registry history on the replacement *before* it is
+        # visible to fleet operations, so a concurrent load() can never
+        # interleave with the catch-up (we hold the lock throughout).
+        for entry in self._registry_log:
+            try:
+                conn.send(dict(entry, seq=0))
+            except (BrokenPipeError, OSError) as exc:
+                raise WorkerLost(
+                    f"respawned worker {index} died during registry "
+                    "replay",
+                    workers=(index,),
+                ) from exc
+            reply = self._recv_matching(
+                conn, 0, time.monotonic() + self._start_timeout_s
+            )
+            if reply is None or not reply.get("ok"):
+                detail = (
+                    "no reply"
+                    if reply is None
+                    else reply.get("error", "unknown error")
+                )
+                raise WorkerLost(
+                    f"respawned worker {index} failed to replay "
+                    f"{entry.get('op')}: {detail}",
+                    workers=(index,),
+                )
+        self._procs[index] = proc
+        self._conns[index] = conn
+        self.restarts += 1
+
+    def _supervise_loop(self) -> None:
+        while not self._supervisor_stop.wait(self._supervise_interval_s):
+            try:
+                self.supervise_once(ping=True)
+            except Exception:  # noqa: BLE001 — supervision must survive
+                # A failed respawn is retried on the next pass; the
+                # failure itself also surfaces on the next fleet op.
+                pass
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def stop(self, *, timeout_s: float = 30.0) -> None:
         """Stop every worker and release the shared port (idempotent)."""
-        if self._stopped:
-            return
-        self._stopped = True
-        self._seq += 1
-        for conn in self._conns:
-            try:
-                conn.send({"op": "stop", "seq": self._seq})
-            except (BrokenPipeError, OSError):
-                pass
-        deadline = time.monotonic() + timeout_s
-        for conn in self._conns:
-            self._recv_matching(conn, self._seq, deadline)
-            conn.close()
-        for proc in self._procs:
-            proc.join(timeout=timeout_s)
-            if proc.is_alive():  # pragma: no cover - defensive
-                proc.terminate()
-                proc.join(timeout=5.0)
-        if self._placeholder is not None:
-            self._placeholder.close()
-            self._placeholder = None
+        if self._supervisor is not None:
+            self._supervisor_stop.set()
+            self._supervisor.join(timeout=timeout_s)
+            self._supervisor = None
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            self._seq += 1
+            for conn in self._conns:
+                try:
+                    conn.send({"op": "stop", "seq": self._seq})
+                except (BrokenPipeError, OSError):
+                    pass
+            deadline = time.monotonic() + timeout_s
+            for conn in self._conns:
+                self._recv_matching(conn, self._seq, deadline)
+                conn.close()
+            for proc in self._procs:
+                proc.join(timeout=timeout_s)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            if self._placeholder is not None:
+                self._placeholder.close()
+                self._placeholder = None
 
     def __enter__(self) -> "WorkerPool":
         return self

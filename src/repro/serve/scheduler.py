@@ -27,6 +27,25 @@ stacks the rows, invokes the runner once, and slices the result back to
 each caller's future — so ``N`` concurrent single-query clients cost
 ``ceil(N / max_batch)`` kernel invocations, not ``N``.
 
+Overload safety
+---------------
+Without bounds, a saturated scheduler queues unboundedly: latency grows
+without limit and memory with it.  Two admission limits close that
+hole (both off by default — opt in per deployment):
+
+* ``max_queue_rows`` — :meth:`submit` fails fast with a typed
+  :class:`~repro.serve.Overloaded` (carrying a ``retry_after_ms``
+  drain-rate hint) once that many rows are already pending;
+* ``max_queue_age_s`` — likewise when the *oldest* pending request has
+  waited that long, which catches a stalled runner even at low depth.
+
+Requests may also carry a **deadline** (``submit(..., deadline=t)``,
+absolute :func:`time.monotonic`): a request whose deadline expired
+while queued is dropped *before* scoring — its future fails with
+:class:`~repro.serve.DeadlineExceeded` and the batch never wastes
+kernel time on an answer nobody is waiting for.  Rejections and drops
+are counted in :class:`SchedulerStats` (``rejected``/``expired``).
+
 The runner is any ``(n, d) → (n, …)`` callable — typically
 ``engine.predict`` or a registry resolution that picks the current
 version per flush (see :class:`~repro.serve.ModelServer`).
@@ -43,9 +62,16 @@ from typing import Callable
 
 import numpy as np
 
+from repro.serve.errors import DeadlineExceeded, Overloaded
+from repro.serve.faults import faults
 from repro.utils.validation import check_positive_int
 
 __all__ = ["MicroBatchConfig", "MicroBatchScheduler", "SchedulerStats"]
+
+#: fallback ``retry_after_ms`` hint before any flush has measured a
+#: drain rate (and the floor/ceiling the measured hint is clamped to)
+_RETRY_AFTER_DEFAULT_MS = 50
+_RETRY_AFTER_MAX_MS = 10_000
 
 
 @dataclass(frozen=True)
@@ -69,17 +95,36 @@ class MicroBatchConfig:
         Paced mode only (``eager=False``): longest any request may wait
         for batch-mates before a deadline flush — the knob trading tail
         latency for batch shape.
+    max_queue_rows:
+        Admission bound: :meth:`MicroBatchScheduler.submit` raises
+        :class:`~repro.serve.Overloaded` once this many rows are
+        already pending (``None`` = unbounded, the historical
+        behavior).  A request larger than the bound is still admitted
+        when the queue is empty, mirroring ``max_batch`` semantics.
+    max_queue_age_s:
+        Admission bound on *staleness*: reject new requests while the
+        oldest pending one has waited longer than this (``None`` =
+        unbounded).  Catches a stalled runner even when the queue is
+        shallow.
     """
 
     max_batch: int = 256
     eager: bool = True
     max_delay_s: float = 0.002
+    max_queue_rows: int | None = None
+    max_queue_age_s: float | None = None
 
     def __post_init__(self):
         check_positive_int(self.max_batch, "max_batch")
         if self.max_delay_s < 0:
             raise ValueError(
                 f"max_delay_s must be >= 0, got {self.max_delay_s}"
+            )
+        if self.max_queue_rows is not None:
+            check_positive_int(self.max_queue_rows, "max_queue_rows")
+        if self.max_queue_age_s is not None and self.max_queue_age_s <= 0:
+            raise ValueError(
+                f"max_queue_age_s must be > 0, got {self.max_queue_age_s}"
             )
 
 
@@ -90,13 +135,18 @@ class SchedulerStats:
     ``flushes_by_trigger`` counts why each batch was released; a healthy
     loaded deployment flushes mostly on **size**, an idle one on
     **deadline**.  ``max_batch_rows``/``total_rows``/``flushes`` give the
-    realized batch-shape distribution the bench reports.
+    realized batch-shape distribution the bench reports.  ``rejected``
+    counts rows refused by admission control (the caller got a typed
+    :class:`~repro.serve.Overloaded`), ``expired`` rows dropped from
+    the queue because their deadline passed before scoring.
     """
 
     submitted: int = 0
     completed: int = 0
     failed: int = 0
     cancelled: int = 0
+    rejected: int = 0
+    expired: int = 0
     flushes: int = 0
     total_rows: int = 0
     max_batch_rows: int = 0
@@ -118,15 +168,22 @@ class SchedulerStats:
 
 
 class _Pending:
-    """One submitted request: its rows, its future, its arrival time."""
+    """One submitted request: rows, future, arrival time, deadline."""
 
-    __slots__ = ("rows", "squeeze", "future", "arrived_at")
+    __slots__ = ("rows", "squeeze", "future", "arrived_at", "deadline")
 
-    def __init__(self, rows: np.ndarray, squeeze: bool, arrived_at: float):
+    def __init__(
+        self,
+        rows: np.ndarray,
+        squeeze: bool,
+        arrived_at: float,
+        deadline: float | None = None,
+    ):
         self.rows = rows
         self.squeeze = squeeze
         self.future: Future = Future()
         self.arrived_at = arrived_at
+        self.deadline = deadline
 
 
 class MicroBatchScheduler:
@@ -154,6 +211,11 @@ class MicroBatchScheduler:
         self.name = name
         self.stats = SchedulerStats()
         self._queue: deque[_Pending] = deque()
+        self._queued_rows = 0
+        # EWMA of runner seconds-per-row, feeding the retry_after_ms
+        # hint of Overloaded rejections (written by the flusher thread
+        # under the lock, read by submitters under the lock).
+        self._ewma_s_per_row: float | None = None
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._closing = False
@@ -165,12 +227,22 @@ class MicroBatchScheduler:
     # ------------------------------------------------------------------
     # client side
     # ------------------------------------------------------------------
-    def submit(self, queries) -> Future:
+    def submit(self, queries, *, deadline: float | None = None) -> Future:
         """Enqueue a ``(d,)`` or ``(n, d)`` request; returns its Future.
 
         The future resolves to the runner's rows for exactly this
         request (first axis preserved; a 1-D submission resolves to the
         runner's single-row result, squeezed).
+
+        ``deadline`` is an absolute :func:`time.monotonic` timestamp:
+        if it passes while the request is still queued, the request is
+        dropped before scoring and its future fails with
+        :class:`~repro.serve.DeadlineExceeded` (an already-expired
+        deadline raises it here, synchronously).  When the configured
+        admission bounds are exceeded, raises
+        :class:`~repro.serve.Overloaded` *without* enqueueing — the
+        caller gets a ``retry_after_ms`` hint instead of an unbounded
+        wait.
         """
         if not isinstance(queries, np.ndarray):
             queries = np.asarray(queries)
@@ -178,17 +250,71 @@ class MicroBatchScheduler:
         rows = np.atleast_2d(queries)
         if rows.shape[0] == 0:
             raise ValueError("cannot schedule an empty query batch")
-        pending = _Pending(rows, squeeze, time.monotonic())
+        now = time.monotonic()
+        pending = _Pending(rows, squeeze, now, deadline)
+        n_rows = rows.shape[0]
         with self._lock:
             if self._closing:
                 raise RuntimeError(f"scheduler {self.name!r} is closed")
+            if deadline is not None and deadline <= now:
+                self.stats.expired += n_rows
+                raise DeadlineExceeded(
+                    f"deadline expired {(now - deadline) * 1e3:.1f} ms "
+                    f"before submission to scheduler {self.name!r}"
+                )
+            self._check_admission(n_rows, now)
             if not self._started:
                 self._started = True
                 self._worker.start()
             self._queue.append(pending)
-            self.stats.submitted += rows.shape[0]
+            self._queued_rows += n_rows
+            self.stats.submitted += n_rows
             self._wake.notify()
         return pending.future
+
+    def _check_admission(self, n_rows: int, now: float) -> None:
+        """Enforce the queue bounds (lock held); raises ``Overloaded``.
+
+        An oversized request is admitted into an *empty* queue (it
+        flushes alone, like ``max_batch``); everything else is checked
+        against both the row bound and the oldest-pending age bound.
+        """
+        cfg = self.config
+        over: str | None = None
+        if (
+            cfg.max_queue_rows is not None
+            and self._queue
+            and self._queued_rows + n_rows > cfg.max_queue_rows
+        ):
+            over = (
+                f"{self._queued_rows} rows queued + {n_rows} submitted "
+                f"exceed max_queue_rows={cfg.max_queue_rows}"
+            )
+        elif (
+            cfg.max_queue_age_s is not None
+            and self._queue
+            and now - self._queue[0].arrived_at > cfg.max_queue_age_s
+        ):
+            over = (
+                f"oldest queued request is "
+                f"{now - self._queue[0].arrived_at:.3f}s old "
+                f"(max_queue_age_s={cfg.max_queue_age_s})"
+            )
+        if over is None:
+            return
+        self.stats.rejected += n_rows
+        raise Overloaded(
+            f"scheduler {self.name!r} is overloaded: {over}",
+            retry_after_ms=self._retry_after_ms(),
+            queued_rows=self._queued_rows,
+        )
+
+    def _retry_after_ms(self) -> int:
+        """Estimated ms until the current queue drains (lock held)."""
+        if self._ewma_s_per_row is None:
+            return _RETRY_AFTER_DEFAULT_MS
+        estimate = self._queued_rows * self._ewma_s_per_row * 1e3
+        return int(min(max(estimate, 1.0), _RETRY_AFTER_MAX_MS))
 
     def predict(self, queries) -> np.ndarray:
         """Blocking submit: wait for this request's batch and return it."""
@@ -216,6 +342,7 @@ class MicroBatchScheduler:
             if not drain:
                 while self._queue:
                     p = self._queue.popleft()
+                    self._queued_rows -= p.rows.shape[0]
                     if p.future.set_running_or_notify_cancel():
                         p.future.set_exception(
                             RuntimeError(f"scheduler {self.name!r} closed")
@@ -249,8 +376,7 @@ class MicroBatchScheduler:
                     # fills or the oldest request's deadline expires.
                     deadline = self._queue[0].arrived_at + cfg.max_delay_s
                     while (
-                        sum(p.rows.shape[0] for p in self._queue)
-                        < cfg.max_batch
+                        self._queued_rows < cfg.max_batch
                         and not self._closing
                     ):
                         remaining = deadline - time.monotonic()
@@ -262,20 +388,38 @@ class MicroBatchScheduler:
                 self._run_batch(batch, trigger)
 
     def _take_batch(self) -> tuple[list[_Pending], str]:
-        """Pop up to ``max_batch`` rows of whole requests (lock held)."""
+        """Pop up to ``max_batch`` rows of whole requests (lock held).
+
+        Requests whose deadline expired while queued are dropped here —
+        their futures fail with
+        :class:`~repro.serve.DeadlineExceeded` and their rows never
+        reach the runner.
+        """
         cfg = self.config
+        now = time.monotonic()
         batch: list[_Pending] = []
         rows = 0
         while self._queue and (
             rows == 0 or rows + self._queue[0].rows.shape[0] <= cfg.max_batch
         ):
             p = self._queue.popleft()
+            self._queued_rows -= p.rows.shape[0]
             # Transition the future to RUNNING; a client that cancelled
             # while queued is skipped here, and a RUNNING future can no
             # longer be cancelled, so the set_result/set_exception in
             # _run_batch cannot race a cancellation.
             if not p.future.set_running_or_notify_cancel():
                 self.stats.cancelled += p.rows.shape[0]
+                continue
+            if p.deadline is not None and p.deadline <= now:
+                self.stats.expired += p.rows.shape[0]
+                p.future.set_exception(
+                    DeadlineExceeded(
+                        f"deadline expired after "
+                        f"{(now - p.arrived_at) * 1e3:.1f} ms in the "
+                        f"{self.name!r} queue"
+                    )
+                )
                 continue
             batch.append(p)
             rows += p.rows.shape[0]
@@ -295,6 +439,10 @@ class MicroBatchScheduler:
             if len(batch) == 1
             else np.concatenate([p.rows for p in batch], axis=0)
         )
+        stall = faults.fire("scheduler.flush")
+        if stall is not None and stall.delay_s > 0:
+            time.sleep(stall.delay_s)
+        flush_started = time.monotonic()
         try:
             result = np.asarray(self.runner(stacked))
         except BaseException as exc:  # noqa: BLE001 — forwarded per-future
@@ -313,7 +461,16 @@ class MicroBatchScheduler:
             for p in batch:
                 p.future.set_exception(exc)
             return
+        s_per_row = (time.monotonic() - flush_started) / stacked.shape[0]
         with self._lock:
+            # Blend the observed drain rate into the retry_after hint
+            # (alpha 0.3: responsive to load shifts, stable per flush).
+            if self._ewma_s_per_row is None:
+                self._ewma_s_per_row = s_per_row
+            else:
+                self._ewma_s_per_row += 0.3 * (
+                    s_per_row - self._ewma_s_per_row
+                )
             self.stats.flushes += 1
             self.stats.flushes_by_trigger[trigger] += 1
             self.stats.total_rows += stacked.shape[0]

@@ -126,7 +126,12 @@ class ModelServer:
         return self._scheduler(model, "predict_features").predict(X)
 
     def submit(
-        self, queries, *, model: str | None = None, method: str = "predict"
+        self,
+        queries,
+        *,
+        model: str | None = None,
+        method: str = "predict",
+        deadline: float | None = None,
     ):
         """Non-blocking submission; returns the request's Future.
 
@@ -134,17 +139,25 @@ class ModelServer:
         through: ``"predict"`` (default), ``"scores"``,
         ``"predict_features"``, or the plane-row ``"predict_packed"`` /
         ``"scores_packed"``.  Each method has its own scheduler, so row
-        shapes never mix inside a batch.
+        shapes never mix inside a batch.  ``deadline`` (absolute
+        :func:`time.monotonic`) and the scheduler's admission bounds
+        behave exactly as in
+        :meth:`~repro.serve.MicroBatchScheduler.submit` — a saturated
+        scheduler raises :class:`~repro.serve.Overloaded` instead of
+        queueing without bound.
         """
         if method not in SERVING_METHODS:
             raise ValueError(
                 f"unknown serving method {method!r}; choose from "
                 f"{SERVING_METHODS}"
             )
-        return self._scheduler(model, method).submit(queries)
+        return self._scheduler(model, method).submit(
+            queries, deadline=deadline
+        )
 
     def submit_packed(self, queries: PackedHV, *, model: str | None = None,
-                      want_scores: bool = False):
+                      want_scores: bool = False,
+                      deadline: float | None = None):
         """Non-blocking scoring of a bit-packed query batch.
 
         The two uint64 planes travel the scheduler as one
@@ -152,11 +165,12 @@ class ModelServer:
         path; the flush runner rebuilds the :class:`PackedHV` and the
         packed backend consumes it natively.  (A dense-backend engine
         unpacks inside the flush instead — off the caller's thread
-        either way.)
+        either way.)  ``deadline`` propagates to the scheduler as in
+        :meth:`submit`.
         """
         rows = np.concatenate([queries.signs, queries.mags], axis=1)
         method = "scores_packed" if want_scores else "predict_packed"
-        return self._scheduler(model, method).submit(rows)
+        return self._scheduler(model, method).submit(rows, deadline=deadline)
 
     def flushed_version(
         self, model: str | None = None, method: str = "predict"

@@ -1,0 +1,83 @@
+"""FaultRegistry: deterministic, counter-based failure injection."""
+
+import pytest
+
+from repro.serve import FaultRegistry
+from repro.serve.faults import FAULTS_ENV_VAR, InjectedFault
+
+
+class TestArming:
+    def test_unarmed_fire_is_none(self):
+        reg = FaultRegistry()
+        assert reg.fire("anywhere") is None
+        assert not reg.armed
+
+    def test_arm_and_disarm(self):
+        reg = FaultRegistry()
+        reg.arm("frontend.read:delay,delay_ms=5")
+        assert reg.armed
+        reg.disarm()
+        assert not reg.armed
+        assert reg.fire("frontend.read") is None
+
+    def test_disarm_single_point(self):
+        reg = FaultRegistry()
+        reg.arm("a:drop")
+        reg.arm("b:drop")
+        reg.disarm("a")
+        assert reg.fire("a") is None
+        assert reg.fire("b") is not None
+
+    def test_bad_specs_rejected(self):
+        reg = FaultRegistry()
+        for spec in ("", "nope", "p:explode", "p:drop,after=x", "p:drop,k=1"):
+            with pytest.raises(ValueError):
+                reg.arm(spec)
+
+    def test_env_arming(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "p:drop,times=1;q:delay,delay_ms=2")
+        reg = FaultRegistry()
+        reg.arm_from_env()
+        assert reg.fire("p").action == "drop"
+        action = reg.fire("q")
+        assert action.action == "delay" and action.delay_s == pytest.approx(
+            0.002
+        )
+
+    def test_env_absent_is_noop(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        reg = FaultRegistry()
+        reg.arm_from_env()
+        assert not reg.armed
+
+
+class TestCounters:
+    def test_after_skips_first_hits(self):
+        reg = FaultRegistry()
+        reg.arm("p:drop,after=2")
+        assert reg.fire("p") is None
+        assert reg.fire("p") is None
+        assert reg.fire("p").action == "drop"
+
+    def test_times_bounds_firings(self):
+        reg = FaultRegistry()
+        reg.arm("p:drop,times=2")
+        assert reg.fire("p").action == "drop"
+        assert reg.fire("p").action == "drop"
+        assert reg.fire("p") is None  # exhausted
+
+    def test_error_action_raises_injected_fault(self):
+        reg = FaultRegistry()
+        reg.arm("p:error,times=1")
+        with pytest.raises(InjectedFault):
+            reg.fire("p")
+        assert reg.fire("p") is None
+
+    def test_snapshot_reports_rules(self):
+        reg = FaultRegistry()
+        reg.arm("p:drop,times=3")
+        reg.fire("p")
+        snapshot = reg.snapshot()
+        assert set(snapshot) == {"p"}
+        assert snapshot["p"]["fires"] == 1
+        assert snapshot["p"]["spec"].startswith("p:drop")
