@@ -38,7 +38,14 @@ Exercises the full model lifecycle the way a deployment would:
    dense / packed / native) on the same workload and record per-backend
    q/s plus ``numba_available``/``cpu_count`` — the
    ``--assert-native-speedup`` bar (native ≥ Nx packed, ISSUE bar 3)
-   is enforced when numba is present.
+   is enforced when numba is present;
+9. with ``--wire-profile``, profile the zero-copy wire core: the v1
+   single-query socket path (client pinned to ``versions=(1,)``) and
+   the batched wire, each reporting frames/s and counter-based
+   bytes-copied-per-frame from the shared
+   :class:`~repro.proto.session.WireSession` — the
+   ``--assert-wire-ratio`` bar (v1 single-query ≥ 0.8x in-process) is
+   the sans-io rework's acceptance gate.
 
 Writes ``BENCH_serve.json``::
 
@@ -175,7 +182,8 @@ def run_hot_swap(artifact_v1, artifact_v2, queries, args) -> dict:
 
 
 def _drive_socket_clients(
-    address, queries, n_clients, window, wire_batch
+    address, queries, n_clients, window, wire_batch,
+    *, versions=None, wire_stats=None,
 ) -> tuple[np.ndarray, float]:
     """N TCP clients, each shipping its stripe of single-query requests.
 
@@ -187,8 +195,10 @@ def _drive_socket_clients(
     ``wire_batch=N`` stacks N logical requests into one v2
     ``ScoreBatchRequest`` frame and one scheduler submit.  Packing and
     connecting run before the barrier — the timed region is pure
-    request traffic.  Returns (predictions, elapsed seconds); raises if
-    any client failed.
+    request traffic.  ``versions`` pins the protocol offer (the wire
+    profile forces the v1 dialect with ``(1,)``); ``wire_stats``, when
+    a list, collects each client's session copy counters.  Returns
+    (predictions, elapsed seconds); raises if any client failed.
     """
     n = queries.shape[0]
     results = np.full(n, -1, dtype=np.int64)
@@ -202,11 +212,13 @@ def _drive_socket_clients(
                 pack_hypervectors(queries[i], validate=False)
                 for i in indices
             ]
-            with PriveHDClient(address) as client:
+            with PriveHDClient(address, versions=versions) as client:
                 ready.wait()
                 preds = client.predict_encoded_many(
                     packed, window=window, wire_batch=wire_batch
                 )
+                if wire_stats is not None:
+                    wire_stats.append(client.wire_stats())
             for i, p in zip(indices, preds):
                 results[i] = p[0]
         except Exception as exc:  # noqa: BLE001 — counted, reported
@@ -270,6 +282,72 @@ def run_socket_bench(artifact, queries, direct, args, wire_batch) -> dict:
         "flushes": stats.get("flushes"),
         "mean_batch_rows": stats.get("mean_batch_rows"),
     }
+
+
+def run_wire_profile(artifact, queries, direct, args, in_process_qps) -> dict:
+    """Frames/s and bytes-copied-per-frame of the zero-copy wire core.
+
+    The tentpole gate of the sans-io rework: drives the same workload
+    through the socket path in the **v1 single-query** dialect (client
+    pinned to ``versions=(1,)`` — one ``ScoreRequest`` frame per query,
+    the per-frame-overhead regime the rework targets) and, when
+    ``--wire-batch`` > 1, the batched v2+ wire; reports throughput
+    relative to the in-process micro-batched server alongside the
+    *counter-based* copy profile from every client's
+    :class:`~repro.proto.session.WireSession` — ``tx`` copies are the
+    scalar/header staging bytes (array planes go by reference via
+    ``sendmsg``), ``rx`` copies are decoder reassembly of frames that
+    straddled ``recv_into`` chunks.  The acceptance bar
+    (``--assert-wire-ratio``): v1 single-query socket throughput ≥ that
+    fraction of in-process.
+    """
+    n = queries.shape[0]
+    config = MicroBatchConfig(max_batch=args.max_batch)
+    modes = [("v1_single_query", (1,), 1)]
+    if args.wire_batch > 1:
+        modes.append(("batched_wire", None, args.wire_batch))
+    out = {
+        "clients": args.socket_clients,
+        "pipeline_window": args.socket_window,
+        "in_process_queries_per_s": in_process_qps,
+        "modes": {},
+    }
+    with ServingAPI.from_artifact(
+        artifact, name="bench", config=config
+    ) as api, FrontendHandle(api) as handle:
+        for label, versions, wire_batch in modes:
+            stats: list[dict] = []
+            results, elapsed = _drive_socket_clients(
+                handle.address, queries, args.socket_clients,
+                args.socket_window, wire_batch,
+                versions=versions, wire_stats=stats,
+            )
+            if not np.array_equal(results, direct):
+                raise AssertionError(
+                    f"wire-profile {label} predictions diverged"
+                )
+            tx_frames = sum(s["tx_frames"] for s in stats)
+            rx_frames = sum(s["rx_frames"] for s in stats)
+            frames = tx_frames + rx_frames
+            tx_copied = sum(s["tx_copied_bytes"] for s in stats)
+            rx_copied = sum(s["rx_copied_bytes"] for s in stats)
+            qps = n / elapsed
+            out["modes"][label] = {
+                "wire_batch": wire_batch,
+                "versions_offered": list(versions) if versions else None,
+                "queries_per_s": qps,
+                "vs_in_process": qps / in_process_qps,
+                "seconds": elapsed,
+                "frames": frames,
+                "frames_per_s": frames / elapsed,
+                "tx_copied_bytes_per_frame": tx_copied / max(tx_frames, 1),
+                "rx_copied_bytes_per_frame": rx_copied / max(rx_frames, 1),
+                "identical_to_offline": True,
+            }
+    out["v1_single_query_vs_in_process"] = (
+        out["modes"]["v1_single_query"]["vs_in_process"]
+    )
+    return out
 
 
 def run_worker_pool_bench(artifact_dir, queries, direct, args) -> dict:
@@ -779,6 +857,10 @@ def run_bench(args, workdir) -> dict:
             report["workers"] = run_worker_pool_bench(
                 str(pathlib.Path(workdir) / "v1"), queries, direct, args
             )
+    if args.wire_profile:
+        report["wire_profile"] = run_wire_profile(
+            artifact, queries, direct, args, served_qps
+        )
     if args.overload:
         report["overload"] = run_overload_sweep(artifact, queries, args)
     if args.chaos:
@@ -896,6 +978,26 @@ def main(argv=None) -> int:
         help=(
             "exit non-zero unless socket throughput is within this "
             "factor of the in-process ModelServer (2 = at least 0.5x)"
+        ),
+    )
+    parser.add_argument(
+        "--wire-profile",
+        action="store_true",
+        help=(
+            "measure the zero-copy wire core: frames/s and "
+            "bytes-copied-per-frame (from WireSession counters) for "
+            "the v1 single-query socket path and the batched wire, "
+            "each relative to the in-process server"
+        ),
+    )
+    parser.add_argument(
+        "--assert-wire-ratio",
+        type=float,
+        default=None,
+        help=(
+            "exit non-zero unless the v1 single-query socket path "
+            "reaches this fraction of in-process throughput (the "
+            "zero-copy rework bar is 0.8; needs --wire-profile)"
         ),
     )
     parser.add_argument(
@@ -1027,6 +1129,16 @@ def main(argv=None) -> int:
             f"({sb['vs_single_query_wire']:.2f}x the single-query wire, "
             f"{sb['vs_in_process']:.2f}x in-process)"
         )
+    if "wire_profile" in report:
+        wp = report["wire_profile"]
+        for label, mode in wp["modes"].items():
+            print(
+                f"wire profile {label}: {mode['queries_per_s']:12,.0f} q/s "
+                f"({mode['vs_in_process']:.2f}x in-process), "
+                f"{mode['frames_per_s']:,.0f} frames/s, copies/frame "
+                f"tx {mode['tx_copied_bytes_per_frame']:.0f} B / "
+                f"rx {mode['rx_copied_bytes_per_frame']:.0f} B"
+            )
     if "workers" in report:
         wk = report["workers"]
         single = wk["by_workers"]["1"]["queries_per_s"]
@@ -1115,6 +1227,21 @@ def main(argv=None) -> int:
                 f"{report['socket']['vs_in_process']:.2f}x the in-process "
                 f"server, required at least "
                 f"{1.0 / args.assert_socket_within:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    if args.assert_wire_ratio is not None:
+        if "wire_profile" not in report:
+            print(
+                "FAIL: --assert-wire-ratio needs --wire-profile",
+                file=sys.stderr,
+            )
+            return 1
+        got = report["wire_profile"]["v1_single_query_vs_in_process"]
+        if got < args.assert_wire_ratio:
+            print(
+                f"FAIL: v1 single-query socket path {got:.2f}x the "
+                f"in-process server, required {args.assert_wire_ratio:.2f}x",
                 file=sys.stderr,
             )
             return 1

@@ -496,9 +496,9 @@ def _run_serve_listen(args) -> int:
                 "--http-port is per-process and not available with "
                 "--workers > 1; run a single worker for the ops port"
             )
-        # Banner from the manifest only — the parent never serves, so
-        # it skips the full tensor load + checksum (each worker
-        # verifies the artifact itself when it mmap-loads).
+        # Banner from the manifest only — the parent never serves the
+        # tensors itself; the pool constructor checksum-verifies the
+        # artifact once and the workers mmap-load without re-hashing.
         print(_describe_manifest(args.artifact))
         with WorkerPool(
             args.artifact,
@@ -508,6 +508,7 @@ def _run_serve_listen(args) -> int:
             port=port,
             config=config,
             frontend_config=frontend_config,
+            loop=args.loop,
             supervise=True,
         ) as pool:
             print(
@@ -532,6 +533,7 @@ def _run_serve_listen(args) -> int:
             port=port,
             http_port=args.http_port,
             config=frontend_config,
+            loop=args.loop,
         )
         frontend.run()
     return 0
@@ -818,6 +820,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "with --listen: acceptor processes sharing the address via "
             "SO_REUSEPORT, each mmap-loading the artifact read-only "
             "(1 = single in-process frontend)"
+        ),
+    )
+    p_serve.add_argument(
+        "--loop",
+        choices=("asyncio", "uvloop"),
+        default="asyncio",
+        help=(
+            "with --listen: event-loop implementation for the "
+            "frontend/acceptors; 'uvloop' falls back to asyncio (with "
+            "a log line) when the package is not installed"
         ),
     )
     p_serve.add_argument(

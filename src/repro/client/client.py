@@ -53,12 +53,11 @@ from repro.proto.messages import (
     ScoreResponse,
     Welcome,
     decode_message,
-    encode_message,
 )
+from repro.proto.session import WireSession, sendmsg_all
 from repro.proto.wire import (
     DEFAULT_MAX_FRAME_BYTES,
     SUPPORTED_VERSIONS,
-    FrameDecoder,
     ProtocolError,
 )
 
@@ -224,8 +223,9 @@ class PriveHDClient:
                 f"cannot offer {self.versions}"
             )
         self._request_id = 0
-        self._decoder = FrameDecoder(max_frame_bytes=max_frame_bytes)
-        self._frames: deque = deque()
+        self._session = WireSession(
+            "client", max_frame_bytes=max_frame_bytes
+        )
         if isinstance(encoder, dict):
             encoder = encoder_from_config(encoder)
         self.encoder = encoder
@@ -305,28 +305,50 @@ class PriveHDClient:
             f"{retries + 1} attempt(s): {last}"
         ) from last
 
-    def _send_frame(self, data: bytes) -> None:
+    def _send_frame(self, data) -> None:
         """The single point where bytes leave the client (tests hook it)."""
         self._sock.sendall(data)
 
-    def _read_message(self):
-        """The next message off the stream, via the shared FrameDecoder.
+    def _send_message(self, message, *, version: int | None = None) -> None:
+        """Encode + send one message, vectored (zero-copy fast path).
 
-        Reads are buffered in 64 KiB chunks — one ``recv`` usually
-        captures a whole response frame (header and payload together),
-        and the per-request syscall/hop count is what bounds single-
-        connection round-trip latency.  Framing errors surface as
-        :class:`ProtocolError` exactly as they do server-side, because
-        both ends split the stream with the same decoder.
+        The session stages header + scalars in its reusable scratch and
+        hands back an iovec-style parts list; ``sendmsg`` gathers it —
+        packed bit planes leave by reference, never concatenated in
+        userspace.  A subclass that hooks :meth:`_send_frame` (the
+        privacy tests sniff every frame there) still sees each frame
+        whole: the vectored path steps aside whenever the hook is
+        overridden.
         """
-        while not self._frames:
-            chunk = self._sock.recv(65536)
-            if not chunk:
+        parts = self._session.send_parts(message, version=version)
+        if type(self)._send_frame is not PriveHDClient._send_frame:
+            self._send_frame(b"".join(parts))
+            return
+        sendmsg_all(self._sock, parts)
+
+    def _read_message(self):
+        """The next message off the stream, via the shared WireSession.
+
+        Pull-mode zero-copy reads: the session hands out the buffer to
+        ``recv_into`` — between frames a fresh 64 KiB chunk (one recv
+        usually captures a whole response frame, and payload views
+        alias it with no copy), mid-payload the frame's own assembly
+        buffer (large replies stream from the kernel straight to their
+        final resting place).  Framing errors surface as
+        :class:`ProtocolError` exactly as they do server-side, because
+        both ends run the same sans-io core.
+        """
+        while True:
+            frame = self._session.next_frame()
+            if frame is not None:
+                return decode_message(frame)
+            buf = self._session.recv_buffer(65536)
+            n = self._sock.recv_into(buf)
+            if not n:
                 raise ConnectionError(
                     "server closed the connection mid-frame"
                 )
-            self._frames.extend(self._decoder.feed(chunk))
-        return decode_message(self._frames.popleft())
+            self._session.commit(n)
 
     def _backoff(
         self, attempt: int, *, retry_after_ms: int | None = None
@@ -349,13 +371,15 @@ class PriveHDClient:
     def _reconnect(self) -> None:
         """Re-establish the connection and re-handshake.
 
-        The frame decoder and any half-read buffered frames are
-        discarded with the dead socket — replies can only be trusted
-        within the connection that produced them.
+        The wire session — buffered bytes, half-read frames, negotiated
+        version — is discarded with the dead socket: replies can only
+        be trusted within the connection that produced them, and the
+        new connection negotiates from scratch.
         """
         self.close()
-        self._decoder = FrameDecoder(max_frame_bytes=self.max_frame_bytes)
-        self._frames.clear()
+        self._session = WireSession(
+            "client", max_frame_bytes=self.max_frame_bytes
+        )
         self._sock = self._connect(
             self._connect_retries, self._retry_delay_s
         )
@@ -371,10 +395,8 @@ class PriveHDClient:
     def _handshake(self) -> tuple[int, Welcome]:
         # The Hello itself is a v1-layout frame stamped with the lowest
         # offered version, so even a v1-only server can parse the offer.
-        self._send_frame(
-            encode_message(
-                Hello(versions=self.versions), version=min(self.versions)
-            )
+        self._send_message(
+            Hello(versions=self.versions), version=min(self.versions)
         )
         reply = self._read_message()
         if isinstance(reply, ErrorReply):
@@ -387,6 +409,7 @@ class PriveHDClient:
             raise ProtocolError(
                 f"server negotiated unsupported version {reply.version}"
             )
+        self._session.adopt_version(reply.version)
         return reply.version, reply
 
     def _request(self, message):
@@ -402,9 +425,7 @@ class PriveHDClient:
         attempts = 0
         while True:
             try:
-                self._send_frame(
-                    encode_message(message, version=self.protocol_version)
-                )
+                self._send_message(message, version=self.protocol_version)
                 reply = self._read_message()
             except (ConnectionError, TimeoutError, OSError):
                 if attempts >= self.max_retries:
@@ -547,13 +568,12 @@ class PriveHDClient:
                 while to_send and len(index_of) < window:
                     idx = to_send[0]
                     rid = self._next_id()
-                    data = encode_message(
-                        build_message(idx, rid),
-                        version=self.protocol_version,
-                    )
+                    # Building may raise (user data); only after it
+                    # succeeds is the item claimed from the queue.
+                    msg = build_message(idx, rid)
                     index_of[rid] = idx
                     to_send.popleft()
-                    self._send_frame(data)
+                    self._send_message(msg, version=self.protocol_version)
                 reply = self._read_message()
             except (ConnectionError, TimeoutError, OSError):
                 # The connection died with up to `window` unanswered
@@ -786,6 +806,18 @@ class PriveHDClient:
                 f"expected ModelInfo, got {type(reply).__name__}"
             )
         return reply
+
+    def wire_stats(self) -> dict:
+        """Copy/throughput counters of this connection's wire session.
+
+        ``rx_frames``/``tx_frames`` count frames through the session;
+        ``rx_copied_bytes``/``tx_copied_bytes`` count payload bytes
+        that crossed a userspace copy (decoder reassembly, scalar
+        staging) — array planes moving by reference never appear here.
+        The wire-profile benchmark divides these to report
+        bytes-copied-per-frame.
+        """
+        return self._session.stats()
 
     # ------------------------------------------------------------------
     # lifecycle

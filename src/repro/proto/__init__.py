@@ -8,12 +8,15 @@ only ever receives encoded (quantized, masked, bit-packed) query
 hypervectors.
 
 * :mod:`repro.proto.wire` — the 8-byte-header, length-prefixed frame
-  format, version negotiation, and the fail-closed
-  :class:`ProtocolError` decoding discipline;
+  format, version negotiation, the zero-copy
+  :class:`FrameDecoder`/:class:`VectoredWriter` pair, and the
+  fail-closed :class:`ProtocolError` decoding discipline;
 * :mod:`repro.proto.messages` — the typed request/response dataclasses
   (:class:`ScoreRequest`, :class:`ScoreResponse`, :class:`ModelInfo`,
   :class:`ErrorReply`, handshake :class:`Hello`/:class:`Welcome`) and
-  their exact round-tripping codecs.
+  their exact round-tripping codecs;
+* :mod:`repro.proto.session` — the sans-io :class:`WireSession` state
+  machine (handshake → framed steady state) both transports run on.
 """
 
 from repro.proto.messages import (
@@ -30,7 +33,9 @@ from repro.proto.messages import (
     Welcome,
     decode_message,
     encode_message,
+    encode_message_parts,
 )
+from repro.proto.session import WireSession, sendmsg_all
 from repro.proto.wire import (
     DEFAULT_MAX_FRAME_BYTES,
     FRAME_MIN_VERSION,
@@ -42,6 +47,7 @@ from repro.proto.wire import (
     FrameDecoder,
     FrameType,
     ProtocolError,
+    VectoredWriter,
     decode_header,
     encode_frame,
     negotiate_version,
@@ -61,6 +67,9 @@ __all__ = [
     "Welcome",
     "decode_message",
     "encode_message",
+    "encode_message_parts",
+    "WireSession",
+    "sendmsg_all",
     "DEFAULT_MAX_FRAME_BYTES",
     "FRAME_MIN_VERSION",
     "HEADER_SIZE",
@@ -71,6 +80,7 @@ __all__ = [
     "FrameDecoder",
     "FrameType",
     "ProtocolError",
+    "VectoredWriter",
     "decode_header",
     "encode_frame",
     "negotiate_version",

@@ -16,13 +16,33 @@ this module.  A frame is::
 * ``type`` — one :data:`FrameType` per message dataclass;
 * ``length`` — payload bytes to follow, capped at ``max_frame_bytes``
   so a corrupt or hostile length field cannot make the server allocate
-  gigabytes.
+  gigabytes.  The cap is enforced from the *header*, before a single
+  payload byte is buffered.
 
 Scalar fields are big-endian (network order); bulk arrays are raw
 little-endian buffers with their dtype fixed by the message schema
 (``<u8`` bit planes, ``<f4`` dense hypervectors, ``<i8`` predictions,
 ``<f8`` scores) — the natural layout on every platform we serve from,
 and 16× smaller than float32 for packed queries.
+
+Zero-copy discipline
+--------------------
+The codec is sans-io and avoids materializing payload bytes wherever it
+can:
+
+* :class:`FrameDecoder` yields frames whose ``payload`` is a read-only
+  :class:`memoryview`.  A frame contained entirely in one fed ``bytes``
+  chunk is a *view into that chunk* — no copy at all; a frame spanning
+  chunks is assembled once into a dedicated per-frame buffer.  Emitted
+  views are backed by buffers the decoder never writes again, so they
+  stay valid for as long as the caller (or a ``np.frombuffer`` array
+  over them) holds on — there is no reuse point to escape past.
+* :class:`VectoredWriter` builds a frame as an iovec-style list of
+  buffers (the scalar scratch plus one :class:`memoryview` per large
+  array plane) for ``socket.sendmsg`` / ``writelines``, instead of
+  concatenating everything into one bytes object.
+* ``bytes()`` copies happen only at fail-closed edges: string decoding
+  and header parsing (a fixed 8-byte scratch).
 
 **The privacy boundary is structural.**  The payload schemas below are
 the *only* things this module can serialize, and none of them has a
@@ -65,6 +85,7 @@ __all__ = [
     "FrameDecoder",
     "negotiate_version",
     "PayloadWriter",
+    "VectoredWriter",
     "PayloadReader",
 ]
 
@@ -134,11 +155,18 @@ FRAME_MIN_VERSION = {
 
 
 class Frame:
-    """A decoded frame: its protocol version, type byte, and payload."""
+    """A decoded frame: its protocol version, type byte, and payload.
+
+    ``payload`` is bytes-like — a read-only :class:`memoryview` when it
+    comes off a :class:`FrameDecoder` (zero-copy into the receive
+    buffer), plain ``bytes`` when constructed by hand.  Either way it
+    compares equal to the same bytes and feeds straight into
+    ``np.frombuffer``.
+    """
 
     __slots__ = ("version", "frame_type", "payload")
 
-    def __init__(self, version: int, frame_type: int, payload: bytes):
+    def __init__(self, version: int, frame_type: int, payload):
         self.version = version
         self.frame_type = frame_type
         self.payload = payload
@@ -193,41 +221,192 @@ def negotiate_version(offered, *, supported=None) -> int | None:
     return max(common) if common else None
 
 
-class FrameDecoder:
-    """Incremental frame splitter for stream transports.
+_EMPTY_PAYLOAD = memoryview(b"")
 
-    Feed arbitrary byte chunks; complete frames come back in order.
+
+class FrameDecoder:
+    """Incremental zero-copy frame splitter for stream transports.
+
+    Feed arbitrary byte chunks; complete frames come back in order with
+    read-only :class:`memoryview` payloads.  A frame lying entirely
+    inside one fed ``bytes`` chunk is a view into that chunk (no copy);
+    a frame spanning chunks is assembled once into its own buffer.
+    Both backing buffers are immutable-after-emit, so payload views —
+    and ``np.frombuffer`` arrays over them — stay valid indefinitely.
+
+    The header is parsed the moment its 8 bytes exist, so an oversize
+    length field is rejected *before* any payload is buffered: a
+    hostile peer cannot make the receiver accumulate ``max_frame_bytes``
+    of garbage ahead of the typed error.
+
     Errors (bad magic, oversize length) are raised on the ``feed`` that
     makes them detectable — after a framing error the stream cannot be
     resynchronized, so transports must close the connection.
+
+    Pull mode (``recv_buffer``/``commit``) inverts the flow for
+    blocking sockets: the decoder hands out a writable buffer for
+    ``recv_into`` and parses whatever landed — mid-payload the buffer
+    *is* the frame's final assembly buffer, so large payloads stream
+    from the kernel straight to their resting place with zero
+    userspace copies.
     """
 
     def __init__(self, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES):
         self.max_frame_bytes = max_frame_bytes
-        self._buf = bytearray()
+        self._header = bytearray(HEADER_SIZE)
+        self._header_fill = 0
+        self._version = 0
+        self._frame_type = 0
+        self._length = -1  # -1: header incomplete
+        self._assembly: bytearray | None = None
+        self._payload_fill = 0
+        self._pull_chunk: bytearray | None = None
+        self._pull_direct = False
+        #: frames emitted over this decoder's lifetime
+        self.frames_decoded = 0
+        #: payload bytes that had to be copied (chunk-spanning assembly);
+        #: the wire-profile's bytes-copied-per-frame numerator
+        self.copied_payload_bytes = 0
 
-    def feed(self, data: bytes) -> list[Frame]:
-        """Absorb ``data``; return every frame it completes."""
-        self._buf.extend(data)
-        frames = []
-        while True:
-            if len(self._buf) < HEADER_SIZE:
-                break
-            version, frame_type, length = decode_header(
-                bytes(self._buf[:HEADER_SIZE]),
-                max_frame_bytes=self.max_frame_bytes,
-            )
-            if len(self._buf) < HEADER_SIZE + length:
-                break
-            payload = bytes(self._buf[HEADER_SIZE : HEADER_SIZE + length])
-            del self._buf[: HEADER_SIZE + length]
-            frames.append(Frame(version, frame_type, payload))
+    # -- push mode -----------------------------------------------------
+    def feed(self, data) -> list[Frame]:
+        """Absorb ``data``; return every frame it completes.
+
+        ``bytes`` input is the zero-copy fast path (payload views alias
+        the chunk).  Mutable input (``bytearray``/``memoryview``) is
+        copied defensively first — the caller may reuse its buffer.
+        """
+        if isinstance(data, bytes):
+            return self._feed(memoryview(data))
+        copy = bytes(data)
+        self.copied_payload_bytes += len(copy)
+        return self._feed(memoryview(copy))
+
+    def _feed(self, mv: memoryview) -> list[Frame]:
+        if mv.ndim != 1 or mv.itemsize != 1:
+            mv = mv.cast("B")
+        frames: list[Frame] = []
+        pos, end = 0, mv.nbytes
+        while pos < end:
+            if self._length < 0:
+                take = min(HEADER_SIZE - self._header_fill, end - pos)
+                self._header[
+                    self._header_fill : self._header_fill + take
+                ] = mv[pos : pos + take]
+                self._header_fill += take
+                pos += take
+                if self._header_fill < HEADER_SIZE:
+                    break
+                self._version, self._frame_type, self._length = decode_header(
+                    bytes(self._header), max_frame_bytes=self.max_frame_bytes
+                )
+                if self._length == 0:
+                    frames.append(self._emit(_EMPTY_PAYLOAD))
+                continue
+            length = self._length
+            avail = end - pos
+            if (
+                self._assembly is None
+                and self._payload_fill == 0
+                and avail >= length
+            ):
+                # Whole payload inside this chunk: emit a view, no copy.
+                frames.append(self._emit(mv[pos : pos + length]))
+                pos += length
+                continue
+            if self._assembly is None:
+                self._assembly = bytearray(length)
+            take = min(length - self._payload_fill, avail)
+            self._assembly[
+                self._payload_fill : self._payload_fill + take
+            ] = mv[pos : pos + take]
+            self.copied_payload_bytes += take
+            self._payload_fill += take
+            pos += take
+            if self._payload_fill == length:
+                done = self._assembly
+                self._assembly = None
+                frames.append(self._emit(memoryview(done).toreadonly()))
         return frames
 
+    def _emit(self, payload: memoryview) -> Frame:
+        frame = Frame(self._version, self._frame_type, payload)
+        self._length = -1
+        self._header_fill = 0
+        self._payload_fill = 0
+        self.frames_decoded += 1
+        return frame
+
+    # -- pull mode (recv_into) -----------------------------------------
+    def recv_buffer(self, hint: int = 65536) -> memoryview:
+        """A writable buffer to ``recv_into``; commit what landed after.
+
+        Mid-payload this is the tail of the frame's own assembly buffer
+        — received bytes go straight to their final resting place.
+        Between frames it is a fresh chunk the decoder will parse (and
+        alias payload views into) on :meth:`commit`; chunks are never
+        reused, so emitted views cannot be invalidated.
+        """
+        if self._length >= 0:
+            if self._assembly is None:
+                self._assembly = bytearray(self._length)
+            self._pull_direct = True
+            return memoryview(self._assembly)[self._payload_fill :]
+        self._pull_direct = False
+        self._pull_chunk = bytearray(max(int(hint), HEADER_SIZE))
+        return memoryview(self._pull_chunk)
+
+    def commit(self, nbytes: int) -> list[Frame]:
+        """Account ``nbytes`` received into the last :meth:`recv_buffer`."""
+        if nbytes < 0:
+            raise ValueError(f"committed byte count must be >= 0: {nbytes}")
+        if nbytes == 0:
+            return []
+        if self._pull_direct:
+            self._payload_fill += nbytes
+            if self._payload_fill < self._length:
+                return []
+            done = self._assembly
+            self._assembly = None
+            return [self._emit(memoryview(done).toreadonly())]
+        chunk = self._pull_chunk
+        self._pull_chunk = None
+        if chunk is None or nbytes > len(chunk):
+            raise ValueError(
+                "commit() without a matching recv_buffer(), or more bytes "
+                "than the buffer holds"
+            )
+        # The chunk was freshly allocated and is never written again —
+        # views into it are as stable as views into bytes.
+        return self._feed(memoryview(chunk)[:nbytes])
+
+    # -- state ---------------------------------------------------------
     @property
     def pending_bytes(self) -> int:
         """Bytes buffered toward an incomplete frame."""
-        return len(self._buf)
+        if self._length < 0:
+            return self._header_fill
+        return HEADER_SIZE + self._payload_fill
+
+    @property
+    def awaiting_header(self) -> bool:
+        """True between frames or mid-header (no length parsed yet)."""
+        return self._length < 0
+
+    @property
+    def header_fill(self) -> int:
+        """Header bytes received toward the current frame (0..8)."""
+        return HEADER_SIZE if self._length >= 0 else self._header_fill
+
+    @property
+    def payload_expected(self) -> int:
+        """Payload length of the in-progress frame (0 mid-header)."""
+        return self._length if self._length >= 0 else 0
+
+    @property
+    def payload_received(self) -> int:
+        """Payload bytes received toward the in-progress frame."""
+        return self._payload_fill
 
 
 # ----------------------------------------------------------------------
@@ -244,7 +423,13 @@ _NONE_STR = 0xFFFF
 
 
 class PayloadWriter:
-    """Append-only builder for payload bytes (scalars big-endian)."""
+    """Append-only builder for payload bytes (scalars big-endian).
+
+    The materializing counterpart of :class:`VectoredWriter`: same
+    field vocabulary, but :meth:`getvalue` concatenates everything into
+    one ``bytes``.  Kept for tests and small out-of-band payloads; the
+    message codec itself emits vectored buffer lists.
+    """
 
     def __init__(self):
         self._parts: list[bytes] = []
@@ -301,22 +486,149 @@ class PayloadWriter:
         return b"".join(self._parts)
 
 
+#: arrays at or below this many bytes are staged into the scalar
+#: scratch instead of getting their own iovec entry — below it the
+#: copy is cheaper than another sendmsg vector slot
+_INLINE_ARRAY_BYTES = 1024
+
+
+class VectoredWriter:
+    """Build one frame as an iovec-style buffer list — no concatenation.
+
+    Same field vocabulary as :class:`PayloadWriter` (the message codecs
+    are duck-typed over both), but instead of joining everything into
+    one ``bytes`` it stages the header and scalar fields in a scratch
+    ``bytearray`` and keeps each large array plane as a
+    :class:`memoryview` over the (contiguous) array itself.
+    :meth:`frame_parts` back-fills the header with the final payload
+    length and returns the buffer list, ready for ``socket.sendmsg`` or
+    ``writelines`` — the transport is the only place payload bytes are
+    copied.
+
+    A reusable ``scratch`` makes the scalar staging allocation-free
+    across frames (the per-connection write scratch of the serving
+    path).  Scratch-backed parts are valid until the scratch is next
+    written or cleared — consume them (send/join) before encoding the
+    next frame into the same scratch.
+    """
+
+    def __init__(self, scratch: bytearray | None = None):
+        self._buf = bytearray() if scratch is None else scratch
+        self._base = len(self._buf)
+        self._buf += b"\x00" * HEADER_SIZE  # header, back-filled at the end
+        self._open = self._base
+        self._parts: list = []  # (start, end) scratch spans | array views
+        self._array_bytes = 0
+        #: array bytes copied into the scratch (small inlined arrays) —
+        #: the write-side bytes-copied-per-frame numerator
+        self.copied_bytes = 0
+
+    def u8(self, value: int) -> "VectoredWriter":
+        """Append one unsigned byte."""
+        self._buf += _U8.pack(int(value))
+        return self
+
+    def u16(self, value: int) -> "VectoredWriter":
+        """Append a big-endian unsigned 16-bit integer."""
+        self._buf += _U16.pack(int(value))
+        return self
+
+    def u32(self, value: int) -> "VectoredWriter":
+        """Append a big-endian unsigned 32-bit integer."""
+        self._buf += _U32.pack(int(value))
+        return self
+
+    def u64(self, value: int) -> "VectoredWriter":
+        """Append a big-endian unsigned 64-bit integer (range-checked)."""
+        try:
+            self._buf += _U64.pack(int(value))
+        except struct.error as exc:
+            raise ProtocolError(f"u64 field out of range: {exc}") from exc
+        return self
+
+    def f64(self, value: float) -> "VectoredWriter":
+        """Append a big-endian IEEE 754 binary64 float."""
+        self._buf += _F64.pack(float(value))
+        return self
+
+    def string(self, value: str | None) -> "VectoredWriter":
+        """A length-prefixed UTF-8 string; ``None`` is a u16 sentinel."""
+        if value is None:
+            self._buf += _U16.pack(_NONE_STR)
+            return self
+        raw = str(value).encode("utf-8")
+        if len(raw) >= _NONE_STR:
+            raise ProtocolError(
+                f"string field of {len(raw)} bytes exceeds the wire limit"
+            )
+        self._buf += _U16.pack(len(raw))
+        self._buf += raw
+        return self
+
+    def array(self, arr: np.ndarray, dtype: str) -> "VectoredWriter":
+        """Reference ``arr``'s little-endian buffer as its own part.
+
+        Large arrays become a zero-copy :class:`memoryview` (which
+        keeps the contiguous array alive); tiny ones are inlined into
+        the scratch where a copy beats an extra iovec slot.
+        """
+        a = np.ascontiguousarray(arr, dtype=dtype)
+        if a.nbytes <= _INLINE_ARRAY_BYTES:
+            self._buf += a.tobytes()
+            self.copied_bytes += a.nbytes
+            return self
+        if len(self._buf) > self._open:
+            self._parts.append((self._open, len(self._buf)))
+        self._parts.append(memoryview(a).cast("B"))
+        self._array_bytes += a.nbytes
+        self._open = len(self._buf)
+        return self
+
+    def frame_parts(self, frame_type: int, version: int) -> list:
+        """Close the frame: back-fill the header, return the iovec list.
+
+        The first part always starts with the 8-byte header (followed
+        by any scalar fields staged contiguously after it), so the list
+        can go to ``sendmsg`` as-is.
+        """
+        if len(self._buf) > self._open:
+            self._parts.append((self._open, len(self._buf)))
+            self._open = len(self._buf)
+        length = (len(self._buf) - self._base - HEADER_SIZE) + self._array_bytes
+        _HEADER.pack_into(
+            self._buf, self._base, MAGIC, version, int(frame_type), length
+        )
+        scratch = memoryview(self._buf)
+        return [
+            scratch[p[0] : p[1]] if type(p) is tuple else p
+            for p in self._parts
+        ]
+
+
 class PayloadReader:
     """Sequential payload parser; every read is bounds-checked.
+
+    Accepts ``bytes`` or a :class:`memoryview` (what
+    :class:`FrameDecoder` emits) and never copies payload bytes except
+    at the fail-closed edges (string decoding).  Arrays come back as
+    ``np.frombuffer`` views over the payload itself.
 
     :meth:`done` asserts full consumption — trailing garbage after a
     well-formed prefix is a protocol violation, not padding.
     """
 
-    def __init__(self, payload: bytes):
-        self._buf = payload
+    def __init__(self, payload):
+        buf = memoryview(payload)
+        if buf.ndim != 1 or buf.itemsize != 1:
+            buf = buf.cast("B")
+        self._buf = buf
         self._pos = 0
 
-    def _take(self, n: int) -> bytes:
-        if self._pos + n > len(self._buf):
+    def _take(self, n: int) -> memoryview:
+        if self._pos + n > self._buf.nbytes:
             raise ProtocolError(
                 f"payload truncated: needed {n} bytes at offset "
-                f"{self._pos}, only {len(self._buf) - self._pos} left"
+                f"{self._pos}, only {self._buf.nbytes - self._pos} left"
             )
         out = self._buf[self._pos : self._pos + n]
         self._pos += n
@@ -348,7 +660,7 @@ class PayloadReader:
         if length == _NONE_STR:
             return None
         try:
-            return self._take(length).decode("utf-8")
+            return bytes(self._take(length)).decode("utf-8")
         except UnicodeDecodeError as exc:
             raise ProtocolError(f"undecodable string field: {exc}") from exc
 
@@ -366,9 +678,9 @@ class PayloadReader:
 
     def done(self) -> None:
         """Assert the payload was fully consumed (no trailing bytes)."""
-        if self._pos != len(self._buf):
+        if self._pos != self._buf.nbytes:
             raise ProtocolError(
-                f"{len(self._buf) - self._pos} trailing bytes after a "
+                f"{self._buf.nbytes - self._pos} trailing bytes after a "
                 "well-formed payload"
             )
 
@@ -381,8 +693,11 @@ QUERY_DENSE = 0
 QUERY_PACKED = 1
 
 
-def write_queries(w: PayloadWriter, queries) -> None:
+def write_queries(w, queries) -> None:
     """Serialize a hypervector batch: packed bit planes or dense f32.
+
+    ``w`` is either writer flavor (:class:`PayloadWriter` or
+    :class:`VectoredWriter`) — the field vocabulary is identical.
 
     This is the *only* array-of-hypervectors writer in the protocol.  It
     accepts exactly two shapes of data — a :class:`PackedHV` batch (two

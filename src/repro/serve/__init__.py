@@ -42,6 +42,12 @@ from repro.serve.engine import InferenceEngine
 from repro.serve.errors import DeadlineExceeded, Overloaded, WorkerLost
 from repro.serve.faults import FaultRegistry, faults
 from repro.serve.frontend import FrontendConfig, FrontendHandle, ServingFrontend
+from repro.serve.loops import (
+    LOOP_CHOICES,
+    UVLOOP_AVAILABLE,
+    loops_available,
+    new_event_loop,
+)
 from repro.serve.pool import WorkerPool
 from repro.serve.registry import ModelRegistry, ModelVersion
 from repro.serve.scheduler import (
@@ -73,6 +79,10 @@ __all__ = [
     "WorkerLost",
     "FaultRegistry",
     "faults",
+    "LOOP_CHOICES",
+    "UVLOOP_AVAILABLE",
+    "loops_available",
+    "new_event_loop",
     "ThroughputResult",
     "make_serving_fixture",
     "run_throughput",

@@ -88,6 +88,7 @@ class ServingAPI:
         config: MicroBatchConfig | None = None,
         engine_kwargs: dict | None = None,
         mmap: bool = False,
+        verify: bool = True,
     ) -> "ServingAPI":
         """Serve one artifact (object or directory path) under ``name``.
 
@@ -96,10 +97,19 @@ class ServingAPI:
         ``store_is_quantized``, ``keep_mask``, or backend plumbing.
         ``mmap=True`` (paths only) maps the tensors read-only instead of
         copying them, so co-hosted processes share pages.
+        ``verify=False`` skips the checksum pass when a supervising
+        parent already verified the directory (see
+        :meth:`~repro.serve.ModelArtifact.load`).
         """
         registry = ModelRegistry()
         if isinstance(artifact, (str, Path)):
-            registry.load(name, artifact, engine_kwargs=engine_kwargs, mmap=mmap)
+            registry.load(
+                name,
+                artifact,
+                engine_kwargs=engine_kwargs,
+                mmap=mmap,
+                verify=verify,
+            )
         else:
             registry.publish(name, artifact, engine_kwargs=engine_kwargs)
         return cls(registry, default_model=name, config=config)

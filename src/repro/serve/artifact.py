@@ -374,7 +374,13 @@ class ModelArtifact:
         return path
 
     @classmethod
-    def load(cls, path: str | Path, *, mmap: bool = False) -> "ModelArtifact":
+    def load(
+        cls,
+        path: str | Path,
+        *,
+        mmap: bool = False,
+        verify: bool = True,
+    ) -> "ModelArtifact":
         """Read an artifact directory back, verifying checksums.
 
         With ``mmap=True``, tensors saved uncompressed (the
@@ -385,6 +391,15 @@ class ModelArtifact:
         :class:`~repro.serve.WorkerPool` — share one physical copy
         through the page cache.  Compressed artifacts fall back to a
         regular in-memory load.
+
+        ``verify=False`` skips the SHA-256 pass over the tensor bytes
+        (shape/dtype are still checked against the manifest).  That is
+        *only* sound when some other process already verified this
+        exact directory — the :class:`~repro.serve.WorkerPool` parent
+        hashes an artifact once and broadcasts ``verify=False`` to its
+        K workers, turning K redundant full-store hash passes per
+        hot-swap into one.  Anything crossing a trust boundary keeps
+        the default.
         """
         path = Path(path)
         manifest_path = path / MANIFEST_FILENAME
@@ -423,7 +438,7 @@ class ModelArtifact:
                     f"{arr.shape}/{arr.dtype} vs "
                     f"{tuple(spec['shape'])}/{spec['dtype']}"
                 )
-            if _checksum(arr) != spec["sha256"]:
+            if verify and _checksum(arr) != spec["sha256"]:
                 raise ArtifactError(
                     f"checksum mismatch on tensor {name!r} — the artifact "
                     "is corrupt or was modified after saving"

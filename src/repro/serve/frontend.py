@@ -51,28 +51,24 @@ from dataclasses import dataclass
 
 from repro.proto.messages import (
     ErrorReply,
-    Hello,
     ModelInfoRequest,
     ScoreBatchRequest,
     ScoreRequest,
     Welcome,
     decode_message,
-    encode_message,
 )
+from repro.proto.session import WireSession
 from repro.proto.wire import (
     DEFAULT_MAX_FRAME_BYTES,
-    HEADER_SIZE,
     PROTOCOL_VERSION,
     SUPPORTED_VERSIONS,
     Frame,
-    FrameType,
     ProtocolError,
-    decode_header,
-    negotiate_version,
 )
 from repro.serve.api import ServingAPI
 from repro.serve.errors import DeadlineExceeded, Overloaded
 from repro.serve.faults import faults
+from repro.serve.loops import new_event_loop
 
 __all__ = ["FrontendConfig", "ServingFrontend", "FrontendHandle"]
 
@@ -179,6 +175,12 @@ class ServingFrontend:
         (handshake/idle timeouts, write high-water backpressure, stop
         grace); ``None`` uses the defaults, which reproduce the
         historical hard-coded behavior.
+    loop:
+        Event-loop flavor for :meth:`run` (and
+        :class:`FrontendHandle`'s background thread): ``"asyncio"`` or
+        ``"uvloop"``.  Requesting uvloop on a host without it falls
+        back to asyncio with one INFO log — see
+        :mod:`repro.serve.loops`.
     """
 
     def __init__(
@@ -194,6 +196,7 @@ class ServingFrontend:
         reuse_port: bool = False,
         supported_versions: tuple[int, ...] | None = None,
         config: FrontendConfig | None = None,
+        loop: str = "asyncio",
     ):
         self.api = api
         self.config = config if config is not None else FrontendConfig()
@@ -204,6 +207,7 @@ class ServingFrontend:
         self.max_inflight = max_inflight
         self.name = name
         self.reuse_port = reuse_port
+        self.loop = loop
         self.supported_versions = (
             tuple(SUPPORTED_VERSIONS)
             if supported_versions is None
@@ -273,7 +277,11 @@ class ServingFrontend:
         await self._server.serve_forever()
 
     def run(self) -> None:
-        """Blocking convenience: start and serve until interrupted."""
+        """Blocking convenience: start and serve until interrupted.
+
+        Runs on the loop flavor this frontend was constructed with
+        (``loop="uvloop"`` where available, stdlib asyncio otherwise).
+        """
 
         async def _main():
             await self.start()
@@ -284,10 +292,15 @@ class ServingFrontend:
                 print(f"http ops on {h}:{p}", flush=True)
             await self._server.serve_forever()
 
+        event_loop = new_event_loop(self.loop)
         try:
-            asyncio.run(_main())
+            asyncio.set_event_loop(event_loop)
+            event_loop.run_until_complete(_main())
         except KeyboardInterrupt:
             pass
+        finally:
+            asyncio.set_event_loop(None)
+            event_loop.close()
 
     # ------------------------------------------------------------------
     # binary protocol
@@ -295,48 +308,45 @@ class ServingFrontend:
     async def _read_frame(
         self,
         reader: asyncio.StreamReader,
+        session: WireSession,
         *,
         timeout: float | None = None,
     ) -> Frame | None:
         """One frame off the stream; ``None`` on clean EOF between frames.
+
+        One chunked ``read`` feeds the session's zero-copy decoder and
+        usually completes several pipelined frames at once — replacing
+        the two ``readexactly`` awaits the old loop paid per frame;
+        queued frames drain without touching the socket.
 
         ``timeout`` bounds the wait for the *start* of the next frame —
         the idle gap between requests (or before the handshake).  A
         peer that goes silent past it gets the connection closed; a
         peer mid-frame is actively sending and is not timed.
         """
-        try:
-            read = reader.readexactly(HEADER_SIZE)
-            if timeout is not None:
+        while True:
+            frame = session.next_frame()
+            if frame is not None:
+                return frame
+            read = reader.read(65536)
+            if timeout is not None and session.pending_bytes == 0:
                 read = asyncio.wait_for(read, timeout=timeout)
-            header = await read
-        except asyncio.IncompleteReadError as exc:
-            if not exc.partial:
+            chunk = await read
+            if not chunk:
+                session.receive_eof()  # raises mid-header/mid-payload
                 return None  # clean close between frames
-            raise ProtocolError(
-                f"connection closed mid-header ({len(exc.partial)} bytes)"
-            ) from exc
-        version, frame_type, length = decode_header(
-            header, max_frame_bytes=self.max_frame_bytes
-        )
-        try:
-            payload = await reader.readexactly(length)
-        except asyncio.IncompleteReadError as exc:
-            raise ProtocolError(
-                f"connection closed mid-payload "
-                f"({len(exc.partial)}/{length} bytes)"
-            ) from exc
-        return Frame(version, frame_type, payload)
+            session.receive_data(chunk)
 
     async def _send(
         self,
         writer: asyncio.StreamWriter,
         lock: asyncio.Lock,
+        session: WireSession,
         message,
         *,
-        version: int = PROTOCOL_VERSION,
+        version: int | None = None,
     ) -> None:
-        data = encode_message(message, version=version)
+        data = session.render_frame(message, version=version)
         async with lock:  # pipelined responses must not interleave
             writer.write(data)
             await writer.drain()
@@ -366,15 +376,21 @@ class ServingFrontend:
             )
         write_lock = asyncio.Lock()
         inflight = asyncio.Semaphore(self.max_inflight)
-        negotiated: int | None = None
+        session = WireSession(
+            "server",
+            max_frame_bytes=self.max_frame_bytes,
+            supported_versions=self.supported_versions,
+        )
         try:
             while True:
                 timeout = (
                     self.config.handshake_timeout_s
-                    if negotiated is None
+                    if session.negotiated is None
                     else self.config.idle_timeout_s
                 )
-                frame = await self._read_frame(reader, timeout=timeout)
+                frame = await self._read_frame(
+                    reader, session, timeout=timeout
+                )
                 if frame is None:
                     break
                 action = faults.fire("frontend.read")
@@ -382,27 +398,13 @@ class ServingFrontend:
                     if action.action == "drop":
                         continue
                     await asyncio.sleep(action.delay_s)
-                if negotiated is None:
-                    negotiated = await self._handshake(
-                        frame, writer, write_lock
+                if session.negotiated is None:
+                    ok = await self._handshake(
+                        frame, writer, write_lock, session
                     )
-                    if negotiated is None:
+                    if not ok:
                         break
                     continue
-                if frame.version != negotiated:
-                    await self._send(
-                        writer,
-                        write_lock,
-                        ErrorReply(
-                            code="bad-frame",
-                            message=(
-                                f"frame version {frame.version} after "
-                                f"negotiating {negotiated}"
-                            ),
-                        ),
-                        version=negotiated,
-                    )
-                    break
                 # Requests pipeline: a ScoreRequest is submitted to the
                 # micro-batcher without blocking the read loop, and its
                 # response is written by a completion callback when the
@@ -415,21 +417,27 @@ class ServingFrontend:
                 # requests or never reads replies throttles itself
                 # instead of growing server memory.
                 await inflight.acquire()
-                self._dispatch(frame, writer, negotiated, inflight.release)
+                self._dispatch(
+                    frame, writer, session, session.negotiated,
+                    inflight.release,
+                )
                 # Give completion callbacks a turn before the next read:
-                # readexactly returns without suspending when the frame
-                # is already buffered, so a flooding client must not
-                # starve the response path.
+                # a queued frame returns without suspending, so a
+                # flooding client must not starve the response path.
                 await asyncio.sleep(0)
                 await writer.drain()
         except ProtocolError as exc:
+            # Framing/version violations (including a non-Hello opener
+            # and post-negotiation version skew, screened by the
+            # session) poison the stream: best-effort typed reply, then
+            # close.
             self.frames_rejected += 1
             try:
                 await self._send(
                     writer,
                     write_lock,
+                    session,
                     ErrorReply(code="bad-frame", message=str(exc)),
-                    version=negotiated or PROTOCOL_VERSION,
                 )
             except (ConnectionError, RuntimeError):
                 pass
@@ -450,26 +458,23 @@ class ServingFrontend:
         frame: Frame,
         writer: asyncio.StreamWriter,
         lock: asyncio.Lock,
-    ) -> int | None:
-        """Negotiate a protocol version; None closes the connection."""
-        if frame.frame_type != FrameType.HELLO:
-            await self._send(
-                writer,
-                lock,
-                ErrorReply(
-                    code="bad-frame",
-                    message="connection must open with a Hello frame",
-                ),
-            )
-            return None
+        session: WireSession,
+    ) -> bool:
+        """Negotiate a protocol version; ``False`` closes the connection.
+
+        The session already screened the frame type (a non-Hello opener
+        raised before this point), so the frame *is* a Hello; what can
+        still fail here is a malformed Hello payload (raises, handled
+        as a framing error upstream) or a disjoint version offer (typed
+        ``unsupported-version`` reply).
+        """
         hello = decode_message(frame)
-        version = negotiate_version(
-            hello.versions, supported=self.supported_versions
-        )
+        version = session.accept_hello(hello.versions)
         if version is None:
             await self._send(
                 writer,
                 lock,
+                session,
                 ErrorReply(
                     code="unsupported-version",
                     message=(
@@ -478,23 +483,24 @@ class ServingFrontend:
                     ),
                 ),
             )
-            return None
+            return False
         await self._send(
             writer,
             lock,
+            session,
             Welcome(
                 version=version,
                 server=self.name,
                 models=self.api.registry.names(),
             ),
-            version=version,
         )
-        return version
+        return True
 
     def _dispatch(
         self,
         frame: Frame,
         writer: asyncio.StreamWriter,
+        session: WireSession,
         version: int,
         done,
     ) -> None:
@@ -532,6 +538,7 @@ class ServingFrontend:
                         loop.call_soon_threadsafe(
                             self._write_completion,
                             writer,
+                            session,
                             f,
                             version,
                             _rid,
@@ -563,13 +570,14 @@ class ServingFrontend:
         except Exception as exc:  # noqa: BLE001 — the server must survive
             response = self._error_reply(exc, request_id)
         try:
-            self._write_message(writer, response, version)
+            self._write_message(writer, session, response, version)
         finally:
             done()
 
     def _write_completion(
         self,
         writer: asyncio.StreamWriter,
+        session: WireSession,
         future,
         version: int,
         request_id: int,
@@ -582,13 +590,17 @@ class ServingFrontend:
                 message = future.result()
             else:
                 message = self._error_reply(exc, request_id)
-            self._write_message(writer, message, version)
+            self._write_message(writer, session, message, version)
         finally:
             if done is not None:
                 done()
 
     def _write_message(
-        self, writer: asyncio.StreamWriter, message, version: int
+        self,
+        writer: asyncio.StreamWriter,
+        session: WireSession,
+        message,
+        version: int,
     ) -> None:
         """Encode + write one frame, synchronously on the loop.
 
@@ -610,18 +622,32 @@ class ServingFrontend:
                 loop = None
             if loop is not None:
                 loop.call_later(
-                    action.delay_s, self._write_now, writer, message, version
+                    action.delay_s,
+                    self._write_now,
+                    writer,
+                    session,
+                    message,
+                    version,
                 )
                 return
-        self._write_now(writer, message, version)
+        self._write_now(writer, session, message, version)
 
     def _write_now(
-        self, writer: asyncio.StreamWriter, message, version: int
+        self,
+        writer: asyncio.StreamWriter,
+        session: WireSession,
+        message,
+        version: int,
     ) -> None:
         if writer.is_closing():
             return
         try:
-            writer.write(encode_message(message, version=version))
+            # render_frame stages scalars in the session's reusable
+            # per-connection scratch (no builder allocation per
+            # completion) and hands the transport one immutable bytes
+            # object — safe for asyncio and uvloop alike, which may
+            # retain write buffers past this call.
+            writer.write(session.render_frame(message, version=version))
         except (ConnectionError, RuntimeError):
             pass
 
@@ -742,7 +768,7 @@ class FrontendHandle:
     def __init__(self, api: ServingAPI, **frontend_kwargs):
         self.frontend = ServingFrontend(api, **frontend_kwargs)
         start_timeout = self.frontend.config.start_timeout_s
-        self._loop = asyncio.new_event_loop()
+        self._loop = new_event_loop(self.frontend.loop)
         self._started = threading.Event()
         self._startup_error: BaseException | None = None
         self._thread = threading.Thread(

@@ -12,11 +12,14 @@ between slices.
 
 Sharing the model without sharing memory bugs
 ---------------------------------------------
-Every worker loads the same checksum-verified
-:class:`~repro.serve.ModelArtifact` directory *read-only* with
-``mmap=True``: the npz tensors are memory-mapped, so K workers touch one
-physical copy of the class store through the page cache instead of K
-heap copies.  Nothing about serving is shared mutable state — each
+Every worker loads the same :class:`~repro.serve.ModelArtifact`
+directory *read-only* with ``mmap=True``: the npz tensors are
+memory-mapped, so K workers touch one physical copy of the class store
+through the page cache instead of K heap copies.  Checksums are
+verified exactly once, by the parent, before any worker loads — the
+workers skip the redundant SHA-256 pass (``verify=False``) on both
+startup and ``load`` broadcasts, so a hot-swap hashes the store one
+time, not K times.  Nothing about serving is shared mutable state — each
 worker has its own registry, scheduler, and engine — which is exactly
 why hot-swap stays race-free.
 
@@ -65,6 +68,7 @@ import time
 from pathlib import Path
 
 from repro.proto.wire import DEFAULT_MAX_FRAME_BYTES
+from repro.serve.artifact import ModelArtifact
 from repro.serve.errors import WorkerLost
 from repro.serve.faults import faults
 from repro.serve.frontend import FrontendConfig
@@ -84,6 +88,8 @@ def _worker_main(
     max_frame_bytes: int,
     supported_versions: tuple[int, ...] | None,
     frontend_config: FrontendConfig | None = None,
+    loop: str = "asyncio",
+    verify: bool = True,
 ) -> None:
     """One acceptor process: frontend + registry + control-pipe listener.
 
@@ -97,13 +103,17 @@ def _worker_main(
 
     from repro.serve.api import ServingAPI
     from repro.serve.frontend import ServingFrontend
+    from repro.serve.loops import new_event_loop
 
     # spawn gives this process a fresh interpreter, so the parent's
     # in-memory fault rules do not carry over — the environment does.
     faults.arm_from_env()
     try:
+        # verify=False: the pool parent hashed this directory once
+        # before spawning the fleet, so K workers skip K redundant
+        # full-store SHA-256 passes (shape/dtype still checked).
         api = ServingAPI.from_artifact(
-            artifact_path, name=name, config=config, mmap=mmap
+            artifact_path, name=name, config=config, mmap=mmap, verify=verify
         )
     except BaseException as exc:  # noqa: BLE001 — reported to the parent
         conn.send({"ready": False, "error": f"{type(exc).__name__}: {exc}"})
@@ -156,11 +166,13 @@ def _worker_main(
                     stopping.set()
 
             if op == "load":
-                # The disk read + SHA-256 verify + engine prep of a big
-                # artifact must not stall this worker's event loop (and
-                # with it every in-flight connection): run it on a
-                # thread; only the registry's promote — a dict swap
-                # under its own lock — lands synchronously inside it.
+                # The disk read (+ SHA-256 verify, unless the parent
+                # already hashed this directory and broadcast
+                # verify=False) + engine prep of a big artifact must
+                # not stall this worker's event loop (and with it every
+                # in-flight connection): run it on a thread; only the
+                # registry's promote — a dict swap under its own lock —
+                # lands synchronously inside it.
                 async def do_load() -> None:
                     try:
                         version = await loop.run_in_executor(
@@ -169,6 +181,7 @@ def _worker_main(
                                 command.get("model") or name,
                                 command["path"],
                                 mmap=mmap,
+                                verify=command.get("verify", True),
                             ),
                         )
                         send_reply({"ok": True, "version": version})
@@ -214,11 +227,19 @@ def _worker_main(
             loop.remove_reader(conn.fileno())
             await frontend.stop()
 
+    # Each acceptor owns its loop outright, so the --loop choice lands
+    # here: uvloop when requested and importable, else stdlib asyncio.
+    event_loop = new_event_loop(loop)
+    asyncio.set_event_loop(event_loop)
     try:
-        asyncio.run(_run())
+        event_loop.run_until_complete(_run())
     finally:
-        api.close()
-        conn.close()
+        try:
+            event_loop.close()
+        finally:
+            asyncio.set_event_loop(None)
+            api.close()
+            conn.close()
 
 
 class WorkerPool:
@@ -253,6 +274,11 @@ class WorkerPool:
     frontend_config:
         :class:`~repro.serve.FrontendConfig` applied to each worker's
         frontend (idle/handshake timeouts, write backpressure).
+    loop:
+        Event-loop implementation each acceptor runs
+        (``"asyncio"``/``"uvloop"``; see :mod:`repro.serve.loops`) —
+        ``"uvloop"`` degrades to asyncio with a log line when the
+        package is not installed.
     start_timeout_s:
         Seconds to wait for every worker to come up before failing.
     supervise:
@@ -286,6 +312,7 @@ class WorkerPool:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         supported_versions: tuple[int, ...] | None = None,
         frontend_config: FrontendConfig | None = None,
+        loop: str = "asyncio",
         start_timeout_s: float = 60.0,
         supervise: bool = False,
         supervise_interval_s: float = 0.5,
@@ -316,12 +343,28 @@ class WorkerPool:
             self._placeholder.bind((host, 0))
             port = self._placeholder.getsockname()[1]
         self.port = port
+        # Verify the artifact ONCE, here in the parent, before any
+        # worker exists: the SHA-256 pass over the class store happens
+        # one time (and warms the page cache the workers' mmaps hit)
+        # instead of K times, and a corrupt artifact fails fast with
+        # the parent's traceback rather than K worker-startup errors.
+        try:
+            ModelArtifact.load(self.artifact_path, mmap=True)
+        except Exception as exc:
+            if self._placeholder is not None:
+                self._placeholder.close()
+                self._placeholder = None
+            raise RuntimeError(
+                f"worker pool failed to start: {exc}"
+            ) from exc
         self._spawn_args = (
             config,
             mmap,
             max_frame_bytes,
             supported_versions,
             frontend_config,
+            loop,
+            False,  # verify: parent just did, workers skip the re-hash
         )
         self._start_timeout_s = start_timeout_s
         self._ping_timeout_s = ping_timeout_s
@@ -518,15 +561,33 @@ class WorkerPool:
         the workers disagree (which would mean their registries have
         diverged).
 
+        Checksum verification happens exactly once, in the parent,
+        before the broadcast: a corrupt artifact is rejected here with
+        no worker registry touched, and the K workers load with
+        ``verify=False`` — shape/dtype still checked, but the
+        full-store SHA-256 pass is not repeated K times per swap (the
+        parent's pass also warmed the page cache their mmaps read).
+
         Crash-mid-swap safety: the command is recorded in the replay
         log *before* it is broadcast, so if a worker dies mid-swap
         (:class:`~repro.serve.WorkerLost`), the survivors have applied
         it and the respawned replacement replays it — the fleet
         converges instead of serving two model versions forever.  If
-        the load failed with an application error (bad path, checksum
-        mismatch), no registry changed and the entry is rolled back.
+        the load failed with an application error (bad path), no
+        registry changed and the entry is rolled back.
         """
-        entry = {"op": "load", "path": str(path), "model": model}
+        try:
+            ModelArtifact.load(path, mmap=True)
+        except Exception as exc:
+            # Rejected in the parent: no broadcast, no worker registry
+            # touched, no replay-log entry to roll back.
+            raise RuntimeError(f"load failed: {exc}") from exc
+        entry = {
+            "op": "load",
+            "path": str(path),
+            "model": model,
+            "verify": False,
+        }
         with self._lock:
             self._registry_log.append(entry)
             try:

@@ -161,6 +161,7 @@ class ModelRegistry:
         promote: bool = True,
         engine_kwargs: dict | None = None,
         mmap: bool = False,
+        verify: bool = True,
     ) -> int:
         """Load an artifact directory from disk and :meth:`publish` it.
 
@@ -170,11 +171,14 @@ class ModelRegistry:
         instead of copying them onto the heap (see
         :meth:`ModelArtifact.load`) — what each
         :class:`~repro.serve.WorkerPool` worker does so K processes
-        share one page-cache copy of the class store.
+        share one page-cache copy of the class store.  ``verify=False``
+        skips the SHA-256 pass *on this load only* — sound when the
+        pool parent already hashed the directory; eviction reloads
+        always re-verify.
         """
         return self.publish(
             name,
-            ModelArtifact.load(path, mmap=mmap),
+            ModelArtifact.load(path, mmap=mmap, verify=verify),
             promote=promote,
             engine_kwargs=engine_kwargs,
             source_path=path,

@@ -1,0 +1,68 @@
+"""Event-loop selection: stdlib asyncio always, uvloop when installed.
+
+The ``--loop`` serve flag routes through :mod:`repro.serve.loops`,
+which mirrors the guarded optional-dependency pattern of the numba
+native backend: requesting uvloop on a box without it falls back to
+stdlib asyncio with one INFO log, never an ImportError at serve time.
+"""
+
+import asyncio
+import logging
+
+import pytest
+
+from repro.serve import LOOP_CHOICES, UVLOOP_AVAILABLE, loops_available, new_event_loop
+from repro.serve import loops as loops_mod
+
+
+class TestLoopChoices:
+    def test_asyncio_is_always_available(self):
+        assert "asyncio" in loops_available()
+
+    def test_available_loops_subset_of_choices(self):
+        avail = loops_available()
+        assert set(avail) <= set(LOOP_CHOICES)
+        assert ("uvloop" in avail) == UVLOOP_AVAILABLE
+
+    def test_unknown_loop_is_rejected(self):
+        with pytest.raises(ValueError, match="loop must be one of"):
+            new_event_loop("twisted")
+
+
+class TestLoopConstruction:
+    def _run_once(self, loop):
+        try:
+            return loop.run_until_complete(asyncio.sleep(0, result=42))
+        finally:
+            loop.close()
+
+    def test_asyncio_loop_is_usable(self):
+        loop = new_event_loop("asyncio")
+        assert isinstance(loop, asyncio.AbstractEventLoop)
+        assert self._run_once(loop) == 42
+
+    def test_uvloop_request_always_returns_a_working_loop(self):
+        """With uvloop absent this exercises the guarded fallback."""
+        loop = new_event_loop("uvloop")
+        assert isinstance(loop, asyncio.AbstractEventLoop)
+        assert self._run_once(loop) == 42
+
+    @pytest.mark.skipif(UVLOOP_AVAILABLE, reason="uvloop installed")
+    def test_fallback_loop_is_stdlib_asyncio_and_logs_once(
+        self, caplog, monkeypatch
+    ):
+        monkeypatch.setattr(loops_mod, "_fallback_logged", False)
+        with caplog.at_level(logging.INFO, logger=loops_mod.__name__):
+            first = new_event_loop("uvloop")
+            second = new_event_loop("uvloop")
+        try:
+            assert not type(first).__module__.startswith("uvloop")
+            hits = [
+                r
+                for r in caplog.records
+                if "uvloop requested but not installed" in r.message
+            ]
+            assert len(hits) == 1  # once per process, not per loop
+        finally:
+            first.close()
+            second.close()
