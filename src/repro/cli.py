@@ -372,6 +372,12 @@ def _run_serve(args) -> int:
 
     if args.listen is not None:
         return _run_serve_listen(args)
+    if args.fleet_dir is not None:
+        raise ValueError(
+            "--fleet-dir serves over the network; add --listen HOST:PORT"
+        )
+    if args.artifact is None:
+        raise ValueError("serve needs an artifact directory (or --fleet-dir)")
 
     artifact, data = _load_artifact_for_dataset(args)
     print(_describe_artifact(artifact))
@@ -458,17 +464,29 @@ def _run_serve_listen(args) -> int:
     :class:`~repro.serve.WorkerPool` instead: K acceptor processes
     share the listen address via ``SO_REUSEPORT``, each memory-mapping
     the same checksum-verified artifact read-only.
+
+    ``--fleet-dir DIR`` (instead of an artifact) serves every tenant
+    subdirectory through a :class:`~repro.serve.ModelFleet` with an
+    LRU artifact cache bounded by ``--cache-bytes``; clients address
+    tenants with ``client --tenant NAME`` (protocol v4).
     """
     from repro.client import parse_address
     from repro.serve import (
+        FleetAPI,
         FrontendConfig,
         MicroBatchConfig,
+        ModelFleet,
         ServingAPI,
         ServingFrontend,
         WorkerPool,
         load_artifact,
     )
 
+    if (args.artifact is None) == (args.fleet_dir is None):
+        raise ValueError(
+            "serve --listen needs exactly one of an artifact directory "
+            "or --fleet-dir"
+        )
     host, port = parse_address(args.listen)
     config = MicroBatchConfig(
         max_batch=args.max_batch,
@@ -499,9 +517,16 @@ def _run_serve_listen(args) -> int:
         # Banner from the manifest only — the parent never serves the
         # tensors itself; the pool constructor checksum-verifies the
         # artifact once and the workers mmap-load without re-hashing.
-        print(_describe_manifest(args.artifact))
+        # Fleet pools skip even that: tenants are listed, then verified
+        # lazily at first admission so startup stays O(1) in fleet size.
+        if args.artifact is not None:
+            print(_describe_manifest(args.artifact))
+        else:
+            print(f"fleet dir {args.fleet_dir}")
         with WorkerPool(
             args.artifact,
+            fleet_dir=args.fleet_dir,
+            cache_bytes=args.cache_bytes,
             name=args.model_name,
             workers=args.workers,
             host=host,
@@ -522,11 +547,21 @@ def _run_serve_listen(args) -> int:
             except KeyboardInterrupt:
                 pass
         return 0
-    artifact = load_artifact(args.artifact)
-    print(_describe_artifact(artifact))
-    with ServingAPI.from_artifact(
-        artifact, name=args.model_name, config=config
-    ) as api:
+    if args.fleet_dir is not None:
+        fleet = ModelFleet.from_dir(args.fleet_dir, cache_bytes=args.cache_bytes)
+        print(
+            f"fleet of {len(fleet)} tenants (default {fleet.default_tenant!r}, "
+            f"cache budget "
+            f"{'unbounded' if args.cache_bytes is None else args.cache_bytes})"
+        )
+        api = FleetAPI(fleet, config=config)
+    else:
+        artifact = load_artifact(args.artifact)
+        print(_describe_artifact(artifact))
+        api = ServingAPI.from_artifact(
+            artifact, name=args.model_name, config=config
+        )
+    with api:
         frontend = ServingFrontend(
             api,
             host=host,
@@ -563,13 +598,15 @@ def _run_client(args) -> int:
         args.connect,
         encoder=artifact.encoder_config,
         obfuscation=ObfuscationConfig(quantizer=quantizer),
+        tenant=args.tenant,
         connect_retries=args.retries,
     ) as client:
         info = client.info
+        tenant_note = "" if args.tenant is None else f", tenant={args.tenant}"
         print(
             f"connected to {args.connect} (protocol v"
             f"{client.protocol_version}): model={info.name} v{info.version}, "
-            f"backend={info.backend}, d_hv={info.d_hv}"
+            f"backend={info.backend}, d_hv={info.d_hv}{tenant_note}"
         )
         # Batched wire scoring: each chunk ships as one frame (a v2
         # ScoreBatchRequest when the server speaks v2, a plain
@@ -756,7 +793,37 @@ def _build_parser() -> argparse.ArgumentParser:
             "micro-batching scheduler and report latency/throughput"
         ),
     )
-    p_serve.add_argument("artifact", help="artifact directory (from train --save)")
+    p_serve.add_argument(
+        "artifact",
+        nargs="?",
+        default=None,
+        help=(
+            "artifact directory (from train --save); omit when serving "
+            "a multi-tenant fleet with --fleet-dir"
+        ),
+    )
+    p_serve.add_argument(
+        "--fleet-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "with --listen: serve every tenant subdirectory of DIR "
+            "(each a saved artifact) as a multi-tenant fleet instead of "
+            "a single artifact; clients pick tenants with "
+            "'client --tenant NAME'"
+        ),
+    )
+    p_serve.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        help=(
+            "with --fleet-dir: LRU budget for resident class-store "
+            "bytes; least-recently-scored tenants are evicted and "
+            "reloaded (checksum re-verified) on demand "
+            "(default: unbounded)"
+        ),
+    )
     p_serve.add_argument("--dataset", default=None)
     p_serve.add_argument("--seed", type=int, default=None)
     p_serve.add_argument(
@@ -804,7 +871,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "with --listen: also bind a JSON ops port "
-            "(/healthz, /models, /stats); 0 picks a free port"
+            "(/healthz, /models, /stats, /tenants); 0 picks a free port"
         ),
     )
     p_serve.add_argument(
@@ -902,6 +969,15 @@ def _build_parser() -> argparse.ArgumentParser:
         required=True,
         metavar="HOST:PORT",
         help="address of the serving frontend",
+    )
+    p_client.add_argument(
+        "--tenant",
+        default=None,
+        help=(
+            "tenant to address on a fleet server (protocol v4); the "
+            "client refuses to run against pre-v4 servers rather than "
+            "silently hitting the default tenant"
+        ),
     )
     p_client.add_argument("--dataset", default=None)
     p_client.add_argument("--seed", type=int, default=None)

@@ -60,6 +60,7 @@ from repro.proto.wire import (
     SUPPORTED_VERSIONS,
     ProtocolError,
 )
+from repro.serve.errors import TenantNotFound
 
 __all__ = ["PriveHDClient", "ServerError", "parse_address"]
 
@@ -126,6 +127,17 @@ class PriveHDClient:
     model:
         Registry model name to score against (``None`` = the server's
         default).
+    tenant:
+        Fleet tenant to address (protocol v4; ``None`` = the server's
+        default tenant, which is also what every pre-v4 request
+        implicitly asks for).  A tenant-addressed client refuses to
+        operate on a connection negotiated below v4 — silently falling
+        back to the default tenant would answer from the *wrong
+        model*, so the mismatch raises a typed
+        :class:`~repro.proto.ProtocolError` at connect instead.  A
+        server that does not host the key answers the non-retryable
+        ``"unknown-tenant"`` code, re-raised here as
+        :class:`~repro.serve.TenantNotFound`.
     timeout:
         Socket timeout (seconds) for connect and each reply.
     connect_retries, retry_delay_s:
@@ -182,6 +194,7 @@ class PriveHDClient:
         encoder: Encoder | dict | None = None,
         obfuscation: ObfuscationConfig | None = None,
         model: str | None = None,
+        tenant: str | None = None,
         timeout: float = 30.0,
         connect_retries: int = 0,
         retry_delay_s: float = 0.25,
@@ -195,6 +208,7 @@ class PriveHDClient:
     ):
         self.host, self.port = parse_address(address)
         self.model = model
+        self.tenant = tenant
         self.timeout = timeout
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
@@ -244,6 +258,7 @@ class PriveHDClient:
         self._sock = self._connect(connect_retries, retry_delay_s)
         try:
             self.protocol_version, self.server_info = self._handshake()
+            self._check_tenant_capability()
             self.info = self.model_info(model)
         except BaseException:
             self._sock.close()
@@ -384,7 +399,24 @@ class PriveHDClient:
             self._connect_retries, self._retry_delay_s
         )
         self.protocol_version, self.server_info = self._handshake()
+        self._check_tenant_capability()
         self.reconnects += 1
+
+    def _check_tenant_capability(self) -> None:
+        """Fail typed, not wrong, when a tenant needs a v4 connection.
+
+        The v4 codec *drops* the tenant key when writing at an older
+        version (so hand-built frames stay valid), which means a
+        tenant-addressed request sent over a v3 connection would be
+        answered by the server's default tenant — the wrong model,
+        silently.  This client refuses that outcome up front.
+        """
+        if self.tenant is not None and self.protocol_version < 4:
+            raise ProtocolError(
+                f"tenant {self.tenant!r} needs protocol v4 but the "
+                f"server negotiated v{self.protocol_version}; a pre-v4 "
+                "server would silently answer from its default tenant"
+            )
 
     def _deadline_ms(self) -> int | None:
         """The deadline to stamp on scoring requests (v3+ only)."""
@@ -443,7 +475,7 @@ class PriveHDClient:
                         attempts, retry_after_ms=reply.retry_after_ms
                     )
                     continue
-                raise ServerError(reply)
+                raise self._typed_error(reply)
             want = getattr(message, "request_id", 0)
             got = getattr(reply, "request_id", 0)
             if got != want:
@@ -452,6 +484,18 @@ class PriveHDClient:
                     f"request {want}"
                 )
             return reply
+
+    def _typed_error(self, reply: ErrorReply) -> Exception:
+        """The exception a non-retryable error reply raises.
+
+        ``unknown-tenant`` becomes the same
+        :class:`~repro.serve.TenantNotFound` the server raised — typed
+        and non-retryable, so a caller can tell "this tenant does not
+        exist" from every other server error without string matching.
+        """
+        if reply.code == "unknown-tenant":
+            return TenantNotFound(reply.message, tenant=self.tenant)
+        return ServerError(reply)
 
     def _next_id(self) -> int:
         self._request_id = (self._request_id + 1) % (1 << 32)
@@ -602,7 +646,7 @@ class PriveHDClient:
                 ):
                     to_send.append(idx)  # resend after the backoff
                     continue
-                raise ServerError(reply)
+                raise self._typed_error(reply)
             if not isinstance(reply, expected):
                 raise ProtocolError(
                     f"expected {' or '.join(t.__name__ for t in expected)}, "
@@ -677,6 +721,7 @@ class PriveHDClient:
                 lambda i, rid: ScoreRequest(
                     queries=checked[i],
                     model=self.model,
+                    tenant=self.tenant,
                     request_id=rid,
                     deadline_ms=self._deadline_ms(),
                 ),
@@ -695,6 +740,7 @@ class PriveHDClient:
                 queries=block,
                 counts=counts,
                 model=self.model,
+                tenant=self.tenant,
                 request_id=rid,
                 deadline_ms=self._deadline_ms(),
             )
@@ -766,6 +812,7 @@ class PriveHDClient:
                 queries=queries,
                 counts=(n_rows,),
                 model=self.model,
+                tenant=self.tenant,
                 request_id=rid,
                 deadline_ms=self._deadline_ms(),
             )
@@ -779,6 +826,7 @@ class PriveHDClient:
         request = ScoreRequest(
             queries=queries,
             model=self.model,
+            tenant=self.tenant,
             want_scores=want_scores,
             request_id=self._next_id(),
             deadline_ms=self._deadline_ms(),
@@ -798,6 +846,7 @@ class PriveHDClient:
         reply = self._request(
             ModelInfoRequest(
                 model=model if model is not None else self.model,
+                tenant=self.tenant,
                 request_id=self._next_id(),
             )
         )

@@ -21,7 +21,10 @@ adds :class:`ScoreBatchRequest`/:class:`ScoreBatchResponse` — N logical
 sub-requests stacked into one frame and one scheduler submit — and
 extends :class:`ModelInfo` with the deployment mask seed of pruned
 models; a connection negotiated at v1 never sees either (the codecs
-refuse to encode or decode v2-only frames for a v1 peer).
+refuse to encode or decode v2-only frames for a v1 peer).  Protocol
+**v4** adds an optional ``tenant`` key to the request messages,
+addressing one namespace of a multi-tenant model fleet; absent means
+the default tenant, so downgraded peers are served exactly as before.
 
 >>> req = ScoreRequest(queries=packed_queries, request_id=7)
 >>> frame = encode_message(req)                    # bytes for the wire
@@ -74,6 +77,7 @@ ERROR_CODES = (
     "bad-request",          # well-formed frame, unservable content
     "overloaded",           # admission control shed the request; retry later
     "deadline-exceeded",    # the request's deadline_ms expired unscored
+    "unknown-tenant",       # v4 tenant key not hosted by this fleet
     "internal",             # server-side failure answering a valid request
 )
 
@@ -164,6 +168,11 @@ class ScoreRequest:
         budget expires while queued is dropped unscored with a typed
         ``"deadline-exceeded"`` error — shed work instead of late
         answers.  Silently omitted on the wire for v1/v2 peers.
+    tenant:
+        Protocol v4: optional fleet tenant key addressing one namespace
+        of a multi-tenant :class:`~repro.serve.fleet.ModelFleet`;
+        ``None`` means the default tenant.  A key the fleet does not
+        host is refused with the typed ``"unknown-tenant"`` error.
     """
 
     queries: PackedHV | np.ndarray
@@ -171,6 +180,7 @@ class ScoreRequest:
     want_scores: bool = False
     request_id: int = 0
     deadline_ms: int | None = None
+    tenant: str | None = None
 
     def __post_init__(self):
         if not isinstance(self.queries, PackedHV):
@@ -206,6 +216,7 @@ class ScoreRequest:
             or self.want_scores != other.want_scores
             or self.request_id != other.request_id
             or self.deadline_ms != other.deadline_ms
+            or self.tenant != other.tenant
         ):
             return False
         a, b = self.queries, other.queries
@@ -322,6 +333,9 @@ class ScoreBatchRequest:
     deadline_ms:
         Protocol v3: optional latency budget in milliseconds for the
         whole stacked block, exactly as on :class:`ScoreRequest`.
+    tenant:
+        Protocol v4: optional fleet tenant key for the whole stacked
+        block, exactly as on :class:`ScoreRequest`.
     """
 
     queries: PackedHV | np.ndarray
@@ -330,6 +344,7 @@ class ScoreBatchRequest:
     want_scores: bool = False
     request_id: int = 0
     deadline_ms: int | None = None
+    tenant: str | None = None
 
     def __post_init__(self):
         if not isinstance(self.queries, PackedHV):
@@ -374,6 +389,7 @@ class ScoreBatchRequest:
             or self.request_id != other.request_id
             or self.counts != other.counts
             or self.deadline_ms != other.deadline_ms
+            or self.tenant != other.tenant
         ):
             return False
         a, b = self.queries, other.queries
@@ -466,10 +482,17 @@ class ScoreBatchResponse:
 
 @dataclass(frozen=True)
 class ModelInfoRequest:
-    """Ask the server to describe a served model (``None`` = default)."""
+    """Ask the server to describe a served model (``None`` = default).
+
+    Protocol v4 adds the optional ``tenant`` key: the description is
+    resolved inside that fleet tenant's namespace (``None`` = the
+    default tenant), so a pruned per-tenant model's ``mask_seed``
+    travels exactly as it does on single-tenant connections.
+    """
 
     model: str | None = None
     request_id: int = 0
+    tenant: str | None = None
 
 
 @dataclass(frozen=True)
@@ -638,6 +661,25 @@ def _read_deadline(r: PayloadReader, version: int) -> int | None:
     return r.u32()
 
 
+def _write_tenant(w: PayloadWriter, tenant: str | None, version: int) -> None:
+    """v4 optional-tenant suffix; silently dropped for older peers.
+
+    (The *client* refuses to build tenant-addressed requests on a < v4
+    connection — silently falling back to the default tenant would
+    answer from the wrong model.  The drop here only matters for
+    hand-built frames.)
+    """
+    if version < 4:
+        return
+    w.string(tenant)
+
+
+def _read_tenant(r: PayloadReader, version: int) -> str | None:
+    if version < 4:
+        return None
+    return r.string()
+
+
 def _write_score_request(
     msg: ScoreRequest, w: PayloadWriter, version: int
 ) -> None:
@@ -645,6 +687,7 @@ def _write_score_request(
     w.string(msg.model)
     w.u8(1 if msg.want_scores else 0)
     _write_deadline(w, msg.deadline_ms, version)
+    _write_tenant(w, msg.tenant, version)
     write_queries(w, msg.queries)
 
 
@@ -653,6 +696,7 @@ def _read_score_request(r: PayloadReader, version: int) -> ScoreRequest:
     model = r.string()
     want_scores = bool(r.u8())
     deadline_ms = _read_deadline(r, version)
+    tenant = _read_tenant(r, version)
     queries = read_queries(r)
     return ScoreRequest(
         queries=queries,
@@ -660,6 +704,7 @@ def _read_score_request(r: PayloadReader, version: int) -> ScoreRequest:
         want_scores=want_scores,
         request_id=request_id,
         deadline_ms=deadline_ms,
+        tenant=tenant,
     )
 
 
@@ -722,6 +767,7 @@ def _write_score_batch_request(
     w.string(msg.model)
     w.u8(1 if msg.want_scores else 0)
     _write_deadline(w, msg.deadline_ms, version)
+    _write_tenant(w, msg.tenant, version)
     _write_counts(w, msg.counts)
     write_queries(w, msg.queries)
 
@@ -733,6 +779,7 @@ def _read_score_batch_request(
     model = r.string()
     want_scores = bool(r.u8())
     deadline_ms = _read_deadline(r, version)
+    tenant = _read_tenant(r, version)
     counts = _read_counts(r)
     queries = read_queries(r)
     return ScoreBatchRequest(
@@ -742,6 +789,7 @@ def _read_score_batch_request(
         want_scores=want_scores,
         request_id=request_id,
         deadline_ms=deadline_ms,
+        tenant=tenant,
     )
 
 
@@ -790,13 +838,16 @@ def _write_model_info_request(
 ) -> None:
     w.u32(msg.request_id)
     w.string(msg.model)
+    _write_tenant(w, msg.tenant, version)
 
 
 def _read_model_info_request(
     r: PayloadReader, version: int
 ) -> ModelInfoRequest:
     request_id = r.u32()
-    return ModelInfoRequest(model=r.string(), request_id=request_id)
+    model = r.string()
+    tenant = _read_tenant(r, version)
+    return ModelInfoRequest(model=model, request_id=request_id, tenant=tenant)
 
 
 def _write_model_info(msg: ModelInfo, w: PayloadWriter, version: int) -> None:

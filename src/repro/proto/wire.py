@@ -105,11 +105,18 @@ MAGIC = b"HD"
 #:   its budget expires in the queue).  The overload error codes
 #:   (``"overloaded"``/``"deadline-exceeded"``) ride the *existing*
 #:   error frame as new code strings, so they are version-independent.
-PROTOCOL_VERSION = 3
+#: * **v4** — extends ``ScoreRequest``/``ScoreBatchRequest`` and
+#:   ``ModelInfoRequest`` with an optional ``tenant`` key (u16
+#:   length-prefixed UTF-8, the standard optional-string encoding)
+#:   addressing one namespace of a multi-tenant model fleet.  Absent
+#:   means the default tenant, so a v3 peer that negotiates down is
+#:   served exactly as before; an unknown key is refused with the typed
+#:   ``"unknown-tenant"`` error code (non-retryable).
+PROTOCOL_VERSION = 4
 
 #: every version this build can decode (negotiation picks the highest
 #: common entry)
-SUPPORTED_VERSIONS = (1, 2, 3)
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 #: magic(2) + version(1) + frame type(1) + payload length(4, big-endian)
 HEADER_SIZE = 8

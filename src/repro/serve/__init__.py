@@ -24,8 +24,14 @@ The serving subsystem moves models from training to traffic:
   hot-swapped fleet-wide over a control channel and kept at strength by
   a supervisor that respawns crashed workers with the registry state
   replayed;
+* :class:`ModelFleet` / :class:`FleetAPI` — million-model
+  multi-tenancy: a tenant-keyed facade over many registries with a
+  byte-budgeted LRU artifact cache (:class:`FleetStats` counters) and
+  cross-tenant coalesced scoring, addressed by the protocol-v4
+  ``tenant`` key;
 * :class:`Overloaded` / :class:`DeadlineExceeded` / :class:`WorkerLost`
-  — the typed overload/failure vocabulary (see ``docs/operations.md``);
+  / :class:`TenantNotFound` — the typed overload/failure vocabulary
+  (see ``docs/operations.md``);
 * :data:`faults` — the deterministic fault-injection registry the chaos
   suite and ``bench_serve --chaos`` arm (a no-op in production).
 """
@@ -39,8 +45,20 @@ from repro.serve.artifact import (
 )
 from repro.serve.bench import ThroughputResult, make_serving_fixture, run_throughput
 from repro.serve.engine import InferenceEngine
-from repro.serve.errors import DeadlineExceeded, Overloaded, WorkerLost
+from repro.serve.errors import (
+    DeadlineExceeded,
+    Overloaded,
+    TenantNotFound,
+    WorkerLost,
+)
 from repro.serve.faults import FaultRegistry, faults
+from repro.serve.fleet import (
+    DEFAULT_TENANT,
+    FleetAPI,
+    FleetStats,
+    ModelFleet,
+    fused_tenant_scores,
+)
 from repro.serve.frontend import FrontendConfig, FrontendHandle, ServingFrontend
 from repro.serve.loops import (
     LOOP_CHOICES,
@@ -74,9 +92,15 @@ __all__ = [
     "FrontendConfig",
     "FrontendHandle",
     "WorkerPool",
+    "ModelFleet",
+    "FleetAPI",
+    "FleetStats",
+    "DEFAULT_TENANT",
+    "fused_tenant_scores",
     "Overloaded",
     "DeadlineExceeded",
     "WorkerLost",
+    "TenantNotFound",
     "FaultRegistry",
     "faults",
     "LOOP_CHOICES",

@@ -43,6 +43,7 @@ from repro.proto.messages import (
     ScoreResponse,
 )
 from repro.serve.artifact import ModelArtifact
+from repro.serve.errors import TenantNotFound
 from repro.serve.registry import ModelRegistry
 from repro.serve.scheduler import MicroBatchConfig
 from repro.serve.server import ModelServer
@@ -202,6 +203,25 @@ class ServingAPI:
         return name, method, raw
 
     @staticmethod
+    def _check_tenant(tenant: str | None) -> None:
+        """Refuse tenant-addressed requests on a single-model server.
+
+        A v4 client that *explicitly* asked for a tenant must not be
+        silently answered by whatever model this server happens to
+        serve — that would be the wrong tenant's model.  Fleet-enabled
+        deployments serve a :class:`~repro.serve.fleet.FleetAPI`
+        instead, which hosts real tenants; here every non-``None`` key
+        maps to the typed ``"unknown-tenant"`` wire code.
+        """
+        if tenant is not None:
+            raise TenantNotFound(
+                f"this server hosts a single model, not tenant "
+                f"{tenant!r}; deploy a fleet (serve --fleet-dir) for "
+                "tenant-addressed requests",
+                tenant=tenant,
+            )
+
+    @staticmethod
     def _resolve_deadline(request, deadline: float | None) -> float | None:
         """An absolute monotonic deadline for ``request``, if any.
 
@@ -261,6 +281,7 @@ class ServingAPI:
         request's own ``deadline_ms`` budget measured from now) drops
         the request unscored if it expires while queued.
         """
+        self._check_tenant(request.tenant)
         name, method, raw = self._submit_queries(
             request.queries, request.model, request.want_scores,
             request.d_hv, self._resolve_deadline(request, deadline),
@@ -299,6 +320,7 @@ class ServingAPI:
         version, exactly as for :meth:`submit_score` (including
         ``deadline`` semantics).
         """
+        self._check_tenant(request.tenant)
         name, method, raw = self._submit_queries(
             request.queries, request.model, request.want_scores,
             request.d_hv, self._resolve_deadline(request, deadline),
@@ -326,9 +348,20 @@ class ServingAPI:
         return self._finish_response(raw, name, method, build)
 
     def info(
-        self, model: str | None = None, *, request_id: int = 0
+        self,
+        model: str | None = None,
+        *,
+        request_id: int = 0,
+        tenant: str | None = None,
     ) -> ModelInfo:
-        """A typed :class:`~repro.proto.ModelInfo` for a served model."""
+        """A typed :class:`~repro.proto.ModelInfo` for a served model.
+
+        ``tenant`` exists for dispatch symmetry with
+        :class:`~repro.serve.fleet.FleetAPI`; on this single-model
+        surface any non-``None`` key raises
+        :class:`~repro.serve.TenantNotFound`.
+        """
+        self._check_tenant(tenant)
         name = self._server.resolve_name(model)
         record = self.registry.describe(name)
         engine = record.engine

@@ -19,15 +19,20 @@ cross layer boundaries with *meaning* attached, instead of generic
   hung past the ack timeout.  The pool raises it instead of blocking
   forever, and the supervisor (if enabled) respawns the worker in the
   background.
+* :class:`TenantNotFound` — a protocol-v4 request addressed a fleet
+  tenant the :class:`~repro.serve.fleet.ModelFleet` does not host.
+  Maps to the ``"unknown-tenant"`` wire code, which is *non-retryable*
+  (the tenant will not appear by waiting; the client raises this same
+  exception instead of backing off).
 
-All three are exported from :mod:`repro.serve`, so callers catch them
-by type; over the wire they travel as :class:`~repro.proto.ErrorReply`
+All are exported from :mod:`repro.serve`, so callers catch them by
+type; over the wire they travel as :class:`~repro.proto.ErrorReply`
 codes (see ``docs/operations.md`` for the full error-code table).
 """
 
 from __future__ import annotations
 
-__all__ = ["Overloaded", "DeadlineExceeded", "WorkerLost"]
+__all__ = ["Overloaded", "DeadlineExceeded", "WorkerLost", "TenantNotFound"]
 
 
 class Overloaded(RuntimeError):
@@ -78,3 +83,23 @@ class WorkerLost(RuntimeError):
     def __init__(self, message: str, *, workers: tuple[int, ...] = ()):
         super().__init__(message)
         self.workers = tuple(int(w) for w in workers)
+
+
+class TenantNotFound(LookupError):
+    """A request addressed a tenant key the fleet does not host.
+
+    Deliberately a :class:`LookupError` (not :class:`KeyError`, which
+    the frontend maps to ``"unknown-model"``) so the error-reply mapper
+    can tell a missing *tenant* from a missing *model* inside a hosted
+    tenant.  Travels as the non-retryable ``"unknown-tenant"`` wire
+    code and is re-raised by :class:`~repro.client.PriveHDClient`.
+
+    Attributes
+    ----------
+    tenant:
+        The tenant key that failed to resolve.
+    """
+
+    def __init__(self, message: str, *, tenant: str | None = None):
+        super().__init__(message)
+        self.tenant = tenant

@@ -1,0 +1,1049 @@
+"""Million-model multi-tenancy: a tenant-keyed fleet of tiny models.
+
+Prive-HD's whole point is that the privacy-preserving model is *small* —
+a packed ternary class store for 26 classes x d_hv=10,000 is ~65 KB — so
+one host can plausibly keep 10^4..10^5 **per-user personalized** models
+warm.  Everything below :mod:`repro.serve.fleet` serves versions of one
+model; this module turns that into a real fleet:
+
+* :class:`ModelFleet` — a tenant-keyed facade over many
+  :class:`~repro.serve.ModelRegistry` namespaces with a byte-budgeted
+  LRU artifact cache.  Tenants are registered *lazily* (a path, not a
+  load), admitted on first use with ``mmap=True`` + checksum
+  verification, and evicted oldest-first when resident store bytes
+  exceed the budget; a later request re-admits from the recorded path,
+  checksums re-verified.  Hot tenants can be pinned.  Counters live in
+  :class:`FleetStats`.
+* :class:`FleetAPI` — the protocol surface (same duck type as
+  :class:`~repro.serve.ServingAPI`, so :class:`~repro.serve.ServingFrontend`
+  serves either) that routes protocol-v4 ``tenant`` keys.  A request
+  without a tenant hits the fleet's default tenant, which is how v3
+  clients keep working unchanged; an unknown key raises
+  :class:`~repro.serve.TenantNotFound` (the non-retryable
+  ``"unknown-tenant"`` wire code).
+* **Cross-tenant coalescing** — tenants whose artifacts share an
+  encoder config (same ``d_hv``/quantizer/live-dimension count, packed
+  store) share one micro-batch scheduler: each query row rides the
+  queue as ``[signs | mags | tenant_index]``, and one flush scores the
+  whole mixed-tenant batch with a single fused gather kernel
+  (:func:`fused_tenant_scores`) instead of one kernel call per tenant.
+  Tenants with unique configs fall back to per-tenant flushes, exactly
+  as correct, just not amortized.
+
+    >>> fleet = ModelFleet.from_dir("artifacts/fleet", cache_bytes=64 << 20)
+    >>> with FleetAPI(fleet) as api:
+    ...     api.predict(packed_queries, tenant="user-1234")
+    ...     api.stats()["fleet"]          # hits/misses/evictions/bytes
+
+``prive-hd serve --fleet-dir DIR --cache-bytes N`` is the CLI spelling;
+``PriveHDClient(..., tenant="user-1234")`` is the remote one.
+
+Tenant isolation is **routing-level, not cryptographic**: every tenant's
+bits are scored by the same process, and the tenant key itself is plain
+UTF-8 on the wire (see ``docs/privacy-model.md``).  What stays private
+is exactly what stays private for a single model: raw features and
+codebooks never leave the client.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.backend.packed import PackedHV, n_words, popcount
+from repro.proto.messages import (
+    ModelInfo,
+    ScoreBatchRequest,
+    ScoreBatchResponse,
+    ScoreRequest,
+    ScoreResponse,
+)
+from repro.serve.api import ServingAPI
+from repro.serve.artifact import ModelArtifact
+from repro.serve.errors import TenantNotFound
+from repro.serve.registry import ModelRegistry
+from repro.serve.scheduler import MicroBatchConfig, MicroBatchScheduler
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "FleetStats",
+    "ModelFleet",
+    "FleetAPI",
+    "fused_tenant_scores",
+]
+
+#: Tenant name a request without a ``tenant`` key resolves to — the
+#: bridge that keeps protocol v1-v3 peers (which cannot spell a tenant)
+#: working against a fleet-enabled server.
+DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
+class FleetStats:
+    """A point-in-time snapshot of the fleet's cache counters.
+
+    Attributes
+    ----------
+    tenants:
+        Registered tenant count (resident or not).
+    resident_models:
+        Tenants whose engine is currently in memory.
+    resident_bytes:
+        Bytes of prepared class-store currently resident, the quantity
+        the LRU budget bounds.
+    pinned:
+        Tenants exempt from eviction.
+    hits:
+        Requests that found their tenant resident.
+    misses:
+        Requests (or flush-time re-resolutions) that had to admit the
+        tenant from disk — each one paid an mmap load + checksum pass.
+    evictions:
+        Tenants pushed out by the byte budget since the fleet started.
+    """
+
+    tenants: int
+    resident_models: int
+    resident_bytes: int
+    pinned: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / (hits + misses)`` — 1.0 before any traffic."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 1.0
+        return self.hits / total
+
+    def as_dict(self) -> dict:
+        """JSON-safe mapping (what the HTTP ``/stats`` adapter emits)."""
+        return {
+            "tenants": self.tenants,
+            "resident_models": self.resident_models,
+            "resident_bytes": self.resident_bytes,
+            "pinned": self.pinned,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class _Tenant:
+    """Mutable per-tenant record (internal; guarded by the fleet lock)."""
+
+    __slots__ = (
+        "name",
+        "path",
+        "model",
+        "pin",
+        "engine_kwargs",
+        "registry",
+        "resident_bytes",
+        "requests",
+        "index",
+        "evictable",
+        "coalesce_key",
+    )
+
+    def __init__(self, name, path, model, pin, engine_kwargs, index):
+        self.name = name
+        self.path = path
+        self.model = model
+        self.pin = pin
+        self.engine_kwargs = engine_kwargs
+        self.registry: ModelRegistry | None = None
+        self.resident_bytes = 0
+        self.requests = 0
+        self.index = index
+        # No recorded path means no way back after eviction: keep it.
+        self.evictable = path is not None
+        self.coalesce_key: tuple | None = None
+
+
+def _engine_coalesce_key(engine) -> tuple | None:
+    """The shared-config group an engine can be batch-scored with.
+
+    Two tenants coalesce into one flush only when a single fused kernel
+    call can score both: same ``d_hv`` (identical plane width), same
+    class count (uniform score width), same query quantizer (the rows
+    mean the same thing), same live-dimension count (same mask shape,
+    even though each tenant's mask_seed — and thus *which* dimensions
+    are live — differs).  Only packed ternary/bipolar stores qualify;
+    dense stores return ``None`` and score per-tenant.
+    """
+    if not isinstance(engine.prepared.store, PackedHV):
+        return None
+    mask = engine.keep_mask
+    n_live = engine.d_hv if mask is None else int(np.count_nonzero(mask))
+    quantizer = engine.quantizer.name if engine.quantizer is not None else None
+    return (engine.d_hv, engine.n_classes, quantizer, n_live)
+
+
+def fused_tenant_scores(
+    q_signs: np.ndarray,
+    q_mags: np.ndarray,
+    store_signs: np.ndarray,
+    store_mags: np.ndarray,
+    norms: np.ndarray,
+    tenant_of_row: np.ndarray,
+) -> np.ndarray:
+    """Score a mixed-tenant packed batch in one fused kernel call.
+
+    The cross-tenant coalescing kernel: instead of T calls to
+    :func:`~repro.backend.packed.packed_class_scores` (one per tenant in
+    the flush), the per-tenant class stores are stacked into
+    ``(U, C, W)`` plane tensors and every query row gathers its own
+    tenant's planes by index — one vectorized XOR + popcount pass over
+    the whole batch.
+
+    Parameters
+    ----------
+    q_signs, q_mags:
+        ``(N, W)`` uint64 query bit planes (the wire layout).
+    store_signs, store_mags:
+        ``(U, C, W)`` uint64 stacked class-store planes of the U unique
+        tenants present in this flush.
+    norms:
+        ``(U, C)`` per-tenant class norms
+        (:func:`~repro.backend.packed.packed_norms` of each store).
+    tenant_of_row:
+        ``(N,)`` index into the U axis for every query row.
+
+    Returns
+    -------
+    ``(N, C)`` float64 scores, bit-for-bit identical to scoring each
+    row against its own tenant with ``packed_class_scores`` — same
+    ternary dot (``popcount(Ma & Mb) - 2 popcount((Sa ^ Sb) & Ma & Mb)``,
+    exact integers), same class-norm division.
+    """
+    t = np.asarray(tenant_of_row, dtype=np.intp)
+    # (N, C, W): each row gathers its tenant's planes, then one fused
+    # pass.  Agreeing live dims minus disagreeing live dims, as ints.
+    common = q_mags[:, None, :] & store_mags[t]
+    disagree = (q_signs[:, None, :] ^ store_signs[t]) & common
+    dots = popcount(common).sum(axis=2, dtype=np.int64) - 2 * popcount(
+        disagree
+    ).sum(axis=2, dtype=np.int64)
+    return dots.astype(np.float64) / norms[t]
+
+
+class ModelFleet:
+    """A tenant-keyed model fleet with a byte-budgeted LRU cache.
+
+    Each tenant owns a private :class:`~repro.serve.ModelRegistry`
+    namespace (its own versions, its own hot-swap), registered lazily:
+    :meth:`add_tenant` records the artifact *path* and nothing loads
+    until the first request.  Admission maps the tensors with
+    ``mmap=True`` and verifies checksums once; eviction (oldest
+    unpinned tenant first, whenever resident bytes exceed
+    ``cache_bytes``) drops the registry outright, and the next request
+    re-admits from the recorded path with checksums re-verified — disk
+    is the source of truth, memory is a cache.
+
+    Thread-safe: resolution, admission, and eviction may race freely
+    across request threads and flush runners.  Admission loads run
+    *off*-lock (a slow disk must not stall every other tenant) with a
+    double-checked install, so two racing threads may both load but
+    exactly one result wins.
+
+    Parameters
+    ----------
+    cache_bytes:
+        Resident class-store byte budget (``None`` = unbounded).  A
+        single tenant is always allowed residency even if it alone
+        exceeds the budget — a budget that can serve nothing is a
+        misconfiguration, not a steady state.
+    default_tenant:
+        Tenant served when a request carries no tenant key (what every
+        pre-v4 client is).  ``None`` = the first tenant added.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_bytes: int | None = None,
+        default_tenant: str | None = None,
+    ):
+        if cache_bytes is not None and cache_bytes <= 0:
+            raise ValueError(f"cache_bytes must be > 0, got {cache_bytes}")
+        self.cache_bytes = cache_bytes
+        self.default_tenant = default_tenant
+        self._lock = threading.RLock()
+        self._tenants: dict[str, _Tenant] = {}
+        self._by_index: list[_Tenant] = []
+        self._lru: OrderedDict[str, None] = OrderedDict()
+        self._resident_bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dir(
+        cls,
+        fleet_dir: str | Path,
+        *,
+        cache_bytes: int | None = None,
+        default_tenant: str | None = None,
+        model: str = "model",
+    ) -> "ModelFleet":
+        """A fleet from a directory of per-tenant artifact directories.
+
+        Every subdirectory of ``fleet_dir`` containing a
+        ``manifest.json`` becomes a tenant named after the subdirectory
+        (sorted order).  Nothing is loaded here — registration is lazy,
+        so a 10k-tenant directory costs a directory listing, not 10k
+        checksum passes.  The default tenant is ``default_tenant`` if
+        given, else a subdirectory literally named ``"default"``, else
+        the first tenant in sorted order.
+        """
+        root = Path(fleet_dir)
+        if not root.is_dir():
+            raise FileNotFoundError(f"fleet dir {root} does not exist")
+        names = sorted(
+            entry.name
+            for entry in root.iterdir()
+            if entry.is_dir() and (entry / "manifest.json").is_file()
+        )
+        if not names:
+            raise ValueError(
+                f"fleet dir {root} holds no artifact subdirectories"
+            )
+        if default_tenant is None:
+            default_tenant = (
+                DEFAULT_TENANT if DEFAULT_TENANT in names else names[0]
+            )
+        fleet = cls(cache_bytes=cache_bytes, default_tenant=default_tenant)
+        for name in names:
+            fleet.add_tenant(name, root / name, model=model)
+        return fleet
+
+    def add_tenant(
+        self,
+        tenant: str,
+        source: str | Path | ModelArtifact,
+        *,
+        model: str = "model",
+        pin: bool = False,
+        engine_kwargs: dict | None = None,
+    ) -> None:
+        """Register one tenant; loading is deferred to first use.
+
+        ``source`` is normally an artifact directory path — recorded,
+        not loaded, so registering a million tenants is cheap and the
+        LRU cache decides what is actually resident.  An in-memory
+        :class:`~repro.serve.ModelArtifact` is admitted immediately and
+        is never evicted (there is no path to reload it from).
+        ``pin=True`` exempts a hot tenant from eviction.
+        """
+        with self._lock:
+            if tenant in self._tenants:
+                raise ValueError(f"tenant {tenant!r} already registered")
+            if isinstance(source, ModelArtifact):
+                record = _Tenant(
+                    tenant, None, model, pin, engine_kwargs,
+                    len(self._by_index),
+                )
+                registry = ModelRegistry()
+                registry.publish(model, source, engine_kwargs=engine_kwargs)
+                self._install(record, registry)
+            else:
+                record = _Tenant(
+                    tenant, Path(source), model, pin, engine_kwargs,
+                    len(self._by_index),
+                )
+            self._tenants[tenant] = record
+            self._by_index.append(record)
+            if self.default_tenant is None:
+                self.default_tenant = tenant
+
+    # ------------------------------------------------------------------
+    # resolution (the hot path)
+    # ------------------------------------------------------------------
+    def resolve(self, tenant: str | None = None, *, count: bool = True) -> _Tenant:
+        """The tenant's record with a live registry, admitting if needed.
+
+        ``None`` resolves to the default tenant.  Raises
+        :class:`~repro.serve.TenantNotFound` for keys the fleet does
+        not host.  ``count=True`` (the request path) bumps the tenant's
+        traffic counter and the hit/miss stats; flush runners
+        re-resolve with ``count=False`` so one request is not counted
+        twice (an eviction between submit and flush still counts its
+        re-admission as a miss — that load was real).
+        """
+        name = self.default_tenant if tenant is None else tenant
+        with self._lock:
+            record = self._tenants.get(name) if name is not None else None
+            if record is None:
+                raise TenantNotFound(
+                    f"tenant {name!r} is not hosted by this fleet "
+                    f"({len(self._tenants)} tenants registered)",
+                    tenant=name,
+                )
+            if count:
+                record.requests += 1
+            if record.registry is not None:
+                if count:
+                    self._hits += 1
+                if record.name in self._lru:
+                    self._lru.move_to_end(record.name)
+                return record
+        self._admit(record)
+        return record
+
+    def _admit(self, record: _Tenant) -> None:
+        """Load a non-resident tenant (off-lock) and install it.
+
+        ``verify=True`` on every admission: the first load checks the
+        manifest checksums once, and — because eviction throws the
+        whole registry away — a post-eviction reload re-verifies
+        lazily, exactly when the bytes come back off disk.  Two racing
+        admissions both load; the lock decides one winner and the loser
+        is dropped (correct, just briefly wasteful — preferable to
+        serializing every tenant's disk I/O behind one lock).
+        """
+        registry = ModelRegistry()
+        registry.load(
+            record.model,
+            record.path,
+            engine_kwargs=record.engine_kwargs,
+            mmap=True,
+            verify=True,
+        )
+        with self._lock:
+            if record.registry is None:
+                self._misses += 1
+                self._install(record, registry)
+
+    def _install(self, record: _Tenant, registry: ModelRegistry) -> None:
+        """Make a loaded registry resident (lock held by caller)."""
+        engine = registry.describe(record.model).engine
+        record.registry = registry
+        record.resident_bytes = int(engine.store_nbytes)
+        record.coalesce_key = _engine_coalesce_key(engine)
+        self._resident_bytes += record.resident_bytes
+        self._lru[record.name] = None
+        self._lru.move_to_end(record.name)
+        self._evict_to_budget(keep=record.name)
+
+    def _evict_to_budget(self, *, keep: str) -> None:
+        """Evict oldest unpinned tenants until under budget (lock held)."""
+        if self.cache_bytes is None:
+            return
+        while self._resident_bytes > self.cache_bytes:
+            victim = next(
+                (
+                    name
+                    for name in self._lru  # oldest-first iteration
+                    if name != keep
+                    and self._tenants[name].evictable
+                    and not self._tenants[name].pin
+                ),
+                None,
+            )
+            if victim is None:
+                return  # only pinned/unreloadable/just-admitted remain
+            record = self._tenants[victim]
+            del self._lru[victim]
+            self._resident_bytes -= record.resident_bytes
+            record.registry = None
+            record.resident_bytes = 0
+            self._evictions += 1
+
+    def record_by_index(self, index: int) -> _Tenant:
+        """The tenant record behind a coalesced row's index column."""
+        with self._lock:
+            return self._by_index[index]
+
+    def registry_for(self, tenant: str | None = None) -> ModelRegistry:
+        """The tenant's live registry (admitting it if evicted).
+
+        This is the hot-swap entry point: ``load``/``promote`` on the
+        returned registry swaps that one tenant's model with zero
+        dropped requests, exactly as for a single-model server.
+        """
+        return self.resolve(tenant, count=False).registry
+
+    # ------------------------------------------------------------------
+    # management
+    # ------------------------------------------------------------------
+    def pin(self, tenant: str) -> None:
+        """Exempt a (registered) tenant from LRU eviction."""
+        with self._lock:
+            record = self._tenants.get(tenant)
+            if record is None:
+                raise TenantNotFound(
+                    f"cannot pin unknown tenant {tenant!r}", tenant=tenant
+                )
+            record.pin = True
+
+    def unpin(self, tenant: str) -> None:
+        """Make a pinned tenant evictable again (budget re-checked lazily)."""
+        with self._lock:
+            record = self._tenants.get(tenant)
+            if record is None:
+                raise TenantNotFound(
+                    f"cannot unpin unknown tenant {tenant!r}", tenant=tenant
+                )
+            record.pin = False
+
+    def tenants(self) -> tuple[str, ...]:
+        """Every registered tenant name, in registration order."""
+        with self._lock:
+            return tuple(self._tenants)
+
+    def resident_tenants(self) -> tuple[str, ...]:
+        """Tenants currently holding memory, oldest-LRU first."""
+        with self._lock:
+            return tuple(self._lru)
+
+    def is_resident(self, tenant: str) -> bool:
+        """Whether the tenant's engine is in memory right now."""
+        with self._lock:
+            record = self._tenants.get(tenant)
+            return record is not None and record.registry is not None
+
+    def top_tenants(self, n: int = 10) -> list[tuple[str, int]]:
+        """The ``n`` busiest tenants as ``(name, requests)``, descending."""
+        with self._lock:
+            ranked = sorted(
+                ((r.name, r.requests) for r in self._tenants.values()),
+                key=lambda item: (-item[1], item[0]),
+            )
+        return ranked[: max(0, int(n))]
+
+    def stats(self) -> FleetStats:
+        """A consistent :class:`FleetStats` snapshot."""
+        with self._lock:
+            return FleetStats(
+                tenants=len(self._tenants),
+                resident_models=len(self._lru),
+                resident_bytes=self._resident_bytes,
+                pinned=sum(1 for r in self._tenants.values() if r.pin),
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+            )
+
+    def __contains__(self, tenant: str) -> bool:
+        with self._lock:
+            return tenant in self._tenants
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tenants)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"ModelFleet({s.tenants} tenants, {s.resident_models} resident, "
+            f"{s.resident_bytes} bytes, default={self.default_tenant!r})"
+        )
+
+
+class _FleetNames:
+    """Just enough registry duck-type for the frontend's handshake.
+
+    The frontend's ``Welcome`` lists ``api.registry.names()``; for a
+    fleet the useful listing is the tenants, capped so a million-tenant
+    fleet does not turn the handshake frame into a directory dump.
+    """
+
+    #: Welcome-frame listing cap; the ``/tenants`` HTTP endpoint serves
+    #: the full count.
+    CAP = 32
+
+    def __init__(self, fleet: ModelFleet):
+        self._fleet = fleet
+
+    def names(self) -> tuple[str, ...]:
+        """Up to :data:`CAP` tenant names (default tenant always first)."""
+        tenants = self._fleet.tenants()
+        default = self._fleet.default_tenant
+        if default in tenants:
+            tenants = (default, *(t for t in tenants if t != default))
+        return tenants[: self.CAP]
+
+
+class FleetAPI:
+    """The typed serving surface of a :class:`ModelFleet`.
+
+    Duck-types :class:`~repro.serve.ServingAPI` — ``submit_score`` /
+    ``submit_score_batch`` / ``info`` / ``health`` / ``models`` /
+    ``stats`` — so :class:`~repro.serve.ServingFrontend` serves a fleet
+    through the exact same dispatch path as a single model.  Three
+    things are fleet-specific:
+
+    * requests route by their protocol-v4 ``tenant`` key (absent =
+      default tenant); unknown keys raise
+      :class:`~repro.serve.TenantNotFound`;
+    * with ``coalesce=True`` (default), tenants sharing a coalesce key
+      (see :func:`fused_tenant_scores`) share one scheduler — a flush
+      scores a mixed-tenant batch in one fused kernel call and scatters
+      per-tenant results, which is where the fleet's throughput at high
+      tenant counts comes from;
+    * ``stats()`` carries the fleet cache counters next to the
+      scheduler counters, and :meth:`tenants_summary` backs the
+      read-only ``/tenants`` HTTP endpoint.
+
+    Parameters
+    ----------
+    fleet:
+        The tenant store (and LRU cache) to serve.
+    config:
+        Micro-batching flush policy shared by every scheduler.
+    coalesce:
+        ``False`` forces per-tenant flushes even for shared-config
+        tenants — the benchmark's baseline, and an escape hatch.
+    """
+
+    def __init__(
+        self,
+        fleet: ModelFleet,
+        *,
+        config: MicroBatchConfig | None = None,
+        coalesce: bool = True,
+    ):
+        self.fleet = fleet
+        self.config = config or MicroBatchConfig()
+        self.coalesce = coalesce
+        self.registry = _FleetNames(fleet)
+        self._lock = threading.Lock()
+        self._schedulers: dict[tuple, MicroBatchScheduler] = {}
+        # (scheduler key [+ tenant for group keys]) -> version that
+        # answered the latest flush; written in the flusher thread,
+        # read by response-future callbacks in that same thread.
+        self._flush_versions: dict[tuple, int] = {}
+        self._closed = False
+
+    @property
+    def default_model(self) -> str | None:
+        """The default tenant's name (health/ops symmetry with ServingAPI)."""
+        return self.fleet.default_tenant
+
+    # ------------------------------------------------------------------
+    # submission plumbing
+    # ------------------------------------------------------------------
+    def _scheduler(self, key: tuple, make_runner) -> MicroBatchScheduler:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("fleet API is closed")
+            sched = self._schedulers.get(key)
+            if sched is None:
+                sched = MicroBatchScheduler(
+                    make_runner(key), self.config, name=".".join(map(str, key))
+                )
+                self._schedulers[key] = sched
+            return sched
+
+    def _run_group(self, rows: np.ndarray, key: tuple) -> np.ndarray:
+        """Flush runner for a shared-config, mixed-tenant scheduler.
+
+        ``rows`` is ``[signs | mags | tenant_index]`` (all uint64).
+        Resolves every tenant present *at flush time* — an eviction
+        between submit and flush re-admits here, a hot-swap lands here —
+        stacks their class stores, and makes one fused kernel call.
+        """
+        want_scores = key[-1]
+        words = (rows.shape[1] - 1) // 2
+        indices = rows[:, -1].astype(np.int64)
+        unique, inverse = np.unique(indices, return_inverse=True)
+        engines = []
+        for index in unique:
+            record = self.fleet.record_by_index(int(index))
+            registry = self.fleet.resolve(record.name, count=False).registry
+            described = registry.describe(record.model)
+            engines.append(described.engine)
+            self._flush_versions[key + (record.name,)] = described.version
+        signs = rows[:, :words]
+        mags = rows[:, words:-1]
+        store_signs = np.stack([e.prepared.store.signs for e in engines])
+        store_mags = np.stack([e.prepared.store.mags for e in engines])
+        norms = np.stack([e.prepared.norms for e in engines])
+        scores = fused_tenant_scores(
+            signs, mags, store_signs, store_mags, norms, inverse
+        )
+        if want_scores:
+            return scores
+        return np.argmax(scores, axis=1)
+
+    def _run_tenant(self, rows: np.ndarray, key: tuple) -> np.ndarray:
+        """Flush runner for one tenant's private scheduler.
+
+        ``key`` is ``("tenant", tenant, model, kind, want_scores)``
+        where ``kind`` is ``"packed"`` (plane rows, rebuilt per flush
+        exactly like :meth:`ModelServer._run_packed`) or ``"dense"``.
+        """
+        _, tenant, model, kind, want_scores = key
+        registry = self.fleet.resolve(tenant, count=False).registry
+        described = registry.describe(model)
+        engine = described.engine
+        self._flush_versions[key] = described.version
+        if kind == "packed":
+            words = n_words(engine.d_hv)
+            if rows.shape[1] != 2 * words:
+                raise ValueError(
+                    f"plane rows have {rows.shape[1]} words but tenant "
+                    f"{tenant!r} serves d_hv={engine.d_hv}"
+                )
+            queries = PackedHV(
+                signs=np.ascontiguousarray(rows[:, :words]),
+                mags=np.ascontiguousarray(rows[:, words:]),
+                d=engine.d_hv,
+            )
+            if engine.backend.name != "packed":
+                queries = queries.unpack(np.float32)
+        else:
+            queries = rows
+        if want_scores:
+            return engine.scores(queries)
+        return engine.predict(queries)
+
+    def _submit_queries(self, queries, tenant, model, want_scores, d_hv,
+                        deadline):
+        """Resolve tenant + model, shape-check, enqueue once.
+
+        Returns ``(name, version_key, submit_version, raw_future)``.
+        Raises :class:`~repro.serve.TenantNotFound` for unknown
+        tenants, ``KeyError`` for unknown models *within* a hosted
+        tenant, ``ValueError`` for shape mismatches, and the scheduler's
+        :class:`~repro.serve.Overloaded` /
+        :class:`~repro.serve.DeadlineExceeded` — the frontend maps each
+        to its typed wire code.
+        """
+        record = self.fleet.resolve(tenant)
+        name = model if model is not None else record.model
+        described = record.registry.describe(name)
+        engine = described.engine
+        if d_hv != engine.d_hv:
+            raise ValueError(
+                f"queries have {d_hv} dimensions but tenant "
+                f"{record.name!r} model {name!r} serves {engine.d_hv}"
+            )
+        packed = isinstance(queries, PackedHV)
+        coalescable = (
+            self.coalesce
+            and packed
+            and record.coalesce_key is not None
+            and name == record.model
+        )
+        if coalescable:
+            key = ("group",) + record.coalesce_key + (bool(want_scores),)
+            index_column = np.full(
+                (queries.n, 1), record.index, dtype=np.uint64
+            )
+            rows = np.concatenate(
+                [queries.signs, queries.mags, index_column], axis=1
+            )
+            sched = self._scheduler(key, lambda k: (
+                lambda batch: self._run_group(batch, k)
+            ))
+            version_key = key + (record.name,)
+        else:
+            kind = "packed" if packed else "dense"
+            key = ("tenant", record.name, name, kind, bool(want_scores))
+            if packed:
+                rows = np.concatenate([queries.signs, queries.mags], axis=1)
+            else:
+                rows = np.atleast_2d(np.asarray(queries))
+            sched = self._scheduler(key, lambda k: (
+                lambda batch: self._run_tenant(batch, k)
+            ))
+            version_key = key
+        raw = sched.submit(rows, deadline=deadline)
+        return name, version_key, described.version, raw
+
+    def _finish_response(self, raw: Future, version_key, submit_version,
+                         build) -> Future:
+        """Chain a raw scheduler future into a typed-response future.
+
+        ``build(result, version)`` runs in the flusher thread right
+        after the flush that scored the rows, so the recorded flush
+        version is exactly the version that answered (falling back to
+        the version seen at submit before any flush has run).
+        """
+        response: Future = Future()
+        response.set_running_or_notify_cancel()
+
+        def _finish(fut: Future):
+            exc = fut.exception()
+            if exc is not None:
+                response.set_exception(exc)
+                return
+            result = fut.result()
+            try:
+                version = self._flush_versions.get(
+                    version_key, submit_version
+                )
+                resp = build(result, version)
+            except Exception as build_exc:  # noqa: BLE001 — forwarded
+                response.set_exception(build_exc)
+                return
+            response.set_result(resp)
+
+        raw.add_done_callback(_finish)
+        return response
+
+    # ------------------------------------------------------------------
+    # typed protocol entry points (what the frontend calls)
+    # ------------------------------------------------------------------
+    def score(self, request: ScoreRequest) -> ScoreResponse:
+        """Answer one typed request synchronously."""
+        return self.submit_score(request).result()
+
+    def score_batch(self, request: ScoreBatchRequest) -> ScoreBatchResponse:
+        """Answer one typed batch request synchronously."""
+        return self.submit_score_batch(request).result()
+
+    def submit_score(
+        self, request: ScoreRequest, *, deadline: float | None = None
+    ) -> Future:
+        """Answer one typed request; resolves to a :class:`ScoreResponse`.
+
+        Routed by ``request.tenant`` (``None`` = default tenant);
+        otherwise identical semantics to
+        :meth:`~repro.serve.ServingAPI.submit_score`, including
+        deadline handling and the flushed-version label.
+        """
+        name, version_key, submit_version, raw = self._submit_queries(
+            request.queries, request.tenant, request.model,
+            request.want_scores, request.d_hv,
+            ServingAPI._resolve_deadline(request, deadline),
+        )
+
+        def build(result, version):
+            if request.want_scores:
+                scores = np.atleast_2d(np.asarray(result))
+                return ScoreResponse(
+                    predictions=np.argmax(scores, axis=1),
+                    scores=scores,
+                    model=name,
+                    version=version,
+                    request_id=request.request_id,
+                )
+            return ScoreResponse(
+                predictions=np.atleast_1d(np.asarray(result)),
+                model=name,
+                version=version,
+                request_id=request.request_id,
+            )
+
+        return self._finish_response(raw, version_key, submit_version, build)
+
+    def submit_score_batch(
+        self, request: ScoreBatchRequest, *, deadline: float | None = None
+    ) -> Future:
+        """Answer one v2 batch frame for one tenant; one scheduler submit.
+
+        The stacked sub-requests all belong to ``request.tenant`` — a
+        batch frame is one client's pipelining amplifier, and one
+        client is one tenant.  Cross-*tenant* coalescing happens a
+        layer down, where the shared-config scheduler stacks many
+        tenants' (batch) submissions into one flush.
+        """
+        name, version_key, submit_version, raw = self._submit_queries(
+            request.queries, request.tenant, request.model,
+            request.want_scores, request.d_hv,
+            ServingAPI._resolve_deadline(request, deadline),
+        )
+
+        def build(result, version):
+            if request.want_scores:
+                scores = np.atleast_2d(np.asarray(result))
+                return ScoreBatchResponse(
+                    predictions=np.argmax(scores, axis=1),
+                    counts=request.counts,
+                    scores=scores,
+                    model=name,
+                    version=version,
+                    request_id=request.request_id,
+                )
+            return ScoreBatchResponse(
+                predictions=np.atleast_1d(np.asarray(result)),
+                counts=request.counts,
+                model=name,
+                version=version,
+                request_id=request.request_id,
+            )
+
+        return self._finish_response(raw, version_key, submit_version, build)
+
+    def predict(self, queries, *, tenant: str | None = None,
+                model: str | None = None) -> np.ndarray:
+        """Labels for one tenant's queries (sync convenience)."""
+        return self.score(
+            ScoreRequest(queries=queries, model=model, tenant=tenant)
+        ).predictions
+
+    def scores(self, queries, *, tenant: str | None = None,
+               model: str | None = None) -> np.ndarray:
+        """Class scores for one tenant's queries (sync convenience)."""
+        return self.score(
+            ScoreRequest(
+                queries=queries, model=model, tenant=tenant,
+                want_scores=True,
+            )
+        ).scores
+
+    def info(
+        self,
+        model: str | None = None,
+        *,
+        request_id: int = 0,
+        tenant: str | None = None,
+    ) -> ModelInfo:
+        """A typed :class:`~repro.proto.ModelInfo` for one tenant's model.
+
+        The per-tenant ``mask_seed`` travels here exactly as for a
+        single-model server — each tenant's clients adopt *their*
+        tenant's mask, nobody else's.
+        """
+        record = self.fleet.resolve(tenant)
+        name = model if model is not None else record.model
+        described = record.registry.describe(name)
+        engine = described.engine
+        artifact = described.artifact
+        if artifact is not None:
+            n_live = artifact.n_live_dims
+            quantizer = artifact.query_quantizer
+            epsilon = artifact.epsilon
+            mask_seed = artifact.mask_seed
+        else:
+            mask = engine.keep_mask
+            n_live = engine.d_hv if mask is None else int(mask.sum())
+            quantizer = (
+                engine.quantizer.name if engine.quantizer is not None else None
+            )
+            epsilon = float("inf")
+            mask_seed = None
+        return ModelInfo(
+            name=name,
+            version=described.version,
+            n_classes=engine.n_classes,
+            d_hv=engine.d_hv,
+            n_live_dims=n_live,
+            backend=engine.backend.name,
+            query_quantizer=quantizer,
+            epsilon=epsilon,
+            mask_seed=mask_seed,
+            request_id=request_id,
+        )
+
+    # ------------------------------------------------------------------
+    # ops endpoints (JSON-safe — the HTTP adapter returns these verbatim)
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Liveness + fleet summary for load balancers and probes."""
+        stats = self.fleet.stats()
+        return {
+            "status": "ok" if stats.tenants else "empty",
+            "models": stats.resident_models,
+            "default_model": self.fleet.default_tenant,
+            "tenants": stats.tenants,
+            "resident_models": stats.resident_models,
+        }
+
+    def models(self) -> dict:
+        """Every *resident* tenant's model summary.
+
+        Deliberately residents-only: a 10^5-tenant fleet's ``/models``
+        should describe what is serving from memory, not enumerate the
+        disk.  ``/tenants`` carries the full count.
+        """
+        out = {}
+        for tenant in self.fleet.resident_tenants():
+            record = self.fleet.resolve(tenant, count=False)
+            registry = record.registry
+            if registry is None:  # pragma: no cover - eviction race
+                continue
+            described = registry.describe(record.model)
+            engine = described.engine
+            out[tenant] = {
+                "model": record.model,
+                "current_version": described.version,
+                "n_classes": engine.n_classes,
+                "d_hv": engine.d_hv,
+                "backend": engine.backend.name,
+                "resident_bytes": record.resident_bytes,
+                "pinned": record.pin,
+            }
+        return out
+
+    def stats(self) -> dict:
+        """Scheduler counters plus the fleet cache counters.
+
+        The ``"fleet"`` key is the satellite the HTTP ``/stats``
+        endpoint surfaces: hits, misses, evictions, resident_bytes,
+        resident_models (see :meth:`FleetStats.as_dict`).
+        """
+        with self._lock:
+            schedulers = {
+                ".".join(map(str, key)): sched.stats
+                for key, sched in self._schedulers.items()
+            }
+        out = {"fleet": self.fleet.stats().as_dict(), "schedulers": {}}
+        for key, stats in schedulers.items():
+            out["schedulers"][key] = {
+                "submitted": stats.submitted,
+                "completed": stats.completed,
+                "failed": stats.failed,
+                "cancelled": stats.cancelled,
+                "rejected": stats.rejected,
+                "expired": stats.expired,
+                "flushes": stats.flushes,
+                "mean_batch_rows": stats.mean_batch_rows,
+                "max_batch_rows": stats.max_batch_rows,
+                "flushes_by_trigger": dict(stats.flushes_by_trigger),
+            }
+        return out
+
+    def tenants_summary(self, top: int = 10) -> dict:
+        """The read-only ``/tenants`` payload: count + top-N by traffic."""
+        stats = self.fleet.stats()
+        return {
+            "count": stats.tenants,
+            "resident": stats.resident_models,
+            "default_tenant": self.fleet.default_tenant,
+            "top": [
+                {"tenant": name, "requests": requests}
+                for name, requests in self.fleet.top_tenants(top)
+                if requests > 0
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain and stop every scheduler; further submissions raise."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            schedulers = list(self._schedulers.values())
+            self._schedulers.clear()
+        for sched in schedulers:
+            sched.close()
+
+    def __enter__(self) -> "FleetAPI":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FleetAPI({self.fleet!r}, coalesce={self.coalesce}, "
+            f"schedulers={len(self._schedulers)})"
+        )

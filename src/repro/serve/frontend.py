@@ -29,8 +29,8 @@ Connection discipline
 
 A thin HTTP/1.0 adapter (:class:`HttpOpsAdapter`, enabled with
 ``http_port``) exposes the ops endpoints — ``/healthz``, ``/models``,
-``/stats`` — as JSON for probes and humans; it serves *metadata only*
-and cannot score.
+``/stats``, and (fleet deployments) ``/tenants`` — as JSON for probes
+and humans; it serves *metadata only* and cannot score.
 
     >>> api = ServingAPI.from_artifact("artifacts/isolet-v1")
     >>> with FrontendHandle(api, port=7411) as handle:   # background thread
@@ -66,7 +66,7 @@ from repro.proto.wire import (
     ProtocolError,
 )
 from repro.serve.api import ServingAPI
-from repro.serve.errors import DeadlineExceeded, Overloaded
+from repro.serve.errors import DeadlineExceeded, Overloaded, TenantNotFound
 from repro.serve.faults import faults
 from repro.serve.loops import new_event_loop
 
@@ -552,7 +552,9 @@ class ServingFrontend:
             if isinstance(message, ModelInfoRequest):
                 request_id = message.request_id
                 response = self.api.info(
-                    message.model, request_id=message.request_id
+                    message.model,
+                    request_id=message.request_id,
+                    tenant=message.tenant,
                 )
             else:
                 response = ErrorReply(
@@ -670,6 +672,15 @@ class ServingFrontend:
             return ErrorReply(
                 code="bad-frame", message=str(exc), request_id=request_id
             )
+        if isinstance(exc, TenantNotFound):
+            # Before the KeyError arm: a missing *tenant* is not a
+            # missing model, and unlike "overloaded" it is not
+            # retryable — the tenant will not appear by waiting.
+            return ErrorReply(
+                code="unknown-tenant",
+                message=str(exc),
+                request_id=request_id,
+            )
         if isinstance(exc, KeyError):
             return ErrorReply(
                 code="unknown-model",
@@ -720,6 +731,14 @@ class ServingFrontend:
                 status, body = 200, self.api.models()
             elif path == "/stats":
                 status, body = 200, self.api.stats()
+            elif path == "/tenants":
+                # Fleet deployments only; a single-model API has no
+                # tenant listing to leak, so the route 404s there.
+                summary = getattr(self.api, "tenants_summary", None)
+                if summary is None:
+                    status, body = 404, {"error": "not a fleet server"}
+                else:
+                    status, body = 200, summary()
             else:
                 status, body = 404, {"error": f"no route {path!r}"}
             payload = json.dumps(body, indent=2, sort_keys=True).encode()

@@ -78,7 +78,7 @@ __all__ = ["WorkerPool"]
 
 
 def _worker_main(
-    artifact_path: str,
+    artifact_path: str | None,
     name: str,
     host: str,
     port: int,
@@ -89,6 +89,9 @@ def _worker_main(
     supported_versions: tuple[int, ...] | None,
     frontend_config: FrontendConfig | None = None,
     loop: str = "asyncio",
+    fleet_dir: str | None = None,
+    cache_bytes: int | None = None,
+    coalesce: bool = True,
     verify: bool = True,
 ) -> None:
     """One acceptor process: frontend + registry + control-pipe listener.
@@ -98,10 +101,19 @@ def _worker_main(
     registry swap is ordered with connection handling exactly like an
     in-process promote: batches in flight finish on their version, the
     next flush resolves the new one, zero requests dropped.
+
+    With ``fleet_dir`` set the worker serves a
+    :class:`~repro.serve.fleet.FleetAPI` instead of a single model:
+    every worker scans the same tenant directory and runs its own LRU
+    cache (residency is per-worker, page-cache sharing comes from the
+    mmap loads), and the fleet control ops (``add_tenant``,
+    tenant-scoped ``load``/``promote``) apply to each worker's fleet.
     """
     import asyncio
 
     from repro.serve.api import ServingAPI
+    from repro.serve.errors import TenantNotFound
+    from repro.serve.fleet import FleetAPI, ModelFleet
     from repro.serve.frontend import ServingFrontend
     from repro.serve.loops import new_event_loop
 
@@ -109,16 +121,42 @@ def _worker_main(
     # in-memory fault rules do not carry over — the environment does.
     faults.arm_from_env()
     try:
-        # verify=False: the pool parent hashed this directory once
-        # before spawning the fleet, so K workers skip K redundant
-        # full-store SHA-256 passes (shape/dtype still checked).
-        api = ServingAPI.from_artifact(
-            artifact_path, name=name, config=config, mmap=mmap, verify=verify
-        )
+        if fleet_dir is not None:
+            api = FleetAPI(
+                ModelFleet.from_dir(fleet_dir, cache_bytes=cache_bytes),
+                config=config,
+                coalesce=coalesce,
+            )
+        else:
+            # verify=False: the pool parent hashed this directory once
+            # before spawning the fleet, so K workers skip K redundant
+            # full-store SHA-256 passes (shape/dtype still checked).
+            api = ServingAPI.from_artifact(
+                artifact_path, name=name, config=config, mmap=mmap,
+                verify=verify,
+            )
     except BaseException as exc:  # noqa: BLE001 — reported to the parent
         conn.send({"ready": False, "error": f"{type(exc).__name__}: {exc}"})
         conn.close()
         return
+
+    def _tenant_registry(tenant: str | None):
+        """The registry a (possibly tenant-scoped) control op targets."""
+        fleet = getattr(api, "fleet", None)
+        if fleet is not None:
+            return fleet.registry_for(tenant)
+        if tenant is not None:
+            raise TenantNotFound(
+                f"worker serves a single model, not tenant {tenant!r}",
+                tenant=tenant,
+            )
+        return api.registry
+
+    def _tenant_model(tenant: str | None) -> str:
+        fleet = getattr(api, "fleet", None)
+        if fleet is not None:
+            return fleet.resolve(tenant, count=False).model
+        return name
 
     async def _run() -> None:
         frontend = ServingFrontend(
@@ -174,16 +212,17 @@ def _worker_main(
                 # registry's promote — a dict swap under its own lock —
                 # lands synchronously inside it.
                 async def do_load() -> None:
-                    try:
-                        version = await loop.run_in_executor(
-                            None,
-                            lambda: api.registry.load(
-                                command.get("model") or name,
-                                command["path"],
-                                mmap=mmap,
-                                verify=command.get("verify", True),
-                            ),
+                    def _apply() -> int:
+                        tenant = command.get("tenant")
+                        return _tenant_registry(tenant).load(
+                            command.get("model") or _tenant_model(tenant),
+                            command["path"],
+                            mmap=mmap,
+                            verify=command.get("verify", True),
                         )
+
+                    try:
+                        version = await loop.run_in_executor(None, _apply)
                         send_reply({"ok": True, "version": version})
                     except Exception as exc:  # noqa: BLE001 — reported
                         send_reply(
@@ -200,10 +239,28 @@ def _worker_main(
                 elif op == "ping":
                     reply = {"ok": True, "pid": multiprocessing.current_process().pid}
                 elif op == "promote":
-                    api.registry.promote(
-                        command.get("model") or name, command["version"]
+                    tenant = command.get("tenant")
+                    _tenant_registry(tenant).promote(
+                        command.get("model") or _tenant_model(tenant),
+                        command["version"],
                     )
                     reply = {"ok": True}
+                elif op == "add_tenant":
+                    fleet = getattr(api, "fleet", None)
+                    if fleet is None:
+                        reply = {
+                            "ok": False,
+                            "error": "add_tenant needs a fleet worker "
+                                     "(start the pool with fleet_dir=...)",
+                        }
+                    else:
+                        fleet.add_tenant(
+                            command["tenant"],
+                            command["path"],
+                            model=command.get("model") or "model",
+                            pin=command.get("pin", False),
+                        )
+                        reply = {"ok": True}
                 elif op == "inject":
                     faults.arm(command["spec"])
                     reply = {"ok": True}
@@ -249,7 +306,17 @@ class WorkerPool:
     ----------
     artifact_path:
         Directory of the :class:`~repro.serve.ModelArtifact` every
-        worker loads (checksum-verified, read-only).
+        worker loads (checksum-verified, read-only).  Mutually
+        exclusive with ``fleet_dir``.
+    fleet_dir:
+        Directory of per-tenant artifact directories: each worker
+        serves a :class:`~repro.serve.fleet.FleetAPI` over it, with a
+        per-worker ``cache_bytes`` LRU budget (tenants admit lazily;
+        the mmap loads share page-cache across workers) and
+        cross-tenant coalescing unless ``coalesce=False``.
+    cache_bytes, coalesce:
+        Fleet-mode knobs, forwarded to each worker's
+        :class:`~repro.serve.fleet.ModelFleet` / ``FleetAPI``.
     name:
         Registry name the artifact is served under in each worker.
     workers:
@@ -301,8 +368,11 @@ class WorkerPool:
 
     def __init__(
         self,
-        artifact_path: str | Path,
+        artifact_path: str | Path | None = None,
         *,
+        fleet_dir: str | Path | None = None,
+        cache_bytes: int | None = None,
+        coalesce: bool = True,
         name: str = "model",
         workers: int = 2,
         host: str = "127.0.0.1",
@@ -320,12 +390,20 @@ class WorkerPool:
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if (artifact_path is None) == (fleet_dir is None):
+            raise ValueError(
+                "give exactly one of artifact_path (single model) or "
+                "fleet_dir (multi-tenant fleet)"
+            )
         if not hasattr(socket, "SO_REUSEPORT"):
             raise RuntimeError(
                 "WorkerPool needs SO_REUSEPORT, which this platform "
                 "does not provide; run a single ServingFrontend instead"
             )
-        self.artifact_path = str(artifact_path)
+        self.artifact_path = (
+            None if artifact_path is None else str(artifact_path)
+        )
+        self.fleet_dir = None if fleet_dir is None else str(fleet_dir)
         self.name = name
         self.workers = workers
         self.host = host
@@ -348,8 +426,23 @@ class WorkerPool:
         # one time (and warms the page cache the workers' mmaps hit)
         # instead of K times, and a corrupt artifact fails fast with
         # the parent's traceback rather than K worker-startup errors.
+        # A fleet dir is only *listed* here — its tenants load lazily,
+        # checksum-verified per admission, so a 10k-tenant fleet does
+        # not hash 10k artifacts at startup.
         try:
-            ModelArtifact.load(self.artifact_path, mmap=True)
+            if self.fleet_dir is not None:
+                root = Path(self.fleet_dir)
+                if not any(
+                    (entry / "manifest.json").is_file()
+                    for entry in root.iterdir()
+                    if entry.is_dir()
+                ):
+                    raise ValueError(
+                        f"fleet dir {root} holds no artifact "
+                        "subdirectories"
+                    )
+            else:
+                ModelArtifact.load(self.artifact_path, mmap=True)
         except Exception as exc:
             if self._placeholder is not None:
                 self._placeholder.close()
@@ -364,7 +457,13 @@ class WorkerPool:
             supported_versions,
             frontend_config,
             loop,
-            False,  # verify: parent just did, workers skip the re-hash
+            self.fleet_dir,
+            cache_bytes,
+            coalesce,
+            # verify: the parent just hashed a single artifact, so its
+            # workers skip the re-hash; fleet workers verify lazily at
+            # each tenant's admission instead.
+            self.fleet_dir is not None,
         )
         self._start_timeout_s = start_timeout_s
         self._ping_timeout_s = ping_timeout_s
@@ -551,8 +650,18 @@ class WorkerPool:
             for r in self._broadcast({"op": "ping"}, timeout_s=timeout_s)
         ]
 
-    def load(self, path: str | Path, *, model: str | None = None) -> int:
+    def load(
+        self,
+        path: str | Path,
+        *,
+        model: str | None = None,
+        tenant: str | None = None,
+    ) -> int:
         """Hot-swap every worker to a new artifact directory.
+
+        ``tenant`` scopes the swap to one fleet tenant's registry
+        (fleet pools only) — the same zero-dropped-request promote,
+        applied to that tenant on every worker.
 
         Each worker loads (checksum-verified) and promotes the artifact
         through its local registry — the same atomic swap a single
@@ -586,6 +695,7 @@ class WorkerPool:
             "op": "load",
             "path": str(path),
             "model": model,
+            "tenant": tenant,
             "verify": False,
         }
         with self._lock:
@@ -604,14 +714,58 @@ class WorkerPool:
             )
         return versions[0]
 
-    def promote(self, version: int, *, model: str | None = None) -> None:
+    def promote(
+        self,
+        version: int,
+        *,
+        model: str | None = None,
+        tenant: str | None = None,
+    ) -> None:
         """Atomically point every worker at an already-loaded version.
 
         The rollback path: after ``load`` bumped the fleet to vN,
         ``promote(vN-1)`` swings every worker back with zero dropped
         requests.  Recorded in the replay log exactly like ``load``.
+        ``tenant`` scopes the promote to one fleet tenant.
         """
-        entry = {"op": "promote", "version": int(version), "model": model}
+        entry = {
+            "op": "promote",
+            "version": int(version),
+            "model": model,
+            "tenant": tenant,
+        }
+        with self._lock:
+            self._registry_log.append(entry)
+            try:
+                self._broadcast(entry)
+            except WorkerLost:
+                raise  # survivors applied it; keep the entry for replay
+            except BaseException:
+                self._registry_log.remove(entry)
+                raise
+
+    def add_tenant(
+        self,
+        tenant: str,
+        path: str | Path,
+        *,
+        model: str = "model",
+        pin: bool = False,
+    ) -> None:
+        """Register a new fleet tenant on every worker (fleet pools only).
+
+        The registration is lazy on each worker (a path, not a load —
+        each worker's LRU cache admits the tenant on first traffic) and
+        is recorded in the replay log, so a respawned worker converges
+        on the same tenant set.
+        """
+        entry = {
+            "op": "add_tenant",
+            "tenant": tenant,
+            "path": str(path),
+            "model": model,
+            "pin": pin,
+        }
         with self._lock:
             self._registry_log.append(entry)
             try:
@@ -815,7 +969,8 @@ class WorkerPool:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "stopped" if self._stopped else f"{self.workers} workers"
+        source = self.artifact_path or self.fleet_dir
         return (
-            f"WorkerPool({self.artifact_path!r}, {state}, "
+            f"WorkerPool({source!r}, {state}, "
             f"{self.host}:{self.port})"
         )

@@ -232,3 +232,87 @@ class TestStructuralEnforcement:
             "mask_seed",
             "request_id",
         }
+
+
+class TestFleetTenantSniffing:
+    """Protocol v4: the tenant key is a routing label, nothing more.
+
+    Tenant-addressed sessions must leak exactly as little as
+    single-model sessions — the key itself is plaintext (documented in
+    privacy-model.md: isolation is routing-level, not cryptographic),
+    but it never smuggles features or codebooks, and per-tenant
+    metadata (the deployment mask seed) flows through v4 ModelInfo
+    exactly as it did through v2.
+    """
+
+    @pytest.fixture()
+    def fleet_served(self, encoder, features):
+        from repro.serve import FleetAPI, ModelFleet
+        from repro.hd.prune import mask_from_seed
+
+        rng = spawn(9, "privacy-fleet")
+        y = rng.integers(0, N_CLASSES, len(features))
+        model = HDModel.from_encodings(
+            encoder.encode(features), y, N_CLASSES
+        )
+        plain = ModelArtifact.build(
+            model, quantizer="bipolar", backend="packed", encoder=encoder
+        )
+        seed, n_masked = 21, D_HV // 2
+        pruned = ModelArtifact.build(
+            model,
+            quantizer="bipolar",
+            backend="packed",
+            encoder=encoder,
+            keep_mask=mask_from_seed(D_HV, n_masked, seed),
+            mask_seed=seed,
+        )
+        fleet = ModelFleet()
+        fleet.add_tenant("alice", plain)
+        fleet.add_tenant("bob", plain)
+        fleet.add_tenant("pruned", pruned)
+        api = FleetAPI(fleet)
+        with FrontendHandle(api) as handle:
+            yield handle, seed, n_masked
+        api.close()
+
+    def test_tenant_session_leaks_no_features_or_codebooks(
+        self, fleet_served, encoder, features
+    ):
+        handle, _, _ = fleet_served
+        with SniffingClient(
+            handle.address, encoder=encoder, tenant="bob"
+        ) as client:
+            client.predict(features)
+            client.scores(features[:4])
+            client.model_info()
+            wire = client.wire_bytes
+            obf = client.obfuscator
+
+        assert len(wire) > 0
+        for blob in _forbidden_feature_bytes(features):
+            assert blob not in wire
+        for blob in _forbidden_codebook_bytes(encoder):
+            assert blob not in wire
+        # What the v4 frames add is the routing label, in the clear —
+        # and the payload is still exactly the obfuscated bit planes.
+        assert b"bob" in wire
+        intended = obf.prepare_packed(features)
+        assert intended.signs.tobytes() in wire
+
+    def test_per_tenant_mask_seed_flows_through_v4_model_info(
+        self, fleet_served, encoder
+    ):
+        handle, seed, n_masked = fleet_served
+        with PriveHDClient(
+            handle.address, encoder=encoder, tenant="pruned"
+        ) as client:
+            assert client.protocol_version == 4
+            assert client.info.mask_seed == seed
+            # The client rebuilt its obfuscator from the wire-shared
+            # seed — the same v2 behavior, now per-tenant.
+            assert client.obfuscator.config.n_masked == n_masked
+        with PriveHDClient(
+            handle.address, encoder=encoder, tenant="alice"
+        ) as client:
+            assert client.info.mask_seed is None  # her model is unpruned

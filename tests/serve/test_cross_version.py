@@ -190,3 +190,103 @@ class TestRawV1Connection:
             sock.close()
             handle.close()
             api.close()
+
+
+class TestTenantCrossVersion:
+    """Protocol v4 tenant addressing across versions, on real sockets.
+
+    Three guarantees: pre-v4 clients keep working against a fleet
+    (served by the default tenant, unmodified); a tenant-addressed
+    client against a pre-v4 server fails *typed at connect*, never
+    silently downgrading to someone else's model; an unknown tenant is
+    a typed refusal on a connection that stays usable.
+    """
+
+    @pytest.fixture(scope="class")
+    def fleet_task(self):
+        from repro.serve import FleetAPI, ModelFleet
+
+        rng = spawn(3, "tenant-xver")
+        artifacts = {}
+        for i, name in enumerate(("alice", "bob")):
+            class_hvs = rng.choice(
+                np.array([-1.0, 1.0], dtype=np.float32),
+                size=(N_CLASSES, D_HV),
+            )
+            artifacts[name] = ModelArtifact(
+                class_hvs=class_hvs,
+                query_quantizer="bipolar",
+                store_quantizer="bipolar",
+                backend="packed",
+            )
+        queries = pack_hypervectors(
+            rng.choice(
+                np.array([-1.0, 1.0], dtype=np.float32), size=(12, D_HV)
+            )
+        )
+        offline = {
+            name: artifact.engine().predict(queries.unpack(np.float32))
+            for name, artifact in artifacts.items()
+        }
+        fleet = ModelFleet()
+        for name, artifact in artifacts.items():
+            fleet.add_tenant(name, artifact)
+        api = FleetAPI(fleet)
+        handle = FrontendHandle(api)
+        yield handle, queries, offline
+        handle.close()
+        api.close()
+
+    def test_v4_clients_reach_their_own_tenant(self, fleet_task):
+        handle, queries, offline = fleet_task
+        for name in ("alice", "bob"):
+            with PriveHDClient(handle.address, tenant=name) as client:
+                assert client.protocol_version == 4
+                np.testing.assert_array_equal(
+                    client.predict_encoded(queries), offline[name]
+                )
+
+    @pytest.mark.parametrize("versions", [(1,), (1, 2), (1, 2, 3)])
+    def test_pre_v4_clients_get_the_default_tenant(
+        self, fleet_task, versions
+    ):
+        handle, queries, offline = fleet_task
+        with PriveHDClient(handle.address, versions=versions) as client:
+            assert client.protocol_version == max(versions)
+            np.testing.assert_array_equal(
+                client.predict_encoded(queries), offline["alice"]
+            )
+
+    def test_tenant_client_refuses_a_pre_v4_server(self, task):
+        """The codec *could* silently drop the tenant on a v3 wire —
+        which would answer from the default tenant's model.  The client
+        must refuse at connect instead."""
+        _, artifact, _, _ = task
+        api, handle = _serve(artifact, supported_versions=(1, 2, 3))
+        try:
+            with pytest.raises(Exception, match="v4"):
+                PriveHDClient(handle.address, tenant="alice", timeout=10.0)
+        finally:
+            handle.close()
+            api.close()
+
+    def test_unknown_tenant_is_typed_and_nonfatal(self, fleet_task):
+        from repro.serve import TenantNotFound
+
+        handle, queries, offline = fleet_task
+        # The client fetches ModelInfo at connect, so a bad tenant key
+        # fails fast at construction — typed, with the key attached.
+        with pytest.raises(TenantNotFound) as exc_info:
+            PriveHDClient(handle.address, tenant="mallory")
+        assert exc_info.value.tenant == "mallory"
+        # The refusal left the server serving: a valid tenant still works.
+        with PriveHDClient(handle.address, tenant="bob") as client:
+            np.testing.assert_array_equal(
+                client.predict_encoded(queries), offline["bob"]
+            )
+
+    def test_model_info_resolves_in_the_tenants_namespace(self, fleet_task):
+        handle, _, _ = fleet_task
+        with PriveHDClient(handle.address, tenant="bob") as client:
+            assert client.info.d_hv == D_HV
+            assert client.info.name == "model"

@@ -1,0 +1,408 @@
+"""ModelFleet / FleetAPI: LRU cache, tenant routing, coalesced scoring.
+
+The multi-tenant contract, unit-tested:
+
+* the fused cross-tenant kernel is bit-identical to scoring each row
+  against its own tenant with ``packed_class_scores`` (bipolar *and*
+  ternary stores);
+* the LRU admits lazily, verifies checksums once at admission, evicts
+  oldest-unpinned-first under a byte budget, and **re-verifies** on
+  reload after eviction (a corrupted artifact is caught, not served);
+* tenant routing never crosses streams — coalesced or not, under
+  concurrency, every answer matches that tenant's own offline engine;
+* unknown tenants fail typed (`TenantNotFound`), including on a
+  single-model `ServingAPI`.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.backend.packed import (
+    pack_hypervectors,
+    packed_class_scores,
+    packed_norms,
+)
+from repro.proto import ModelInfoRequest, ScoreBatchRequest, ScoreRequest
+from repro.serve import (
+    DEFAULT_TENANT,
+    FleetAPI,
+    ModelArtifact,
+    ModelFleet,
+    ServingAPI,
+    TenantNotFound,
+    fused_tenant_scores,
+)
+from repro.serve.artifact import ArtifactError
+from repro.utils import spawn
+
+D_HV, N_CLASSES = 512, 5
+
+
+def _artifact(seed, d_hv=D_HV, n_classes=N_CLASSES):
+    rng = spawn(seed, "fleet-tests")
+    class_hvs = rng.choice(
+        np.array([-1.0, 1.0], dtype=np.float32), size=(n_classes, d_hv)
+    )
+    return ModelArtifact(
+        class_hvs=class_hvs,
+        query_quantizer="bipolar",
+        store_quantizer="bipolar",
+        backend="packed",
+    )
+
+
+def _queries(n, d_hv=D_HV, seed=99):
+    rng = spawn(seed, "fleet-test-queries")
+    return pack_hypervectors(
+        rng.choice(np.array([-1.0, 1.0], dtype=np.float32), size=(n, d_hv))
+    )
+
+
+def _save_fleet_dir(tmp_path, names, *, d_hv=D_HV):
+    root = tmp_path / "fleet"
+    for i, name in enumerate(names):
+        _artifact(i, d_hv=d_hv).save(root / name)
+    return root
+
+
+class TestFusedKernel:
+    @pytest.mark.parametrize("d", [64, 130, 512])  # incl. tail-word dims
+    def test_bit_identical_to_per_tenant_packed_scores(self, d):
+        rng = spawn(5, "fused-kernel")
+        stores = [
+            pack_hypervectors(
+                rng.choice([-1.0, 1.0], size=(N_CLASSES, d)).astype(
+                    np.float32
+                )
+            )
+            for _ in range(3)
+        ]
+        queries = _queries(11, d_hv=d, seed=6)
+        tenant_of_row = rng.integers(0, 3, size=11)
+        fused = fused_tenant_scores(
+            queries.signs,
+            queries.mags,
+            np.stack([s.signs for s in stores]),
+            np.stack([s.mags for s in stores]),
+            np.stack([packed_norms(s) for s in stores]),
+            tenant_of_row,
+        )
+        for row, t in enumerate(tenant_of_row):
+            expect = packed_class_scores(queries[row : row + 1], stores[t])
+            np.testing.assert_array_equal(fused[row : row + 1], expect)
+
+    def test_ternary_stores_score_exactly(self):
+        """Masked (pruned) stores have zero dims; the fused ternary
+        formula must match the general packed path on them too."""
+        rng = spawn(7, "fused-ternary")
+        values = rng.choice(
+            [-1.0, 0.0, 1.0], size=(2, N_CLASSES, 130)
+        ).astype(np.float32)
+        stores = [pack_hypervectors(v) for v in values]
+        queries = _queries(8, d_hv=130, seed=8)
+        tenant_of_row = np.array([0, 1] * 4)
+        fused = fused_tenant_scores(
+            queries.signs,
+            queries.mags,
+            np.stack([s.signs for s in stores]),
+            np.stack([s.mags for s in stores]),
+            np.stack([packed_norms(s) for s in stores]),
+            tenant_of_row,
+        )
+        for row, t in enumerate(tenant_of_row):
+            expect = packed_class_scores(queries[row : row + 1], stores[t])
+            np.testing.assert_array_equal(fused[row : row + 1], expect)
+
+
+class TestModelFleet:
+    def test_first_tenant_becomes_default(self):
+        fleet = ModelFleet()
+        fleet.add_tenant("alice", _artifact(0))
+        fleet.add_tenant("bob", _artifact(1))
+        assert fleet.default_tenant == "alice"
+        assert fleet.resolve().name == "alice"
+        assert fleet.resolve("bob").name == "bob"
+
+    def test_unknown_tenant_is_typed(self):
+        fleet = ModelFleet()
+        fleet.add_tenant("alice", _artifact(0))
+        with pytest.raises(TenantNotFound) as exc_info:
+            fleet.resolve("mallory")
+        assert exc_info.value.tenant == "mallory"
+        with pytest.raises(TenantNotFound):
+            fleet.pin("mallory")
+
+    def test_duplicate_tenant_refused(self):
+        fleet = ModelFleet()
+        fleet.add_tenant("alice", _artifact(0))
+        with pytest.raises(ValueError, match="already registered"):
+            fleet.add_tenant("alice", _artifact(1))
+
+    def test_bad_cache_budget_refused(self):
+        with pytest.raises(ValueError, match="cache_bytes"):
+            ModelFleet(cache_bytes=0)
+
+    def test_from_dir_discovers_sorted_and_lazily(self, tmp_path):
+        root = _save_fleet_dir(tmp_path, ["t2", "t0", "t1"])
+        (root / "not-a-tenant").mkdir()  # no manifest -> ignored
+        fleet = ModelFleet.from_dir(root)
+        assert fleet.tenants() == ("t0", "t1", "t2")
+        assert fleet.default_tenant == "t0"
+        assert fleet.stats().resident_models == 0  # nothing loaded yet
+
+    def test_from_dir_prefers_a_literal_default_subdir(self, tmp_path):
+        root = _save_fleet_dir(tmp_path, ["zeta", DEFAULT_TENANT])
+        assert ModelFleet.from_dir(root).default_tenant == DEFAULT_TENANT
+
+    def test_from_dir_refuses_empty(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(ValueError, match="no artifact"):
+            ModelFleet.from_dir(tmp_path / "empty")
+
+    def test_lru_evicts_oldest_unpinned_first(self, tmp_path):
+        root = _save_fleet_dir(tmp_path, [f"t{i}" for i in range(5)])
+        probe = ModelFleet.from_dir(root)
+        probe.resolve("t0")
+        per_tenant = probe.stats().resident_bytes
+
+        fleet = ModelFleet.from_dir(root, cache_bytes=2 * per_tenant)
+        for name in ("t0", "t1", "t2"):
+            fleet.resolve(name)
+        assert fleet.resident_tenants() == ("t1", "t2")
+        stats = fleet.stats()
+        assert stats.evictions == 1
+        assert stats.resident_bytes == 2 * per_tenant
+
+        # Touching t1 refreshes it: t2 is now the LRU victim.
+        fleet.resolve("t1")
+        fleet.resolve("t3")
+        assert fleet.resident_tenants() == ("t1", "t3")
+
+    def test_pinned_tenants_survive_pressure(self, tmp_path):
+        root = _save_fleet_dir(tmp_path, [f"t{i}" for i in range(4)])
+        probe = ModelFleet.from_dir(root)
+        probe.resolve("t0")
+        per_tenant = probe.stats().resident_bytes
+
+        fleet = ModelFleet.from_dir(root, cache_bytes=2 * per_tenant)
+        fleet.resolve("t0")
+        fleet.pin("t0")
+        fleet.resolve("t1")
+        fleet.resolve("t2")
+        fleet.resolve("t3")
+        assert fleet.is_resident("t0")  # pinned through all evictions
+        assert fleet.stats().pinned == 1
+        fleet.unpin("t0")
+        fleet.resolve("t1")
+        fleet.resolve("t2")
+        assert not fleet.is_resident("t0")
+
+    def test_single_oversized_tenant_still_serves(self, tmp_path):
+        root = _save_fleet_dir(tmp_path, ["big"])
+        fleet = ModelFleet.from_dir(root, cache_bytes=1)
+        assert fleet.resolve("big").registry is not None
+        assert fleet.is_resident("big")
+
+    def test_in_memory_tenants_are_never_evicted(self, tmp_path):
+        root = _save_fleet_dir(tmp_path, ["disk"])
+        fleet = ModelFleet(cache_bytes=1)
+        fleet.add_tenant("mem", _artifact(0))
+        fleet.add_tenant("disk", root / "disk")
+        fleet.resolve("mem")
+        fleet.resolve("disk")
+        # "mem" has no path to reload from, so it must stay resident
+        # even though the two of them are far over budget.
+        assert fleet.is_resident("mem")
+
+    def test_reload_after_eviction_reverifies_checksums(self, tmp_path):
+        root = _save_fleet_dir(tmp_path, ["victim", "other"])
+        probe = ModelFleet.from_dir(root)
+        probe.resolve("victim")
+        per_tenant = probe.stats().resident_bytes
+
+        fleet = ModelFleet.from_dir(root, cache_bytes=per_tenant)
+        queries = _queries(3)
+        FleetAPI(fleet).predict(queries, tenant="victim")  # admit, verify
+        fleet.resolve("other")  # evicts victim
+        assert not fleet.is_resident("victim")
+
+        # Corrupt the evicted tenant's tensors on disk: the lazy
+        # reload must re-verify and refuse, not serve garbage.
+        tensors = root / "victim" / "tensors.npz"
+        blob = bytearray(tensors.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        tensors.write_bytes(bytes(blob))
+        with pytest.raises(ArtifactError, match="checksum"):
+            fleet.resolve("victim")
+
+    def test_stats_count_hits_misses_and_traffic(self, tmp_path):
+        root = _save_fleet_dir(tmp_path, ["a", "b"])
+        fleet = ModelFleet.from_dir(root)
+        fleet.resolve("a")  # miss (first admission)
+        fleet.resolve("a")  # hit
+        fleet.resolve("b")  # miss
+        stats = fleet.stats()
+        assert (stats.hits, stats.misses, stats.evictions) == (1, 2, 0)
+        assert 0 < stats.hit_rate < 1
+        assert stats.as_dict()["tenants"] == 2
+        assert fleet.top_tenants(1) == [("a", 2)]
+
+
+class TestFleetAPIRouting:
+    @pytest.fixture()
+    def trio(self):
+        """alice and bob share a coalescing group; carol (256 dims)
+        flushes alone."""
+        fleet = ModelFleet()
+        artifacts = {
+            "alice": _artifact(0),
+            "bob": _artifact(1),
+            "carol": _artifact(2, d_hv=256),
+        }
+        for name, artifact in artifacts.items():
+            fleet.add_tenant(name, artifact)
+        api = FleetAPI(fleet)
+        yield api, artifacts
+        api.close()
+
+    @pytest.mark.parametrize("coalesce", [True, False])
+    def test_every_tenant_gets_its_own_answers(self, trio, coalesce):
+        api, artifacts = trio
+        if not coalesce:
+            api = FleetAPI(api.fleet, coalesce=False)
+        for name, artifact in artifacts.items():
+            queries = _queries(16, d_hv=artifact.d_hv, seed=42)
+            offline = artifact.engine()
+            dense = queries.unpack(np.float32)
+            np.testing.assert_array_equal(
+                api.predict(queries, tenant=name), offline.predict(dense)
+            )
+            np.testing.assert_array_equal(
+                api.scores(queries, tenant=name), offline.scores(dense)
+            )
+
+    def test_shared_config_tenants_share_a_scheduler(self, trio):
+        api, artifacts = trio
+        for name, artifact in artifacts.items():
+            api.predict(_queries(2, d_hv=artifact.d_hv), tenant=name)
+        keys = [k for k in api.stats()["schedulers"] if k.startswith("group")]
+        assert len(keys) == 2  # alice+bob share one; carol has her own
+
+    def test_default_tenant_serves_untagged_requests(self, trio):
+        api, artifacts = trio
+        queries = _queries(4)
+        np.testing.assert_array_equal(
+            api.predict(queries),  # no tenant key — pre-v4 client shape
+            artifacts["alice"].engine().predict(queries.unpack(np.float32)),
+        )
+
+    def test_unknown_tenant_fails_typed_at_submit(self, trio):
+        api, _ = trio
+        with pytest.raises(TenantNotFound, match="mallory"):
+            api.score(ScoreRequest(queries=_queries(2), tenant="mallory"))
+        with pytest.raises(TenantNotFound):
+            api.info(tenant="mallory")
+
+    def test_wrong_dimensionality_is_refused(self, trio):
+        api, _ = trio
+        with pytest.raises(ValueError, match="128 dimensions"):
+            api.predict(_queries(2, d_hv=128), tenant="alice")
+
+    def test_batch_requests_route_by_tenant(self, trio):
+        api, artifacts = trio
+        queries = _queries(6, seed=13)
+        response = api.score_batch(
+            ScoreBatchRequest(queries=queries, counts=(4, 2), tenant="bob")
+        )
+        np.testing.assert_array_equal(
+            response.predictions,
+            artifacts["bob"].engine().predict(queries.unpack(np.float32)),
+        )
+
+    def test_info_reports_the_tenants_own_shape(self, trio):
+        api, _ = trio
+        assert api.info(tenant="carol").d_hv == 256
+        assert api.info(tenant="alice").d_hv == D_HV
+        assert api.info().d_hv == D_HV  # default tenant
+
+    def test_model_info_request_path_carries_tenant(self, trio):
+        api, _ = trio
+        request = ModelInfoRequest(request_id=5, tenant="carol")
+        info = api.info(
+            request.model, request_id=request.request_id,
+            tenant=request.tenant,
+        )
+        assert (info.d_hv, info.request_id) == (256, 5)
+
+    def test_ops_surfaces_have_fleet_shape(self, trio):
+        api, _ = trio
+        api.predict(_queries(1), tenant="bob")
+        health = api.health()
+        assert health["tenants"] == 3
+        assert health["status"] == "ok"
+        stats = api.stats()
+        assert set(stats) == {"fleet", "schedulers"}
+        assert stats["fleet"]["tenants"] == 3
+        summary = api.tenants_summary(top=2)
+        assert summary["count"] == 3
+        assert summary["default_tenant"] == "alice"
+        assert any(t["tenant"] == "bob" for t in summary["top"])
+
+
+class TestFleetConcurrency:
+    def test_eviction_churn_never_crosses_tenants(self, tmp_path):
+        """Threads hammer 6 disk tenants through a 2-tenant cache: every
+        answer must match that tenant's offline engine even while the
+        LRU constantly admits, evicts, and (verified) reloads."""
+        names = [f"t{i}" for i in range(6)]
+        root = _save_fleet_dir(tmp_path, names)
+        offline = {
+            name: ModelArtifact.load(root / name).engine()
+            for name in names
+        }
+        probe = ModelFleet.from_dir(root)
+        probe.resolve("t0")
+        per_tenant = probe.stats().resident_bytes
+
+        fleet = ModelFleet.from_dir(root, cache_bytes=2 * per_tenant)
+        queries = _queries(4, seed=77)
+        expected = {
+            name: engine.predict(queries.unpack(np.float32))
+            for name, engine in offline.items()
+        }
+        failures = []
+
+        with FleetAPI(fleet) as api:
+            def hammer(worker):
+                for round_ in range(12):
+                    name = names[(worker + round_) % len(names)]
+                    got = api.predict(queries, tenant=name)
+                    if not np.array_equal(got, expected[name]):
+                        failures.append((worker, round_, name))
+
+            threads = [
+                threading.Thread(target=hammer, args=(w,)) for w in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = fleet.stats()
+
+        assert failures == []
+        assert stats.evictions > 0  # the cache actually churned
+        assert stats.resident_bytes <= 2 * per_tenant
+
+
+class TestSingleModelServerRefusesTenants:
+    def test_serving_api_raises_tenant_not_found(self):
+        api = ServingAPI.from_artifact(_artifact(3), name="solo")
+        try:
+            with pytest.raises(TenantNotFound, match="single model"):
+                api.score(ScoreRequest(queries=_queries(2), tenant="alice"))
+            with pytest.raises(TenantNotFound):
+                api.info(tenant="alice")
+        finally:
+            api.close()

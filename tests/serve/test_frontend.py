@@ -549,3 +549,54 @@ class TestHotSwapOverTheWire:
                 )
                 assert client.model_info().version == 2
         api.close()
+
+
+class TestFleetHttpOps:
+    """The fleet additions to the ops port: /tenants and fleet /stats."""
+
+    def _get(self, handle, route):
+        host, port = handle.http_address
+        with urllib.request.urlopen(
+            f"http://{host}:{port}{route}", timeout=10
+        ) as resp:
+            return resp.status, json.load(resp)
+
+    @pytest.fixture()
+    def fleet_served(self, artifact):
+        from repro.serve import FleetAPI, ModelFleet
+
+        fleet = ModelFleet()
+        fleet.add_tenant("alice", artifact)
+        fleet.add_tenant("bob", artifact)
+        api = FleetAPI(fleet)
+        with FrontendHandle(api, http_port=0) as handle:
+            yield api, handle
+        api.close()
+
+    def test_tenants_route_reports_count_and_top_talkers(
+        self, fleet_served, encoder, fixture_task
+    ):
+        X, _, _ = fixture_task
+        api, handle = fleet_served
+        with PriveHDClient(
+            handle.address, encoder=encoder, tenant="bob"
+        ) as client:
+            client.predict(X[:4])
+        status, body = self._get(handle, "/tenants")
+        assert status == 200
+        assert body["count"] == 2
+        assert body["default_tenant"] == "alice"
+        assert any(t["tenant"] == "bob" for t in body["top"])
+
+    def test_stats_route_carries_fleet_counters(self, fleet_served):
+        _, handle = fleet_served
+        status, stats = self._get(handle, "/stats")
+        assert status == 200
+        assert stats["fleet"]["tenants"] == 2
+        assert "hit_rate" in stats["fleet"]
+
+    def test_tenants_route_404s_on_a_single_model_server(self, served):
+        _, handle = served
+        with pytest.raises(urllib.error.HTTPError) as err:
+            self._get(handle, "/tenants")
+        assert err.value.code == 404

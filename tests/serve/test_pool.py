@@ -218,3 +218,93 @@ class TestPoolLifecycle:
     def test_workers_must_be_positive(self, saved):
         with pytest.raises(ValueError, match="workers"):
             WorkerPool(saved[0], workers=0)
+
+
+class TestMultiTenantPool:
+    """A WorkerPool serving a fleet directory: every worker runs its
+    own :class:`~repro.serve.ModelFleet` over the same artifact subdirs
+    (one page-cache copy via mmap), and tenant-scoped control ops
+    broadcast over the existing pipe."""
+
+    @pytest.fixture(scope="class")
+    def fleet_dir(self, tmp_path_factory, artifact_v1, artifact_v2):
+        root = tmp_path_factory.mktemp("pool-fleet")
+        artifact_v1.save(root / "alice")
+        artifact_v2.save(root / "bob")
+        return root
+
+    @pytest.fixture(scope="class")
+    def fleet_pool(self, fleet_dir):
+        with WorkerPool(fleet_dir=fleet_dir, workers=2) as pool:
+            yield pool
+
+    def test_exactly_one_of_artifact_or_fleet_dir(self, saved, fleet_dir):
+        with pytest.raises(ValueError, match="exactly one"):
+            WorkerPool(saved[0], fleet_dir=fleet_dir)
+        with pytest.raises(ValueError, match="exactly one"):
+            WorkerPool()
+
+    def test_tenants_answer_from_their_own_models(
+        self, fleet_pool, task, encoder, artifact_v1, artifact_v2
+    ):
+        X, _, _ = task
+        obf = InferenceObfuscator(encoder, ObfuscationConfig())
+        dense = obf.prepare_packed(X).unpack(np.float32)
+        for tenant, artifact in (("alice", artifact_v1), ("bob", artifact_v2)):
+            offline = artifact.engine().predict(dense)
+            with PriveHDClient(
+                fleet_pool.address, encoder=encoder, tenant=tenant
+            ) as client:
+                assert client.protocol_version == 4
+                np.testing.assert_array_equal(client.predict(X), offline)
+
+    def test_add_tenant_broadcasts_to_every_worker(
+        self, fleet_pool, fleet_dir, task, encoder, artifact_v2
+    ):
+        X, _, _ = task
+        carol_dir = artifact_v2.save(fleet_dir / "carol")
+        fleet_pool.add_tenant("carol", carol_dir)
+        obf = InferenceObfuscator(encoder, ObfuscationConfig())
+        offline = artifact_v2.engine().predict(
+            obf.prepare_packed(X).unpack(np.float32)
+        )
+        # Several connections so the kernel spreads them over workers:
+        # every worker must know the new tenant.
+        for _ in range(4):
+            with PriveHDClient(
+                fleet_pool.address, encoder=encoder, tenant="carol"
+            ) as client:
+                np.testing.assert_array_equal(client.predict(X), offline)
+
+    def test_tenant_scoped_hot_swap(
+        self, fleet_pool, saved, task, encoder, artifact_v2
+    ):
+        """load/promote with tenant= swaps one namespace fleet-wide and
+        leaves the other tenants untouched."""
+        X, _, _ = task
+        _, v2_dir = saved
+        obf = InferenceObfuscator(encoder, ObfuscationConfig())
+        dense = obf.prepare_packed(X).unpack(np.float32)
+        before_bob = artifact_v2.engine().predict(dense)
+
+        fleet_pool.load(v2_dir, tenant="alice")
+        swapped = artifact_v2.engine().predict(dense)
+        with PriveHDClient(
+            fleet_pool.address, encoder=encoder, tenant="alice"
+        ) as client:
+            np.testing.assert_array_equal(client.predict(X), swapped)
+        with PriveHDClient(
+            fleet_pool.address, encoder=encoder, tenant="bob"
+        ) as client:
+            np.testing.assert_array_equal(client.predict(X), before_bob)
+
+    def test_unknown_tenant_refused_on_every_worker(
+        self, fleet_pool, encoder
+    ):
+        from repro.serve import TenantNotFound
+
+        for _ in range(3):
+            with pytest.raises(TenantNotFound):
+                PriveHDClient(
+                    fleet_pool.address, encoder=encoder, tenant="mallory"
+                )
