@@ -5,6 +5,14 @@ reconstruction of inputs from encoded hypervectors (Eq. 9–10, Fig. 2) and
 the model-difference attack that extracts a training record from two
 adjacent models.  The metrics module provides the PSNR / normalized-MSE
 measures the paper uses to score leakage (Fig. 6, Fig. 9b).
+
+:mod:`repro.attacks.wire` points the same attacks at a *live serving
+session*: a capturing socket proxy tees the raw byte stream, a
+:class:`~repro.proto.wire.FrameDecoder`-based parser reassembles what an
+eavesdropper sees across every negotiated protocol version, and the
+privacy gate (``prive-hd privacy-gate``, the CI ``privacy-slo`` job)
+fails on leakage regression.  :mod:`repro.attacks.fixtures` supplies the
+seeded workloads that make every gate number reproducible.
 """
 
 from repro.attacks.decoder import (
@@ -12,12 +20,33 @@ from repro.attacks.decoder import (
     decode_level_base,
     decode_scalar_base,
 )
+from repro.attacks.fixtures import (
+    AttackWorkload,
+    attack_workload,
+    decoy_features,
+)
 from repro.attacks.membership import ExtractionResult, ModelDifferenceAttack
 from repro.attacks.metrics import (
     mean_absolute_error,
     mse,
     normalized_mse,
     psnr,
+)
+from repro.attacks.wire import (
+    CaptureProxy,
+    CapturedConnection,
+    GateConfig,
+    GateReport,
+    GateThresholds,
+    WireAttackReport,
+    WireTrace,
+    attack_trace,
+    compare_to_baseline,
+    evaluate_gate,
+    loopback_trace,
+    parse_stream,
+    run_privacy_gate,
+    self_test_gate,
 )
 
 __all__ = [
@@ -30,4 +59,21 @@ __all__ = [
     "mean_absolute_error",
     "normalized_mse",
     "psnr",
+    "AttackWorkload",
+    "attack_workload",
+    "decoy_features",
+    "CaptureProxy",
+    "CapturedConnection",
+    "WireTrace",
+    "WireAttackReport",
+    "GateThresholds",
+    "GateConfig",
+    "GateReport",
+    "parse_stream",
+    "attack_trace",
+    "loopback_trace",
+    "run_privacy_gate",
+    "evaluate_gate",
+    "self_test_gate",
+    "compare_to_baseline",
 ]

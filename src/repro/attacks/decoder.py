@@ -23,10 +23,25 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend.packed import PackedHV
 from repro.hd.encoder import Encoder, LevelBaseEncoder, ScalarBaseEncoder
 from repro.utils.validation import check_2d
 
 __all__ = ["HDDecoder", "decode_scalar_base", "decode_level_base"]
+
+
+def _densify(encodings) -> np.ndarray:
+    """Accept what the wire carries: packed bit planes or dense arrays.
+
+    The §III-C offload payload is a :class:`~repro.backend.PackedHV`
+    (two uint64 bit planes), and an attacker operating on captured
+    frames holds exactly that — so the decoders attack it directly,
+    via the exact sign/magnitude round-trip (tail bits of a
+    non-multiple-of-64 ``d_hv`` are guaranteed zero by the packer).
+    """
+    if isinstance(encodings, PackedHV):
+        return encodings.unpack(np.float64)
+    return encodings
 
 
 def decode_scalar_base(
@@ -58,7 +73,9 @@ def decode_scalar_base(
     numpy.ndarray
         ``(n, d_in)`` reconstructed feature estimates.
     """
-    H = check_2d(encodings, "encodings", n_cols=encoder.d_hv).astype(np.float64)
+    H = check_2d(
+        _densify(encodings), "encodings", n_cols=encoder.d_hv
+    ).astype(np.float64)
     divisor = encoder.d_hv if effective_d_hv is None else int(effective_d_hv)
     if divisor <= 0:
         raise ValueError(f"effective_d_hv must be positive, got {divisor}")
@@ -83,7 +100,9 @@ def decode_level_base(
     Cost is ``O(n · d_in · d_hv · n_levels)`` — quadratic-ish, intended
     for demonstration batches, not bulk decoding.
     """
-    H = check_2d(encodings, "encodings", n_cols=encoder.d_hv).astype(np.float64)
+    H = check_2d(
+        _densify(encodings), "encodings", n_cols=encoder.d_hv
+    ).astype(np.float64)
     base = encoder.base.vectors.astype(np.float64)  # (d_in, d_hv)
     levels = encoder.levels.vectors.astype(np.float64)  # (n_levels, d_hv)
     n = H.shape[0]
@@ -120,11 +139,17 @@ class HDDecoder:
 
     def decode(
         self,
-        encodings: np.ndarray,
+        encodings: np.ndarray | PackedHV,
         *,
         effective_d_hv: int | None = None,
     ) -> np.ndarray:
-        """Reconstruct ``(n, d_in)`` features from ``(n, d_hv)`` encodings."""
+        """Reconstruct ``(n, d_in)`` features from ``(n, d_hv)`` encodings.
+
+        ``encodings`` may be a dense array or the
+        :class:`~repro.backend.PackedHV` bit planes exactly as they
+        cross the wire — an attacker holding captured frames never has
+        to densify by hand.
+        """
         if isinstance(self.encoder, ScalarBaseEncoder):
             return decode_scalar_base(
                 encodings, self.encoder, effective_d_hv=effective_d_hv

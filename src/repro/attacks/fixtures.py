@@ -1,0 +1,123 @@
+"""Deterministic attack workloads — every gate number traces to one seed.
+
+The adversarial harnesses (:mod:`repro.attacks.wire`, the golden-leakage
+tier-1 test, ``benchmarks/bench_privacy.py``) must produce the *same*
+PSNR/NMSE rows run after run, or a regression gate built on them would
+flap.  This module is the single place their randomness lives: a
+workload is features + labels + a fitted encoder, all drawn from named
+:func:`repro.utils.spawn` streams under one root seed.  Nothing in
+:mod:`repro.attacks` draws from module-level or default-constructed
+generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hd.encoder import Encoder, LevelBaseEncoder, ScalarBaseEncoder
+from repro.hd.model import HDModel
+from repro.utils import derive_seed, spawn
+
+__all__ = ["AttackWorkload", "attack_workload", "decoy_features"]
+
+
+@dataclass(frozen=True)
+class AttackWorkload:
+    """One reproducible attack scenario: data, labels, public encoder.
+
+    Attributes
+    ----------
+    encoder:
+        The (public, per the threat model) encoder whose codebooks the
+        attacker holds.
+    X:
+        ``(n, d_in)`` ground-truth features — what the attacks try to
+        reconstruct.
+    y:
+        ``(n,)`` labels, for building the victim model of the
+        model-difference attack.
+    n_classes:
+        Label cardinality.
+    seed:
+        The root seed every stream above was derived from.
+    """
+
+    encoder: Encoder
+    X: np.ndarray = field(repr=False)
+    y: np.ndarray = field(repr=False)
+    n_classes: int
+    seed: int
+
+    @property
+    def n(self) -> int:
+        """Number of ground-truth records."""
+        return int(self.X.shape[0])
+
+    def model(self) -> HDModel:
+        """The victim model trained on every record (Eq. 3 bundling)."""
+        return HDModel.from_encodings(
+            self.encoder.encode(self.X), self.y, self.n_classes
+        )
+
+    def model_without(self, index: int) -> HDModel:
+        """The adjacent model: trained on everything except ``index``."""
+        keep = np.ones(self.n, dtype=bool)
+        keep[index] = False
+        return HDModel.from_encodings(
+            self.encoder.encode(self.X[keep]), self.y[keep], self.n_classes
+        )
+
+
+def attack_workload(
+    *,
+    d_in: int = 24,
+    d_hv: int = 2048,
+    n: int = 48,
+    n_classes: int = 6,
+    encoder: str = "scalar-base",
+    n_levels: int = 16,
+    lo: float = 0.0,
+    hi: float = 1.0,
+    seed: int = 0,
+) -> AttackWorkload:
+    """Build a fully seeded attack scenario.
+
+    Features, labels, and encoder codebooks come from independent named
+    streams of ``seed`` (``attack-features`` / ``attack-labels`` /
+    ``attack-encoder``), so two calls with the same arguments are
+    bit-identical and changing the seed changes everything coherently.
+    """
+    rng_x = spawn(seed, "attack-features")
+    rng_y = spawn(seed, "attack-labels")
+    X = rng_x.uniform(lo, hi, (int(n), int(d_in)))
+    y = rng_y.integers(0, int(n_classes), int(n))
+    enc_seed = derive_seed(seed, "attack-encoder")
+    if encoder == "level-base":
+        enc: Encoder = LevelBaseEncoder(
+            d_in, d_hv, n_levels=n_levels, lo=lo, hi=hi, seed=enc_seed
+        )
+    elif encoder == "scalar-base":
+        enc = ScalarBaseEncoder(d_in, d_hv, lo=lo, hi=hi, seed=enc_seed)
+    else:
+        raise ValueError(
+            f"encoder must be 'scalar-base' or 'level-base', got {encoder!r}"
+        )
+    return AttackWorkload(
+        encoder=enc, X=X, y=y, n_classes=int(n_classes), seed=int(seed)
+    )
+
+
+def decoy_features(
+    workload: AttackWorkload, n: int, *, stream: str = "attack-decoys"
+) -> np.ndarray:
+    """``n`` distribution-matched decoys the true records hide among.
+
+    Drawn from a stream independent of the workload's features, so the
+    membership attacker gets candidates that are statistically
+    indistinguishable from — but never equal to — the real records.
+    """
+    rng = spawn(workload.seed, stream)
+    lo, hi = workload.encoder.lo, workload.encoder.hi
+    return rng.uniform(lo, hi, (int(n), workload.X.shape[1]))

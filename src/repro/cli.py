@@ -636,6 +636,92 @@ def _run_client(args) -> int:
     return 0
 
 
+def _run_privacy_gate(args) -> int:
+    """``privacy-gate``: attack a live socket server over captured bytes.
+
+    Starts a real fleet frontend, tees every connection through a
+    capturing proxy, drives one client session per protocol version
+    (v1–v4) and per quantizer (bipolar/ternary/ternary-biased/masked,
+    plus the obfuscation-bypassed identity foil), and replays the
+    paper's reconstruction and membership attacks against the captured
+    frames.  Fails (exit 1) when a protected leg leaks more than the
+    thresholds allow, when the built-in self-test cannot make the
+    bypassed leg fail (the gate would be toothless), or when leakage
+    regresses beyond the committed baseline's tolerance band.
+    """
+    import json
+    import pathlib
+
+    from repro.attacks.wire import (
+        GateConfig,
+        compare_to_baseline,
+        run_privacy_gate,
+    )
+
+    config = GateConfig(
+        d_hv=args.dhv,
+        n_queries=args.queries,
+        seed=args.seed,
+        n_membership_trials=args.membership_trials,
+    )
+    t0 = time.perf_counter()
+    report = run_privacy_gate(config, log=lambda line: print(f"  {line}"))
+    elapsed = time.perf_counter() - t0
+    doc = report.to_dict()
+
+    print(
+        f"\n{'leg':<18} {'ver':>3} {'quant':<15} {'psnr dB':>8} "
+        f"{'plain':>7} {'drop':>6} {'nmse':>7} {'member':>6}"
+    )
+    for row in report.rows:
+        print(
+            f"{row.leg:<18} {row.protocol_version:>3} "
+            f"{row.quantizer:<15} {row.psnr_db:>8.2f} "
+            f"{row.psnr_plain_db:>7.2f} {row.psnr_drop_db:>6.2f} "
+            f"{row.nmse:>7.3f} {row.membership_top1:>6.2f}"
+        )
+    print(
+        f"\nattacked {len(report.rows)} live sessions in {elapsed:.1f}s; "
+        f"self-test (obfuscation bypassed must fail): "
+        f"{'ok' if report.self_test.get('failed_as_expected') else 'BROKEN'}"
+    )
+    for violation in report.violations:
+        print(f"VIOLATION: {violation}", file=sys.stderr)
+    if not report.self_test.get("failed_as_expected"):
+        print(
+            "SELF-TEST FAILED: the bypassed (identity) leg passed the "
+            "protected criteria — the gate has no teeth",
+            file=sys.stderr,
+        )
+
+    if args.out is not None:
+        pathlib.Path(args.out).write_text(json.dumps(doc, indent=1) + "\n")
+        print(f"wrote report to {args.out}")
+
+    baseline_path = pathlib.Path(args.baseline)
+    if args.update_baseline:
+        baseline_path.write_text(json.dumps(doc, indent=1) + "\n")
+        print(f"baseline updated: {baseline_path}")
+        return 0 if report.passed else 1
+    regressions: list[str] = []
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        regressions = compare_to_baseline(doc, baseline)
+        for problem in regressions:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        if not regressions:
+            print(f"no leakage regression vs {baseline_path}")
+    elif not args.no_baseline:
+        print(
+            f"error: baseline {baseline_path} not found; run with "
+            "--update-baseline to create it or --no-baseline to skip "
+            "the comparison",
+            file=sys.stderr,
+        )
+        return 2
+    return 0 if report.passed and not regressions else 1
+
+
 def _run_throughput(args) -> int:
     from repro.serve.bench import render_throughput_report, run_throughput
 
@@ -1018,6 +1104,43 @@ def _build_parser() -> argparse.ArgumentParser:
     p_tp.add_argument("--n-classes", type=int, default=26)
     p_tp.add_argument("--batch-size", type=int, default=8192)
     p_tp.add_argument("--repeats", type=int, default=3)
+
+    p_gate = sub.add_parser(
+        "privacy-gate",
+        help=(
+            "attack a live serving session over captured wire bytes and "
+            "fail on leakage regression"
+        ),
+    )
+    p_gate.add_argument("--dhv", type=int, default=2048)
+    p_gate.add_argument("--queries", type=int, default=48)
+    p_gate.add_argument("--seed", type=int, default=0)
+    p_gate.add_argument(
+        "--membership-trials",
+        type=int,
+        default=8,
+        help="model-difference linkage trials per leg",
+    )
+    p_gate.add_argument(
+        "--out",
+        default=None,
+        help="write the full gate report JSON here (e.g. BENCH_privacy.json)",
+    )
+    p_gate.add_argument(
+        "--baseline",
+        default="BENCH_privacy.json",
+        help="committed baseline to diff leakage against",
+    )
+    p_gate.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run instead of diffing",
+    )
+    p_gate.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the baseline comparison (thresholds still enforced)",
+    )
     return parser
 
 
@@ -1042,6 +1165,8 @@ def _dispatch(args) -> int:
         return _run_client(args)
     if args.command == "throughput":
         return _run_throughput(args)
+    if args.command == "privacy-gate":
+        return _run_privacy_gate(args)
     EXPERIMENTS[args.command][1](args)
     return 0
 

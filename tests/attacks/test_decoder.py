@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.attacks.decoder import HDDecoder, decode_level_base, decode_scalar_base
+from repro.backend.packed import PackedHV, pack_hypervectors
 from repro.hd import (
     BipolarQuantizer,
     LevelBaseEncoder,
@@ -121,6 +122,75 @@ class TestHDDecoder:
     def test_rejects_unknown_encoder(self):
         with pytest.raises(TypeError):
             HDDecoder(object())
+
+
+class TestPackedDecoding:
+    """Attack the wire representation itself: uint64 bit planes.
+
+    An eavesdropper holds :class:`PackedHV` payloads lifted from
+    captured frames, never a convenient dense array — the decoders must
+    accept the planes directly and produce *bit-identical* results to
+    the densified path.
+    """
+
+    def test_packed_equals_dense_scalar_base(self):
+        enc = ScalarBaseEncoder(24, 4096, seed=30)
+        H = BipolarQuantizer()(enc.encode(_features(4, 24, seed=31)))
+        packed = pack_hypervectors(H)
+        np.testing.assert_array_equal(
+            decode_scalar_base(packed, enc), decode_scalar_base(H, enc)
+        )
+
+    def test_packed_equals_dense_level_base(self):
+        enc = LevelBaseEncoder(8, 2048, n_levels=8, seed=32)
+        H = BipolarQuantizer()(enc.encode(_features(3, 8, seed=33)))
+        packed = pack_hypervectors(H)
+        np.testing.assert_array_equal(
+            decode_level_base(packed, enc), decode_level_base(H, enc)
+        )
+
+    def test_hddecoder_accepts_packed(self):
+        enc = ScalarBaseEncoder(16, 2048, seed=34)
+        H = BipolarQuantizer()(enc.encode(_features(2, 16, seed=35)))
+        dec = HDDecoder(enc)
+        np.testing.assert_array_equal(
+            dec.decode(pack_hypervectors(H)), dec.decode(H)
+        )
+
+    def test_non_multiple_of_64_dhv(self):
+        # d_hv=770 leaves 62 dead tail bits in the last uint64 word; the
+        # packer guarantees they are zero and the decode must not let
+        # them bleed into the Eq. (10) correlation.
+        enc = ScalarBaseEncoder(12, 770, seed=36)
+        H = BipolarQuantizer()(enc.encode(_features(5, 12, seed=37)))
+        packed = pack_hypervectors(H)
+        assert packed.shape == (5, 770)
+        assert packed.signs.shape[1] == 13  # ceil(770 / 64)
+        np.testing.assert_array_equal(packed.unpack(np.float64), H)
+        np.testing.assert_array_equal(
+            decode_scalar_base(packed, enc), decode_scalar_base(H, enc)
+        )
+
+    def test_packed_with_masking_and_effective_dhv(self):
+        # The §III-C deployment: quantize, mask, pack, ship.  The
+        # attacker decodes the planes with the informed divisor.
+        enc = ScalarBaseEncoder(24, 4096, seed=38)
+        X = _features(4, 24, seed=39)
+        H = BipolarQuantizer()(enc.encode(X))
+        keep = np.ones(4096)
+        keep[spawn(40, "mask").permutation(4096)[:2048]] = 0.0
+        packed = pack_hypervectors(H * keep)
+        informed = decode_scalar_base(packed, enc, effective_d_hv=2048)
+        naive = decode_scalar_base(packed, enc)
+        assert np.abs(informed - X).mean() < np.abs(naive - X).mean()
+
+    def test_single_row_packed(self):
+        enc = ScalarBaseEncoder(8, 192, seed=41)
+        H = BipolarQuantizer()(enc.encode(_features(1, 8, seed=42)))
+        packed = pack_hypervectors(H)
+        assert isinstance(packed, PackedHV)
+        out = HDDecoder(enc).decode(packed)
+        assert out.shape == (1, 8)
 
 
 class TestLeakageUnderObfuscation:

@@ -1,0 +1,140 @@
+"""Golden per-quantizer leakage numbers, pinned as a committed fixture.
+
+The loopback capture path (:func:`repro.attacks.wire.loopback_trace`) is
+fully deterministic — no sockets, no threads, every random draw from a
+named seed stream — so its PSNR/NMSE rows are *bit-reproducible* and we
+pin them to ``fixtures/golden_leakage.json`` with a small tolerance band
+(absorbing BLAS/platform float noise, nothing more).  A diff beyond the
+band means the obfuscate→pack→frame→attack pipeline changed behaviour:
+either a genuine privacy regression or an intentional change that must
+be re-pinned deliberately.
+
+Regenerate after an intentional change with:
+
+    PYTHONPATH=src python tests/attacks/test_golden_leakage.py
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.attacks.fixtures import attack_workload
+from repro.attacks.wire import attack_trace, loopback_trace
+
+FIXTURE = pathlib.Path(__file__).parent / "fixtures" / "golden_leakage.json"
+
+# Small and odd on purpose: d_hv=770 is not a multiple of 64, so the
+# packed tail-bit path is part of what the golden numbers pin.
+WORKLOAD_KW = dict(d_in=16, d_hv=770, n=32, n_classes=4, seed=0)
+CHUNK_SIZE = 8
+
+LEGS = (
+    ("bipolar", "bipolar", 0),
+    ("ternary", "ternary", 0),
+    ("ternary-biased", "ternary-biased", 0),
+    ("bipolar-masked", "bipolar", 385),
+    ("identity", "identity", 0),
+)
+
+TOL_PSNR_DB = 0.5
+TOL_NMSE_FRAC = 0.10
+TOL_MEMBERSHIP = 0.125  # one flipped trial out of 8
+
+
+def compute_rows() -> dict:
+    workload = attack_workload(**WORKLOAD_KW)
+    rows = {}
+    for name, quantizer, n_masked in LEGS:
+        trace = loopback_trace(
+            workload,
+            quantizer=quantizer,
+            n_masked=n_masked,
+            mask_seed=WORKLOAD_KW["seed"] + 101,
+            chunk_size=CHUNK_SIZE,
+        )
+        report = attack_trace(
+            trace,
+            workload,
+            leg=name,
+            quantizer=quantizer,
+            n_masked=n_masked,
+            protected=quantizer != "identity",
+        )
+        rows[name] = {
+            "psnr_plain_db": report.psnr_plain_db,
+            "psnr_db": report.psnr_db,
+            "nmse": report.nmse,
+            "membership_top1": report.membership_top1,
+            "n_live_dims": report.n_live_dims,
+            "packed": report.packed,
+            "client_bytes": report.client_bytes,
+        }
+    return {"workload": WORKLOAD_KW, "chunk_size": CHUNK_SIZE, "rows": rows}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert FIXTURE.exists(), (
+        f"missing {FIXTURE}; generate it with "
+        "PYTHONPATH=src python tests/attacks/test_golden_leakage.py"
+    )
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.fixture(scope="module")
+def current():
+    return compute_rows()
+
+
+class TestGoldenLeakage:
+    def test_fixture_config_matches(self, golden):
+        assert golden["workload"] == WORKLOAD_KW
+        assert golden["chunk_size"] == CHUNK_SIZE
+        assert set(golden["rows"]) == {name for name, _, _ in LEGS}
+
+    @pytest.mark.parametrize("leg", [name for name, _, _ in LEGS])
+    def test_leg_within_tolerance(self, golden, current, leg):
+        pinned = golden["rows"][leg]
+        now = current["rows"][leg]
+        assert now["psnr_db"] == pytest.approx(
+            pinned["psnr_db"], abs=TOL_PSNR_DB
+        ), f"{leg}: wire-reconstruction PSNR drifted"
+        assert now["psnr_plain_db"] == pytest.approx(
+            pinned["psnr_plain_db"], abs=TOL_PSNR_DB
+        ), f"{leg}: plain-baseline PSNR drifted"
+        assert now["nmse"] == pytest.approx(
+            pinned["nmse"], rel=TOL_NMSE_FRAC
+        ), f"{leg}: normalized MSE drifted"
+        assert abs(
+            now["membership_top1"] - pinned["membership_top1"]
+        ) <= TOL_MEMBERSHIP, f"{leg}: membership linkage drifted"
+
+    @pytest.mark.parametrize("leg", [name for name, _, _ in LEGS])
+    def test_leg_structure_exact(self, golden, current, leg):
+        # Structure is not float noise: payload kind, live-dim count and
+        # wire size must match the pin exactly.
+        pinned = golden["rows"][leg]
+        now = current["rows"][leg]
+        assert now["packed"] == pinned["packed"]
+        assert now["n_live_dims"] == pinned["n_live_dims"]
+        assert now["client_bytes"] == pinned["client_bytes"]
+
+    def test_protected_legs_beat_identity(self, current):
+        rows = current["rows"]
+        for name, quantizer, _ in LEGS:
+            if quantizer == "identity":
+                continue
+            assert rows[name]["psnr_db"] < rows["identity"]["psnr_db"] - 1.0
+            assert rows[name]["nmse"] > rows["identity"]["nmse"]
+
+    def test_repeat_run_bit_identical(self, current):
+        # The tolerance band is for platforms, not for this process:
+        # within one interpreter the rows are exactly reproducible.
+        assert compute_rows() == current
+
+
+if __name__ == "__main__":
+    FIXTURE.parent.mkdir(exist_ok=True)
+    FIXTURE.write_text(json.dumps(compute_rows(), indent=1) + "\n")
+    print(f"wrote {FIXTURE}")
